@@ -1,0 +1,491 @@
+//! `repro` — regenerates every table and figure of the DoubleDecker
+//! paper's evaluation, printing paper-style tables and ASCII occupancy
+//! charts, optionally dumping JSON reports.
+//!
+//! ```sh
+//! cargo run --release -p ddc-bench --bin repro -- all
+//! cargo run --release -p ddc-bench --bin repro -- fig8 --json out/
+//! cargo run --release -p ddc-bench --bin repro -- table2 --secs 120
+//! ```
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+
+use ddc_bench::scenarios::common::{print_series, to_mb, FourKind};
+use ddc_bench::scenarios::{ablations, cooperative, dynamic, modes, motivation, policies, splits};
+use ddc_core::prelude::*;
+
+struct Args {
+    command: String,
+    secs: Option<u64>,
+    json_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        command: "all".to_owned(),
+        secs: None,
+        json_dir: None,
+    };
+    let mut it = env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--secs" => {
+                args.secs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .or_else(|| panic!("--secs needs an integer"));
+            }
+            "--json" => {
+                args.json_dir = Some(PathBuf::from(it.next().expect("--json needs a directory")));
+            }
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            cmd if !cmd.starts_with('-') => args.command = cmd.to_owned(),
+            other => panic!("unknown flag {other} (see --help)"),
+        }
+    }
+    args
+}
+
+fn print_help() {
+    println!(
+        "repro — regenerate the DoubleDecker paper's tables and figures\n\n\
+         usage: repro [COMMAND] [--secs N] [--json DIR]\n\n\
+         commands:\n\
+           fig3    per-container cache usage, containers run separately\n\
+           fig4    non-deterministic sharing (same start + 200s-offset variants)\n\
+           fig5    throughput vs in-VM:cache memory split (4 apps)\n\
+           table1  guest memory diagnosis at the 1:1 split\n\
+           fig8    occupancy under Global / DDMem / DDSSD\n\
+           fig9    videoserver occupancy under the three modes\n\
+           table2  throughput/latency/lookup-to-store/evictions per mode\n\
+           fig10   speedups of DDMem/DDMemEx/DDHybrid over Global (+ Table 3)\n\
+           fig11   occupancy under Global / DDMem / DDHybrid\n\
+           table4  Morai++ (centralized) vs DoubleDecker (cooperative)\n\
+           fig12   dynamic container policy changes\n\
+           fig13   dynamic VM provisioning\n\
+           ext     extensions: compression ablation, hybrid store, adaptive weights\n\
+           all     everything above (default)\n"
+    );
+}
+
+fn maybe_dump(args: &Args, name: &str, report: &ddc_core::ExperimentReport) {
+    if let Some(dir) = &args.json_dir {
+        fs::create_dir_all(dir).expect("create json dir");
+        let path = dir.join(format!("{name}.json"));
+        fs::write(&path, report.to_json()).expect("write json");
+        println!("[json written to {}]", path.display());
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n{}", "=".repeat(74));
+    println!("== {title}");
+    println!("{}", "=".repeat(74));
+}
+
+fn fig3(args: &Args) {
+    banner("Fig 3: hypervisor cache usage, containers run SEPARATELY (Global mode)");
+    let secs = SimTime::from_secs(args.secs.unwrap_or(120));
+    for c in [1u8, 2] {
+        let report = motivation::fig3_alone(c, secs);
+        println!(
+            "\ncontainer {c} alone ({} webserver threads):",
+            if c == 1 { 2 } else { 3 }
+        );
+        print_series(&report, &[&format!("container{c} (MB)")]);
+        maybe_dump(args, &format!("fig3_container{c}"), &report);
+    }
+    println!("shape check: each container alone ramps to the full cache capacity.");
+}
+
+fn fig4(args: &Args) {
+    banner("Fig 4: non-deterministic sharing under the Global cache");
+    let secs = SimTime::from_secs(args.secs.unwrap_or(150));
+    let names = ["container1 (MB)", "container2 (MB)"];
+
+    println!("\n(a) same start time:");
+    let a = motivation::fig4_together(SimDuration::ZERO, secs);
+    print_series(&a, &names);
+    let end = secs.as_secs_f64();
+    let c1 = a
+        .series(names[0])
+        .unwrap()
+        .mean_in(end * 0.6, end)
+        .unwrap_or(0.0);
+    let c2 = a
+        .series(names[1])
+        .unwrap()
+        .mean_in(end * 0.6, end)
+        .unwrap_or(0.0);
+    println!(
+        "steady-state means: container1 {c1:.1} MB, container2 {c2:.1} MB (ratio {:.2})",
+        c2 / c1.max(1e-9)
+    );
+    maybe_dump(args, "fig4a", &a);
+
+    println!("\n(b) container 2 offset by 1/3 of the run:");
+    let offset = SimDuration::from_secs(args.secs.unwrap_or(150) / 3);
+    let b = motivation::fig4_together(offset, secs);
+    print_series(&b, &names);
+    maybe_dump(args, "fig4b", &b);
+    println!(
+        "shape check: (a) the 3-thread container holds ~2x the 2-thread one;\n\
+         (b) container 1 dominates early, container 2 overtakes after its start."
+    );
+}
+
+fn fig5(args: &Args) {
+    banner("Fig 5: throughput vs in-VM:hypervisor-cache split");
+    let secs = SimTime::from_secs(args.secs.unwrap_or(90));
+    let sweep = splits::fig5_sweep(secs);
+    let mut table = TextTable::new(vec![
+        "split (VM:cache MiB)",
+        "webserver",
+        "redis",
+        "mongodb",
+        "mysql",
+    ]);
+    for (i, &container_mb) in splits::SPLITS_MB.iter().enumerate() {
+        let mut row = vec![format!(
+            "{container_mb}:{}",
+            splits::BUDGET_MB - container_mb
+        )];
+        for app in splits::SplitApp::ALL {
+            let (_, results) = sweep.iter().find(|(a, _)| *a == app).unwrap();
+            row.push(format!("{:.0}", results[i].ops_per_sec));
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!(
+        "shape check (paper Fig 5): webserver & mongodb roughly flat across splits;\n\
+         redis extreme at full-VM memory and collapsing at small shares; mysql degrades."
+    );
+}
+
+fn table1(args: &Args) {
+    banner("Table 1: guest OS metrics at the equal (1:1) split");
+    let secs = SimTime::from_secs(args.secs.unwrap_or(90));
+    let rows = splits::table1(secs);
+    let mut table = TextTable::new(vec![
+        "application",
+        "swap used (MB)",
+        "anon memory (MB)",
+        "hypervisor cache (MB)",
+    ]);
+    for (app, r) in rows {
+        table.row(vec![
+            app.name().to_owned(),
+            format!("{:.1}", to_mb(r.swapped_pages)),
+            format!("{:.1}", to_mb(r.anon_pages)),
+            format!("{:.1}", to_mb(r.hcache_pages)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "shape check (paper Table 1): webserver/mongodb -> no swap, cache full;\n\
+         redis/mysql -> heavy swap, near-zero hypervisor cache."
+    );
+}
+
+fn fig8_fig9_table2(args: &Args, which: &str) {
+    banner("Figs 8-9 + Table 2: Global vs DDMem vs DDSSD (4 workloads)");
+    let secs = SimTime::from_secs(args.secs.unwrap_or(600));
+    let runs = modes::run_all_modes(secs);
+
+    if which == "fig8" || which == "all" {
+        for run in &runs {
+            println!("\n--- {} : web/proxy/mail occupancy ---", run.mode.name());
+            print_series(
+                &run.report,
+                &["webserver (MB)", "proxycache (MB)", "mail (MB)"],
+            );
+        }
+    }
+    if which == "fig9" || which == "all" {
+        for run in &runs {
+            println!("\n--- {} : videoserver occupancy ---", run.mode.name());
+            print_series(&run.report, &["videoserver (MB)"]);
+        }
+    }
+
+    println!("\nTable 2:");
+    let mut table = TextTable::new(vec![
+        "workload",
+        "mode",
+        "throughput (MB/s)",
+        "latency (ms)",
+        "lookup-to-store (%)",
+        "evictions",
+    ]);
+    for kind in FourKind::ALL {
+        for run in &runs {
+            let (_, r) = run.results.iter().find(|(k, _)| *k == kind).unwrap();
+            table.row(vec![
+                kind.name().to_owned(),
+                run.mode.name().to_owned(),
+                format!("{:.1}", r.mb_per_sec),
+                format!("{:.2}", r.latency_ms),
+                format!("{:.0}", r.lookup_to_store),
+                r.evictions.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    for run in &runs {
+        maybe_dump(
+            args,
+            &format!("fig8_{}", run.mode.name().replace([' ', '(', ')'], "")),
+            &run.report,
+        );
+    }
+    println!(
+        "shape check (paper Table 2): DDMem web ~6x Global web; Global evicts\n\
+         web/mail heavily while DD victimizes only the videoserver; SSD mode has\n\
+         zero evictions, slower web/video, but improves the mail workload."
+    );
+}
+
+fn fig10_fig11(args: &Args, which: &str) {
+    banner("Table 3 + Figs 10-11: differentiated policies vs Global");
+    let secs = SimTime::from_secs(args.secs.unwrap_or(600));
+
+    println!("\nTable 3 (cache settings):");
+    let mut t3 = TextTable::new(vec![
+        "setting",
+        "webserver",
+        "proxycache",
+        "mail",
+        "videoserver",
+    ]);
+    for s in policies::PolicySetting::ALL.iter().skip(1) {
+        let p = s.policies();
+        t3.row(vec![
+            s.name().to_owned(),
+            p[0].to_string(),
+            p[1].to_string(),
+            p[2].to_string(),
+            p[3].to_string(),
+        ]);
+    }
+    println!("{}", t3.render());
+
+    let runs = policies::fig10_runs(secs);
+    let baseline = &runs[0];
+
+    if which == "fig10" || which == "all" {
+        println!("Fig 10 (speedup over Global):");
+        let mut table = TextTable::new(vec!["workload", "DDMem", "DDMemEx", "DDHybrid"]);
+        for kind in FourKind::ALL {
+            let mut row = vec![kind.name().to_owned()];
+            for run in runs.iter().skip(1) {
+                let s = policies::speedups(baseline, run);
+                let v = s.iter().find(|(k, _)| *k == kind).map(|(_, v)| *v).unwrap();
+                row.push(format!("{v:.2}x"));
+            }
+            table.row(row);
+        }
+        println!("{}", table.render());
+    }
+
+    if which == "fig11" || which == "all" {
+        for run in &runs {
+            if matches!(
+                run.setting,
+                policies::PolicySetting::Global
+                    | policies::PolicySetting::DdMem
+                    | policies::PolicySetting::DdHybrid
+            ) {
+                println!("\n--- Fig 11 occupancy: {} ---", run.setting.name());
+                print_series(
+                    &run.report,
+                    &[
+                        "webserver (MB)",
+                        "proxycache (MB)",
+                        "mail (MB)",
+                        "videoserver (MB)",
+                    ],
+                );
+            }
+        }
+    }
+    for run in &runs {
+        maybe_dump(args, &format!("fig10_{}", run.setting.name()), &run.report);
+    }
+    println!(
+        "shape check (paper Fig 10): webserver and proxycache speed up strongly\n\
+         under all DD policies; mail is marginal; videoserver dips under\n\
+         DDMem/DDMemEx and recovers (beats Global) under DDHybrid on the SSD."
+    );
+}
+
+fn table4(args: &Args) {
+    banner("Table 4: Morai++ (centralized) vs DoubleDecker (cooperative)");
+    let secs = SimTime::from_secs(args.secs.unwrap_or(40));
+    let (morai, dd) = cooperative::table4(secs);
+    let mut table = TextTable::new(vec![
+        "workload (SLA ops/s)",
+        "technique",
+        "throughput (ops/s)",
+        "app memory (MB)",
+        "hcache (MB)",
+        "SLA met",
+    ]);
+    for (i, app) in cooperative::CoopApp::ALL.iter().enumerate() {
+        for run in [&morai, &dd] {
+            let (_, r) = run.results.iter().find(|(a, _)| a == app).unwrap();
+            table.row(vec![
+                format!("{} ({:.0})", app.name(), cooperative::SLAS[i]),
+                run.technique.to_owned(),
+                format!("{:.0}", r.ops_per_sec),
+                format!("{:.0}", r.app_memory_mb),
+                format!("{:.0}", r.hcache_mb),
+                if r.sla_met { "yes" } else { "NO" }.to_owned(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    for run in [&morai, &dd] {
+        println!(
+            "{}: best static cache weights (mongo/mysql/redis/web) = {:?}, aggregate {:.0} ops/s",
+            run.technique, run.cache_weights, run.aggregate
+        );
+    }
+    println!(
+        "shape check (paper Table 4): Morai++ cannot satisfy Redis/MySQL (squeezed\n\
+         by the webserver's in-VM page cache); DoubleDecker's cgroup provisioning\n\
+         recovers both by orders of magnitude and wins on aggregate."
+    );
+}
+
+fn fig12(args: &Args) {
+    banner("Fig 12: dynamic policy changes across containers");
+    let report = dynamic::fig12();
+    print_series(&report, &["web (MB)", "proxy (MB)", "video (MB)"]);
+    let p = dynamic::PHASE_SECS as f64;
+    let mut table = TextTable::new(vec![
+        "container",
+        "phase 1 (MB)",
+        "phase 2 (MB)",
+        "phase 3 (MB)",
+    ]);
+    for name in ["web (MB)", "proxy (MB)", "video (MB)"] {
+        let s = report.series(name).unwrap();
+        table.row(vec![
+            name.to_owned(),
+            format!("{:.1}", s.mean_in(p * 0.5, p).unwrap_or(0.0)),
+            format!("{:.1}", s.mean_in(p * 1.5, p * 2.0).unwrap_or(0.0)),
+            format!("{:.1}", s.mean_in(p * 2.5, p * 3.0).unwrap_or(0.0)),
+        ]);
+    }
+    println!("{}", table.render());
+    maybe_dump(args, "fig12", &report);
+    println!(
+        "shape check (paper Fig 12): 60/40 split; then 50/30/20 when the\n\
+         videoserver boots; then back to 60/40 when it moves to the SSD."
+    );
+}
+
+fn fig13(args: &Args) {
+    banner("Fig 13: dynamic VM provisioning");
+    let report = dynamic::fig13();
+    print_series(&report, &["vm1 (MB)", "vm2 (MB)", "vm3 (MB)", "vm4 (MB)"]);
+    let mut table = TextTable::new(vec!["vm", "phase2 mean (MB)", "phase4 mean (MB)"]);
+    for name in ["vm1 (MB)", "vm2 (MB)", "vm3 (MB)", "vm4 (MB)"] {
+        let s = report.series(name).unwrap();
+        table.row(vec![
+            name.to_owned(),
+            format!("{:.1}", s.mean_in(250.0, 300.0).unwrap_or(0.0)),
+            format!("{:.1}", s.mean_in(550.0, 750.0).unwrap_or(0.0)),
+        ]);
+    }
+    println!("{}", table.render());
+    maybe_dump(args, "fig13", &report);
+    println!(
+        "shape check (paper Fig 13): VM1 alone fills the cache; 60/40 after VM2;\n\
+         VM3 (SSD-only) does not disturb the memory split; capacity doubling plus\n\
+         40/35/25 weights redistributes across VM1/VM2/VM4."
+    );
+}
+
+fn extensions(args: &Args) {
+    banner("Extensions: compression ablation / hybrid store / adaptive weights");
+    let secs = SimTime::from_secs(args.secs.unwrap_or(400));
+
+    let comp = ablations::compression(secs);
+    println!("\nzcache-style 2:1 compression of the memory store:");
+    let mut t = TextTable::new(vec!["workload", "plain (MB/s)", "compressed (MB/s)"]);
+    for (kind, plain, compressed) in &comp.throughput {
+        t.row(vec![
+            kind.name().to_owned(),
+            format!("{plain:.1}"),
+            format!("{compressed:.1}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "evictions: plain {} -> compressed {}",
+        comp.evictions_plain, comp.evictions_compressed
+    );
+
+    let hyb = ablations::hybrid(secs);
+    println!(
+        "\nhybrid store (<Hybrid, 18> videoserver): {:.1} MB/s vs <Mem, 18> {:.1} MB/s; \
+         {} objects trickled down, {} blocks resident on the SSD share",
+        hyb.video_hybrid, hyb.video_mem, hyb.trickle_downs, hyb.video_ssd_pages
+    );
+
+    let ad = ablations::adaptive(secs);
+    println!(
+        "\nMRC-driven adaptive weights: aggregate {:.1} MB/s vs static {:.1} MB/s; \
+         final weights big/small = {}/{}",
+        ad.adaptive_tput, ad.static_tput, ad.final_weights.0, ad.final_weights.1
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let start = std::time::Instant::now();
+    match args.command.as_str() {
+        "fig3" => fig3(&args),
+        "fig4" => fig4(&args),
+        "fig5" => fig5(&args),
+        "table1" => table1(&args),
+        "fig8" => fig8_fig9_table2(&args, "fig8"),
+        "fig9" => fig8_fig9_table2(&args, "fig9"),
+        "table2" => fig8_fig9_table2(&args, "table2"),
+        "fig10" => fig10_fig11(&args, "fig10"),
+        "fig11" => fig10_fig11(&args, "fig11"),
+        "table3" => fig10_fig11(&args, "fig10"),
+        "table4" => table4(&args),
+        "fig12" => fig12(&args),
+        "fig13" => fig13(&args),
+        "ext" => extensions(&args),
+        "all" => {
+            fig3(&args);
+            fig4(&args);
+            fig5(&args);
+            table1(&args);
+            fig8_fig9_table2(&args, "all");
+            fig10_fig11(&args, "all");
+            table4(&args);
+            fig12(&args);
+            fig13(&args);
+            extensions(&args);
+        }
+        other => {
+            eprintln!("unknown command {other}");
+            print_help();
+            std::process::exit(2);
+        }
+    }
+    eprintln!(
+        "\n[repro finished in {:.1}s wall time]",
+        start.elapsed().as_secs_f64()
+    );
+}

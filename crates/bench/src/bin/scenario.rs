@@ -1,0 +1,85 @@
+//! `scenario` — runs a JSON-defined DoubleDecker experiment.
+//!
+//! ```sh
+//! cargo run --release -p ddc-bench --bin scenario -- examples/scenarios/derivative_cloud.json
+//! cargo run --release -p ddc-bench --bin scenario -- spec.json --json report.json
+//! ```
+
+use std::env;
+use std::fs;
+use std::process::exit;
+
+use ddc_bench::scenarios::common::print_series;
+use ddc_core::prelude::*;
+use ddc_core::scenario::{self, ScenarioSpec};
+
+fn main() {
+    let mut args = env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: scenario <spec.json> [--json <report.json>]");
+        exit(2);
+    };
+    let mut json_out = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_out = args.next(),
+            other => {
+                eprintln!("unknown argument {other}");
+                exit(2);
+            }
+        }
+    }
+
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            exit(1);
+        }
+    };
+    let spec = match ScenarioSpec::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1);
+        }
+    };
+
+    println!(
+        "running scenario {:?}: {} VM(s), {} container(s), {} virtual seconds",
+        spec.name,
+        spec.vms.len(),
+        spec.vms.iter().map(|v| v.containers.len()).sum::<usize>(),
+        spec.duration_secs
+    );
+    let report = match scenario::run(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1);
+        }
+    };
+
+    let mut table = TextTable::new(vec!["thread", "ops", "ops/s", "MB/s", "mean lat (ms)"]);
+    for t in &report.threads {
+        table.row(vec![
+            t.label.clone(),
+            t.ops.to_string(),
+            format!("{:.1}", t.ops_per_sec),
+            format!("{:.1}", t.mb_per_sec),
+            format!("{:.3}", t.mean_latency_ms),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let series_names: Vec<&str> = report.series.iter().map(|s| s.name.as_str()).collect();
+    print_series(&report, &series_names);
+
+    if let Some(out) = json_out {
+        if let Err(e) = fs::write(&out, report.to_json()) {
+            eprintln!("cannot write {out}: {e}");
+            exit(1);
+        }
+        println!("[report written to {out}]");
+    }
+}

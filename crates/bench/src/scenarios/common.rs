@@ -1,0 +1,175 @@
+//! Shared helpers for scenario builders.
+
+use ddc_core::prelude::*;
+
+/// MiB → blocks.
+pub fn mb(mib: u64) -> u64 {
+    CacheConfig::pages_from_mb(mib)
+}
+
+/// Blocks → MB (decimal, for display).
+pub fn to_mb(pages: u64) -> f64 {
+    pages as f64 * PAGE_SIZE as f64 / 1e6
+}
+
+/// The four Filebench workloads of the paper's §5.1/§5.2 experiments,
+/// with scaled fileset sizes (paper sizes ÷ 8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FourKind {
+    /// Filebench webserver.
+    Web,
+    /// Filebench proxycache (webproxy).
+    Proxy,
+    /// Filebench mail (varmail).
+    Mail,
+    /// Filebench videoserver.
+    Video,
+}
+
+impl FourKind {
+    /// All four, in the paper's container order C1..C4.
+    pub const ALL: [FourKind; 4] = [
+        FourKind::Web,
+        FourKind::Proxy,
+        FourKind::Mail,
+        FourKind::Video,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            FourKind::Web => "webserver",
+            FourKind::Proxy => "proxycache",
+            FourKind::Mail => "mail",
+            FourKind::Video => "videoserver",
+        }
+    }
+}
+
+/// Spawns `threads` workload threads of the given kind into `exp`,
+/// labelled `"{name}/tN"`.
+pub fn spawn_four_kind(
+    exp: &mut Experiment,
+    kind: FourKind,
+    vm: VmId,
+    cg: CgroupId,
+    threads: u32,
+    seed: u64,
+) {
+    for t in 0..threads {
+        let label = format!("{}/t{t}", kind.name());
+        let thread_seed = seed + t as u64;
+        let boxed: Box<dyn WorkloadThread> = match kind {
+            FourKind::Web => Box::new(Webserver::new(
+                label,
+                vm,
+                cg,
+                WebConfig {
+                    files: 3000,
+                    mean_file_blocks: 2,
+                    zipf_theta: 0.0,
+                    ..WebConfig::default()
+                },
+                thread_seed,
+            )),
+            FourKind::Proxy => Box::new(Proxycache::new(
+                label,
+                vm,
+                cg,
+                ProxyConfig {
+                    files: 900,
+                    mean_file_blocks: 2,
+                    ..ProxyConfig::default()
+                },
+                thread_seed,
+            )),
+            FourKind::Mail => Box::new(MailServer::new(
+                label,
+                vm,
+                cg,
+                MailConfig {
+                    files: 2200,
+                    mean_file_blocks: 1,
+                },
+                thread_seed,
+            )),
+            FourKind::Video => Box::new(VideoServer::new(
+                label,
+                vm,
+                cg,
+                VideoConfig {
+                    active_videos: 48,
+                    mean_video_blocks: 96,
+                    zipf_theta: 0.9,
+                    writer_period: 32,
+                },
+                thread_seed,
+            )),
+        };
+        exp.add_thread(boxed);
+    }
+}
+
+/// Adds a per-container memory-store occupancy probe named
+/// `"{name} (MB)"`.
+pub fn probe_container_mem(exp: &mut Experiment, name: &str, vm: VmId, cg: CgroupId) {
+    let label = format!("{name} (MB)");
+    exp.add_probe(label, move |h| {
+        h.container_cache_stats(vm, cg)
+            .map_or(0.0, |s| to_mb(s.mem_pages))
+    });
+}
+
+/// Renders a named series from a report as an ASCII block, with phase
+/// mean annotations.
+pub fn print_series(report: &ddc_core::ExperimentReport, names: &[&str]) {
+    use ddc_core::sim::{SimTime, TimeSeries};
+    let mut series_objs: Vec<TimeSeries> = Vec::new();
+    for name in names {
+        if let Some(s) = report.series(name) {
+            let mut ts = TimeSeries::new(s.name.clone());
+            for (t, v) in &s.points {
+                ts.record(SimTime::from_nanos((*t * 1e9) as u64), *v);
+            }
+            series_objs.push(ts);
+        }
+    }
+    let refs: Vec<&TimeSeries> = series_objs.iter().collect();
+    print!("{}", ddc_core::metrics::render_ascii_chart(&refs, 72, 6));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_helpers() {
+        assert_eq!(mb(1), 1024 * 1024 / PAGE_SIZE);
+        let pages = mb(64);
+        assert!((to_mb(pages) - 67.1).abs() < 0.1); // 64 MiB = 67.1 MB
+    }
+
+    #[test]
+    fn four_kind_names() {
+        assert_eq!(FourKind::ALL.len(), 4);
+        assert_eq!(FourKind::Web.name(), "webserver");
+        assert_eq!(FourKind::Video.name(), "videoserver");
+    }
+
+    #[test]
+    fn spawn_and_probe_wire_up() {
+        let mut host = Host::new(HostConfig::new(CacheConfig::mem_only(mb(16))));
+        let vm = host.boot_vm(16, 100);
+        let cg = host.create_container(vm, "web", mb(8), CachePolicy::mem(100));
+        let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+        spawn_four_kind(&mut exp, FourKind::Web, vm, cg, 2, 1);
+        probe_container_mem(&mut exp, "webserver", vm, cg);
+        let report = exp.run_until(SimTime::from_secs(2));
+        assert_eq!(report.threads.len(), 2);
+        assert!(report
+            .threads
+            .iter()
+            .all(|t| t.label.starts_with("webserver/")));
+        assert!(report.series("webserver (MB)").is_some());
+    }
+}

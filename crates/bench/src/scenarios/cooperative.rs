@@ -1,0 +1,309 @@
+//! Table 4: centralized second-chance cache management (Morai++) versus
+//! DoubleDecker's cooperative two-level provisioning.
+//!
+//! Setup (paper §5.2.1, scaled ÷8): one VM (768 MiB) hosts MongoDB-,
+//! MySQL-, Redis-like stores and a Filebench webserver; the hypervisor
+//! cache is 256 MiB.
+//!
+//! * **Morai++**: containers are unconstrained inside the VM (the guest
+//!   OS shares memory greedily, so the webserver's page cache dominates);
+//!   the harness sweeps static hypervisor-cache partitions and reports
+//!   the best configuration (most SLAs met, then max aggregate).
+//! * **DoubleDecker**: the VM-level manager *also* sets per-container
+//!   cgroup limits (Mongo 128, MySQL 256, Redis 256, Web 128 MiB), then
+//!   the same hypervisor-cache sweep runs. The two memory-bound stores
+//!   (Redis, MySQL) now fit and their throughput recovers by orders of
+//!   magnitude — a configuration no hypervisor-side-only scheme can
+//!   reach.
+
+use ddc_core::prelude::*;
+
+use super::common::mb;
+
+/// The four applications of Table 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoopApp {
+    /// MongoDB-like file-backed store.
+    MongoDb,
+    /// MySQL-like buffer-pool store.
+    MySql,
+    /// Redis-like anonymous store.
+    Redis,
+    /// Filebench webserver.
+    Webserver,
+}
+
+impl CoopApp {
+    /// All apps in the paper's row order.
+    pub const ALL: [CoopApp; 4] = [
+        CoopApp::MongoDb,
+        CoopApp::MySql,
+        CoopApp::Redis,
+        CoopApp::Webserver,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoopApp::MongoDb => "mongodb",
+            CoopApp::MySql => "mysql",
+            CoopApp::Redis => "redis",
+            CoopApp::Webserver => "webserver",
+        }
+    }
+}
+
+/// One app's outcome under one technique.
+#[derive(Clone, Copy, Debug)]
+pub struct CoopResult {
+    /// Throughput, ops/sec.
+    pub ops_per_sec: f64,
+    /// In-VM memory charged to the app (anon resident + page cache), MB.
+    pub app_memory_mb: f64,
+    /// Hypervisor cache held by the app's pool, MB.
+    pub hcache_mb: f64,
+    /// Whether the app met its (scaled) SLA.
+    pub sla_met: bool,
+}
+
+/// A full Table 4 half: the technique name, the winning cache partition,
+/// and per-app results.
+pub struct CoopRun {
+    /// `"Morai++"` or `"DoubleDecker"`.
+    pub technique: &'static str,
+    /// The winning static cache weights (mongo, mysql, redis, web).
+    pub cache_weights: [u32; 4],
+    /// Per-app outcomes in [`CoopApp::ALL`] order.
+    pub results: Vec<(CoopApp, CoopResult)>,
+    /// Sum of ops/sec.
+    pub aggregate: f64,
+}
+
+const VM_MB: u64 = 768;
+const CACHE_MB: u64 = 256;
+/// DoubleDecker's in-VM provisioning (paper: 1/2/2/1 GB of a 6 GB VM).
+const DD_LIMITS_MB: [u64; 4] = [128, 256, 256, 128];
+
+/// Scaled SLA floors, ops/sec. Derived from the paper's SLA column by the
+/// same qualitative intent: Redis needs in-memory speed, MySQL needs to
+/// avoid swap thrash, MongoDB and the webserver need modest floors.
+pub const SLAS: [f64; 4] = [500.0, 500.0, 10_000.0, 50.0];
+
+/// Candidate static cache partitions to sweep (weights for mongo, mysql,
+/// redis, web). Redis and MySQL barely use the disk cache, so the
+/// meaningful axis is the mongo/web split — exactly what the paper found
+/// (its best Morai++ split was 60:40 mongo:web).
+const SWEEP: [[u32; 4]; 6] = [
+    [100, 0, 0, 0],
+    [80, 0, 0, 20],
+    [60, 0, 0, 40],
+    [40, 0, 0, 60],
+    [20, 0, 0, 80],
+    [0, 0, 0, 100],
+];
+
+/// Dataset sizes, blocks.
+fn dataset(app: CoopApp) -> u64 {
+    match app {
+        CoopApp::MongoDb => mb(192),
+        CoopApp::MySql => mb(224),
+        CoopApp::Redis => mb(224),
+        CoopApp::Webserver => mb(384),
+    }
+}
+
+/// Runs one configuration: optional cgroup limits (None = unconstrained,
+/// Morai-style) and a static cache weight vector.
+fn run_config(
+    limits: Option<[u64; 4]>,
+    weights: [u32; 4],
+    duration: SimTime,
+) -> Vec<(CoopApp, CoopResult)> {
+    let cache = CacheConfig::mem_only(mb(CACHE_MB)).with_mode(PartitionMode::Strict);
+    let mut host = Host::new(HostConfig::new(cache));
+    let vm = host.boot_vm(VM_MB, 100);
+    let mut cgs = Vec::new();
+    for (i, app) in CoopApp::ALL.iter().enumerate() {
+        let limit = match limits {
+            Some(l) => mb(l[i]),
+            None => mb(VM_MB), // unconstrained: VM memory is the only cap
+        };
+        let policy = if weights[i] == 0 {
+            CachePolicy::disabled()
+        } else {
+            CachePolicy::mem(weights[i])
+        };
+        cgs.push((*app, host.create_container(vm, app.name(), limit, policy)));
+    }
+
+    let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+    for (i, (app, cg)) in cgs.iter().enumerate() {
+        let seed = 4000 + i as u64;
+        match app {
+            CoopApp::MongoDb => {
+                let cfg = YcsbConfig::read_mostly(StoreModel::MongoLike, dataset(*app));
+                exp.add_thread(Box::new(YcsbClient::new(
+                    format!("{}/t0", app.name()),
+                    vm,
+                    *cg,
+                    cfg,
+                    seed,
+                )));
+            }
+            CoopApp::MySql => {
+                let cfg = YcsbConfig {
+                    update_fraction: 0.3,
+                    ..YcsbConfig::read_mostly(StoreModel::MySqlLike, dataset(*app))
+                };
+                exp.add_thread(Box::new(YcsbClient::new(
+                    format!("{}/t0", app.name()),
+                    vm,
+                    *cg,
+                    cfg,
+                    seed,
+                )));
+            }
+            CoopApp::Redis => {
+                let cfg = YcsbConfig::read_mostly(StoreModel::RedisLike, dataset(*app));
+                exp.add_thread(Box::new(YcsbClient::new(
+                    format!("{}/t0", app.name()),
+                    vm,
+                    *cg,
+                    cfg,
+                    seed,
+                )));
+            }
+            CoopApp::Webserver => {
+                let cfg = WebConfig {
+                    files: (dataset(*app) / 2) as usize,
+                    mean_file_blocks: 2,
+                    ..WebConfig::default()
+                };
+                for t in 0..2 {
+                    exp.add_thread(Box::new(Webserver::new(
+                        format!("{}/t{t}", app.name()),
+                        vm,
+                        *cg,
+                        cfg,
+                        seed + t as u64,
+                    )));
+                }
+            }
+        }
+    }
+    let report = exp.run_until(duration);
+    cgs.iter()
+        .enumerate()
+        .map(|(i, (app, cg))| {
+            let mem = exp.host().container_mem_stats(vm, *cg);
+            let hc = exp.host().container_cache_stats(vm, *cg).unwrap();
+            let ops = report.throughput_of(app.name());
+            (
+                *app,
+                CoopResult {
+                    ops_per_sec: ops,
+                    app_memory_mb: super::common::to_mb(mem.charged_pages()),
+                    hcache_mb: super::common::to_mb(hc.mem_pages),
+                    sla_met: ops >= SLAS[i],
+                },
+            )
+        })
+        .collect()
+}
+
+/// Sweeps the cache partitions for one technique and returns the best
+/// run (most SLAs met, ties broken by aggregate throughput).
+fn best_run(technique: &'static str, limits: Option<[u64; 4]>, duration: SimTime) -> CoopRun {
+    let mut best: Option<CoopRun> = None;
+    for weights in SWEEP {
+        let results = run_config(limits, weights, duration);
+        let met = results.iter().filter(|(_, r)| r.sla_met).count();
+        let aggregate: f64 = results.iter().map(|(_, r)| r.ops_per_sec).sum();
+        let candidate = CoopRun {
+            technique,
+            cache_weights: weights,
+            results,
+            aggregate,
+        };
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                let b_met = b.results.iter().filter(|(_, r)| r.sla_met).count();
+                met > b_met || (met == b_met && aggregate > b.aggregate)
+            }
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best.expect("sweep is non-empty")
+}
+
+/// Runs Table 4: Morai++ (centralized) vs DoubleDecker (cooperative).
+pub fn table4(duration: SimTime) -> (CoopRun, CoopRun) {
+    let morai = best_run("Morai++", None, duration);
+    let dd = best_run("DoubleDecker", Some(DD_LIMITS_MB), duration);
+    (morai, dd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHORT: SimTime = SimTime::from_secs(40);
+
+    fn ops(run: &[(CoopApp, CoopResult)], app: CoopApp) -> f64 {
+        run.iter()
+            .find(|(a, _)| *a == app)
+            .map(|(_, r)| r.ops_per_sec)
+            .unwrap()
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "scenario-scale; run with --release")]
+    fn dd_limits_rescue_memory_bound_stores() {
+        // Compare one representative config under both techniques rather
+        // than the full sweep (kept short for unit-test budgets).
+        let morai = run_config(None, [60, 0, 0, 40], SHORT);
+        let dd = run_config(Some(DD_LIMITS_MB), [60, 0, 0, 40], SHORT);
+        assert!(
+            ops(&dd, CoopApp::Redis) > ops(&morai, CoopApp::Redis),
+            "cooperative limits must improve Redis throughput ({} vs {})",
+            ops(&dd, CoopApp::Redis),
+            ops(&morai, CoopApp::Redis)
+        );
+        assert!(
+            ops(&dd, CoopApp::MySql) > ops(&morai, CoopApp::MySql),
+            "MySQL must improve under DD"
+        );
+        let agg_dd: f64 = dd.iter().map(|(_, r)| r.ops_per_sec).sum();
+        let agg_morai: f64 = morai.iter().map(|(_, r)| r.ops_per_sec).sum();
+        assert!(
+            agg_dd > agg_morai,
+            "DD wins on aggregate ({agg_dd:.0} vs {agg_morai:.0})"
+        );
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "scenario-scale; run with --release")]
+    fn web_dominates_vm_memory_without_limits() {
+        let morai = run_config(None, [60, 0, 0, 40], SHORT);
+        let web_mem = morai
+            .iter()
+            .find(|(a, _)| *a == CoopApp::Webserver)
+            .map(|(_, r)| r.app_memory_mb)
+            .unwrap();
+        let redis_mem = morai
+            .iter()
+            .find(|(a, _)| *a == CoopApp::Redis)
+            .map(|(_, r)| r.app_memory_mb)
+            .unwrap();
+        // The webserver's greedy page cache squeezes Redis below its
+        // working set (Redis dataset is 224 MiB).
+        assert!(
+            redis_mem < 235.0,
+            "redis must be squeezed below its working set (got {redis_mem:.0} MB)"
+        );
+        assert!(web_mem > 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Figures 12 and 13: dynamic cache management across containers and
+//! across VMs.
+//!
+//! Fig. 12 (scaled ÷8, durations ÷3): a VM runs webserver (weight 60)
+//! and proxycache (weight 40) over a 128 MiB memory cache; at t=300 s a
+//! videoserver container boots and the weights become 50/30/20; at
+//! t=600 s the videoserver is moved to the SSD store and the memory
+//! split returns to 60/40.
+//!
+//! Fig. 13: four VMs running videoserver boot at 150 s intervals over a
+//! 256 MiB memory cache; weights go 100 → 60/40 → (VM3 is SSD-only) →
+//! capacity 512 MiB with weights 40/35/25.
+
+use ddc_core::prelude::*;
+
+use super::common::{mb, probe_container_mem};
+
+/// Scaled phase length (the paper used 900 s phases; we use 300 s).
+pub const PHASE_SECS: u64 = 300;
+
+/// Runs Fig. 12 and returns the report (occupancy series `"web (MB)"`,
+/// `"proxy (MB)"`, `"video (MB)"`).
+pub fn fig12() -> ddc_core::ExperimentReport {
+    let cache = CacheConfig::mem_and_ssd(mb(128), mb(30 * 1024));
+    let mut host = Host::new(HostConfig::new(cache));
+    let vm = host.boot_vm(512, 100);
+    let limit = mb(128);
+    let c1 = host.create_container(vm, "web", limit, CachePolicy::mem(60));
+    let c2 = host.create_container(vm, "proxy", limit, CachePolicy::mem(40));
+
+    let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+    let web_cfg = WebConfig {
+        files: 2500,
+        ..WebConfig::default()
+    };
+    let proxy_cfg = ProxyConfig {
+        files: 2000,
+        ..ProxyConfig::default()
+    };
+    exp.add_thread(Box::new(Webserver::new("web/t0", vm, c1, web_cfg, 1)));
+    exp.add_thread(Box::new(Webserver::new("web/t1", vm, c1, web_cfg, 2)));
+    exp.add_thread(Box::new(Proxycache::new("proxy/t0", vm, c2, proxy_cfg, 3)));
+    probe_container_mem(&mut exp, "web", vm, c1);
+    probe_container_mem(&mut exp, "proxy", vm, c2);
+    // Probe the (future) third container defensively: zero until it boots.
+    exp.add_probe("video (MB)", move |h| {
+        h.guest(vm)
+            .cgroup_ids()
+            .get(2)
+            .and_then(|cg| h.container_cache_stats(vm, *cg))
+            .map_or(0.0, |s| super::common::to_mb(s.mem_pages))
+    });
+
+    // Phase 2: boot the videoserver, weights 50/30/20.
+    exp.schedule(SimTime::from_secs(PHASE_SECS), move |host, pool, at| {
+        let c3 = host.create_container(vm, "video", mb(128), CachePolicy::mem(20));
+        host.set_container_policy(vm, c1, CachePolicy::mem(50));
+        host.set_container_policy(vm, c2, CachePolicy::mem(30));
+        let cfg = VideoConfig {
+            active_videos: 48,
+            mean_video_blocks: 96,
+            ..VideoConfig::default()
+        };
+        pool.spawn_at(at, Box::new(VideoServer::new("video/t0", vm, c3, cfg, 4)));
+    });
+
+    // Phase 3: videoserver -> SSD, memory weights back to 60/40.
+    exp.schedule(
+        SimTime::from_secs(2 * PHASE_SECS),
+        move |host, _pool, at| {
+            let c3 = *host.guest(vm).cgroup_ids().last().expect("video exists");
+            host.set_container_policy(vm, c3, CachePolicy::ssd(100));
+            host.set_container_policy(vm, c1, CachePolicy::mem(60));
+            host.set_container_policy(vm, c2, CachePolicy::mem(40));
+            let _ = at;
+        },
+    );
+
+    exp.run_until(SimTime::from_secs(3 * PHASE_SECS))
+}
+
+/// Runs Fig. 13 and returns the report (series `"vm1 (MB)"` … `"vm4 (MB)"`).
+pub fn fig13() -> ddc_core::ExperimentReport {
+    /// Boot stagger (the paper used 600 s; we use 150 s).
+    const STAGGER: u64 = 150;
+    let cache = CacheConfig::mem_and_ssd(mb(256), mb(30 * 1024));
+    let host = Host::new(HostConfig::new(cache));
+
+    let video_cfg = VideoConfig {
+        active_videos: 64,
+        mean_video_blocks: 96,
+        ..VideoConfig::default()
+    };
+    let spawn_video = move |host: &mut Host,
+                            pool: &mut ddc_core::ThreadPool,
+                            at: SimTime,
+                            n: u32,
+                            policy: CachePolicy| {
+        let vm = host.boot_vm(256, 100);
+        let cg = host.create_container(vm, "video", mb(128), policy);
+        pool.spawn_at(
+            at,
+            Box::new(VideoServer::new(
+                format!("vm{n}-video/t0"),
+                vm,
+                cg,
+                video_cfg,
+                10 + n as u64,
+            )),
+        );
+        vm
+    };
+
+    let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+    // VM1 at t=0 with weight 100.
+    let vm1 = {
+        let host = exp.host_mut();
+        let vm = host.boot_vm(256, 100);
+        let cg = host.create_container(vm, "video", mb(128), CachePolicy::mem(100));
+        exp.add_thread(Box::new(VideoServer::new(
+            "vm1-video/t0",
+            vm,
+            cg,
+            video_cfg,
+            11,
+        )));
+        vm
+    };
+    for n in 1..=4u32 {
+        let name = format!("vm{n} (MB)");
+        exp.add_probe(name, move |h| {
+            h.vm_ids()
+                .get(n as usize - 1)
+                .map(|vm| super::common::to_mb(h.vm_cache_usage(*vm).mem_pages))
+                .unwrap_or(0.0)
+        });
+    }
+
+    // VM2 at STAGGER: weights 60/40.
+    exp.schedule(SimTime::from_secs(STAGGER), move |host, pool, at| {
+        let vm2 = spawn_video(host, pool, at, 2, CachePolicy::mem(100));
+        host.set_vm_cache_weight(vm1, 60);
+        host.set_vm_cache_weight(vm2, 40);
+    });
+    // VM3 at 2*STAGGER: SSD-only; memory weights untouched.
+    exp.schedule(SimTime::from_secs(2 * STAGGER), move |host, pool, at| {
+        spawn_video(host, pool, at, 3, CachePolicy::ssd(100));
+    });
+    // VM4 at 3*STAGGER: memory cache doubles to 512 MiB; weights 40/35/25.
+    exp.schedule(SimTime::from_secs(3 * STAGGER), move |host, pool, at| {
+        let vm4 = spawn_video(host, pool, at, 4, CachePolicy::mem(100));
+        host.set_mem_cache_capacity(at, mb(512));
+        let ids = host.vm_ids();
+        host.set_vm_cache_weight(ids[0], 40);
+        host.set_vm_cache_weight(ids[1], 35);
+        host.set_vm_cache_weight(vm4, 25);
+    });
+
+    exp.run_until(SimTime::from_secs(4 * STAGGER + 150))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The full figures are exercised by the repro binary; unit tests here
+    // run miniature versions of the same control logic for speed (the
+    // integration tests cover the full scripts).
+
+    #[test]
+    fn fig12_phase_structure_miniature() {
+        // Re-run fig12 logic at 1/10 scale via the public function but
+        // sampling only the early phase boundary behaviours would still
+        // take minutes in debug builds; instead assert the script is
+        // well-formed by checking its construction does not panic and the
+        // first seconds execute.
+        let cache = CacheConfig::mem_and_ssd(mb(16), mb(256));
+        let mut host = Host::new(HostConfig::new(cache));
+        let vm = host.boot_vm(32, 100);
+        let c1 = host.create_container(vm, "web", mb(16), CachePolicy::mem(60));
+        let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+        exp.add_thread(Box::new(Webserver::new(
+            "web/t0",
+            vm,
+            c1,
+            WebConfig {
+                files: 200,
+                ..WebConfig::default()
+            },
+            1,
+        )));
+        exp.schedule(SimTime::from_secs(2), move |host, _pool, _at| {
+            host.set_container_policy(vm, c1, CachePolicy::mem(50));
+        });
+        let report = exp.run_until(SimTime::from_secs(4));
+        assert!(report.threads[0].ops > 0);
+    }
+}

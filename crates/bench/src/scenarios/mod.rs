@@ -1,0 +1,10 @@
+//! Scenario builders, one module per paper artifact.
+
+pub mod ablations;
+pub mod common;
+pub mod cooperative;
+pub mod dynamic;
+pub mod modes;
+pub mod motivation;
+pub mod policies;
+pub mod splits;

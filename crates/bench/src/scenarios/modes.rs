@@ -1,0 +1,197 @@
+//! Figures 8–9 and Table 2: the four-workload comparison of caching
+//! modes — Global (container-agnostic), DDMem (DoubleDecker, memory
+//! store, equal weights) and DDSSD (DoubleDecker, SSD store, equal
+//! weights).
+//!
+//! Setup (paper §5.1, scaled ÷8): one VM with four containers running
+//! webserver, proxycache, mail and videoserver; memory cache 384 MiB or
+//! SSD cache 30 GiB; container limits 128 MiB each.
+
+use ddc_core::prelude::*;
+
+use super::common::{mb, probe_container_mem, spawn_four_kind, FourKind};
+
+/// The three caching modes of the experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CachingMode {
+    /// Memory-backed cache, global (container-agnostic) management.
+    Global,
+    /// Memory-backed cache, DoubleDecker equal-weight partitioning.
+    DdMem,
+    /// SSD-backed cache, DoubleDecker equal-weight partitioning.
+    DdSsd,
+}
+
+impl CachingMode {
+    /// All modes in the paper's column order.
+    pub const ALL: [CachingMode; 3] = [CachingMode::Global, CachingMode::DdMem, CachingMode::DdSsd];
+
+    /// Display name matching Table 2's column groups.
+    pub fn name(self) -> &'static str {
+        match self {
+            CachingMode::Global => "Global (Memory)",
+            CachingMode::DdMem => "DoubleDecker (Memory)",
+            CachingMode::DdSsd => "DoubleDecker (SSD)",
+        }
+    }
+}
+
+/// Table 2 row fragment: one workload under one mode.
+#[derive(Clone, Copy, Debug)]
+pub struct ModeResult {
+    /// Application throughput, MB/s.
+    pub mb_per_sec: f64,
+    /// Mean operation latency, ms.
+    pub latency_ms: f64,
+    /// Lookup-to-store ratio, percent (hits / puts × 100).
+    pub lookup_to_store: f64,
+    /// Evictions from the workload's pool.
+    pub evictions: u64,
+}
+
+/// The full result of one mode run: per-workload Table 2 fragments plus
+/// the occupancy series for Figs. 8 and 9.
+pub struct ModeRun {
+    /// The mode that ran.
+    pub mode: CachingMode,
+    /// Table 2 fragments in [`FourKind::ALL`] order.
+    pub results: Vec<(FourKind, ModeResult)>,
+    /// The experiment report (holds the occupancy series named
+    /// `"{workload} (MB)"`).
+    pub report: ddc_core::ExperimentReport,
+}
+
+const VM_MB: u64 = 1024;
+const CG_LIMIT_MB: u64 = 128;
+const MEM_CACHE_MB: u64 = 384;
+const SSD_CACHE_MB: u64 = 30 * 1024;
+
+/// Runs the four-workload scenario under one caching mode.
+pub fn run_mode(mode: CachingMode, duration: SimTime) -> ModeRun {
+    let cache_config = match mode {
+        CachingMode::Global => {
+            CacheConfig::mem_only(mb(MEM_CACHE_MB)).with_mode(PartitionMode::Global)
+        }
+        CachingMode::DdMem => CacheConfig::mem_only(mb(MEM_CACHE_MB)),
+        CachingMode::DdSsd => CacheConfig {
+            mem_capacity_pages: 0,
+            ssd_capacity_pages: mb(SSD_CACHE_MB),
+            mode: PartitionMode::DoubleDecker,
+        },
+    };
+    let mut host = Host::new(HostConfig::new(cache_config));
+    let vm = host.boot_vm(VM_MB, 100);
+
+    let policy = match mode {
+        CachingMode::DdSsd => CachePolicy::ssd(25),
+        _ => CachePolicy::mem(25),
+    };
+    let mut cgs = Vec::new();
+    for kind in FourKind::ALL {
+        cgs.push((
+            kind,
+            host.create_container(vm, kind.name(), mb(CG_LIMIT_MB), policy),
+        ));
+    }
+
+    let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+    for (i, (kind, cg)) in cgs.iter().enumerate() {
+        spawn_four_kind(&mut exp, *kind, vm, *cg, 2, 1000 * (i as u64 + 1));
+        probe_container_mem(&mut exp, kind.name(), vm, *cg);
+    }
+    // Measure steady state: the first half of the run is warm-up (cold
+    // cache fill is disk-bound, as on the paper's testbed).
+    exp.mark_steady_state_at(SimTime::from_nanos(duration.as_nanos() / 2));
+
+    let report = exp.run_until(duration);
+    let results = cgs
+        .iter()
+        .map(|(kind, cg)| {
+            let stats = exp.host().container_cache_stats(vm, *cg).unwrap();
+            (
+                *kind,
+                ModeResult {
+                    mb_per_sec: report.mb_per_sec_of(kind.name()),
+                    latency_ms: report.mean_latency_of(kind.name()),
+                    lookup_to_store: stats.lookup_to_store_ratio(),
+                    evictions: stats.evictions,
+                },
+            )
+        })
+        .collect();
+    ModeRun {
+        mode,
+        results,
+        report,
+    }
+}
+
+/// Runs all three modes (Fig. 8 + Fig. 9 + Table 2 in one pass).
+pub fn run_all_modes(duration: SimTime) -> Vec<ModeRun> {
+    CachingMode::ALL
+        .iter()
+        .map(|&m| run_mode(m, duration))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHORT: SimTime = SimTime::from_secs(400);
+
+    fn result_of(run: &ModeRun, kind: FourKind) -> ModeResult {
+        run.results
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, r)| *r)
+            .expect("kind present")
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "scenario-scale; run with --release")]
+    fn ddmem_protects_web_from_video() {
+        let global = run_mode(CachingMode::Global, SHORT);
+        let ddmem = run_mode(CachingMode::DdMem, SHORT);
+        let web_g = result_of(&global, FourKind::Web).mb_per_sec;
+        let web_d = result_of(&ddmem, FourKind::Web).mb_per_sec;
+        assert!(
+            web_d > web_g * 1.5,
+            "DDMem web throughput ({web_d:.1}) must clearly beat Global ({web_g:.1})"
+        );
+        // Under DD, non-video workloads are not victimized.
+        let web_ev = result_of(&ddmem, FourKind::Web).evictions;
+        let video_ev = result_of(&ddmem, FourKind::Video).evictions;
+        assert!(
+            video_ev > web_ev,
+            "DD must victimize the over-entitlement videoserver (video {video_ev}, web {web_ev})"
+        );
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "scenario-scale; run with --release")]
+    fn ssd_mode_has_no_evictions() {
+        let ddssd = run_mode(CachingMode::DdSsd, SHORT);
+        for (kind, r) in &ddssd.results {
+            assert_eq!(
+                r.evictions,
+                0,
+                "{} must not be evicted from a 30 GiB SSD cache",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "scenario-scale; run with --release")]
+    fn ssd_mode_slower_than_mem_for_video() {
+        let ddmem = run_mode(CachingMode::DdMem, SHORT);
+        let ddssd = run_mode(CachingMode::DdSsd, SHORT);
+        let video_mem = result_of(&ddmem, FourKind::Video).mb_per_sec;
+        let video_ssd = result_of(&ddssd, FourKind::Video).mb_per_sec;
+        assert!(
+            video_mem > video_ssd,
+            "memory-backed cache must beat SSD for the videoserver ({video_mem:.1} vs {video_ssd:.1})"
+        );
+    }
+}

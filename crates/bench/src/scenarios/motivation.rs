@@ -1,0 +1,130 @@
+//! Figures 3 and 4: non-deterministic cache distribution under a
+//! container-agnostic (Global/tmem-style) hypervisor cache.
+//!
+//! Setup (paper §2.3, scaled ÷8): a VM with two webserver containers that
+//! differ only in IO load (2 vs 3 threads), over a Global-mode hypervisor
+//! cache. Fig 3 runs each container alone (each fills the whole cache);
+//! Fig 4a runs both together from t=0 (the heavier container ends with
+//! roughly twice the share); Fig 4b delays container 2, which then
+//! overtakes container 1.
+
+use ddc_core::prelude::*;
+
+use super::common::{mb, probe_container_mem};
+
+/// Scaled setup constants.
+const VM_MB: u64 = 256;
+const CACHE_MB: u64 = 128;
+const CG_LIMIT_MB: u64 = 64;
+const FILES: usize = 2200; // ~275 MiB fileset per container
+
+fn web_config() -> WebConfig {
+    WebConfig {
+        files: FILES,
+        mean_file_blocks: 2,
+        ..WebConfig::default()
+    }
+}
+
+fn global_host() -> Host {
+    let config = CacheConfig::mem_only(mb(CACHE_MB)).with_mode(PartitionMode::Global);
+    Host::new(HostConfig::new(config))
+}
+
+fn spawn_web(exp: &mut Experiment, name: &str, vm: VmId, cg: CgroupId, threads: u32, seed: u64) {
+    for t in 0..threads {
+        exp.add_thread(Box::new(Webserver::new(
+            format!("{name}/t{t}"),
+            vm,
+            cg,
+            web_config(),
+            seed + t as u64,
+        )));
+    }
+}
+
+/// Fig 3: one container alone (container 1 has 2 threads, container 2
+/// has 3). Returns the report with an occupancy series named
+/// `"container{n} (MB)"`.
+pub fn fig3_alone(container: u8, duration: SimTime) -> ddc_core::ExperimentReport {
+    let mut host = global_host();
+    let vm = host.boot_vm(VM_MB, 100);
+    let threads = if container == 1 { 2 } else { 3 };
+    let cg = host.create_container(vm, "web", mb(CG_LIMIT_MB), CachePolicy::mem(100));
+    let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+    spawn_web(&mut exp, "web", vm, cg, threads, 100 * container as u64);
+    probe_container_mem(&mut exp, &format!("container{container}"), vm, cg);
+    exp.run_until(duration)
+}
+
+/// Fig 4: both containers together. `offset` delays container 2's
+/// workload start (0 for Fig 4a; the paper used 200 s for Fig 4b).
+pub fn fig4_together(offset: SimDuration, duration: SimTime) -> ddc_core::ExperimentReport {
+    let mut host = global_host();
+    let vm = host.boot_vm(VM_MB, 100);
+    let c1 = host.create_container(vm, "c1", mb(CG_LIMIT_MB), CachePolicy::mem(100));
+    let c2 = host.create_container(vm, "c2", mb(CG_LIMIT_MB), CachePolicy::mem(100));
+    let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+    spawn_web(&mut exp, "container1", vm, c1, 2, 11);
+    // Container 2 threads start after `offset`.
+    let start = SimTime::ZERO + offset;
+    for t in 0..3u32 {
+        exp.add_thread_at(
+            start,
+            Box::new(Webserver::new(
+                format!("container2/t{t}"),
+                vm,
+                c2,
+                web_config(),
+                22 + t as u64,
+            )),
+        );
+    }
+    probe_container_mem(&mut exp, "container1", vm, c1);
+    probe_container_mem(&mut exp, "container2", vm, c2);
+    exp.run_until(duration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_mb;
+
+    const SHORT: SimTime = SimTime::from_secs(100);
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "scenario-scale; run with --release")]
+    fn each_container_alone_fills_the_cache() {
+        for c in [1u8, 2] {
+            let report = fig3_alone(c, SHORT);
+            let series = report.series(&format!("container{c} (MB)")).unwrap();
+            let peak = series.points.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+            let cache_mb = to_mb(mb(CACHE_MB));
+            assert!(
+                peak > cache_mb * 0.9,
+                "container {c} alone should fill the cache (peak {peak:.1} of {cache_mb:.1})"
+            );
+        }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "scenario-scale; run with --release")]
+    fn together_heavier_container_dominates() {
+        let report = fig4_together(SimDuration::ZERO, SHORT);
+        let end = SHORT.as_secs_f64();
+        let c1 = report
+            .series("container1 (MB)")
+            .unwrap()
+            .mean_in(end * 0.6, end)
+            .unwrap();
+        let c2 = report
+            .series("container2 (MB)")
+            .unwrap()
+            .mean_in(end * 0.6, end)
+            .unwrap();
+        assert!(
+            c2 > c1,
+            "3-thread container must out-occupy the 2-thread one ({c2:.1} vs {c1:.1})"
+        );
+    }
+}

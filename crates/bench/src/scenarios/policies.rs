@@ -1,0 +1,225 @@
+//! Table 3 and Figures 10–11: differentiated hypervisor caching policies
+//! versus global cache management.
+//!
+//! Setup (paper §5.2, scaled ÷8): one VM, four containers with unequal
+//! cgroup limits (webserver 160 MiB, proxycache 128 MiB, mail 128 MiB,
+//! videoserver 96 MiB) sharing a 256 MiB memory cache (plus a large SSD
+//! store for the hybrid policy). Four cache settings are compared:
+//!
+//! | Setting  | webserver | proxycache | mail | videoserver |
+//! |----------|-----------|------------|------|-------------|
+//! | Global   | — (container-agnostic FIFO)                 |
+//! | DDMem    | Mem 32    | Mem 25     | Mem 25 | Mem 18    |
+//! | DDMemEx  | Mem 40    | Mem 30     | Mem 30 | Mem 0 (excluded) |
+//! | DDHybrid | Mem 40    | Mem 30     | Mem 30 | SSD 100   |
+
+use ddc_core::prelude::*;
+
+use super::common::{mb, probe_container_mem, spawn_four_kind, FourKind};
+
+/// The four cache settings of Table 3 (plus the Global baseline).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicySetting {
+    /// Container-agnostic global cache management.
+    Global,
+    /// Cgroup weights extended to the cache: 32/25/25/18.
+    DdMem,
+    /// Videoserver excluded from the memory cache: 40/30/30/0.
+    DdMemEx,
+    /// Videoserver moved to the SSD store: 40/30/30 + SSD:100.
+    DdHybrid,
+}
+
+impl PolicySetting {
+    /// All settings, baseline first.
+    pub const ALL: [PolicySetting; 4] = [
+        PolicySetting::Global,
+        PolicySetting::DdMem,
+        PolicySetting::DdMemEx,
+        PolicySetting::DdHybrid,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicySetting::Global => "Global",
+            PolicySetting::DdMem => "DDMem",
+            PolicySetting::DdMemEx => "DDMemEx",
+            PolicySetting::DdHybrid => "DDHybrid",
+        }
+    }
+
+    /// Table 3's `<T, W>` tuples for C1..C4 (web, proxy, mail, video).
+    pub fn policies(self) -> [CachePolicy; 4] {
+        match self {
+            // Weights are irrelevant under global management.
+            PolicySetting::Global => [CachePolicy::mem(25); 4],
+            PolicySetting::DdMem => [
+                CachePolicy::mem(32),
+                CachePolicy::mem(25),
+                CachePolicy::mem(25),
+                CachePolicy::mem(18),
+            ],
+            PolicySetting::DdMemEx => [
+                CachePolicy::mem(40),
+                CachePolicy::mem(30),
+                CachePolicy::mem(30),
+                CachePolicy::disabled(),
+            ],
+            PolicySetting::DdHybrid => [
+                CachePolicy::mem(40),
+                CachePolicy::mem(30),
+                CachePolicy::mem(30),
+                CachePolicy::ssd(100),
+            ],
+        }
+    }
+}
+
+/// One setting's outcome: per-workload throughput (MB/s) plus the report
+/// with occupancy series (Fig. 11).
+pub struct PolicyRun {
+    /// The setting that ran.
+    pub setting: PolicySetting,
+    /// `(workload, MB/s)` in C1..C4 order.
+    pub throughput: Vec<(FourKind, f64)>,
+    /// Full report (occupancy series named `"{workload} (MB)"`).
+    pub report: ddc_core::ExperimentReport,
+}
+
+const VM_MB: u64 = 1024;
+const MEM_CACHE_MB: u64 = 256;
+const SSD_CACHE_MB: u64 = 30 * 1024;
+/// Scaled cgroup limits for C1..C4 (paper: 1.25 GB, 1 GB, 1 GB, 0.75 GB).
+const LIMITS_MB: [u64; 4] = [160, 128, 128, 96];
+
+/// Runs one cache setting for `duration`.
+pub fn run_policy(setting: PolicySetting, duration: SimTime) -> PolicyRun {
+    let mode = match setting {
+        PolicySetting::Global => PartitionMode::Global,
+        _ => PartitionMode::DoubleDecker,
+    };
+    let cache = CacheConfig {
+        mem_capacity_pages: mb(MEM_CACHE_MB),
+        ssd_capacity_pages: mb(SSD_CACHE_MB),
+        mode,
+    };
+    let mut host = Host::new(HostConfig::new(cache));
+    let vm = host.boot_vm(VM_MB, 100);
+    let policies = setting.policies();
+    let mut cgs = Vec::new();
+    for (i, kind) in FourKind::ALL.iter().enumerate() {
+        cgs.push((
+            *kind,
+            host.create_container(vm, kind.name(), mb(LIMITS_MB[i]), policies[i]),
+        ));
+    }
+    let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+    for (i, (kind, cg)) in cgs.iter().enumerate() {
+        spawn_four_kind(&mut exp, *kind, vm, *cg, 2, 2000 * (i as u64 + 1));
+        probe_container_mem(&mut exp, kind.name(), vm, *cg);
+    }
+    // Steady-state window: exclude the disk-bound cold-fill warm-up.
+    exp.mark_steady_state_at(SimTime::from_nanos(duration.as_nanos() / 2));
+    let report = exp.run_until(duration);
+    let throughput = cgs
+        .iter()
+        .map(|(kind, _)| (*kind, report.mb_per_sec_of(kind.name())))
+        .collect();
+    PolicyRun {
+        setting,
+        throughput,
+        report,
+    }
+}
+
+/// Runs all four settings and returns them baseline-first (Fig. 10's
+/// speedups are `setting / Global` per workload).
+pub fn fig10_runs(duration: SimTime) -> Vec<PolicyRun> {
+    PolicySetting::ALL
+        .iter()
+        .map(|&s| run_policy(s, duration))
+        .collect()
+}
+
+/// Computes Fig. 10 speedups of `run` relative to `baseline`.
+pub fn speedups(baseline: &PolicyRun, run: &PolicyRun) -> Vec<(FourKind, f64)> {
+    run.throughput
+        .iter()
+        .map(|(kind, tput)| {
+            let base = baseline
+                .throughput
+                .iter()
+                .find(|(k, _)| k == kind)
+                .map(|(_, t)| *t)
+                .unwrap_or(0.0);
+            let s = if base > 0.0 { tput / base } else { 0.0 };
+            (*kind, s)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHORT: SimTime = SimTime::from_secs(400);
+
+    fn tput(run: &PolicyRun, kind: FourKind) -> f64 {
+        run.throughput
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, t)| *t)
+            .unwrap()
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "scenario-scale; run with --release")]
+    fn dd_policies_beat_global_for_web() {
+        let global = run_policy(PolicySetting::Global, SHORT);
+        let ddmem = run_policy(PolicySetting::DdMem, SHORT);
+        let s = speedups(&global, &ddmem);
+        let web_speedup = s
+            .iter()
+            .find(|(k, _)| *k == FourKind::Web)
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!(
+            web_speedup > 1.3,
+            "webserver should speed up well above 1x under DDMem (got {web_speedup:.2}x)"
+        );
+        assert!(tput(&ddmem, FourKind::Web) > tput(&global, FourKind::Web));
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "scenario-scale; run with --release")]
+    fn hybrid_keeps_video_served_from_ssd() {
+        let hybrid = run_policy(PolicySetting::DdHybrid, SHORT);
+        // Video must hold SSD space and none of the memory store.
+        let video_series = hybrid.report.series("videoserver (MB)").unwrap();
+        let late_mem = video_series
+            .mean_in(SHORT.as_secs_f64() * 0.5, SHORT.as_secs_f64())
+            .unwrap_or(0.0);
+        assert!(
+            late_mem < 1.0,
+            "videoserver must vacate the memory store under DDHybrid (got {late_mem:.1} MB)"
+        );
+        assert!(tput(&hybrid, FourKind::Video) > 0.0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "scenario-scale; run with --release")]
+    fn memex_excludes_video_from_cache() {
+        let memex = run_policy(PolicySetting::DdMemEx, SHORT);
+        let video_series = memex.report.series("videoserver (MB)").unwrap();
+        let peak = video_series
+            .points
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(0.0f64, f64::max);
+        assert!(
+            peak < 1.0,
+            "videoserver must never occupy the memory cache under DDMemEx (peak {peak:.1})"
+        );
+    }
+}

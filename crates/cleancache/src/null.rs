@@ -1,0 +1,108 @@
+//! A backend with caching disabled.
+
+use ddc_sim::SimTime;
+use ddc_storage::{BlockAddr, FileId};
+
+use crate::{
+    CachePolicy, GetOutcome, PageVersion, PoolId, PoolStats, PutOutcome, SecondChanceCache, VmId,
+};
+
+/// A second-chance cache that stores nothing: every `get` misses and every
+/// `put` is rejected. Pool lifecycle still hands out unique ids so the
+/// guest-side plumbing is exercised.
+///
+/// Used as the "no hypervisor cache" baseline and in guest-layer tests.
+#[derive(Clone, Debug, Default)]
+pub struct NullCache {
+    next_pool: u32,
+    live_pools: u64,
+}
+
+impl NullCache {
+    /// Creates an empty backend.
+    pub fn new() -> NullCache {
+        NullCache::default()
+    }
+
+    /// Number of pools currently registered.
+    pub fn live_pools(&self) -> u64 {
+        self.live_pools
+    }
+}
+
+impl SecondChanceCache for NullCache {
+    fn create_pool(&mut self, _vm: VmId, _policy: CachePolicy) -> PoolId {
+        let id = PoolId(self.next_pool);
+        self.next_pool += 1;
+        self.live_pools += 1;
+        id
+    }
+
+    fn destroy_pool(&mut self, _vm: VmId, _pool: PoolId) {
+        self.live_pools = self.live_pools.saturating_sub(1);
+    }
+
+    fn set_policy(&mut self, _vm: VmId, _pool: PoolId, _policy: CachePolicy) {}
+
+    fn migrate_object(&mut self, _vm: VmId, _from: PoolId, _to: PoolId, _addr: BlockAddr) {}
+
+    fn pool_stats(&self, _vm: VmId, _pool: PoolId) -> Option<PoolStats> {
+        Some(PoolStats::default())
+    }
+
+    fn get(&mut self, _now: SimTime, _vm: VmId, _pool: PoolId, _addr: BlockAddr) -> GetOutcome {
+        GetOutcome::Miss
+    }
+
+    fn put(
+        &mut self,
+        _now: SimTime,
+        _vm: VmId,
+        _pool: PoolId,
+        _addr: BlockAddr,
+        _version: PageVersion,
+    ) -> PutOutcome {
+        PutOutcome::Rejected
+    }
+
+    fn flush(&mut self, _vm: VmId, _pool: PoolId, _addr: BlockAddr) {}
+
+    fn flush_file(&mut self, _vm: VmId, _pool: PoolId, _file: FileId) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_misses_and_rejects() {
+        let mut c = NullCache::new();
+        let pool = c.create_pool(VmId(0), CachePolicy::default());
+        let addr = BlockAddr::new(FileId(1), 2);
+        assert_eq!(c.get(SimTime::ZERO, VmId(0), pool, addr), GetOutcome::Miss);
+        assert_eq!(
+            c.put(SimTime::ZERO, VmId(0), pool, addr, PageVersion(0)),
+            PutOutcome::Rejected
+        );
+        c.flush(VmId(0), pool, addr);
+        c.flush_file(VmId(0), pool, FileId(1));
+        assert_eq!(c.pool_stats(VmId(0), pool), Some(PoolStats::default()));
+    }
+
+    #[test]
+    fn pool_ids_unique() {
+        let mut c = NullCache::new();
+        let a = c.create_pool(VmId(0), CachePolicy::default());
+        let b = c.create_pool(VmId(1), CachePolicy::default());
+        assert_ne!(a, b);
+        assert_eq!(c.live_pools(), 2);
+        c.destroy_pool(VmId(0), a);
+        assert_eq!(c.live_pools(), 1);
+    }
+
+    #[test]
+    fn is_object_safe() {
+        fn takes_dyn(_: &mut dyn SecondChanceCache) {}
+        takes_dyn(&mut NullCache::new());
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-container cache policy: the paper's `<T, W>` tuple.
+
+use std::fmt;
+
+/// The cache store backend a container is assigned to — the `T` of the
+/// paper's `<T, W>` policy tuple (§3), plus the hybrid mode the paper
+//  sketches as a configuration option (§3.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum StoreKind {
+    /// Memory-backed hypervisor cache store.
+    #[default]
+    Mem,
+    /// SSD-backed hypervisor cache store.
+    Ssd,
+    /// Hybrid: memory share first, spill to the SSD share when the memory
+    /// share is exhausted (trickle-down).
+    Hybrid,
+}
+
+impl fmt::Display for StoreKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StoreKind::Mem => "Mem",
+            StoreKind::Ssd => "SSD",
+            StoreKind::Hybrid => "Hybrid",
+        };
+        f.write_str(s)
+    }
+}
+
+impl StoreKind {
+    /// Whether objects for this policy may be placed in the memory store.
+    pub fn uses_mem(self) -> bool {
+        matches!(self, StoreKind::Mem | StoreKind::Hybrid)
+    }
+
+    /// Whether objects for this policy may be placed in the SSD store.
+    pub fn uses_ssd(self) -> bool {
+        matches!(self, StoreKind::Ssd | StoreKind::Hybrid)
+    }
+}
+
+/// A container's hypervisor-cache specification `<T, W>`: store type and
+/// weight (relative share in percent among the containers of the same VM
+/// that use the same store).
+///
+/// # Example
+///
+/// ```
+/// use ddc_cleancache::{CachePolicy, StoreKind};
+///
+/// let p = CachePolicy::new(StoreKind::Mem, 40);
+/// assert_eq!(p.to_string(), "<Mem, 40>");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CachePolicy {
+    /// Store type `T`.
+    pub store: StoreKind,
+    /// Weight `W` (relative; the paper uses percentages).
+    pub weight: u32,
+}
+
+impl CachePolicy {
+    /// Creates a policy tuple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is zero and the store is not SSD-only — a
+    /// zero-weight memory share would make the container's entitlement
+    /// permanently empty, which the paper expresses instead by assigning
+    /// the container to the other store (e.g. `Mem: 0` in Table 3 means
+    /// "not in the memory store").
+    pub fn new(store: StoreKind, weight: u32) -> CachePolicy {
+        CachePolicy { store, weight }
+    }
+
+    /// A memory-store policy.
+    pub fn mem(weight: u32) -> CachePolicy {
+        CachePolicy::new(StoreKind::Mem, weight)
+    }
+
+    /// An SSD-store policy.
+    pub fn ssd(weight: u32) -> CachePolicy {
+        CachePolicy::new(StoreKind::Ssd, weight)
+    }
+
+    /// A hybrid (memory-then-SSD) policy.
+    pub fn hybrid(weight: u32) -> CachePolicy {
+        CachePolicy::new(StoreKind::Hybrid, weight)
+    }
+
+    /// A policy that effectively disables hypervisor caching for the
+    /// container (zero weight in the memory store).
+    pub fn disabled() -> CachePolicy {
+        CachePolicy::new(StoreKind::Mem, 0)
+    }
+
+    /// Whether the container can hold any cache space at all.
+    pub fn is_enabled(&self) -> bool {
+        self.weight > 0
+    }
+}
+
+impl Default for CachePolicy {
+    /// An equal-weight memory policy (`<Mem, 100>`).
+    fn default() -> CachePolicy {
+        CachePolicy::mem(100)
+    }
+}
+
+impl fmt::Display for CachePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.store, self.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_kind_usage_matrix() {
+        assert!(StoreKind::Mem.uses_mem() && !StoreKind::Mem.uses_ssd());
+        assert!(!StoreKind::Ssd.uses_mem() && StoreKind::Ssd.uses_ssd());
+        assert!(StoreKind::Hybrid.uses_mem() && StoreKind::Hybrid.uses_ssd());
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(CachePolicy::mem(30).store, StoreKind::Mem);
+        assert_eq!(CachePolicy::ssd(100).store, StoreKind::Ssd);
+        assert_eq!(CachePolicy::hybrid(50).store, StoreKind::Hybrid);
+        assert_eq!(CachePolicy::default(), CachePolicy::mem(100));
+    }
+
+    #[test]
+    fn disabled_policy() {
+        let p = CachePolicy::disabled();
+        assert!(!p.is_enabled());
+        assert!(CachePolicy::mem(1).is_enabled());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(CachePolicy::ssd(100).to_string(), "<SSD, 100>");
+        assert_eq!(CachePolicy::mem(25).to_string(), "<Mem, 25>");
+        assert_eq!(CachePolicy::hybrid(10).to_string(), "<Hybrid, 10>");
+    }
+}

@@ -1,0 +1,182 @@
+//! The second-chance cache backend trait.
+
+use ddc_sim::SimTime;
+use ddc_storage::{BlockAddr, FileId};
+
+use crate::{CachePolicy, PageVersion, PoolId, VmId};
+
+/// Result of a cache lookup (`get`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GetOutcome {
+    /// Object found; per the exclusivity contract it has been *removed*
+    /// from the cache and transferred to the caller.
+    Hit {
+        /// When the object copy completed (store read + transfer).
+        finish: SimTime,
+        /// Version stamp the object carried.
+        version: PageVersion,
+    },
+    /// Object not present.
+    Miss,
+}
+
+impl GetOutcome {
+    /// Whether this outcome is a hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, GetOutcome::Hit { .. })
+    }
+}
+
+/// Result of a cache store (`put`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PutOutcome {
+    /// Object accepted into the cache.
+    Stored {
+        /// When the caller may proceed. For the memory store this includes
+        /// the page copy; for the (asynchronous-write) SSD store the
+        /// caller does not wait for the device.
+        finish: SimTime,
+    },
+    /// Object rejected (pool unknown, caching disabled for the container,
+    /// or zero capacity). Rejection is always legal: cleancache is
+    /// best-effort by contract.
+    Rejected,
+}
+
+impl PutOutcome {
+    /// Whether the object was stored.
+    pub fn is_stored(&self) -> bool {
+        matches!(self, PutOutcome::Stored { .. })
+    }
+}
+
+/// Per-pool statistics returned by the GET_STATS control operation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pages currently held in the memory store.
+    pub mem_pages: u64,
+    /// Pages currently held in the SSD store.
+    pub ssd_pages: u64,
+    /// Current entitlement in the pool's primary store, in pages.
+    pub entitlement_pages: u64,
+    /// Lookups issued against this pool.
+    pub gets: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Stores accepted into this pool.
+    pub puts: u64,
+    /// Objects evicted from this pool by the policy module.
+    pub evictions: u64,
+}
+
+impl PoolStats {
+    /// Total pages resident across both stores.
+    pub fn total_pages(&self) -> u64 {
+        self.mem_pages + self.ssd_pages
+    }
+
+    /// The paper's "lookup-to-store ratio (%)": successful lookups as a
+    /// percentage of stores — how much of what the pool stored was later
+    /// actually consumed.
+    pub fn lookup_to_store_ratio(&self) -> f64 {
+        if self.puts == 0 {
+            return 0.0;
+        }
+        self.hits as f64 * 100.0 / self.puts as f64
+    }
+
+    /// Hit rate of lookups, in percent.
+    pub fn hit_rate(&self) -> f64 {
+        if self.gets == 0 {
+            return 0.0;
+        }
+        self.hits as f64 * 100.0 / self.gets as f64
+    }
+}
+
+/// A second-chance cache backend: the interface between the guest OS
+/// cleancache layer and a hypervisor cache store.
+///
+/// Implementations: the DoubleDecker store and the Global (tmem-like)
+/// store in `ddc-hypercache`, and [`crate::NullCache`] (caching disabled).
+///
+/// The trait is object-safe; the guest holds `&mut dyn SecondChanceCache`.
+pub trait SecondChanceCache {
+    /// CREATE_CGROUP: registers a new container and returns its pool id.
+    fn create_pool(&mut self, vm: VmId, policy: CachePolicy) -> PoolId;
+
+    /// DESTROY_CGROUP: frees all objects of the pool and retires the id.
+    fn destroy_pool(&mut self, vm: VmId, pool: PoolId);
+
+    /// SET_CG_WEIGHT: updates the container's `<T, W>` specification.
+    fn set_policy(&mut self, vm: VmId, pool: PoolId, policy: CachePolicy);
+
+    /// MIGRATE_OBJECT: transfers ownership of one cached block between two
+    /// pools of the same VM (shared files crossing container boundaries).
+    fn migrate_object(&mut self, vm: VmId, from: PoolId, to: PoolId, addr: BlockAddr);
+
+    /// GET_STATS: per-pool usage and counters; `None` for unknown pools.
+    fn pool_stats(&self, vm: VmId, pool: PoolId) -> Option<PoolStats>;
+
+    /// Lookup-and-remove (exclusive `get`).
+    fn get(&mut self, now: SimTime, vm: VmId, pool: PoolId, addr: BlockAddr) -> GetOutcome;
+
+    /// Store a clean page evicted from the guest page cache (`put`).
+    fn put(
+        &mut self,
+        now: SimTime,
+        vm: VmId,
+        pool: PoolId,
+        addr: BlockAddr,
+        version: PageVersion,
+    ) -> PutOutcome;
+
+    /// Invalidate one block (`flush`), if present.
+    fn flush(&mut self, vm: VmId, pool: PoolId, addr: BlockAddr);
+
+    /// Invalidate every cached block of a file (`flush` on truncate/delete).
+    fn flush_file(&mut self, vm: VmId, pool: PoolId, file: FileId);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_predicates() {
+        let hit = GetOutcome::Hit {
+            finish: SimTime::ZERO,
+            version: PageVersion(1),
+        };
+        assert!(hit.is_hit());
+        assert!(!GetOutcome::Miss.is_hit());
+        let stored = PutOutcome::Stored {
+            finish: SimTime::ZERO,
+        };
+        assert!(stored.is_stored());
+        assert!(!PutOutcome::Rejected.is_stored());
+    }
+
+    #[test]
+    fn pool_stats_ratios() {
+        let s = PoolStats {
+            mem_pages: 10,
+            ssd_pages: 5,
+            entitlement_pages: 100,
+            gets: 200,
+            hits: 50,
+            puts: 100,
+            evictions: 3,
+        };
+        assert_eq!(s.total_pages(), 15);
+        assert!((s.lookup_to_store_ratio() - 50.0).abs() < 1e-9);
+        assert!((s.hit_rate() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pool_stats_zero_denominators() {
+        let s = PoolStats::default();
+        assert_eq!(s.lookup_to_store_ratio(), 0.0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+}

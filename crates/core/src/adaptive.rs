@@ -1,0 +1,324 @@
+//! Adaptive cache provisioning driven by in-guest miss-ratio curves.
+//!
+//! The paper leaves policy *design* open: DoubleDecker supplies the
+//! mechanism (dynamic `<T, W>` reconfiguration) and suggests driving it
+//! with "MRC, WSS estimation, SHARDS" measured from within the VM
+//! (§5.2.1). This module is that closed loop: each container runs a
+//! sampled [`MrcEstimator`](ddc_guest::MrcEstimator); the controller
+//! periodically moves cache weight from the container with the smallest
+//! marginal miss-ratio benefit to the one with the largest.
+//!
+//! The controller is deliberately simple (greedy hill climbing on the
+//! rate-weighted miss-ratio objective); it demonstrates the paper's
+//! claim that the *guest* is the right place for such policies, because
+//! only the guest sees the raw access stream.
+
+use ddc_cleancache::{CachePolicy, StoreKind, VmId};
+use ddc_guest::CgroupId;
+use ddc_hypervisor::Host;
+
+/// Configuration of one adaptive-provisioning control loop instance.
+///
+/// `Copy` so scheduled control closures can each carry their own.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptiveConfig {
+    /// The VM whose containers are managed.
+    pub vm: VmId,
+    /// Weight points moved per adjustment round.
+    pub step: u32,
+    /// No container's weight drops below this floor.
+    pub min_weight: u32,
+    /// Minimum predicted improvement (in rate-weighted miss ratio) to
+    /// act; hysteresis against oscillation.
+    pub min_gain: f64,
+}
+
+impl AdaptiveConfig {
+    /// A controller for `vm` with the default step (5 points), floor (5)
+    /// and hysteresis.
+    pub fn new(vm: VmId) -> AdaptiveConfig {
+        AdaptiveConfig {
+            vm,
+            step: 5,
+            min_weight: 5,
+            min_gain: 1e-4,
+        }
+    }
+}
+
+/// Turns on MRC estimation (sampling one in `sample_rate` addresses) for
+/// every container of the VM. Call once before the workload starts.
+///
+/// # Panics
+///
+/// Panics if the VM does not exist or `sample_rate` is zero.
+pub fn enable_estimation(host: &mut Host, vm: VmId, sample_rate: u64) {
+    let cgs = host.guest(vm).cgroup_ids();
+    for cg in cgs {
+        host.guest_mut(vm).enable_mrc(cg, sample_rate);
+    }
+}
+
+/// One decision of the control loop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Adjustment {
+    /// Weight moved *from* this container...
+    pub donor: CgroupId,
+    /// ...*to* this container.
+    pub recipient: CgroupId,
+    /// Weight points moved.
+    pub step: u32,
+    /// Predicted drop in the rate-weighted miss ratio.
+    pub predicted_gain: f64,
+}
+
+/// Runs one adjustment round: evaluates every donor→recipient weight
+/// shift of `config.step` points and applies the best one if it clears
+/// the hysteresis threshold. Returns the applied adjustment, if any.
+///
+/// Only memory-store containers participate; SSD and disabled containers
+/// are left alone.
+///
+/// # Panics
+///
+/// Panics if the VM does not exist.
+pub fn adjust_once(host: &mut Host, config: AdaptiveConfig) -> Option<Adjustment> {
+    let vm = config.vm;
+    let cgs: Vec<CgroupId> = host
+        .guest(vm)
+        .cgroup_ids()
+        .into_iter()
+        .filter(|&cg| {
+            let p = host.guest(vm).cgroup(cg).policy();
+            p.store == StoreKind::Mem && p.is_enabled()
+        })
+        .collect();
+    if cgs.len() < 2 {
+        return None;
+    }
+
+    // Snapshot: weight, cgroup limit, access rate and curve per container.
+    struct Snap {
+        cg: CgroupId,
+        weight: u32,
+        limit: u64,
+        rate: f64,
+        curve: ddc_guest::MissRatioCurve,
+    }
+    let mut snaps = Vec::with_capacity(cgs.len());
+    let mut total_rate = 0.0;
+    for &cg in &cgs {
+        let curve = host.guest(vm).mrc_curve(cg)?;
+        let rate = curve.accesses() as f64;
+        total_rate += rate;
+        snaps.push(Snap {
+            cg,
+            weight: host.guest(vm).cgroup(cg).policy().weight,
+            limit: host.guest(vm).cgroup(cg).mem_limit_pages(),
+            rate,
+            curve,
+        });
+    }
+    if total_rate == 0.0 {
+        return None;
+    }
+
+    // The memory the weights carve up: this VM's share of the store.
+    // (Single-VM assumption for the entitlement math; with several VMs
+    // the same objective applies within the VM's share.)
+    let capacity = host.cache_totals().mem_capacity_pages;
+    let objective = |weights: &[u32]| -> f64 {
+        let total_w: u64 = weights.iter().map(|&w| w as u64).sum();
+        if total_w == 0 {
+            return f64::INFINITY;
+        }
+        snaps
+            .iter()
+            .zip(weights)
+            .map(|(s, &w)| {
+                let entitlement = capacity * w as u64 / total_w;
+                let effective = s.limit + entitlement;
+                s.rate / total_rate * s.curve.miss_ratio_at(effective)
+            })
+            .sum()
+    };
+
+    let current: Vec<u32> = snaps.iter().map(|s| s.weight).collect();
+    let baseline = objective(&current);
+    let mut best: Option<(usize, usize, f64)> = None;
+    for donor in 0..snaps.len() {
+        if current[donor] < config.min_weight + config.step {
+            continue;
+        }
+        for recipient in 0..snaps.len() {
+            if donor == recipient {
+                continue;
+            }
+            let mut candidate = current.clone();
+            candidate[donor] -= config.step;
+            candidate[recipient] += config.step;
+            let value = objective(&candidate);
+            let gain = baseline - value;
+            if gain > config.min_gain && best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((donor, recipient, gain));
+            }
+        }
+    }
+
+    let (donor, recipient, predicted_gain) = best?;
+    let donor_cg = snaps[donor].cg;
+    let recipient_cg = snaps[recipient].cg;
+    let donor_policy = CachePolicy::mem(current[donor] - config.step);
+    let recipient_policy = CachePolicy::mem(current[recipient] + config.step);
+    host.set_container_policy(vm, donor_cg, donor_policy);
+    host.set_container_policy(vm, recipient_cg, recipient_policy);
+    Some(Adjustment {
+        donor: donor_cg,
+        recipient: recipient_cg,
+        step: config.step,
+        predicted_gain,
+    })
+}
+
+/// Schedules periodic adjustment rounds on an experiment, every
+/// `interval` from `interval` until `end`.
+pub fn schedule(
+    exp: &mut crate::Experiment,
+    config: AdaptiveConfig,
+    interval: ddc_sim::SimDuration,
+    end: ddc_sim::SimTime,
+) {
+    let mut at = ddc_sim::SimTime::ZERO + interval;
+    while at <= end {
+        exp.schedule(at, move |host, _pool, _now| {
+            adjust_once(host, config);
+        });
+        at += interval;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    /// Two containers with identical limits and weights, but the first
+    /// has a far larger working set: the controller must shift weight
+    /// toward it.
+    #[test]
+    fn weight_flows_to_the_larger_working_set() {
+        let mut host = Host::new(HostConfig::new(CacheConfig::mem_only(512)));
+        let vm = host.boot_vm(16, 100);
+        let big = host.create_container(vm, "big", 64, CachePolicy::mem(50));
+        let small = host.create_container(vm, "small", 64, CachePolicy::mem(50));
+        enable_estimation(&mut host, vm, 1);
+
+        // Drive both with skewed random access: big over 1200 blocks,
+        // small over 24 — smooth curves with very different gradients.
+        let mut rng = SimRng::new(5);
+        let mut now = SimTime::ZERO;
+        for _ in 0..20_000 {
+            let b = rng.range_u64(0, 1200);
+            now = host
+                .read(now, vm, big, BlockAddr::new(vm_file(vm, 1), b))
+                .finish;
+            let s = rng.range_u64(0, 24);
+            now = host
+                .read(now, vm, small, BlockAddr::new(vm_file(vm, 2), s))
+                .finish;
+        }
+
+        let config = AdaptiveConfig::new(vm);
+        let mut moved_to_big = 0u32;
+        for _ in 0..8 {
+            if let Some(adj) = adjust_once(&mut host, config) {
+                assert_eq!(adj.recipient, big, "weight must flow to the big set");
+                assert_eq!(adj.donor, small);
+                assert!(adj.predicted_gain > 0.0);
+                moved_to_big += adj.step;
+            }
+        }
+        assert!(moved_to_big > 0, "at least one adjustment must fire");
+        let wb = host.guest(vm).cgroup(big).policy().weight;
+        let ws = host.guest(vm).cgroup(small).policy().weight;
+        assert!(
+            wb > ws,
+            "final weights favour the big container ({wb} vs {ws})"
+        );
+        assert!(ws >= config.min_weight, "floor respected");
+    }
+
+    #[test]
+    fn no_adjustment_without_estimation_or_pressure() {
+        let mut host = Host::new(HostConfig::new(CacheConfig::mem_only(512)));
+        let vm = host.boot_vm(16, 100);
+        let _a = host.create_container(vm, "a", 64, CachePolicy::mem(50));
+        let _b = host.create_container(vm, "b", 64, CachePolicy::mem(50));
+        // Estimation not enabled: controller declines.
+        assert_eq!(adjust_once(&mut host, AdaptiveConfig::new(vm)), None);
+        // Enabled but no traffic: still declines.
+        enable_estimation(&mut host, vm, 1);
+        assert_eq!(adjust_once(&mut host, AdaptiveConfig::new(vm)), None);
+    }
+
+    #[test]
+    fn single_container_is_left_alone() {
+        let mut host = Host::new(HostConfig::new(CacheConfig::mem_only(512)));
+        let vm = host.boot_vm(16, 100);
+        let _only = host.create_container(vm, "only", 64, CachePolicy::mem(100));
+        enable_estimation(&mut host, vm, 1);
+        assert_eq!(adjust_once(&mut host, AdaptiveConfig::new(vm)), None);
+    }
+
+    #[test]
+    fn ssd_containers_excluded() {
+        let mut host = Host::new(HostConfig::new(CacheConfig::mem_and_ssd(512, 512)));
+        let vm = host.boot_vm(16, 100);
+        let _mem = host.create_container(vm, "m", 64, CachePolicy::mem(50));
+        let _ssd = host.create_container(vm, "s", 64, CachePolicy::ssd(100));
+        enable_estimation(&mut host, vm, 1);
+        // Only one memory container participates -> no pair to trade.
+        assert_eq!(adjust_once(&mut host, AdaptiveConfig::new(vm)), None);
+    }
+
+    #[test]
+    fn scheduled_rounds_fire_in_experiments() {
+        let mut host = Host::new(HostConfig::new(CacheConfig::mem_only(1024)));
+        let vm = host.boot_vm(32, 100);
+        let big = host.create_container(vm, "big", 64, CachePolicy::mem(50));
+        let small = host.create_container(vm, "small", 64, CachePolicy::mem(50));
+        enable_estimation(&mut host, vm, 4);
+        let big_cfg = WebConfig {
+            files: 900,
+            mean_file_blocks: 2,
+            zipf_theta: 0.8, // smooth, long-tailed curve
+            think_time: SimDuration::from_micros(100),
+            ..WebConfig::default()
+        };
+        let small_cfg = WebConfig {
+            files: 30,
+            mean_file_blocks: 2,
+            zipf_theta: 0.0,
+            think_time: SimDuration::from_micros(100),
+            ..WebConfig::default()
+        };
+        let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+        exp.add_thread(Box::new(Webserver::new("big/t0", vm, big, big_cfg, 1)));
+        exp.add_thread(Box::new(Webserver::new(
+            "small/t0", vm, small, small_cfg, 2,
+        )));
+        schedule(
+            &mut exp,
+            AdaptiveConfig::new(vm),
+            SimDuration::from_secs(5),
+            SimTime::from_secs(60),
+        );
+        exp.run_until(SimTime::from_secs(60));
+        let wb = exp.host().guest(vm).cgroup(big).policy().weight;
+        let ws = exp.host().guest(vm).cgroup(small).policy().weight;
+        assert!(
+            wb > ws,
+            "after adaptive rounds the demanding container holds more weight ({wb} vs {ws})"
+        );
+    }
+}

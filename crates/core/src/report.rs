@@ -1,0 +1,234 @@
+//! Serializable experiment reports.
+//!
+//! Reports mirror the measurement types in `ddc-metrics`/`ddc-sim` as
+//! plain data with `serde` derives, so the `repro` harness can emit JSON
+//! alongside the human-readable tables recorded in EXPERIMENTS.md.
+
+use ddc_metrics::OpsRecorder;
+use ddc_sim::{SimTime, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// Per-thread throughput/latency summary.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThreadReport {
+    /// The thread's label (e.g. `"web/t0"`).
+    pub label: String,
+    /// Operations completed.
+    pub ops: u64,
+    /// Operations per second of virtual time.
+    pub ops_per_sec: f64,
+    /// Megabytes per second of virtual time.
+    pub mb_per_sec: f64,
+    /// Mean operation latency, milliseconds.
+    pub mean_latency_ms: f64,
+    /// 99th-percentile operation latency, milliseconds.
+    pub p99_latency_ms: f64,
+}
+
+impl ThreadReport {
+    /// Summarizes a recorder over `[0, end]`, or over its marked
+    /// steady-state window if one was opened.
+    pub fn from_recorder(label: &str, recorder: &OpsRecorder, end: SimTime) -> ThreadReport {
+        let r = recorder.window_report(end);
+        ThreadReport {
+            label: label.to_owned(),
+            ops: r.ops,
+            ops_per_sec: r.ops_per_sec,
+            mb_per_sec: r.mb_per_sec,
+            mean_latency_ms: r.mean_latency.as_millis_f64(),
+            p99_latency_ms: r.p99_latency.as_millis_f64(),
+        }
+    }
+}
+
+/// One probe's samples as plain data.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SeriesReport {
+    /// Probe name.
+    pub name: String,
+    /// `(seconds, value)` samples.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl SeriesReport {
+    /// Converts a [`TimeSeries`].
+    pub fn from_series(series: &TimeSeries) -> SeriesReport {
+        SeriesReport {
+            name: series.name().to_owned(),
+            points: series
+                .points()
+                .iter()
+                .map(|p| (p.at.as_secs_f64(), p.value))
+                .collect(),
+        }
+    }
+
+    /// Mean value over samples in `[from, to)` seconds.
+    pub fn mean_in(&self, from: f64, to: f64) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .map(|(_, v)| *v)
+            .collect();
+        (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+}
+
+/// The full result of one experiment run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Virtual end time, seconds.
+    pub end: f64,
+    /// Per-thread summaries.
+    pub threads: Vec<ThreadReport>,
+    /// Probe sample series.
+    pub series: Vec<SeriesReport>,
+    /// Final memory-store occupancy, pages.
+    pub mem_cache_used_pages: u64,
+    /// Final SSD-store occupancy, pages.
+    pub ssd_cache_used_pages: u64,
+    /// Total evictions performed by the hypervisor cache.
+    pub evictions: u64,
+}
+
+impl ExperimentReport {
+    /// Sums `ops_per_sec` across threads whose label starts with `prefix`
+    /// — per-container throughput when threads are labelled
+    /// `container/tN`.
+    pub fn throughput_of(&self, prefix: &str) -> f64 {
+        self.threads
+            .iter()
+            .filter(|t| t.label.starts_with(prefix))
+            .map(|t| t.ops_per_sec)
+            .sum()
+    }
+
+    /// Sums `mb_per_sec` across threads whose label starts with `prefix`.
+    pub fn mb_per_sec_of(&self, prefix: &str) -> f64 {
+        self.threads
+            .iter()
+            .filter(|t| t.label.starts_with(prefix))
+            .map(|t| t.mb_per_sec)
+            .sum()
+    }
+
+    /// Ops-weighted mean latency (ms) across threads with the prefix.
+    pub fn mean_latency_of(&self, prefix: &str) -> f64 {
+        let mut ops = 0u64;
+        let mut weighted = 0.0;
+        for t in self.threads.iter().filter(|t| t.label.starts_with(prefix)) {
+            ops += t.ops;
+            weighted += t.mean_latency_ms * t.ops as f64;
+        }
+        if ops == 0 {
+            0.0
+        } else {
+            weighted / ops as f64
+        }
+    }
+
+    /// The series with the given name, if probed.
+    pub fn series(&self, name: &str) -> Option<&SeriesReport> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the report contains only serializable plain data.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plain data serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_sim::SimDuration;
+
+    #[test]
+    fn thread_report_from_recorder() {
+        let mut rec = OpsRecorder::new();
+        rec.record(
+            SimTime::from_secs(1),
+            1_000_000,
+            SimDuration::from_millis(2),
+        );
+        let tr = ThreadReport::from_recorder("x/t0", &rec, SimTime::from_secs(2));
+        assert_eq!(tr.ops, 1);
+        assert!((tr.ops_per_sec - 0.5).abs() < 1e-9);
+        assert!((tr.mb_per_sec - 0.5).abs() < 1e-9);
+        assert!((tr.mean_latency_ms - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn series_report_roundtrip_and_mean() {
+        let mut s = TimeSeries::new("occ");
+        for sec in 0..10 {
+            s.record(SimTime::from_secs(sec), sec as f64);
+        }
+        let sr = SeriesReport::from_series(&s);
+        assert_eq!(sr.points.len(), 10);
+        assert_eq!(sr.mean_in(2.0, 5.0), Some(3.0));
+        assert_eq!(sr.mean_in(90.0, 99.0), None);
+    }
+
+    fn sample_report() -> ExperimentReport {
+        ExperimentReport {
+            end: 10.0,
+            threads: vec![
+                ThreadReport {
+                    label: "web/t0".into(),
+                    ops: 100,
+                    ops_per_sec: 10.0,
+                    mb_per_sec: 1.0,
+                    mean_latency_ms: 2.0,
+                    p99_latency_ms: 9.0,
+                },
+                ThreadReport {
+                    label: "web/t1".into(),
+                    ops: 300,
+                    ops_per_sec: 30.0,
+                    mb_per_sec: 3.0,
+                    mean_latency_ms: 4.0,
+                    p99_latency_ms: 9.0,
+                },
+                ThreadReport {
+                    label: "mail/t0".into(),
+                    ops: 50,
+                    ops_per_sec: 5.0,
+                    mb_per_sec: 0.5,
+                    mean_latency_ms: 50.0,
+                    p99_latency_ms: 200.0,
+                },
+            ],
+            series: vec![],
+            mem_cache_used_pages: 7,
+            ssd_cache_used_pages: 0,
+            evictions: 3,
+        }
+    }
+
+    #[test]
+    fn aggregations_by_prefix() {
+        let r = sample_report();
+        assert!((r.throughput_of("web") - 40.0).abs() < 1e-9);
+        assert!((r.mb_per_sec_of("web") - 4.0).abs() < 1e-9);
+        assert!((r.throughput_of("mail") - 5.0).abs() < 1e-9);
+        assert_eq!(r.throughput_of("nope"), 0.0);
+        // Ops-weighted: (2*100 + 4*300) / 400 = 3.5
+        assert!((r.mean_latency_of("web") - 3.5).abs() < 1e-9);
+        assert_eq!(r.mean_latency_of("nope"), 0.0);
+    }
+
+    #[test]
+    fn json_serialization_roundtrips() {
+        let r = sample_report();
+        let json = r.to_json();
+        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert!(json.contains("web/t0"));
+    }
+}

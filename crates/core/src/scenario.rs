@@ -1,0 +1,631 @@
+//! Declarative experiment scenarios.
+//!
+//! A [`ScenarioSpec`] describes a complete experiment — cache
+//! configuration, VMs, containers, workloads, timed reconfiguration
+//! actions and probes — as plain serializable data, so experiments can be
+//! defined in JSON and run with the `scenario` binary (or embedded via
+//! [`build`]): the no-code path for exploring DoubleDecker policies.
+//!
+//! ```json
+//! {
+//!   "name": "web-pair",
+//!   "cache": { "mem_mb": 128, "mode": "doubledecker" },
+//!   "duration_secs": 60,
+//!   "vms": [ { "mem_mb": 64, "weight": 100, "containers": [
+//!     { "name": "web", "limit_mb": 32,
+//!       "policy": { "store": "mem", "weight": 60 },
+//!       "threads": 2,
+//!       "workload": { "kind": "webserver", "files": 1200 } }
+//!   ] } ]
+//! }
+//! ```
+
+use ddc_cleancache::{CachePolicy, VmId};
+use ddc_guest::CgroupId;
+use ddc_hypercache::{CacheConfig, PartitionMode};
+use ddc_hypervisor::{Host, HostConfig};
+use ddc_sim::{SimDuration, SimTime};
+use ddc_workloads::{
+    FileServer, FileServerConfig, MailConfig, MailServer, Oltp, OltpConfig, ProxyConfig,
+    Proxycache, StoreModel, VideoConfig, VideoServer, WebConfig, Webserver, WorkloadThread,
+    YcsbClient, YcsbConfig,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Experiment, ExperimentReport};
+
+/// Error building or validating a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError(String);
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn err(msg: impl Into<String>) -> ScenarioError {
+    ScenarioError(msg.into())
+}
+
+/// Cache store configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CacheSpec {
+    /// Memory store capacity, MiB.
+    pub mem_mb: u64,
+    /// SSD store capacity, MiB (default 0 = no SSD store).
+    #[serde(default)]
+    pub ssd_mb: u64,
+    /// `"doubledecker"` (default), `"global"` or `"strict"`.
+    #[serde(default)]
+    pub mode: Option<String>,
+    /// Optional zcache-style compression `(millipages per object,
+    /// codec µs)`.
+    #[serde(default)]
+    pub compression: Option<(u64, u64)>,
+}
+
+/// A container's `<T, W>` policy.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PolicySpec {
+    /// `"mem"`, `"ssd"`, `"hybrid"` or `"disabled"`.
+    pub store: String,
+    /// Weight (ignored for `"disabled"`).
+    #[serde(default)]
+    pub weight: u32,
+}
+
+impl PolicySpec {
+    fn to_policy(&self) -> Result<CachePolicy, ScenarioError> {
+        Ok(match self.store.as_str() {
+            "mem" => CachePolicy::mem(self.weight),
+            "ssd" => CachePolicy::ssd(self.weight),
+            "hybrid" => CachePolicy::hybrid(self.weight),
+            "disabled" => CachePolicy::disabled(),
+            other => return Err(err(format!("unknown store kind {other:?}"))),
+        })
+    }
+}
+
+/// Workload selection with per-kind parameters (all optional, falling
+/// back to the library defaults).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "lowercase")]
+pub enum WorkloadSpec {
+    /// Filebench webserver.
+    Webserver {
+        /// Number of files.
+        #[serde(default)]
+        files: Option<usize>,
+        /// Popularity skew.
+        #[serde(default)]
+        zipf_theta: Option<f64>,
+        /// Think time per loop, microseconds.
+        #[serde(default)]
+        think_us: Option<u64>,
+    },
+    /// Filebench webproxy.
+    Proxycache {
+        /// Number of cached objects.
+        #[serde(default)]
+        files: Option<usize>,
+    },
+    /// Filebench varmail.
+    Mail {
+        /// Number of mail files.
+        #[serde(default)]
+        files: Option<usize>,
+    },
+    /// Filebench videoserver.
+    Videoserver {
+        /// Active videos.
+        #[serde(default)]
+        videos: Option<usize>,
+        /// Mean video size in blocks.
+        #[serde(default)]
+        video_blocks: Option<u32>,
+    },
+    /// Filebench fileserver.
+    Fileserver {
+        /// Number of files in the share.
+        #[serde(default)]
+        files: Option<usize>,
+    },
+    /// Filebench OLTP.
+    Oltp {
+        /// Database size in blocks.
+        #[serde(default)]
+        data_blocks: Option<u64>,
+        /// Writing-transaction fraction.
+        #[serde(default)]
+        write_fraction: Option<f64>,
+    },
+    /// YCSB-like client.
+    Ycsb {
+        /// `"redis"`, `"mongodb"` or `"mysql"`.
+        store: String,
+        /// Dataset size in blocks.
+        dataset_blocks: u64,
+        /// Update fraction (default 0.05).
+        #[serde(default)]
+        update_fraction: Option<f64>,
+    },
+}
+
+/// One container of a VM.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ContainerSpec {
+    /// Name; also the thread-label prefix and action-reference key.
+    pub name: String,
+    /// Cgroup hard limit, MiB.
+    pub limit_mb: u64,
+    /// Hypervisor cache policy.
+    pub policy: PolicySpec,
+    /// Workload to run.
+    pub workload: WorkloadSpec,
+    /// Number of closed-loop threads (default 1).
+    #[serde(default)]
+    pub threads: Option<u32>,
+    /// Delay before the workload starts, seconds (default 0).
+    #[serde(default)]
+    pub start_secs: Option<u64>,
+}
+
+/// One VM.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VmSpec {
+    /// Guest RAM, MiB.
+    pub mem_mb: u64,
+    /// Hypervisor cache weight (both stores).
+    pub weight: u64,
+    /// Containers hosted in the VM.
+    pub containers: Vec<ContainerSpec>,
+}
+
+/// A timed reconfiguration action, referencing containers by name.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "action", rename_all = "snake_case")]
+pub enum ActionSpec {
+    /// SET_CG_WEIGHT: change a container's `<T, W>` policy.
+    SetContainerPolicy {
+        /// Virtual time, seconds.
+        at_secs: u64,
+        /// Container name.
+        container: String,
+        /// New policy.
+        policy: PolicySpec,
+    },
+    /// Change a VM's cache weight (VM index in declaration order).
+    SetVmWeight {
+        /// Virtual time, seconds.
+        at_secs: u64,
+        /// VM index (0-based, declaration order).
+        vm: usize,
+        /// New weight.
+        weight: u64,
+    },
+    /// Resize the memory store.
+    SetMemCapacityMb {
+        /// Virtual time, seconds.
+        at_secs: u64,
+        /// New capacity, MiB.
+        mem_mb: u64,
+    },
+    /// Change a container's cgroup limit.
+    SetContainerLimitMb {
+        /// Virtual time, seconds.
+        at_secs: u64,
+        /// Container name.
+        container: String,
+        /// New limit, MiB.
+        limit_mb: u64,
+    },
+    /// Drop a container's clean page cache.
+    DropCaches {
+        /// Virtual time, seconds.
+        at_secs: u64,
+        /// Container name.
+        container: String,
+    },
+}
+
+/// A complete experiment description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Display name.
+    pub name: String,
+    /// Cache configuration.
+    pub cache: CacheSpec,
+    /// Virtual run length, seconds.
+    pub duration_secs: u64,
+    /// Probe sampling interval, seconds (default 1).
+    #[serde(default)]
+    pub sample_secs: Option<u64>,
+    /// Open the steady-state measurement window at this time (default:
+    /// half the duration).
+    #[serde(default)]
+    pub warmup_secs: Option<u64>,
+    /// The VMs.
+    pub vms: Vec<VmSpec>,
+    /// Timed reconfigurations.
+    #[serde(default)]
+    pub schedule: Vec<ActionSpec>,
+}
+
+impl ScenarioSpec {
+    /// Parses a JSON scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] describing the parse failure.
+    pub fn from_json(json: &str) -> Result<ScenarioSpec, ScenarioError> {
+        serde_json::from_str(json).map_err(|e| err(e.to_string()))
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("plain data serializes")
+    }
+}
+
+fn mb(mib: u64) -> u64 {
+    CacheConfig::pages_from_mb(mib)
+}
+
+fn make_thread(
+    spec: &WorkloadSpec,
+    label: String,
+    vm: VmId,
+    cg: CgroupId,
+    seed: u64,
+) -> Result<Box<dyn WorkloadThread>, ScenarioError> {
+    Ok(match spec {
+        WorkloadSpec::Webserver {
+            files,
+            zipf_theta,
+            think_us,
+        } => {
+            let mut cfg = WebConfig::default();
+            if let Some(f) = files {
+                cfg.files = *f;
+            }
+            if let Some(z) = zipf_theta {
+                cfg.zipf_theta = *z;
+            }
+            if let Some(us) = think_us {
+                cfg.think_time = SimDuration::from_micros(*us);
+            }
+            Box::new(Webserver::new(label, vm, cg, cfg, seed))
+        }
+        WorkloadSpec::Proxycache { files } => {
+            let mut cfg = ProxyConfig::default();
+            if let Some(f) = files {
+                cfg.files = *f;
+            }
+            Box::new(Proxycache::new(label, vm, cg, cfg, seed))
+        }
+        WorkloadSpec::Mail { files } => {
+            let mut cfg = MailConfig::default();
+            if let Some(f) = files {
+                cfg.files = *f;
+            }
+            Box::new(MailServer::new(label, vm, cg, cfg, seed))
+        }
+        WorkloadSpec::Videoserver {
+            videos,
+            video_blocks,
+        } => {
+            let mut cfg = VideoConfig::default();
+            if let Some(v) = videos {
+                cfg.active_videos = *v;
+            }
+            if let Some(b) = video_blocks {
+                cfg.mean_video_blocks = *b;
+            }
+            Box::new(VideoServer::new(label, vm, cg, cfg, seed))
+        }
+        WorkloadSpec::Fileserver { files } => {
+            let mut cfg = FileServerConfig::default();
+            if let Some(f) = files {
+                cfg.files = *f;
+            }
+            Box::new(FileServer::new(label, vm, cg, cfg, seed))
+        }
+        WorkloadSpec::Oltp {
+            data_blocks,
+            write_fraction,
+        } => {
+            let mut cfg = OltpConfig::default();
+            if let Some(d) = data_blocks {
+                cfg.data_blocks = *d;
+            }
+            if let Some(w) = write_fraction {
+                cfg.write_fraction = *w;
+            }
+            Box::new(Oltp::new(label, vm, cg, cfg, seed))
+        }
+        WorkloadSpec::Ycsb {
+            store,
+            dataset_blocks,
+            update_fraction,
+        } => {
+            let model = match store.as_str() {
+                "redis" => StoreModel::RedisLike,
+                "mongodb" => StoreModel::MongoLike,
+                "mysql" => StoreModel::MySqlLike,
+                other => return Err(err(format!("unknown ycsb store {other:?}"))),
+            };
+            let mut cfg = YcsbConfig::read_mostly(model, *dataset_blocks);
+            if let Some(u) = update_fraction {
+                cfg.update_fraction = *u;
+            }
+            Box::new(YcsbClient::new(label, vm, cg, cfg, seed))
+        }
+    })
+}
+
+/// Builds a runnable [`Experiment`] from a scenario. Occupancy probes are
+/// registered automatically, one per container (`"{name} (MB)"`).
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] for unknown store kinds, duplicate or
+/// unknown container names, or out-of-range VM references.
+pub fn build(spec: &ScenarioSpec) -> Result<Experiment, ScenarioError> {
+    let mode = match spec.cache.mode.as_deref() {
+        None | Some("doubledecker") => PartitionMode::DoubleDecker,
+        Some("global") => PartitionMode::Global,
+        Some("strict") => PartitionMode::Strict,
+        Some(other) => return Err(err(format!("unknown mode {other:?}"))),
+    };
+    let cache = CacheConfig {
+        mem_capacity_pages: mb(spec.cache.mem_mb),
+        ssd_capacity_pages: mb(spec.cache.ssd_mb),
+        mode,
+    };
+    let mut host = Host::new(HostConfig::new(cache));
+    if let Some((millipages, codec_us)) = spec.cache.compression {
+        host.set_mem_cache_compression(millipages, SimDuration::from_micros(codec_us));
+    }
+
+    let mut containers: HashMap<String, (VmId, CgroupId)> = HashMap::new();
+    let mut vm_ids = Vec::new();
+    let mut threads: Vec<(SimTime, Box<dyn WorkloadThread>)> = Vec::new();
+    let mut seed = 1u64;
+    for vm_spec in &spec.vms {
+        let vm = host.boot_vm(vm_spec.mem_mb, vm_spec.weight);
+        vm_ids.push(vm);
+        for c in &vm_spec.containers {
+            if containers.contains_key(&c.name) {
+                return Err(err(format!("duplicate container name {:?}", c.name)));
+            }
+            let cg = host.create_container(vm, &c.name, mb(c.limit_mb), c.policy.to_policy()?);
+            containers.insert(c.name.clone(), (vm, cg));
+            let start = SimTime::from_secs(c.start_secs.unwrap_or(0));
+            for t in 0..c.threads.unwrap_or(1) {
+                seed += 1;
+                let label = format!("{}/t{t}", c.name);
+                threads.push((start, make_thread(&c.workload, label, vm, cg, seed)?));
+            }
+        }
+    }
+
+    let sample = SimDuration::from_secs(spec.sample_secs.unwrap_or(1).max(1));
+    let mut exp = Experiment::new(host, sample);
+    for (start, thread) in threads {
+        exp.add_thread_at(start, thread);
+    }
+    for (name, (vm, cg)) in &containers {
+        let (vm, cg, label) = (*vm, *cg, format!("{name} (MB)"));
+        exp.add_probe(label, move |h| {
+            h.container_cache_stats(vm, cg).map_or(0.0, |s| {
+                s.mem_pages as f64 * ddc_storage::PAGE_SIZE as f64 / 1e6
+            })
+        });
+    }
+
+    for action in &spec.schedule {
+        match action.clone() {
+            ActionSpec::SetContainerPolicy {
+                at_secs,
+                container,
+                policy,
+            } => {
+                let &(vm, cg) = containers
+                    .get(&container)
+                    .ok_or_else(|| err(format!("unknown container {container:?}")))?;
+                let policy = policy.to_policy()?;
+                exp.schedule(SimTime::from_secs(at_secs), move |host, _pool, _at| {
+                    host.set_container_policy(vm, cg, policy);
+                });
+            }
+            ActionSpec::SetVmWeight {
+                at_secs,
+                vm,
+                weight,
+            } => {
+                let id = *vm_ids
+                    .get(vm)
+                    .ok_or_else(|| err(format!("vm index {vm} out of range")))?;
+                exp.schedule(SimTime::from_secs(at_secs), move |host, _pool, _at| {
+                    host.set_vm_cache_weight(id, weight);
+                });
+            }
+            ActionSpec::SetMemCapacityMb { at_secs, mem_mb } => {
+                exp.schedule(SimTime::from_secs(at_secs), move |host, _pool, at| {
+                    host.set_mem_cache_capacity(at, mb(mem_mb));
+                });
+            }
+            ActionSpec::SetContainerLimitMb {
+                at_secs,
+                container,
+                limit_mb,
+            } => {
+                let &(vm, cg) = containers
+                    .get(&container)
+                    .ok_or_else(|| err(format!("unknown container {container:?}")))?;
+                exp.schedule(SimTime::from_secs(at_secs), move |host, _pool, at| {
+                    host.set_container_mem_limit(at, vm, cg, mb(limit_mb));
+                });
+            }
+            ActionSpec::DropCaches { at_secs, container } => {
+                let &(vm, cg) = containers
+                    .get(&container)
+                    .ok_or_else(|| err(format!("unknown container {container:?}")))?;
+                exp.schedule(SimTime::from_secs(at_secs), move |host, _pool, at| {
+                    host.drop_caches(at, vm, cg);
+                });
+            }
+        }
+    }
+
+    let warmup = spec
+        .warmup_secs
+        .unwrap_or(spec.duration_secs / 2)
+        .min(spec.duration_secs);
+    if warmup > 0 {
+        exp.mark_steady_state_at(SimTime::from_secs(warmup));
+    }
+    Ok(exp)
+}
+
+/// Builds and runs a scenario to completion.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the spec fails validation.
+pub fn run(spec: &ScenarioSpec) -> Result<ExperimentReport, ScenarioError> {
+    let mut exp = build(spec)?;
+    Ok(exp.run_until(SimTime::from_secs(spec.duration_secs)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_json() -> &'static str {
+        r#"{
+            "name": "web-pair",
+            "cache": { "mem_mb": 64, "mode": "doubledecker" },
+            "duration_secs": 10,
+            "vms": [ { "mem_mb": 32, "weight": 100, "containers": [
+                { "name": "web", "limit_mb": 16,
+                  "policy": { "store": "mem", "weight": 60 },
+                  "threads": 2,
+                  "workload": { "kind": "webserver", "files": 400 } },
+                { "name": "proxy", "limit_mb": 16,
+                  "policy": { "store": "mem", "weight": 40 },
+                  "workload": { "kind": "proxycache", "files": 300 } }
+            ] } ],
+            "schedule": [
+                { "action": "set_container_policy", "at_secs": 5,
+                  "container": "web",
+                  "policy": { "store": "mem", "weight": 80 } }
+            ]
+        }"#
+    }
+
+    #[test]
+    fn parse_build_run_roundtrip() {
+        let spec = ScenarioSpec::from_json(minimal_json()).unwrap();
+        assert_eq!(spec.name, "web-pair");
+        let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        let report = run(&spec).unwrap();
+        assert_eq!(report.end, 10.0);
+        assert!(report.throughput_of("web") > 0.0);
+        assert!(report.throughput_of("proxy") > 0.0);
+        assert!(report.series("web (MB)").is_some());
+    }
+
+    #[test]
+    fn schedule_actions_apply() {
+        let spec = ScenarioSpec::from_json(minimal_json()).unwrap();
+        let mut exp = build(&spec).unwrap();
+        exp.run_until(SimTime::from_secs(10));
+        // After the scheduled action, web's weight is 80.
+        let host = exp.host();
+        let vm = host.vm_ids()[0];
+        let cgs = host.guest(vm).cgroup_ids();
+        assert_eq!(host.guest(vm).cgroup(cgs[0]).policy().weight, 80);
+    }
+
+    #[test]
+    fn every_workload_kind_builds() {
+        let json = r#"{
+            "name": "zoo",
+            "cache": { "mem_mb": 64, "ssd_mb": 256 },
+            "duration_secs": 2,
+            "vms": [ { "mem_mb": 64, "weight": 100, "containers": [
+                { "name": "w", "limit_mb": 8, "policy": { "store": "mem", "weight": 20 },
+                  "workload": { "kind": "webserver" } },
+                { "name": "p", "limit_mb": 8, "policy": { "store": "mem", "weight": 20 },
+                  "workload": { "kind": "proxycache" } },
+                { "name": "m", "limit_mb": 8, "policy": { "store": "mem", "weight": 20 },
+                  "workload": { "kind": "mail" } },
+                { "name": "v", "limit_mb": 8, "policy": { "store": "ssd", "weight": 100 },
+                  "workload": { "kind": "videoserver", "videos": 8, "video_blocks": 16 } },
+                { "name": "f", "limit_mb": 8, "policy": { "store": "hybrid", "weight": 20 },
+                  "workload": { "kind": "fileserver" } },
+                { "name": "o", "limit_mb": 8, "policy": { "store": "mem", "weight": 20 },
+                  "workload": { "kind": "oltp", "data_blocks": 64 } },
+                { "name": "y", "limit_mb": 8, "policy": { "store": "disabled" },
+                  "workload": { "kind": "ycsb", "store": "mongodb", "dataset_blocks": 64 } }
+            ] } ]
+        }"#;
+        let spec = ScenarioSpec::from_json(json).unwrap();
+        let report = run(&spec).unwrap();
+        assert_eq!(report.threads.len(), 7);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(ScenarioSpec::from_json("{").is_err());
+
+        let bad_store =
+            minimal_json().replace("\"mem\", \"weight\": 60", "\"floppy\", \"weight\": 60");
+        let spec = ScenarioSpec::from_json(&bad_store).unwrap();
+        let e = build(&spec).unwrap_err();
+        assert!(e.to_string().contains("floppy"), "{e}");
+
+        let bad_mode = minimal_json().replace("doubledecker", "roundrobin");
+        let spec = ScenarioSpec::from_json(&bad_mode).unwrap();
+        assert!(build(&spec).is_err());
+
+        let dup = minimal_json().replace("\"proxy\"", "\"web\"");
+        let spec = ScenarioSpec::from_json(&dup).unwrap();
+        let e = build(&spec).unwrap_err();
+        assert!(e.to_string().contains("duplicate"), "{e}");
+
+        let bad_ref = minimal_json().replace("\"container\": \"web\"", "\"container\": \"nope\"");
+        let spec = ScenarioSpec::from_json(&bad_ref).unwrap();
+        let e = build(&spec).unwrap_err();
+        assert!(e.to_string().contains("nope"), "{e}");
+    }
+
+    #[test]
+    fn delayed_start_and_compression() {
+        let json = r#"{
+            "name": "late",
+            "cache": { "mem_mb": 32, "compression": [500, 5] },
+            "duration_secs": 6,
+            "warmup_secs": 0,
+            "vms": [ { "mem_mb": 32, "weight": 100, "containers": [
+                { "name": "late", "limit_mb": 8,
+                  "policy": { "store": "mem", "weight": 100 },
+                  "start_secs": 4,
+                  "workload": { "kind": "webserver", "files": 100 } }
+            ] } ]
+        }"#;
+        let spec = ScenarioSpec::from_json(json).unwrap();
+        let report = run(&spec).unwrap();
+        let series = report.series("late (MB)").unwrap();
+        let before = series.mean_in(1.0, 4.0).unwrap_or(0.0);
+        assert_eq!(before, 0.0, "no activity before the delayed start");
+        assert!(report.threads[0].ops > 0, "workload ran after its start");
+    }
+}

@@ -1,0 +1,296 @@
+//! SLA-floor feedback control over DoubleDecker weights.
+//!
+//! The paper frames DoubleDecker as the enabler of "resource-based SLA
+//! business model enhancements for derivative clouds" (§6 Related work)
+//! and evaluates against per-application throughput SLAs in Table 4.
+//! This module supplies the feedback loop a derivative-cloud operator
+//! would run: measure each container's throughput over a control window,
+//! and when a container misses its floor, move cache weight to it from
+//! the most-over-target container.
+//!
+//! Unlike [`crate::adaptive`] (which optimizes an aggregate objective
+//! from miss-ratio curves), this controller enforces *per-container
+//! minimums* — the two compose naturally: floors first, surplus by
+//! marginal benefit.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ddc_cleancache::{CachePolicy, StoreKind, VmId};
+use ddc_guest::CgroupId;
+use ddc_hypervisor::Host;
+use ddc_sim::{SimDuration, SimTime};
+
+use crate::{Experiment, ThreadPool};
+
+/// One container's SLA: threads labelled `prefix/*` must sustain at
+/// least `min_ops_per_sec` over each control window.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlaTarget {
+    /// Thread-label prefix identifying the container's workload.
+    pub prefix: String,
+    /// The container whose cache weight is adjusted.
+    pub cg: CgroupId,
+    /// Throughput floor, operations per second.
+    pub min_ops_per_sec: f64,
+}
+
+/// The feedback controller. Keep it in an `Rc<RefCell<_>>` and let
+/// [`schedule`] wire it into an experiment.
+#[derive(Debug)]
+pub struct SlaManager {
+    vm: VmId,
+    targets: Vec<SlaTarget>,
+    /// Weight points moved per control round.
+    pub step: u32,
+    /// Weight floor per container.
+    pub min_weight: u32,
+    last_ops: HashMap<String, u64>,
+    last_at: SimTime,
+    /// Rounds in which a weight transfer happened.
+    pub adjustments: u32,
+}
+
+impl SlaManager {
+    /// Creates a manager for `vm` with the given targets.
+    pub fn new(vm: VmId, targets: Vec<SlaTarget>) -> SlaManager {
+        SlaManager {
+            vm,
+            targets,
+            step: 10,
+            min_weight: 5,
+            last_ops: HashMap::new(),
+            last_at: SimTime::ZERO,
+            adjustments: 0,
+        }
+    }
+
+    /// Runs one control round at `now`: measures per-target throughput
+    /// since the previous round and, if any target is under its floor,
+    /// moves `step` weight from the container with the largest relative
+    /// surplus to the one with the largest relative deficit. Returns the
+    /// `(donor, recipient)` container pair if a transfer happened.
+    pub fn control(
+        &mut self,
+        host: &mut Host,
+        pool: &ThreadPool,
+        now: SimTime,
+    ) -> Option<(CgroupId, CgroupId)> {
+        let window = now.saturating_since(self.last_at).as_secs_f64();
+        if window <= 0.0 {
+            return None;
+        }
+        // Measured rate per target over the window.
+        let mut rates = Vec::with_capacity(self.targets.len());
+        for t in &self.targets {
+            let total = pool.total_ops(&t.prefix);
+            let prev = self.last_ops.insert(t.prefix.clone(), total).unwrap_or(0);
+            rates.push((total - prev) as f64 / window);
+        }
+        self.last_at = now;
+
+        // Relative attainment: rate / floor (1.0 = exactly on target).
+        let attainment: Vec<f64> = self
+            .targets
+            .iter()
+            .zip(&rates)
+            .map(|(t, &r)| {
+                if t.min_ops_per_sec <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    r / t.min_ops_per_sec
+                }
+            })
+            .collect();
+
+        let worst = attainment
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)?;
+        if attainment[worst] >= 1.0 {
+            return None; // every floor is met
+        }
+        // Donor: the most-over-target container that can still give and
+        // whose policy is a weighted memory policy.
+        let donor = attainment
+            .iter()
+            .enumerate()
+            .filter(|&(i, &a)| {
+                i != worst && a > 1.0 && {
+                    let p = host.guest(self.vm).cgroup(self.targets[i].cg).policy();
+                    p.store == StoreKind::Mem && p.weight >= self.min_weight + self.step
+                }
+            })
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .map(|(i, _)| i)?;
+
+        let donor_cg = self.targets[donor].cg;
+        let worst_cg = self.targets[worst].cg;
+        let donor_w = host.guest(self.vm).cgroup(donor_cg).policy().weight;
+        let worst_w = host.guest(self.vm).cgroup(worst_cg).policy().weight;
+        host.set_container_policy(self.vm, donor_cg, CachePolicy::mem(donor_w - self.step));
+        host.set_container_policy(self.vm, worst_cg, CachePolicy::mem(worst_w + self.step));
+        self.adjustments += 1;
+        Some((donor_cg, worst_cg))
+    }
+}
+
+/// Schedules periodic control rounds of `manager` on an experiment,
+/// every `interval` until `end`.
+pub fn schedule(
+    exp: &mut Experiment,
+    manager: Rc<RefCell<SlaManager>>,
+    interval: SimDuration,
+    end: SimTime,
+) {
+    let mut at = SimTime::ZERO + interval;
+    while at <= end {
+        let m = Rc::clone(&manager);
+        exp.schedule(at, move |host, pool, now| {
+            m.borrow_mut().control(host, pool, now);
+        });
+        at += interval;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    fn web(files: usize, think_us: u64) -> WebConfig {
+        WebConfig {
+            files,
+            mean_file_blocks: 2,
+            zipf_theta: 0.4,
+            think_time: SimDuration::from_micros(think_us),
+            ..WebConfig::default()
+        }
+    }
+
+    /// A starved container with a demanding SLA steals weight from an
+    /// over-achieving one until its floor is met (or weights bottom out).
+    #[test]
+    fn starved_container_gains_weight() {
+        let mut host = Host::new(HostConfig::new(CacheConfig::mem_only(768)));
+        let vm = host.boot_vm(64, 100);
+        // "starved" has the bigger working set but starts with low weight.
+        let starved = host.create_container(vm, "starved", 128, CachePolicy::mem(20));
+        let rich = host.create_container(vm, "rich", 128, CachePolicy::mem(80));
+        let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+        exp.add_thread(Box::new(Webserver::new(
+            "starved/t0",
+            vm,
+            starved,
+            web(900, 200),
+            1,
+        )));
+        exp.add_thread(Box::new(Webserver::new(
+            "rich/t0",
+            vm,
+            rich,
+            web(300, 200),
+            2,
+        )));
+        let manager = Rc::new(RefCell::new(SlaManager::new(
+            vm,
+            vec![
+                SlaTarget {
+                    prefix: "starved".into(),
+                    cg: starved,
+                    min_ops_per_sec: 1_000_000.0, // unreachable: always pulls
+                },
+                SlaTarget {
+                    prefix: "rich".into(),
+                    cg: rich,
+                    min_ops_per_sec: 1.0, // trivially satisfied: donor
+                },
+            ],
+        )));
+        schedule(
+            &mut exp,
+            Rc::clone(&manager),
+            SimDuration::from_secs(10),
+            SimTime::from_secs(80),
+        );
+        exp.run_until(SimTime::from_secs(80));
+        let w_starved = exp.host().guest(vm).cgroup(starved).policy().weight;
+        let w_rich = exp.host().guest(vm).cgroup(rich).policy().weight;
+        assert!(
+            w_starved > 20 && w_rich < 80,
+            "weight must flow to the starved container ({w_starved}/{w_rich})"
+        );
+        assert!(manager.borrow().adjustments > 0);
+        assert!(w_rich >= 5, "donor floor respected");
+    }
+
+    /// With every floor met, the controller never moves weight.
+    #[test]
+    fn satisfied_slas_leave_weights_alone() {
+        let mut host = Host::new(HostConfig::new(CacheConfig::mem_only(768)));
+        let vm = host.boot_vm(64, 100);
+        let a = host.create_container(vm, "a", 128, CachePolicy::mem(50));
+        let b = host.create_container(vm, "b", 128, CachePolicy::mem(50));
+        let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+        exp.add_thread(Box::new(Webserver::new("a/t0", vm, a, web(100, 500), 3)));
+        exp.add_thread(Box::new(Webserver::new("b/t0", vm, b, web(100, 500), 4)));
+        let manager = Rc::new(RefCell::new(SlaManager::new(
+            vm,
+            vec![
+                SlaTarget {
+                    prefix: "a".into(),
+                    cg: a,
+                    min_ops_per_sec: 1.0,
+                },
+                SlaTarget {
+                    prefix: "b".into(),
+                    cg: b,
+                    min_ops_per_sec: 1.0,
+                },
+            ],
+        )));
+        schedule(
+            &mut exp,
+            Rc::clone(&manager),
+            SimDuration::from_secs(10),
+            SimTime::from_secs(40),
+        );
+        exp.run_until(SimTime::from_secs(40));
+        assert_eq!(manager.borrow().adjustments, 0);
+        assert_eq!(exp.host().guest(vm).cgroup(a).policy().weight, 50);
+    }
+
+    /// Without any donor above target, the controller does nothing (it
+    /// never robs one violator to pay another).
+    #[test]
+    fn no_donor_no_transfer() {
+        let mut host = Host::new(HostConfig::new(CacheConfig::mem_only(256)));
+        let vm = host.boot_vm(16, 100);
+        let a = host.create_container(vm, "a", 64, CachePolicy::mem(50));
+        let b = host.create_container(vm, "b", 64, CachePolicy::mem(50));
+        let pool = ThreadPool::default();
+        let mut manager = SlaManager::new(
+            vm,
+            vec![
+                SlaTarget {
+                    prefix: "a".into(),
+                    cg: a,
+                    min_ops_per_sec: 1000.0,
+                },
+                SlaTarget {
+                    prefix: "b".into(),
+                    cg: b,
+                    min_ops_per_sec: 1000.0,
+                },
+            ],
+        );
+        // No threads ran: both rates are zero, both violate, no donor.
+        assert_eq!(
+            manager.control(&mut host, &pool, SimTime::from_secs(10)),
+            None
+        );
+        assert_eq!(manager.adjustments, 0);
+    }
+}

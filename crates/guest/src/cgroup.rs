@@ -1,0 +1,217 @@
+//! The cgroup subsystem with the DoubleDecker extensions.
+
+use std::fmt;
+
+use ddc_cleancache::{CachePolicy, PoolId};
+
+use crate::{AnonSpace, MrcEstimator, PageCache};
+
+/// In-guest identifier of one application container's cgroup.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CgroupId(pub u32);
+
+impl fmt::Display for CgroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cg{}", self.0)
+    }
+}
+
+/// Point-in-time memory statistics of one cgroup — the guest-side numbers
+/// of the paper's Table 1.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CgroupMemStats {
+    /// Resident anonymous pages.
+    pub anon_resident_pages: u64,
+    /// Allocated anonymous pages (resident + swapped).
+    pub anon_allocated_pages: u64,
+    /// Anonymous pages currently on swap.
+    pub swapped_pages: u64,
+    /// Cumulative swap-outs.
+    pub swap_out_total: u64,
+    /// Cumulative swap-ins (major faults).
+    pub swap_in_total: u64,
+    /// Resident page-cache pages (clean + dirty).
+    pub page_cache_pages: u64,
+    /// Dirty page-cache pages.
+    pub dirty_pages: u64,
+    /// The cgroup's configured hard limit.
+    pub mem_limit_pages: u64,
+}
+
+impl CgroupMemStats {
+    /// Total charged memory: anonymous resident + page cache.
+    pub fn charged_pages(&self) -> u64 {
+        self.anon_resident_pages + self.page_cache_pages
+    }
+}
+
+/// One application container's cgroup: hard memory limit, the
+/// DoubleDecker `<T, W>` cache policy, and the container's memory state.
+#[derive(Clone, Debug)]
+pub struct Cgroup {
+    name: String,
+    mem_limit_pages: u64,
+    policy: CachePolicy,
+    pool: Option<PoolId>,
+    /// The container's file page cache.
+    pub page_cache: PageCache,
+    /// The container's anonymous memory.
+    pub anon: AnonSpace,
+    /// Reads served by [page cache, cleancache, disk] respectively.
+    pub reads_by_level: [u64; 3],
+    /// Optional in-guest miss-ratio-curve estimator (paper §5.2.1:
+    /// MRC/WSS estimation "done from within the VM").
+    pub mrc: Option<MrcEstimator>,
+}
+
+impl Cgroup {
+    /// Creates a cgroup with a hard memory limit (in pages) and a cache
+    /// policy.
+    pub fn new(name: impl Into<String>, mem_limit_pages: u64, policy: CachePolicy) -> Cgroup {
+        Cgroup {
+            name: name.into(),
+            mem_limit_pages,
+            policy,
+            pool: None,
+            page_cache: PageCache::new(),
+            anon: AnonSpace::new(),
+            reads_by_level: [0; 3],
+            mrc: None,
+        }
+    }
+
+    /// The cgroup's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The hard memory limit in pages.
+    pub fn mem_limit_pages(&self) -> u64 {
+        self.mem_limit_pages
+    }
+
+    /// Updates the hard memory limit. The caller is responsible for
+    /// reclaiming if the cgroup is now over limit.
+    pub fn set_mem_limit_pages(&mut self, pages: u64) {
+        self.mem_limit_pages = pages;
+    }
+
+    /// The `<T, W>` hypervisor cache policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Updates the policy (the caller propagates SET_CG_WEIGHT).
+    pub fn set_policy(&mut self, policy: CachePolicy) {
+        self.policy = policy;
+    }
+
+    /// The hypervisor cache pool assigned at creation, if caching is on.
+    pub fn pool(&self) -> Option<PoolId> {
+        self.pool
+    }
+
+    /// Records the pool id returned by the CREATE_CGROUP handshake.
+    pub fn set_pool(&mut self, pool: Option<PoolId>) {
+        self.pool = pool;
+    }
+
+    /// Pages currently charged to the cgroup (anon resident + page cache).
+    pub fn charged_pages(&self) -> u64 {
+        self.anon.resident() + self.page_cache.len()
+    }
+
+    /// Whether the cgroup is at or over its hard limit.
+    pub fn at_limit(&self) -> bool {
+        self.charged_pages() >= self.mem_limit_pages
+    }
+
+    /// Memory statistics snapshot.
+    pub fn mem_stats(&self) -> CgroupMemStats {
+        CgroupMemStats {
+            anon_resident_pages: self.anon.resident(),
+            anon_allocated_pages: self.anon.allocated(),
+            swapped_pages: self.anon.swapped(),
+            swap_out_total: self.anon.swap_outs(),
+            swap_in_total: self.anon.swap_ins(),
+            page_cache_pages: self.page_cache.len(),
+            dirty_pages: self.page_cache.dirty_len(),
+            mem_limit_pages: self.mem_limit_pages,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_cleancache::PageVersion;
+    use ddc_storage::{BlockAddr, FileId};
+
+    #[test]
+    fn construction_and_accessors() {
+        let cg = Cgroup::new("web", 1024, CachePolicy::mem(40));
+        assert_eq!(cg.name(), "web");
+        assert_eq!(cg.mem_limit_pages(), 1024);
+        assert_eq!(cg.policy(), CachePolicy::mem(40));
+        assert_eq!(cg.pool(), None);
+        assert_eq!(cg.charged_pages(), 0);
+        assert!(!cg.at_limit());
+    }
+
+    #[test]
+    fn charged_pages_counts_both_kinds() {
+        let mut cg = Cgroup::new("c", 10, CachePolicy::default());
+        cg.anon.grow(4);
+        cg.anon.touch(0);
+        cg.anon.touch(1);
+        cg.page_cache
+            .insert(BlockAddr::new(FileId(1), 0), false, PageVersion(0));
+        assert_eq!(cg.charged_pages(), 3);
+    }
+
+    #[test]
+    fn at_limit_detection() {
+        let mut cg = Cgroup::new("c", 2, CachePolicy::default());
+        cg.anon.grow(2);
+        cg.anon.touch(0);
+        assert!(!cg.at_limit());
+        cg.anon.touch(1);
+        assert!(cg.at_limit());
+        cg.set_mem_limit_pages(10);
+        assert!(!cg.at_limit());
+    }
+
+    #[test]
+    fn stats_snapshot() {
+        let mut cg = Cgroup::new("c", 100, CachePolicy::default());
+        cg.anon.grow(5);
+        cg.anon.touch(0);
+        cg.anon.touch(1);
+        cg.anon.swap_out_lru();
+        cg.page_cache
+            .insert(BlockAddr::new(FileId(1), 0), true, PageVersion(1));
+        let s = cg.mem_stats();
+        assert_eq!(s.anon_resident_pages, 1);
+        assert_eq!(s.anon_allocated_pages, 5);
+        assert_eq!(s.swapped_pages, 4);
+        assert_eq!(s.swap_out_total, 1);
+        assert_eq!(s.page_cache_pages, 1);
+        assert_eq!(s.dirty_pages, 1);
+        assert_eq!(s.mem_limit_pages, 100);
+        assert_eq!(s.charged_pages(), 2);
+    }
+
+    #[test]
+    fn policy_and_pool_updates() {
+        let mut cg = Cgroup::new("c", 100, CachePolicy::default());
+        cg.set_policy(CachePolicy::ssd(70));
+        assert_eq!(cg.policy(), CachePolicy::ssd(70));
+        cg.set_pool(Some(PoolId(4)));
+        assert_eq!(cg.pool(), Some(PoolId(4)));
+    }
+
+    #[test]
+    fn display_id() {
+        assert_eq!(CgroupId(3).to_string(), "cg3");
+    }
+}

@@ -1,0 +1,55 @@
+//! Guest operating-system memory model.
+//!
+//! Models the parts of a Linux guest that DoubleDecker interacts with
+//! (paper §2, §4.1):
+//!
+//! * a **page cache** per cgroup ([`PageCache`]) holding clean and dirty
+//!   file pages in LRU order — the guest OS "greedily consumes all
+//!   available free memory" for it,
+//! * **anonymous memory** per cgroup ([`AnonSpace`]) with swap-in/out —
+//!   the resource that hypervisor caches *cannot* help (Table 1's Redis
+//!   and MySQL behaviour),
+//! * the **cgroup subsystem** ([`Cgroup`], [`CgroupId`]) with hard memory
+//!   limits and the DoubleDecker extensions (`<T, W>` policy, pool-id
+//!   handshake),
+//! * **reclaim**: on cgroup-limit or VM-level pressure the guest evicts
+//!   clean page-cache pages (→ cleancache `put`), writes back dirty ones,
+//!   and swaps anonymous pages as the last resort — exactly the order that
+//!   makes the hypervisor cache an extension of the guest's disk cache,
+//! * the **read/write/fsync path** ([`GuestOs`]) with the cleancache
+//!   lookup inserted between the page cache and the virtual disk.
+//!
+//! # Example
+//!
+//! ```
+//! use ddc_cleancache::{CachePolicy, NullCache, VmId};
+//! use ddc_guest::{GuestConfig, GuestEnv, GuestOs};
+//! use ddc_sim::SimTime;
+//! use ddc_storage::{BlockAddr, Device, FileId};
+//!
+//! let mut guest = GuestOs::new(VmId(0), GuestConfig::with_mem_mb(64));
+//! let mut backend = NullCache::new();
+//! let mut disk = Device::hdd();
+//! let mut env = GuestEnv { backend: &mut backend, disk: &mut disk };
+//!
+//! let cg = guest.create_cgroup(&mut env, "web", 4096, CachePolicy::default());
+//! let r = guest.read(&mut env, SimTime::ZERO, cg, BlockAddr::new(FileId(1), 0));
+//! assert_eq!(r.level, ddc_guest::HitLevel::Disk); // cold read
+//! let r2 = guest.read(&mut env, r.finish, cg, BlockAddr::new(FileId(1), 0));
+//! assert_eq!(r2.level, ddc_guest::HitLevel::PageCache); // now cached
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod anon;
+mod cgroup;
+mod mrc;
+mod os;
+mod pagecache;
+
+pub use anon::AnonSpace;
+pub use cgroup::{Cgroup, CgroupId, CgroupMemStats};
+pub use mrc::{MissRatioCurve, MrcEstimator};
+pub use os::{GuestConfig, GuestEnv, GuestOs, HitLevel, ReadResult, WriteResult};
+pub use pagecache::{PageCache, PageState};

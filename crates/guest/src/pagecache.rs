@@ -1,0 +1,401 @@
+//! Per-cgroup page cache with LRU ordering and dirty tracking.
+
+use std::collections::{HashMap, VecDeque};
+
+use ddc_cleancache::PageVersion;
+use ddc_storage::{BlockAddr, FileId};
+
+/// State of one cached file page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageState {
+    /// Whether the page has been modified since it matched the disk.
+    pub dirty: bool,
+    /// Version of the content the page currently holds.
+    pub version: PageVersion,
+    lru_seq: u64,
+}
+
+/// A file page cache with LRU eviction order.
+///
+/// Uses the lazy-deletion queue idiom: touching a page appends a fresh
+/// `(addr, seq)` entry; stale entries are skipped on pop. The queue is
+/// compacted when stale entries outnumber live ones.
+///
+/// # Example
+///
+/// ```
+/// use ddc_guest::PageCache;
+/// use ddc_cleancache::PageVersion;
+/// use ddc_storage::{BlockAddr, FileId};
+///
+/// let mut pc = PageCache::new();
+/// pc.insert(BlockAddr::new(FileId(1), 0), false, PageVersion(0));
+/// assert_eq!(pc.len(), 1);
+/// let (addr, st) = pc.pop_lru().unwrap();
+/// assert_eq!(addr, BlockAddr::new(FileId(1), 0));
+/// assert!(!st.dirty);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PageCache {
+    pages: HashMap<BlockAddr, PageState>,
+    lru: VecDeque<(BlockAddr, u64)>,
+    next_seq: u64,
+}
+
+impl PageCache {
+    /// Creates an empty cache.
+    pub fn new() -> PageCache {
+        PageCache::default()
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Whether no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Number of dirty resident pages.
+    pub fn dirty_len(&self) -> u64 {
+        self.pages.values().filter(|p| p.dirty).count() as u64
+    }
+
+    /// Looks up a page without touching LRU order.
+    pub fn peek(&self, addr: BlockAddr) -> Option<&PageState> {
+        self.pages.get(&addr)
+    }
+
+    /// Whether the page is resident.
+    pub fn contains(&self, addr: BlockAddr) -> bool {
+        self.pages.contains_key(&addr)
+    }
+
+    /// Looks up a page and marks it most-recently-used.
+    pub fn touch(&mut self, addr: BlockAddr) -> Option<PageState> {
+        let seq = self.alloc_seq();
+        let state = self.pages.get_mut(&addr)?;
+        state.lru_seq = seq;
+        let snapshot = *state;
+        self.lru.push_back((addr, seq));
+        self.maybe_compact();
+        Some(snapshot)
+    }
+
+    /// Inserts (or replaces) a page as most-recently-used.
+    pub fn insert(&mut self, addr: BlockAddr, dirty: bool, version: PageVersion) {
+        let seq = self.alloc_seq();
+        self.pages.insert(
+            addr,
+            PageState {
+                dirty,
+                version,
+                lru_seq: seq,
+            },
+        );
+        self.lru.push_back((addr, seq));
+        self.maybe_compact();
+    }
+
+    /// Marks a resident page dirty with a new version, refreshing LRU.
+    /// Returns the new version, or `None` if the page is not resident.
+    pub fn mark_dirty(&mut self, addr: BlockAddr) -> Option<PageVersion> {
+        let seq = self.alloc_seq();
+        let state = self.pages.get_mut(&addr)?;
+        state.dirty = true;
+        state.version = state.version.bump();
+        state.lru_seq = seq;
+        let v = state.version;
+        self.lru.push_back((addr, seq));
+        self.maybe_compact();
+        Some(v)
+    }
+
+    /// Marks a resident page clean (after writeback) without touching LRU.
+    pub fn mark_clean(&mut self, addr: BlockAddr) {
+        if let Some(state) = self.pages.get_mut(&addr) {
+            state.dirty = false;
+        }
+    }
+
+    /// Removes one page by address.
+    pub fn remove(&mut self, addr: BlockAddr) -> Option<PageState> {
+        self.pages.remove(&addr)
+    }
+
+    /// Removes and returns the least-recently-used page.
+    pub fn pop_lru(&mut self) -> Option<(BlockAddr, PageState)> {
+        loop {
+            let (addr, seq) = self.lru.pop_front()?;
+            let live = self.pages.get(&addr).is_some_and(|p| p.lru_seq == seq);
+            if live {
+                let state = self.pages.remove(&addr).expect("verified live");
+                return Some((addr, state));
+            }
+        }
+    }
+
+    /// The least-recently-used page without removing it.
+    pub fn peek_lru(&mut self) -> Option<(BlockAddr, PageState)> {
+        loop {
+            let &(addr, seq) = self.lru.front()?;
+            let live = self.pages.get(&addr).is_some_and(|p| p.lru_seq == seq);
+            if live {
+                return Some((addr, self.pages[&addr]));
+            }
+            self.lru.pop_front();
+        }
+    }
+
+    /// Addresses of all dirty pages of `file` (for fsync), in block order.
+    pub fn dirty_blocks_of(&self, file: FileId) -> Vec<BlockAddr> {
+        let mut blocks: Vec<BlockAddr> = self
+            .pages
+            .iter()
+            .filter(|(a, p)| a.file == file && p.dirty)
+            .map(|(a, _)| *a)
+            .collect();
+        blocks.sort();
+        blocks
+    }
+
+    /// Up to `max` dirty page addresses in LRU-ish (oldest-first) order,
+    /// for background writeback.
+    pub fn collect_dirty(&self, max: usize) -> Vec<BlockAddr> {
+        let mut dirty: Vec<(u64, BlockAddr)> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p.dirty)
+            .map(|(a, p)| (p.lru_seq, *a))
+            .collect();
+        dirty.sort_unstable();
+        dirty.into_iter().take(max).map(|(_, a)| a).collect()
+    }
+
+    /// Iterates over the addresses of all *clean* resident pages.
+    pub fn iter_addrs_clean(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.pages.iter().filter(|(_, p)| !p.dirty).map(|(a, _)| *a)
+    }
+
+    /// Removes all pages of `file`, returning them (for truncate/delete).
+    pub fn remove_file(&mut self, file: FileId) -> Vec<(BlockAddr, PageState)> {
+        let addrs: Vec<BlockAddr> = self
+            .pages
+            .keys()
+            .filter(|a| a.file == file)
+            .copied()
+            .collect();
+        addrs
+            .into_iter()
+            .filter_map(|a| self.pages.remove(&a).map(|s| (a, s)))
+            .collect()
+    }
+
+    /// The oldest (LRU) page's age rank — used by global reclaim to pick a
+    /// victim cgroup. Lower seq = older.
+    pub fn lru_seq_front(&mut self) -> Option<u64> {
+        self.peek_lru().map(|(_, s)| s.lru_seq)
+    }
+
+    fn alloc_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.lru.len() > self.pages.len().saturating_mul(4).max(1024) {
+            let pages = &self.pages;
+            self.lru
+                .retain(|(a, s)| pages.get(a).is_some_and(|p| p.lru_seq == *s));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(f: u64, b: u64) -> BlockAddr {
+        BlockAddr::new(FileId(f), b)
+    }
+
+    #[test]
+    fn insert_touch_remove() {
+        let mut pc = PageCache::new();
+        pc.insert(addr(1, 0), false, PageVersion(0));
+        assert!(pc.contains(addr(1, 0)));
+        assert_eq!(pc.len(), 1);
+        assert!(pc.touch(addr(1, 0)).is_some());
+        assert!(pc.touch(addr(9, 9)).is_none());
+        assert!(pc.remove(addr(1, 0)).is_some());
+        assert!(pc.is_empty());
+    }
+
+    #[test]
+    fn lru_order_basic() {
+        let mut pc = PageCache::new();
+        for b in 0..3 {
+            pc.insert(addr(1, b), false, PageVersion(0));
+        }
+        assert_eq!(pc.pop_lru().unwrap().0, addr(1, 0));
+        assert_eq!(pc.pop_lru().unwrap().0, addr(1, 1));
+        assert_eq!(pc.pop_lru().unwrap().0, addr(1, 2));
+        assert_eq!(pc.pop_lru(), None);
+    }
+
+    #[test]
+    fn touch_refreshes_lru() {
+        let mut pc = PageCache::new();
+        for b in 0..3 {
+            pc.insert(addr(1, b), false, PageVersion(0));
+        }
+        pc.touch(addr(1, 0));
+        assert_eq!(pc.pop_lru().unwrap().0, addr(1, 1));
+        assert_eq!(pc.pop_lru().unwrap().0, addr(1, 2));
+        assert_eq!(pc.pop_lru().unwrap().0, addr(1, 0));
+    }
+
+    #[test]
+    fn mark_dirty_bumps_version_and_lru() {
+        let mut pc = PageCache::new();
+        pc.insert(addr(1, 0), false, PageVersion(0));
+        pc.insert(addr(1, 1), false, PageVersion(0));
+        let v = pc.mark_dirty(addr(1, 0)).unwrap();
+        assert_eq!(v, PageVersion(1));
+        assert_eq!(pc.dirty_len(), 1);
+        // Dirtied page became MRU.
+        assert_eq!(pc.pop_lru().unwrap().0, addr(1, 1));
+        let (a, st) = pc.pop_lru().unwrap();
+        assert_eq!(a, addr(1, 0));
+        assert!(st.dirty);
+        assert_eq!(st.version, PageVersion(1));
+        assert_eq!(pc.mark_dirty(addr(9, 9)), None);
+    }
+
+    #[test]
+    fn mark_clean_clears_dirty_bit() {
+        let mut pc = PageCache::new();
+        pc.insert(addr(1, 0), true, PageVersion(2));
+        pc.mark_clean(addr(1, 0));
+        assert!(!pc.peek(addr(1, 0)).unwrap().dirty);
+        assert_eq!(pc.peek(addr(1, 0)).unwrap().version, PageVersion(2));
+        pc.mark_clean(addr(7, 7)); // no-op
+    }
+
+    #[test]
+    fn peek_lru_does_not_remove() {
+        let mut pc = PageCache::new();
+        pc.insert(addr(1, 0), false, PageVersion(0));
+        assert_eq!(pc.peek_lru().unwrap().0, addr(1, 0));
+        assert_eq!(pc.len(), 1);
+    }
+
+    #[test]
+    fn peek_lru_skips_stale() {
+        let mut pc = PageCache::new();
+        pc.insert(addr(1, 0), false, PageVersion(0));
+        pc.insert(addr(1, 1), false, PageVersion(0));
+        pc.remove(addr(1, 0));
+        assert_eq!(pc.peek_lru().unwrap().0, addr(1, 1));
+    }
+
+    #[test]
+    fn dirty_blocks_of_sorted() {
+        let mut pc = PageCache::new();
+        pc.insert(addr(1, 5), true, PageVersion(1));
+        pc.insert(addr(1, 2), true, PageVersion(1));
+        pc.insert(addr(1, 3), false, PageVersion(0));
+        pc.insert(addr(2, 0), true, PageVersion(1));
+        assert_eq!(pc.dirty_blocks_of(FileId(1)), vec![addr(1, 2), addr(1, 5)]);
+    }
+
+    #[test]
+    fn remove_file_takes_all_pages() {
+        let mut pc = PageCache::new();
+        pc.insert(addr(1, 0), false, PageVersion(0));
+        pc.insert(addr(1, 1), true, PageVersion(1));
+        pc.insert(addr(2, 0), false, PageVersion(0));
+        let removed = pc.remove_file(FileId(1));
+        assert_eq!(removed.len(), 2);
+        assert_eq!(pc.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_state() {
+        let mut pc = PageCache::new();
+        pc.insert(addr(1, 0), false, PageVersion(0));
+        pc.insert(addr(1, 0), true, PageVersion(5));
+        assert_eq!(pc.len(), 1);
+        let st = pc.peek(addr(1, 0)).unwrap();
+        assert!(st.dirty);
+        assert_eq!(st.version, PageVersion(5));
+    }
+
+    #[test]
+    fn compaction_keeps_correctness_under_churn() {
+        let mut pc = PageCache::new();
+        // Touch a small set many times to force compaction paths.
+        for b in 0..8 {
+            pc.insert(addr(1, b), false, PageVersion(0));
+        }
+        for round in 0..2000u64 {
+            pc.touch(addr(1, round % 8));
+        }
+        assert_eq!(pc.len(), 8);
+        let mut popped = Vec::new();
+        while let Some((a, _)) = pc.pop_lru() {
+            popped.push(a);
+        }
+        assert_eq!(popped.len(), 8);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// `len()` always equals the number of live pages, and pop_lru
+            /// drains exactly the resident set.
+            #[test]
+            fn len_matches_drain(ops in proptest::collection::vec((0u8..32, 0u8..3), 0..300)) {
+                let mut pc = PageCache::new();
+                let mut model = std::collections::HashSet::new();
+                for (block, op) in ops {
+                    let a = addr(1, block as u64);
+                    match op {
+                        0 => { pc.insert(a, false, PageVersion(0)); model.insert(a); }
+                        1 => { pc.remove(a); model.remove(&a); }
+                        _ => { pc.touch(a); }
+                    }
+                    prop_assert_eq!(pc.len(), model.len() as u64);
+                }
+                let mut drained = 0;
+                while pc.pop_lru().is_some() { drained += 1; }
+                prop_assert_eq!(drained, model.len());
+            }
+
+            /// LRU pops come out in non-decreasing last-touch order.
+            #[test]
+            fn pop_order_respects_touches(touches in proptest::collection::vec(0u8..16, 1..100)) {
+                let mut pc = PageCache::new();
+                let mut last_touch: HashMap<BlockAddr, usize> = HashMap::new();
+                for (i, b) in touches.iter().enumerate() {
+                    let a = addr(1, *b as u64);
+                    if pc.contains(a) { pc.touch(a); } else { pc.insert(a, false, PageVersion(0)); }
+                    last_touch.insert(a, i);
+                }
+                let mut prev = None;
+                while let Some((a, _)) = pc.pop_lru() {
+                    let t = last_touch[&a];
+                    if let Some(p) = prev {
+                        prop_assert!(t > p, "pop order must follow last-touch order");
+                    }
+                    prev = Some(t);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Cache-wide configuration.
+
+use ddc_storage::PAGE_SIZE;
+
+/// Eviction batch size: the paper evicts "a small batch (2 MB)" when a
+/// store request cannot be serviced because of limit violations (§4.3).
+pub const EVICTION_BATCH_PAGES: u64 = 2 * 1024 * 1024 / PAGE_SIZE;
+
+/// How the cache distributes capacity among its users.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PartitionMode {
+    /// DoubleDecker: two-level weighted entitlements with slack
+    /// redistribution and Algorithm 1 victim selection.
+    #[default]
+    DoubleDecker,
+    /// Global (tmem-like baseline): container-agnostic, single FIFO per
+    /// store, first-come-first-served occupancy.
+    Global,
+    /// Strict partitions (Morai-like comparator): entitlements are hard
+    /// caps; a pool at its cap evicts from itself, and unused entitlement
+    /// is never lent out.
+    Strict,
+}
+
+impl std::fmt::Display for PartitionMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PartitionMode::DoubleDecker => "doubledecker",
+            PartitionMode::Global => "global",
+            PartitionMode::Strict => "strict",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Construction-time configuration of a [`crate::DoubleDeckerCache`].
+///
+/// Capacities are in 4 KiB pages and may be changed later at runtime via
+/// [`crate::DoubleDeckerCache::set_mem_capacity`] /
+/// [`crate::DoubleDeckerCache::set_ssd_capacity`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Memory store capacity in pages (0 disables the store).
+    pub mem_capacity_pages: u64,
+    /// SSD store capacity in pages (0 disables the store).
+    pub ssd_capacity_pages: u64,
+    /// Partitioning/eviction mode.
+    pub mode: PartitionMode,
+}
+
+impl CacheConfig {
+    /// A memory-only DoubleDecker cache.
+    pub fn mem_only(mem_capacity_pages: u64) -> CacheConfig {
+        CacheConfig {
+            mem_capacity_pages,
+            ssd_capacity_pages: 0,
+            mode: PartitionMode::DoubleDecker,
+        }
+    }
+
+    /// A memory + SSD DoubleDecker cache.
+    pub fn mem_and_ssd(mem_capacity_pages: u64, ssd_capacity_pages: u64) -> CacheConfig {
+        CacheConfig {
+            mem_capacity_pages,
+            ssd_capacity_pages,
+            mode: PartitionMode::DoubleDecker,
+        }
+    }
+
+    /// Helper: capacity from mebibytes.
+    pub fn pages_from_mb(mb: u64) -> u64 {
+        mb * 1024 * 1024 / PAGE_SIZE
+    }
+
+    /// Helper: capacity from gibibytes.
+    pub fn pages_from_gb(gb: u64) -> u64 {
+        Self::pages_from_mb(gb * 1024)
+    }
+
+    /// Returns the same configuration with a different mode.
+    pub fn with_mode(mut self, mode: PartitionMode) -> CacheConfig {
+        self.mode = mode;
+        self
+    }
+}
+
+impl Default for CacheConfig {
+    /// A 1 GiB memory-only DoubleDecker cache.
+    fn default() -> CacheConfig {
+        CacheConfig::mem_only(Self::pages_from_gb(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_batch_is_2mb() {
+        assert_eq!(EVICTION_BATCH_PAGES * PAGE_SIZE, 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn page_helpers() {
+        assert_eq!(CacheConfig::pages_from_mb(1), 1024 * 1024 / PAGE_SIZE);
+        assert_eq!(
+            CacheConfig::pages_from_gb(1),
+            1024 * 1024 * 1024 / PAGE_SIZE
+        );
+    }
+
+    #[test]
+    fn constructors() {
+        let c = CacheConfig::mem_only(100);
+        assert_eq!(c.mem_capacity_pages, 100);
+        assert_eq!(c.ssd_capacity_pages, 0);
+        assert_eq!(c.mode, PartitionMode::DoubleDecker);
+        let c2 = CacheConfig::mem_and_ssd(10, 20).with_mode(PartitionMode::Global);
+        assert_eq!(c2.ssd_capacity_pages, 20);
+        assert_eq!(c2.mode, PartitionMode::Global);
+        let d = CacheConfig::default();
+        assert_eq!(d.mem_capacity_pages, CacheConfig::pages_from_gb(1));
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(PartitionMode::DoubleDecker.to_string(), "doubledecker");
+        assert_eq!(PartitionMode::Global.to_string(), "global");
+        assert_eq!(PartitionMode::Strict.to_string(), "strict");
+    }
+}

@@ -1,0 +1,1572 @@
+//! The DoubleDecker hypervisor cache front-end.
+//!
+//! Wires the indexing module, the two backing stores and the policy module
+//! into a [`SecondChanceCache`] backend, with dynamic reconfiguration of
+//! every knob and the Global/Strict comparator modes.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use ddc_cleancache::{
+    CachePolicy, GetOutcome, PageVersion, PoolId, PoolStats, PutOutcome, SecondChanceCache,
+    StoreKind, VmId,
+};
+use ddc_sim::SimTime;
+use ddc_storage::{BlockAddr, FileId};
+
+use crate::index::{Placement, Pool};
+use crate::policy::{entitlements, select_victim, select_victim_strict, EntityUsage};
+use crate::store::BackingStore;
+use crate::{CacheConfig, PartitionMode, EVICTION_BATCH_PAGES};
+
+/// Aggregate usage of one VM across both stores, in pages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VmUsage {
+    /// Pages held in the memory store by all pools of the VM.
+    pub mem_pages: u64,
+    /// Pages held in the SSD store by all pools of the VM.
+    pub ssd_pages: u64,
+}
+
+/// Cache-wide occupancy and counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheTotals {
+    /// Memory store pages in use.
+    pub mem_used_pages: u64,
+    /// Memory store capacity.
+    pub mem_capacity_pages: u64,
+    /// SSD store pages in use.
+    pub ssd_used_pages: u64,
+    /// SSD store capacity.
+    pub ssd_capacity_pages: u64,
+    /// Objects evicted since construction (all pools).
+    pub evictions: u64,
+    /// Objects trickled down from the memory to the SSD store (hybrid
+    /// pools only).
+    pub trickle_downs: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct VmEntry {
+    mem_weight: u64,
+    ssd_weight: u64,
+}
+
+impl VmEntry {
+    fn weight_for(&self, placement: Placement) -> u64 {
+        match placement {
+            Placement::Mem => self.mem_weight,
+            Placement::Ssd => self.ssd_weight,
+        }
+    }
+}
+
+/// The DoubleDecker hypervisor cache store.
+///
+/// See the [crate-level documentation](crate) for an overview and example.
+#[derive(Debug)]
+pub struct DoubleDeckerCache {
+    mode: PartitionMode,
+    mem: BackingStore,
+    ssd: BackingStore,
+    vms: BTreeMap<VmId, VmEntry>,
+    pools: HashMap<(VmId, PoolId), Pool>,
+    next_pool: u32,
+    next_seq: u64,
+    // Global-mode FIFO queues with lazy deletion (seq-stamped).
+    global_fifo_mem: VecDeque<(VmId, PoolId, BlockAddr, u64)>,
+    global_fifo_ssd: VecDeque<(VmId, PoolId, BlockAddr, u64)>,
+    evictions: u64,
+    trickle_downs: u64,
+}
+
+impl DoubleDeckerCache {
+    /// Creates a cache from a configuration.
+    pub fn new(config: CacheConfig) -> DoubleDeckerCache {
+        DoubleDeckerCache {
+            mode: config.mode,
+            mem: BackingStore::mem(config.mem_capacity_pages),
+            ssd: BackingStore::ssd(config.ssd_capacity_pages),
+            vms: BTreeMap::new(),
+            pools: HashMap::new(),
+            next_pool: 1,
+            next_seq: 1,
+            global_fifo_mem: VecDeque::new(),
+            global_fifo_ssd: VecDeque::new(),
+            evictions: 0,
+            trickle_downs: 0,
+        }
+    }
+
+    /// The partitioning mode.
+    pub fn mode(&self) -> PartitionMode {
+        self.mode
+    }
+
+    // ------------------------------------------------------------------
+    // Host-administrator control plane (the hypervisor-level policy
+    // controller of §3).
+    // ------------------------------------------------------------------
+
+    /// Registers a VM with a cache weight applied to both stores (the
+    /// paper's base design). Re-registering updates the weights.
+    pub fn add_vm(&mut self, vm: VmId, weight: u64) {
+        self.vms.insert(
+            vm,
+            VmEntry {
+                mem_weight: weight,
+                ssd_weight: weight,
+            },
+        );
+    }
+
+    /// Registers a VM with *different* weights for the memory and SSD
+    /// stores — the generalized setup the paper's footnote 1 describes as
+    /// "a straightforward extension".
+    pub fn add_vm_with_store_weights(&mut self, vm: VmId, mem_weight: u64, ssd_weight: u64) {
+        self.vms.insert(
+            vm,
+            VmEntry {
+                mem_weight,
+                ssd_weight,
+            },
+        );
+    }
+
+    /// Updates a VM's weight in both stores (dynamic provisioning,
+    /// Fig. 13).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM was never registered.
+    pub fn set_vm_weight(&mut self, vm: VmId, weight: u64) {
+        let entry = self
+            .vms
+            .get_mut(&vm)
+            .unwrap_or_else(|| panic!("unknown {vm}"));
+        entry.mem_weight = weight;
+        entry.ssd_weight = weight;
+    }
+
+    /// Updates a VM's per-store weights independently (footnote 1
+    /// extension).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM was never registered.
+    pub fn set_vm_store_weights(&mut self, vm: VmId, mem_weight: u64, ssd_weight: u64) {
+        let entry = self
+            .vms
+            .get_mut(&vm)
+            .unwrap_or_else(|| panic!("unknown {vm}"));
+        entry.mem_weight = mem_weight;
+        entry.ssd_weight = ssd_weight;
+    }
+
+    /// Removes a VM, dropping every object of all its pools.
+    pub fn remove_vm(&mut self, vm: VmId) {
+        let pool_keys: Vec<(VmId, PoolId)> = self
+            .pools
+            .keys()
+            .filter(|(v, _)| *v == vm)
+            .copied()
+            .collect();
+        for key in pool_keys {
+            if let Some(mut pool) = self.pools.remove(&key) {
+                let (mem, ssd) = pool.drain();
+                self.mem.free(mem);
+                self.ssd.free(ssd);
+            }
+        }
+        self.vms.remove(&vm);
+    }
+
+    /// Registered VM ids.
+    pub fn vm_ids(&self) -> Vec<VmId> {
+        self.vms.keys().copied().collect()
+    }
+
+    /// Resizes the memory store, evicting the excess if shrinking
+    /// (capacity growth — paper Fig. 13 — takes effect immediately).
+    pub fn set_mem_capacity(&mut self, now: SimTime, pages: u64) {
+        self.mem.set_capacity_pages(pages);
+        self.shrink_to_capacity(now, Placement::Mem);
+    }
+
+    /// Resizes the SSD store, evicting the excess if shrinking.
+    pub fn set_ssd_capacity(&mut self, now: SimTime, pages: u64) {
+        self.ssd.set_capacity_pages(pages);
+        self.shrink_to_capacity(now, Placement::Ssd);
+    }
+
+    /// Switches partitioning mode at runtime (used by ablation benches).
+    pub fn set_mode(&mut self, mode: PartitionMode) {
+        self.mode = mode;
+    }
+
+    /// Enables zcache-style compression in the memory store: objects
+    /// occupy `object_millipages`/1000 of a page and each store/load pays
+    /// `codec_cost` (paper §1: hypervisors "can improve memory efficiency
+    /// by ... in-band compression").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object_millipages` is zero or above 1000.
+    pub fn set_mem_compression(
+        &mut self,
+        object_millipages: u64,
+        codec_cost: ddc_sim::SimDuration,
+    ) {
+        self.mem.set_compression(object_millipages, codec_cost);
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection.
+    // ------------------------------------------------------------------
+
+    /// Aggregate pages used by all pools of `vm`.
+    pub fn vm_usage(&self, vm: VmId) -> VmUsage {
+        let mut usage = VmUsage::default();
+        for ((v, _), pool) in &self.pools {
+            if *v == vm {
+                usage.mem_pages += pool.used(Placement::Mem);
+                usage.ssd_pages += pool.used(Placement::Ssd);
+            }
+        }
+        usage
+    }
+
+    /// Cache-wide totals.
+    pub fn totals(&self) -> CacheTotals {
+        CacheTotals {
+            mem_used_pages: self.mem.used_pages(),
+            mem_capacity_pages: self.mem.capacity_pages(),
+            ssd_used_pages: self.ssd.used_pages(),
+            ssd_capacity_pages: self.ssd.capacity_pages(),
+            evictions: self.evictions,
+            trickle_downs: self.trickle_downs,
+        }
+    }
+
+    /// The pool ids currently registered for `vm`.
+    pub fn pool_ids(&self, vm: VmId) -> Vec<PoolId> {
+        let mut ids: Vec<PoolId> = self
+            .pools
+            .keys()
+            .filter(|(v, _)| *v == vm)
+            .map(|(_, p)| *p)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// The entitlement of one pool in its primary store, in pages
+    /// (recomputed on demand; exposed for GET_STATS and tests).
+    pub fn pool_entitlement(&self, vm: VmId, pool: PoolId) -> u64 {
+        let Some(p) = self.pools.get(&(vm, pool)) else {
+            return 0;
+        };
+        let placement = match p.policy().store {
+            StoreKind::Mem | StoreKind::Hybrid => Placement::Mem,
+            StoreKind::Ssd => Placement::Ssd,
+        };
+        self.pool_entitlement_in(vm, pool, placement)
+    }
+
+    fn store(&mut self, placement: Placement) -> &mut BackingStore {
+        match placement {
+            Placement::Mem => &mut self.mem,
+            Placement::Ssd => &mut self.ssd,
+        }
+    }
+
+    fn store_ref(&self, placement: Placement) -> &BackingStore {
+        match placement {
+            Placement::Mem => &self.mem,
+            Placement::Ssd => &self.ssd,
+        }
+    }
+
+    fn alloc_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    // ------------------------------------------------------------------
+    // Entitlement computation (policy module, §4.2: "On any configuration
+    // change, the policy module recalculates cache store entitlements at
+    // two levels — per-VM level and container (pool) level").
+    //
+    // Entitlements are pure functions of the current weights, so rather
+    // than caching them we recompute on demand; semantics are identical
+    // and reconfiguration is trivially consistent.
+    // ------------------------------------------------------------------
+
+    /// Whether the pool participates in the store: it is assigned there by
+    /// policy, or still holds legacy objects there.
+    fn pool_participates(pool: &Pool, placement: Placement) -> bool {
+        let by_policy = match placement {
+            Placement::Mem => pool.policy().store.uses_mem(),
+            Placement::Ssd => pool.policy().store.uses_ssd(),
+        };
+        by_policy || pool.used(placement) > 0
+    }
+
+    /// The pool's weight within the store (zero if only legacy objects).
+    fn pool_weight(pool: &Pool, placement: Placement) -> u64 {
+        let by_policy = match placement {
+            Placement::Mem => pool.policy().store.uses_mem(),
+            Placement::Ssd => pool.policy().store.uses_ssd(),
+        };
+        if by_policy {
+            pool.policy().weight as u64
+        } else {
+            0
+        }
+    }
+
+    /// Per-VM usage snapshot for one store: `(vm ids, entities)`.
+    fn vm_entities(&self, placement: Placement) -> (Vec<VmId>, Vec<EntityUsage>) {
+        let mut ids = Vec::new();
+        let mut used = Vec::new();
+        let mut weights = Vec::new();
+        for (&vm, entry) in &self.vms {
+            let mut vm_used = 0;
+            let mut participates = false;
+            for ((v, _), pool) in &self.pools {
+                if *v == vm && Self::pool_participates(pool, placement) {
+                    participates = true;
+                    vm_used += pool.used(placement);
+                }
+            }
+            if participates {
+                ids.push(vm);
+                used.push(vm_used);
+                weights.push(entry.weight_for(placement));
+            }
+        }
+        let capacity = self.store_ref(placement).capacity_objects();
+        let shares = entitlements(capacity, &weights);
+        let entities = ids
+            .iter()
+            .enumerate()
+            .map(|(i, _)| EntityUsage::new(shares[i], used[i], weights[i]))
+            .collect();
+        (ids, entities)
+    }
+
+    /// Per-pool usage snapshot within one VM for one store.
+    fn pool_entities(
+        &self,
+        vm: VmId,
+        placement: Placement,
+        vm_entitlement: u64,
+    ) -> (Vec<PoolId>, Vec<EntityUsage>) {
+        let mut ids = Vec::new();
+        let mut used = Vec::new();
+        let mut weights = Vec::new();
+        let mut keys: Vec<&(VmId, PoolId)> = self.pools.keys().filter(|(v, _)| *v == vm).collect();
+        keys.sort();
+        for key in keys {
+            let pool = &self.pools[key];
+            if Self::pool_participates(pool, placement) {
+                ids.push(key.1);
+                used.push(pool.used(placement));
+                weights.push(Self::pool_weight(pool, placement));
+            }
+        }
+        let shares = entitlements(vm_entitlement, &weights);
+        let entities = ids
+            .iter()
+            .enumerate()
+            .map(|(i, _)| EntityUsage::new(shares[i], used[i], weights[i]))
+            .collect();
+        (ids, entities)
+    }
+
+    /// The current entitlement of one pool in one store.
+    fn pool_entitlement_in(&self, vm: VmId, pool: PoolId, placement: Placement) -> u64 {
+        let (vm_ids, vm_entities) = self.vm_entities(placement);
+        let Some(vi) = vm_ids.iter().position(|&v| v == vm) else {
+            return 0;
+        };
+        let (pool_ids, pool_entities) =
+            self.pool_entities(vm, placement, vm_entities[vi].entitlement);
+        pool_ids
+            .iter()
+            .position(|&p| p == pool)
+            .map(|pi| pool_entities[pi].entitlement)
+            .unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Eviction (policy module + Algorithm 1).
+    // ------------------------------------------------------------------
+
+    /// Frees up to one eviction batch in the given store. Returns pages
+    /// freed.
+    fn evict_batch(&mut self, now: SimTime, placement: Placement) -> u64 {
+        match self.mode {
+            PartitionMode::Global => self.evict_batch_global(placement),
+            PartitionMode::DoubleDecker | PartitionMode::Strict => {
+                self.evict_batch_weighted(now, placement)
+            }
+        }
+    }
+
+    /// Global-mode eviction: oldest objects store-wide, container- and
+    /// VM-agnostic (the paper's "FIFO-based global eviction policy").
+    fn evict_batch_global(&mut self, placement: Placement) -> u64 {
+        let mut freed = 0;
+        while freed < EVICTION_BATCH_PAGES {
+            let entry = match placement {
+                Placement::Mem => self.global_fifo_mem.pop_front(),
+                Placement::Ssd => self.global_fifo_ssd.pop_front(),
+            };
+            let Some((vm, pool_id, addr, seq)) = entry else {
+                break;
+            };
+            let Some(pool) = self.pools.get_mut(&(vm, pool_id)) else {
+                continue; // pool destroyed; stale entry
+            };
+            let live = pool
+                .peek(addr)
+                .is_some_and(|s| s.seq == seq && s.placement == placement);
+            if !live {
+                continue;
+            }
+            pool.remove(addr);
+            pool.counters.evictions += 1;
+            self.store(placement).free(1);
+            self.evictions += 1;
+            freed += 1;
+        }
+        freed
+    }
+
+    /// Two-level weighted eviction: Algorithm 1 picks the victim VM, then
+    /// the victim container within it; one batch is evicted FIFO from that
+    /// container's pool. Hybrid pools trickle evicted memory objects down
+    /// to their SSD share.
+    fn evict_batch_weighted(&mut self, now: SimTime, placement: Placement) -> u64 {
+        let strict = self.mode == PartitionMode::Strict;
+        let select = if strict {
+            select_victim_strict
+        } else {
+            select_victim
+        };
+
+        let (vm_ids, vm_entities) = self.vm_entities(placement);
+        let Some(vm_idx) = select(&vm_entities, EVICTION_BATCH_PAGES) else {
+            // Nobody over their effective limit: fall back to the largest
+            // user so that a full store can always make progress.
+            return self.evict_from_largest(placement);
+        };
+        let victim_vm = vm_ids[vm_idx];
+        let (pool_ids, pool_entities) =
+            self.pool_entities(victim_vm, placement, vm_entities[vm_idx].entitlement);
+        let pool_idx = select(&pool_entities, EVICTION_BATCH_PAGES).or_else(|| {
+            // Within the victim VM fall back to its largest pool.
+            pool_entities
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.used > 0)
+                .max_by_key(|(_, e)| e.used)
+                .map(|(i, _)| i)
+        });
+        let Some(pool_idx) = pool_idx else {
+            return 0;
+        };
+        let victim_pool = pool_ids[pool_idx];
+        self.evict_pages_from_pool(now, victim_vm, victim_pool, placement, EVICTION_BATCH_PAGES)
+    }
+
+    /// Fallback when no entity is nominally over its entitlement (rounding
+    /// slack): evict from the VM/pool with the largest usage.
+    fn evict_from_largest(&mut self, placement: Placement) -> u64 {
+        let victim = self
+            .pools
+            .iter()
+            .filter(|(_, p)| p.used(placement) > 0)
+            .max_by_key(|(_, p)| p.used(placement))
+            .map(|(k, _)| *k);
+        let Some((vm, pool)) = victim else {
+            return 0;
+        };
+        self.evict_pages_from_pool(SimTime::ZERO, vm, pool, placement, EVICTION_BATCH_PAGES)
+    }
+
+    /// Evicts up to `max_pages` oldest objects of one pool from one store.
+    fn evict_pages_from_pool(
+        &mut self,
+        now: SimTime,
+        vm: VmId,
+        pool_id: PoolId,
+        placement: Placement,
+        max_pages: u64,
+    ) -> u64 {
+        let mut freed = 0;
+        let mut trickle: Vec<(BlockAddr, PageVersion)> = Vec::new();
+        {
+            let Some(pool) = self.pools.get_mut(&(vm, pool_id)) else {
+                return 0;
+            };
+            let hybrid = pool.policy().store == StoreKind::Hybrid;
+            while freed < max_pages {
+                let Some((addr, slot)) = pool.pop_oldest(placement) else {
+                    break;
+                };
+                pool.counters.evictions += 1;
+                freed += 1;
+                if hybrid && placement == Placement::Mem {
+                    trickle.push((addr, slot.version));
+                }
+            }
+        }
+        self.store(placement).free(freed);
+        self.evictions += freed;
+
+        // Trickle-down: hybrid pools keep evicted memory objects alive in
+        // their SSD share while room remains (paper §3.3's hybrid mode).
+        for (addr, version) in trickle {
+            if !self.ssd.has_room() || !self.ssd.try_alloc() {
+                break;
+            }
+            let seq = self.alloc_seq();
+            self.ssd.write(now, addr);
+            if let Some(pool) = self.pools.get_mut(&(vm, pool_id)) {
+                if let Some(displaced) = pool.insert(addr, Placement::Ssd, version, seq) {
+                    self.store(displaced).free(1);
+                }
+                self.trickle_downs += 1;
+            }
+        }
+        freed
+    }
+
+    /// After a capacity shrink, evicts batches until usage fits again.
+    fn shrink_to_capacity(&mut self, now: SimTime, placement: Placement) {
+        let mut guard = 0u32;
+        while self.store_ref(placement).used_pages() > self.store_ref(placement).capacity_objects()
+        {
+            let freed = self.evict_batch(now, placement);
+            if freed == 0 {
+                break;
+            }
+            guard += 1;
+            if guard > 10_000_000 {
+                break;
+            }
+        }
+    }
+
+    /// Decides the physical placement for a put into `pool`.
+    fn placement_for_put(&self, vm: VmId, pool_id: PoolId) -> Option<Placement> {
+        let pool = self.pools.get(&(vm, pool_id))?;
+        let policy = pool.policy();
+        if !policy.is_enabled() {
+            return None;
+        }
+        let placement = match policy.store {
+            StoreKind::Mem => Placement::Mem,
+            StoreKind::Ssd => Placement::Ssd,
+            StoreKind::Hybrid => {
+                // Memory share first; spill to SSD when the pool's memory
+                // entitlement is exhausted.
+                let mem_entitlement = self.pool_entitlement_in(vm, pool_id, Placement::Mem);
+                if pool.used(Placement::Mem) < mem_entitlement {
+                    Placement::Mem
+                } else {
+                    Placement::Ssd
+                }
+            }
+        };
+        if self.store_ref(placement).is_disabled() {
+            return None;
+        }
+        Some(placement)
+    }
+
+    /// Re-homes or drops objects whose placement a policy change
+    /// disallowed (e.g. a container switched from `Mem` to `SSD`,
+    /// Fig. 12's third phase).
+    fn rehome_pool_objects(&mut self, vm: VmId, pool_id: PoolId) {
+        let Some(pool) = self.pools.get(&(vm, pool_id)) else {
+            return;
+        };
+        let policy = pool.policy();
+        let mut displaced: Vec<(BlockAddr, PageVersion, Placement)> = Vec::new();
+        for (addr, slot) in pool.iter() {
+            let allowed = match slot.placement {
+                Placement::Mem => policy.store.uses_mem(),
+                Placement::Ssd => policy.store.uses_ssd(),
+            };
+            if !allowed && policy.is_enabled() {
+                displaced.push((addr, slot.version, slot.placement));
+            }
+        }
+        for (addr, version, old_placement) in displaced {
+            if let Some(pool) = self.pools.get_mut(&(vm, pool_id)) {
+                pool.remove(addr);
+            }
+            self.store(old_placement).free(1);
+            let new_placement = match old_placement {
+                Placement::Mem => Placement::Ssd,
+                Placement::Ssd => Placement::Mem,
+            };
+            // Move to the newly-allowed store if it has room; drop
+            // otherwise (the object is clean, dropping is always safe).
+            if self.store_ref(new_placement).has_room() && self.store(new_placement).try_alloc() {
+                let seq = self.alloc_seq();
+                self.store(new_placement).write(SimTime::ZERO, addr);
+                if let Some(pool) = self.pools.get_mut(&(vm, pool_id)) {
+                    if let Some(d) = pool.insert(addr, new_placement, version, seq) {
+                        self.store(d).free(1);
+                    }
+                    if new_placement == Placement::Mem {
+                        self.push_global_fifo(vm, pool_id, addr, seq, Placement::Mem);
+                    } else {
+                        self.push_global_fifo(vm, pool_id, addr, seq, Placement::Ssd);
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_global_fifo(
+        &mut self,
+        vm: VmId,
+        pool: PoolId,
+        addr: BlockAddr,
+        seq: u64,
+        placement: Placement,
+    ) {
+        match placement {
+            Placement::Mem => self.global_fifo_mem.push_back((vm, pool, addr, seq)),
+            Placement::Ssd => self.global_fifo_ssd.push_back((vm, pool, addr, seq)),
+        }
+        // Bound lazy garbage: compact when stale entries dominate.
+        let (queue, store_used) = match placement {
+            Placement::Mem => (&mut self.global_fifo_mem, self.mem.used_pages()),
+            Placement::Ssd => (&mut self.global_fifo_ssd, self.ssd.used_pages()),
+        };
+        if queue.len() as u64 > store_used.saturating_mul(4).max(1024) {
+            let pools = &self.pools;
+            queue.retain(|(v, p, a, s)| {
+                pools
+                    .get(&(*v, *p))
+                    .and_then(|pool| pool.peek(*a))
+                    .is_some_and(|slot| slot.seq == *s)
+            });
+        }
+    }
+}
+
+impl SecondChanceCache for DoubleDeckerCache {
+    fn create_pool(&mut self, vm: VmId, policy: CachePolicy) -> PoolId {
+        // Auto-register unknown VMs with a default weight so single-VM
+        // setups need no explicit add_vm call.
+        self.vms.entry(vm).or_insert(VmEntry {
+            mem_weight: 100,
+            ssd_weight: 100,
+        });
+        let id = PoolId(self.next_pool);
+        self.next_pool += 1;
+        self.pools.insert((vm, id), Pool::new(vm, policy));
+        id
+    }
+
+    fn destroy_pool(&mut self, vm: VmId, pool: PoolId) {
+        if let Some(mut p) = self.pools.remove(&(vm, pool)) {
+            let (mem, ssd) = p.drain();
+            self.mem.free(mem);
+            self.ssd.free(ssd);
+        }
+    }
+
+    fn set_policy(&mut self, vm: VmId, pool: PoolId, policy: CachePolicy) {
+        if let Some(p) = self.pools.get_mut(&(vm, pool)) {
+            p.set_policy(policy);
+            self.rehome_pool_objects(vm, pool);
+        }
+    }
+
+    fn migrate_object(&mut self, vm: VmId, from: PoolId, to: PoolId, addr: BlockAddr) {
+        let Some(slot) = self.pools.get_mut(&(vm, from)).and_then(|p| p.remove(addr)) else {
+            return;
+        };
+        match self.pools.get_mut(&(vm, to)) {
+            Some(target) => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                if let Some(displaced) = target.insert(addr, slot.placement, slot.version, seq) {
+                    self.store(displaced).free(1);
+                }
+                self.push_global_fifo(vm, to, addr, seq, slot.placement);
+            }
+            None => {
+                // Unknown target: the object has no owner; drop it.
+                self.store(slot.placement).free(1);
+            }
+        }
+    }
+
+    fn pool_stats(&self, vm: VmId, pool: PoolId) -> Option<PoolStats> {
+        let p = self.pools.get(&(vm, pool))?;
+        Some(PoolStats {
+            mem_pages: p.used(Placement::Mem),
+            ssd_pages: p.used(Placement::Ssd),
+            entitlement_pages: self.pool_entitlement(vm, pool),
+            gets: p.counters.gets,
+            hits: p.counters.hits,
+            puts: p.counters.puts,
+            evictions: p.counters.evictions,
+        })
+    }
+
+    fn get(&mut self, now: SimTime, vm: VmId, pool: PoolId, addr: BlockAddr) -> GetOutcome {
+        let Some(p) = self.pools.get_mut(&(vm, pool)) else {
+            return GetOutcome::Miss;
+        };
+        p.counters.gets += 1;
+        let Some(slot) = p.remove(addr) else {
+            return GetOutcome::Miss;
+        };
+        p.counters.hits += 1;
+        self.store(slot.placement).free(1);
+        let finish = self.store(slot.placement).read(now, addr);
+        GetOutcome::Hit {
+            finish,
+            version: slot.version,
+        }
+    }
+
+    fn put(
+        &mut self,
+        now: SimTime,
+        vm: VmId,
+        pool: PoolId,
+        addr: BlockAddr,
+        version: PageVersion,
+    ) -> PutOutcome {
+        let Some(placement) = self.placement_for_put(vm, pool) else {
+            return PutOutcome::Rejected;
+        };
+
+        // Exclusive overwrite: displace any stale copy first so the freed
+        // page is available to this put.
+        if let Some(old) = self.pools.get_mut(&(vm, pool)).and_then(|p| p.remove(addr)) {
+            self.store(old.placement).free(1);
+        }
+
+        // Strict mode pre-check: a pool at its hard partition evicts from
+        // itself before the store-level check.
+        if self.mode == PartitionMode::Strict {
+            let entitlement = self.pool_entitlement_in(vm, pool, placement);
+            let used = self
+                .pools
+                .get(&(vm, pool))
+                .map(|p| p.used(placement))
+                .unwrap_or(0);
+            if used + 1 > entitlement {
+                let freed =
+                    self.evict_pages_from_pool(now, vm, pool, placement, EVICTION_BATCH_PAGES);
+                if freed == 0 {
+                    return PutOutcome::Rejected;
+                }
+            }
+        }
+
+        // Resource-conservative enforcement: evict only when the store
+        // itself is full (§4.3).
+        if !self.store_ref(placement).has_room() {
+            let freed = self.evict_batch(now, placement);
+            if freed == 0 {
+                return PutOutcome::Rejected;
+            }
+        }
+        if !self.store(placement).try_alloc() {
+            return PutOutcome::Rejected;
+        }
+
+        let seq = self.alloc_seq();
+        let finish = self.store(placement).write(now, addr);
+        let pool_entry = self
+            .pools
+            .get_mut(&(vm, pool))
+            .expect("pool verified by placement_for_put");
+        pool_entry.counters.puts += 1;
+        if let Some(displaced) = pool_entry.insert(addr, placement, version, seq) {
+            // Unreachable in practice (old copy removed above), but keep
+            // accounting exact if insert displaces.
+            self.store(displaced).free(1);
+        }
+        self.push_global_fifo(vm, pool, addr, seq, placement);
+        PutOutcome::Stored { finish }
+    }
+
+    fn flush(&mut self, vm: VmId, pool: PoolId, addr: BlockAddr) {
+        if let Some(slot) = self.pools.get_mut(&(vm, pool)).and_then(|p| p.remove(addr)) {
+            self.store(slot.placement).free(1);
+        }
+    }
+
+    fn flush_file(&mut self, vm: VmId, pool: PoolId, file: FileId) {
+        if let Some(p) = self.pools.get_mut(&(vm, pool)) {
+            let (mem, ssd) = p.remove_file(file);
+            self.mem.free(mem);
+            self.ssd.free(ssd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VM: VmId = VmId(0);
+
+    fn addr(f: u64, b: u64) -> BlockAddr {
+        BlockAddr::new(FileId(f), b)
+    }
+
+    fn small_cache(mode: PartitionMode) -> DoubleDeckerCache {
+        // Capacity of exactly two eviction batches so limits are easy to hit.
+        let config = CacheConfig {
+            mem_capacity_pages: 2 * EVICTION_BATCH_PAGES,
+            ssd_capacity_pages: 0,
+            mode,
+        };
+        DoubleDeckerCache::new(config)
+    }
+
+    fn fill(cache: &mut DoubleDeckerCache, pool: PoolId, file: u64, pages: u64) {
+        for b in 0..pages {
+            let out = cache.put(SimTime::ZERO, VM, pool, addr(file, b), PageVersion(1));
+            assert!(out.is_stored(), "page {b} of file {file} rejected");
+        }
+    }
+
+    #[test]
+    fn put_get_exclusive_roundtrip() {
+        let mut cache = small_cache(PartitionMode::DoubleDecker);
+        let pool = cache.create_pool(VM, CachePolicy::mem(100));
+        let a = addr(1, 0);
+        assert!(cache
+            .put(SimTime::ZERO, VM, pool, a, PageVersion(5))
+            .is_stored());
+        match cache.get(SimTime::ZERO, VM, pool, a) {
+            GetOutcome::Hit { version, .. } => assert_eq!(version, PageVersion(5)),
+            GetOutcome::Miss => panic!("expected hit"),
+        }
+        assert!(!cache.get(SimTime::ZERO, VM, pool, a).is_hit(), "exclusive");
+        assert_eq!(cache.totals().mem_used_pages, 0);
+    }
+
+    #[test]
+    fn put_overwrites_stale_copy() {
+        let mut cache = small_cache(PartitionMode::DoubleDecker);
+        let pool = cache.create_pool(VM, CachePolicy::mem(100));
+        let a = addr(1, 0);
+        cache.put(SimTime::ZERO, VM, pool, a, PageVersion(1));
+        cache.put(SimTime::ZERO, VM, pool, a, PageVersion(2));
+        assert_eq!(cache.totals().mem_used_pages, 1);
+        match cache.get(SimTime::ZERO, VM, pool, a) {
+            GetOutcome::Hit { version, .. } => assert_eq!(version, PageVersion(2)),
+            GetOutcome::Miss => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut cache = small_cache(PartitionMode::DoubleDecker);
+        let pool = cache.create_pool(VM, CachePolicy::mem(100));
+        cache.put(SimTime::ZERO, VM, pool, addr(1, 0), PageVersion(1));
+        cache.flush(VM, pool, addr(1, 0));
+        assert!(!cache.get(SimTime::ZERO, VM, pool, addr(1, 0)).is_hit());
+        assert_eq!(cache.totals().mem_used_pages, 0);
+        // Flushing a missing block is a no-op.
+        cache.flush(VM, pool, addr(9, 9));
+    }
+
+    #[test]
+    fn flush_file_drops_whole_file() {
+        let mut cache = small_cache(PartitionMode::DoubleDecker);
+        let pool = cache.create_pool(VM, CachePolicy::mem(100));
+        fill(&mut cache, pool, 1, 10);
+        fill(&mut cache, pool, 2, 5);
+        cache.flush_file(VM, pool, FileId(1));
+        assert_eq!(cache.totals().mem_used_pages, 5);
+        assert!(!cache.get(SimTime::ZERO, VM, pool, addr(1, 3)).is_hit());
+        assert!(cache.get(SimTime::ZERO, VM, pool, addr(2, 3)).is_hit());
+    }
+
+    #[test]
+    fn unknown_pool_rejects() {
+        let mut cache = small_cache(PartitionMode::DoubleDecker);
+        assert_eq!(
+            cache.put(SimTime::ZERO, VM, PoolId(99), addr(1, 0), PageVersion(0)),
+            PutOutcome::Rejected
+        );
+        assert_eq!(
+            cache.get(SimTime::ZERO, VM, PoolId(99), addr(1, 0)),
+            GetOutcome::Miss
+        );
+        assert_eq!(cache.pool_stats(VM, PoolId(99)), None);
+    }
+
+    #[test]
+    fn disabled_policy_rejects() {
+        let mut cache = small_cache(PartitionMode::DoubleDecker);
+        let pool = cache.create_pool(VM, CachePolicy::disabled());
+        assert_eq!(
+            cache.put(SimTime::ZERO, VM, pool, addr(1, 0), PageVersion(0)),
+            PutOutcome::Rejected
+        );
+    }
+
+    #[test]
+    fn ssd_policy_uses_ssd_store() {
+        let config = CacheConfig::mem_and_ssd(EVICTION_BATCH_PAGES, EVICTION_BATCH_PAGES);
+        let mut cache = DoubleDeckerCache::new(config);
+        let pool = cache.create_pool(VM, CachePolicy::ssd(100));
+        cache.put(SimTime::ZERO, VM, pool, addr(1, 0), PageVersion(0));
+        let t = cache.totals();
+        assert_eq!(t.mem_used_pages, 0);
+        assert_eq!(t.ssd_used_pages, 1);
+    }
+
+    #[test]
+    fn ssd_only_policy_with_no_ssd_rejects() {
+        let mut cache = small_cache(PartitionMode::DoubleDecker); // no SSD
+        let pool = cache.create_pool(VM, CachePolicy::ssd(100));
+        assert_eq!(
+            cache.put(SimTime::ZERO, VM, pool, addr(1, 0), PageVersion(0)),
+            PutOutcome::Rejected
+        );
+    }
+
+    #[test]
+    fn eviction_on_full_store_dd_mode() {
+        let mut cache = small_cache(PartitionMode::DoubleDecker);
+        let p1 = cache.create_pool(VM, CachePolicy::mem(50));
+        let p2 = cache.create_pool(VM, CachePolicy::mem(50));
+        let cap = 2 * EVICTION_BATCH_PAGES;
+        // p1 greedily fills the whole cache.
+        fill(&mut cache, p1, 1, cap);
+        assert_eq!(cache.totals().mem_used_pages, cap);
+        // p2 now stores: p1 (the over-entitlement entity) must be victimized.
+        assert!(cache
+            .put(SimTime::ZERO, VM, p2, addr(2, 0), PageVersion(0))
+            .is_stored());
+        let s1 = cache.pool_stats(VM, p1).unwrap();
+        let s2 = cache.pool_stats(VM, p2).unwrap();
+        assert!(s1.evictions >= EVICTION_BATCH_PAGES);
+        assert_eq!(s2.evictions, 0);
+        assert_eq!(s2.mem_pages, 1);
+        assert!(cache.totals().evictions >= EVICTION_BATCH_PAGES);
+    }
+
+    #[test]
+    fn global_mode_evicts_oldest_regardless_of_owner() {
+        let mut cache = small_cache(PartitionMode::Global);
+        let p1 = cache.create_pool(VM, CachePolicy::mem(50));
+        let p2 = cache.create_pool(VM, CachePolicy::mem(50));
+        let cap = 2 * EVICTION_BATCH_PAGES;
+        // Interleave: p1's objects are older overall.
+        fill(&mut cache, p1, 1, cap / 2);
+        fill(&mut cache, p2, 2, cap / 2);
+        // One more put evicts a batch of the *oldest* objects — p1's.
+        cache.put(SimTime::ZERO, VM, p2, addr(3, 0), PageVersion(0));
+        let s1 = cache.pool_stats(VM, p1).unwrap();
+        let s2 = cache.pool_stats(VM, p2).unwrap();
+        assert_eq!(s1.evictions, EVICTION_BATCH_PAGES);
+        assert_eq!(s2.evictions, 0);
+    }
+
+    #[test]
+    fn weighted_eviction_respects_weights() {
+        // Two pools with weights 75/25; both over-filled; the one further
+        // over its entitlement (the light one) gets evicted.
+        let mut cache = small_cache(PartitionMode::DoubleDecker);
+        let heavy = cache.create_pool(VM, CachePolicy::mem(75));
+        let light = cache.create_pool(VM, CachePolicy::mem(25));
+        let cap = 2 * EVICTION_BATCH_PAGES;
+        fill(&mut cache, heavy, 1, cap / 2);
+        fill(&mut cache, light, 2, cap / 2);
+        // Store is full; heavy pool stores one more page.
+        cache.put(SimTime::ZERO, VM, heavy, addr(3, 0), PageVersion(0));
+        let s_light = cache.pool_stats(VM, light).unwrap();
+        let s_heavy = cache.pool_stats(VM, heavy).unwrap();
+        assert!(
+            s_light.evictions > 0,
+            "light pool (over its 25% share) must be the victim"
+        );
+        assert_eq!(s_heavy.evictions, 0);
+    }
+
+    #[test]
+    fn two_level_eviction_picks_victim_vm_first() {
+        let config = CacheConfig {
+            mem_capacity_pages: 2 * EVICTION_BATCH_PAGES,
+            ssd_capacity_pages: 0,
+            mode: PartitionMode::DoubleDecker,
+        };
+        let mut cache = DoubleDeckerCache::new(config);
+        let vm1 = VmId(1);
+        let vm2 = VmId(2);
+        cache.add_vm(vm1, 50);
+        cache.add_vm(vm2, 50);
+        let p1 = cache.create_pool(vm1, CachePolicy::mem(100));
+        let p2 = cache.create_pool(vm2, CachePolicy::mem(100));
+        let cap = 2 * EVICTION_BATCH_PAGES;
+        // VM1 takes everything; then VM2 starts storing.
+        for b in 0..cap {
+            cache.put(SimTime::ZERO, vm1, p1, addr(1, b), PageVersion(0));
+        }
+        cache.put(SimTime::ZERO, vm2, p2, addr(2, 0), PageVersion(0));
+        assert!(cache.pool_stats(vm1, p1).unwrap().evictions > 0);
+        assert_eq!(cache.pool_stats(vm2, p2).unwrap().evictions, 0);
+        let u1 = cache.vm_usage(vm1);
+        assert!(u1.mem_pages < cap);
+    }
+
+    #[test]
+    fn destroy_pool_frees_space() {
+        let mut cache = small_cache(PartitionMode::DoubleDecker);
+        let pool = cache.create_pool(VM, CachePolicy::mem(100));
+        let n = EVICTION_BATCH_PAGES; // comfortably under capacity
+        fill(&mut cache, pool, 1, n);
+        assert_eq!(cache.totals().mem_used_pages, n);
+        cache.destroy_pool(VM, pool);
+        assert_eq!(cache.totals().mem_used_pages, 0);
+        assert_eq!(cache.pool_stats(VM, pool), None);
+    }
+
+    #[test]
+    fn remove_vm_frees_all_pools() {
+        let mut cache = small_cache(PartitionMode::DoubleDecker);
+        cache.add_vm(VmId(1), 100);
+        let p1 = cache.create_pool(VmId(1), CachePolicy::mem(50));
+        let p2 = cache.create_pool(VmId(1), CachePolicy::mem(50));
+        for b in 0..10 {
+            cache.put(SimTime::ZERO, VmId(1), p1, addr(1, b), PageVersion(0));
+            cache.put(SimTime::ZERO, VmId(1), p2, addr(2, b), PageVersion(0));
+        }
+        cache.remove_vm(VmId(1));
+        assert_eq!(cache.totals().mem_used_pages, 0);
+        assert!(cache.pool_ids(VmId(1)).is_empty());
+    }
+
+    #[test]
+    fn migrate_object_moves_ownership() {
+        let mut cache = small_cache(PartitionMode::DoubleDecker);
+        let p1 = cache.create_pool(VM, CachePolicy::mem(50));
+        let p2 = cache.create_pool(VM, CachePolicy::mem(50));
+        cache.put(SimTime::ZERO, VM, p1, addr(1, 0), PageVersion(7));
+        cache.migrate_object(VM, p1, p2, addr(1, 0));
+        assert!(!cache.get(SimTime::ZERO, VM, p1, addr(1, 0)).is_hit());
+        match cache.get(SimTime::ZERO, VM, p2, addr(1, 0)) {
+            GetOutcome::Hit { version, .. } => assert_eq!(version, PageVersion(7)),
+            GetOutcome::Miss => panic!("object should have migrated"),
+        }
+        // Migrating a missing object is a no-op.
+        cache.migrate_object(VM, p1, p2, addr(9, 9));
+    }
+
+    #[test]
+    fn migrate_to_unknown_pool_drops_object() {
+        let mut cache = small_cache(PartitionMode::DoubleDecker);
+        let p1 = cache.create_pool(VM, CachePolicy::mem(100));
+        cache.put(SimTime::ZERO, VM, p1, addr(1, 0), PageVersion(0));
+        cache.migrate_object(VM, p1, PoolId(99), addr(1, 0));
+        assert_eq!(cache.totals().mem_used_pages, 0);
+    }
+
+    #[test]
+    fn set_policy_mem_to_ssd_rehomes_objects() {
+        let config = CacheConfig::mem_and_ssd(EVICTION_BATCH_PAGES, EVICTION_BATCH_PAGES);
+        let mut cache = DoubleDeckerCache::new(config);
+        let pool = cache.create_pool(VM, CachePolicy::mem(100));
+        fill(&mut cache, pool, 1, 20);
+        cache.set_policy(VM, pool, CachePolicy::ssd(100));
+        let t = cache.totals();
+        assert_eq!(t.mem_used_pages, 0, "memory share released immediately");
+        assert_eq!(t.ssd_used_pages, 20, "objects moved to the SSD store");
+        // Objects remain readable.
+        assert!(cache.get(SimTime::ZERO, VM, pool, addr(1, 3)).is_hit());
+    }
+
+    #[test]
+    fn set_policy_to_ssd_without_ssd_drops_objects() {
+        let mut cache = small_cache(PartitionMode::DoubleDecker);
+        let pool = cache.create_pool(VM, CachePolicy::mem(100));
+        fill(&mut cache, pool, 1, 20);
+        cache.set_policy(VM, pool, CachePolicy::ssd(100));
+        assert_eq!(cache.totals().mem_used_pages, 0);
+        assert_eq!(cache.totals().ssd_used_pages, 0);
+    }
+
+    #[test]
+    fn capacity_shrink_evicts_excess() {
+        let mut cache = small_cache(PartitionMode::DoubleDecker);
+        let pool = cache.create_pool(VM, CachePolicy::mem(100));
+        let cap = 2 * EVICTION_BATCH_PAGES;
+        fill(&mut cache, pool, 1, cap);
+        cache.set_mem_capacity(SimTime::ZERO, cap / 2);
+        assert!(cache.totals().mem_used_pages <= cap / 2);
+        assert_eq!(cache.totals().mem_capacity_pages, cap / 2);
+    }
+
+    #[test]
+    fn capacity_growth_accepts_more() {
+        let mut cache = small_cache(PartitionMode::DoubleDecker);
+        let pool = cache.create_pool(VM, CachePolicy::mem(100));
+        let cap = 2 * EVICTION_BATCH_PAGES;
+        fill(&mut cache, pool, 1, cap);
+        cache.set_mem_capacity(SimTime::ZERO, 2 * cap);
+        assert!(cache
+            .put(SimTime::ZERO, VM, pool, addr(2, 0), PageVersion(0))
+            .is_stored());
+        assert_eq!(cache.totals().mem_used_pages, cap + 1);
+        assert_eq!(cache.totals().evictions, 0);
+    }
+
+    #[test]
+    fn hybrid_pool_spills_to_ssd() {
+        // Hybrid pool: memory entitlement of one batch, then spill.
+        let config = CacheConfig::mem_and_ssd(EVICTION_BATCH_PAGES, 4 * EVICTION_BATCH_PAGES);
+        let mut cache = DoubleDeckerCache::new(config);
+        let pool = cache.create_pool(VM, CachePolicy::hybrid(100));
+        let total = 2 * EVICTION_BATCH_PAGES;
+        fill(&mut cache, pool, 1, total);
+        let s = cache.pool_stats(VM, pool).unwrap();
+        assert_eq!(s.mem_pages, EVICTION_BATCH_PAGES, "memory share filled");
+        assert_eq!(s.ssd_pages, total - EVICTION_BATCH_PAGES, "rest spilled");
+        assert_eq!(s.evictions, 0, "spilling is not eviction");
+    }
+
+    #[test]
+    fn strict_mode_caps_pool_at_entitlement() {
+        let mut cache = small_cache(PartitionMode::Strict);
+        let p1 = cache.create_pool(VM, CachePolicy::mem(50));
+        let _p2 = cache.create_pool(VM, CachePolicy::mem(50));
+        let cap = 2 * EVICTION_BATCH_PAGES;
+        // p1 tries to take everything but is capped at its 50% partition.
+        fill(&mut cache, p1, 1, cap);
+        let s1 = cache.pool_stats(VM, p1).unwrap();
+        assert!(
+            s1.mem_pages <= cap / 2,
+            "strict partition must cap p1 at {} (got {})",
+            cap / 2,
+            s1.mem_pages
+        );
+        assert!(s1.evictions > 0, "p1 must self-evict at its cap");
+    }
+
+    #[test]
+    fn dd_mode_lends_slack_unlike_strict() {
+        let mut cache = small_cache(PartitionMode::DoubleDecker);
+        let p1 = cache.create_pool(VM, CachePolicy::mem(50));
+        let _p2 = cache.create_pool(VM, CachePolicy::mem(50));
+        let cap = 2 * EVICTION_BATCH_PAGES;
+        fill(&mut cache, p1, 1, cap);
+        let s1 = cache.pool_stats(VM, p1).unwrap();
+        assert_eq!(
+            s1.mem_pages, cap,
+            "resource-conservative DD lets p1 use idle capacity"
+        );
+        assert_eq!(s1.evictions, 0);
+    }
+
+    #[test]
+    fn pool_stats_counters() {
+        let mut cache = small_cache(PartitionMode::DoubleDecker);
+        let pool = cache.create_pool(VM, CachePolicy::mem(100));
+        cache.put(SimTime::ZERO, VM, pool, addr(1, 0), PageVersion(0));
+        cache.put(SimTime::ZERO, VM, pool, addr(1, 1), PageVersion(0));
+        cache.get(SimTime::ZERO, VM, pool, addr(1, 0)); // hit
+        cache.get(SimTime::ZERO, VM, pool, addr(1, 9)); // miss
+        let s = cache.pool_stats(VM, pool).unwrap();
+        assert_eq!(s.puts, 2);
+        assert_eq!(s.gets, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.mem_pages, 1);
+        assert!(s.entitlement_pages > 0);
+        assert!((s.hit_rate() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entitlements_follow_vm_weights() {
+        let config = CacheConfig {
+            mem_capacity_pages: 3000,
+            ssd_capacity_pages: 0,
+            mode: PartitionMode::DoubleDecker,
+        };
+        let mut cache = DoubleDeckerCache::new(config);
+        cache.add_vm(VmId(1), 33);
+        cache.add_vm(VmId(2), 67);
+        let p1 = cache.create_pool(VmId(1), CachePolicy::mem(100));
+        let p2 = cache.create_pool(VmId(2), CachePolicy::mem(100));
+        let e1 = cache.pool_entitlement(VmId(1), p1);
+        let e2 = cache.pool_entitlement(VmId(2), p2);
+        assert_eq!(e1 + e2, 3000);
+        assert!((e1 as f64 / 3000.0 - 0.33).abs() < 0.01);
+        assert!((e2 as f64 / 3000.0 - 0.67).abs() < 0.01);
+    }
+
+    #[test]
+    fn container_entitlements_within_vm() {
+        let config = CacheConfig {
+            mem_capacity_pages: 4000,
+            ssd_capacity_pages: 4000,
+            mode: PartitionMode::DoubleDecker,
+        };
+        let mut cache = DoubleDeckerCache::new(config);
+        cache.add_vm(VmId(1), 100);
+        // Paper Fig. 4 example (VM2): memory split 25/75 between two
+        // containers, third container on SSD.
+        let c1 = cache.create_pool(VmId(1), CachePolicy::mem(25));
+        let c2 = cache.create_pool(VmId(1), CachePolicy::mem(75));
+        let c3 = cache.create_pool(VmId(1), CachePolicy::ssd(100));
+        assert_eq!(cache.pool_entitlement(VmId(1), c1), 1000);
+        assert_eq!(cache.pool_entitlement(VmId(1), c2), 3000);
+        assert_eq!(cache.pool_entitlement(VmId(1), c3), 4000);
+    }
+
+    #[test]
+    fn ssd_only_vm_does_not_dilute_mem_entitlements() {
+        // Fig. 13: VM3 (SSD-only) must not disturb the memory-store split
+        // between VM1 and VM2.
+        let config = CacheConfig {
+            mem_capacity_pages: 1000,
+            ssd_capacity_pages: 1000,
+            mode: PartitionMode::DoubleDecker,
+        };
+        let mut cache = DoubleDeckerCache::new(config);
+        cache.add_vm(VmId(1), 60);
+        cache.add_vm(VmId(2), 40);
+        cache.add_vm(VmId(3), 100);
+        let p1 = cache.create_pool(VmId(1), CachePolicy::mem(100));
+        let p2 = cache.create_pool(VmId(2), CachePolicy::mem(100));
+        let _p3 = cache.create_pool(VmId(3), CachePolicy::ssd(100));
+        assert_eq!(cache.pool_entitlement(VmId(1), p1), 600);
+        assert_eq!(cache.pool_entitlement(VmId(2), p2), 400);
+    }
+
+    #[test]
+    fn get_latency_mem_faster_than_ssd() {
+        let config = CacheConfig::mem_and_ssd(1000, 1000);
+        let mut cache = DoubleDeckerCache::new(config);
+        let pm = cache.create_pool(VM, CachePolicy::mem(50));
+        let ps = cache.create_pool(VM, CachePolicy::ssd(50));
+        cache.put(SimTime::ZERO, VM, pm, addr(1, 0), PageVersion(0));
+        cache.put(SimTime::ZERO, VM, ps, addr(2, 0), PageVersion(0));
+        let t0 = SimTime::from_secs(1);
+        let m = match cache.get(t0, VM, pm, addr(1, 0)) {
+            GetOutcome::Hit { finish, .. } => finish,
+            GetOutcome::Miss => panic!(),
+        };
+        let s = match cache.get(t0, VM, ps, addr(2, 0)) {
+            GetOutcome::Hit { finish, .. } => finish,
+            GetOutcome::Miss => panic!(),
+        };
+        assert!(m < s, "memory hit must be faster than SSD hit");
+    }
+
+    #[test]
+    fn accounting_invariant_under_churn() {
+        let mut cache = small_cache(PartitionMode::DoubleDecker);
+        let p1 = cache.create_pool(VM, CachePolicy::mem(60));
+        let p2 = cache.create_pool(VM, CachePolicy::mem(40));
+        let mut rng = ddc_sim::SimRng::new(99);
+        for i in 0..5000u64 {
+            let pool = if rng.chance(0.5) { p1 } else { p2 };
+            let a = addr(rng.range_u64(1, 5), rng.range_u64(0, 2000));
+            match rng.range_u64(0, 10) {
+                0..=5 => {
+                    cache.put(SimTime::from_nanos(i), VM, pool, a, PageVersion(i));
+                }
+                6..=8 => {
+                    cache.get(SimTime::from_nanos(i), VM, pool, a);
+                }
+                _ => cache.flush(VM, pool, a),
+            }
+            let t = cache.totals();
+            let s1 = cache.pool_stats(VM, p1).unwrap();
+            let s2 = cache.pool_stats(VM, p2).unwrap();
+            assert_eq!(
+                t.mem_used_pages,
+                s1.mem_pages + s2.mem_pages,
+                "store accounting must equal pool accounting at step {i}"
+            );
+            assert!(t.mem_used_pages <= t.mem_capacity_pages);
+        }
+    }
+
+    #[test]
+    fn compression_defers_evictions() {
+        let mut plain = small_cache(PartitionMode::DoubleDecker);
+        let mut zcache = small_cache(PartitionMode::DoubleDecker);
+        zcache.set_mem_compression(500, ddc_sim::SimDuration::from_micros(3));
+        let p1 = plain.create_pool(VM, CachePolicy::mem(100));
+        let p2 = zcache.create_pool(VM, CachePolicy::mem(100));
+        let n = 3 * EVICTION_BATCH_PAGES; // over raw capacity, under 2x
+        fill(&mut plain, p1, 1, n);
+        fill(&mut zcache, p2, 1, n);
+        assert!(plain.totals().evictions > 0, "plain cache overflows");
+        assert_eq!(zcache.totals().evictions, 0, "2:1 compression absorbs it");
+        assert_eq!(zcache.totals().mem_used_pages, n);
+    }
+
+    #[test]
+    fn mode_accessor_and_switch() {
+        let mut cache = small_cache(PartitionMode::Global);
+        assert_eq!(cache.mode(), PartitionMode::Global);
+        cache.set_mode(PartitionMode::DoubleDecker);
+        assert_eq!(cache.mode(), PartitionMode::DoubleDecker);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown vm9")]
+    fn set_weight_of_unknown_vm_panics() {
+        let mut cache = small_cache(PartitionMode::DoubleDecker);
+        cache.set_vm_weight(VmId(9), 10);
+    }
+
+    #[test]
+    fn per_store_vm_weights_footnote1() {
+        let config = CacheConfig {
+            mem_capacity_pages: 1000,
+            ssd_capacity_pages: 1000,
+            mode: PartitionMode::DoubleDecker,
+        };
+        let mut cache = DoubleDeckerCache::new(config);
+        // VM1 favours memory (75/25); VM2 the reverse.
+        cache.add_vm_with_store_weights(VmId(1), 75, 25);
+        cache.add_vm_with_store_weights(VmId(2), 25, 75);
+        let m1 = cache.create_pool(VmId(1), CachePolicy::mem(100));
+        let s1 = cache.create_pool(VmId(1), CachePolicy::ssd(100));
+        let m2 = cache.create_pool(VmId(2), CachePolicy::mem(100));
+        let s2 = cache.create_pool(VmId(2), CachePolicy::ssd(100));
+        assert_eq!(cache.pool_entitlement(VmId(1), m1), 750);
+        assert_eq!(cache.pool_entitlement(VmId(2), m2), 250);
+        assert_eq!(cache.pool_entitlement(VmId(1), s1), 250);
+        assert_eq!(cache.pool_entitlement(VmId(2), s2), 750);
+        // Dynamic update flips the split.
+        cache.set_vm_store_weights(VmId(1), 10, 90);
+        cache.set_vm_store_weights(VmId(2), 90, 10);
+        assert_eq!(cache.pool_entitlement(VmId(1), m1), 100);
+        assert_eq!(cache.pool_entitlement(VmId(1), s1), 900);
+        // The uniform setter still applies to both stores.
+        cache.set_vm_weight(VmId(1), 50);
+        cache.set_vm_weight(VmId(2), 50);
+        assert_eq!(cache.pool_entitlement(VmId(1), m1), 500);
+        assert_eq!(cache.pool_entitlement(VmId(1), s1), 500);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Put {
+                vm: u8,
+                pool: u8,
+                file: u8,
+                block: u8,
+            },
+            Get {
+                vm: u8,
+                pool: u8,
+                file: u8,
+                block: u8,
+            },
+            Flush {
+                vm: u8,
+                pool: u8,
+                file: u8,
+                block: u8,
+            },
+            FlushFile {
+                vm: u8,
+                pool: u8,
+                file: u8,
+            },
+            CreatePool {
+                vm: u8,
+                weight: u8,
+                ssd: bool,
+            },
+            DestroyPool {
+                vm: u8,
+                pool: u8,
+            },
+            SetPolicy {
+                vm: u8,
+                pool: u8,
+                weight: u8,
+                ssd: bool,
+            },
+            Migrate {
+                vm: u8,
+                from: u8,
+                to: u8,
+                file: u8,
+                block: u8,
+            },
+            SetVmWeight {
+                vm: u8,
+                weight: u8,
+            },
+            RemoveVm {
+                vm: u8,
+            },
+            ResizeMem {
+                pages: u16,
+            },
+            ResizeSsd {
+                pages: u16,
+            },
+        }
+
+        fn op_strategy() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                10 => (0u8..3, 0u8..4, 0u8..3, 0u8..24)
+                    .prop_map(|(vm, pool, file, block)| Op::Put { vm, pool, file, block }),
+                6 => (0u8..3, 0u8..4, 0u8..3, 0u8..24)
+                    .prop_map(|(vm, pool, file, block)| Op::Get { vm, pool, file, block }),
+                2 => (0u8..3, 0u8..4, 0u8..3, 0u8..24)
+                    .prop_map(|(vm, pool, file, block)| Op::Flush { vm, pool, file, block }),
+                1 => (0u8..3, 0u8..4, 0u8..3)
+                    .prop_map(|(vm, pool, file)| Op::FlushFile { vm, pool, file }),
+                2 => (0u8..3, 1u8..100, any::<bool>())
+                    .prop_map(|(vm, weight, ssd)| Op::CreatePool { vm, weight, ssd }),
+                1 => (0u8..3, 0u8..4).prop_map(|(vm, pool)| Op::DestroyPool { vm, pool }),
+                2 => (0u8..3, 0u8..4, 0u8..100, any::<bool>())
+                    .prop_map(|(vm, pool, weight, ssd)| Op::SetPolicy { vm, pool, weight, ssd }),
+                1 => (0u8..3, 0u8..4, 0u8..4, 0u8..3, 0u8..24)
+                    .prop_map(|(vm, from, to, file, block)| Op::Migrate { vm, from, to, file, block }),
+                1 => (0u8..3, 1u8..100).prop_map(|(vm, weight)| Op::SetVmWeight { vm, weight }),
+                1 => (0u8..3).prop_map(|vm| Op::RemoveVm { vm }),
+                1 => (8u16..128).prop_map(|pages| Op::ResizeMem { pages }),
+                1 => (8u16..128).prop_map(|pages| Op::ResizeSsd { pages }),
+            ]
+        }
+
+        /// Accounting invariants hold across the full control + data API
+        /// surface, including VM/pool lifecycle and capacity changes.
+        #[test]
+        fn full_lifecycle_invariants() {
+            proptest!(ProptestConfig::with_cases(96), |(ops in proptest::collection::vec(op_strategy(), 1..250))| {
+                let config = CacheConfig {
+                    mem_capacity_pages: 64,
+                    ssd_capacity_pages: 64,
+                    mode: PartitionMode::DoubleDecker,
+                };
+                let mut cache = DoubleDeckerCache::new(config);
+                // pools[vm] = live pool ids of that VM
+                let mut pools: Vec<Vec<PoolId>> = vec![Vec::new(); 3];
+                let mut live_vm = [false; 3];
+                let a = |f: u8, b: u8| BlockAddr::new(FileId(f as u64), b as u64);
+                let pool_of = |pools: &Vec<Vec<PoolId>>, vm: u8, pool: u8| -> Option<PoolId> {
+                    pools[vm as usize].get(pool as usize).copied()
+                };
+                let mut version = 0u64;
+                for op in ops {
+                    match op {
+                        Op::CreatePool { vm, weight, ssd } => {
+                            let policy = if ssd {
+                                CachePolicy::ssd(weight as u32)
+                            } else {
+                                CachePolicy::mem(weight as u32)
+                            };
+                            let id = cache.create_pool(VmId(vm as u32), policy);
+                            pools[vm as usize].push(id);
+                            live_vm[vm as usize] = true;
+                        }
+                        Op::Put { vm, pool, file, block } => {
+                            if let Some(p) = pool_of(&pools, vm, pool) {
+                                version += 1;
+                                cache.put(SimTime::ZERO, VmId(vm as u32), p, a(file, block), PageVersion(version));
+                            }
+                        }
+                        Op::Get { vm, pool, file, block } => {
+                            if let Some(p) = pool_of(&pools, vm, pool) {
+                                cache.get(SimTime::ZERO, VmId(vm as u32), p, a(file, block));
+                            }
+                        }
+                        Op::Flush { vm, pool, file, block } => {
+                            if let Some(p) = pool_of(&pools, vm, pool) {
+                                cache.flush(VmId(vm as u32), p, a(file, block));
+                            }
+                        }
+                        Op::FlushFile { vm, pool, file } => {
+                            if let Some(p) = pool_of(&pools, vm, pool) {
+                                cache.flush_file(VmId(vm as u32), p, FileId(file as u64));
+                            }
+                        }
+                        Op::DestroyPool { vm, pool } => {
+                            if let Some(p) = pool_of(&pools, vm, pool) {
+                                cache.destroy_pool(VmId(vm as u32), p);
+                                pools[vm as usize].retain(|&x| x != p);
+                            }
+                        }
+                        Op::SetPolicy { vm, pool, weight, ssd } => {
+                            if let Some(p) = pool_of(&pools, vm, pool) {
+                                let policy = if ssd {
+                                    CachePolicy::ssd(weight as u32)
+                                } else {
+                                    CachePolicy::mem(weight as u32)
+                                };
+                                cache.set_policy(VmId(vm as u32), p, policy);
+                            }
+                        }
+                        Op::Migrate { vm, from, to, file, block } => {
+                            if let (Some(f), Some(t)) =
+                                (pool_of(&pools, vm, from), pool_of(&pools, vm, to))
+                            {
+                                cache.migrate_object(VmId(vm as u32), f, t, a(file, block));
+                            }
+                        }
+                        Op::SetVmWeight { vm, weight } => {
+                            if live_vm[vm as usize] {
+                                cache.set_vm_weight(VmId(vm as u32), weight as u64);
+                            }
+                        }
+                        Op::RemoveVm { vm } => {
+                            if live_vm[vm as usize] {
+                                cache.remove_vm(VmId(vm as u32));
+                                pools[vm as usize].clear();
+                                live_vm[vm as usize] = false;
+                            }
+                        }
+                        Op::ResizeMem { pages } => {
+                            cache.set_mem_capacity(SimTime::ZERO, pages as u64);
+                        }
+                        Op::ResizeSsd { pages } => {
+                            cache.set_ssd_capacity(SimTime::ZERO, pages as u64);
+                        }
+                    }
+                    // Invariants after every operation.
+                    let totals = cache.totals();
+                    prop_assert!(totals.mem_used_pages <= totals.mem_capacity_pages);
+                    prop_assert!(totals.ssd_used_pages <= totals.ssd_capacity_pages);
+                    let mut mem_sum = 0;
+                    let mut ssd_sum = 0;
+                    for (vm, vm_pools) in pools.iter().enumerate() {
+                        for &p in vm_pools {
+                            let s = cache.pool_stats(VmId(vm as u32), p)
+                                .expect("live pool has stats");
+                            mem_sum += s.mem_pages;
+                            ssd_sum += s.ssd_pages;
+                        }
+                    }
+                    prop_assert_eq!(totals.mem_used_pages, mem_sum);
+                    prop_assert_eq!(totals.ssd_used_pages, ssd_sum);
+                }
+            });
+        }
+    }
+}

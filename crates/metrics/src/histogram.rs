@@ -1,0 +1,249 @@
+//! Log-bucketed latency histogram.
+
+use std::fmt;
+
+use ddc_sim::SimDuration;
+
+/// A latency histogram with logarithmic buckets from 1 ns to ~18 s.
+///
+/// Records exact sums for the mean and bucketed counts for quantiles, which
+/// is plenty of resolution for the millisecond-scale latencies the paper's
+/// Table 2 reports.
+///
+/// # Example
+///
+/// ```
+/// use ddc_metrics::LatencyHistogram;
+/// use ddc_sim::SimDuration;
+///
+/// let mut h = LatencyHistogram::new();
+/// for us in [100, 200, 300] {
+///     h.record(SimDuration::from_micros(us));
+/// }
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.mean(), SimDuration::from_micros(200));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    // Bucket i holds samples with floor(log2(nanos)) == i.
+    buckets: [u64; 64],
+    count: u64,
+    total: u128,
+    max: SimDuration,
+    min: Option<SimDuration>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; 64],
+            count: 0,
+            total: 0,
+            max: SimDuration::ZERO,
+            min: None,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        let nanos = latency.as_nanos();
+        let bucket = if nanos == 0 {
+            0
+        } else {
+            63 - nanos.leading_zeros() as usize
+        };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total += nanos as u128;
+        self.max = self.max.max(latency);
+        self.min = Some(match self.min {
+            Some(m) => m.min(latency),
+            None => latency,
+        });
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean (zero if empty).
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.total / self.count as u128) as u64)
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> SimDuration {
+        self.max
+    }
+
+    /// Smallest sample seen (zero if empty).
+    pub fn min(&self) -> SimDuration {
+        self.min.unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Approximate quantile (bucket upper bound), `q` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                // Upper bound of bucket i, clamped by the true max.
+                let bound = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return SimDuration::from_nanos(bound).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} p50={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.99),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+        assert_eq!(h.min(), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+        assert_eq!(h.quantile(0.5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_nanos(10));
+        h.record(SimDuration::from_nanos(30));
+        assert_eq!(h.mean(), SimDuration::from_nanos(20));
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_micros(5));
+        h.record(SimDuration::from_micros(1));
+        h.record(SimDuration::from_micros(9));
+        assert_eq!(h.min(), SimDuration::from_micros(1));
+        assert_eq!(h.max(), SimDuration::from_micros(9));
+    }
+
+    #[test]
+    fn quantile_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDuration::from_micros(i));
+        }
+        let p10 = h.quantile(0.1);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p10 <= p50 && p50 <= p99);
+        assert!(p99 <= h.max());
+    }
+
+    #[test]
+    fn quantile_single_sample() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_millis(3));
+        assert_eq!(h.quantile(0.0), SimDuration::from_millis(3));
+        assert_eq!(h.quantile(1.0), SimDuration::from_millis(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn quantile_rejects_out_of_range() {
+        LatencyHistogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn zero_latency_sample_ok() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(SimDuration::from_micros(10));
+        b.record(SimDuration::from_micros(30));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), SimDuration::from_micros(20));
+        assert_eq!(a.max(), SimDuration::from_micros(30));
+        assert_eq!(a.min(), SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn merge_into_empty() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        b.record(SimDuration::from_micros(7));
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.min(), SimDuration::from_micros(7));
+    }
+
+    #[test]
+    fn display_mentions_fields() {
+        let mut h = LatencyHistogram::new();
+        h.record(SimDuration::from_micros(100));
+        let s = h.to_string();
+        assert!(s.contains("n=1"));
+        assert!(s.contains("mean="));
+    }
+}

@@ -1,0 +1,296 @@
+//! Operation counters and throughput reporting.
+
+use std::fmt;
+
+use ddc_sim::{SimDuration, SimTime};
+
+use crate::LatencyHistogram;
+
+/// A simple monotone counter.
+///
+/// # Example
+///
+/// ```
+/// use ddc_metrics::Counter;
+///
+/// let mut c = Counter::new();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Counter {
+        Counter(0)
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Records completed application operations: count, bytes moved, and
+/// per-operation latency. One recorder per workload/container.
+///
+/// A *measurement window* can be opened with [`mark`](Self::mark) after
+/// warm-up; [`window_report`](Self::window_report) then reports
+/// steady-state rates, the way the paper's evaluation measures after its
+/// ramp phase.
+#[derive(Clone, Debug, Default)]
+pub struct OpsRecorder {
+    ops: u64,
+    bytes: u64,
+    latency: LatencyHistogram,
+    first_at: Option<SimTime>,
+    last_at: Option<SimTime>,
+    mark_at: Option<SimTime>,
+    window_ops: u64,
+    window_bytes: u64,
+    window_latency: LatencyHistogram,
+}
+
+impl OpsRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> OpsRecorder {
+        OpsRecorder::default()
+    }
+
+    /// Records one completed operation that moved `bytes` bytes and took
+    /// `latency`, finishing at `at`.
+    pub fn record(&mut self, at: SimTime, bytes: u64, latency: SimDuration) {
+        self.ops += 1;
+        self.bytes += bytes;
+        self.latency.record(latency);
+        if self.first_at.is_none() {
+            self.first_at = Some(at);
+        }
+        self.last_at = Some(at);
+        if self.mark_at.is_some() {
+            self.window_ops += 1;
+            self.window_bytes += bytes;
+            self.window_latency.record(latency);
+        }
+    }
+
+    /// Opens (or reopens) a measurement window at `at`: subsequent
+    /// operations also count toward the window, and
+    /// [`window_report`](Self::window_report) reports rates since `at`.
+    pub fn mark(&mut self, at: SimTime) {
+        self.mark_at = Some(at);
+        self.window_ops = 0;
+        self.window_bytes = 0;
+        self.window_latency = LatencyHistogram::new();
+    }
+
+    /// The window-open instant, if a window was marked.
+    pub fn mark_at(&self) -> Option<SimTime> {
+        self.mark_at
+    }
+
+    /// Throughput report over the marked window `[mark, until]`; falls
+    /// back to the whole-run report when no window was marked.
+    pub fn window_report(&self, until: SimTime) -> ThroughputReport {
+        let Some(mark) = self.mark_at else {
+            return self.report(until);
+        };
+        let secs = until
+            .saturating_since(mark)
+            .as_secs_f64()
+            .max(f64::MIN_POSITIVE);
+        ThroughputReport {
+            ops: self.window_ops,
+            ops_per_sec: self.window_ops as f64 / secs,
+            mb_per_sec: self.window_bytes as f64 / 1e6 / secs,
+            mean_latency: self.window_latency.mean(),
+            p99_latency: self.window_latency.quantile(0.99),
+        }
+    }
+
+    /// Completed operation count.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Total bytes moved by completed operations.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The latency histogram.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Builds a throughput report over the duration `[SimTime::ZERO, until]`.
+    pub fn report(&self, until: SimTime) -> ThroughputReport {
+        let secs = until.as_secs_f64().max(f64::MIN_POSITIVE);
+        ThroughputReport {
+            ops: self.ops,
+            ops_per_sec: self.ops as f64 / secs,
+            mb_per_sec: self.bytes as f64 / 1e6 / secs,
+            mean_latency: self.latency.mean(),
+            p99_latency: self.latency.quantile(0.99),
+        }
+    }
+}
+
+/// A summarized throughput/latency report, the unit of Table 2/Table 4
+/// rows.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThroughputReport {
+    /// Operations completed.
+    pub ops: u64,
+    /// Operations per second of virtual time.
+    pub ops_per_sec: f64,
+    /// Megabytes per second of virtual time.
+    pub mb_per_sec: f64,
+    /// Mean operation latency.
+    pub mean_latency: SimDuration,
+    /// 99th-percentile operation latency.
+    pub p99_latency: SimDuration,
+}
+
+impl fmt::Display for ThroughputReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} ops/s, {:.2} MB/s, mean latency {:.2} ms",
+            self.ops_per_sec,
+            self.mb_per_sec,
+            self.mean_latency.as_millis_f64()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn recorder_accumulates() {
+        let mut r = OpsRecorder::new();
+        r.record(SimTime::from_secs(1), 4096, SimDuration::from_micros(100));
+        r.record(SimTime::from_secs(2), 4096, SimDuration::from_micros(300));
+        assert_eq!(r.ops(), 2);
+        assert_eq!(r.bytes(), 8192);
+        assert_eq!(r.latency().count(), 2);
+    }
+
+    #[test]
+    fn report_rates() {
+        let mut r = OpsRecorder::new();
+        for i in 0..100 {
+            r.record(
+                SimTime::from_secs(i),
+                1_000_000,
+                SimDuration::from_millis(1),
+            );
+        }
+        let rep = r.report(SimTime::from_secs(100));
+        assert!((rep.ops_per_sec - 1.0).abs() < 1e-9);
+        assert!((rep.mb_per_sec - 1.0).abs() < 1e-9);
+        assert_eq!(rep.ops, 100);
+        assert_eq!(rep.mean_latency, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn window_report_measures_steady_state() {
+        let mut r = OpsRecorder::new();
+        // Slow warm-up: 10 ops in 10 s.
+        for i in 0..10 {
+            r.record(
+                SimTime::from_secs(i),
+                1_000_000,
+                SimDuration::from_millis(100),
+            );
+        }
+        r.mark(SimTime::from_secs(10));
+        assert_eq!(r.mark_at(), Some(SimTime::from_secs(10)));
+        // Fast steady state: 100 ops in 10 s.
+        for i in 0..100 {
+            r.record(
+                SimTime::from_secs(10) + SimDuration::from_millis(i * 100),
+                1_000_000,
+                SimDuration::from_millis(1),
+            );
+        }
+        let whole = r.report(SimTime::from_secs(20));
+        let window = r.window_report(SimTime::from_secs(20));
+        assert_eq!(whole.ops, 110);
+        assert_eq!(window.ops, 100);
+        assert!((window.ops_per_sec - 10.0).abs() < 1e-9);
+        assert_eq!(window.mean_latency, SimDuration::from_millis(1));
+        assert!(whole.mean_latency > window.mean_latency);
+    }
+
+    #[test]
+    fn window_report_without_mark_falls_back() {
+        let mut r = OpsRecorder::new();
+        r.record(SimTime::from_secs(1), 1_000, SimDuration::from_millis(1));
+        assert_eq!(
+            r.window_report(SimTime::from_secs(2)),
+            r.report(SimTime::from_secs(2))
+        );
+    }
+
+    #[test]
+    fn remark_resets_window() {
+        let mut r = OpsRecorder::new();
+        r.mark(SimTime::from_secs(0));
+        r.record(SimTime::from_secs(1), 1_000, SimDuration::from_millis(1));
+        r.mark(SimTime::from_secs(2));
+        let w = r.window_report(SimTime::from_secs(3));
+        assert_eq!(w.ops, 0);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let rep = OpsRecorder::new().report(SimTime::from_secs(10));
+        assert_eq!(rep.ops, 0);
+        assert_eq!(rep.ops_per_sec, 0.0);
+        assert_eq!(rep.mb_per_sec, 0.0);
+    }
+
+    #[test]
+    fn report_display() {
+        let mut r = OpsRecorder::new();
+        r.record(
+            SimTime::from_secs(1),
+            2_000_000,
+            SimDuration::from_millis(2),
+        );
+        let s = r.report(SimTime::from_secs(2)).to_string();
+        assert!(s.contains("ops/s"));
+        assert!(s.contains("MB/s"));
+    }
+}

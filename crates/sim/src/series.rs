@@ -1,0 +1,286 @@
+//! Time-series probes.
+//!
+//! The paper's figures are almost all "cache occupancy over time" plots.
+//! [`TimeSeries`] collects `(time, value)` samples; [`Sampler`] tells the
+//! experiment loop when the next periodic sample is due.
+
+use std::fmt;
+
+use crate::{SimDuration, SimTime};
+
+/// One sample in a time series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesPoint {
+    /// Sample instant.
+    pub at: SimTime,
+    /// Sampled value (unit depends on the probe, e.g. MB of cache used).
+    pub value: f64,
+}
+
+/// A named sequence of `(time, value)` samples.
+///
+/// # Example
+///
+/// ```
+/// use ddc_sim::{TimeSeries, SimTime};
+///
+/// let mut s = TimeSeries::new("container1-cache-mb");
+/// s.record(SimTime::from_secs(1), 100.0);
+/// s.record(SimTime::from_secs(2), 150.0);
+/// assert_eq!(s.max_value(), Some(150.0));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<SeriesPoint>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a display name.
+    pub fn new(name: impl Into<String>) -> TimeSeries {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample. Samples must be recorded in non-decreasing time
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` precedes the last recorded sample.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|p| p.at <= at),
+            "samples must be time-ordered"
+        );
+        self.points.push(SeriesPoint { at, value });
+    }
+
+    /// All samples in time order.
+    pub fn points(&self) -> &[SeriesPoint] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Largest sampled value.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points.iter().map(|p| p.value).fold(None, |acc, v| {
+            Some(match acc {
+                Some(a) if a >= v => a,
+                _ => v,
+            })
+        })
+    }
+
+    /// Mean of samples in the half-open time window `[from, to)`.
+    pub fn mean_in(&self, from: SimTime, to: SimTime) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for p in &self.points {
+            if p.at >= from && p.at < to {
+                sum += p.value;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    /// The last sample at or before `at` (step interpolation).
+    pub fn value_at(&self, at: SimTime) -> Option<f64> {
+        match self.points.partition_point(|p| p.at <= at) {
+            0 => None,
+            idx => Some(self.points[idx - 1].value),
+        }
+    }
+
+    /// Downsamples to at most `max_points` evenly spaced samples, for
+    /// compact textual figure output.
+    pub fn thin(&self, max_points: usize) -> Vec<SeriesPoint> {
+        if max_points == 0 || self.points.is_empty() {
+            return Vec::new();
+        }
+        if self.points.len() <= max_points {
+            return self.points.clone();
+        }
+        let stride = self.points.len() as f64 / max_points as f64;
+        (0..max_points)
+            .map(|i| self.points[(i as f64 * stride) as usize])
+            .collect()
+    }
+}
+
+impl fmt::Display for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {}", self.name)?;
+        for p in &self.points {
+            writeln!(f, "{:.1}\t{:.2}", p.at.as_secs_f64(), p.value)?;
+        }
+        Ok(())
+    }
+}
+
+/// Periodic sampling schedule: tells the experiment loop when the next
+/// sample is due.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sampler {
+    interval: SimDuration,
+    next_due: SimTime,
+}
+
+impl Sampler {
+    /// Creates a sampler firing every `interval`, first at `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: SimDuration) -> Sampler {
+        assert!(
+            interval > SimDuration::ZERO,
+            "sampler interval must be positive"
+        );
+        Sampler {
+            interval,
+            next_due: SimTime::ZERO + interval,
+        }
+    }
+
+    /// The instant of the next pending sample.
+    pub fn next_due(&self) -> SimTime {
+        self.next_due
+    }
+
+    /// If a sample is due at or before `now`, consumes it and returns its
+    /// scheduled instant. Call in a loop to catch up after long jumps.
+    pub fn tick(&mut self, now: SimTime) -> Option<SimTime> {
+        if self.next_due <= now {
+            let due = self.next_due;
+            self.next_due = due + self.interval;
+            Some(due)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = TimeSeries::new("t");
+        s.record(SimTime::from_secs(1), 10.0);
+        s.record(SimTime::from_secs(2), 30.0);
+        s.record(SimTime::from_secs(3), 20.0);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.max_value(), Some(30.0));
+        assert_eq!(s.name(), "t");
+    }
+
+    #[test]
+    fn mean_in_window() {
+        let mut s = TimeSeries::new("t");
+        for sec in 0..10 {
+            s.record(SimTime::from_secs(sec), sec as f64);
+        }
+        // window [2, 5) contains samples 2,3,4 -> mean 3
+        assert_eq!(
+            s.mean_in(SimTime::from_secs(2), SimTime::from_secs(5)),
+            Some(3.0)
+        );
+        assert_eq!(
+            s.mean_in(SimTime::from_secs(100), SimTime::from_secs(200)),
+            None
+        );
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let mut s = TimeSeries::new("t");
+        s.record(SimTime::from_secs(1), 1.0);
+        s.record(SimTime::from_secs(5), 5.0);
+        assert_eq!(s.value_at(SimTime::ZERO), None);
+        assert_eq!(s.value_at(SimTime::from_secs(1)), Some(1.0));
+        assert_eq!(s.value_at(SimTime::from_secs(3)), Some(1.0));
+        assert_eq!(s.value_at(SimTime::from_secs(9)), Some(5.0));
+    }
+
+    #[test]
+    fn thin_downsamples() {
+        let mut s = TimeSeries::new("t");
+        for sec in 0..100 {
+            s.record(SimTime::from_secs(sec), sec as f64);
+        }
+        let thinned = s.thin(10);
+        assert_eq!(thinned.len(), 10);
+        assert_eq!(s.thin(0).len(), 0);
+        assert_eq!(s.thin(1000).len(), 100);
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new("e");
+        assert!(s.is_empty());
+        assert_eq!(s.max_value(), None);
+        assert_eq!(s.value_at(SimTime::MAX), None);
+        assert!(s.thin(5).is_empty());
+    }
+
+    #[test]
+    fn display_includes_name_and_rows() {
+        let mut s = TimeSeries::new("occupancy");
+        s.record(SimTime::from_secs(1), 2.5);
+        let out = s.to_string();
+        assert!(out.contains("# occupancy"));
+        assert!(out.contains("1.0\t2.50"));
+    }
+
+    #[test]
+    fn sampler_fires_periodically() {
+        let mut sampler = Sampler::new(SimDuration::from_secs(1));
+        assert_eq!(sampler.tick(SimTime::from_nanos(1)), None);
+        assert_eq!(
+            sampler.tick(SimTime::from_secs(1)),
+            Some(SimTime::from_secs(1))
+        );
+        assert_eq!(sampler.tick(SimTime::from_secs(1)), None);
+        // A long jump yields successive catch-up samples.
+        assert_eq!(
+            sampler.tick(SimTime::from_secs(4)),
+            Some(SimTime::from_secs(2))
+        );
+        assert_eq!(
+            sampler.tick(SimTime::from_secs(4)),
+            Some(SimTime::from_secs(3))
+        );
+        assert_eq!(
+            sampler.tick(SimTime::from_secs(4)),
+            Some(SimTime::from_secs(4))
+        );
+        assert_eq!(sampler.tick(SimTime::from_secs(4)), None);
+        assert_eq!(sampler.next_due(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn sampler_rejects_zero_interval() {
+        let _ = Sampler::new(SimDuration::ZERO);
+    }
+}

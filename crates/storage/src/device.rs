@@ -1,0 +1,306 @@
+//! A storage device: a latency model, an FCFS queue, and sequentiality
+//! tracking.
+
+use std::collections::HashMap;
+
+use ddc_sim::{MultiQueuedResource, SimDuration, SimTime};
+
+use crate::{BlockAddr, FileId, LatencyModel};
+
+/// Device class, used for reporting and store-type decisions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Host RAM (memory cache store).
+    Ram,
+    /// Solid-state drive (SSD cache store).
+    Ssd,
+    /// Spinning disk (the backing virtual-disk store).
+    Hdd,
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DeviceKind::Ram => "ram",
+            DeviceKind::Ssd => "ssd",
+            DeviceKind::Hdd => "hdd",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Completion record for one device IO.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoCompletion {
+    /// When the transfer finished; for synchronous IO the caller's virtual
+    /// clock advances to this instant.
+    pub finish: SimTime,
+    /// Whether the access was serviced as part of a sequential stream.
+    pub sequential: bool,
+}
+
+/// A shared storage device.
+///
+/// The device remembers the last accessed block *per file* to classify
+/// each request as sequential or random — modelling OS read-ahead plus
+/// the drive's elevator/NCQ scheduling, which preserve per-stream
+/// sequentiality even when several streams interleave. This is what makes
+/// large streaming reads (the videoserver workload) cheap and small
+/// scattered reads (webserver, mail) expensive on the HDD tier.
+///
+/// # Example
+///
+/// ```
+/// use ddc_storage::{BlockAddr, Device, FileId};
+/// use ddc_sim::SimTime;
+///
+/// let mut d = Device::hdd();
+/// let first = d.read(SimTime::ZERO, BlockAddr::new(FileId(1), 0));
+/// let second = d.read(first.finish, BlockAddr::new(FileId(1), 1));
+/// assert!(second.sequential);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Device {
+    kind: DeviceKind,
+    model: LatencyModel,
+    queue: MultiQueuedResource,
+    last_block_by_file: HashMap<FileId, u64>,
+    reads: u64,
+    writes: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl Device {
+    /// Creates a device from a kind, latency model and service channel
+    /// count (1 for a spindle; >1 for devices with internal parallelism).
+    pub fn new(kind: DeviceKind, model: LatencyModel) -> Device {
+        Device::with_channels(kind, model, 1)
+    }
+
+    /// Creates a device with `channels` parallel service channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn with_channels(kind: DeviceKind, model: LatencyModel, channels: usize) -> Device {
+        Device {
+            kind,
+            model,
+            queue: MultiQueuedResource::new(channels),
+            last_block_by_file: HashMap::new(),
+            reads: 0,
+            writes: 0,
+            bytes_read: 0,
+            bytes_written: 0,
+        }
+    }
+
+    /// A 7200 rpm hard disk: one head assembly, one channel.
+    pub fn hdd() -> Device {
+        Device::new(DeviceKind::Hdd, LatencyModel::hdd())
+    }
+
+    /// A SATA consumer SSD (the paper's Kingston V300 class): modest
+    /// internal parallelism behind the SATA link.
+    pub fn ssd_sata() -> Device {
+        Device::with_channels(DeviceKind::Ssd, LatencyModel::ssd_sata(), 2)
+    }
+
+    /// A host-RAM copy engine: memory copies proceed concurrently on the
+    /// host's cores, bounded by aggregate bandwidth per channel.
+    pub fn ram() -> Device {
+        Device::with_channels(DeviceKind::Ram, LatencyModel::ram(), 16)
+    }
+
+    /// The device class.
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// Synchronously reads one page; the caller waits until `finish`.
+    pub fn read(&mut self, now: SimTime, addr: BlockAddr) -> IoCompletion {
+        let sequential = self.note_access(addr);
+        let grant = self.queue.access(now, self.model.read(sequential));
+        self.reads += 1;
+        self.bytes_read += crate::PAGE_SIZE;
+        IoCompletion {
+            finish: grant.finish,
+            sequential,
+        }
+    }
+
+    /// Synchronously writes one page.
+    pub fn write(&mut self, now: SimTime, addr: BlockAddr) -> IoCompletion {
+        let sequential = self.note_access(addr);
+        let grant = self.queue.access(now, self.model.write(sequential));
+        self.writes += 1;
+        self.bytes_written += crate::PAGE_SIZE;
+        IoCompletion {
+            finish: grant.finish,
+            sequential,
+        }
+    }
+
+    /// Queues an asynchronous page write: the device is occupied, but the
+    /// caller does not wait. Used for writeback and for the SSD cache
+    /// store's asynchronous `put` path (paper §4.2).
+    pub fn write_async(&mut self, now: SimTime, addr: BlockAddr) -> IoCompletion {
+        self.write(now, addr)
+    }
+
+    /// Whether `addr` continues its file's stream, updating the stream
+    /// tracker. The tracker is bounded by evicting arbitrary entries once
+    /// it grows past a large cap (streams are short-lived).
+    fn note_access(&mut self, addr: BlockAddr) -> bool {
+        let sequential = self
+            .last_block_by_file
+            .get(&addr.file)
+            .is_some_and(|&last| addr.block == last + 1 || addr.block == last);
+        if self.last_block_by_file.len() > 1 << 20 {
+            self.last_block_by_file.clear();
+        }
+        self.last_block_by_file.insert(addr.file, addr.block);
+        sequential
+    }
+
+    /// Completed read count.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Completed write count.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Bytes read so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Time the device becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.queue.busy_until()
+    }
+
+    /// Device utilization over the window ending at `now`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.queue.utilization(now)
+    }
+
+    /// Aggregate service time consumed.
+    pub fn busy_time(&self) -> SimDuration {
+        self.queue.busy_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FileId;
+
+    fn addr(f: u64, b: u64) -> BlockAddr {
+        BlockAddr::new(FileId(f), b)
+    }
+
+    #[test]
+    fn first_access_is_random() {
+        let mut d = Device::hdd();
+        let io = d.read(SimTime::ZERO, addr(1, 0));
+        assert!(!io.sequential);
+        assert!(io.finish.saturating_since(SimTime::ZERO) > SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn stream_detection() {
+        let mut d = Device::hdd();
+        let a = d.read(SimTime::ZERO, addr(1, 0));
+        let b = d.read(a.finish, addr(1, 1));
+        assert!(b.sequential);
+        // A different file starts its own (initially cold) stream.
+        let c = d.read(b.finish, addr(2, 2));
+        assert!(!c.sequential);
+        // Re-reading the same block counts as sequential (no repositioning).
+        let e = d.read(c.finish, addr(2, 2));
+        assert!(e.sequential);
+    }
+
+    #[test]
+    fn interleaved_streams_stay_sequential_per_file() {
+        // Two interleaved sequential readers keep their per-stream
+        // discount (read-ahead + elevator model).
+        let mut d = Device::hdd();
+        let mut now = SimTime::ZERO;
+        let mut seq_count = 0;
+        for i in 0..10 {
+            let a = d.read(now, addr(1, i));
+            let b = d.read(a.finish, addr(2, i));
+            now = b.finish;
+            seq_count += usize::from(a.sequential) + usize::from(b.sequential);
+        }
+        assert_eq!(seq_count, 18, "only the two first accesses reposition");
+    }
+
+    #[test]
+    fn random_access_within_file_repositions() {
+        let mut d = Device::hdd();
+        let a = d.read(SimTime::ZERO, addr(1, 0));
+        assert!(!a.sequential);
+        let b = d.read(a.finish, addr(1, 7));
+        assert!(!b.sequential, "a jump within the file repositions");
+        let c = d.read(b.finish, addr(1, 8));
+        assert!(c.sequential);
+    }
+
+    #[test]
+    fn queueing_across_callers() {
+        // The HDD has a single channel: concurrent requests serialize.
+        let mut d = Device::hdd();
+        let a = d.read(SimTime::ZERO, addr(1, 0));
+        let b = d.read(SimTime::ZERO, addr(9, 0));
+        assert!(b.finish > a.finish, "second request queues");
+        // The SSD has parallel channels: a small burst proceeds together.
+        let mut s = Device::ssd_sata();
+        let a = s.read(SimTime::ZERO, addr(1, 0));
+        let b = s.read(SimTime::ZERO, addr(9, 0));
+        assert_eq!(a.finish, b.finish, "parallel channels");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut d = Device::ram();
+        d.read(SimTime::ZERO, addr(1, 0));
+        d.write(SimTime::ZERO, addr(1, 1));
+        d.write_async(SimTime::ZERO, addr(1, 2));
+        assert_eq!(d.reads(), 1);
+        assert_eq!(d.writes(), 2);
+        assert_eq!(d.bytes_read(), crate::PAGE_SIZE);
+        assert_eq!(d.bytes_written(), 2 * crate::PAGE_SIZE);
+        assert!(d.busy_time() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn kind_and_display() {
+        assert_eq!(Device::hdd().kind(), DeviceKind::Hdd);
+        assert_eq!(Device::ssd_sata().kind(), DeviceKind::Ssd);
+        assert_eq!(Device::ram().kind(), DeviceKind::Ram);
+        assert_eq!(DeviceKind::Ssd.to_string(), "ssd");
+    }
+
+    #[test]
+    fn ram_faster_than_ssd_faster_than_hdd_end_to_end() {
+        let mut ram = Device::ram();
+        let mut ssd = Device::ssd_sata();
+        let mut hdd = Device::hdd();
+        let r = ram.read(SimTime::ZERO, addr(1, 0)).finish;
+        let s = ssd.read(SimTime::ZERO, addr(1, 0)).finish;
+        let h = hdd.read(SimTime::ZERO, addr(1, 0)).finish;
+        assert!(r < s && s < h);
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-device service-time models.
+//!
+//! Service time for one page transfer is `positioning + PAGE_SIZE /
+//! bandwidth`, where positioning is charged only on non-sequential access
+//! (seek + rotational delay for disks, channel setup for flash, nothing for
+//! RAM). Values are calibrated against published device characteristics:
+//!
+//! * HDD: 7200 rpm SATA — ~8 ms average positioning, ~150 MB/s media rate.
+//! * SSD: Kingston SSDNow V300-class SATA — ~90 µs random-read service,
+//!   ~450 MB/s sequential read, ~130 µs program (write) latency.
+//! * RAM: block copy over the memory bus at ~8 GB/s, no positioning cost.
+
+use ddc_sim::SimDuration;
+
+use crate::PAGE_SIZE;
+
+/// Service-time parameters for a device class.
+///
+/// # Example
+///
+/// ```
+/// use ddc_storage::LatencyModel;
+///
+/// let m = LatencyModel::hdd();
+/// // A random read pays positioning; a sequential one does not.
+/// assert!(m.read(false) > m.read(true));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Positioning cost charged on non-sequential reads.
+    pub read_positioning: SimDuration,
+    /// Positioning cost charged on non-sequential writes.
+    pub write_positioning: SimDuration,
+    /// Per-page transfer time for reads.
+    pub read_transfer: SimDuration,
+    /// Per-page transfer time for writes.
+    pub write_transfer: SimDuration,
+}
+
+impl LatencyModel {
+    /// 7200 rpm SATA hard disk. Positioning reflects short scheduled
+    /// seeks under an elevator/NCQ queue (~4 ms), not full-stroke seeks.
+    pub fn hdd() -> LatencyModel {
+        LatencyModel {
+            read_positioning: SimDuration::from_micros(4_000),
+            write_positioning: SimDuration::from_micros(4_000),
+            read_transfer: transfer_time(150),
+            write_transfer: transfer_time(140),
+        }
+    }
+
+    /// SATA-3 consumer SSD (Kingston SSDNow V300 class, per the paper's
+    /// testbed). Per-channel transfer is half the ~500 MB/s SATA link so
+    /// that the device's two channels together saturate the link.
+    pub fn ssd_sata() -> LatencyModel {
+        LatencyModel {
+            read_positioning: SimDuration::from_micros(85),
+            write_positioning: SimDuration::from_micros(60),
+            read_transfer: transfer_time(250),
+            write_transfer: transfer_time(230),
+        }
+    }
+
+    /// Host-RAM page copies (hypervisor memory cache store).
+    pub fn ram() -> LatencyModel {
+        LatencyModel {
+            read_positioning: SimDuration::ZERO,
+            write_positioning: SimDuration::ZERO,
+            read_transfer: transfer_time(8_000),
+            write_transfer: transfer_time(8_000),
+        }
+    }
+
+    /// Service time for reading one page.
+    pub fn read(&self, sequential: bool) -> SimDuration {
+        if sequential {
+            self.read_transfer
+        } else {
+            self.read_positioning + self.read_transfer
+        }
+    }
+
+    /// Service time for writing one page.
+    pub fn write(&self, sequential: bool) -> SimDuration {
+        if sequential {
+            self.write_transfer
+        } else {
+            self.write_positioning + self.write_transfer
+        }
+    }
+}
+
+/// Per-page transfer time at the given bandwidth in MB/s.
+fn transfer_time(mb_per_s: u64) -> SimDuration {
+    let bytes_per_s = mb_per_s * 1_000_000;
+    SimDuration::from_nanos(PAGE_SIZE * 1_000_000_000 / bytes_per_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_ordering_random_reads() {
+        let ram = LatencyModel::ram().read(false);
+        let ssd = LatencyModel::ssd_sata().read(false);
+        let hdd = LatencyModel::hdd().read(false);
+        assert!(ram < ssd, "RAM must beat SSD");
+        assert!(ssd < hdd, "SSD must beat HDD");
+        // The orders of magnitude must be right, not just the ordering.
+        assert!(hdd.as_micros() / ssd.as_micros() > 10);
+        assert!(ssd.as_nanos() / ram.as_nanos() > 10);
+    }
+
+    #[test]
+    fn sequential_hdd_reads_avoid_seek() {
+        let m = LatencyModel::hdd();
+        let random = m.read(false);
+        let seq = m.read(true);
+        assert!(random.as_micros() > 4_000);
+        assert!(seq.as_micros() < 1000);
+    }
+
+    #[test]
+    fn writes_follow_same_shape() {
+        for m in [LatencyModel::hdd(), LatencyModel::ssd_sata()] {
+            assert!(m.write(false) > m.write(true));
+        }
+        let ram = LatencyModel::ram();
+        assert_eq!(ram.write(false), ram.write(true));
+    }
+
+    #[test]
+    fn transfer_time_matches_bandwidth() {
+        // PAGE_SIZE bytes at 100 MB/s.
+        let expect = PAGE_SIZE * 1_000_000_000 / 100_000_000;
+        assert_eq!(transfer_time(100), SimDuration::from_nanos(expect));
+    }
+
+    #[test]
+    fn hdd_sequential_throughput_near_media_rate() {
+        // Sequential page reads back-to-back should sustain ~150 MB/s.
+        let per_page = LatencyModel::hdd().read(true);
+        let pages_per_sec = 1e9 / per_page.as_nanos() as f64;
+        let mb_per_sec = pages_per_sec * PAGE_SIZE as f64 / 1e6;
+        assert!((mb_per_sec - 150.0).abs() < 5.0, "got {mb_per_sec} MB/s");
+    }
+}

@@ -1,0 +1,683 @@
+//! Filebench-personality workload threads.
+//!
+//! Each model reproduces the *flowlet* of the corresponding Filebench
+//! personality (the per-thread operation loop), parameterized like the
+//! `.f` profiles: fileset size, mean file size, operations per loop.
+//! Defaults are scaled so that gigabyte-scale paper scenarios map onto
+//! the 64 KiB-block simulation (see DESIGN.md).
+
+use ddc_cleancache::VmId;
+use ddc_guest::CgroupId;
+use ddc_hypervisor::{vm_file, Host};
+use ddc_metrics::OpsRecorder;
+use ddc_sim::{SimDuration, SimRng, SimTime};
+use ddc_storage::FileId;
+
+use crate::thread::{append_log, blocks_to_bytes, read_whole_file, write_whole_file};
+use crate::{FileSet, WorkloadThread, Zipf};
+
+/// Inode-space layout for one container's filesets, so profiles never
+/// collide within a VM.
+fn base_inode(cg: CgroupId) -> u64 {
+    1 + (cg.0 as u64) * 1_000_000
+}
+
+// ---------------------------------------------------------------------
+// Webserver
+// ---------------------------------------------------------------------
+
+/// Configuration of the [`Webserver`] personality.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WebConfig {
+    /// Number of files served.
+    pub files: usize,
+    /// Mean file size in blocks.
+    pub mean_file_blocks: u32,
+    /// Whole files read per loop iteration (Filebench default: 10).
+    pub reads_per_loop: u32,
+    /// Popularity skew across files (0 = uniform).
+    pub zipf_theta: f64,
+    /// Client think time between loop iterations (models the network
+    /// round trips of the served requests).
+    pub think_time: SimDuration,
+}
+
+impl Default for WebConfig {
+    fn default() -> WebConfig {
+        WebConfig {
+            files: 1000,
+            mean_file_blocks: 2,
+            reads_per_loop: 10,
+            zipf_theta: 0.7,
+            think_time: SimDuration::from_millis(1),
+        }
+    }
+}
+
+/// The Filebench *webserver* personality: each loop serves 10 whole-file
+/// reads (Zipf-popular) and appends one block to the access log.
+#[derive(Debug)]
+pub struct Webserver {
+    label: String,
+    vm: VmId,
+    cg: CgroupId,
+    config: WebConfig,
+    fileset: FileSet,
+    zipf: Zipf,
+    log: FileId,
+    log_cursor: u64,
+    rng: SimRng,
+    recorder: OpsRecorder,
+}
+
+impl Webserver {
+    /// Creates one webserver thread. The fileset is derived
+    /// deterministically from `(vm, cg, config)`, so all threads of the
+    /// same container share the same files; `seed` only drives the
+    /// thread's own access pattern.
+    pub fn new(
+        label: impl Into<String>,
+        vm: VmId,
+        cg: CgroupId,
+        config: WebConfig,
+        seed: u64,
+    ) -> Webserver {
+        let mut set_rng = SimRng::new(0x5745_4253_4554 ^ ((vm.0 as u64) << 32) ^ cg.0 as u64);
+        let fileset = FileSet::generate(
+            vm,
+            base_inode(cg),
+            config.files,
+            config.mean_file_blocks,
+            &mut set_rng,
+        );
+        Webserver {
+            label: label.into(),
+            vm,
+            cg,
+            zipf: Zipf::new(config.files, config.zipf_theta),
+            fileset,
+            log: vm_file(vm, base_inode(cg) + 900_000),
+            log_cursor: 0,
+            rng: SimRng::new(seed),
+            recorder: OpsRecorder::new(),
+            config,
+        }
+    }
+}
+
+impl WorkloadThread for Webserver {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn vm(&self) -> VmId {
+        self.vm
+    }
+
+    fn cgroup(&self) -> CgroupId {
+        self.cg
+    }
+
+    fn step(&mut self, host: &mut Host, now: SimTime) -> SimTime {
+        let mut t = now;
+        let mut blocks = 0u64;
+        for _ in 0..self.config.reads_per_loop {
+            let idx = self.zipf.sample(&mut self.rng);
+            t = read_whole_file(host, self.vm, self.cg, &self.fileset, idx, t);
+            blocks += self.fileset.size_blocks(idx) as u64;
+        }
+        t = append_log(host, self.vm, self.cg, self.log, &mut self.log_cursor, 1, t);
+        blocks += 1;
+        self.recorder.record(t, blocks_to_bytes(blocks), t - now);
+        t + self.config.think_time
+    }
+
+    fn recorder(&self) -> &OpsRecorder {
+        &self.recorder
+    }
+
+    fn recorder_mut(&mut self) -> &mut OpsRecorder {
+        &mut self.recorder
+    }
+}
+
+// ---------------------------------------------------------------------
+// Proxycache
+// ---------------------------------------------------------------------
+
+/// Configuration of the [`Proxycache`] personality.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProxyConfig {
+    /// Number of cached objects (files).
+    pub files: usize,
+    /// Mean object size in blocks.
+    pub mean_file_blocks: u32,
+    /// Whole-file reads per loop (Filebench webproxy: 5).
+    pub reads_per_loop: u32,
+    /// One in `turnover_period` loops replaces an object (cache miss at
+    /// the proxy → fetch from origin).
+    pub turnover_period: u32,
+    /// Client think time between loop iterations.
+    pub think_time: SimDuration,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> ProxyConfig {
+        ProxyConfig {
+            files: 1000,
+            mean_file_blocks: 2,
+            reads_per_loop: 5,
+            turnover_period: 8,
+            think_time: SimDuration::from_millis(10),
+        }
+    }
+}
+
+/// The Filebench *webproxy* personality: each loop replaces one cached
+/// object (delete + create + write) and reads five others, plus a log
+/// append — a bounded cache with turnover.
+#[derive(Debug)]
+pub struct Proxycache {
+    label: String,
+    vm: VmId,
+    cg: CgroupId,
+    config: ProxyConfig,
+    fileset: FileSet,
+    log: FileId,
+    log_cursor: u64,
+    loops: u64,
+    rng: SimRng,
+    recorder: OpsRecorder,
+}
+
+impl Proxycache {
+    /// Creates one proxycache thread.
+    pub fn new(
+        label: impl Into<String>,
+        vm: VmId,
+        cg: CgroupId,
+        config: ProxyConfig,
+        seed: u64,
+    ) -> Proxycache {
+        let mut set_rng = SimRng::new(0x50_524f_5859 ^ ((vm.0 as u64) << 32) ^ cg.0 as u64);
+        let fileset = FileSet::generate(
+            vm,
+            base_inode(cg),
+            config.files,
+            config.mean_file_blocks,
+            &mut set_rng,
+        );
+        Proxycache {
+            label: label.into(),
+            vm,
+            cg,
+            fileset,
+            log: vm_file(vm, base_inode(cg) + 900_000),
+            log_cursor: 0,
+            loops: 0,
+            rng: SimRng::new(seed),
+            recorder: OpsRecorder::new(),
+            config,
+        }
+    }
+}
+
+impl WorkloadThread for Proxycache {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn vm(&self) -> VmId {
+        self.vm
+    }
+
+    fn cgroup(&self) -> CgroupId {
+        self.cg
+    }
+
+    fn step(&mut self, host: &mut Host, now: SimTime) -> SimTime {
+        let mut t = now;
+        let mut blocks = 0u64;
+        self.loops += 1;
+        // Object turnover (proxy cache miss): delete one object, fetch a
+        // fresh copy from the origin (write it).
+        if self
+            .loops
+            .is_multiple_of(self.config.turnover_period as u64)
+        {
+            let victim = self.fileset.pick_uniform(&mut self.rng);
+            let old = self
+                .fileset
+                .replace(victim, self.config.mean_file_blocks, &mut self.rng);
+            host.delete_file(self.vm, self.cg, old);
+            t = write_whole_file(host, self.vm, self.cg, &self.fileset, victim, t);
+            blocks += self.fileset.size_blocks(victim) as u64;
+        }
+        // Serve cached objects.
+        for _ in 0..self.config.reads_per_loop {
+            let idx = self.fileset.pick_uniform(&mut self.rng);
+            t = read_whole_file(host, self.vm, self.cg, &self.fileset, idx, t);
+            blocks += self.fileset.size_blocks(idx) as u64;
+        }
+        t = append_log(host, self.vm, self.cg, self.log, &mut self.log_cursor, 1, t);
+        blocks += 1;
+        self.recorder.record(t, blocks_to_bytes(blocks), t - now);
+        t + self.config.think_time
+    }
+
+    fn recorder(&self) -> &OpsRecorder {
+        &self.recorder
+    }
+
+    fn recorder_mut(&mut self) -> &mut OpsRecorder {
+        &mut self.recorder
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mail server (varmail)
+// ---------------------------------------------------------------------
+
+/// Configuration of the [`MailServer`] personality.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MailConfig {
+    /// Number of mail files.
+    pub files: usize,
+    /// Mean mail size in blocks.
+    pub mean_file_blocks: u32,
+}
+
+impl Default for MailConfig {
+    fn default() -> MailConfig {
+        MailConfig {
+            files: 1000,
+            mean_file_blocks: 1,
+        }
+    }
+}
+
+/// The Filebench *varmail* personality: delete / create-write-**fsync** /
+/// read / append-**fsync** / read — small files and frequent synchronous
+/// durability, so the disk (not the cache) dominates.
+#[derive(Debug)]
+pub struct MailServer {
+    label: String,
+    vm: VmId,
+    cg: CgroupId,
+    config: MailConfig,
+    fileset: FileSet,
+    rng: SimRng,
+    recorder: OpsRecorder,
+}
+
+impl MailServer {
+    /// Creates one mail-server thread.
+    pub fn new(
+        label: impl Into<String>,
+        vm: VmId,
+        cg: CgroupId,
+        config: MailConfig,
+        seed: u64,
+    ) -> MailServer {
+        let mut set_rng = SimRng::new(0x4d41_494c ^ ((vm.0 as u64) << 32) ^ cg.0 as u64);
+        let fileset = FileSet::generate(
+            vm,
+            base_inode(cg),
+            config.files,
+            config.mean_file_blocks,
+            &mut set_rng,
+        );
+        MailServer {
+            label: label.into(),
+            vm,
+            cg,
+            fileset,
+            rng: SimRng::new(seed),
+            recorder: OpsRecorder::new(),
+            config,
+        }
+    }
+}
+
+impl WorkloadThread for MailServer {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn vm(&self) -> VmId {
+        self.vm
+    }
+
+    fn cgroup(&self) -> CgroupId {
+        self.cg
+    }
+
+    fn step(&mut self, host: &mut Host, now: SimTime) -> SimTime {
+        let mut t = now;
+        let mut blocks = 0u64;
+        // Delete one mail.
+        let victim = self.fileset.pick_uniform(&mut self.rng);
+        let old = self
+            .fileset
+            .replace(victim, self.config.mean_file_blocks, &mut self.rng);
+        host.delete_file(self.vm, self.cg, old);
+        // Deliver a new mail: write + fsync.
+        t = write_whole_file(host, self.vm, self.cg, &self.fileset, victim, t);
+        t = host.fsync(t, self.vm, self.cg, self.fileset.file(victim));
+        blocks += self.fileset.size_blocks(victim) as u64;
+        // Read a mail.
+        let idx = self.fileset.pick_uniform(&mut self.rng);
+        t = read_whole_file(host, self.vm, self.cg, &self.fileset, idx, t);
+        blocks += self.fileset.size_blocks(idx) as u64;
+        // Append to another mail + fsync (e.g. flag update).
+        let idx2 = self.fileset.pick_uniform(&mut self.rng);
+        let addr = ddc_storage::BlockAddr::new(self.fileset.file(idx2), 0);
+        t = host.write(t, self.vm, self.cg, addr).finish;
+        t = host.fsync(t, self.vm, self.cg, self.fileset.file(idx2));
+        blocks += 1;
+        // Read another mail.
+        let idx3 = self.fileset.pick_uniform(&mut self.rng);
+        t = read_whole_file(host, self.vm, self.cg, &self.fileset, idx3, t);
+        blocks += self.fileset.size_blocks(idx3) as u64;
+        self.recorder.record(t, blocks_to_bytes(blocks), t - now);
+        t
+    }
+
+    fn recorder(&self) -> &OpsRecorder {
+        &self.recorder
+    }
+
+    fn recorder_mut(&mut self) -> &mut OpsRecorder {
+        &mut self.recorder
+    }
+}
+
+// ---------------------------------------------------------------------
+// Videoserver
+// ---------------------------------------------------------------------
+
+/// Configuration of the [`VideoServer`] personality.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VideoConfig {
+    /// Number of videos in the actively-served set.
+    pub active_videos: usize,
+    /// Mean video size in blocks (large: sequential streams).
+    pub mean_video_blocks: u32,
+    /// One in `writer_period` loops writes a new video instead of serving
+    /// one (the Filebench profile has a slow writer thread).
+    pub writer_period: u32,
+    /// Popularity skew across the active set.
+    pub zipf_theta: f64,
+}
+
+impl Default for VideoConfig {
+    fn default() -> VideoConfig {
+        VideoConfig {
+            active_videos: 32,
+            mean_video_blocks: 128, // 8 MiB videos
+            writer_period: 64,
+            zipf_theta: 0.8,
+        }
+    }
+}
+
+/// The Filebench *videoserver* personality: large sequential whole-file
+/// reads over a small hot set (plus occasional ingest of a new video) —
+/// the cache-dominating, high-rate workload of the paper's Fig. 8/9.
+///
+/// Videos are streamed in read-ahead-sized chunks (one chunk per
+/// scheduler step), so device occupancy interleaves with other workload
+/// threads at realistic granularity instead of holding the device queue
+/// for a whole multi-hundred-millisecond video.
+#[derive(Debug)]
+pub struct VideoServer {
+    label: String,
+    vm: VmId,
+    cg: CgroupId,
+    config: VideoConfig,
+    fileset: FileSet,
+    zipf: Zipf,
+    loops: u64,
+    /// In-progress stream: (file index, next block, stream start, bytes).
+    stream: Option<(usize, u64, SimTime)>,
+    rng: SimRng,
+    recorder: OpsRecorder,
+}
+
+/// Blocks streamed per scheduler step (a 512 KiB read-ahead burst).
+const VIDEO_CHUNK_BLOCKS: u64 = 8;
+
+impl VideoServer {
+    /// Creates one videoserver thread.
+    pub fn new(
+        label: impl Into<String>,
+        vm: VmId,
+        cg: CgroupId,
+        config: VideoConfig,
+        seed: u64,
+    ) -> VideoServer {
+        let mut set_rng = SimRng::new(0x0056_4944_454f ^ ((vm.0 as u64) << 32) ^ cg.0 as u64);
+        let fileset = FileSet::generate(
+            vm,
+            base_inode(cg),
+            config.active_videos,
+            config.mean_video_blocks,
+            &mut set_rng,
+        );
+        VideoServer {
+            label: label.into(),
+            vm,
+            cg,
+            zipf: Zipf::new(config.active_videos, config.zipf_theta),
+            fileset,
+            loops: 0,
+            stream: None,
+            rng: SimRng::new(seed),
+            recorder: OpsRecorder::new(),
+            config,
+        }
+    }
+}
+
+impl WorkloadThread for VideoServer {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn vm(&self) -> VmId {
+        self.vm
+    }
+
+    fn cgroup(&self) -> CgroupId {
+        self.cg
+    }
+
+    fn step(&mut self, host: &mut Host, now: SimTime) -> SimTime {
+        // Continue an in-progress stream, one read-ahead chunk per step.
+        if let Some((idx, next_block, started)) = self.stream.take() {
+            let file = self.fileset.file(idx);
+            let size = self.fileset.size_blocks(idx) as u64;
+            let chunk_end = (next_block + VIDEO_CHUNK_BLOCKS).min(size);
+            let mut t = now;
+            for b in next_block..chunk_end {
+                t = host
+                    .read(t, self.vm, self.cg, ddc_storage::BlockAddr::new(file, b))
+                    .finish;
+            }
+            if chunk_end < size {
+                self.stream = Some((idx, chunk_end, started));
+            } else {
+                // Video complete: one served operation.
+                self.recorder.record(t, blocks_to_bytes(size), t - started);
+            }
+            return t;
+        }
+
+        self.loops += 1;
+        if self.loops.is_multiple_of(self.config.writer_period as u64) {
+            // Ingest: replace one video with fresh content (page-cache
+            // writes; writeback is asynchronous).
+            let t0 = now;
+            let victim = self.fileset.pick_uniform(&mut self.rng);
+            let old = self
+                .fileset
+                .replace(victim, self.config.mean_video_blocks, &mut self.rng);
+            host.delete_file(self.vm, self.cg, old);
+            let t = write_whole_file(host, self.vm, self.cg, &self.fileset, victim, t0);
+            let blocks = self.fileset.size_blocks(victim) as u64;
+            self.recorder.record(t, blocks_to_bytes(blocks), t - t0);
+            t
+        } else {
+            // Start serving a new video; the chunks run on later steps.
+            let idx = self.zipf.sample(&mut self.rng);
+            self.stream = Some((idx, 0, now));
+            now + SimDuration::from_micros(10) // request setup
+        }
+    }
+
+    fn recorder(&self) -> &OpsRecorder {
+        &self.recorder
+    }
+
+    fn recorder_mut(&mut self) -> &mut OpsRecorder {
+        &mut self.recorder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_cleancache::CachePolicy;
+    use ddc_hypercache::CacheConfig;
+    use ddc_hypervisor::HostConfig;
+
+    fn host() -> Host {
+        Host::new(HostConfig::new(CacheConfig::mem_only(4096)))
+    }
+
+    fn run_thread(t: &mut dyn WorkloadThread, host: &mut Host, steps: u32) -> SimTime {
+        let mut now = SimTime::ZERO;
+        for _ in 0..steps {
+            now = t.step(host, now);
+        }
+        now
+    }
+
+    #[test]
+    fn webserver_makes_progress_and_records() {
+        let mut h = host();
+        let vm = h.boot_vm(64, 100);
+        let cg = h.create_container(vm, "web", 512, CachePolicy::mem(100));
+        let config = WebConfig {
+            files: 50,
+            ..WebConfig::default()
+        };
+        let mut web = Webserver::new("web/t0", vm, cg, config, 1);
+        let fin = run_thread(&mut web, &mut h, 20);
+        assert!(fin > SimTime::ZERO);
+        assert_eq!(web.recorder().ops(), 20);
+        assert!(web.recorder().bytes() > 0);
+        assert_eq!(web.vm(), vm);
+        assert_eq!(web.cgroup(), cg);
+        assert_eq!(web.label(), "web/t0");
+    }
+
+    #[test]
+    fn webserver_same_seed_same_behaviour() {
+        let mut h1 = host();
+        let vm1 = h1.boot_vm(64, 100);
+        let cg1 = h1.create_container(vm1, "w", 512, CachePolicy::mem(100));
+        let mut h2 = host();
+        let vm2 = h2.boot_vm(64, 100);
+        let cg2 = h2.create_container(vm2, "w", 512, CachePolicy::mem(100));
+        let config = WebConfig {
+            files: 20,
+            ..WebConfig::default()
+        };
+        let mut a = Webserver::new("a", vm1, cg1, config, 7);
+        let mut b = Webserver::new("b", vm2, cg2, config, 7);
+        let fa = run_thread(&mut a, &mut h1, 10);
+        let fb = run_thread(&mut b, &mut h2, 10);
+        assert_eq!(fa, fb, "same seed must give identical virtual time");
+    }
+
+    #[test]
+    fn proxycache_turns_over_objects() {
+        let mut h = host();
+        let vm = h.boot_vm(64, 100);
+        let cg = h.create_container(vm, "proxy", 512, CachePolicy::mem(100));
+        let config = ProxyConfig {
+            files: 20,
+            ..ProxyConfig::default()
+        };
+        let mut proxy = Proxycache::new("proxy/t0", vm, cg, config, 2);
+        run_thread(&mut proxy, &mut h, 30);
+        assert_eq!(proxy.recorder().ops(), 30);
+        // Turnover means some dirty data was produced.
+        assert!(h.container_mem_stats(vm, cg).page_cache_pages > 0);
+    }
+
+    #[test]
+    fn mail_fsyncs_dominate_latency() {
+        let mut h = host();
+        let vm = h.boot_vm(64, 100);
+        let cg = h.create_container(vm, "mail", 512, CachePolicy::mem(100));
+        let config = MailConfig {
+            files: 50,
+            ..MailConfig::default()
+        };
+        let mut mail = MailServer::new("mail/t0", vm, cg, config, 3);
+        run_thread(&mut mail, &mut h, 20);
+        // fsync forces synchronous disk writes: mean latency must be in
+        // disk territory (milliseconds).
+        let mean = mail.recorder().latency().mean();
+        assert!(
+            mean.as_millis_f64() > 1.0,
+            "varmail must pay disk latency, got {mean}"
+        );
+        assert_eq!(h.container_mem_stats(vm, cg).dirty_pages, 0, "all synced");
+    }
+
+    #[test]
+    fn videoserver_is_sequential_and_fast_when_cached() {
+        let mut h = host();
+        let vm = h.boot_vm(512, 100); // plenty of guest RAM
+        let cg = h.create_container(vm, "video", 8192, CachePolicy::mem(100));
+        let config = VideoConfig {
+            active_videos: 4,
+            mean_video_blocks: 16,
+            ..VideoConfig::default()
+        };
+        let mut video = VideoServer::new("video/t0", vm, cg, config, 4);
+        // Warm up (each step is one read-ahead chunk), then measure the
+        // steady-state serving rate over a window.
+        let t1 = run_thread(&mut video, &mut h, 100);
+        video.recorder_mut().mark(t1);
+        let mut now = t1;
+        for _ in 0..200 {
+            now = video.step(&mut h, now);
+        }
+        let rep = video.recorder().window_report(now);
+        assert!(
+            rep.mb_per_sec > 500.0,
+            "warm videoserver should exceed 500 MB/s, got {:.1}",
+            rep.mb_per_sec
+        );
+    }
+
+    #[test]
+    fn video_writer_replaces_content() {
+        let mut h = host();
+        let vm = h.boot_vm(64, 100);
+        let cg = h.create_container(vm, "video", 512, CachePolicy::mem(100));
+        let config = VideoConfig {
+            active_videos: 4,
+            mean_video_blocks: 4,
+            writer_period: 2, // write every other loop
+            ..VideoConfig::default()
+        };
+        let mut video = VideoServer::new("video/t0", vm, cg, config, 5);
+        run_thread(&mut video, &mut h, 10);
+        assert!(h.container_mem_stats(vm, cg).dirty_pages > 0 || video.recorder().ops() == 10);
+    }
+}

@@ -1,0 +1,354 @@
+//! Additional Filebench personalities beyond the four the paper
+//! evaluates: *fileserver* (metadata- and write-heavy mixed IO) and
+//! *oltp* (database-style reads plus a synchronous log writer). Useful
+//! for exercising the framework on workloads the paper's intro motivates
+//! but does not measure.
+
+use ddc_cleancache::VmId;
+use ddc_guest::CgroupId;
+use ddc_hypervisor::{vm_file, Host};
+use ddc_metrics::OpsRecorder;
+use ddc_sim::{SimDuration, SimRng, SimTime};
+use ddc_storage::{BlockAddr, FileId};
+
+use crate::thread::{blocks_to_bytes, read_whole_file, write_whole_file};
+use crate::{FileSet, WorkloadThread, Zipf};
+
+fn base_inode(cg: CgroupId) -> u64 {
+    1 + (cg.0 as u64) * 1_000_000
+}
+
+// ---------------------------------------------------------------------
+// Fileserver
+// ---------------------------------------------------------------------
+
+/// Configuration of the [`FileServer`] personality.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FileServerConfig {
+    /// Number of files in the share.
+    pub files: usize,
+    /// Mean file size in blocks.
+    pub mean_file_blocks: u32,
+    /// Client think time between loop iterations.
+    pub think_time: SimDuration,
+}
+
+impl Default for FileServerConfig {
+    fn default() -> FileServerConfig {
+        FileServerConfig {
+            files: 1000,
+            mean_file_blocks: 2,
+            think_time: SimDuration::from_millis(2),
+        }
+    }
+}
+
+/// The Filebench *fileserver* personality: each loop creates a file
+/// (write whole), reads a file, appends to a file, and deletes a file —
+/// a homedir-style share with churn in both data and metadata.
+#[derive(Debug)]
+pub struct FileServer {
+    label: String,
+    vm: VmId,
+    cg: CgroupId,
+    config: FileServerConfig,
+    fileset: FileSet,
+    rng: SimRng,
+    recorder: OpsRecorder,
+}
+
+impl FileServer {
+    /// Creates one fileserver thread. The fileset derives from
+    /// `(vm, cg)`, shared across threads of the container.
+    pub fn new(
+        label: impl Into<String>,
+        vm: VmId,
+        cg: CgroupId,
+        config: FileServerConfig,
+        seed: u64,
+    ) -> FileServer {
+        let mut set_rng = SimRng::new(0x4649_4c45_5352 ^ ((vm.0 as u64) << 32) ^ cg.0 as u64);
+        let fileset = FileSet::generate(
+            vm,
+            base_inode(cg),
+            config.files,
+            config.mean_file_blocks,
+            &mut set_rng,
+        );
+        FileServer {
+            label: label.into(),
+            vm,
+            cg,
+            fileset,
+            rng: SimRng::new(seed),
+            recorder: OpsRecorder::new(),
+            config,
+        }
+    }
+}
+
+impl WorkloadThread for FileServer {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn vm(&self) -> VmId {
+        self.vm
+    }
+
+    fn cgroup(&self) -> CgroupId {
+        self.cg
+    }
+
+    fn step(&mut self, host: &mut Host, now: SimTime) -> SimTime {
+        let mut t = now;
+        let mut blocks = 0u64;
+        // createfile + writewholefile
+        let created = self.fileset.pick_uniform(&mut self.rng);
+        let old = self
+            .fileset
+            .replace(created, self.config.mean_file_blocks, &mut self.rng);
+        host.delete_file(self.vm, self.cg, old);
+        t = write_whole_file(host, self.vm, self.cg, &self.fileset, created, t);
+        blocks += self.fileset.size_blocks(created) as u64;
+        // readwholefile
+        let read = self.fileset.pick_uniform(&mut self.rng);
+        t = read_whole_file(host, self.vm, self.cg, &self.fileset, read, t);
+        blocks += self.fileset.size_blocks(read) as u64;
+        // appendfile (one block at the end of a random file)
+        let appended = self.fileset.pick_uniform(&mut self.rng);
+        let end = self.fileset.size_blocks(appended) as u64;
+        let addr = BlockAddr::new(self.fileset.file(appended), end.saturating_sub(1));
+        t = host.write(t, self.vm, self.cg, addr).finish;
+        blocks += 1;
+        // deletefile
+        let deleted = self.fileset.pick_uniform(&mut self.rng);
+        let gone = self
+            .fileset
+            .replace(deleted, self.config.mean_file_blocks, &mut self.rng);
+        host.delete_file(self.vm, self.cg, gone);
+        self.recorder.record(t, blocks_to_bytes(blocks), t - now);
+        t + self.config.think_time
+    }
+
+    fn recorder(&self) -> &OpsRecorder {
+        &self.recorder
+    }
+
+    fn recorder_mut(&mut self) -> &mut OpsRecorder {
+        &mut self.recorder
+    }
+}
+
+// ---------------------------------------------------------------------
+// OLTP
+// ---------------------------------------------------------------------
+
+/// Configuration of the [`Oltp`] personality.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OltpConfig {
+    /// Database size in blocks (one large data file).
+    pub data_blocks: u64,
+    /// Fraction of transactions that write (and log).
+    pub write_fraction: f64,
+    /// Zipf skew over data blocks.
+    pub zipf_theta: f64,
+    /// Transactions per group commit (log fsync).
+    pub group_commit: u32,
+    /// Client think time per transaction.
+    pub think_time: SimDuration,
+}
+
+impl Default for OltpConfig {
+    fn default() -> OltpConfig {
+        OltpConfig {
+            data_blocks: 4096,
+            write_fraction: 0.3,
+            zipf_theta: 0.9,
+            group_commit: 8,
+            think_time: SimDuration::from_micros(200),
+        }
+    }
+}
+
+/// The Filebench *oltp* personality: random block reads on one large
+/// data file (the table space) with a fraction of writing transactions
+/// that append to a redo log and group-commit fsync it.
+#[derive(Debug)]
+pub struct Oltp {
+    label: String,
+    vm: VmId,
+    cg: CgroupId,
+    config: OltpConfig,
+    data: FileId,
+    log: FileId,
+    zipf: Zipf,
+    log_cursor: u64,
+    since_commit: u32,
+    rng: SimRng,
+    recorder: OpsRecorder,
+}
+
+impl Oltp {
+    /// Creates one OLTP client thread.
+    pub fn new(
+        label: impl Into<String>,
+        vm: VmId,
+        cg: CgroupId,
+        config: OltpConfig,
+        seed: u64,
+    ) -> Oltp {
+        let base = base_inode(cg) + 800_000;
+        Oltp {
+            label: label.into(),
+            vm,
+            cg,
+            data: vm_file(vm, base),
+            log: vm_file(vm, base + 1),
+            zipf: Zipf::new(config.data_blocks.max(1) as usize, config.zipf_theta),
+            log_cursor: 0,
+            since_commit: 0,
+            rng: SimRng::new(seed),
+            recorder: OpsRecorder::new(),
+            config,
+        }
+    }
+}
+
+impl WorkloadThread for Oltp {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn vm(&self) -> VmId {
+        self.vm
+    }
+
+    fn cgroup(&self) -> CgroupId {
+        self.cg
+    }
+
+    fn step(&mut self, host: &mut Host, now: SimTime) -> SimTime {
+        let mut t = now;
+        let block = self.zipf.sample(&mut self.rng) as u64;
+        let addr = BlockAddr::new(self.data, block);
+        let is_write = self.rng.chance(self.config.write_fraction);
+        if is_write {
+            // Read-modify-write of the data block + redo append.
+            t = host.read(t, self.vm, self.cg, addr).finish;
+            t = host.write(t, self.vm, self.cg, addr).finish;
+            let log_addr = BlockAddr::new(self.log, self.log_cursor % 64);
+            self.log_cursor += 1;
+            t = host.write(t, self.vm, self.cg, log_addr).finish;
+            self.since_commit += 1;
+            if self.since_commit >= self.config.group_commit {
+                self.since_commit = 0;
+                t = host.fsync(t, self.vm, self.cg, self.log);
+            }
+        } else {
+            t = host.read(t, self.vm, self.cg, addr).finish;
+        }
+        self.recorder
+            .record(t, blocks_to_bytes(if is_write { 3 } else { 1 }), t - now);
+        t + self.config.think_time
+    }
+
+    fn recorder(&self) -> &OpsRecorder {
+        &self.recorder
+    }
+
+    fn recorder_mut(&mut self) -> &mut OpsRecorder {
+        &mut self.recorder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_cleancache::CachePolicy;
+    use ddc_hypercache::CacheConfig;
+    use ddc_hypervisor::HostConfig;
+
+    fn host() -> Host {
+        Host::new(HostConfig::new(CacheConfig::mem_only(4096)))
+    }
+
+    fn run(t: &mut dyn WorkloadThread, host: &mut Host, steps: u32) -> SimTime {
+        let mut now = SimTime::ZERO;
+        for _ in 0..steps {
+            now = t.step(host, now);
+        }
+        now
+    }
+
+    #[test]
+    fn fileserver_churns_and_records() {
+        let mut h = host();
+        let vm = h.boot_vm(64, 100);
+        let cg = h.create_container(vm, "fs", 512, CachePolicy::mem(100));
+        let cfg = FileServerConfig {
+            files: 50,
+            ..FileServerConfig::default()
+        };
+        let mut fs = FileServer::new("fs/t0", vm, cg, cfg, 1);
+        run(&mut fs, &mut h, 25);
+        assert_eq!(fs.recorder().ops(), 25);
+        assert!(fs.recorder().bytes() > 0);
+        assert_eq!(fs.label(), "fs/t0");
+        assert_eq!(fs.vm(), vm);
+        assert_eq!(fs.cgroup(), cg);
+    }
+
+    #[test]
+    fn fileserver_deterministic() {
+        let mk = || {
+            let mut h = host();
+            let vm = h.boot_vm(64, 100);
+            let cg = h.create_container(vm, "fs", 512, CachePolicy::mem(100));
+            let cfg = FileServerConfig {
+                files: 30,
+                ..FileServerConfig::default()
+            };
+            let mut fs = FileServer::new("fs/t0", vm, cg, cfg, 7);
+            run(&mut fs, &mut h, 15)
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn oltp_reads_hit_cache_and_commits_hit_disk() {
+        let mut h = host();
+        let vm = h.boot_vm(64, 100);
+        let cg = h.create_container(vm, "db", 512, CachePolicy::mem(100));
+        let cfg = OltpConfig {
+            data_blocks: 256,
+            ..OltpConfig::default()
+        };
+        let mut db = Oltp::new("db/t0", vm, cg, cfg, 2);
+        run(&mut db, &mut h, 200);
+        assert_eq!(db.recorder().ops(), 200);
+        // Group commits force synchronous disk writes.
+        assert!(h.guest(vm).counters().writebacks > 0);
+        // Hot zipf head should be mostly cached: p50 well under disk time.
+        let p50 = db.recorder().latency().quantile(0.5);
+        assert!(
+            p50 < SimDuration::from_millis(4),
+            "median transaction should avoid the disk, got {p50}"
+        );
+    }
+
+    #[test]
+    fn oltp_read_only_never_syncs() {
+        let mut h = host();
+        let vm = h.boot_vm(64, 100);
+        let cg = h.create_container(vm, "db", 512, CachePolicy::mem(100));
+        let cfg = OltpConfig {
+            data_blocks: 128,
+            write_fraction: 0.0,
+            ..OltpConfig::default()
+        };
+        let mut db = Oltp::new("db/t0", vm, cg, cfg, 3);
+        run(&mut db, &mut h, 100);
+        assert_eq!(h.guest(vm).counters().writebacks, 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! File sets: the collections of files a Filebench personality operates
+//! over.
+
+use ddc_cleancache::VmId;
+use ddc_hypervisor::vm_file;
+use ddc_sim::SimRng;
+use ddc_storage::{BlockAddr, FileId};
+
+/// A set of files with per-file sizes (in blocks), namespaced to a VM.
+///
+/// File sizes are drawn from a gamma-ish distribution around the mean
+/// (Filebench uses a gamma with shape 1.5 by default); here each size is
+/// `max(1, mean/2 + U(0, mean))` which preserves the mean and spread
+/// without heavy machinery.
+///
+/// # Example
+///
+/// ```
+/// use ddc_workloads::FileSet;
+/// use ddc_cleancache::VmId;
+/// use ddc_sim::SimRng;
+///
+/// let mut rng = SimRng::new(1);
+/// let fs = FileSet::generate(VmId(0), 100, 10, 4, &mut rng);
+/// assert_eq!(fs.len(), 10);
+/// assert!(fs.total_blocks() >= 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FileSet {
+    vm: VmId,
+    base_inode: u64,
+    sizes: Vec<u32>,
+    /// Per-slot inode override after a replace (delete-and-recreate).
+    overrides: Vec<Option<u64>>,
+    next_inode: u64,
+}
+
+impl FileSet {
+    /// Generates `count` files starting at inode `base_inode` with mean
+    /// size `mean_blocks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_blocks` is zero.
+    pub fn generate(
+        vm: VmId,
+        base_inode: u64,
+        count: usize,
+        mean_blocks: u32,
+        rng: &mut SimRng,
+    ) -> FileSet {
+        assert!(mean_blocks > 0, "files must have at least one block");
+        let sizes = (0..count)
+            .map(|_| Self::draw_size(mean_blocks, rng))
+            .collect();
+        FileSet {
+            vm,
+            base_inode,
+            overrides: vec![None; count],
+            sizes,
+            next_inode: count as u64,
+        }
+    }
+
+    fn draw_size(mean_blocks: u32, rng: &mut SimRng) -> u32 {
+        if mean_blocks == 1 {
+            return 1;
+        }
+        let lo = (mean_blocks / 2).max(1) as u64;
+        let hi = lo + mean_blocks as u64;
+        rng.range_u64(lo, hi) as u32
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Total size across all files, in blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.sizes.iter().map(|&s| s as u64).sum()
+    }
+
+    /// The [`FileId`] of the file at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn file(&self, index: usize) -> FileId {
+        assert!(index < self.sizes.len(), "file index out of range");
+        vm_file(self.vm, self.base_inode + self.inode_slot(index))
+    }
+
+    /// Size of the file at `index`, in blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn size_blocks(&self, index: usize) -> u32 {
+        self.sizes[index]
+    }
+
+    /// Addresses of every block of the file at `index`, in order.
+    pub fn blocks(&self, index: usize) -> impl Iterator<Item = BlockAddr> + '_ {
+        let file = self.file(index);
+        (0..self.sizes[index] as u64).map(move |b| BlockAddr::new(file, b))
+    }
+
+    /// A uniformly random file index.
+    pub fn pick_uniform(&self, rng: &mut SimRng) -> usize {
+        rng.range_usize(0, self.sizes.len())
+    }
+
+    /// Replaces the file at `index` with a fresh one (new inode, new
+    /// size), modelling delete-and-recreate. Returns the *old* [`FileId`]
+    /// so the caller can invalidate it.
+    pub fn replace(&mut self, index: usize, mean_blocks: u32, rng: &mut SimRng) -> FileId {
+        let old = self.file(index);
+        self.sizes[index] = Self::draw_size(mean_blocks, rng);
+        // Give the slot a fresh inode by remembering a per-slot override.
+        self.overrides[index] = Some(self.next_inode);
+        self.next_inode += 1;
+        old
+    }
+
+    fn inode_slot(&self, index: usize) -> u64 {
+        match self.overrides.get(index).copied().flatten() {
+            Some(inode) => inode,
+            None => index as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(42)
+    }
+
+    #[test]
+    fn generate_respects_count_and_mean() {
+        let mut r = rng();
+        let fs = FileSet::generate(VmId(1), 0, 200, 8, &mut r);
+        assert_eq!(fs.len(), 200);
+        let mean = fs.total_blocks() as f64 / 200.0;
+        assert!((mean - 8.0).abs() < 1.5, "mean {mean} should be near 8");
+        for i in 0..200 {
+            assert!(fs.size_blocks(i) >= 1);
+        }
+    }
+
+    #[test]
+    fn mean_one_gives_single_block_files() {
+        let mut r = rng();
+        let fs = FileSet::generate(VmId(1), 0, 50, 1, &mut r);
+        assert_eq!(fs.total_blocks(), 50);
+    }
+
+    #[test]
+    fn file_ids_unique_and_namespaced() {
+        let mut r = rng();
+        let fs1 = FileSet::generate(VmId(1), 0, 10, 2, &mut r);
+        let fs2 = FileSet::generate(VmId(2), 0, 10, 2, &mut r);
+        assert_ne!(fs1.file(0), fs2.file(0), "different VMs never alias");
+        assert_ne!(fs1.file(0), fs1.file(1));
+    }
+
+    #[test]
+    fn blocks_iterate_in_order() {
+        let mut r = rng();
+        let fs = FileSet::generate(VmId(1), 5, 3, 4, &mut r);
+        let blocks: Vec<BlockAddr> = fs.blocks(0).collect();
+        assert_eq!(blocks.len(), fs.size_blocks(0) as usize);
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(b.block, i as u64);
+            assert_eq!(b.file, fs.file(0));
+        }
+    }
+
+    #[test]
+    fn replace_changes_inode() {
+        let mut r = rng();
+        let mut fs = FileSet::generate(VmId(1), 0, 5, 4, &mut r);
+        let before = fs.file(2);
+        let old = fs.replace(2, 4, &mut r);
+        assert_eq!(old, before);
+        assert_ne!(fs.file(2), before, "slot gets a fresh inode");
+        // Other slots unaffected.
+        assert_eq!(fs.file(1), fs.file(1));
+        // Replacing again yields yet another inode.
+        let second = fs.file(2);
+        fs.replace(2, 4, &mut r);
+        assert_ne!(fs.file(2), second);
+    }
+
+    #[test]
+    fn pick_uniform_in_range() {
+        let mut r = rng();
+        let fs = FileSet::generate(VmId(1), 0, 7, 2, &mut r);
+        for _ in 0..100 {
+            assert!(fs.pick_uniform(&mut r) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn file_index_out_of_range() {
+        let mut r = rng();
+        let fs = FileSet::generate(VmId(1), 0, 3, 2, &mut r);
+        fs.file(3);
+    }
+}

@@ -1,0 +1,150 @@
+//! The workload-thread abstraction and shared IO helpers.
+
+use ddc_cleancache::VmId;
+use ddc_guest::CgroupId;
+use ddc_hypervisor::Host;
+use ddc_metrics::OpsRecorder;
+use ddc_sim::SimTime;
+use ddc_storage::{FileId, PAGE_SIZE};
+
+use crate::FileSet;
+
+/// One closed-loop workload thread.
+///
+/// The experiment runner repeatedly calls [`step`](Self::step) on the
+/// thread whose return time is earliest, which yields a deterministic
+/// discrete-event interleaving of all threads on the host.
+pub trait WorkloadThread {
+    /// Display label, e.g. `"web/vm1/t0"`.
+    fn label(&self) -> &str;
+
+    /// The VM this thread runs in.
+    fn vm(&self) -> VmId;
+
+    /// The container (cgroup) this thread is charged to.
+    fn cgroup(&self) -> CgroupId;
+
+    /// Performs one application operation beginning at `now`; returns the
+    /// instant the thread is next runnable (the operation's completion
+    /// plus any think time).
+    fn step(&mut self, host: &mut Host, now: SimTime) -> SimTime;
+
+    /// Completed-operation metrics.
+    fn recorder(&self) -> &OpsRecorder;
+
+    /// Mutable access to the metrics recorder (for opening measurement
+    /// windows after warm-up).
+    fn recorder_mut(&mut self) -> &mut OpsRecorder;
+}
+
+/// Reads a whole file sequentially; returns the finish time.
+pub(crate) fn read_whole_file(
+    host: &mut Host,
+    vm: VmId,
+    cg: CgroupId,
+    fs: &FileSet,
+    index: usize,
+    now: SimTime,
+) -> SimTime {
+    let mut t = now;
+    for addr in fs.blocks(index) {
+        t = host.read(t, vm, cg, addr).finish;
+    }
+    t
+}
+
+/// Writes a whole file sequentially (no fsync); returns the finish time.
+pub(crate) fn write_whole_file(
+    host: &mut Host,
+    vm: VmId,
+    cg: CgroupId,
+    fs: &FileSet,
+    index: usize,
+    now: SimTime,
+) -> SimTime {
+    let mut t = now;
+    for addr in fs.blocks(index) {
+        t = host.write(t, vm, cg, addr).finish;
+    }
+    t
+}
+
+/// Appends `blocks` blocks to a (conceptually growing) log file; returns
+/// the finish time. The log wraps at 64 blocks (4 MiB) so its cache
+/// footprint stays bounded, like a rotated log.
+pub(crate) fn append_log(
+    host: &mut Host,
+    vm: VmId,
+    cg: CgroupId,
+    log: FileId,
+    cursor: &mut u64,
+    blocks: u64,
+    now: SimTime,
+) -> SimTime {
+    let mut t = now;
+    for _ in 0..blocks {
+        let addr = ddc_storage::BlockAddr::new(log, *cursor % 64);
+        *cursor += 1;
+        t = host.write(t, vm, cg, addr).finish;
+    }
+    t
+}
+
+/// Bytes moved by `blocks` blocks.
+pub(crate) fn blocks_to_bytes(blocks: u64) -> u64 {
+    blocks * PAGE_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_cleancache::CachePolicy;
+    use ddc_hypercache::CacheConfig;
+    use ddc_hypervisor::{vm_file, HostConfig};
+    use ddc_sim::SimRng;
+
+    fn setup() -> (Host, VmId, CgroupId) {
+        let mut host = Host::new(HostConfig::new(CacheConfig::mem_only(1024)));
+        let vm = host.boot_vm(16, 100);
+        let cg = host.create_container(vm, "t", 128, CachePolicy::mem(100));
+        (host, vm, cg)
+    }
+
+    #[test]
+    fn read_whole_file_advances_time() {
+        let (mut host, vm, cg) = setup();
+        let mut rng = SimRng::new(1);
+        let fs = FileSet::generate(vm, 0, 4, 4, &mut rng);
+        let fin = read_whole_file(&mut host, vm, cg, &fs, 0, SimTime::ZERO);
+        assert!(fin > SimTime::ZERO);
+        // Second read of the same file is page-cache fast.
+        let fin2 = read_whole_file(&mut host, vm, cg, &fs, 0, fin);
+        assert!(fin2 - fin < fin - SimTime::ZERO);
+    }
+
+    #[test]
+    fn write_then_read_hits_cache() {
+        let (mut host, vm, cg) = setup();
+        let mut rng = SimRng::new(2);
+        let fs = FileSet::generate(vm, 0, 2, 3, &mut rng);
+        let fin = write_whole_file(&mut host, vm, cg, &fs, 1, SimTime::ZERO);
+        let fin2 = read_whole_file(&mut host, vm, cg, &fs, 1, fin);
+        // All page-cache hits: microseconds, not milliseconds.
+        assert!((fin2 - fin).as_micros() < 1000);
+    }
+
+    #[test]
+    fn append_log_wraps_cursor() {
+        let (mut host, vm, cg) = setup();
+        let log = vm_file(vm, 999);
+        let mut cursor = 63;
+        let fin = append_log(&mut host, vm, cg, log, &mut cursor, 2, SimTime::ZERO);
+        assert_eq!(cursor, 65);
+        assert!(fin > SimTime::ZERO);
+    }
+
+    #[test]
+    fn blocks_to_bytes_scales() {
+        assert_eq!(blocks_to_bytes(2), 2 * PAGE_SIZE);
+    }
+}

@@ -1,0 +1,406 @@
+//! Trace capture and replay.
+//!
+//! Production cache studies are usually driven by block traces rather
+//! than synthetic generators. This module defines a simple, serializable
+//! trace format ([`Trace`], [`TraceRecord`]) and a [`TraceReplayer`]
+//! workload thread that plays a trace against a container, either paced
+//! by the recorded timestamps (open loop) or back-to-back (closed loop).
+//!
+//! Traces use container-local file ids; the replayer maps them into the
+//! target VM's namespace, so one trace can drive containers in different
+//! VMs.
+
+use ddc_cleancache::VmId;
+use ddc_guest::CgroupId;
+use ddc_hypervisor::{vm_file, Host};
+use ddc_metrics::OpsRecorder;
+use ddc_sim::{SimDuration, SimTime};
+use ddc_storage::{BlockAddr, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// One traced operation (container-local file ids).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceOp {
+    /// Read one block of a file.
+    Read {
+        /// Container-local file id.
+        file: u64,
+        /// Block index within the file.
+        block: u64,
+    },
+    /// Write one block of a file.
+    Write {
+        /// Container-local file id.
+        file: u64,
+        /// Block index within the file.
+        block: u64,
+    },
+    /// Fsync a file.
+    Fsync {
+        /// Container-local file id.
+        file: u64,
+    },
+    /// Delete a file.
+    Delete {
+        /// Container-local file id.
+        file: u64,
+    },
+    /// Touch one anonymous page.
+    AnonTouch {
+        /// Page index within the container's anonymous reservation.
+        page: u64,
+    },
+}
+
+/// One timestamped trace record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Microseconds since trace start.
+    pub at_micros: u64,
+    /// The operation.
+    pub op: TraceOp,
+}
+
+/// How the replayer schedules records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplayPacing {
+    /// Honour the recorded inter-arrival gaps (open loop). If the system
+    /// falls behind, records are issued as fast as possible until caught
+    /// up (no coordinated omission).
+    Timestamped,
+    /// Ignore timestamps: issue each record as soon as the previous one
+    /// completes (closed loop).
+    ClosedLoop,
+}
+
+/// A replayable operation trace.
+///
+/// # Example
+///
+/// ```
+/// use ddc_workloads::{Trace, TraceOp, TraceRecord};
+///
+/// let mut trace = Trace::new();
+/// trace.push(0, TraceOp::Read { file: 1, block: 0 });
+/// trace.push(100, TraceOp::Write { file: 1, block: 0 });
+/// let json = trace.to_json();
+/// let back = Trace::from_json(&json).unwrap();
+/// assert_eq!(back.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends a record. Timestamps must be non-decreasing.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at_micros` goes backwards.
+    pub fn push(&mut self, at_micros: u64, op: TraceOp) {
+        debug_assert!(
+            self.records.last().is_none_or(|r| r.at_micros <= at_micros),
+            "trace records must be time-ordered"
+        );
+        self.records.push(TraceRecord { at_micros, op });
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records in order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Largest anonymous page index referenced (for sizing the
+    /// container's anonymous reservation before replay).
+    pub fn max_anon_page(&self) -> Option<u64> {
+        self.records
+            .iter()
+            .filter_map(|r| match r.op {
+                TraceOp::AnonTouch { page } => Some(page),
+                _ => None,
+            })
+            .max()
+    }
+
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("plain data serializes")
+    }
+
+    /// Parses a JSON trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for malformed input.
+    pub fn from_json(json: &str) -> Result<Trace, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl FromIterator<TraceRecord> for Trace {
+    fn from_iter<I: IntoIterator<Item = TraceRecord>>(iter: I) -> Trace {
+        Trace {
+            records: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A workload thread that replays a [`Trace`] against one container.
+#[derive(Debug)]
+pub struct TraceReplayer {
+    label: String,
+    vm: VmId,
+    cg: CgroupId,
+    trace: Trace,
+    pacing: ReplayPacing,
+    /// Offset applied to container-local file ids before vm_file mapping.
+    file_base: u64,
+    next: usize,
+    started_at: Option<SimTime>,
+    recorder: OpsRecorder,
+}
+
+impl TraceReplayer {
+    /// Creates a replayer for `trace` bound to a container.
+    pub fn new(
+        label: impl Into<String>,
+        vm: VmId,
+        cg: CgroupId,
+        trace: Trace,
+        pacing: ReplayPacing,
+    ) -> TraceReplayer {
+        TraceReplayer {
+            label: label.into(),
+            vm,
+            cg,
+            trace,
+            pacing,
+            file_base: 1 + (cg.0 as u64) * 1_000_000,
+            next: 0,
+            started_at: None,
+            recorder: OpsRecorder::new(),
+        }
+    }
+
+    /// Records already replayed.
+    pub fn replayed(&self) -> usize {
+        self.next
+    }
+
+    /// Whether the whole trace has been replayed.
+    pub fn is_done(&self) -> bool {
+        self.next >= self.trace.len()
+    }
+
+    fn addr(&self, file: u64, block: u64) -> BlockAddr {
+        BlockAddr::new(vm_file(self.vm, self.file_base + file), block)
+    }
+}
+
+impl crate::WorkloadThread for TraceReplayer {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn vm(&self) -> VmId {
+        self.vm
+    }
+
+    fn cgroup(&self) -> CgroupId {
+        self.cg
+    }
+
+    fn step(&mut self, host: &mut Host, now: SimTime) -> SimTime {
+        let Some(record) = self.trace.records().get(self.next).copied() else {
+            // Trace exhausted: park the thread far in the future.
+            return SimTime::MAX;
+        };
+        let started = *self.started_at.get_or_insert(now);
+
+        // Open-loop pacing: wait for the record's due time if it is still
+        // ahead of us.
+        if self.pacing == ReplayPacing::Timestamped {
+            let due = started + SimDuration::from_micros(record.at_micros);
+            if due > now {
+                return due;
+            }
+        }
+
+        self.next += 1;
+        let t0 = now;
+        let (finish, bytes) = match record.op {
+            TraceOp::Read { file, block } => (
+                host.read(t0, self.vm, self.cg, self.addr(file, block))
+                    .finish,
+                PAGE_SIZE,
+            ),
+            TraceOp::Write { file, block } => (
+                host.write(t0, self.vm, self.cg, self.addr(file, block))
+                    .finish,
+                PAGE_SIZE,
+            ),
+            TraceOp::Fsync { file } => (
+                host.fsync(
+                    t0,
+                    self.vm,
+                    self.cg,
+                    vm_file(self.vm, self.file_base + file),
+                ),
+                0,
+            ),
+            TraceOp::Delete { file } => {
+                host.delete_file(self.vm, self.cg, vm_file(self.vm, self.file_base + file));
+                (t0 + SimDuration::from_micros(2), 0)
+            }
+            TraceOp::AnonTouch { page } => (host.anon_touch(t0, self.vm, self.cg, page), PAGE_SIZE),
+        };
+        self.recorder.record(finish, bytes, finish - t0);
+        finish
+    }
+
+    fn recorder(&self) -> &OpsRecorder {
+        &self.recorder
+    }
+
+    fn recorder_mut(&mut self) -> &mut OpsRecorder {
+        &mut self.recorder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WorkloadThread;
+    use ddc_cleancache::CachePolicy;
+    use ddc_hypercache::CacheConfig;
+    use ddc_hypervisor::HostConfig;
+
+    fn setup() -> (Host, VmId, CgroupId) {
+        let mut host = Host::new(HostConfig::new(CacheConfig::mem_only(1024)));
+        let vm = host.boot_vm(16, 100);
+        let cg = host.create_container(vm, "t", 128, CachePolicy::mem(100));
+        (host, vm, cg)
+    }
+
+    fn small_trace() -> Trace {
+        let mut t = Trace::new();
+        for i in 0..8u64 {
+            t.push(i * 1000, TraceOp::Read { file: 1, block: i });
+        }
+        t.push(8000, TraceOp::Write { file: 1, block: 0 });
+        t.push(9000, TraceOp::Fsync { file: 1 });
+        t.push(10_000, TraceOp::Delete { file: 1 });
+        t
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = small_trace();
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.len(), 11);
+        assert!(!back.is_empty());
+        assert!(Trace::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn closed_loop_replays_everything() {
+        let (mut host, vm, cg) = setup();
+        let mut r = TraceReplayer::new("r", vm, cg, small_trace(), ReplayPacing::ClosedLoop);
+        let mut now = SimTime::ZERO;
+        while !r.is_done() {
+            now = r.step(&mut host, now);
+        }
+        assert_eq!(r.replayed(), 11);
+        assert_eq!(r.recorder().ops(), 11);
+        // Exhausted trace parks the thread.
+        assert_eq!(r.step(&mut host, now), SimTime::MAX);
+    }
+
+    #[test]
+    fn timestamped_replay_honours_gaps() {
+        let (mut host, vm, cg) = setup();
+        let mut trace = Trace::new();
+        trace.push(0, TraceOp::Read { file: 1, block: 0 });
+        trace.push(500_000, TraceOp::Read { file: 1, block: 0 }); // +0.5 s
+        let mut r = TraceReplayer::new("r", vm, cg, trace, ReplayPacing::Timestamped);
+        let mut now = SimTime::ZERO;
+        // First step issues record 0; second step returns the due time of
+        // record 1; third step issues it.
+        now = r.step(&mut host, now);
+        let due = r.step(&mut host, now);
+        assert_eq!(due, SimTime::ZERO + SimDuration::from_micros(500_000));
+        let fin = r.step(&mut host, due);
+        assert!(fin >= due);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    fn anon_records_drive_anonymous_memory() {
+        let (mut host, vm, cg) = setup();
+        let mut trace = Trace::new();
+        for p in 0..16u64 {
+            trace.push(p, TraceOp::AnonTouch { page: p });
+        }
+        host.anon_reserve(vm, cg, trace.max_anon_page().unwrap() + 1);
+        let mut r = TraceReplayer::new("r", vm, cg, trace, ReplayPacing::ClosedLoop);
+        let mut now = SimTime::ZERO;
+        while !r.is_done() {
+            now = r.step(&mut host, now);
+        }
+        assert_eq!(host.container_mem_stats(vm, cg).anon_resident_pages, 16);
+    }
+
+    #[test]
+    fn same_trace_two_containers_identical_behaviour() {
+        let mut host = Host::new(HostConfig::new(CacheConfig::mem_only(1024)));
+        let vm = host.boot_vm(32, 100);
+        let c1 = host.create_container(vm, "a", 128, CachePolicy::mem(50));
+        let c2 = host.create_container(vm, "b", 128, CachePolicy::mem(50));
+        let t = small_trace();
+        let mut r1 = TraceReplayer::new("a", vm, c1, t.clone(), ReplayPacing::ClosedLoop);
+        let mut r2 = TraceReplayer::new("b", vm, c2, t, ReplayPacing::ClosedLoop);
+        let mut n1 = SimTime::ZERO;
+        while !r1.is_done() {
+            n1 = r1.step(&mut host, n1);
+        }
+        let mut n2 = SimTime::ZERO;
+        while !r2.is_done() {
+            n2 = r2.step(&mut host, n2);
+        }
+        assert_eq!(r1.recorder().ops(), r2.recorder().ops());
+        // The second replay benefits from a warmed shared disk/caches of
+        // its own container only: both containers hold their own copies.
+        let s1 = host.container_mem_stats(vm, c1);
+        let s2 = host.container_mem_stats(vm, c2);
+        assert_eq!(s1.page_cache_pages, s2.page_cache_pages);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let t: Trace = (0..4u64)
+            .map(|i| TraceRecord {
+                at_micros: i,
+                op: TraceOp::Read { file: 0, block: i },
+            })
+            .collect();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.max_anon_page(), None);
+    }
+}

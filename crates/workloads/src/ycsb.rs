@@ -1,0 +1,351 @@
+//! A YCSB-like key-value client over three data-store models.
+//!
+//! The paper drives Redis, MongoDB and MySQL backends with YCSB clients
+//! (Fig. 5, Table 1, Table 4). What matters to DoubleDecker is each
+//! store's *memory shape*:
+//!
+//! * **Redis** keeps the whole dataset in anonymous memory — the
+//!   hypervisor cache cannot help it, and squeezing it causes swap storms
+//!   (Table 1: 996 MB swapped, 18.5 MB hypervisor cache).
+//! * **MongoDB** (mmap era) is file-backed — its working set lives in the
+//!   page cache and extends gracefully into the hypervisor cache
+//!   (Table 1: 0 swap, 1023 MB hypervisor cache).
+//! * **MySQL/InnoDB** keeps a large anonymous buffer pool plus a redo log
+//!   with periodic fsync — mostly anonymous with a trickle of file IO
+//!   (Table 1: 879 MB swap, 34 MB hypervisor cache).
+
+use ddc_cleancache::VmId;
+use ddc_guest::CgroupId;
+use ddc_hypervisor::{vm_file, Host};
+use ddc_metrics::OpsRecorder;
+use ddc_sim::{SimDuration, SimRng, SimTime};
+use ddc_storage::{BlockAddr, FileId, PAGE_SIZE};
+
+use crate::{WorkloadThread, Zipf};
+
+/// Which data store the YCSB client talks to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StoreModel {
+    /// In-memory store: every record access touches anonymous memory.
+    RedisLike,
+    /// File-backed store: every record access reads a file block.
+    MongoLike,
+    /// Anonymous buffer pool + redo log with group fsync.
+    MySqlLike,
+}
+
+impl std::fmt::Display for StoreModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            StoreModel::RedisLike => "redis",
+            StoreModel::MongoLike => "mongodb",
+            StoreModel::MySqlLike => "mysql",
+        };
+        f.write_str(s)
+    }
+}
+
+/// YCSB client configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct YcsbConfig {
+    /// The store model under test.
+    pub store: StoreModel,
+    /// Dataset size in blocks (records are block-granular here; one block
+    /// holds many records, and accesses are block-level like the page
+    /// cache sees them).
+    pub dataset_blocks: u64,
+    /// Fraction of operations that are updates (YCSB-A: 0.5, YCSB-B: 0.05).
+    pub update_fraction: f64,
+    /// Zipf skew over blocks (YCSB default 0.99).
+    pub zipf_theta: f64,
+    /// Operations per step batch (amortizes scheduling).
+    pub ops_per_step: u32,
+    /// Client think time per operation (models the YCSB client's network
+    /// round trip; caps in-memory stores at realistic service rates).
+    pub think_time: SimDuration,
+}
+
+impl YcsbConfig {
+    /// A YCSB-B-like read-mostly workload over the given store.
+    pub fn read_mostly(store: StoreModel, dataset_blocks: u64) -> YcsbConfig {
+        YcsbConfig {
+            store,
+            dataset_blocks,
+            update_fraction: 0.05,
+            zipf_theta: 0.99,
+            ops_per_step: 8,
+            think_time: SimDuration::from_micros(50),
+        }
+    }
+}
+
+/// A closed-loop YCSB-like client thread bound to one container.
+#[derive(Debug)]
+pub struct YcsbClient {
+    label: String,
+    vm: VmId,
+    cg: CgroupId,
+    config: YcsbConfig,
+    zipf: Zipf,
+    data_file: FileId,
+    log_file: FileId,
+    log_cursor: u64,
+    updates_since_fsync: u32,
+    rng: SimRng,
+    recorder: OpsRecorder,
+    reserved: bool,
+}
+
+/// MySQL-like stores fsync their redo log every this many updates (group
+/// commit).
+const MYSQL_GROUP_COMMIT: u32 = 8;
+
+/// MongoDB-like stores fsync their journal every this many updates.
+const MONGO_JOURNAL_COMMIT: u32 = 32;
+
+impl YcsbClient {
+    /// Creates a client. The anonymous working set (for Redis/MySQL
+    /// models) is reserved lazily on the first step so construction does
+    /// not need host access.
+    pub fn new(
+        label: impl Into<String>,
+        vm: VmId,
+        cg: CgroupId,
+        config: YcsbConfig,
+        seed: u64,
+    ) -> YcsbClient {
+        let base = 500_000 + (cg.0 as u64) * 1_000_000;
+        YcsbClient {
+            label: label.into(),
+            vm,
+            cg,
+            zipf: Zipf::new(config.dataset_blocks.max(1) as usize, config.zipf_theta),
+            data_file: vm_file(vm, base),
+            log_file: vm_file(vm, base + 1),
+            log_cursor: 0,
+            updates_since_fsync: 0,
+            rng: SimRng::new(seed),
+            recorder: OpsRecorder::new(),
+            reserved: false,
+            config,
+        }
+    }
+
+    /// Anonymous footprint of the store model, in blocks.
+    fn anon_blocks(&self) -> u64 {
+        match self.config.store {
+            StoreModel::RedisLike => self.config.dataset_blocks,
+            // InnoDB buffer pool sized at ~80% of the dataset.
+            StoreModel::MySqlLike => self.config.dataset_blocks * 8 / 10,
+            // Mongo keeps small index/heap state: ~10%.
+            StoreModel::MongoLike => (self.config.dataset_blocks / 10).max(1),
+        }
+    }
+
+    fn ensure_reserved(&mut self, host: &mut Host) {
+        if !self.reserved {
+            host.anon_reserve(self.vm, self.cg, self.anon_blocks());
+            self.reserved = true;
+        }
+    }
+
+    /// One key-value operation; returns its finish time.
+    fn one_op(&mut self, host: &mut Host, now: SimTime) -> SimTime {
+        let block = self.zipf.sample(&mut self.rng) as u64;
+        let is_update = self.rng.chance(self.config.update_fraction);
+        let mut t = now;
+        match self.config.store {
+            StoreModel::RedisLike => {
+                // Pure anonymous access; updates also append to the AOF
+                // (buffered, no fsync by default).
+                t = host.anon_touch(t, self.vm, self.cg, block);
+                if is_update {
+                    let addr = BlockAddr::new(self.log_file, self.log_cursor % 64);
+                    self.log_cursor += 1;
+                    t = host.write(t, self.vm, self.cg, addr).finish;
+                }
+            }
+            StoreModel::MongoLike => {
+                // File-backed record access through the page cache, plus a
+                // small anonymous index touch.
+                let anon = block % self.anon_blocks();
+                t = host.anon_touch(t, self.vm, self.cg, anon);
+                let addr = BlockAddr::new(self.data_file, block);
+                if is_update {
+                    t = host.write(t, self.vm, self.cg, addr).finish;
+                    self.updates_since_fsync += 1;
+                    if self.updates_since_fsync >= MONGO_JOURNAL_COMMIT {
+                        self.updates_since_fsync = 0;
+                        t = host.fsync(t, self.vm, self.cg, self.data_file);
+                    }
+                } else {
+                    t = host.read(t, self.vm, self.cg, addr).finish;
+                }
+            }
+            StoreModel::MySqlLike => {
+                // Buffer-pool hit if the block maps into the pool;
+                // otherwise a data-file read. Updates append redo and
+                // group-commit fsync.
+                let pool = self.anon_blocks();
+                if block < pool {
+                    t = host.anon_touch(t, self.vm, self.cg, block);
+                } else {
+                    let addr = BlockAddr::new(self.data_file, block);
+                    t = host.read(t, self.vm, self.cg, addr).finish;
+                }
+                if is_update {
+                    let addr = BlockAddr::new(self.log_file, self.log_cursor % 64);
+                    self.log_cursor += 1;
+                    t = host.write(t, self.vm, self.cg, addr).finish;
+                    self.updates_since_fsync += 1;
+                    if self.updates_since_fsync >= MYSQL_GROUP_COMMIT {
+                        self.updates_since_fsync = 0;
+                        t = host.fsync(t, self.vm, self.cg, self.log_file);
+                    }
+                }
+            }
+        }
+        t
+    }
+}
+
+impl WorkloadThread for YcsbClient {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn vm(&self) -> VmId {
+        self.vm
+    }
+
+    fn cgroup(&self) -> CgroupId {
+        self.cg
+    }
+
+    fn step(&mut self, host: &mut Host, now: SimTime) -> SimTime {
+        self.ensure_reserved(host);
+        let mut t = now;
+        for _ in 0..self.config.ops_per_step {
+            let start = t;
+            t = self.one_op(host, t);
+            self.recorder.record(t, PAGE_SIZE, t - start);
+            t += self.config.think_time;
+        }
+        t
+    }
+
+    fn recorder(&self) -> &OpsRecorder {
+        &self.recorder
+    }
+
+    fn recorder_mut(&mut self) -> &mut OpsRecorder {
+        &mut self.recorder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_cleancache::CachePolicy;
+    use ddc_hypercache::CacheConfig;
+    use ddc_hypervisor::HostConfig;
+
+    fn setup(guest_mb: u64, cg_limit: u64, cache_blocks: u64) -> (Host, VmId, CgroupId) {
+        let mut host = Host::new(HostConfig::new(CacheConfig::mem_only(cache_blocks)));
+        let vm = host.boot_vm(guest_mb, 100);
+        let cg = host.create_container(vm, "db", cg_limit, CachePolicy::mem(100));
+        (host, vm, cg)
+    }
+
+    fn run(client: &mut YcsbClient, host: &mut Host, steps: u32) -> SimTime {
+        let mut now = SimTime::ZERO;
+        for _ in 0..steps {
+            now = client.step(host, now);
+        }
+        now
+    }
+
+    #[test]
+    fn redis_fits_in_memory_is_fast() {
+        let (mut host, vm, cg) = setup(64, 1024, 1024); // 64 MiB = 1024 blocks
+        let config = YcsbConfig::read_mostly(StoreModel::RedisLike, 256);
+        let mut client = YcsbClient::new("redis", vm, cg, config, 1);
+        let fin = run(&mut client, &mut host, 50);
+        let rep = client.recorder().report(fin);
+        assert!(
+            rep.mean_latency.as_millis_f64() < 0.5,
+            "in-memory store must be sub-millisecond, got {}",
+            rep.mean_latency
+        );
+        assert_eq!(host.container_mem_stats(vm, cg).swap_out_total, 0);
+    }
+
+    #[test]
+    fn redis_squeezed_below_working_set_swaps() {
+        // Guest RAM 2 MiB = 32 blocks; dataset 128 blocks of anon.
+        let (mut host, vm, cg) = setup(2, 1024, 1024);
+        let config = YcsbConfig {
+            update_fraction: 0.0, // read-only: no AOF appends
+            ..YcsbConfig::read_mostly(StoreModel::RedisLike, 128)
+        };
+        let mut client = YcsbClient::new("redis", vm, cg, config, 2);
+        run(&mut client, &mut host, 100);
+        let stats = host.container_mem_stats(vm, cg);
+        assert!(stats.swap_out_total > 0, "squeezed Redis must swap");
+        // And the hypervisor cache cannot absorb anonymous pressure.
+        let hc = host.container_cache_stats(vm, cg).unwrap();
+        assert_eq!(hc.mem_pages, 0, "no file pages for the cache to hold");
+    }
+
+    #[test]
+    fn mongo_overflow_lands_in_hypervisor_cache() {
+        // Guest 4 MiB (64 blocks), dataset 256 blocks, big hypervisor cache.
+        let (mut host, vm, cg) = setup(4, 2048, 4096);
+        let config = YcsbConfig::read_mostly(StoreModel::MongoLike, 256);
+        let mut client = YcsbClient::new("mongo", vm, cg, config, 3);
+        run(&mut client, &mut host, 400);
+        let hc = host.container_cache_stats(vm, cg).unwrap();
+        assert!(
+            hc.mem_pages > 0,
+            "file-backed store should overflow into the hypervisor cache"
+        );
+        assert!(hc.hits > 0, "and read back from it");
+    }
+
+    #[test]
+    fn mysql_mixes_anon_and_log_fsync() {
+        let (mut host, vm, cg) = setup(16, 1024, 1024);
+        let config = YcsbConfig {
+            store: StoreModel::MySqlLike,
+            dataset_blocks: 128,
+            update_fraction: 0.5,
+            zipf_theta: 0.99,
+            ops_per_step: 8,
+            think_time: SimDuration::from_micros(50),
+        };
+        let mut client = YcsbClient::new("mysql", vm, cg, config, 4);
+        run(&mut client, &mut host, 50);
+        let stats = host.container_mem_stats(vm, cg);
+        assert!(stats.anon_resident_pages > 0, "buffer pool is anonymous");
+        assert!(
+            host.guest(vm).counters().writebacks > 0,
+            "group commit must hit the disk"
+        );
+    }
+
+    #[test]
+    fn store_model_display() {
+        assert_eq!(StoreModel::RedisLike.to_string(), "redis");
+        assert_eq!(StoreModel::MongoLike.to_string(), "mongodb");
+        assert_eq!(StoreModel::MySqlLike.to_string(), "mysql");
+    }
+
+    #[test]
+    fn recorder_counts_every_op() {
+        let (mut host, vm, cg) = setup(64, 1024, 1024);
+        let config = YcsbConfig::read_mostly(StoreModel::MongoLike, 64);
+        let mut client = YcsbClient::new("m", vm, cg, config, 5);
+        run(&mut client, &mut host, 10);
+        assert_eq!(client.recorder().ops(), 10 * 8);
+    }
+}

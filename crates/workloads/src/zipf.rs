@@ -1,0 +1,116 @@
+//! Zipfian sampling for skewed popularity distributions.
+
+use ddc_sim::SimRng;
+
+/// A Zipf(θ) sampler over `0..n` using a precomputed CDF and binary
+/// search. θ = 0 degenerates to uniform; θ ≈ 0.99 is the YCSB default.
+///
+/// # Example
+///
+/// ```
+/// use ddc_workloads::Zipf;
+/// use ddc_sim::SimRng;
+///
+/// let z = Zipf::new(100, 0.99);
+/// let mut rng = SimRng::new(1);
+/// let v = z.sample(&mut rng);
+/// assert!(v < 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `0..n` with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is negative or not finite.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "zipf needs a non-empty domain");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "zipf skew must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one sample in `0..n` (0 is the most popular rank).
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_in_domain() {
+        let z = Zipf::new(10, 0.99);
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+        assert_eq!(z.n(), 10);
+    }
+
+    #[test]
+    fn skew_prefers_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = SimRng::new(5);
+        let mut counts = [0u32; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // Rank 0 of Zipf(1.0, n=100) has probability ~1/H(100) ≈ 0.19.
+        let p0 = counts[0] as f64 / 20_000.0;
+        assert!((p0 - 0.19).abs() < 0.03, "p0={p0}");
+    }
+
+    #[test]
+    fn zero_theta_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = SimRng::new(7);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            let p = c as f64 / 40_000.0;
+            assert!((p - 0.25).abs() < 0.02, "p={p}");
+        }
+    }
+
+    #[test]
+    fn single_element_domain() {
+        let z = Zipf::new(1, 0.99);
+        let mut rng = SimRng::new(9);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty domain")]
+    fn empty_domain_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

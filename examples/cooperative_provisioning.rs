@@ -1,0 +1,71 @@
+//! Cooperative two-level provisioning (the paper's §2.3.1 motivation):
+//! split a fixed memory budget between in-VM container memory and the
+//! hypervisor cache, and watch how differently a file-backed store
+//! (MongoDB-like) and an anonymous-memory store (Redis-like) respond.
+//!
+//! The file-backed store barely notices the split — its pages just move
+//! to the second-chance cache. The anonymous store collapses once its
+//! working set no longer fits in the cgroup limit, because anonymous
+//! memory cannot be offloaded to a disk cache.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example cooperative_provisioning
+//! ```
+
+use ddc_core::prelude::*;
+
+/// Total memory budget to split, in MiB.
+const BUDGET_MB: u64 = 64;
+/// Dataset size per store, in blocks (~2/3 of the budget).
+const DATASET_BLOCKS: u64 = 40 * 1024 * 1024 / PAGE_SIZE;
+
+fn run_split(store: StoreModel, container_mb: u64) -> (f64, u64, u64) {
+    let cache_mb = BUDGET_MB - container_mb;
+    let cache_pages = CacheConfig::pages_from_mb(cache_mb.max(1));
+    let mut host = Host::new(HostConfig::new(CacheConfig::mem_only(cache_pages)));
+    // Guest RAM sized to the container share (plus a small reserve).
+    let vm = host.boot_vm(container_mb + 8, 100);
+    let cg = host.create_container(
+        vm,
+        "db",
+        CacheConfig::pages_from_mb(container_mb),
+        CachePolicy::mem(100),
+    );
+    let config = YcsbConfig::read_mostly(store, DATASET_BLOCKS);
+    let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+    exp.add_thread(Box::new(YcsbClient::new("db/t0", vm, cg, config, 7)));
+    let report = exp.run_until(SimTime::from_secs(30));
+    let mem = exp.host().container_mem_stats(vm, cg);
+    let hc = exp.host().container_cache_stats(vm, cg).unwrap();
+    (report.throughput_of("db"), mem.swap_out_total, hc.mem_pages)
+}
+
+fn main() {
+    println!("splitting a {BUDGET_MB} MiB budget between container memory and hypervisor cache\n");
+    let mut table = TextTable::new(vec![
+        "split (VM:cache MiB)",
+        "mongodb ops/s",
+        "mongo hcache MB",
+        "redis ops/s",
+        "redis swap-outs",
+    ]);
+    for container_mb in [56, 48, 32, 16, 8] {
+        let (mongo_tput, _, mongo_cache) = run_split(StoreModel::MongoLike, container_mb);
+        let (redis_tput, redis_swap, _) = run_split(StoreModel::RedisLike, container_mb);
+        table.row(vec![
+            format!("{container_mb}:{}", BUDGET_MB - container_mb),
+            format!("{mongo_tput:.0}"),
+            format!("{:.1}", mongo_cache as f64 * PAGE_SIZE as f64 / 1e6),
+            format!("{redis_tput:.0}"),
+            redis_swap.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "note how MongoDB throughput stays flat while its pages migrate to the\n\
+         hypervisor cache, whereas Redis throughput collapses as soon as its\n\
+         anonymous working set exceeds the container share — the hypervisor\n\
+         cache cannot absorb anonymous memory (paper Table 1)."
+    );
+}

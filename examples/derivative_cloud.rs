@@ -1,0 +1,100 @@
+//! The paper's running architecture example (its Fig. 4): two VMs with
+//! weights 33/67; VM1 hosts two containers (`<SSD, 100>` and
+//! `<Mem, 100>`), VM2 hosts three (`<Mem, 25>`, `<Mem, 75>`,
+//! `<SSD, 100>`). The memory store ends up shared by three containers and
+//! the SSD store by two, each partitioned at two levels.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example derivative_cloud
+//! ```
+
+use ddc_core::prelude::*;
+
+fn main() {
+    let mem = CacheConfig::pages_from_mb(96);
+    let ssd = CacheConfig::pages_from_gb(4);
+    let mut host = Host::new(HostConfig::new(CacheConfig::mem_and_ssd(mem, ssd)));
+
+    // Hypervisor-level policy controller: VM weights 33 and 67.
+    let vm1 = host.boot_vm(48, 33);
+    let vm2 = host.boot_vm(48, 67);
+
+    // VM-level policy controllers: container <T, W> tuples.
+    let limit = CacheConfig::pages_from_mb(16);
+    let v1c1 = host.create_container(vm1, "vm1/c1", limit, CachePolicy::ssd(100));
+    let v1c2 = host.create_container(vm1, "vm1/c2", limit, CachePolicy::mem(100));
+    let v2c1 = host.create_container(vm2, "vm2/c1", limit, CachePolicy::mem(25));
+    let v2c2 = host.create_container(vm2, "vm2/c2", limit, CachePolicy::mem(75));
+    let v2c3 = host.create_container(vm2, "vm2/c3", limit, CachePolicy::ssd(100));
+
+    let containers = [
+        (vm1, v1c1, "vm1/c1 <SSD,100>"),
+        (vm1, v1c2, "vm1/c2 <Mem,100>"),
+        (vm2, v2c1, "vm2/c1 <Mem,25>"),
+        (vm2, v2c2, "vm2/c2 <Mem,75>"),
+        (vm2, v2c3, "vm2/c3 <SSD,100>"),
+    ];
+
+    // Every container runs the same webserver profile, so occupancy
+    // differences are pure policy.
+    let config = WebConfig {
+        files: 1200,
+        mean_file_blocks: 2,
+        ..WebConfig::default()
+    };
+    let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+    for (i, (vm, cg, label)) in containers.iter().enumerate() {
+        exp.add_thread(Box::new(Webserver::new(
+            format!("{label}/t0"),
+            *vm,
+            *cg,
+            config,
+            1000 + i as u64,
+        )));
+    }
+
+    println!("running 90 virtual seconds across both VMs...");
+    exp.run_until(SimTime::from_secs(90));
+
+    let mut table = TextTable::new(vec![
+        "container",
+        "mem store (MB)",
+        "ssd store (MB)",
+        "entitlement (MB)",
+        "hit rate (%)",
+    ]);
+    let to_mb = |pages: u64| pages as f64 * PAGE_SIZE as f64 / 1e6;
+    for (vm, cg, label) in containers {
+        let s = exp.host().container_cache_stats(vm, cg).expect("exists");
+        table.row(vec![
+            label.to_owned(),
+            format!("{:.1}", to_mb(s.mem_pages)),
+            format!("{:.1}", to_mb(s.ssd_pages)),
+            format!("{:.1}", to_mb(s.entitlement_pages)),
+            format!("{:.1}", s.hit_rate()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let u1 = exp.host().vm_cache_usage(vm1);
+    let u2 = exp.host().vm_cache_usage(vm2);
+    println!(
+        "memory store by VM:  vm1 {:.1} MB | vm2 {:.1} MB (weights 33/67)",
+        to_mb(u1.mem_pages),
+        to_mb(u2.mem_pages)
+    );
+    println!(
+        "ssd store by VM:     vm1 {:.1} MB | vm2 {:.1} MB",
+        to_mb(u1.ssd_pages),
+        to_mb(u2.ssd_pages)
+    );
+    let t = exp.host().cache_totals();
+    println!(
+        "totals: mem {:.1}/{:.1} MB, ssd {:.1} MB used, {} evictions",
+        to_mb(t.mem_used_pages),
+        to_mb(t.mem_capacity_pages),
+        to_mb(t.ssd_used_pages),
+        t.evictions
+    );
+}

@@ -1,0 +1,107 @@
+//! Dynamic cache management (a miniature of the paper's Fig. 12): two
+//! containers share the memory store 60/40; a videoserver container boots
+//! mid-run and the weights are re-split 50/30/20; later the videoserver
+//! is moved to the SSD store and the memory split returns to 60/40.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example dynamic_policy
+//! ```
+
+use ddc_core::prelude::*;
+
+fn main() {
+    let mem = CacheConfig::pages_from_mb(64);
+    let ssd = CacheConfig::pages_from_gb(4);
+    let mut host = Host::new(HostConfig::new(CacheConfig::mem_and_ssd(mem, ssd)));
+    let vm = host.boot_vm(64, 100);
+    let limit = CacheConfig::pages_from_mb(24);
+
+    let c1 = host.create_container(vm, "web", limit, CachePolicy::mem(60));
+    let c2 = host.create_container(vm, "proxy", limit, CachePolicy::mem(40));
+
+    let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+    let web_cfg = WebConfig {
+        files: 1500,
+        ..WebConfig::default()
+    };
+    let proxy_cfg = ProxyConfig {
+        files: 1200,
+        ..ProxyConfig::default()
+    };
+    exp.add_thread(Box::new(Webserver::new("web/t0", vm, c1, web_cfg, 1)));
+    exp.add_thread(Box::new(Proxycache::new("proxy/t0", vm, c2, proxy_cfg, 2)));
+
+    let to_mb = |pages: u64| pages as f64 * PAGE_SIZE as f64 / 1e6;
+    exp.add_probe("web mem-store MB", move |h| {
+        to_mb(h.container_cache_stats(vm, c1).map_or(0, |s| s.mem_pages))
+    });
+    exp.add_probe("proxy mem-store MB", move |h| {
+        to_mb(h.container_cache_stats(vm, c2).map_or(0, |s| s.mem_pages))
+    });
+
+    // Phase 2 at t=60 s: boot the videoserver, re-weight to 50/30/20.
+    exp.schedule(SimTime::from_secs(60), move |host, pool, at| {
+        println!("[{at}] booting videoserver container; weights -> 50/30/20");
+        let c3 = host.create_container(vm, "video", limit, CachePolicy::mem(20));
+        host.set_container_policy(vm, c1, CachePolicy::mem(50));
+        host.set_container_policy(vm, c2, CachePolicy::mem(30));
+        let cfg = VideoConfig {
+            active_videos: 16,
+            mean_video_blocks: 64,
+            ..VideoConfig::default()
+        };
+        pool.spawn_at(at, Box::new(VideoServer::new("video/t0", vm, c3, cfg, 3)));
+    });
+
+    // Phase 3 at t=120 s: move the videoserver to the SSD store; memory
+    // split back to 60/40. (The videoserver container is cgroup id 3 —
+    // the third created in this VM.)
+    exp.schedule(SimTime::from_secs(120), move |host, _pool, at| {
+        println!("[{at}] videoserver -> <SSD, 100>; memory weights -> 60/40");
+        let c3 = *host.guest(vm).cgroup_ids().last().expect("video exists");
+        host.set_container_policy(vm, c3, CachePolicy::ssd(100));
+        host.set_container_policy(vm, c1, CachePolicy::mem(60));
+        host.set_container_policy(vm, c2, CachePolicy::mem(40));
+    });
+
+    // Track the videoserver's memory-store footprint once it exists.
+    exp.add_probe("video mem-store MB", move |h| {
+        h.guest(vm)
+            .cgroup_ids()
+            .get(2)
+            .and_then(|cg| h.container_cache_stats(vm, *cg))
+            .map_or(0.0, |s| to_mb(s.mem_pages))
+    });
+
+    println!("running 180 virtual seconds with two policy changes...");
+    exp.run_until(SimTime::from_secs(180));
+
+    for name in [
+        "web mem-store MB",
+        "proxy mem-store MB",
+        "video mem-store MB",
+    ] {
+        if let Some(series) = exp.series(name) {
+            print!(
+                "{}",
+                ddc_core::metrics::render_ascii_chart(&[series], 72, 6)
+            );
+        }
+    }
+
+    // Phase means demonstrate the redistribution.
+    for name in ["web mem-store MB", "proxy mem-store MB"] {
+        let s = exp.series(name).expect("probed");
+        let p1 = s
+            .mean_in(SimTime::from_secs(30), SimTime::from_secs(60))
+            .unwrap_or(0.0);
+        let p2 = s
+            .mean_in(SimTime::from_secs(90), SimTime::from_secs(120))
+            .unwrap_or(0.0);
+        let p3 = s
+            .mean_in(SimTime::from_secs(150), SimTime::from_secs(180))
+            .unwrap_or(0.0);
+        println!("{name}: phase means {p1:.1} -> {p2:.1} -> {p3:.1} MB");
+    }
+}

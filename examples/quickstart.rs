@@ -1,0 +1,91 @@
+//! Quickstart: a single VM, one webserver container, a DoubleDecker
+//! memory cache — watch the second-chance cache absorb the container's
+//! overflow working set.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ddc_core::prelude::*;
+
+fn main() {
+    // A host with a 128 MiB memory-backed DoubleDecker cache.
+    let cache_pages = CacheConfig::pages_from_mb(128);
+    let mut host = Host::new(HostConfig::new(CacheConfig::mem_only(cache_pages)));
+
+    // One VM with 64 MiB of RAM, full cache weight.
+    let vm = host.boot_vm(64, 100);
+
+    // One webserver container limited (via its cgroup) to 32 MiB, with a
+    // <Mem, 100> DoubleDecker policy.
+    let cg_limit = CacheConfig::pages_from_mb(32);
+    let web_cg = host.create_container(vm, "web", cg_limit, CachePolicy::mem(100));
+
+    // A webserver whose fileset (~250 MiB) exceeds the cgroup limit: the
+    // overflow must live in the hypervisor cache.
+    let config = WebConfig {
+        files: 2000,
+        mean_file_blocks: 2,
+        ..WebConfig::default()
+    };
+
+    let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+    for t in 0..2 {
+        exp.add_thread(Box::new(Webserver::new(
+            format!("web/t{t}"),
+            vm,
+            web_cg,
+            config,
+            42 + t as u64,
+        )));
+    }
+    exp.add_probe("hypervisor-cache-used-mb", move |h| {
+        h.container_cache_stats(vm, web_cg)
+            .map(|s| s.mem_pages as f64 * PAGE_SIZE as f64 / 1e6)
+            .unwrap_or(0.0)
+    });
+
+    println!("running 60 virtual seconds of webserver traffic...");
+    let report = exp.run_until(SimTime::from_secs(60));
+
+    println!("\n== per-thread results ==");
+    let mut table = TextTable::new(vec!["thread", "ops", "ops/s", "MB/s", "mean lat (ms)"]);
+    for t in &report.threads {
+        table.row(vec![
+            t.label.clone(),
+            t.ops.to_string(),
+            format!("{:.1}", t.ops_per_sec),
+            format!("{:.1}", t.mb_per_sec),
+            format!("{:.3}", t.mean_latency_ms),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let stats = exp
+        .host()
+        .container_cache_stats(vm, web_cg)
+        .expect("container exists");
+    println!("== hypervisor cache (container pool) ==");
+    println!(
+        "resident: {:.1} MB of {:.1} MB entitlement",
+        stats.mem_pages as f64 * PAGE_SIZE as f64 / 1e6,
+        stats.entitlement_pages as f64 * PAGE_SIZE as f64 / 1e6,
+    );
+    println!(
+        "gets: {}  hits: {} ({:.1}% hit rate)  puts: {}  evictions: {}",
+        stats.gets,
+        stats.hits,
+        stats.hit_rate(),
+        stats.puts,
+        stats.evictions
+    );
+
+    if let Some(series) = exp.series("hypervisor-cache-used-mb") {
+        println!("\n== cache occupancy over time ==");
+        print!(
+            "{}",
+            ddc_core::metrics::render_ascii_chart(&[series], 60, 8)
+        );
+    }
+}

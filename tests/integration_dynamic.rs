@@ -1,0 +1,213 @@
+//! Integration tests for dynamic reconfiguration: weight changes, store
+//! switches, VM/container lifecycle and cache resizing at runtime —
+//! miniatures of the paper's Figs. 12 and 13 with tight assertions.
+
+use ddc_core::prelude::*;
+
+fn web_cfg(files: usize) -> WebConfig {
+    WebConfig {
+        files,
+        mean_file_blocks: 2,
+        zipf_theta: 0.0,
+        think_time: SimDuration::from_micros(100),
+        ..WebConfig::default()
+    }
+}
+
+/// Changing container weights mid-run redistributes the cache.
+#[test]
+fn weight_change_redistributes() {
+    let mut host = Host::new(HostConfig::new(CacheConfig::mem_only(512)));
+    let vm = host.boot_vm(16, 100);
+    let c1 = host.create_container(vm, "c1", 64, CachePolicy::mem(50));
+    let c2 = host.create_container(vm, "c2", 64, CachePolicy::mem(50));
+    let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+    exp.add_thread(Box::new(Webserver::new("c1/t0", vm, c1, web_cfg(600), 1)));
+    exp.add_thread(Box::new(Webserver::new("c2/t0", vm, c2, web_cfg(600), 2)));
+    exp.add_probe("c1", move |h| {
+        h.container_cache_stats(vm, c1).unwrap().mem_pages as f64
+    });
+    exp.add_probe("c2", move |h| {
+        h.container_cache_stats(vm, c2).unwrap().mem_pages as f64
+    });
+    // At t=20s flip the weights to 80/20 (SET_CG_WEIGHT through the guest).
+    exp.schedule(SimTime::from_secs(20), move |host, _pool, _at| {
+        host.set_container_policy(vm, c1, CachePolicy::mem(80));
+        host.set_container_policy(vm, c2, CachePolicy::mem(20));
+    });
+    exp.run_until(SimTime::from_secs(40));
+    let c1_before = exp
+        .series("c1")
+        .unwrap()
+        .mean_in(SimTime::from_secs(15), SimTime::from_secs(20))
+        .unwrap();
+    let c1_after = exp
+        .series("c1")
+        .unwrap()
+        .mean_in(SimTime::from_secs(35), SimTime::from_secs(40))
+        .unwrap();
+    let c2_after = exp
+        .series("c2")
+        .unwrap()
+        .mean_in(SimTime::from_secs(35), SimTime::from_secs(40))
+        .unwrap();
+    assert!(
+        c1_after > c1_before * 1.3,
+        "raising c1's weight must grow its share ({c1_before:.0} -> {c1_after:.0})"
+    );
+    let share1 = c1_after / (c1_after + c2_after);
+    assert!(
+        (share1 - 0.8).abs() < 0.12,
+        "post-change split should approach 80/20, got {share1:.2}"
+    );
+}
+
+/// Switching a container from the memory to the SSD store vacates its
+/// memory share immediately and keeps its data readable.
+#[test]
+fn store_switch_vacates_memory() {
+    let mut host = Host::new(HostConfig::new(CacheConfig::mem_and_ssd(512, 4096)));
+    let vm = host.boot_vm(16, 100);
+    let cg = host.create_container(vm, "c", 64, CachePolicy::mem(100));
+    let mut now = SimTime::ZERO;
+    for b in 0..256 {
+        now = host
+            .read(now, vm, cg, BlockAddr::new(vm_file(vm, 1), b))
+            .finish;
+    }
+    let before = host.container_cache_stats(vm, cg).unwrap();
+    assert!(before.mem_pages > 0);
+    host.set_container_policy(vm, cg, CachePolicy::ssd(100));
+    let after = host.container_cache_stats(vm, cg).unwrap();
+    assert_eq!(after.mem_pages, 0, "memory share released");
+    assert_eq!(after.ssd_pages, before.mem_pages, "objects moved to SSD");
+    // Data still served from the (SSD) second chance.
+    let r = host.read(now, vm, cg, BlockAddr::new(vm_file(vm, 1), 0));
+    assert_eq!(r.level, HitLevel::Cleancache);
+}
+
+/// Booting a VM mid-run and re-weighting shifts cache between VMs; a
+/// late VM with an SSD-only container leaves the memory split untouched
+/// (Fig. 13's key observation).
+#[test]
+fn vm_lifecycle_and_ssd_only_vm() {
+    let mut host = Host::new(HostConfig::new(CacheConfig::mem_and_ssd(512, 4096)));
+    let vm1 = host.boot_vm(16, 100);
+    let c1 = host.create_container(vm1, "v1", 64, CachePolicy::mem(100));
+    let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+    exp.add_thread(Box::new(Webserver::new("v1/t0", vm1, c1, web_cfg(600), 3)));
+    exp.add_probe("vm1", move |h| h.vm_cache_usage(vm1).mem_pages as f64);
+    // t=15s: VM2 boots with weight 40 (vm1 -> 60), runs the same load.
+    exp.schedule(SimTime::from_secs(15), move |host, pool, at| {
+        let vm2 = host.boot_vm(16, 40);
+        host.set_vm_cache_weight(vm1, 60);
+        let c2 = host.create_container(vm2, "v2", 64, CachePolicy::mem(100));
+        pool.spawn_at(
+            at,
+            Box::new(Webserver::new("v2/t0", vm2, c2, web_cfg(600), 4)),
+        );
+    });
+    // t=30s: an SSD-only VM3 boots; memory weights untouched.
+    exp.schedule(SimTime::from_secs(30), move |host, pool, at| {
+        let vm3 = host.boot_vm(16, 100);
+        let c3 = host.create_container(vm3, "v3", 64, CachePolicy::ssd(100));
+        pool.spawn_at(
+            at,
+            Box::new(Webserver::new("v3/t0", vm3, c3, web_cfg(600), 5)),
+        );
+    });
+    exp.run_until(SimTime::from_secs(45));
+    let host = exp.host();
+    let ids = host.vm_ids();
+    assert_eq!(ids.len(), 3);
+    let u1 = host.vm_cache_usage(ids[0]).mem_pages;
+    let u2 = host.vm_cache_usage(ids[1]).mem_pages;
+    let u3 = host.vm_cache_usage(ids[2]);
+    let share1 = u1 as f64 / (u1 + u2) as f64;
+    assert!(
+        (share1 - 0.6).abs() < 0.15,
+        "memory split should approach 60/40, got {share1:.2}"
+    );
+    assert_eq!(u3.mem_pages, 0, "SSD-only VM holds no memory store");
+    assert!(u3.ssd_pages > 0, "but does use the SSD store");
+}
+
+/// Growing the memory store mid-run is absorbed without evictions;
+/// shrinking it evicts the excess promptly.
+#[test]
+fn cache_resize_in_both_directions() {
+    let mut host = Host::new(HostConfig::new(CacheConfig::mem_only(256)));
+    let vm = host.boot_vm(16, 100);
+    let cg = host.create_container(vm, "c", 64, CachePolicy::mem(100));
+    let mut now = SimTime::ZERO;
+    for b in 0..512 {
+        now = host
+            .read(now, vm, cg, BlockAddr::new(vm_file(vm, 1), b))
+            .finish;
+    }
+    assert_eq!(host.cache_totals().mem_used_pages, 256);
+    host.set_mem_cache_capacity(now, 512);
+    for b in 512..800 {
+        now = host
+            .read(now, vm, cg, BlockAddr::new(vm_file(vm, 1), b))
+            .finish;
+    }
+    assert!(host.cache_totals().mem_used_pages > 256, "growth absorbed");
+    host.set_mem_cache_capacity(now, 128);
+    assert!(
+        host.cache_totals().mem_used_pages <= 128,
+        "shrink evicts the excess"
+    );
+}
+
+/// Container churn: containers created and destroyed in a loop never leak
+/// cache pages or guest memory.
+#[test]
+fn container_churn_does_not_leak() {
+    let mut host = Host::new(HostConfig::new(CacheConfig::mem_only(512)));
+    let vm = host.boot_vm(16, 100);
+    let mut now = SimTime::ZERO;
+    for round in 0..10 {
+        let cg = host.create_container(vm, "tmp", 32, CachePolicy::mem(100));
+        for b in 0..64 {
+            now = host
+                .read(now, vm, cg, BlockAddr::new(vm_file(vm, 100 + round), b))
+                .finish;
+        }
+        host.destroy_container(vm, cg);
+        assert_eq!(
+            host.cache_totals().mem_used_pages,
+            0,
+            "round {round}: destroy must free the pool"
+        );
+    }
+    assert_eq!(
+        host.guest(vm).used_pages(),
+        host.guest(vm).config().kernel_reserved_pages
+    );
+}
+
+/// Raising and lowering a container's cgroup limit at runtime moves its
+/// page-cache/hypervisor-cache boundary.
+#[test]
+fn cgroup_limit_resize_shifts_the_boundary() {
+    let mut host = Host::new(HostConfig::new(CacheConfig::mem_only(1024)));
+    let vm = host.boot_vm(32, 100);
+    let cg = host.create_container(vm, "c", 256, CachePolicy::mem(100));
+    let mut now = SimTime::ZERO;
+    for b in 0..256 {
+        now = host
+            .read(now, vm, cg, BlockAddr::new(vm_file(vm, 1), b))
+            .finish;
+    }
+    assert_eq!(host.container_mem_stats(vm, cg).page_cache_pages, 256);
+    // Squeeze the cgroup: pages spill to the hypervisor cache.
+    host.set_container_mem_limit(now, vm, cg, 64);
+    let mem = host.container_mem_stats(vm, cg);
+    let hc = host.container_cache_stats(vm, cg).unwrap();
+    assert!(mem.page_cache_pages <= 64);
+    assert!(hc.mem_pages >= 180, "squeezed pages moved to the cache");
+    // And everything is still readable without disk IO.
+    let r = host.read(now, vm, cg, BlockAddr::new(vm_file(vm, 1), 0));
+    assert_ne!(r.level, HitLevel::Disk);
+}

@@ -1,0 +1,194 @@
+//! Integration tests for the partitioning policies: DoubleDecker's
+//! two-level weighted entitlements versus the Global (tmem-style) and
+//! Strict (Morai-style) comparators, exercised through real workloads.
+
+use ddc_core::prelude::*;
+
+/// Builds a host with two webserver containers of different weights in
+/// one VM and runs both against a contended cache.
+fn run_two_containers(
+    mode: PartitionMode,
+    w1: u32,
+    w2: u32,
+    secs: u64,
+) -> (ExperimentReportPair, u64) {
+    let cache_pages = 512;
+    let config = CacheConfig::mem_only(cache_pages).with_mode(mode);
+    let mut host = Host::new(HostConfig::new(config));
+    let vm = host.boot_vm(16, 100); // 16 MiB guest = 256 blocks
+    let c1 = host.create_container(vm, "c1", 64, CachePolicy::mem(w1));
+    let c2 = host.create_container(vm, "c2", 64, CachePolicy::mem(w2));
+    let cfg = WebConfig {
+        files: 600, // ~900 blocks each: heavy overflow
+        mean_file_blocks: 2,
+        zipf_theta: 0.0,
+        think_time: SimDuration::from_micros(100),
+        ..WebConfig::default()
+    };
+    let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+    exp.add_thread(Box::new(Webserver::new("c1/t0", vm, c1, cfg, 1)));
+    exp.add_thread(Box::new(Webserver::new("c2/t0", vm, c2, cfg, 2)));
+    exp.run_until(SimTime::from_secs(secs));
+    let s1 = exp.host().container_cache_stats(vm, c1).unwrap();
+    let s2 = exp.host().container_cache_stats(vm, c2).unwrap();
+    (
+        ExperimentReportPair {
+            c1_pages: s1.mem_pages,
+            c2_pages: s2.mem_pages,
+            c1_evictions: s1.evictions,
+            c2_evictions: s2.evictions,
+        },
+        cache_pages,
+    )
+}
+
+struct ExperimentReportPair {
+    c1_pages: u64,
+    c2_pages: u64,
+    c1_evictions: u64,
+    c2_evictions: u64,
+}
+
+#[test]
+fn dd_mode_shares_follow_weights() {
+    let (r, cache) = run_two_containers(PartitionMode::DoubleDecker, 75, 25, 30);
+    let total = r.c1_pages + r.c2_pages;
+    assert!(
+        total >= cache * 9 / 10,
+        "cache should be full ({total}/{cache})"
+    );
+    let share1 = r.c1_pages as f64 / total as f64;
+    assert!(
+        (share1 - 0.75).abs() < 0.12,
+        "weight-75 container should hold ~75% of the cache, got {share1:.2}"
+    );
+}
+
+#[test]
+fn equal_weights_give_equal_shares() {
+    let (r, _) = run_two_containers(PartitionMode::DoubleDecker, 50, 50, 30);
+    let ratio = r.c1_pages as f64 / r.c2_pages.max(1) as f64;
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "equal weights must give near-equal shares, ratio {ratio:.2}"
+    );
+}
+
+#[test]
+fn global_mode_ignores_weights() {
+    // Same 75/25 weights, global mode: shares are set by access rates
+    // (identical here), not by weights.
+    let (r, _) = run_two_containers(PartitionMode::Global, 75, 25, 30);
+    let ratio = r.c1_pages as f64 / r.c2_pages.max(1) as f64;
+    assert!(
+        (0.6..1.6).contains(&ratio),
+        "global mode must not enforce the 3:1 weights, ratio {ratio:.2}"
+    );
+}
+
+#[test]
+fn strict_mode_caps_both_at_partitions() {
+    let (r, cache) = run_two_containers(PartitionMode::Strict, 50, 50, 30);
+    assert!(
+        r.c1_pages <= cache / 2 && r.c2_pages <= cache / 2,
+        "strict partitions are hard caps ({} / {})",
+        r.c1_pages,
+        r.c2_pages
+    );
+    // Strict pools self-evict at their caps.
+    assert!(r.c1_evictions > 0 && r.c2_evictions > 0);
+}
+
+#[test]
+fn vm_weights_partition_across_vms() {
+    let config = CacheConfig::mem_only(600);
+    let mut host = Host::new(HostConfig::new(config));
+    let vm1 = host.boot_vm(16, 67);
+    let vm2 = host.boot_vm(16, 33);
+    let c1 = host.create_container(vm1, "a", 64, CachePolicy::mem(100));
+    let c2 = host.create_container(vm2, "b", 64, CachePolicy::mem(100));
+    let cfg = WebConfig {
+        files: 700,
+        mean_file_blocks: 2,
+        zipf_theta: 0.0,
+        think_time: SimDuration::from_micros(100),
+        ..WebConfig::default()
+    };
+    let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+    exp.add_thread(Box::new(Webserver::new("a/t0", vm1, c1, cfg, 3)));
+    exp.add_thread(Box::new(Webserver::new("b/t0", vm2, c2, cfg, 4)));
+    exp.run_until(SimTime::from_secs(30));
+    let u1 = exp.host().vm_cache_usage(vm1).mem_pages;
+    let u2 = exp.host().vm_cache_usage(vm2).mem_pages;
+    let share1 = u1 as f64 / (u1 + u2) as f64;
+    assert!(
+        (share1 - 0.67).abs() < 0.12,
+        "VM weight 67 should yield ~2/3 of the store, got {share1:.2}"
+    );
+}
+
+#[test]
+fn underused_entitlement_is_lent_and_reclaimed() {
+    // A light container (small fileset) donates slack to a heavy one;
+    // the heavy container is the only eviction victim when pressure hits.
+    let config = CacheConfig::mem_only(512);
+    let mut host = Host::new(HostConfig::new(config));
+    let vm = host.boot_vm(16, 100);
+    let light = host.create_container(vm, "light", 64, CachePolicy::mem(50));
+    let heavy = host.create_container(vm, "heavy", 64, CachePolicy::mem(50));
+    let light_cfg = WebConfig {
+        files: 100, // fits in its cgroup + small overflow
+        mean_file_blocks: 2,
+        zipf_theta: 0.0,
+        think_time: SimDuration::from_micros(200),
+        ..WebConfig::default()
+    };
+    let heavy_cfg = WebConfig {
+        files: 800,
+        mean_file_blocks: 2,
+        zipf_theta: 0.0,
+        think_time: SimDuration::from_micros(100),
+        ..WebConfig::default()
+    };
+    let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+    exp.add_thread(Box::new(Webserver::new(
+        "light/t0", vm, light, light_cfg, 5,
+    )));
+    exp.add_thread(Box::new(Webserver::new(
+        "heavy/t0", vm, heavy, heavy_cfg, 6,
+    )));
+    exp.run_until(SimTime::from_secs(30));
+    let sl = exp.host().container_cache_stats(vm, light).unwrap();
+    let sh = exp.host().container_cache_stats(vm, heavy).unwrap();
+    assert!(
+        sh.mem_pages > 256,
+        "heavy container must borrow beyond its 50% share, got {}",
+        sh.mem_pages
+    );
+    assert_eq!(sl.evictions, 0, "the light container is never victimized");
+}
+
+#[test]
+fn disabled_container_stays_out_of_the_cache() {
+    let config = CacheConfig::mem_only(512);
+    let mut host = Host::new(HostConfig::new(config));
+    let vm = host.boot_vm(16, 100);
+    let on = host.create_container(vm, "on", 64, CachePolicy::mem(100));
+    let off = host.create_container(vm, "off", 64, CachePolicy::disabled());
+    let cfg = WebConfig {
+        files: 400,
+        mean_file_blocks: 2,
+        zipf_theta: 0.0,
+        think_time: SimDuration::from_micros(100),
+        ..WebConfig::default()
+    };
+    let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+    exp.add_thread(Box::new(Webserver::new("on/t0", vm, on, cfg, 7)));
+    exp.add_thread(Box::new(Webserver::new("off/t0", vm, off, cfg, 8)));
+    exp.run_until(SimTime::from_secs(20));
+    let s_on = exp.host().container_cache_stats(vm, on).unwrap();
+    let s_off = exp.host().container_cache_stats(vm, off).unwrap();
+    assert!(s_on.mem_pages > 0);
+    assert_eq!(s_off.mem_pages, 0);
+    assert_eq!(s_off.puts, 0, "puts from a disabled container are rejected");
+}
