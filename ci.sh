@@ -1,0 +1,18 @@
+#!/bin/sh
+# Repository CI gate: formatting, lints, then the tier-1 build + tests.
+# Run from the workspace root; any failure aborts the script.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "CI green."

@@ -1,9 +1,9 @@
-//! Criterion micro-benchmarks of the DoubleDecker cache store's data
-//! path: put/get/flush throughput, hit and miss paths, and the overwrite
-//! path — the hypervisor-side costs behind every guest IO.
+//! Micro-benchmarks of the DoubleDecker cache store's data path:
+//! put/get/flush throughput, hit and miss paths, and the overwrite path —
+//! the hypervisor-side costs behind every guest IO.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-
+use ddc_bench::harness;
+use ddc_core::cleancache::SecondChanceCache;
 use ddc_core::prelude::*;
 
 const VM: VmId = VmId(1);
@@ -20,124 +20,106 @@ fn full_cache(capacity: u64) -> (DoubleDeckerCache, PoolId) {
     (cache, pool)
 }
 
-fn bench_put(c: &mut Criterion) {
-    use ddc_core::cleancache::SecondChanceCache;
-    let mut group = c.benchmark_group("cache_put");
-    group.throughput(Throughput::Elements(1));
+fn bench_put() {
     // Put into a cache with room: the common store path.
-    group.bench_function("put_with_room", |b| {
-        b.iter_batched_ref(
-            || full_cache(1 << 20).0,
-            |cache| {
-                let pool = cache.create_pool(VM, CachePolicy::mem(100));
-                let mut block = 0u64;
-                for _ in 0..1024 {
-                    cache.put(SimTime::ZERO, VM, pool, addr(block), PageVersion(1));
-                    block += 1;
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    harness::time_batched(
+        "cache_put/put_with_room",
+        1024,
+        || full_cache(1 << 20).0,
+        |cache| {
+            let pool = cache.create_pool(VM, CachePolicy::mem(100));
+            for block in 0..1024 {
+                cache.put(SimTime::ZERO, VM, pool, addr(block), PageVersion(1));
+            }
+        },
+    );
     // Put into a full cache: every put triggers batch eviction logic.
-    group.bench_function("put_under_pressure", |b| {
-        b.iter_batched_ref(
-            || {
-                let (mut cache, pool) = full_cache(2048);
-                for block in 0..2048 {
-                    cache.put(SimTime::ZERO, VM, pool, addr(block), PageVersion(1));
-                }
-                (cache, pool, 2048u64)
-            },
-            |(cache, pool, next)| {
-                for _ in 0..64 {
-                    cache.put(SimTime::ZERO, VM, *pool, addr(*next), PageVersion(1));
-                    *next += 1;
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
-}
-
-fn bench_get(c: &mut Criterion) {
-    use ddc_core::cleancache::SecondChanceCache;
-    let mut group = c.benchmark_group("cache_get");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("get_hit_exclusive", |b| {
-        b.iter_batched_ref(
-            || {
-                let (mut cache, pool) = full_cache(1 << 16);
-                for block in 0..4096 {
-                    cache.put(SimTime::ZERO, VM, pool, addr(block), PageVersion(1));
-                }
-                (cache, pool, 0u64)
-            },
-            |(cache, pool, next)| {
-                // Hits remove the object (exclusive), so walk forward.
-                let out = cache.get(SimTime::ZERO, VM, *pool, addr(*next % 4096));
+    harness::time_batched(
+        "cache_put/put_under_pressure",
+        64,
+        || {
+            let (mut cache, pool) = full_cache(2048);
+            for block in 0..2048 {
+                cache.put(SimTime::ZERO, VM, pool, addr(block), PageVersion(1));
+            }
+            (cache, pool, 2048u64)
+        },
+        |(cache, pool, next)| {
+            for _ in 0..64 {
+                cache.put(SimTime::ZERO, VM, *pool, addr(*next), PageVersion(1));
                 *next += 1;
-                out
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    group.bench_function("get_miss", |b| {
-        let (mut cache, pool) = full_cache(1 << 16);
-        let mut block = 1 << 30;
-        b.iter(|| {
-            block += 1;
-            cache.get(SimTime::ZERO, VM, pool, addr(block))
-        })
-    });
-    group.finish();
+            }
+        },
+    );
 }
 
-fn bench_flush(c: &mut Criterion) {
-    use ddc_core::cleancache::SecondChanceCache;
-    let mut group = c.benchmark_group("cache_flush");
-    group.bench_function("flush_file_1024_blocks", |b| {
-        b.iter_batched_ref(
-            || {
-                let (mut cache, pool) = full_cache(1 << 16);
-                for block in 0..1024 {
-                    cache.put(SimTime::ZERO, VM, pool, addr(block), PageVersion(1));
-                }
-                (cache, pool)
-            },
-            |(cache, pool)| cache.flush_file(VM, *pool, FileId(1)),
-            BatchSize::SmallInput,
-        )
+fn bench_get() {
+    harness::time_batched(
+        "cache_get/get_hit_exclusive",
+        1024,
+        || {
+            let (mut cache, pool) = full_cache(1 << 16);
+            for block in 0..4096 {
+                cache.put(SimTime::ZERO, VM, pool, addr(block), PageVersion(1));
+            }
+            (cache, pool)
+        },
+        |(cache, pool)| {
+            // Hits remove the object (exclusive), so walk forward.
+            for block in 0..1024 {
+                cache.get(SimTime::ZERO, VM, *pool, addr(block));
+            }
+        },
+    );
+    let (mut cache, pool) = full_cache(1 << 16);
+    let mut block = 1u64 << 30;
+    harness::time("cache_get/get_miss", 1, || {
+        block += 1;
+        cache.get(SimTime::ZERO, VM, pool, addr(block))
     });
-    group.finish();
 }
 
-fn bench_stats(c: &mut Criterion) {
-    use ddc_core::cleancache::SecondChanceCache;
-    let mut group = c.benchmark_group("cache_stats");
+fn bench_flush() {
+    harness::time_batched(
+        "cache_flush/flush_file_1024_blocks",
+        1024,
+        || {
+            let (mut cache, pool) = full_cache(1 << 16);
+            for block in 0..1024 {
+                cache.put(SimTime::ZERO, VM, pool, addr(block), PageVersion(1));
+            }
+            (cache, pool)
+        },
+        |(cache, pool)| cache.flush_file(VM, *pool, FileId(1)),
+    );
+}
+
+fn bench_stats() {
     // GET_STATS recomputes entitlements: measure with many pools.
     for pools in [4u32, 32, 128] {
-        group.bench_function(format!("pool_stats_{pools}_pools"), |b| {
-            let mut cache = DoubleDeckerCache::new(CacheConfig::mem_only(1 << 16));
-            cache.add_vm(VM, 100);
-            let ids: Vec<PoolId> = (0..pools)
-                .map(|_| cache.create_pool(VM, CachePolicy::mem(10)))
-                .collect();
-            for (i, pool) in ids.iter().enumerate() {
-                cache.put(
-                    SimTime::ZERO,
-                    VM,
-                    *pool,
-                    BlockAddr::new(FileId(i as u64), 0),
-                    PageVersion(1),
-                );
-            }
-            b.iter(|| cache.pool_stats(VM, ids[0]))
+        let mut cache = DoubleDeckerCache::new(CacheConfig::mem_only(1 << 16));
+        cache.add_vm(VM, 100);
+        let ids: Vec<PoolId> = (0..pools)
+            .map(|_| cache.create_pool(VM, CachePolicy::mem(10)))
+            .collect();
+        for (i, pool) in ids.iter().enumerate() {
+            cache.put(
+                SimTime::ZERO,
+                VM,
+                *pool,
+                BlockAddr::new(FileId(i as u64), 0),
+                PageVersion(1),
+            );
+        }
+        harness::time(&format!("cache_stats/pool_stats_{pools}_pools"), 1, || {
+            cache.pool_stats(VM, ids[0])
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_put, bench_get, bench_flush, bench_stats);
-criterion_main!(benches);
+fn main() {
+    bench_put();
+    bench_get();
+    bench_flush();
+    bench_stats();
+}

@@ -1,10 +1,8 @@
-//! Criterion micro-benchmarks of the guest IO path: page-cache hits,
-//! second-chance hits and the eviction/put cycle — the per-operation
-//! simulation costs, and equally the modelled per-IO work a real guest
-//! would do.
+//! Micro-benchmarks of the guest IO path: page-cache hits, second-chance
+//! hits and the eviction/put cycle — the per-operation simulation costs,
+//! and equally the modelled per-IO work a real guest would do.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-
+use ddc_bench::harness;
 use ddc_core::prelude::*;
 
 fn setup(cache_blocks: u64, cg_limit: u64) -> (Host, VmId, CgroupId) {
@@ -18,21 +16,17 @@ fn addr(vm: VmId, block: u64) -> BlockAddr {
     BlockAddr::new(vm_file(vm, 1), block)
 }
 
-fn bench_read_paths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("guest_read");
-    group.throughput(Throughput::Elements(1));
-
-    group.bench_function("page_cache_hit", |b| {
+fn bench_read_paths() {
+    {
         let (mut host, vm, cg) = setup(4096, 512);
         let mut now = host.read(SimTime::ZERO, vm, cg, addr(vm, 0)).finish;
-        b.iter(|| {
+        harness::time("guest_read/page_cache_hit", 1, || {
             let r = host.read(now, vm, cg, addr(vm, 0));
             now = r.finish;
             r
-        })
-    });
-
-    group.bench_function("second_chance_hit_cycle", |b| {
+        });
+    }
+    {
         // Working set of 2x the cgroup limit: every read alternates
         // between page-cache hit and cleancache hit with an eviction/put.
         let (mut host, vm, cg) = setup(4096, 128);
@@ -41,99 +35,86 @@ fn bench_read_paths(c: &mut Criterion) {
             now = host.read(now, vm, cg, addr(vm, blk)).finish;
         }
         let mut blk = 0u64;
-        b.iter(|| {
+        harness::time("guest_read/second_chance_hit_cycle", 1, || {
             let r = host.read(now, vm, cg, addr(vm, blk % 256));
             blk += 1;
             now = r.finish;
             r
-        })
-    });
-
-    group.bench_function("cold_disk_read", |b| {
-        b.iter_batched_ref(
-            || setup(4096, 2048),
-            |(host, vm, cg)| {
-                let mut now = SimTime::ZERO;
-                for blk in 0..64 {
-                    now = host.read(now, *vm, *cg, addr(*vm, blk)).finish;
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+        });
+    }
+    harness::time_batched(
+        "guest_read/cold_disk_read",
+        64,
+        || setup(4096, 2048),
+        |(host, vm, cg)| {
+            let mut now = SimTime::ZERO;
+            for blk in 0..64 {
+                now = host.read(now, *vm, *cg, addr(*vm, blk)).finish;
+            }
+        },
+    );
 }
 
-fn bench_write_paths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("guest_write");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("page_cache_write", |b| {
+fn bench_write_paths() {
+    {
         let (mut host, vm, cg) = setup(4096, 512);
         let mut now = SimTime::ZERO;
         let mut blk = 0u64;
-        b.iter(|| {
+        harness::time("guest_write/page_cache_write", 1, || {
             let w = host.write(now, vm, cg, addr(vm, blk % 64));
             blk += 1;
             now = w.finish;
             w
-        })
-    });
-    group.bench_function("write_fsync_4_blocks", |b| {
-        b.iter_batched_ref(
-            || setup(4096, 512),
-            |(host, vm, cg)| {
-                let mut now = SimTime::ZERO;
-                for blk in 0..4 {
-                    now = host.write(now, *vm, *cg, addr(*vm, blk)).finish;
-                }
-                host.fsync(now, *vm, *cg, vm_file(*vm, 1))
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    group.finish();
+        });
+    }
+    harness::time_batched(
+        "guest_write/write_fsync_4_blocks",
+        4,
+        || setup(4096, 512),
+        |(host, vm, cg)| {
+            let mut now = SimTime::ZERO;
+            for blk in 0..4 {
+                now = host.write(now, *vm, *cg, addr(*vm, blk)).finish;
+            }
+            host.fsync(now, *vm, *cg, vm_file(*vm, 1))
+        },
+    );
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10);
+fn bench_end_to_end() {
     // One virtual second of a cache-heavy webserver: the simulator's
     // aggregate events-per-second figure.
     for mode in [PartitionMode::Global, PartitionMode::DoubleDecker] {
-        group.bench_function(format!("webserver_1s_{mode}"), |b| {
-            b.iter_batched_ref(
-                || {
-                    let config = CacheConfig::mem_only(2048).with_mode(mode);
-                    let mut host = Host::new(HostConfig::new(config));
-                    let vm = host.boot_vm(32, 100);
-                    let cg = host.create_container(vm, "web", 256, CachePolicy::mem(100));
-                    let web = Webserver::new(
-                        "web/t0",
-                        vm,
-                        cg,
-                        WebConfig {
-                            files: 600,
-                            think_time: SimDuration::from_micros(100),
-                            ..WebConfig::default()
-                        },
-                        1,
-                    );
-                    let mut exp = Experiment::new(host, SimDuration::from_secs(1));
-                    exp.add_thread(Box::new(web));
-                    exp
-                },
-                |exp| exp.run_until(SimTime::from_secs(1)),
-                BatchSize::SmallInput,
-            )
-        });
+        harness::time_batched(
+            &format!("end_to_end/webserver_1s_{mode}"),
+            1,
+            || {
+                let config = CacheConfig::mem_only(2048).with_mode(mode);
+                let mut host = Host::new(HostConfig::new(config));
+                let vm = host.boot_vm(32, 100);
+                let cg = host.create_container(vm, "web", 256, CachePolicy::mem(100));
+                let web = Webserver::new(
+                    "web/t0",
+                    vm,
+                    cg,
+                    WebConfig {
+                        files: 600,
+                        think_time: SimDuration::from_micros(100),
+                        ..WebConfig::default()
+                    },
+                    1,
+                );
+                let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+                exp.add_thread(Box::new(web));
+                exp
+            },
+            |exp| exp.run_until(SimTime::from_secs(1)),
+        );
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_read_paths,
-    bench_write_paths,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    bench_read_paths();
+    bench_write_paths();
+    bench_end_to_end();
+}

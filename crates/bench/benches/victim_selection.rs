@@ -1,9 +1,8 @@
-//! Criterion micro-benchmarks of the policy module: Algorithm 1 victim
-//! selection scaling with entity count, and the entitlement computation —
-//! the costs that bound eviction and reconfiguration latency.
+//! Micro-benchmarks of the policy module: Algorithm 1 victim selection
+//! scaling with entity count, and the entitlement computation — the costs
+//! that bound eviction and reconfiguration latency.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use ddc_bench::harness;
 use ddc_core::hypercache::policy::entitlements;
 use ddc_core::hypercache::{select_victim, select_victim_strict, EntityUsage};
 use ddc_core::prelude::SimRng;
@@ -21,33 +20,35 @@ fn entities(n: usize, seed: u64) -> Vec<EntityUsage> {
         .collect()
 }
 
-fn bench_select_victim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("algorithm1");
+fn bench_select_victim() {
     for n in [2usize, 8, 64, 512] {
         let es = entities(n, n as u64);
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_function(format!("select_victim_{n}_entities"), |b| {
-            b.iter(|| select_victim(std::hint::black_box(&es), 32))
-        });
-        group.bench_function(format!("select_victim_strict_{n}_entities"), |b| {
-            b.iter(|| select_victim_strict(std::hint::black_box(&es), 32))
-        });
+        harness::time(
+            &format!("algorithm1/select_victim_{n}_entities"),
+            n as u64,
+            || select_victim(std::hint::black_box(&es), 32),
+        );
+        harness::time(
+            &format!("algorithm1/select_victim_strict_{n}_entities"),
+            n as u64,
+            || select_victim_strict(std::hint::black_box(&es), 32),
+        );
     }
-    group.finish();
 }
 
-fn bench_entitlements(c: &mut Criterion) {
-    let mut group = c.benchmark_group("entitlements");
+fn bench_entitlements() {
     for n in [2usize, 8, 64, 512] {
         let mut rng = SimRng::new(7);
         let weights: Vec<u64> = (0..n).map(|_| rng.range_u64(1, 100)).collect();
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_function(format!("entitlements_{n}_entities"), |b| {
-            b.iter(|| entitlements(std::hint::black_box(1 << 20), &weights))
-        });
+        harness::time(
+            &format!("entitlements/entitlements_{n}_entities"),
+            n as u64,
+            || entitlements(std::hint::black_box(1 << 20), &weights),
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_select_victim, bench_entitlements);
-criterion_main!(benches);
+fn main() {
+    bench_select_victim();
+    bench_entitlements();
+}

@@ -1,0 +1,80 @@
+//! Minimal wall-clock timing harness for the `cargo bench` targets.
+//!
+//! The workspace builds offline, so the benches use this dependency-free
+//! helper instead of Criterion: fixed iteration counts (tunable via
+//! `DDC_BENCH_ITERS`), a short warmup, and a one-line ns/op report per
+//! benchmark. Good enough to compare hot-path costs across commits; not
+//! a statistical framework.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn iterations() -> u64 {
+    std::env::var("DDC_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100)
+}
+
+fn report(label: &str, total: Duration, iters: u64, elements: u64) {
+    let per_iter = total.as_nanos() as f64 / iters.max(1) as f64;
+    let per_element = per_iter / elements.max(1) as f64;
+    println!("{label:<48} {per_iter:>14.1} ns/iter  {per_element:>12.1} ns/elem  ({iters} iters)");
+}
+
+/// Times `op` in a tight loop (state persists across iterations).
+/// `elements` is the number of logical operations one call performs, for
+/// the ns/elem column.
+pub fn time<T>(label: &str, elements: u64, mut op: impl FnMut() -> T) {
+    let iters = iterations();
+    for _ in 0..iters.min(10) {
+        black_box(op());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(op());
+    }
+    report(label, start.elapsed(), iters, elements);
+}
+
+/// Times `op` against fresh state from `setup` each iteration; only the
+/// `op` portion is measured.
+pub fn time_batched<S, T>(
+    label: &str,
+    elements: u64,
+    mut setup: impl FnMut() -> S,
+    mut op: impl FnMut(&mut S) -> T,
+) {
+    let iters = iterations();
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let mut state = setup();
+        let start = Instant::now();
+        black_box(op(&mut state));
+        total += start.elapsed();
+    }
+    report(label, total, iters, elements);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_counts() {
+        let mut calls = 0u64;
+        time("t", 1, || calls += 1);
+        assert!(calls >= iterations());
+        let mut setups = 0u64;
+        time_batched(
+            "b",
+            1,
+            || {
+                setups += 1;
+                0u64
+            },
+            |s| *s += 1,
+        );
+        assert_eq!(setups, iterations());
+    }
+}

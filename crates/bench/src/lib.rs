@@ -2,7 +2,8 @@
 //!
 //! One scenario module per paper artifact; the `repro` binary dispatches
 //! to them and prints paper-style tables and occupancy charts, and the
-//! Criterion benches reuse the same builders for micro-measurements.
+//! `cargo bench` targets reuse the same builders for micro-measurements
+//! (timed with the dependency-free [`harness`] module).
 //!
 //! All scenarios are **scaled** versions of the paper's testbed (see
 //! DESIGN.md): sizes divided by ~8, durations compressed, and the
@@ -10,6 +11,7 @@
 //! where crossovers fall — are the reproduction target, not absolute
 //! numbers.
 
+pub mod harness;
 pub mod scenarios;
 
 pub use scenarios::common::{mb, to_mb};

@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod common;
 pub mod cooperative;
 pub mod dynamic;
+pub mod faults;
 pub mod modes;
 pub mod motivation;
 pub mod policies;

@@ -4,8 +4,31 @@
 //! hypervisor via a VMCALL and copies its arguments to host memory (paper
 //! §4). The channel charges that fixed cost on the caller's virtual clock
 //! and keeps the per-VM operation counters used in the evaluation.
+//!
+//! # Failure semantics (fail-open)
+//!
+//! The channel is the guest's failure boundary. Cleancache is best-effort
+//! by contract, so every data-path failure degrades to the slow path
+//! rather than an error the guest has to handle:
+//!
+//! * a backend `get` failure is translated to a **miss** (the guest falls
+//!   back to its virtual disk) and counted in
+//!   [`ChannelCounters::fail_opens`],
+//! * a *dropped* call (injected via [`FaultSchedule`]) behaves like a
+//!   miss / rejection and is counted in
+//!   [`ChannelCounters::dropped_calls`],
+//! * repeated `put` failures trip a **circuit breaker**: the channel
+//!   stops issuing puts to the failing store and probes for recovery
+//!   with exponential backoff, so a sick backend is not hammered with
+//!   hypercalls that will fail anyway.
+//!
+//! Only `get`/`put` may fail or drop. `flush` and the control operations
+//! are defined reliable: a dropped flush would leave a stale page in the
+//! cache and break coherence, so invalidations are modelled as
+//! synchronous-reliable (the real implementation spins until the
+//! hypercall is acknowledged).
 
-use ddc_sim::{SimDuration, SimTime};
+use ddc_sim::{FaultDecision, FaultSchedule, SimDuration, SimTime};
 use ddc_storage::{BlockAddr, FileId};
 
 use crate::{
@@ -29,6 +52,30 @@ pub struct ChannelCounters {
     pub flushes: u64,
     /// Control-plane operations (pool lifecycle, policy, stats).
     pub control_ops: u64,
+    /// Backend failures served fail-open: `get` failures translated
+    /// into misses, `put` failures the guest treats as not-retained.
+    pub fail_opens: u64,
+    /// Data-path calls dropped by the channel's fault schedule.
+    pub dropped_calls: u64,
+    /// Times the put circuit breaker tripped open.
+    pub breaker_trips: u64,
+    /// Puts skipped locally while the breaker was open.
+    pub breaker_skipped_puts: u64,
+    /// Times an open breaker's probe put succeeded and closed it.
+    pub breaker_recoveries: u64,
+}
+
+/// State of the put circuit breaker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Breaker {
+    /// Puts flow to the backend; `failures` consecutive puts have failed.
+    Closed { failures: u32 },
+    /// Puts are skipped locally until `probe_at`, when one put is let
+    /// through as a recovery probe. Another failure doubles `backoff`.
+    Open {
+        probe_at: SimTime,
+        backoff: SimDuration,
+    },
 }
 
 /// The per-VM hypercall path to a second-chance cache backend.
@@ -58,6 +105,8 @@ pub struct HypercallChannel {
     call_cost: SimDuration,
     counters: ChannelCounters,
     enabled: bool,
+    faults: Option<FaultSchedule>,
+    breaker: Breaker,
 }
 
 impl HypercallChannel {
@@ -65,6 +114,15 @@ impl HypercallChannel {
     /// magnitude measured for KVM hypercalls on the paper's era of
     /// hardware.
     pub const DEFAULT_CALL_COST: SimDuration = SimDuration::from_micros(2);
+
+    /// Consecutive put failures that trip the circuit breaker open.
+    pub const BREAKER_THRESHOLD: u32 = 3;
+
+    /// First recovery-probe delay after the breaker trips.
+    pub const BREAKER_INITIAL_BACKOFF: SimDuration = SimDuration::from_millis(10);
+
+    /// Backoff ceiling for repeated failed probes.
+    pub const BREAKER_MAX_BACKOFF: SimDuration = SimDuration::from_secs(10);
 
     /// Creates a channel for a VM with the default hypercall cost.
     pub fn new(vm: VmId) -> HypercallChannel {
@@ -79,6 +137,8 @@ impl HypercallChannel {
             call_cost,
             counters: ChannelCounters::default(),
             enabled: true,
+            faults: None,
+            breaker: Breaker::Closed { failures: 0 },
         }
     }
 
@@ -102,6 +162,63 @@ impl HypercallChannel {
     /// Accumulated counters.
     pub fn counters(&self) -> ChannelCounters {
         self.counters
+    }
+
+    /// Attaches (or clears) a fault schedule dropping data-path calls.
+    /// Only `get`/`put` consult it; flush and control operations are
+    /// reliable by definition (see the module docs).
+    pub fn set_fault_schedule(&mut self, faults: Option<FaultSchedule>) {
+        self.faults = faults;
+    }
+
+    /// Whether the put circuit breaker is currently open.
+    pub fn breaker_open(&self) -> bool {
+        matches!(self.breaker, Breaker::Open { .. })
+    }
+
+    /// Consults the drop schedule for one data-path call at `now`.
+    /// A `Slow` decision stretches the effective call cost.
+    fn channel_decision(&mut self, now: SimTime) -> FaultDecision {
+        match &mut self.faults {
+            Some(f) => f.decide(now),
+            None => FaultDecision::Ok,
+        }
+    }
+
+    /// Records a put failure on the breaker; trips it after
+    /// [`BREAKER_THRESHOLD`](Self::BREAKER_THRESHOLD) consecutive
+    /// failures, doubles the backoff on a failed probe.
+    fn breaker_note_failure(&mut self, now: SimTime) {
+        match self.breaker {
+            Breaker::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= Self::BREAKER_THRESHOLD {
+                    self.counters.breaker_trips += 1;
+                    self.breaker = Breaker::Open {
+                        probe_at: now + Self::BREAKER_INITIAL_BACKOFF,
+                        backoff: Self::BREAKER_INITIAL_BACKOFF,
+                    };
+                } else {
+                    self.breaker = Breaker::Closed { failures };
+                }
+            }
+            Breaker::Open { backoff, .. } => {
+                let backoff = (backoff + backoff).min(Self::BREAKER_MAX_BACKOFF);
+                self.breaker = Breaker::Open {
+                    probe_at: now + backoff,
+                    backoff,
+                };
+            }
+        }
+    }
+
+    /// Records a successful (or policy-rejected) put: the backend is
+    /// reachable, so the breaker closes / the failure streak resets.
+    fn breaker_note_success(&mut self) {
+        if matches!(self.breaker, Breaker::Open { .. }) {
+            self.counters.breaker_recoveries += 1;
+        }
+        self.breaker = Breaker::Closed { failures: 0 };
     }
 
     /// CREATE_CGROUP hypercall.
@@ -160,6 +277,10 @@ impl HypercallChannel {
 
     /// `get` hypercall: lookup-and-remove. The returned finish time
     /// includes the hypercall cost.
+    ///
+    /// Fail-open: a backend [`GetOutcome::Failed`] or a dropped call is
+    /// translated to a miss — the guest falls back to its virtual disk
+    /// and never observes the failure directly.
     pub fn get(
         &mut self,
         backend: &mut dyn SecondChanceCache,
@@ -172,20 +293,39 @@ impl HypercallChannel {
         if !self.enabled {
             return GetOutcome::Miss;
         }
-        let entered = now + self.call_cost;
+        let mut call_cost = self.call_cost;
+        match self.channel_decision(now) {
+            FaultDecision::Error => {
+                // The call (or its reply) was lost: the cost is paid but
+                // the guest learns nothing and treats it as a miss.
+                self.counters.dropped_calls += 1;
+                return GetOutcome::Miss;
+            }
+            FaultDecision::Slow(extra) => call_cost += extra,
+            FaultDecision::Ok => {}
+        }
+        let entered = now + call_cost;
         match backend.get(entered, self.vm, pool, addr) {
             GetOutcome::Hit { finish, version } => {
                 self.counters.get_hits += 1;
                 GetOutcome::Hit {
-                    finish: finish + self.call_cost,
+                    finish: finish + call_cost,
                     version,
                 }
             }
             GetOutcome::Miss => GetOutcome::Miss,
+            GetOutcome::Failed { .. } => {
+                self.counters.fail_opens += 1;
+                GetOutcome::Miss
+            }
         }
     }
 
     /// `put` hypercall: store a clean evicted page.
+    ///
+    /// Backend failures feed the circuit breaker; while it is open, puts
+    /// are skipped locally (no hypercall is issued, no cost charged)
+    /// until the next scheduled recovery probe.
     pub fn put(
         &mut self,
         backend: &mut dyn SecondChanceCache,
@@ -194,20 +334,55 @@ impl HypercallChannel {
         addr: BlockAddr,
         version: PageVersion,
     ) -> PutOutcome {
-        self.counters.calls += 1;
-        self.counters.puts += 1;
         if !self.enabled {
+            self.counters.calls += 1;
+            self.counters.puts += 1;
             return PutOutcome::Rejected;
         }
-        let entered = now + self.call_cost;
+        if let Breaker::Open { probe_at, .. } = self.breaker {
+            if now < probe_at {
+                // Skipped locally: the guest never traps, so this is the
+                // one outcome that charges no hypercall.
+                self.counters.breaker_skipped_puts += 1;
+                return PutOutcome::Rejected;
+            }
+        }
+        self.counters.calls += 1;
+        self.counters.puts += 1;
+        let mut call_cost = self.call_cost;
+        match self.channel_decision(now) {
+            FaultDecision::Error => {
+                self.counters.dropped_calls += 1;
+                self.breaker_note_failure(now);
+                return PutOutcome::Rejected;
+            }
+            FaultDecision::Slow(extra) => call_cost += extra,
+            FaultDecision::Ok => {}
+        }
+        let entered = now + call_cost;
         match backend.put(entered, self.vm, pool, addr, version) {
             PutOutcome::Stored { finish } => {
                 self.counters.put_stores += 1;
+                self.breaker_note_success();
                 PutOutcome::Stored {
-                    finish: finish + self.call_cost,
+                    finish: finish + call_cost,
                 }
             }
-            PutOutcome::Rejected => PutOutcome::Rejected,
+            PutOutcome::Rejected => {
+                // Policy rejection, not infrastructure failure: the
+                // backend is reachable, so the breaker resets.
+                self.breaker_note_success();
+                PutOutcome::Rejected
+            }
+            PutOutcome::Failed { finish } => {
+                // The guest proceeds as if the page were merely not
+                // retained, so this too is a fail-open outcome.
+                self.counters.fail_opens += 1;
+                self.breaker_note_failure(now);
+                PutOutcome::Failed {
+                    finish: finish + call_cost,
+                }
+            }
         }
     }
 
@@ -331,14 +506,198 @@ mod tests {
                 assert_eq!(finish, SimTime::ZERO + cost + cost);
                 assert_eq!(version, PageVersion(7));
             }
-            GetOutcome::Miss => panic!("expected hit"),
+            _ => panic!("expected hit"),
         }
         let put = ch.put(&mut probe, SimTime::ZERO, PoolId(0), addr(), PageVersion(0));
         match put {
             PutOutcome::Stored { finish } => assert_eq!(finish, SimTime::ZERO + cost + cost),
-            PutOutcome::Rejected => panic!("expected store"),
+            _ => panic!("expected store"),
         }
         assert_eq!(ch.counters().get_hits, 1);
         assert_eq!(ch.counters().put_stores, 1);
+    }
+
+    /// A backend whose data path fails on demand.
+    struct Flaky {
+        failing: bool,
+        puts_seen: u64,
+    }
+    impl SecondChanceCache for Flaky {
+        fn create_pool(&mut self, _: VmId, _: CachePolicy) -> PoolId {
+            PoolId(0)
+        }
+        fn destroy_pool(&mut self, _: VmId, _: PoolId) {}
+        fn set_policy(&mut self, _: VmId, _: PoolId, _: CachePolicy) {}
+        fn migrate_object(&mut self, _: VmId, _: PoolId, _: PoolId, _: BlockAddr) {}
+        fn pool_stats(&self, _: VmId, _: PoolId) -> Option<PoolStats> {
+            None
+        }
+        fn get(&mut self, now: SimTime, _: VmId, _: PoolId, _: BlockAddr) -> GetOutcome {
+            if self.failing {
+                GetOutcome::Failed { finish: now }
+            } else {
+                GetOutcome::Hit {
+                    finish: now,
+                    version: PageVersion(1),
+                }
+            }
+        }
+        fn put(
+            &mut self,
+            now: SimTime,
+            _: VmId,
+            _: PoolId,
+            _: BlockAddr,
+            _: PageVersion,
+        ) -> PutOutcome {
+            self.puts_seen += 1;
+            if self.failing {
+                PutOutcome::Failed { finish: now }
+            } else {
+                PutOutcome::Stored { finish: now }
+            }
+        }
+        fn flush(&mut self, _: VmId, _: PoolId, _: BlockAddr) {}
+        fn flush_file(&mut self, _: VmId, _: PoolId, _: FileId) {}
+    }
+
+    #[test]
+    fn failed_get_is_fail_open_miss() {
+        let mut b = Flaky {
+            failing: true,
+            puts_seen: 0,
+        };
+        let mut ch = HypercallChannel::new(VmId(0));
+        let out = ch.get(&mut b, SimTime::ZERO, PoolId(0), addr());
+        assert_eq!(out, GetOutcome::Miss, "guest sees a plain miss");
+        assert_eq!(ch.counters().fail_opens, 1);
+        assert_eq!(ch.counters().get_hits, 0);
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_probes_recovery() {
+        let mut b = Flaky {
+            failing: true,
+            puts_seen: 0,
+        };
+        let mut ch = HypercallChannel::new(VmId(0));
+        let mut now = SimTime::ZERO;
+        // Threshold consecutive failures trip the breaker.
+        for _ in 0..HypercallChannel::BREAKER_THRESHOLD {
+            assert!(!ch.breaker_open());
+            let out = ch.put(&mut b, now, PoolId(0), addr(), PageVersion(0));
+            assert!(out.is_failed());
+            now += SimDuration::from_micros(10);
+        }
+        assert!(ch.breaker_open());
+        assert_eq!(ch.counters().breaker_trips, 1);
+        let puts_at_trip = b.puts_seen;
+        // While open and before the probe time, puts are skipped locally.
+        let out = ch.put(&mut b, now, PoolId(0), addr(), PageVersion(0));
+        assert_eq!(out, PutOutcome::Rejected);
+        assert_eq!(b.puts_seen, puts_at_trip, "no hypercall issued");
+        assert_eq!(ch.counters().breaker_skipped_puts, 1);
+        // A failed probe doubles the backoff...
+        now += HypercallChannel::BREAKER_INITIAL_BACKOFF;
+        assert!(ch
+            .put(&mut b, now, PoolId(0), addr(), PageVersion(0))
+            .is_failed());
+        assert_eq!(
+            b.puts_seen,
+            puts_at_trip + 1,
+            "the probe reached the backend"
+        );
+        // ...so a put after the *old* backoff is still skipped.
+        now += HypercallChannel::BREAKER_INITIAL_BACKOFF;
+        assert_eq!(
+            ch.put(&mut b, now, PoolId(0), addr(), PageVersion(0)),
+            PutOutcome::Rejected
+        );
+        assert_eq!(b.puts_seen, puts_at_trip + 1);
+        // Once the backend heals, the next probe closes the breaker.
+        b.failing = false;
+        now += SimDuration::from_secs(30);
+        assert!(ch
+            .put(&mut b, now, PoolId(0), addr(), PageVersion(0))
+            .is_stored());
+        assert!(!ch.breaker_open());
+        assert_eq!(ch.counters().breaker_recoveries, 1);
+        // And subsequent puts flow normally.
+        assert!(ch
+            .put(&mut b, now, PoolId(0), addr(), PageVersion(0))
+            .is_stored());
+    }
+
+    #[test]
+    fn policy_rejection_does_not_trip_breaker() {
+        let mut b = NullCache::new();
+        let mut ch = HypercallChannel::new(VmId(0));
+        let pool = ch.create_pool(&mut b, CachePolicy::default());
+        for _ in 0..20 {
+            assert_eq!(
+                ch.put(&mut b, SimTime::ZERO, pool, addr(), PageVersion(0)),
+                PutOutcome::Rejected
+            );
+        }
+        assert!(!ch.breaker_open());
+        assert_eq!(ch.counters().breaker_trips, 0);
+    }
+
+    #[test]
+    fn dropped_calls_fail_open_and_flushes_stay_reliable() {
+        use ddc_sim::{FaultKind, FaultSchedule};
+        struct FlushCounter {
+            flushes: u64,
+        }
+        impl SecondChanceCache for FlushCounter {
+            fn create_pool(&mut self, _: VmId, _: CachePolicy) -> PoolId {
+                PoolId(0)
+            }
+            fn destroy_pool(&mut self, _: VmId, _: PoolId) {}
+            fn set_policy(&mut self, _: VmId, _: PoolId, _: CachePolicy) {}
+            fn migrate_object(&mut self, _: VmId, _: PoolId, _: PoolId, _: BlockAddr) {}
+            fn pool_stats(&self, _: VmId, _: PoolId) -> Option<PoolStats> {
+                None
+            }
+            fn get(&mut self, _: SimTime, _: VmId, _: PoolId, _: BlockAddr) -> GetOutcome {
+                GetOutcome::Hit {
+                    finish: SimTime::ZERO,
+                    version: PageVersion(1),
+                }
+            }
+            fn put(
+                &mut self,
+                now: SimTime,
+                _: VmId,
+                _: PoolId,
+                _: BlockAddr,
+                _: PageVersion,
+            ) -> PutOutcome {
+                PutOutcome::Stored { finish: now }
+            }
+            fn flush(&mut self, _: VmId, _: PoolId, _: BlockAddr) {
+                self.flushes += 1;
+            }
+            fn flush_file(&mut self, _: VmId, _: PoolId, _: FileId) {
+                self.flushes += 1;
+            }
+        }
+        let mut b = FlushCounter { flushes: 0 };
+        let mut ch = HypercallChannel::new(VmId(0));
+        ch.set_fault_schedule(Some(FaultSchedule::new(1).with_window(
+            SimTime::ZERO,
+            None,
+            FaultKind::TransientErrors { rate: 1.0 },
+        )));
+        // Every data-path call drops...
+        assert_eq!(
+            ch.get(&mut b, SimTime::ZERO, PoolId(0), addr()),
+            GetOutcome::Miss
+        );
+        assert_eq!(ch.counters().dropped_calls, 1);
+        // ...but flushes always reach the backend (coherence-critical).
+        ch.flush(&mut b, PoolId(0), addr());
+        ch.flush_file(&mut b, PoolId(0), FileId(1));
+        assert_eq!(b.flushes, 2);
     }
 }

@@ -18,12 +18,25 @@ pub enum GetOutcome {
     },
     /// Object not present.
     Miss,
+    /// The backend failed mid-lookup (injected store fault). The object
+    /// — if it existed — has been invalidated, never served: a failed
+    /// store must not return potentially-corrupt data. Callers treat
+    /// this like a miss (fail-open) and fall back to the virtual disk.
+    Failed {
+        /// When the failure was reported (the store attempted the read).
+        finish: SimTime,
+    },
 }
 
 impl GetOutcome {
     /// Whether this outcome is a hit.
     pub fn is_hit(&self) -> bool {
         matches!(self, GetOutcome::Hit { .. })
+    }
+
+    /// Whether the backend failed servicing the lookup.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, GetOutcome::Failed { .. })
     }
 }
 
@@ -41,12 +54,26 @@ pub enum PutOutcome {
     /// or zero capacity). Rejection is always legal: cleancache is
     /// best-effort by contract.
     Rejected,
+    /// The backend failed mid-store (injected store fault). The object
+    /// was *not* retained — a put that fails leaves no trace, so a later
+    /// get cannot surface a partially-written page. Distinct from
+    /// [`Rejected`](PutOutcome::Rejected) so callers can trip circuit
+    /// breakers on infrastructure failure but not on policy rejection.
+    Failed {
+        /// When the failure was reported (the store attempted the write).
+        finish: SimTime,
+    },
 }
 
 impl PutOutcome {
     /// Whether the object was stored.
     pub fn is_stored(&self) -> bool {
         matches!(self, PutOutcome::Stored { .. })
+    }
+
+    /// Whether the backend failed servicing the store.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, PutOutcome::Failed { .. })
     }
 }
 
@@ -67,6 +94,10 @@ pub struct PoolStats {
     pub puts: u64,
     /// Objects evicted from this pool by the policy module.
     pub evictions: u64,
+    /// Lookups against this pool that failed on a store fault.
+    pub failed_gets: u64,
+    /// Stores into this pool that failed on a store fault.
+    pub failed_puts: u64,
 }
 
 impl PoolStats {
@@ -155,6 +186,15 @@ mod tests {
         };
         assert!(stored.is_stored());
         assert!(!PutOutcome::Rejected.is_stored());
+        let failed_get = GetOutcome::Failed {
+            finish: SimTime::ZERO,
+        };
+        assert!(failed_get.is_failed() && !failed_get.is_hit());
+        let failed_put = PutOutcome::Failed {
+            finish: SimTime::ZERO,
+        };
+        assert!(failed_put.is_failed() && !failed_put.is_stored());
+        assert!(!PutOutcome::Rejected.is_failed());
     }
 
     #[test]
@@ -167,6 +207,8 @@ mod tests {
             hits: 50,
             puts: 100,
             evictions: 3,
+            failed_gets: 0,
+            failed_puts: 0,
         };
         assert_eq!(s.total_pages(), 15);
         assert!((s.lookup_to_store_ratio() - 50.0).abs() < 1e-9);

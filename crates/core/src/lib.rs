@@ -51,12 +51,12 @@ mod runner;
 pub mod scenario;
 pub mod sla;
 
-pub use report::{ExperimentReport, SeriesReport, ThreadReport};
+pub use report::{ExperimentReport, FaultTotals, SeriesReport, ThreadReport};
 pub use runner::{Experiment, ThreadPool};
 
 /// Convenient glob-import surface for examples and benches.
 pub mod prelude {
-    pub use crate::{Experiment, ExperimentReport, ThreadPool};
+    pub use crate::{Experiment, ExperimentReport, FaultTotals, ThreadPool};
     pub use ddc_cleancache::{
         CachePolicy, GetOutcome, PageVersion, PoolId, PoolStats, PutOutcome, StoreKind, VmId,
     };
@@ -64,11 +64,14 @@ pub mod prelude {
         CgroupId, CgroupMemStats, GuestConfig, HitLevel, MissRatioCurve, MrcEstimator,
     };
     pub use ddc_hypercache::{
-        CacheConfig, CacheTotals, DoubleDeckerCache, PartitionMode, EVICTION_BATCH_PAGES,
+        CacheConfig, CacheTotals, DoubleDeckerCache, FallbackMode, PartitionMode,
+        EVICTION_BATCH_PAGES,
     };
     pub use ddc_hypervisor::{vm_file, Host, HostConfig};
     pub use ddc_metrics::{LatencyHistogram, OpsRecorder, TextTable, ThroughputReport};
-    pub use ddc_sim::{SimDuration, SimRng, SimTime, TimeSeries};
+    pub use ddc_sim::{
+        FaultKind, FaultSchedule, FaultWindow, SimDuration, SimRng, SimTime, TimeSeries,
+    };
     pub use ddc_storage::{BlockAddr, Device, FileId, PAGE_SIZE};
     pub use ddc_workloads::{
         FileServer, FileServerConfig, MailConfig, MailServer, Oltp, OltpConfig, ProxyConfig,

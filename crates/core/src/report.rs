@@ -1,15 +1,18 @@
 //! Serializable experiment reports.
 //!
 //! Reports mirror the measurement types in `ddc-metrics`/`ddc-sim` as
-//! plain data with `serde` derives, so the `repro` harness can emit JSON
-//! alongside the human-readable tables recorded in EXPERIMENTS.md.
+//! plain data with deterministic JSON emission (via `ddc-json`), so the
+//! `repro` harness can emit JSON alongside the human-readable tables
+//! recorded in EXPERIMENTS.md. Emission is byte-stable: two identical
+//! runs render byte-identical reports, which the fault-injection
+//! determinism tests assert.
 
+use ddc_json::{Json, JsonError};
 use ddc_metrics::OpsRecorder;
 use ddc_sim::{SimTime, TimeSeries};
-use serde::{Deserialize, Serialize};
 
 /// Per-thread throughput/latency summary.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ThreadReport {
     /// The thread's label (e.g. `"web/t0"`).
     pub label: String,
@@ -42,7 +45,7 @@ impl ThreadReport {
 }
 
 /// One probe's samples as plain data.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SeriesReport {
     /// Probe name.
     pub name: String,
@@ -75,8 +78,35 @@ impl SeriesReport {
     }
 }
 
+/// Fault-plane counters aggregated across the whole host: the cache's
+/// degradation state machine plus every VM's hypercall channel. All zero
+/// on a fault-free run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultTotals {
+    /// Times the SSD tier was quarantined after a faulted IO.
+    pub ssd_quarantines: u64,
+    /// Successful recovery probes that re-enabled the SSD tier.
+    pub ssd_recoveries: u64,
+    /// SSD pages invalidated when entering quarantine.
+    pub quarantine_invalidated_pages: u64,
+    /// Cache gets that failed on a faulted store read (served fail-open).
+    pub failed_gets: u64,
+    /// Cache puts that failed on a faulted store write.
+    pub failed_puts: u64,
+    /// Guest hypercalls served fail-open after a backend failure.
+    pub channel_fail_opens: u64,
+    /// Guest hypercalls dropped by the channel itself.
+    pub channel_dropped_calls: u64,
+    /// Times a guest's put circuit breaker tripped open.
+    pub breaker_trips: u64,
+    /// Puts skipped locally while a breaker was open.
+    pub breaker_skipped_puts: u64,
+    /// Probes that closed a breaker again.
+    pub breaker_recoveries: u64,
+}
+
 /// The full result of one experiment run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentReport {
     /// Virtual end time, seconds.
     pub end: f64,
@@ -90,6 +120,8 @@ pub struct ExperimentReport {
     pub ssd_cache_used_pages: u64,
     /// Total evictions performed by the hypervisor cache.
     pub evictions: u64,
+    /// Fault-plane counters (all zero on a fault-free run).
+    pub faults: FaultTotals,
 }
 
 impl ExperimentReport {
@@ -133,13 +165,149 @@ impl ExperimentReport {
         self.series.iter().find(|s| s.name == name)
     }
 
-    /// Serializes to pretty JSON.
-    ///
-    /// # Panics
-    ///
-    /// Never panics: the report contains only serializable plain data.
+    /// Serializes to pretty JSON (deterministic: byte-identical for
+    /// identical reports).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("plain data serializes")
+        let mut v = Json::object();
+        v.set("end", self.end);
+        let threads = self
+            .threads
+            .iter()
+            .map(|t| {
+                let mut tv = Json::object();
+                tv.set("label", t.label.as_str());
+                tv.set("ops", t.ops);
+                tv.set("ops_per_sec", t.ops_per_sec);
+                tv.set("mb_per_sec", t.mb_per_sec);
+                tv.set("mean_latency_ms", t.mean_latency_ms);
+                tv.set("p99_latency_ms", t.p99_latency_ms);
+                tv
+            })
+            .collect::<Vec<_>>();
+        v.set("threads", threads);
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                let mut sv = Json::object();
+                sv.set("name", s.name.as_str());
+                sv.set(
+                    "points",
+                    s.points
+                        .iter()
+                        .map(|&(t, val)| Json::Arr(vec![Json::Num(t), Json::Num(val)]))
+                        .collect::<Vec<_>>(),
+                );
+                sv
+            })
+            .collect::<Vec<_>>();
+        v.set("series", series);
+        v.set("mem_cache_used_pages", self.mem_cache_used_pages);
+        v.set("ssd_cache_used_pages", self.ssd_cache_used_pages);
+        v.set("evictions", self.evictions);
+        let f = &self.faults;
+        let mut fv = Json::object();
+        fv.set("ssd_quarantines", f.ssd_quarantines);
+        fv.set("ssd_recoveries", f.ssd_recoveries);
+        fv.set(
+            "quarantine_invalidated_pages",
+            f.quarantine_invalidated_pages,
+        );
+        fv.set("failed_gets", f.failed_gets);
+        fv.set("failed_puts", f.failed_puts);
+        fv.set("channel_fail_opens", f.channel_fail_opens);
+        fv.set("channel_dropped_calls", f.channel_dropped_calls);
+        fv.set("breaker_trips", f.breaker_trips);
+        fv.set("breaker_skipped_puts", f.breaker_skipped_puts);
+        fv.set("breaker_recoveries", f.breaker_recoveries);
+        v.set("faults", fv);
+        v.to_string_pretty()
+    }
+
+    /// Parses a report previously produced by [`ExperimentReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] for malformed or schema-mismatched input.
+    pub fn from_json(json: &str) -> Result<ExperimentReport, JsonError> {
+        let bad = |message: &str| JsonError {
+            message: message.to_owned(),
+            offset: 0,
+        };
+        let v = Json::parse(json)?;
+        let num = |obj: &Json, key: &str| {
+            obj.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad(&format!("missing number {key:?}")))
+        };
+        let int = |obj: &Json, key: &str| num(obj, key).map(|n| n as u64);
+        let mut threads = Vec::new();
+        for t in v.get("threads").and_then(Json::as_array).unwrap_or(&[]) {
+            threads.push(ThreadReport {
+                label: t
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("thread needs a label"))?
+                    .to_owned(),
+                ops: int(t, "ops")?,
+                ops_per_sec: num(t, "ops_per_sec")?,
+                mb_per_sec: num(t, "mb_per_sec")?,
+                mean_latency_ms: num(t, "mean_latency_ms")?,
+                p99_latency_ms: num(t, "p99_latency_ms")?,
+            });
+        }
+        let mut series = Vec::new();
+        for s in v.get("series").and_then(Json::as_array).unwrap_or(&[]) {
+            let mut points = Vec::new();
+            for p in s.get("points").and_then(Json::as_array).unwrap_or(&[]) {
+                let pair = p
+                    .as_array()
+                    .filter(|a| a.len() == 2)
+                    .ok_or_else(|| bad("series point must be a [t, v] pair"))?;
+                points.push((
+                    pair[0]
+                        .as_f64()
+                        .ok_or_else(|| bad("point t not a number"))?,
+                    pair[1]
+                        .as_f64()
+                        .ok_or_else(|| bad("point v not a number"))?,
+                ));
+            }
+            series.push(SeriesReport {
+                name: s
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("series needs a name"))?
+                    .to_owned(),
+                points,
+            });
+        }
+        // Reports from before the fault plane have no "faults" object;
+        // treat them as fault-free.
+        let faults = match v.get("faults") {
+            None | Some(Json::Null) => FaultTotals::default(),
+            Some(f) => FaultTotals {
+                ssd_quarantines: int(f, "ssd_quarantines")?,
+                ssd_recoveries: int(f, "ssd_recoveries")?,
+                quarantine_invalidated_pages: int(f, "quarantine_invalidated_pages")?,
+                failed_gets: int(f, "failed_gets")?,
+                failed_puts: int(f, "failed_puts")?,
+                channel_fail_opens: int(f, "channel_fail_opens")?,
+                channel_dropped_calls: int(f, "channel_dropped_calls")?,
+                breaker_trips: int(f, "breaker_trips")?,
+                breaker_skipped_puts: int(f, "breaker_skipped_puts")?,
+                breaker_recoveries: int(f, "breaker_recoveries")?,
+            },
+        };
+        Ok(ExperimentReport {
+            end: num(&v, "end")?,
+            threads,
+            series,
+            mem_cache_used_pages: int(&v, "mem_cache_used_pages")?,
+            ssd_cache_used_pages: int(&v, "ssd_cache_used_pages")?,
+            evictions: int(&v, "evictions")?,
+            faults,
+        })
     }
 }
 
@@ -208,6 +376,13 @@ mod tests {
             mem_cache_used_pages: 7,
             ssd_cache_used_pages: 0,
             evictions: 3,
+            faults: FaultTotals {
+                ssd_quarantines: 1,
+                quarantine_invalidated_pages: 5,
+                failed_gets: 2,
+                channel_fail_opens: 2,
+                ..FaultTotals::default()
+            },
         }
     }
 
@@ -227,8 +402,22 @@ mod tests {
     fn json_serialization_roundtrips() {
         let r = sample_report();
         let json = r.to_json();
-        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        let back = ExperimentReport::from_json(&json).unwrap();
         assert_eq!(back, r);
         assert!(json.contains("web/t0"));
+        assert!(json.contains("ssd_quarantines"));
+        assert_eq!(back.to_json(), json, "re-emission is byte-identical");
+        assert!(ExperimentReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn reports_without_fault_counters_parse_as_fault_free() {
+        let legacy = r#"{
+            "end": 1.0, "threads": [], "series": [],
+            "mem_cache_used_pages": 0, "ssd_cache_used_pages": 0,
+            "evictions": 0
+        }"#;
+        let r = ExperimentReport::from_json(legacy).unwrap();
+        assert_eq!(r.faults, FaultTotals::default());
     }
 }

@@ -11,7 +11,7 @@ use ddc_hypervisor::Host;
 use ddc_sim::{EventQueue, Sampler, SimDuration, SimTime, TimeSeries};
 use ddc_workloads::WorkloadThread;
 
-use crate::report::{ExperimentReport, SeriesReport, ThreadReport};
+use crate::report::{ExperimentReport, FaultTotals, SeriesReport, ThreadReport};
 
 /// A scheduled control action: arbitrary reconfiguration of the host
 /// and/or the thread pool at a fixed virtual time.
@@ -234,13 +234,31 @@ impl Experiment {
             .iter()
             .map(|p| SeriesReport::from_series(&p.series))
             .collect();
+        let totals = self.host.cache_totals();
+        let mut faults = FaultTotals {
+            ssd_quarantines: totals.ssd_quarantines,
+            ssd_recoveries: totals.ssd_recoveries,
+            quarantine_invalidated_pages: totals.quarantine_invalidated_pages,
+            failed_gets: totals.failed_gets,
+            failed_puts: totals.failed_puts,
+            ..FaultTotals::default()
+        };
+        for vm in self.host.vm_ids() {
+            let c = self.host.guest(vm).channel().counters();
+            faults.channel_fail_opens += c.fail_opens;
+            faults.channel_dropped_calls += c.dropped_calls;
+            faults.breaker_trips += c.breaker_trips;
+            faults.breaker_skipped_puts += c.breaker_skipped_puts;
+            faults.breaker_recoveries += c.breaker_recoveries;
+        }
         ExperimentReport {
             end: self.now.as_secs_f64(),
             threads,
             series,
-            mem_cache_used_pages: self.host.cache_totals().mem_used_pages,
-            ssd_cache_used_pages: self.host.cache_totals().ssd_used_pages,
-            evictions: self.host.cache_totals().evictions,
+            mem_cache_used_pages: totals.mem_used_pages,
+            ssd_cache_used_pages: totals.ssd_used_pages,
+            evictions: totals.evictions,
+            faults,
         }
     }
 

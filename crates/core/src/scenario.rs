@@ -22,15 +22,15 @@
 
 use ddc_cleancache::{CachePolicy, VmId};
 use ddc_guest::CgroupId;
-use ddc_hypercache::{CacheConfig, PartitionMode};
+use ddc_hypercache::{CacheConfig, FallbackMode, PartitionMode};
 use ddc_hypervisor::{Host, HostConfig};
-use ddc_sim::{SimDuration, SimTime};
+use ddc_json::Json;
+use ddc_sim::{FaultKind, FaultSchedule, SimDuration, SimTime};
 use ddc_workloads::{
     FileServer, FileServerConfig, MailConfig, MailServer, Oltp, OltpConfig, ProxyConfig,
     Proxycache, StoreModel, VideoConfig, VideoServer, WebConfig, Webserver, WorkloadThread,
     YcsbClient, YcsbConfig,
 };
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -53,29 +53,25 @@ fn err(msg: impl Into<String>) -> ScenarioError {
 }
 
 /// Cache store configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CacheSpec {
     /// Memory store capacity, MiB.
     pub mem_mb: u64,
     /// SSD store capacity, MiB (default 0 = no SSD store).
-    #[serde(default)]
     pub ssd_mb: u64,
     /// `"doubledecker"` (default), `"global"` or `"strict"`.
-    #[serde(default)]
     pub mode: Option<String>,
     /// Optional zcache-style compression `(millipages per object,
     /// codec µs)`.
-    #[serde(default)]
     pub compression: Option<(u64, u64)>,
 }
 
 /// A container's `<T, W>` policy.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PolicySpec {
     /// `"mem"`, `"ssd"`, `"hybrid"` or `"disabled"`.
     pub store: String,
     /// Weight (ignored for `"disabled"`).
-    #[serde(default)]
     pub weight: u32,
 }
 
@@ -93,55 +89,44 @@ impl PolicySpec {
 
 /// Workload selection with per-kind parameters (all optional, falling
 /// back to the library defaults).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "lowercase")]
+#[derive(Clone, Debug, PartialEq)]
 pub enum WorkloadSpec {
     /// Filebench webserver.
     Webserver {
         /// Number of files.
-        #[serde(default)]
         files: Option<usize>,
         /// Popularity skew.
-        #[serde(default)]
         zipf_theta: Option<f64>,
         /// Think time per loop, microseconds.
-        #[serde(default)]
         think_us: Option<u64>,
     },
     /// Filebench webproxy.
     Proxycache {
         /// Number of cached objects.
-        #[serde(default)]
         files: Option<usize>,
     },
     /// Filebench varmail.
     Mail {
         /// Number of mail files.
-        #[serde(default)]
         files: Option<usize>,
     },
     /// Filebench videoserver.
     Videoserver {
         /// Active videos.
-        #[serde(default)]
         videos: Option<usize>,
         /// Mean video size in blocks.
-        #[serde(default)]
         video_blocks: Option<u32>,
     },
     /// Filebench fileserver.
     Fileserver {
         /// Number of files in the share.
-        #[serde(default)]
         files: Option<usize>,
     },
     /// Filebench OLTP.
     Oltp {
         /// Database size in blocks.
-        #[serde(default)]
         data_blocks: Option<u64>,
         /// Writing-transaction fraction.
-        #[serde(default)]
         write_fraction: Option<f64>,
     },
     /// YCSB-like client.
@@ -151,13 +136,12 @@ pub enum WorkloadSpec {
         /// Dataset size in blocks.
         dataset_blocks: u64,
         /// Update fraction (default 0.05).
-        #[serde(default)]
         update_fraction: Option<f64>,
     },
 }
 
 /// One container of a VM.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ContainerSpec {
     /// Name; also the thread-label prefix and action-reference key.
     pub name: String,
@@ -168,15 +152,13 @@ pub struct ContainerSpec {
     /// Workload to run.
     pub workload: WorkloadSpec,
     /// Number of closed-loop threads (default 1).
-    #[serde(default)]
     pub threads: Option<u32>,
     /// Delay before the workload starts, seconds (default 0).
-    #[serde(default)]
     pub start_secs: Option<u64>,
 }
 
 /// One VM.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct VmSpec {
     /// Guest RAM, MiB.
     pub mem_mb: u64,
@@ -187,8 +169,7 @@ pub struct VmSpec {
 }
 
 /// A timed reconfiguration action, referencing containers by name.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "action", rename_all = "snake_case")]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ActionSpec {
     /// SET_CG_WEIGHT: change a container's `<T, W>` policy.
     SetContainerPolicy {
@@ -233,8 +214,80 @@ pub enum ActionSpec {
     },
 }
 
+/// One fault window of a [`FaultSpec`] schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultWindowSpec {
+    /// Window start, virtual seconds.
+    pub from_secs: u64,
+    /// Window end (exclusive), virtual seconds; `None` = never ends.
+    pub until_secs: Option<u64>,
+    /// `"transient_errors"`, `"latency_spike"`, `"brownout"` or
+    /// `"death"`.
+    pub kind: String,
+    /// Failure probability per operation (required for
+    /// `transient_errors` and `brownout`).
+    pub error_rate: Option<f64>,
+    /// Added latency per surviving operation, microseconds (required for
+    /// `latency_spike` and `brownout`).
+    pub extra_latency_us: Option<u64>,
+}
+
+impl FaultWindowSpec {
+    fn to_kind(&self) -> Result<FaultKind, ScenarioError> {
+        let rate = || {
+            self.error_rate
+                .ok_or_else(|| err(format!("fault kind {:?} needs \"error_rate\"", self.kind)))
+        };
+        let extra = || {
+            self.extra_latency_us
+                .map(SimDuration::from_micros)
+                .ok_or_else(|| {
+                    err(format!(
+                        "fault kind {:?} needs \"extra_latency_us\"",
+                        self.kind
+                    ))
+                })
+        };
+        Ok(match self.kind.as_str() {
+            "transient_errors" => FaultKind::TransientErrors { rate: rate()? },
+            "latency_spike" => FaultKind::LatencySpike { extra: extra()? },
+            "brownout" => FaultKind::Brownout {
+                rate: rate()?,
+                extra: extra()?,
+            },
+            "death" => FaultKind::Death,
+            other => return Err(err(format!("unknown fault kind {other:?}"))),
+        })
+    }
+
+    fn add_to(&self, schedule: &mut FaultSchedule) -> Result<(), ScenarioError> {
+        schedule.add_window(
+            SimTime::from_secs(self.from_secs),
+            self.until_secs.map(SimTime::from_secs),
+            self.to_kind()?,
+        );
+        Ok(())
+    }
+}
+
+/// Declarative fault-injection plan: seeded schedules on the cache's SSD
+/// store and on every VM's hypercall channel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// RNG seed for the fault schedules (per-VM channel schedules derive
+    /// distinct sub-seeds from it).
+    pub seed: u64,
+    /// Where SSD-bound puts go while the tier is quarantined: `"to_mem"`
+    /// (default) or `"reject"`.
+    pub ssd_fallback: Option<String>,
+    /// Fault windows on the SSD store.
+    pub ssd: Vec<FaultWindowSpec>,
+    /// Fault windows applied to each VM's hypercall channel.
+    pub channel: Vec<FaultWindowSpec>,
+}
+
 /// A complete experiment description.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioSpec {
     /// Display name.
     pub name: String,
@@ -243,17 +296,16 @@ pub struct ScenarioSpec {
     /// Virtual run length, seconds.
     pub duration_secs: u64,
     /// Probe sampling interval, seconds (default 1).
-    #[serde(default)]
     pub sample_secs: Option<u64>,
     /// Open the steady-state measurement window at this time (default:
     /// half the duration).
-    #[serde(default)]
     pub warmup_secs: Option<u64>,
     /// The VMs.
     pub vms: Vec<VmSpec>,
     /// Timed reconfigurations.
-    #[serde(default)]
     pub schedule: Vec<ActionSpec>,
+    /// Optional fault-injection plan.
+    pub faults: Option<FaultSpec>,
 }
 
 impl ScenarioSpec {
@@ -263,12 +315,440 @@ impl ScenarioSpec {
     ///
     /// Returns a [`ScenarioError`] describing the parse failure.
     pub fn from_json(json: &str) -> Result<ScenarioSpec, ScenarioError> {
-        serde_json::from_str(json).map_err(|e| err(e.to_string()))
+        let root = Json::parse(json).map_err(|e| err(e.to_string()))?;
+        parse::scenario(&root)
     }
 
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("plain data serializes")
+        emit::scenario(self).to_string_pretty()
+    }
+}
+
+/// JSON → spec conversion (hand-rolled; the workspace builds offline
+/// without serde).
+mod parse {
+    use super::*;
+
+    fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, ScenarioError> {
+        obj.get(key)
+            .ok_or_else(|| err(format!("missing field {key:?}")))
+    }
+
+    fn u64_field(obj: &Json, key: &str) -> Result<u64, ScenarioError> {
+        field(obj, key)?
+            .as_u64()
+            .ok_or_else(|| err(format!("field {key:?} must be a non-negative integer")))
+    }
+
+    fn str_field(obj: &Json, key: &str) -> Result<String, ScenarioError> {
+        Ok(field(obj, key)?
+            .as_str()
+            .ok_or_else(|| err(format!("field {key:?} must be a string")))?
+            .to_owned())
+    }
+
+    fn opt_u64(obj: &Json, key: &str) -> Result<Option<u64>, ScenarioError> {
+        match obj.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| err(format!("field {key:?} must be a non-negative integer"))),
+        }
+    }
+
+    fn opt_f64(obj: &Json, key: &str) -> Result<Option<f64>, ScenarioError> {
+        match obj.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| err(format!("field {key:?} must be a number"))),
+        }
+    }
+
+    fn list<'a>(obj: &'a Json, key: &str) -> Result<&'a [Json], ScenarioError> {
+        match obj.get(key) {
+            None | Some(Json::Null) => Ok(&[]),
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| err(format!("field {key:?} must be an array"))),
+        }
+    }
+
+    fn cache(v: &Json) -> Result<CacheSpec, ScenarioError> {
+        let compression = match v.get("compression") {
+            None | Some(Json::Null) => None,
+            Some(c) => {
+                let pair = c
+                    .as_array()
+                    .filter(|a| a.len() == 2)
+                    .ok_or_else(|| err("\"compression\" must be a [millipages, codec_us] pair"))?;
+                Some((
+                    pair[0]
+                        .as_u64()
+                        .ok_or_else(|| err("compression millipages must be an integer"))?,
+                    pair[1]
+                        .as_u64()
+                        .ok_or_else(|| err("compression codec_us must be an integer"))?,
+                ))
+            }
+        };
+        Ok(CacheSpec {
+            mem_mb: u64_field(v, "mem_mb")?,
+            ssd_mb: opt_u64(v, "ssd_mb")?.unwrap_or(0),
+            mode: match v.get("mode") {
+                None | Some(Json::Null) => None,
+                Some(m) => Some(
+                    m.as_str()
+                        .ok_or_else(|| err("\"mode\" must be a string"))?
+                        .to_owned(),
+                ),
+            },
+            compression,
+        })
+    }
+
+    fn policy(v: &Json) -> Result<PolicySpec, ScenarioError> {
+        Ok(PolicySpec {
+            store: str_field(v, "store")?,
+            weight: opt_u64(v, "weight")?.unwrap_or(0) as u32,
+        })
+    }
+
+    fn workload(v: &Json) -> Result<WorkloadSpec, ScenarioError> {
+        let opt_usize = |key: &str| -> Result<Option<usize>, ScenarioError> {
+            Ok(opt_u64(v, key)?.map(|n| n as usize))
+        };
+        Ok(match field(v, "kind")?.as_str() {
+            Some("webserver") => WorkloadSpec::Webserver {
+                files: opt_usize("files")?,
+                zipf_theta: opt_f64(v, "zipf_theta")?,
+                think_us: opt_u64(v, "think_us")?,
+            },
+            Some("proxycache") => WorkloadSpec::Proxycache {
+                files: opt_usize("files")?,
+            },
+            Some("mail") => WorkloadSpec::Mail {
+                files: opt_usize("files")?,
+            },
+            Some("videoserver") => WorkloadSpec::Videoserver {
+                videos: opt_usize("videos")?,
+                video_blocks: opt_u64(v, "video_blocks")?.map(|n| n as u32),
+            },
+            Some("fileserver") => WorkloadSpec::Fileserver {
+                files: opt_usize("files")?,
+            },
+            Some("oltp") => WorkloadSpec::Oltp {
+                data_blocks: opt_u64(v, "data_blocks")?,
+                write_fraction: opt_f64(v, "write_fraction")?,
+            },
+            Some("ycsb") => WorkloadSpec::Ycsb {
+                store: str_field(v, "store")?,
+                dataset_blocks: u64_field(v, "dataset_blocks")?,
+                update_fraction: opt_f64(v, "update_fraction")?,
+            },
+            Some(other) => return Err(err(format!("unknown workload kind {other:?}"))),
+            None => return Err(err("workload needs a string \"kind\"")),
+        })
+    }
+
+    fn container(v: &Json) -> Result<ContainerSpec, ScenarioError> {
+        Ok(ContainerSpec {
+            name: str_field(v, "name")?,
+            limit_mb: u64_field(v, "limit_mb")?,
+            policy: policy(field(v, "policy")?)?,
+            workload: workload(field(v, "workload")?)?,
+            threads: opt_u64(v, "threads")?.map(|n| n as u32),
+            start_secs: opt_u64(v, "start_secs")?,
+        })
+    }
+
+    fn vm(v: &Json) -> Result<VmSpec, ScenarioError> {
+        Ok(VmSpec {
+            mem_mb: u64_field(v, "mem_mb")?,
+            weight: u64_field(v, "weight")?,
+            containers: list(v, "containers")?
+                .iter()
+                .map(container)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    fn action(v: &Json) -> Result<ActionSpec, ScenarioError> {
+        let at_secs = u64_field(v, "at_secs")?;
+        Ok(match field(v, "action")?.as_str() {
+            Some("set_container_policy") => ActionSpec::SetContainerPolicy {
+                at_secs,
+                container: str_field(v, "container")?,
+                policy: policy(field(v, "policy")?)?,
+            },
+            Some("set_vm_weight") => ActionSpec::SetVmWeight {
+                at_secs,
+                vm: u64_field(v, "vm")? as usize,
+                weight: u64_field(v, "weight")?,
+            },
+            Some("set_mem_capacity_mb") => ActionSpec::SetMemCapacityMb {
+                at_secs,
+                mem_mb: u64_field(v, "mem_mb")?,
+            },
+            Some("set_container_limit_mb") => ActionSpec::SetContainerLimitMb {
+                at_secs,
+                container: str_field(v, "container")?,
+                limit_mb: u64_field(v, "limit_mb")?,
+            },
+            Some("drop_caches") => ActionSpec::DropCaches {
+                at_secs,
+                container: str_field(v, "container")?,
+            },
+            Some(other) => return Err(err(format!("unknown action {other:?}"))),
+            None => return Err(err("schedule entry needs a string \"action\"")),
+        })
+    }
+
+    fn fault_window(v: &Json) -> Result<FaultWindowSpec, ScenarioError> {
+        Ok(FaultWindowSpec {
+            from_secs: u64_field(v, "from_secs")?,
+            until_secs: opt_u64(v, "until_secs")?,
+            kind: str_field(v, "kind")?,
+            error_rate: opt_f64(v, "error_rate")?,
+            extra_latency_us: opt_u64(v, "extra_latency_us")?,
+        })
+    }
+
+    fn faults(v: &Json) -> Result<FaultSpec, ScenarioError> {
+        Ok(FaultSpec {
+            seed: u64_field(v, "seed")?,
+            ssd_fallback: match v.get("ssd_fallback") {
+                None | Some(Json::Null) => None,
+                Some(m) => Some(
+                    m.as_str()
+                        .ok_or_else(|| err("\"ssd_fallback\" must be a string"))?
+                        .to_owned(),
+                ),
+            },
+            ssd: list(v, "ssd")?
+                .iter()
+                .map(fault_window)
+                .collect::<Result<_, _>>()?,
+            channel: list(v, "channel")?
+                .iter()
+                .map(fault_window)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    pub(super) fn scenario(v: &Json) -> Result<ScenarioSpec, ScenarioError> {
+        Ok(ScenarioSpec {
+            name: str_field(v, "name")?,
+            cache: cache(field(v, "cache")?)?,
+            duration_secs: u64_field(v, "duration_secs")?,
+            sample_secs: opt_u64(v, "sample_secs")?,
+            warmup_secs: opt_u64(v, "warmup_secs")?,
+            vms: list(v, "vms")?.iter().map(vm).collect::<Result<_, _>>()?,
+            schedule: list(v, "schedule")?
+                .iter()
+                .map(action)
+                .collect::<Result<_, _>>()?,
+            faults: match v.get("faults") {
+                None | Some(Json::Null) => None,
+                Some(f) => Some(faults(f)?),
+            },
+        })
+    }
+}
+
+/// Spec → JSON conversion. Optional fields are emitted only when set, so
+/// `from_json(to_json(spec)) == spec` and emission is deterministic.
+mod emit {
+    use super::*;
+
+    fn policy(p: &PolicySpec) -> Json {
+        let mut v = Json::object();
+        v.set("store", p.store.as_str());
+        v.set("weight", p.weight);
+        v
+    }
+
+    fn set_opt(v: &mut Json, key: &str, value: Option<impl Into<Json>>) {
+        if let Some(value) = value {
+            v.set(key, value);
+        }
+    }
+
+    fn workload(w: &WorkloadSpec) -> Json {
+        let mut v = Json::object();
+        match w {
+            WorkloadSpec::Webserver {
+                files,
+                zipf_theta,
+                think_us,
+            } => {
+                v.set("kind", "webserver");
+                set_opt(&mut v, "files", *files);
+                set_opt(&mut v, "zipf_theta", *zipf_theta);
+                set_opt(&mut v, "think_us", *think_us);
+            }
+            WorkloadSpec::Proxycache { files } => {
+                v.set("kind", "proxycache");
+                set_opt(&mut v, "files", *files);
+            }
+            WorkloadSpec::Mail { files } => {
+                v.set("kind", "mail");
+                set_opt(&mut v, "files", *files);
+            }
+            WorkloadSpec::Videoserver {
+                videos,
+                video_blocks,
+            } => {
+                v.set("kind", "videoserver");
+                set_opt(&mut v, "videos", *videos);
+                set_opt(&mut v, "video_blocks", *video_blocks);
+            }
+            WorkloadSpec::Fileserver { files } => {
+                v.set("kind", "fileserver");
+                set_opt(&mut v, "files", *files);
+            }
+            WorkloadSpec::Oltp {
+                data_blocks,
+                write_fraction,
+            } => {
+                v.set("kind", "oltp");
+                set_opt(&mut v, "data_blocks", *data_blocks);
+                set_opt(&mut v, "write_fraction", *write_fraction);
+            }
+            WorkloadSpec::Ycsb {
+                store,
+                dataset_blocks,
+                update_fraction,
+            } => {
+                v.set("kind", "ycsb");
+                v.set("store", store.as_str());
+                v.set("dataset_blocks", *dataset_blocks);
+                set_opt(&mut v, "update_fraction", *update_fraction);
+            }
+        }
+        v
+    }
+
+    fn container(c: &ContainerSpec) -> Json {
+        let mut v = Json::object();
+        v.set("name", c.name.as_str());
+        v.set("limit_mb", c.limit_mb);
+        v.set("policy", policy(&c.policy));
+        v.set("workload", workload(&c.workload));
+        set_opt(&mut v, "threads", c.threads);
+        set_opt(&mut v, "start_secs", c.start_secs);
+        v
+    }
+
+    fn action(a: &ActionSpec) -> Json {
+        let mut v = Json::object();
+        match a {
+            ActionSpec::SetContainerPolicy {
+                at_secs,
+                container,
+                policy: p,
+            } => {
+                v.set("action", "set_container_policy");
+                v.set("at_secs", *at_secs);
+                v.set("container", container.as_str());
+                v.set("policy", policy(p));
+            }
+            ActionSpec::SetVmWeight {
+                at_secs,
+                vm,
+                weight,
+            } => {
+                v.set("action", "set_vm_weight");
+                v.set("at_secs", *at_secs);
+                v.set("vm", *vm);
+                v.set("weight", *weight);
+            }
+            ActionSpec::SetMemCapacityMb { at_secs, mem_mb } => {
+                v.set("action", "set_mem_capacity_mb");
+                v.set("at_secs", *at_secs);
+                v.set("mem_mb", *mem_mb);
+            }
+            ActionSpec::SetContainerLimitMb {
+                at_secs,
+                container,
+                limit_mb,
+            } => {
+                v.set("action", "set_container_limit_mb");
+                v.set("at_secs", *at_secs);
+                v.set("container", container.as_str());
+                v.set("limit_mb", *limit_mb);
+            }
+            ActionSpec::DropCaches { at_secs, container } => {
+                v.set("action", "drop_caches");
+                v.set("at_secs", *at_secs);
+                v.set("container", container.as_str());
+            }
+        }
+        v
+    }
+
+    pub(super) fn scenario(s: &ScenarioSpec) -> Json {
+        let mut v = Json::object();
+        v.set("name", s.name.as_str());
+        let mut cache = Json::object();
+        cache.set("mem_mb", s.cache.mem_mb);
+        cache.set("ssd_mb", s.cache.ssd_mb);
+        set_opt(&mut cache, "mode", s.cache.mode.as_deref());
+        if let Some((millipages, codec_us)) = s.cache.compression {
+            cache.set(
+                "compression",
+                vec![Json::from(millipages), Json::from(codec_us)],
+            );
+        }
+        v.set("cache", cache);
+        v.set("duration_secs", s.duration_secs);
+        set_opt(&mut v, "sample_secs", s.sample_secs);
+        set_opt(&mut v, "warmup_secs", s.warmup_secs);
+        v.set("vms", s.vms.iter().map(container_list).collect::<Vec<_>>());
+        v.set(
+            "schedule",
+            s.schedule.iter().map(action).collect::<Vec<_>>(),
+        );
+        if let Some(f) = &s.faults {
+            v.set("faults", faults(f));
+        }
+        v
+    }
+
+    fn fault_window(w: &FaultWindowSpec) -> Json {
+        let mut v = Json::object();
+        v.set("from_secs", w.from_secs);
+        set_opt(&mut v, "until_secs", w.until_secs);
+        v.set("kind", w.kind.as_str());
+        set_opt(&mut v, "error_rate", w.error_rate);
+        set_opt(&mut v, "extra_latency_us", w.extra_latency_us);
+        v
+    }
+
+    fn faults(f: &FaultSpec) -> Json {
+        let mut v = Json::object();
+        v.set("seed", f.seed);
+        set_opt(&mut v, "ssd_fallback", f.ssd_fallback.as_deref());
+        v.set("ssd", f.ssd.iter().map(fault_window).collect::<Vec<_>>());
+        v.set(
+            "channel",
+            f.channel.iter().map(fault_window).collect::<Vec<_>>(),
+        );
+        v
+    }
+
+    fn container_list(vm: &VmSpec) -> Json {
+        let mut v = Json::object();
+        v.set("mem_mb", vm.mem_mb);
+        v.set("weight", vm.weight);
+        v.set(
+            "containers",
+            vm.containers.iter().map(container).collect::<Vec<_>>(),
+        );
+        v
     }
 }
 
@@ -410,6 +890,35 @@ pub fn build(spec: &ScenarioSpec) -> Result<Experiment, ScenarioError> {
                 seed += 1;
                 let label = format!("{}/t{t}", c.name);
                 threads.push((start, make_thread(&c.workload, label, vm, cg, seed)?));
+            }
+        }
+    }
+
+    if let Some(f) = &spec.faults {
+        match f.ssd_fallback.as_deref() {
+            None | Some("to_mem") => host.set_ssd_fallback_mode(FallbackMode::ToMem),
+            Some("reject") => host.set_ssd_fallback_mode(FallbackMode::Reject),
+            Some(other) => return Err(err(format!("unknown ssd_fallback {other:?}"))),
+        }
+        if !f.ssd.is_empty() {
+            let mut schedule = FaultSchedule::new(f.seed);
+            for w in &f.ssd {
+                w.add_to(&mut schedule)?;
+            }
+            host.set_ssd_fault_schedule(Some(schedule));
+        }
+        if !f.channel.is_empty() {
+            for (i, vm) in vm_ids.iter().enumerate() {
+                // Distinct deterministic sub-seed per VM so channels
+                // don't fault in lockstep.
+                let sub_seed = f
+                    .seed
+                    .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut schedule = FaultSchedule::new(sub_seed);
+                for w in &f.channel {
+                    w.add_to(&mut schedule)?;
+                }
+                host.set_channel_fault_schedule(*vm, Some(schedule));
             }
         }
     }
@@ -605,6 +1114,80 @@ mod tests {
         let spec = ScenarioSpec::from_json(&bad_ref).unwrap();
         let e = build(&spec).unwrap_err();
         assert!(e.to_string().contains("nope"), "{e}");
+    }
+
+    #[test]
+    fn fault_plan_roundtrips_and_degrades_gracefully() {
+        let json = r#"{
+            "name": "brownout",
+            "cache": { "mem_mb": 4, "ssd_mb": 64 },
+            "duration_secs": 8,
+            "warmup_secs": 0,
+            "vms": [ { "mem_mb": 8, "weight": 100, "containers": [
+                { "name": "web", "limit_mb": 2,
+                  "policy": { "store": "ssd", "weight": 100 },
+                  "workload": { "kind": "webserver", "files": 400 } }
+            ] } ],
+            "faults": {
+                "seed": 42,
+                "ssd_fallback": "to_mem",
+                "ssd": [ { "from_secs": 2, "until_secs": 5,
+                           "kind": "brownout", "error_rate": 0.5,
+                           "extra_latency_us": 500 } ],
+                "channel": [ { "from_secs": 3, "until_secs": 4,
+                               "kind": "transient_errors",
+                               "error_rate": 0.2 } ]
+            }
+        }"#;
+        let spec = ScenarioSpec::from_json(json).unwrap();
+        let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec, "fault plan survives the JSON roundtrip");
+        let report = run(&spec).unwrap();
+        assert!(report.faults.ssd_quarantines > 0, "SSD faults observed");
+        assert!(report.faults.failed_puts + report.faults.failed_gets > 0);
+        assert!(report.faults.channel_dropped_calls > 0);
+        assert!(
+            report.threads[0].ops > 0,
+            "workload survives the fault window"
+        );
+        // Determinism: the identical spec reruns to a byte-identical
+        // report.
+        let again = run(&spec).unwrap();
+        assert_eq!(again.to_json(), report.to_json());
+    }
+
+    #[test]
+    fn fault_plan_validation_errors() {
+        let base = r#"{
+            "name": "bad",
+            "cache": { "mem_mb": 4, "ssd_mb": 16 },
+            "duration_secs": 1,
+            "vms": [],
+            "faults": { "seed": 1, "ssd": [ WINDOW ] }
+        }"#;
+        let bad_kind = base.replace("WINDOW", r#"{ "from_secs": 0, "kind": "gremlins" }"#);
+        let spec = ScenarioSpec::from_json(&bad_kind).unwrap();
+        let e = build(&spec).unwrap_err();
+        assert!(e.to_string().contains("gremlins"), "{e}");
+
+        let missing_rate = base.replace(
+            "WINDOW",
+            r#"{ "from_secs": 0, "kind": "transient_errors" }"#,
+        );
+        let spec = ScenarioSpec::from_json(&missing_rate).unwrap();
+        let e = build(&spec).unwrap_err();
+        assert!(e.to_string().contains("error_rate"), "{e}");
+
+        let bad_fallback = r#"{
+            "name": "bad",
+            "cache": { "mem_mb": 4, "ssd_mb": 16 },
+            "duration_secs": 1,
+            "vms": [],
+            "faults": { "seed": 1, "ssd_fallback": "panic" }
+        }"#;
+        let spec = ScenarioSpec::from_json(bad_fallback).unwrap();
+        let e = build(&spec).unwrap_err();
+        assert!(e.to_string().contains("panic"), "{e}");
     }
 
     #[test]

@@ -252,23 +252,28 @@ mod tests {
         assert_eq!(n, 8);
     }
 
-    mod proptests {
+    /// Seeded randomized schedules (in-tree replacement for proptest,
+    /// which is unavailable offline).
+    mod randomized {
         use super::*;
-        use proptest::prelude::*;
+        use ddc_sim::SimRng;
 
-        proptest! {
-            /// resident + swapped == allocated at all times.
-            #[test]
-            fn residency_partition(ops in proptest::collection::vec((0u8..16, 0u8..2), 0..300)) {
+        /// resident + swapped == allocated at all times.
+        #[test]
+        fn residency_partition() {
+            let mut rng = SimRng::new(0xA404);
+            for case in 0..200 {
+                let mut r = rng.fork(case);
                 let mut a = AnonSpace::new();
                 a.grow(16);
-                for (page, op) in ops {
-                    match op {
-                        0 => { a.touch(page as u64); }
-                        _ => { a.swap_out_lru(); }
+                for _ in 0..r.range_u64(0, 300) {
+                    if r.chance(0.5) {
+                        a.touch(r.range_u64(0, 16));
+                    } else {
+                        a.swap_out_lru();
                     }
-                    prop_assert_eq!(a.resident() + a.swapped(), a.allocated());
-                    prop_assert!(a.resident() <= 16);
+                    assert_eq!(a.resident() + a.swapped(), a.allocated());
+                    assert!(a.resident() <= 16);
                 }
             }
         }

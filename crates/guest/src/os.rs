@@ -4,7 +4,7 @@
 use ddc_cleancache::{
     CachePolicy, GetOutcome, HypercallChannel, PageVersion, PoolStats, SecondChanceCache, VmId,
 };
-use ddc_sim::{SimDuration, SimTime};
+use ddc_sim::{FaultSchedule, SimDuration, SimTime};
 use ddc_storage::{BlockAddr, Device, FileId, PAGE_SIZE};
 
 use std::collections::{BTreeMap, HashMap};
@@ -167,6 +167,13 @@ impl GuestOs {
         self.channel.set_enabled(enabled);
     }
 
+    /// Installs (or clears) a fault schedule on the hypercall channel
+    /// (dropped or slowed get/put calls). Flush and control hypercalls
+    /// stay reliable; see [`HypercallChannel::set_fault_schedule`].
+    pub fn set_channel_fault_schedule(&mut self, faults: Option<FaultSchedule>) {
+        self.channel.set_fault_schedule(faults);
+    }
+
     // ------------------------------------------------------------------
     // Cgroup lifecycle (the paper's CREATE_CGROUP / SET_CG_WEIGHT /
     // DESTROY_CGROUP events).
@@ -229,17 +236,17 @@ impl GuestOs {
     /// Destroys a cgroup: notifies the hypervisor cache (DESTROY_CGROUP)
     /// and frees all guest memory charged to it.
     ///
-    /// # Panics
-    ///
-    /// Panics if the cgroup does not exist.
-    pub fn destroy_cgroup(&mut self, env: &mut GuestEnv<'_>, cg: CgroupId) {
-        let cgroup = self
-            .cgroups
-            .remove(&cg)
-            .unwrap_or_else(|| panic!("unknown {cg}"));
+    /// Returns `false` (without side effects) if the cgroup does not
+    /// exist, so teardown paths can be retried safely after a partial
+    /// failure.
+    pub fn destroy_cgroup(&mut self, env: &mut GuestEnv<'_>, cg: CgroupId) -> bool {
+        let Some(cgroup) = self.cgroups.remove(&cg) else {
+            return false;
+        };
         if let Some(pool) = cgroup.pool() {
             self.channel.destroy_pool(env.backend, pool);
         }
+        true
     }
 
     /// GET_STATS for one container's hypervisor cache pool.
@@ -1090,9 +1097,13 @@ mod tests {
         }
         let used_before = guest.used_pages();
         assert!(used_before > 0);
-        guest.destroy_cgroup(&mut env, cg);
+        assert!(guest.destroy_cgroup(&mut env, cg));
         assert_eq!(guest.used_pages(), 0);
         assert!(guest.cgroup_ids().is_empty());
+        assert!(
+            !guest.destroy_cgroup(&mut env, cg),
+            "double destroy is a safe no-op"
+        );
     }
 
     #[test]

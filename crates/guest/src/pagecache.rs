@@ -352,46 +352,68 @@ mod tests {
         assert_eq!(popped.len(), 8);
     }
 
-    mod proptests {
+    /// Seeded randomized schedules (in-tree replacement for proptest,
+    /// which is unavailable offline).
+    mod randomized {
         use super::*;
-        use proptest::prelude::*;
+        use ddc_sim::SimRng;
 
-        proptest! {
-            /// `len()` always equals the number of live pages, and pop_lru
-            /// drains exactly the resident set.
-            #[test]
-            fn len_matches_drain(ops in proptest::collection::vec((0u8..32, 0u8..3), 0..300)) {
+        /// `len()` always equals the number of live pages, and pop_lru
+        /// drains exactly the resident set.
+        #[test]
+        fn len_matches_drain() {
+            let mut rng = SimRng::new(0xBCAC4E);
+            for case in 0..200 {
+                let mut r = rng.fork(case);
                 let mut pc = PageCache::new();
                 let mut model = std::collections::HashSet::new();
-                for (block, op) in ops {
-                    let a = addr(1, block as u64);
-                    match op {
-                        0 => { pc.insert(a, false, PageVersion(0)); model.insert(a); }
-                        1 => { pc.remove(a); model.remove(&a); }
-                        _ => { pc.touch(a); }
+                for _ in 0..r.range_u64(0, 300) {
+                    let a = addr(1, r.range_u64(0, 32));
+                    match r.range_u64(0, 3) {
+                        0 => {
+                            pc.insert(a, false, PageVersion(0));
+                            model.insert(a);
+                        }
+                        1 => {
+                            pc.remove(a);
+                            model.remove(&a);
+                        }
+                        _ => {
+                            pc.touch(a);
+                        }
                     }
-                    prop_assert_eq!(pc.len(), model.len() as u64);
+                    assert_eq!(pc.len(), model.len() as u64);
                 }
                 let mut drained = 0;
-                while pc.pop_lru().is_some() { drained += 1; }
-                prop_assert_eq!(drained, model.len());
+                while pc.pop_lru().is_some() {
+                    drained += 1;
+                }
+                assert_eq!(drained, model.len());
             }
+        }
 
-            /// LRU pops come out in non-decreasing last-touch order.
-            #[test]
-            fn pop_order_respects_touches(touches in proptest::collection::vec(0u8..16, 1..100)) {
+        /// LRU pops come out in non-decreasing last-touch order.
+        #[test]
+        fn pop_order_respects_touches() {
+            let mut rng = SimRng::new(0xBCAC4F);
+            for case in 0..200 {
+                let mut r = rng.fork(case);
                 let mut pc = PageCache::new();
                 let mut last_touch: HashMap<BlockAddr, usize> = HashMap::new();
-                for (i, b) in touches.iter().enumerate() {
-                    let a = addr(1, *b as u64);
-                    if pc.contains(a) { pc.touch(a); } else { pc.insert(a, false, PageVersion(0)); }
+                for i in 0..r.range_usize(1, 100) {
+                    let a = addr(1, r.range_u64(0, 16));
+                    if pc.contains(a) {
+                        pc.touch(a);
+                    } else {
+                        pc.insert(a, false, PageVersion(0));
+                    }
                     last_touch.insert(a, i);
                 }
                 let mut prev = None;
                 while let Some((a, _)) = pc.pop_lru() {
                     let t = last_touch[&a];
                     if let Some(p) = prev {
-                        prop_assert!(t > p, "pop order must follow last-touch order");
+                        assert!(t > p, "pop order must follow last-touch order");
                     }
                     prev = Some(t);
                 }

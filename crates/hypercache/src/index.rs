@@ -46,6 +46,10 @@ pub struct PoolCounters {
     pub puts: u64,
     /// Objects evicted by the policy module.
     pub evictions: u64,
+    /// Lookups that failed on a store fault.
+    pub failed_gets: u64,
+    /// Stores that failed on a store fault.
+    pub failed_puts: u64,
 }
 
 /// The index for one container's cache pool.
@@ -193,6 +197,35 @@ impl Pool {
                 Placement::Ssd => freed.1 += 1,
             }
             self.debit(slot.placement);
+        }
+        freed
+    }
+
+    /// Drains every object held in one store, returning how many pages
+    /// were freed (tier quarantine: a failed store's contents must be
+    /// invalidated wholesale, never served again).
+    pub fn drain_placement(&mut self, placement: Placement) -> u64 {
+        let mut freed = 0;
+        self.files.retain(|_, blocks| {
+            blocks.retain(|_, slot| {
+                if slot.placement == placement {
+                    freed += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            !blocks.is_empty()
+        });
+        match placement {
+            Placement::Mem => {
+                self.fifo_mem.clear();
+                self.used_mem = 0;
+            }
+            Placement::Ssd => {
+                self.fifo_ssd.clear();
+                self.used_ssd = 0;
+            }
         }
         freed
     }
@@ -371,76 +404,81 @@ mod tests {
         let _ = PoolId(0);
     }
 
-    mod proptests {
+    /// Seeded randomized schedules (in-tree replacement for proptest,
+    /// which is unavailable offline): deterministic, broad coverage.
+    mod randomized {
         use super::*;
-        use proptest::prelude::*;
+        use ddc_sim::SimRng;
 
-        #[derive(Debug, Clone)]
-        enum Op {
-            Insert(u8, u8, bool),
-            Remove(u8, u8),
-            PopMem,
-            PopSsd,
-        }
-
-        fn op_strategy() -> impl Strategy<Value = Op> {
-            prop_oneof![
-                (0u8..4, 0u8..16, any::<bool>()).prop_map(|(f, b, m)| Op::Insert(f, b, m)),
-                (0u8..4, 0u8..16).prop_map(|(f, b)| Op::Remove(f, b)),
-                Just(Op::PopMem),
-                Just(Op::PopSsd),
-            ]
-        }
-
-        proptest! {
-            /// Accounting invariant: `used(placement)` always equals the
-            /// number of live objects with that placement, under any
-            /// operation sequence.
-            #[test]
-            fn usage_accounting_matches_index(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        /// Accounting invariant: `used(placement)` always equals the
+        /// number of live objects with that placement, under any
+        /// operation sequence.
+        #[test]
+        fn usage_accounting_matches_index() {
+            let mut rng = SimRng::new(0xA11C0);
+            for case in 0..200 {
+                let mut case_rng = rng.fork(case);
                 let mut p = Pool::new(VmId(0), CachePolicy::mem(100));
                 let mut seq = 0u64;
-                for op in ops {
-                    match op {
-                        Op::Insert(f, b, mem) => {
+                for _ in 0..case_rng.range_u64(0, 200) {
+                    let f = case_rng.range_u64(0, 4);
+                    let b = case_rng.range_u64(0, 16);
+                    match case_rng.range_u64(0, 4) {
+                        0 => {
                             seq += 1;
-                            let placement = if mem { Placement::Mem } else { Placement::Ssd };
-                            p.insert(addr(f as u64, b as u64), placement, PageVersion(seq), seq);
+                            let placement = if case_rng.chance(0.5) {
+                                Placement::Mem
+                            } else {
+                                Placement::Ssd
+                            };
+                            p.insert(addr(f, b), placement, PageVersion(seq), seq);
                         }
-                        Op::Remove(f, b) => {
-                            p.remove(addr(f as u64, b as u64));
+                        1 => {
+                            p.remove(addr(f, b));
                         }
-                        Op::PopMem => {
+                        2 => {
                             p.pop_oldest(Placement::Mem);
                         }
-                        Op::PopSsd => {
+                        _ => {
                             p.pop_oldest(Placement::Ssd);
                         }
                     }
-                    let mem_live = p.iter().filter(|(_, s)| s.placement == Placement::Mem).count() as u64;
-                    let ssd_live = p.iter().filter(|(_, s)| s.placement == Placement::Ssd).count() as u64;
-                    prop_assert_eq!(p.used(Placement::Mem), mem_live);
-                    prop_assert_eq!(p.used(Placement::Ssd), ssd_live);
-                    prop_assert_eq!(p.total_used(), mem_live + ssd_live);
+                    let mem_live = p
+                        .iter()
+                        .filter(|(_, s)| s.placement == Placement::Mem)
+                        .count() as u64;
+                    let ssd_live = p
+                        .iter()
+                        .filter(|(_, s)| s.placement == Placement::Ssd)
+                        .count() as u64;
+                    assert_eq!(p.used(Placement::Mem), mem_live);
+                    assert_eq!(p.used(Placement::Ssd), ssd_live);
+                    assert_eq!(p.total_used(), mem_live + ssd_live);
                 }
             }
+        }
 
-            /// `pop_oldest` never returns an object that was removed, and
-            /// always returns objects in strictly increasing seq order.
-            #[test]
-            fn pop_order_is_monotone(blocks in proptest::collection::vec((0u8..4, 0u8..16), 1..50)) {
+        /// `pop_oldest` never returns an object that was removed, and
+        /// always returns objects in strictly increasing seq order.
+        #[test]
+        fn pop_order_is_monotone() {
+            let mut rng = SimRng::new(0xA11C1);
+            for case in 0..200 {
+                let mut case_rng = rng.fork(case);
                 let mut p = Pool::new(VmId(0), CachePolicy::mem(100));
-                for (i, (f, b)) in blocks.iter().enumerate() {
-                    p.insert(addr(*f as u64, *b as u64), Placement::Mem, PageVersion(0), i as u64);
+                for i in 0..case_rng.range_u64(1, 50) {
+                    let f = case_rng.range_u64(0, 4);
+                    let b = case_rng.range_u64(0, 16);
+                    p.insert(addr(f, b), Placement::Mem, PageVersion(0), i);
                 }
                 let mut last_seq = None;
                 while let Some((_, slot)) = p.pop_oldest(Placement::Mem) {
                     if let Some(prev) = last_seq {
-                        prop_assert!(slot.seq > prev);
+                        assert!(slot.seq > prev);
                     }
                     last_seq = Some(slot.seq);
                 }
-                prop_assert!(p.is_empty());
+                assert!(p.is_empty());
             }
         }
     }

@@ -52,7 +52,7 @@ pub mod policy;
 pub mod store;
 
 pub use config::{CacheConfig, PartitionMode, EVICTION_BATCH_PAGES};
-pub use ddcache::{CacheTotals, DoubleDeckerCache, VmUsage};
+pub use ddcache::{CacheTotals, DoubleDeckerCache, FallbackMode, VmUsage};
 pub use policy::{select_victim, select_victim_strict, EntityUsage};
 
 // Re-export the interface vocabulary so downstream crates only need this

@@ -291,72 +291,94 @@ mod tests {
         assert!(shares.iter().all(|&s| s == 3 || s == 4));
     }
 
-    mod proptests {
+    /// Seeded randomized cases (in-tree replacement for proptest, which
+    /// is unavailable offline): deterministic, broad coverage.
+    mod randomized {
         use super::*;
-        use proptest::prelude::*;
+        use ddc_sim::SimRng;
 
-        proptest! {
-            #[test]
-            fn entitlements_always_sum_to_capacity(
-                cap in 0u64..1_000_000,
-                weights in proptest::collection::vec(0u64..1000, 0..8)
-            ) {
+        fn gen_entities(rng: &mut SimRng, lo: usize, hi: usize) -> Vec<EntityUsage> {
+            (0..rng.range_usize(lo, hi))
+                .map(|_| {
+                    EntityUsage::new(
+                        rng.range_u64(0, 10_000),
+                        rng.range_u64(0, 10_000),
+                        rng.range_u64(0, 100),
+                    )
+                })
+                .collect()
+        }
+
+        #[test]
+        fn entitlements_always_sum_to_capacity() {
+            let mut rng = SimRng::new(0xB120);
+            for case in 0..500 {
+                let mut r = rng.fork(case);
+                let cap = r.range_u64(0, 1_000_000);
+                let weights: Vec<u64> = (0..r.range_usize(0, 8))
+                    .map(|_| r.range_u64(0, 1000))
+                    .collect();
                 let shares = entitlements(cap, &weights);
-                prop_assert_eq!(shares.len(), weights.len());
+                assert_eq!(shares.len(), weights.len());
                 if weights.iter().sum::<u64>() == 0 {
-                    prop_assert!(shares.iter().all(|&s| s == 0));
+                    assert!(shares.iter().all(|&s| s == 0));
                 } else {
-                    prop_assert_eq!(shares.iter().sum::<u64>(), cap);
+                    assert_eq!(shares.iter().sum::<u64>(), cap);
                 }
             }
+        }
 
-            #[test]
-            fn zero_weight_gets_zero_share(
-                cap in 1u64..1_000_000,
-                w in 1u64..1000,
-            ) {
+        #[test]
+        fn zero_weight_gets_zero_share() {
+            let mut rng = SimRng::new(0xB121);
+            for case in 0..500 {
+                let mut r = rng.fork(case);
+                let cap = r.range_u64(1, 1_000_000);
+                let w = r.range_u64(1, 1000);
                 let shares = entitlements(cap, &[0, w, 0]);
-                prop_assert_eq!(shares[0], 0);
-                prop_assert_eq!(shares[2], 0);
-                prop_assert_eq!(shares[1], cap);
+                assert_eq!(shares[0], 0);
+                assert_eq!(shares[2], 0);
+                assert_eq!(shares[1], cap);
             }
+        }
 
-            #[test]
-            fn victim_is_always_overused(
-                entities in proptest::collection::vec(
-                    (0u64..10_000, 0u64..10_000, 0u64..100)
-                        .prop_map(|(ent, used, w)| EntityUsage::new(ent, used, w)),
-                    0..10
-                ),
-                eviction in 1u64..2048,
-            ) {
+        #[test]
+        fn victim_is_always_overused() {
+            let mut rng = SimRng::new(0xB122);
+            for case in 0..500 {
+                let mut r = rng.fork(case);
+                let entities = gen_entities(&mut r, 0, 10);
+                let eviction = r.range_u64(1, 2048);
                 if let Some(idx) = select_victim(&entities, eviction) {
                     let v = entities[idx];
-                    prop_assert!(v.entitlement < v.used + eviction,
-                        "victim must be in the overused list");
+                    assert!(
+                        v.entitlement < v.used + eviction,
+                        "victim must be in the overused list"
+                    );
                 } else {
                     // No victim => nobody is over the limit.
                     for e in &entities {
-                        prop_assert!(e.entitlement >= e.used + eviction);
+                        assert!(e.entitlement >= e.used + eviction);
                     }
                 }
             }
+        }
 
-            #[test]
-            fn victim_maximizes_exceed(
-                entities in proptest::collection::vec(
-                    (0u64..10_000, 0u64..10_000, 0u64..100)
-                        .prop_map(|(ent, used, w)| EntityUsage::new(ent, used, w)),
-                    1..10
-                ),
-                eviction in 1u64..2048,
-            ) {
+        #[test]
+        fn victim_maximizes_exceed() {
+            let mut rng = SimRng::new(0xB123);
+            for case in 0..500 {
+                let mut r = rng.fork(case);
+                let entities = gen_entities(&mut r, 1, 10);
+                let eviction = r.range_u64(1, 2048);
                 if let Some(idx) = select_victim(&entities, eviction) {
                     // Recompute b and cw independently.
                     let mut cw = 0u64;
                     let mut b = 0u64;
                     for e in &entities {
-                        if e.entitlement < e.used + eviction { cw += e.weight; }
+                        if e.entitlement < e.used + eviction {
+                            cw += e.weight;
+                        }
                         if e.entitlement.saturating_sub(e.used) > 2 * eviction {
                             b += e.entitlement - e.used;
                         }
@@ -364,7 +386,7 @@ mod tests {
                     let chosen = exceed(entities[idx], eviction, b, cw);
                     for e in entities.iter() {
                         if e.entitlement < e.used + eviction {
-                            prop_assert!(exceed(*e, eviction, b, cw) <= chosen + 1e-9);
+                            assert!(exceed(*e, eviction, b, cw) <= chosen + 1e-9);
                         }
                     }
                 }

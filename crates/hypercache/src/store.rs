@@ -6,8 +6,8 @@
 //! allocation + memcpy) and a raw SSD block layer where reads are
 //! synchronous and writes asynchronous.
 
-use ddc_sim::{SimDuration, SimTime};
-use ddc_storage::{BlockAddr, Device, DeviceKind};
+use ddc_sim::{FaultSchedule, SimDuration, SimTime};
+use ddc_storage::{BlockAddr, Device, DeviceKind, IoError};
 
 use crate::StoreKind;
 
@@ -181,6 +181,43 @@ impl BackingStore {
         }
     }
 
+    /// Attaches (or clears) a fault schedule on the store's device. Only
+    /// the fallible [`try_read`](BackingStore::try_read) /
+    /// [`try_write`](BackingStore::try_write) paths consult it.
+    pub fn set_fault_schedule(&mut self, faults: Option<FaultSchedule>) {
+        self.device.set_fault_schedule(faults);
+    }
+
+    /// Whether the store's device has died permanently.
+    pub fn is_dead(&self) -> bool {
+        self.device.is_dead()
+    }
+
+    /// IOs failed by the device fault schedule.
+    pub fn io_errors(&self) -> u64 {
+        self.device.io_errors()
+    }
+
+    /// Fallible variant of [`read`](BackingStore::read): consults the
+    /// device fault schedule and surfaces injected IO errors.
+    pub fn try_read(&mut self, now: SimTime, addr: BlockAddr) -> Result<SimTime, IoError> {
+        let io = self.device.try_read(now, addr)?;
+        Ok(io.finish + self.codec_cost)
+    }
+
+    /// Fallible variant of [`write`](BackingStore::write). For the
+    /// asynchronous (SSD) path an injected failure is reported
+    /// immediately, modelling an IO-completion error on the staged write.
+    pub fn try_write(&mut self, now: SimTime, addr: BlockAddr) -> Result<SimTime, IoError> {
+        let start = now + self.codec_cost;
+        if self.sync_writes {
+            Ok(self.device.try_write(start, addr)?.finish)
+        } else {
+            self.device.try_write_async(start, addr)?;
+            Ok(start + self.async_stage_cost)
+        }
+    }
+
     /// Device utilization over the window ending at `now`.
     pub fn utilization(&self, now: SimTime) -> f64 {
         self.device.utilization(now)
@@ -301,6 +338,26 @@ mod tests {
     #[should_panic(expected = "compression ratio")]
     fn compression_rejects_expansion() {
         BackingStore::mem(4).set_compression(1500, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn try_paths_surface_injected_faults() {
+        use ddc_sim::{FaultKind, FaultSchedule};
+        let mut s = BackingStore::ssd(16);
+        assert_eq!(
+            s.try_write(SimTime::ZERO, addr(0)),
+            Ok(SimTime::ZERO + SimDuration::from_micros(1)),
+            "no schedule: identical to the infallible async path"
+        );
+        s.set_fault_schedule(Some(FaultSchedule::new(1).with_window(
+            SimTime::ZERO,
+            None,
+            FaultKind::TransientErrors { rate: 1.0 },
+        )));
+        assert!(s.try_write(SimTime::ZERO, addr(1)).is_err());
+        assert!(s.try_read(SimTime::ZERO, addr(1)).is_err());
+        assert_eq!(s.io_errors(), 2);
+        assert!(!s.is_dead());
     }
 
     #[test]

@@ -45,8 +45,8 @@ use ddc_cleancache::{CachePolicy, PoolStats, SecondChanceCache, VmId};
 use ddc_guest::{
     CgroupId, CgroupMemStats, GuestConfig, GuestEnv, GuestOs, ReadResult, WriteResult,
 };
-use ddc_hypercache::{CacheConfig, CacheTotals, DoubleDeckerCache, VmUsage};
-use ddc_sim::SimTime;
+use ddc_hypercache::{CacheConfig, CacheTotals, DoubleDeckerCache, FallbackMode, VmUsage};
+use ddc_sim::{FaultSchedule, SimTime};
 use ddc_storage::{BlockAddr, Device, FileId};
 
 /// Builds a [`FileId`] namespaced to one VM, so that two VMs' virtual
@@ -107,12 +107,44 @@ impl Host {
 
     /// Shuts a VM down, dropping all its cache objects.
     ///
-    /// # Panics
-    ///
-    /// Panics if the VM does not exist.
-    pub fn shutdown_vm(&mut self, vm: VmId) {
-        assert!(self.vms.remove(&vm).is_some(), "unknown {vm}");
+    /// Returns `false` (without side effects) if the VM does not exist,
+    /// so teardown paths can run after a partial failure.
+    pub fn shutdown_vm(&mut self, vm: VmId) -> bool {
+        if self.vms.remove(&vm).is_none() {
+            return false;
+        }
         self.cache.remove_vm(vm);
+        true
+    }
+
+    /// Crashes a VM abruptly: the guest disappears without any cgroup or
+    /// pool teardown handshakes, and the hypervisor reclaims every cache
+    /// page it owned (the cleancache contract — cached copies are clean,
+    /// so nothing is lost; the authoritative copy is on the virtual
+    /// disk). Returns `false` if the VM does not exist.
+    ///
+    /// A crashed VM id can be rebooted with [`Host::boot_vm_with_id`];
+    /// because the crash dropped every cached object, the rebooted guest
+    /// can never observe stale pre-crash cache state.
+    pub fn crash_vm(&mut self, vm: VmId) -> bool {
+        // In this model a crash and a shutdown reclaim the same state;
+        // the distinction is that crash skips guest-side teardown, which
+        // shutdown_vm does not perform either (pools die with the VM).
+        self.shutdown_vm(vm)
+    }
+
+    /// Boots a VM under a caller-chosen id — the reboot half of a
+    /// crash/reboot cycle, where the platform reassigns the same domain
+    /// id. Returns `false` if a VM with this id is already running.
+    pub fn boot_vm_with_id(&mut self, vm: VmId, mem_mb: u64, cache_weight: u64) -> bool {
+        if self.vms.contains_key(&vm) {
+            return false;
+        }
+        self.next_vm = self.next_vm.max(vm.0 + 1);
+        self.cache.add_vm(vm, cache_weight);
+        self.vms
+            .insert(vm, GuestOs::new(vm, GuestConfig::with_mem_mb(mem_mb)));
+        true
     }
 
     /// Updates a VM's hypervisor cache weight (dynamic provisioning).
@@ -155,6 +187,42 @@ impl Host {
     /// Ids of running VMs.
     pub fn vm_ids(&self) -> Vec<VmId> {
         self.vms.keys().copied().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Fault plane.
+    // ------------------------------------------------------------------
+
+    /// Installs a fault schedule on the cache's SSD store. Faulted SSD IO
+    /// quarantines the tier (all SSD pages invalidated) and the cache
+    /// degrades per [`Host::set_ssd_fallback_mode`] until a recovery
+    /// probe succeeds. Pass `None` to clear.
+    pub fn set_ssd_fault_schedule(&mut self, faults: Option<FaultSchedule>) {
+        self.cache.set_ssd_fault_schedule(faults);
+    }
+
+    /// Chooses where SSD-bound puts go while the SSD tier is quarantined:
+    /// redirected to the memory store, or rejected (straight to disk).
+    pub fn set_ssd_fallback_mode(&mut self, mode: FallbackMode) {
+        self.cache.set_ssd_fallback_mode(mode);
+    }
+
+    /// Whether the SSD tier is currently quarantined.
+    pub fn ssd_quarantined(&self) -> bool {
+        self.cache.ssd_quarantined()
+    }
+
+    /// Installs (or clears) a fault schedule on one VM's hypercall
+    /// channel (dropped or slowed get/put calls; flushes stay reliable).
+    /// Returns `false` if the VM does not exist.
+    pub fn set_channel_fault_schedule(&mut self, vm: VmId, faults: Option<FaultSchedule>) -> bool {
+        match self.vms.get_mut(&vm) {
+            Some(guest) => {
+                guest.set_channel_fault_schedule(faults);
+                true
+            }
+            None => false,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -331,9 +399,21 @@ impl Host {
     ///
     /// # Panics
     ///
-    /// Panics if the VM does not exist.
+    /// Panics if the VM does not exist; use [`Host::try_guest`] for a
+    /// non-panicking variant.
     pub fn guest(&self, vm: VmId) -> &GuestOs {
         self.vms.get(&vm).unwrap_or_else(|| panic!("unknown {vm}"))
+    }
+
+    /// Immutable access to a guest, or `None` if the VM does not exist
+    /// (e.g. it crashed).
+    pub fn try_guest(&self, vm: VmId) -> Option<&GuestOs> {
+        self.vms.get(&vm)
+    }
+
+    /// Mutable access to a guest, or `None` if the VM does not exist.
+    pub fn try_guest_mut(&mut self, vm: VmId) -> Option<&mut GuestOs> {
+        self.vms.get_mut(&vm)
     }
 
     /// Mutable access to a guest (for configuration not involving the
@@ -441,6 +521,78 @@ mod tests {
         host.shutdown_vm(vm);
         assert_eq!(host.cache_totals().mem_used_pages, 0);
         assert!(host.vm_ids().is_empty());
+        assert!(!host.shutdown_vm(vm), "second shutdown is a safe no-op");
+    }
+
+    #[test]
+    fn crash_and_reboot_with_same_id_sees_no_stale_data() {
+        let mut host = host_with_cache(1024);
+        let vm = host.boot_vm(1, 100);
+        let cg = host.create_container(vm, "c", 4, CachePolicy::mem(100));
+        let mut now = SimTime::ZERO;
+        // Write then cycle through the page cache so versioned copies
+        // land in the hypervisor cache.
+        for b in 0..12 {
+            now = host.write(now, vm, cg, a(vm, 1, b)).finish;
+        }
+        now = host.fsync(now, vm, cg, vm_file(vm, 1));
+        for b in 0..12 {
+            now = host.read(now, vm, cg, a(vm, 1, b)).finish;
+        }
+        assert!(host.cache_totals().mem_used_pages > 0);
+        assert!(host.crash_vm(vm));
+        assert_eq!(
+            host.cache_totals().mem_used_pages,
+            0,
+            "crash reclaims every page the VM owned"
+        );
+        assert!(host.try_guest(vm).is_none());
+        // Reboot under the same domain id and re-read the same blocks:
+        // everything must come from the virtual disk, never from a
+        // pre-crash cached copy. GuestOs::read asserts version coherence
+        // internally, so a stale hit would abort the test.
+        assert!(host.boot_vm_with_id(vm, 1, 100));
+        assert!(!host.boot_vm_with_id(vm, 1, 100), "already running");
+        let cg2 = host.create_container(vm, "c", 4, CachePolicy::mem(100));
+        let r = host.read(now, vm, cg2, a(vm, 1, 0));
+        assert_eq!(r.level, HitLevel::Disk, "cold after reboot");
+        // Fresh ids from boot_vm never collide with the rebooted id.
+        let other = host.boot_vm(1, 100);
+        assert_ne!(other, vm);
+    }
+
+    #[test]
+    fn fault_plane_reaches_cache_and_channel() {
+        use ddc_sim::{FaultKind, FaultSchedule};
+        let mut host = Host::new(HostConfig::new(CacheConfig::mem_and_ssd(64, 256)));
+        host.set_ssd_fault_schedule(Some(FaultSchedule::new(7).with_window(
+            SimTime::ZERO,
+            None,
+            FaultKind::TransientErrors { rate: 1.0 },
+        )));
+        host.set_ssd_fallback_mode(ddc_hypercache::FallbackMode::Reject);
+        assert!(!host.ssd_quarantined(), "quarantine waits for real IO");
+        let vm = host.boot_vm(1, 100);
+        assert!(host.set_channel_fault_schedule(
+            vm,
+            Some(FaultSchedule::new(8).with_window(
+                SimTime::ZERO,
+                None,
+                FaultKind::TransientErrors { rate: 1.0 },
+            ))
+        ));
+        assert!(!host.set_channel_fault_schedule(VmId(99), None));
+        let cg = host.create_container(vm, "c", 4, CachePolicy::ssd(100));
+        let mut now = SimTime::ZERO;
+        for b in 0..12 {
+            now = host.read(now, vm, cg, a(vm, 1, b)).finish;
+        }
+        let counters = host.guest(vm).channel().counters();
+        assert!(
+            counters.dropped_calls > 0,
+            "channel schedule drops hypercalls"
+        );
+        let _ = now;
     }
 
     #[test]

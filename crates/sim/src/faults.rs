@@ -1,0 +1,303 @@
+//! Seeded, schedulable fault generators for the simulation.
+//!
+//! A [`FaultSchedule`] is attached to a component (a device, a hypercall
+//! channel) and consulted once per operation with the current simulation
+//! time. Each schedule owns its own [`SimRng`], so fault decisions are a
+//! pure function of `(seed, sequence of consulted times)` — two runs of
+//! the same scenario with the same seed produce byte-identical fault
+//! behaviour, which is what makes fault experiments reproducible.
+//!
+//! Four fault shapes cover the failure modes the DoubleDecker stack has
+//! to degrade gracefully through:
+//!
+//! * [`FaultKind::TransientErrors`] — each operation inside the window
+//!   fails independently with probability `rate` (media errors, flaky
+//!   links),
+//! * [`FaultKind::LatencySpike`] — operations complete but take `extra`
+//!   additional time (SSD garbage-collection pauses),
+//! * [`FaultKind::Brownout`] — the combination: some operations fail,
+//!   the survivors are slow (a device struggling before recovery),
+//! * [`FaultKind::Death`] — permanent failure from the window start on;
+//!   once a schedule has decided `Death` it never recovers, even if the
+//!   window nominally closes.
+//!
+//! ```
+//! use ddc_sim::{FaultDecision, FaultKind, FaultSchedule, SimDuration, SimTime};
+//!
+//! let mut faults = FaultSchedule::new(42).with_window(
+//!     SimTime::from_secs(10),
+//!     Some(SimTime::from_secs(20)),
+//!     FaultKind::TransientErrors { rate: 1.0 },
+//! );
+//! assert_eq!(faults.decide(SimTime::from_secs(5)), FaultDecision::Ok);
+//! assert_eq!(faults.decide(SimTime::from_secs(15)), FaultDecision::Error);
+//! assert_eq!(faults.decide(SimTime::from_secs(25)), FaultDecision::Ok);
+//! ```
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// The shape of a fault window. See the module docs for semantics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Each operation fails independently with probability `rate`.
+    TransientErrors {
+        /// Per-operation failure probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// Operations succeed but take `extra` additional service time.
+    LatencySpike {
+        /// Additional latency added to every operation in the window.
+        extra: SimDuration,
+    },
+    /// Operations fail with probability `rate`; survivors are slowed
+    /// by `extra` (a browning-out device).
+    Brownout {
+        /// Per-operation failure probability in `[0, 1]`.
+        rate: f64,
+        /// Additional latency for operations that do succeed.
+        extra: SimDuration,
+    },
+    /// Permanent device death: every operation at or after the window
+    /// start fails, forever (the window end, if any, is ignored).
+    Death,
+}
+
+/// One fault window on a schedule's timeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultWindow {
+    /// First instant (inclusive) at which the window applies.
+    pub from: SimTime,
+    /// First instant at which the window no longer applies; `None`
+    /// means the window stays open forever.
+    pub until: Option<SimTime>,
+    /// What happens to operations inside the window.
+    pub kind: FaultKind,
+}
+
+impl FaultWindow {
+    fn contains(&self, now: SimTime) -> bool {
+        now >= self.from && self.until.is_none_or(|end| now < end)
+    }
+}
+
+/// The outcome of consulting a [`FaultSchedule`] for one operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// The operation proceeds normally.
+    Ok,
+    /// The operation fails.
+    Error,
+    /// The operation succeeds but takes the given additional time.
+    Slow(SimDuration),
+}
+
+/// A deterministic, seeded schedule of fault windows for one component.
+///
+/// The schedule is consulted via [`decide`](FaultSchedule::decide) once
+/// per operation. The internal RNG is only advanced by probabilistic
+/// windows ([`FaultKind::TransientErrors`] / [`FaultKind::Brownout`]),
+/// so attaching a schedule whose windows never overlap the workload
+/// does not perturb anything.
+#[derive(Clone, Debug)]
+pub struct FaultSchedule {
+    windows: Vec<FaultWindow>,
+    rng: SimRng,
+    dead: bool,
+}
+
+impl FaultSchedule {
+    /// A schedule with no windows (never faults) and the given RNG seed.
+    pub fn new(seed: u64) -> FaultSchedule {
+        FaultSchedule {
+            windows: Vec::new(),
+            rng: SimRng::new(seed),
+            dead: false,
+        }
+    }
+
+    /// Adds a fault window. Overlapping windows are legal; the earliest
+    /// window in insertion order that contains the instant wins.
+    pub fn add_window(&mut self, from: SimTime, until: Option<SimTime>, kind: FaultKind) {
+        self.windows.push(FaultWindow { from, until, kind });
+    }
+
+    /// Builder-style [`add_window`](FaultSchedule::add_window).
+    pub fn with_window(
+        mut self,
+        from: SimTime,
+        until: Option<SimTime>,
+        kind: FaultKind,
+    ) -> FaultSchedule {
+        self.add_window(from, until, kind);
+        self
+    }
+
+    /// True once the schedule has decided [`FaultKind::Death`]; the
+    /// component never recovers.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Decides the fate of one operation issued at `now`.
+    pub fn decide(&mut self, now: SimTime) -> FaultDecision {
+        if self.dead {
+            return FaultDecision::Error;
+        }
+        // Death windows apply from their start regardless of containment
+        // (the end of a death window is meaningless).
+        if self
+            .windows
+            .iter()
+            .any(|w| matches!(w.kind, FaultKind::Death) && now >= w.from)
+        {
+            self.dead = true;
+            return FaultDecision::Error;
+        }
+        let Some(window) = self.windows.iter().find(|w| w.contains(now)) else {
+            return FaultDecision::Ok;
+        };
+        match window.kind {
+            FaultKind::TransientErrors { rate } => {
+                if self.rng.chance(rate) {
+                    FaultDecision::Error
+                } else {
+                    FaultDecision::Ok
+                }
+            }
+            FaultKind::LatencySpike { extra } => FaultDecision::Slow(extra),
+            FaultKind::Brownout { rate, extra } => {
+                if self.rng.chance(rate) {
+                    FaultDecision::Error
+                } else {
+                    FaultDecision::Slow(extra)
+                }
+            }
+            FaultKind::Death => unreachable!("death windows handled above"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn empty_schedule_never_faults() {
+        let mut f = FaultSchedule::new(1);
+        for s in 0..100 {
+            assert_eq!(f.decide(secs(s)), FaultDecision::Ok);
+        }
+    }
+
+    #[test]
+    fn window_bounds_are_half_open() {
+        let mut f = FaultSchedule::new(1).with_window(
+            secs(10),
+            Some(secs(20)),
+            FaultKind::LatencySpike {
+                extra: SimDuration::from_millis(5),
+            },
+        );
+        assert_eq!(f.decide(secs(9)), FaultDecision::Ok);
+        assert_eq!(
+            f.decide(secs(10)),
+            FaultDecision::Slow(SimDuration::from_millis(5))
+        );
+        assert_eq!(
+            f.decide(SimTime::from_nanos(secs(20).as_nanos() - 1)),
+            FaultDecision::Slow(SimDuration::from_millis(5))
+        );
+        assert_eq!(f.decide(secs(20)), FaultDecision::Ok);
+    }
+
+    #[test]
+    fn transient_rate_one_always_errors_rate_zero_never() {
+        let mut all = FaultSchedule::new(2).with_window(
+            secs(0),
+            None,
+            FaultKind::TransientErrors { rate: 1.0 },
+        );
+        let mut none = FaultSchedule::new(2).with_window(
+            secs(0),
+            None,
+            FaultKind::TransientErrors { rate: 0.0 },
+        );
+        for s in 0..50 {
+            assert_eq!(all.decide(secs(s)), FaultDecision::Error);
+            assert_eq!(none.decide(secs(s)), FaultDecision::Ok);
+        }
+    }
+
+    #[test]
+    fn death_is_permanent() {
+        let mut f = FaultSchedule::new(3).with_window(secs(10), Some(secs(20)), FaultKind::Death);
+        assert_eq!(f.decide(secs(5)), FaultDecision::Ok);
+        assert!(!f.is_dead());
+        assert_eq!(f.decide(secs(15)), FaultDecision::Error);
+        assert!(f.is_dead());
+        // Well past the window end: still dead.
+        assert_eq!(f.decide(secs(1000)), FaultDecision::Error);
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let make = || {
+            FaultSchedule::new(0xFA01).with_window(
+                secs(0),
+                None,
+                FaultKind::Brownout {
+                    rate: 0.4,
+                    extra: SimDuration::from_micros(250),
+                },
+            )
+        };
+        let (mut a, mut b) = (make(), make());
+        for s in 0..200 {
+            assert_eq!(a.decide(secs(s)), b.decide(secs(s)));
+        }
+    }
+
+    #[test]
+    fn brownout_mixes_errors_and_slowness() {
+        let mut f = FaultSchedule::new(7).with_window(
+            secs(0),
+            None,
+            FaultKind::Brownout {
+                rate: 0.5,
+                extra: SimDuration::from_micros(100),
+            },
+        );
+        let decisions: Vec<FaultDecision> = (0..100).map(|s| f.decide(secs(s))).collect();
+        assert!(decisions.contains(&FaultDecision::Error));
+        assert!(decisions
+            .iter()
+            .any(|d| matches!(d, FaultDecision::Slow(_))));
+    }
+
+    #[test]
+    fn rng_untouched_outside_windows() {
+        // Decisions outside any window must not consume randomness:
+        // inserting quiet-period consultations cannot change the
+        // in-window decision stream.
+        let make = || {
+            FaultSchedule::new(9).with_window(
+                secs(100),
+                Some(secs(200)),
+                FaultKind::TransientErrors { rate: 0.5 },
+            )
+        };
+        let mut a = make();
+        let mut b = make();
+        for s in 0..100 {
+            assert_eq!(a.decide(secs(s)), FaultDecision::Ok);
+        }
+        for s in 100..150 {
+            assert_eq!(a.decide(secs(s)), b.decide(secs(s)));
+        }
+    }
+}

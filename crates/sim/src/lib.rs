@@ -11,7 +11,10 @@
 //! * [`EventQueue`] — a time-ordered queue for scheduled reconfiguration
 //!   events (dynamic policy experiments),
 //! * [`TimeSeries`] / [`Sampler`] — occupancy-over-time probes used to
-//!   regenerate the paper's figures.
+//!   regenerate the paper's figures,
+//! * [`FaultSchedule`] — seeded, schedulable fault windows (transient
+//!   errors, latency spikes, brownouts, permanent death) consulted by
+//!   fallible components for reproducible failure experiments.
 //!
 //! # Example
 //!
@@ -31,12 +34,14 @@
 #![warn(missing_docs)]
 
 mod event;
+mod faults;
 mod resource;
 mod rng;
 mod series;
 mod time;
 
 pub use event::EventQueue;
+pub use faults::{FaultDecision, FaultKind, FaultSchedule, FaultWindow};
 pub use resource::{Grant, MultiQueuedResource, QueuedResource};
 pub use rng::SimRng;
 pub use series::{Sampler, SeriesPoint, TimeSeries};

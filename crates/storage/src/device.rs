@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use ddc_sim::{MultiQueuedResource, SimDuration, SimTime};
+use ddc_sim::{FaultDecision, FaultSchedule, MultiQueuedResource, SimDuration, SimTime};
 
 use crate::{BlockAddr, FileId, LatencyModel};
 
@@ -39,6 +39,21 @@ pub struct IoCompletion {
     pub sequential: bool,
 }
 
+/// A failed device IO (injected via a [`FaultSchedule`]).
+///
+/// The device still *attempted* the transfer — the queue channel was
+/// occupied and the caller discovers the failure only at `finish`, just
+/// like a real drive returning a media error after the request was
+/// serviced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoError {
+    /// When the failure was reported to the caller.
+    pub finish: SimTime,
+    /// Whether the device is permanently dead (a [`ddc_sim::FaultKind::Death`]
+    /// window) rather than transiently failing.
+    pub permanent: bool,
+}
+
 /// A shared storage device.
 ///
 /// The device remembers the last accessed block *per file* to classify
@@ -65,10 +80,12 @@ pub struct Device {
     model: LatencyModel,
     queue: MultiQueuedResource,
     last_block_by_file: HashMap<FileId, u64>,
+    faults: Option<FaultSchedule>,
     reads: u64,
     writes: u64,
     bytes_read: u64,
     bytes_written: u64,
+    io_errors: u64,
 }
 
 impl Device {
@@ -89,10 +106,12 @@ impl Device {
             model,
             queue: MultiQueuedResource::new(channels),
             last_block_by_file: HashMap::new(),
+            faults: None,
             reads: 0,
             writes: 0,
             bytes_read: 0,
             bytes_written: 0,
+            io_errors: 0,
         }
     }
 
@@ -116,6 +135,27 @@ impl Device {
     /// The device class.
     pub fn kind(&self) -> DeviceKind {
         self.kind
+    }
+
+    /// Attaches (or clears) a fault schedule. Only the fallible
+    /// [`try_read`](Device::try_read) / [`try_write`](Device::try_write)
+    /// paths consult it; the infallible paths are unaffected.
+    pub fn set_fault_schedule(&mut self, faults: Option<FaultSchedule>) {
+        self.faults = faults;
+    }
+
+    /// Consults the fault schedule for one operation at `now`.
+    fn fault_decision(&mut self, now: SimTime) -> FaultDecision {
+        match &mut self.faults {
+            Some(f) => f.decide(now),
+            None => FaultDecision::Ok,
+        }
+    }
+
+    /// Whether the attached fault schedule has declared the device
+    /// permanently dead.
+    pub fn is_dead(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.is_dead())
     }
 
     /// Synchronously reads one page; the caller waits until `finish`.
@@ -149,6 +189,68 @@ impl Device {
         self.write(now, addr)
     }
 
+    /// Fallible read: like [`read`](Device::read), but consults the
+    /// attached [`FaultSchedule`] first. A faulted request still occupies
+    /// the queue (the device tried), and the error surfaces at `finish`.
+    pub fn try_read(&mut self, now: SimTime, addr: BlockAddr) -> Result<IoCompletion, IoError> {
+        let decision = self.fault_decision(now);
+        let sequential = self.note_access(addr);
+        let cost = match decision {
+            FaultDecision::Slow(extra) => self.model.read(sequential) + extra,
+            _ => self.model.read(sequential),
+        };
+        let grant = self.queue.access(now, cost);
+        self.reads += 1;
+        if decision == FaultDecision::Error {
+            self.io_errors += 1;
+            return Err(IoError {
+                finish: grant.finish,
+                permanent: self.is_dead(),
+            });
+        }
+        self.bytes_read += crate::PAGE_SIZE;
+        Ok(IoCompletion {
+            finish: grant.finish,
+            sequential,
+        })
+    }
+
+    /// Fallible write; see [`try_read`](Device::try_read).
+    pub fn try_write(&mut self, now: SimTime, addr: BlockAddr) -> Result<IoCompletion, IoError> {
+        let decision = self.fault_decision(now);
+        let sequential = self.note_access(addr);
+        let cost = match decision {
+            FaultDecision::Slow(extra) => self.model.write(sequential) + extra,
+            _ => self.model.write(sequential),
+        };
+        let grant = self.queue.access(now, cost);
+        self.writes += 1;
+        if decision == FaultDecision::Error {
+            self.io_errors += 1;
+            return Err(IoError {
+                finish: grant.finish,
+                permanent: self.is_dead(),
+            });
+        }
+        self.bytes_written += crate::PAGE_SIZE;
+        Ok(IoCompletion {
+            finish: grant.finish,
+            sequential,
+        })
+    }
+
+    /// Fallible asynchronous write; see
+    /// [`write_async`](Device::write_async). The caller does not wait,
+    /// but an injected failure is reported immediately (modelling a
+    /// rejected submission or an IO-completion error callback).
+    pub fn try_write_async(
+        &mut self,
+        now: SimTime,
+        addr: BlockAddr,
+    ) -> Result<IoCompletion, IoError> {
+        self.try_write(now, addr)
+    }
+
     /// Whether `addr` continues its file's stream, updating the stream
     /// tracker. The tracker is bounded by evicting arbitrary entries once
     /// it grows past a large cap (streams are short-lived).
@@ -164,9 +266,14 @@ impl Device {
         sequential
     }
 
-    /// Completed read count.
+    /// Completed read count (including failed attempts).
     pub fn reads(&self) -> u64 {
         self.reads
+    }
+
+    /// IOs failed by the fault schedule.
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors
     }
 
     /// Completed write count.
@@ -291,6 +398,76 @@ mod tests {
         assert_eq!(Device::ssd_sata().kind(), DeviceKind::Ssd);
         assert_eq!(Device::ram().kind(), DeviceKind::Ram);
         assert_eq!(DeviceKind::Ssd.to_string(), "ssd");
+    }
+
+    #[test]
+    fn try_paths_match_infallible_without_schedule() {
+        let mut plain = Device::ssd_sata();
+        let mut tried = Device::ssd_sata();
+        for b in 0..8 {
+            let a = plain.read(SimTime::ZERO, addr(1, b));
+            let t = tried
+                .try_read(SimTime::ZERO, addr(1, b))
+                .expect("no faults");
+            assert_eq!(a, t);
+        }
+        assert_eq!(plain.reads(), tried.reads());
+        assert_eq!(tried.io_errors(), 0);
+    }
+
+    #[test]
+    fn transient_errors_surface_and_occupy_queue() {
+        use ddc_sim::{FaultKind, FaultSchedule};
+        let mut d = Device::ssd_sata();
+        d.set_fault_schedule(Some(FaultSchedule::new(1).with_window(
+            SimTime::ZERO,
+            None,
+            FaultKind::TransientErrors { rate: 1.0 },
+        )));
+        let err = d.try_read(SimTime::ZERO, addr(1, 0)).unwrap_err();
+        assert!(err.finish > SimTime::ZERO, "the attempt took device time");
+        assert!(!err.permanent);
+        assert_eq!(d.io_errors(), 1);
+        assert_eq!(d.bytes_read(), 0, "failed transfers move no data");
+        assert!(d.busy_time() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn latency_spike_slows_but_succeeds() {
+        use ddc_sim::{FaultKind, FaultSchedule};
+        let mut slow = Device::ssd_sata();
+        slow.set_fault_schedule(Some(FaultSchedule::new(1).with_window(
+            SimTime::ZERO,
+            None,
+            FaultKind::LatencySpike {
+                extra: SimDuration::from_millis(10),
+            },
+        )));
+        let mut fast = Device::ssd_sata();
+        let s = slow.try_read(SimTime::ZERO, addr(1, 0)).unwrap();
+        let f = fast.try_read(SimTime::ZERO, addr(1, 0)).unwrap();
+        assert_eq!(
+            s.finish,
+            f.finish + SimDuration::from_millis(10),
+            "the spike adds exactly the configured extra"
+        );
+    }
+
+    #[test]
+    fn death_is_permanent_on_device() {
+        use ddc_sim::{FaultKind, FaultSchedule};
+        let mut d = Device::ssd_sata();
+        d.set_fault_schedule(Some(FaultSchedule::new(1).with_window(
+            SimTime::from_secs(1),
+            None,
+            FaultKind::Death,
+        )));
+        assert!(d.try_write(SimTime::ZERO, addr(1, 0)).is_ok());
+        assert!(!d.is_dead());
+        let err = d.try_write(SimTime::from_secs(2), addr(1, 1)).unwrap_err();
+        assert!(err.permanent);
+        assert!(d.is_dead());
+        assert!(d.try_write(SimTime::from_secs(99), addr(1, 2)).is_err());
     }
 
     #[test]

@@ -24,5 +24,5 @@ mod device;
 mod latency;
 
 pub use addr::{pages_for_bytes, BlockAddr, FileId, PAGE_SIZE};
-pub use device::{Device, DeviceKind, IoCompletion};
+pub use device::{Device, DeviceKind, IoCompletion, IoError};
 pub use latency::LatencyModel;

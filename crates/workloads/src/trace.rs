@@ -13,13 +13,13 @@
 use ddc_cleancache::VmId;
 use ddc_guest::CgroupId;
 use ddc_hypervisor::{vm_file, Host};
+use ddc_json::{Json, JsonError};
 use ddc_metrics::OpsRecorder;
 use ddc_sim::{SimDuration, SimTime};
 use ddc_storage::{BlockAddr, PAGE_SIZE};
-use serde::{Deserialize, Serialize};
 
 /// One traced operation (container-local file ids).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceOp {
     /// Read one block of a file.
     Read {
@@ -53,7 +53,7 @@ pub enum TraceOp {
 }
 
 /// One timestamped trace record.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Microseconds since trace start.
     pub at_micros: u64,
@@ -87,7 +87,7 @@ pub enum ReplayPacing {
 /// let back = Trace::from_json(&json).unwrap();
 /// assert_eq!(back.len(), 2);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Trace {
     records: Vec<TraceRecord>,
 }
@@ -140,7 +140,33 @@ impl Trace {
 
     /// Serializes to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("plain data serializes")
+        let records = self
+            .records
+            .iter()
+            .map(|r| {
+                let (kind, fields) = match r.op {
+                    TraceOp::Read { file, block } => {
+                        ("read", vec![("file", file), ("block", block)])
+                    }
+                    TraceOp::Write { file, block } => {
+                        ("write", vec![("file", file), ("block", block)])
+                    }
+                    TraceOp::Fsync { file } => ("fsync", vec![("file", file)]),
+                    TraceOp::Delete { file } => ("delete", vec![("file", file)]),
+                    TraceOp::AnonTouch { page } => ("anon_touch", vec![("page", page)]),
+                };
+                let mut rec = Json::object();
+                rec.set("at_micros", r.at_micros);
+                rec.set("op", kind);
+                for (name, value) in fields {
+                    rec.set(name, value);
+                }
+                rec
+            })
+            .collect();
+        let mut root = Json::object();
+        root.set("records", Json::Arr(records));
+        root.to_string_compact()
     }
 
     /// Parses a JSON trace.
@@ -148,8 +174,49 @@ impl Trace {
     /// # Errors
     ///
     /// Returns the underlying parse error for malformed input.
-    pub fn from_json(json: &str) -> Result<Trace, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<Trace, JsonError> {
+        let bad = |message: &str| JsonError {
+            message: message.to_owned(),
+            offset: 0,
+        };
+        let root = Json::parse(json)?;
+        let records = root
+            .get("records")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad("expected top-level \"records\" array"))?;
+        let mut trace = Trace::new();
+        for rec in records {
+            let field = |name: &str| {
+                rec.get(name)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad(&format!("record needs integer {name:?}")))
+            };
+            let op = match rec.get("op").and_then(Json::as_str) {
+                Some("read") => TraceOp::Read {
+                    file: field("file")?,
+                    block: field("block")?,
+                },
+                Some("write") => TraceOp::Write {
+                    file: field("file")?,
+                    block: field("block")?,
+                },
+                Some("fsync") => TraceOp::Fsync {
+                    file: field("file")?,
+                },
+                Some("delete") => TraceOp::Delete {
+                    file: field("file")?,
+                },
+                Some("anon_touch") => TraceOp::AnonTouch {
+                    page: field("page")?,
+                },
+                _ => return Err(bad("record needs a known \"op\" kind")),
+            };
+            trace.records.push(TraceRecord {
+                at_micros: field("at_micros")?,
+                op,
+            });
+        }
+        Ok(trace)
     }
 }
 

@@ -224,7 +224,9 @@ fn shared_file_write_then_cross_container_read_is_coherent() {
     // Churn the reader so the (transferred, still-dirty-or-clean) page
     // cycles through reclaim and possibly the hypervisor cache...
     for b in 0..48 {
-        now = host.read(now, vm, reader, BlockAddr::new(vm_file(vm, 2), b)).finish;
+        now = host
+            .read(now, vm, reader, BlockAddr::new(vm_file(vm, 2), b))
+            .finish;
     }
     // ...then writer persists and rewrites; reader reads again. The
     // coherence assertion inside the guest read path verifies versions.
