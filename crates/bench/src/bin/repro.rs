@@ -14,7 +14,7 @@ use std::path::PathBuf;
 
 use ddc_bench::scenarios::common::{print_series, to_mb, FourKind};
 use ddc_bench::scenarios::{
-    ablations, cooperative, dynamic, faults, modes, motivation, policies, splits,
+    ablations, cooperative, dynamic, faults, modes, motivation, perf, policies, splits,
 };
 use ddc_core::prelude::*;
 
@@ -22,6 +22,9 @@ struct Args {
     command: String,
     secs: Option<u64>,
     json_dir: Option<PathBuf>,
+    smoke: bool,
+    check: Option<PathBuf>,
+    out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -29,6 +32,9 @@ fn parse_args() -> Args {
         command: "all".to_owned(),
         secs: None,
         json_dir: None,
+        smoke: false,
+        check: None,
+        out: None,
     };
     let mut it = env::args().skip(1);
     while let Some(a) = it.next() {
@@ -41,6 +47,13 @@ fn parse_args() -> Args {
             }
             "--json" => {
                 args.json_dir = Some(PathBuf::from(it.next().expect("--json needs a directory")));
+            }
+            "--smoke" => args.smoke = true,
+            "--check" => {
+                args.check = Some(PathBuf::from(it.next().expect("--check needs a file")));
+            }
+            "--out" => {
+                args.out = Some(PathBuf::from(it.next().expect("--out needs a file")));
             }
             "--help" | "-h" => {
                 print_help();
@@ -72,7 +85,10 @@ fn print_help() {
            fig13   dynamic VM provisioning\n\
            ext     extensions: compression ablation, hybrid store, adaptive weights\n\
            faults  SSD brownout: graceful degradation and recovery\n\
-           all     everything above (default)\n"
+           perf    cache-ops perf matrix [--smoke] [--out FILE] [--check BASELINE]\n\
+           all     everything above except perf (default)\n\n\
+         parallelism: independent experiment cells fan out across cores\n\
+         (override worker count with DDC_THREADS=N; N=1 forces serial).\n"
     );
 }
 
@@ -497,6 +513,53 @@ fn fault_plane(args: &Args) {
     );
 }
 
+fn perf_matrix(args: &Args) {
+    banner(if args.smoke {
+        "Perf matrix: cache-ops throughput (smoke budget)"
+    } else {
+        "Perf matrix: cache-ops throughput"
+    });
+    let cells = perf::run_matrix(args.smoke);
+    let mut table = TextTable::new(vec!["cell", "sim ops", "wall (s)", "ops/sec"]);
+    for c in &cells {
+        table.row(vec![
+            c.name.to_owned(),
+            c.sim_ops.to_string(),
+            format!("{:.3}", c.wall_secs),
+            format!("{:.0}", c.ops_per_sec),
+        ]);
+    }
+    println!("{}", table.render());
+
+    if let Some(out) = &args.out {
+        fs::write(out, perf::to_json(&cells, args.smoke)).expect("write perf json");
+        println!("[perf results written to {}]", out.display());
+    }
+    if let Some(baseline_path) = &args.check {
+        let text = fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+            std::process::exit(1);
+        });
+        let baseline = perf::parse_baseline(&text).unwrap_or_else(|e| {
+            eprintln!("bad baseline {}: {e}", baseline_path.display());
+            std::process::exit(1);
+        });
+        let violations = perf::check_against(&cells, &baseline, perf::REGRESSION_FACTOR);
+        if violations.is_empty() {
+            println!(
+                "perf check PASSED against {} ({}x regression threshold)",
+                baseline_path.display(),
+                perf::REGRESSION_FACTOR
+            );
+        } else {
+            for v in &violations {
+                eprintln!("perf regression: {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     let start = std::time::Instant::now();
@@ -516,6 +579,7 @@ fn main() {
         "fig13" => fig13(&args),
         "ext" => extensions(&args),
         "faults" => fault_plane(&args),
+        "perf" => perf_matrix(&args),
         "all" => {
             fig3(&args);
             fig4(&args);

@@ -1,85 +1,126 @@
-//! `scenario` — runs a JSON-defined DoubleDecker experiment.
+//! `scenario` — runs JSON-defined DoubleDecker experiments.
+//!
+//! One spec prints its full report; several specs form a sweep that
+//! fans out across cores (each spec is an independent cell) and prints
+//! reports in argument order, so the output is byte-identical to
+//! running the specs one by one.
 //!
 //! ```sh
 //! cargo run --release -p ddc-bench --bin scenario -- examples/scenarios/derivative_cloud.json
 //! cargo run --release -p ddc-bench --bin scenario -- spec.json --json report.json
+//! cargo run --release -p ddc-bench --bin scenario -- a.json b.json c.json --json-dir out/
 //! ```
 
 use std::env;
 use std::fs;
+use std::path::Path;
 use std::process::exit;
 
 use ddc_bench::scenarios::common::print_series;
+use ddc_core::parallel::run_cells;
 use ddc_core::prelude::*;
 use ddc_core::scenario::{self, ScenarioSpec};
 
 fn main() {
     let mut args = env::args().skip(1);
-    let Some(path) = args.next() else {
-        eprintln!("usage: scenario <spec.json> [--json <report.json>]");
-        exit(2);
-    };
+    let mut paths: Vec<String> = Vec::new();
     let mut json_out = None;
+    let mut json_dir = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--json" => json_out = args.next(),
-            other => {
+            "--json-dir" => json_dir = args.next(),
+            other if other.starts_with("--") => {
                 eprintln!("unknown argument {other}");
                 exit(2);
             }
+            _ => paths.push(a),
         }
     }
-
-    let text = match fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            exit(1);
-        }
-    };
-    let spec = match ScenarioSpec::from_json(&text) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("{e}");
-            exit(1);
-        }
-    };
-
-    println!(
-        "running scenario {:?}: {} VM(s), {} container(s), {} virtual seconds",
-        spec.name,
-        spec.vms.len(),
-        spec.vms.iter().map(|v| v.containers.len()).sum::<usize>(),
-        spec.duration_secs
-    );
-    let report = match scenario::run(&spec) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("{e}");
-            exit(1);
-        }
-    };
-
-    let mut table = TextTable::new(vec!["thread", "ops", "ops/s", "MB/s", "mean lat (ms)"]);
-    for t in &report.threads {
-        table.row(vec![
-            t.label.clone(),
-            t.ops.to_string(),
-            format!("{:.1}", t.ops_per_sec),
-            format!("{:.1}", t.mb_per_sec),
-            format!("{:.3}", t.mean_latency_ms),
-        ]);
+    if paths.is_empty() {
+        eprintln!(
+            "usage: scenario <spec.json> [<spec.json>...] [--json <report.json>] [--json-dir <dir>]"
+        );
+        exit(2);
     }
-    println!("{}", table.render());
+    if json_out.is_some() && paths.len() > 1 {
+        eprintln!("--json takes a single spec; use --json-dir for sweeps");
+        exit(2);
+    }
 
-    let series_names: Vec<&str> = report.series.iter().map(|s| s.name.as_str()).collect();
-    print_series(&report, &series_names);
+    let specs: Vec<(String, ScenarioSpec)> = paths
+        .into_iter()
+        .map(|path| {
+            let text = match fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    exit(1);
+                }
+            };
+            match ScenarioSpec::from_json(&text) {
+                Ok(s) => (path, s),
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    exit(1);
+                }
+            }
+        })
+        .collect();
 
-    if let Some(out) = json_out {
-        if let Err(e) = fs::write(&out, report.to_json()) {
-            eprintln!("cannot write {out}: {e}");
+    // Fan the sweep out; reports come back in spec order, so all
+    // printing below stays serial-identical.
+    let reports = run_cells(specs, |(path, spec)| {
+        let report = scenario::run(&spec).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
             exit(1);
+        });
+        (path, spec, report)
+    });
+
+    for (path, spec, report) in &reports {
+        println!(
+            "running scenario {:?}: {} VM(s), {} container(s), {} virtual seconds",
+            spec.name,
+            spec.vms.len(),
+            spec.vms.iter().map(|v| v.containers.len()).sum::<usize>(),
+            spec.duration_secs
+        );
+
+        let mut table = TextTable::new(vec!["thread", "ops", "ops/s", "MB/s", "mean lat (ms)"]);
+        for t in &report.threads {
+            table.row(vec![
+                t.label.clone(),
+                t.ops.to_string(),
+                format!("{:.1}", t.ops_per_sec),
+                format!("{:.1}", t.mb_per_sec),
+                format!("{:.3}", t.mean_latency_ms),
+            ]);
         }
-        println!("[report written to {out}]");
+        println!("{}", table.render());
+
+        let series_names: Vec<&str> = report.series.iter().map(|s| s.name.as_str()).collect();
+        print_series(report, &series_names);
+
+        if let Some(out) = &json_out {
+            if let Err(e) = fs::write(out, report.to_json()) {
+                eprintln!("cannot write {out}: {e}");
+                exit(1);
+            }
+            println!("[report written to {out}]");
+        }
+        if let Some(dir) = &json_dir {
+            let stem = Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("report");
+            let out = format!("{}/{stem}.json", dir.trim_end_matches('/'));
+            if let Err(e) = fs::create_dir_all(dir).and_then(|()| fs::write(&out, report.to_json()))
+            {
+                eprintln!("cannot write {out}: {e}");
+                exit(1);
+            }
+            println!("[report written to {out}]");
+        }
     }
 }

@@ -7,5 +7,6 @@ pub mod dynamic;
 pub mod faults;
 pub mod modes;
 pub mod motivation;
+pub mod perf;
 pub mod policies;
 pub mod splits;

@@ -126,12 +126,11 @@ pub fn run_mode(mode: CachingMode, duration: SimTime) -> ModeRun {
     }
 }
 
-/// Runs all three modes (Fig. 8 + Fig. 9 + Table 2 in one pass).
+/// Runs all three modes (Fig. 8 + Fig. 9 + Table 2 in one pass). The
+/// modes are independent simulations, so they fan out across cores;
+/// results come back in `CachingMode::ALL` order regardless.
 pub fn run_all_modes(duration: SimTime) -> Vec<ModeRun> {
-    CachingMode::ALL
-        .iter()
-        .map(|&m| run_mode(m, duration))
-        .collect()
+    ddc_core::parallel::run_cells(CachingMode::ALL.to_vec(), |m| run_mode(m, duration))
 }
 
 #[cfg(test)]

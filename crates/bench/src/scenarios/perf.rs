@@ -1,0 +1,455 @@
+//! `repro perf` — the perf-regression harness.
+//!
+//! Runs a fixed matrix of hot-path workloads (direct cache-op loops plus
+//! one end-to-end experiment cell) and reports wall-clock simulated
+//! ops/sec per cell. The matrix is deliberately small and fixed so the
+//! numbers are comparable across commits: the committed
+//! `BENCH_cache_ops.json` baseline is checked in CI with a generous
+//! regression factor (wall-clock on shared runners is noisy; the check
+//! catches algorithmic regressions — an accidental O(n) scan on the put
+//! path — not percent-level drift).
+//!
+//! Cell workloads target the paths the hypercache overhaul touched:
+//! weighted eviction + entitlement lookups, Global-FIFO tombstone
+//! compaction, Strict-mode per-put entitlement prechecks, hybrid
+//! spill/trickle, the GET_STATS scan, and control-plane invalidation
+//! churn.
+
+use std::time::Instant;
+
+use ddc_core::cleancache::SecondChanceCache;
+use ddc_core::prelude::*;
+use ddc_json::Json;
+
+/// JSON schema tag of the baseline file.
+pub const SCHEMA: &str = "ddc-bench-cache-ops-v1";
+
+/// CI fails when a cell drops below `baseline / REGRESSION_FACTOR`.
+pub const REGRESSION_FACTOR: f64 = 2.0;
+
+/// One measured cell of the matrix.
+#[derive(Clone, Debug)]
+pub struct PerfCell {
+    /// Stable cell name (baseline rows are matched by it).
+    pub name: &'static str,
+    /// Simulated cache/workload operations the cell executed.
+    pub sim_ops: u64,
+    /// Wall-clock seconds the cell took.
+    pub wall_secs: f64,
+    /// `sim_ops / wall_secs`.
+    pub ops_per_sec: f64,
+}
+
+fn addr(file: u64, block: u64) -> BlockAddr {
+    BlockAddr::new(FileId(file), block)
+}
+
+fn cache(mode: PartitionMode, mem: u64, ssd: u64) -> DoubleDeckerCache {
+    DoubleDeckerCache::new(CacheConfig {
+        mem_capacity_pages: mem,
+        ssd_capacity_pages: ssd,
+        mode,
+    })
+}
+
+/// Mixed put/get traffic over two VMs × two mem pools under DoubleDecker
+/// weighted eviction: the steady-state data path.
+fn dd_put_get_mix(ops: u64) -> u64 {
+    let mut c = cache(PartitionMode::DoubleDecker, 4096, 0);
+    c.add_vm(VmId(1), 100);
+    c.add_vm(VmId(2), 200);
+    let pools: Vec<(VmId, PoolId)> = [(VmId(1), 60), (VmId(1), 40), (VmId(2), 100), (VmId(2), 50)]
+        .iter()
+        .map(|&(vm, w)| (vm, c.create_pool(vm, CachePolicy::mem(w))))
+        .collect();
+    let mut done = 0;
+    let mut i = 0u64;
+    while done < ops {
+        let (vm, pool) = pools[(i % 4) as usize];
+        let a = addr(i % 16, i % 1024);
+        c.put(SimTime::from_secs(1), vm, pool, a, PageVersion(1));
+        done += 1;
+        if i.is_multiple_of(2) && done < ops {
+            let back = i.saturating_sub(512);
+            let (gvm, gpool) = pools[(back % 4) as usize];
+            c.get(
+                SimTime::from_secs(1),
+                gvm,
+                gpool,
+                addr(back % 16, back % 1024),
+            );
+            done += 1;
+        }
+        i += 1;
+    }
+    done
+}
+
+/// Overwrite/flush churn in Global mode: every removal leaves a
+/// tombstone in the global FIFO, driving the lazy compaction path.
+fn global_fifo_churn(ops: u64) -> u64 {
+    let mut c = cache(PartitionMode::Global, 4096, 0);
+    let pools: Vec<(VmId, PoolId)> = (1..=4u64)
+        .map(|v| {
+            let vm = VmId(v as u32);
+            c.add_vm(vm, 100);
+            (vm, c.create_pool(vm, CachePolicy::mem(100)))
+        })
+        .collect();
+    let mut done = 0;
+    let mut i = 0u64;
+    while done < ops {
+        let (vm, pool) = pools[(i % 4) as usize];
+        // A working set ~3× capacity: puts evict FIFO-globally, and the
+        // overwrite/flush mix below keeps the tombstone ratio high.
+        let a = addr(i % 8, i % 3072);
+        c.put(SimTime::from_secs(1), vm, pool, a, PageVersion(1));
+        done += 1;
+        if i.is_multiple_of(3) && done < ops {
+            c.flush(vm, pool, a);
+            done += 1;
+        }
+        i += 1;
+    }
+    done
+}
+
+/// Put churn past the hard partitions of Strict mode: every put runs the
+/// per-put entitlement precheck (a cached-table lookup after the
+/// overhaul).
+fn strict_partition_churn(ops: u64) -> u64 {
+    let mut c = cache(PartitionMode::Strict, 2048, 0);
+    c.add_vm(VmId(1), 100);
+    c.add_vm(VmId(2), 100);
+    let pools: Vec<(VmId, PoolId)> = [
+        (VmId(1), 100),
+        (VmId(1), 100),
+        (VmId(2), 100),
+        (VmId(2), 100),
+    ]
+    .iter()
+    .map(|&(vm, w)| (vm, c.create_pool(vm, CachePolicy::mem(w))))
+    .collect();
+    let mut done = 0;
+    let mut i = 0u64;
+    while done < ops {
+        let (vm, pool) = pools[(i % 4) as usize];
+        c.put(
+            SimTime::from_secs(1),
+            vm,
+            pool,
+            addr(i % 4, i % 1500),
+            PageVersion(1),
+        );
+        done += 1;
+        i += 1;
+    }
+    done
+}
+
+/// Hybrid pools spilling from a small memory share to SSD, with
+/// trickle-down on memory eviction.
+fn hybrid_spill_trickle(ops: u64) -> u64 {
+    let mut c = cache(PartitionMode::DoubleDecker, 1024, 4096);
+    c.add_vm(VmId(1), 100);
+    let p1 = c.create_pool(VmId(1), CachePolicy::hybrid(100));
+    let p2 = c.create_pool(VmId(1), CachePolicy::hybrid(100));
+    let mut done = 0;
+    let mut i = 0u64;
+    while done < ops {
+        let pool = if i.is_multiple_of(2) { p1 } else { p2 };
+        c.put(
+            SimTime::from_secs(1),
+            VmId(1),
+            pool,
+            addr(i % 8, i % 4000),
+            PageVersion(1),
+        );
+        done += 1;
+        if i.is_multiple_of(5) && done < ops {
+            let back = i.saturating_sub(700);
+            let gpool = if back.is_multiple_of(2) { p1 } else { p2 };
+            c.get(
+                SimTime::from_secs(1),
+                VmId(1),
+                gpool,
+                addr(back % 8, back % 4000),
+            );
+            done += 1;
+        }
+        i += 1;
+    }
+    done
+}
+
+/// GET_STATS over a wide host: every `pool_stats` call resolves the
+/// pool's entitlement (two binary searches into the cached share table
+/// after the overhaul; two full host scans before it).
+fn stats_entitlement_scan(ops: u64) -> u64 {
+    let mut c = cache(PartitionMode::DoubleDecker, 8192, 0);
+    let mut pools: Vec<(VmId, PoolId)> = Vec::new();
+    for v in 1..=8u32 {
+        let vm = VmId(v);
+        c.add_vm(vm, 50 + u64::from(v) * 10);
+        for w in 0..4u32 {
+            let pool = c.create_pool(vm, CachePolicy::mem(50 + w * 25));
+            pools.push((vm, pool));
+            for b in 0..8 {
+                c.put(
+                    SimTime::from_secs(1),
+                    vm,
+                    pool,
+                    addr(u64::from(v), b),
+                    PageVersion(1),
+                );
+            }
+        }
+    }
+    let mut done = 0;
+    let mut i = 0usize;
+    while done < ops {
+        let (vm, pool) = pools[i % pools.len()];
+        let _ = c.pool_stats(vm, pool);
+        done += 1;
+        i += 1;
+    }
+    done
+}
+
+/// Data-path puts interleaved with control-plane weight changes: the
+/// worst case for entitlement caching (every reconfiguration drops the
+/// tables, the next put rebuilds them).
+fn reconfig_invalidation(ops: u64) -> u64 {
+    let mut c = cache(PartitionMode::DoubleDecker, 4096, 0);
+    let pools: Vec<(VmId, PoolId)> = (1..=4u64)
+        .map(|v| {
+            let vm = VmId(v as u32);
+            c.add_vm(vm, 100);
+            (vm, c.create_pool(vm, CachePolicy::mem(100)))
+        })
+        .collect();
+    let mut done = 0;
+    let mut i = 0u64;
+    while done < ops {
+        if i.is_multiple_of(64) {
+            c.set_vm_weight(VmId((i / 64 % 4 + 1) as u32), 50 + i % 200);
+            done += 1;
+        }
+        let (vm, pool) = pools[(i % 4) as usize];
+        c.put(
+            SimTime::from_secs(1),
+            vm,
+            pool,
+            addr(i % 8, i % 2048),
+            PageVersion(1),
+        );
+        done += 1;
+        i += 1;
+    }
+    done
+}
+
+/// One end-to-end cell: a webserver VM through guest page cache,
+/// cleancache channel and hypervisor cache, covering the full stack the
+/// `repro` figures exercise. `ops` here is virtual milliseconds.
+fn webserver_e2e(virtual_ms: u64) -> u64 {
+    let mut host = Host::new(HostConfig::new(CacheConfig::mem_only(4096)));
+    let vm = host.boot_vm(64, 100);
+    let cg = host.create_container(vm, "web", 64, CachePolicy::mem(100));
+    let web = Webserver::new(
+        "web/t0",
+        vm,
+        cg,
+        WebConfig {
+            files: 200,
+            ..WebConfig::default()
+        },
+        42,
+    );
+    let mut exp = Experiment::new(host, SimDuration::from_secs(1));
+    exp.add_thread(Box::new(web));
+    let report = exp.run_until(SimTime::from_nanos(virtual_ms * 1_000_000));
+    report.threads[0].ops
+}
+
+type CellRunner = (&'static str, Box<dyn Fn() -> u64>);
+
+/// Runs the full matrix. `smoke` divides the op budget by 10 for CI.
+pub fn run_matrix(smoke: bool) -> Vec<PerfCell> {
+    let scale = if smoke { 10 } else { 1 };
+    let cells: Vec<CellRunner> = vec![
+        (
+            "dd_put_get_mix",
+            Box::new(move || dd_put_get_mix(400_000 / scale)),
+        ),
+        (
+            "global_fifo_churn",
+            Box::new(move || global_fifo_churn(400_000 / scale)),
+        ),
+        (
+            "strict_partition_churn",
+            Box::new(move || strict_partition_churn(200_000 / scale)),
+        ),
+        (
+            "hybrid_spill_trickle",
+            Box::new(move || hybrid_spill_trickle(200_000 / scale)),
+        ),
+        (
+            "stats_entitlement_scan",
+            Box::new(move || stats_entitlement_scan(400_000 / scale)),
+        ),
+        (
+            "reconfig_invalidation",
+            Box::new(move || reconfig_invalidation(200_000 / scale)),
+        ),
+        (
+            "webserver_e2e",
+            Box::new(move || webserver_e2e(20_000 / scale)),
+        ),
+    ];
+    cells
+        .into_iter()
+        .map(|(name, run)| {
+            let start = Instant::now();
+            let sim_ops = run();
+            let wall_secs = start.elapsed().as_secs_f64().max(1e-9);
+            PerfCell {
+                name,
+                sim_ops,
+                wall_secs,
+                ops_per_sec: sim_ops as f64 / wall_secs,
+            }
+        })
+        .collect()
+}
+
+/// Serializes results into the committed baseline format.
+pub fn to_json(cells: &[PerfCell], smoke: bool) -> String {
+    let mut root = Json::object();
+    root.set("schema", Json::Str(SCHEMA.to_owned()));
+    root.set("smoke", Json::Bool(smoke));
+    root.set(
+        "results",
+        Json::Arr(
+            cells
+                .iter()
+                .map(|c| {
+                    let mut o = Json::object();
+                    o.set("name", Json::Str(c.name.to_owned()));
+                    o.set("sim_ops", Json::Num(c.sim_ops as f64));
+                    o.set("wall_secs", Json::Num(c.wall_secs));
+                    o.set("ops_per_sec", Json::Num(c.ops_per_sec));
+                    o
+                })
+                .collect(),
+        ),
+    );
+    let mut s = root.to_string_pretty();
+    s.push('\n');
+    s
+}
+
+/// Parses a baseline file into `(name, ops_per_sec)` rows.
+pub fn parse_baseline(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let doc = Json::parse(json).map_err(|e| e.to_string())?;
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("baseline schema is not {SCHEMA}"));
+    }
+    let results = doc
+        .get("results")
+        .and_then(Json::as_array)
+        .ok_or("baseline has no results array")?;
+    results
+        .iter()
+        .map(|r| {
+            let name = r
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("result without name")?;
+            let ops = r
+                .get("ops_per_sec")
+                .and_then(Json::as_f64)
+                .ok_or("result without ops_per_sec")?;
+            Ok((name.to_owned(), ops))
+        })
+        .collect()
+}
+
+/// Compares a run against a baseline: every baseline cell must still
+/// exist and reach at least `baseline / factor` ops/sec. Returns the
+/// list of violations (empty = pass).
+pub fn check_against(cells: &[PerfCell], baseline: &[(String, f64)], factor: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (name, base_ops) in baseline {
+        match cells.iter().find(|c| c.name == name.as_str()) {
+            None => violations.push(format!("cell {name} missing from this run")),
+            Some(c) if c.ops_per_sec * factor < *base_ops => violations.push(format!(
+                "{name}: {:.0} ops/s is a >{factor}x regression from baseline {:.0} ops/s",
+                c.ops_per_sec, base_ops
+            )),
+            Some(_) => {}
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_runs_and_counts_ops() {
+        // A tiny fraction of the real budget keeps the test fast while
+        // still driving every cell through its workload shape.
+        for cell in [
+            dd_put_get_mix(2_000),
+            global_fifo_churn(2_000),
+            strict_partition_churn(2_000),
+            hybrid_spill_trickle(2_000),
+            stats_entitlement_scan(2_000),
+            reconfig_invalidation(2_000),
+        ] {
+            assert!(cell >= 2_000);
+        }
+        assert!(webserver_e2e(200) > 0);
+    }
+
+    #[test]
+    fn json_roundtrip_and_check() {
+        let cells = vec![
+            PerfCell {
+                name: "dd_put_get_mix",
+                sim_ops: 1000,
+                wall_secs: 0.5,
+                ops_per_sec: 2000.0,
+            },
+            PerfCell {
+                name: "global_fifo_churn",
+                sim_ops: 1000,
+                wall_secs: 0.25,
+                ops_per_sec: 4000.0,
+            },
+        ];
+        let json = to_json(&cells, true);
+        let baseline = parse_baseline(&json).expect("roundtrip");
+        assert_eq!(baseline.len(), 2);
+        assert_eq!(baseline[0], ("dd_put_get_mix".to_owned(), 2000.0));
+        assert!(check_against(&cells, &baseline, REGRESSION_FACTOR).is_empty());
+
+        // A 2x+ drop (or a vanished cell) must be flagged.
+        let slow = vec![PerfCell {
+            name: "dd_put_get_mix",
+            sim_ops: 1000,
+            wall_secs: 2.0,
+            ops_per_sec: 500.0,
+        }];
+        let violations = check_against(&slow, &baseline, REGRESSION_FACTOR);
+        assert_eq!(violations.len(), 2);
+    }
+
+    #[test]
+    fn rejects_foreign_schema() {
+        assert!(parse_baseline("{\"schema\": \"other\", \"results\": []}").is_err());
+        assert!(parse_baseline("not json").is_err());
+    }
+}

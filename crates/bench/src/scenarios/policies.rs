@@ -134,12 +134,10 @@ pub fn run_policy(setting: PolicySetting, duration: SimTime) -> PolicyRun {
 }
 
 /// Runs all four settings and returns them baseline-first (Fig. 10's
-/// speedups are `setting / Global` per workload).
+/// speedups are `setting / Global` per workload). The settings run in
+/// parallel; output order stays `PolicySetting::ALL` order.
 pub fn fig10_runs(duration: SimTime) -> Vec<PolicyRun> {
-    PolicySetting::ALL
-        .iter()
-        .map(|&s| run_policy(s, duration))
-        .collect()
+    ddc_core::parallel::run_cells(PolicySetting::ALL.to_vec(), |s| run_policy(s, duration))
 }
 
 /// Computes Fig. 10 speedups of `run` relative to `baseline`.

@@ -123,26 +123,31 @@ pub fn run_split(app: SplitApp, container_mb: u64, duration: SimTime) -> SplitRe
     }
 }
 
-/// Runs the full Fig. 5 sweep: every app × every split.
+/// Runs the full Fig. 5 sweep: every app × every split. All
+/// `apps × splits` cells are independent, so the whole matrix fans out
+/// flat across cores and is regrouped per app afterwards.
 pub fn fig5_sweep(duration: SimTime) -> Vec<(SplitApp, Vec<SplitResult>)> {
+    let cells: Vec<(SplitApp, u64)> = SplitApp::ALL
+        .iter()
+        .flat_map(|&app| SPLITS_MB.iter().map(move |&c| (app, c)))
+        .collect();
+    let results = ddc_core::parallel::run_cells(cells, |(app, c)| run_split(app, c, duration));
     SplitApp::ALL
         .iter()
-        .map(|&app| {
-            let results = SPLITS_MB
-                .iter()
-                .map(|&c| run_split(app, c, duration))
-                .collect();
-            (app, results)
+        .enumerate()
+        .map(|(i, &app)| {
+            let start = i * SPLITS_MB.len();
+            (app, results[start..start + SPLITS_MB.len()].to_vec())
         })
         .collect()
 }
 
-/// Runs Table 1: the equal (1:1) split for each app.
+/// Runs Table 1: the equal (1:1) split for each app, one cell per core.
 pub fn table1(duration: SimTime) -> Vec<(SplitApp, SplitResult)> {
-    SplitApp::ALL
-        .iter()
-        .map(|&app| (app, run_split(app, BUDGET_MB / 2, duration)))
-        .collect()
+    let results = ddc_core::parallel::run_cells(SplitApp::ALL.to_vec(), |app| {
+        run_split(app, BUDGET_MB / 2, duration)
+    });
+    SplitApp::ALL.iter().copied().zip(results).collect()
 }
 
 #[cfg(test)]

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod parallel;
 mod report;
 mod runner;
 pub mod scenario;

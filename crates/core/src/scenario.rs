@@ -873,6 +873,11 @@ pub fn build(spec: &ScenarioSpec) -> Result<Experiment, ScenarioError> {
     }
 
     let mut containers: HashMap<String, (VmId, CgroupId)> = HashMap::new();
+    // Spec-order view of the container names: probes must be registered
+    // in a deterministic order (HashMap iteration order varies run to
+    // run, which would reshuffle report series between otherwise
+    // identical runs).
+    let mut container_order: Vec<String> = Vec::new();
     let mut vm_ids = Vec::new();
     let mut threads: Vec<(SimTime, Box<dyn WorkloadThread>)> = Vec::new();
     let mut seed = 1u64;
@@ -885,6 +890,7 @@ pub fn build(spec: &ScenarioSpec) -> Result<Experiment, ScenarioError> {
             }
             let cg = host.create_container(vm, &c.name, mb(c.limit_mb), c.policy.to_policy()?);
             containers.insert(c.name.clone(), (vm, cg));
+            container_order.push(c.name.clone());
             let start = SimTime::from_secs(c.start_secs.unwrap_or(0));
             for t in 0..c.threads.unwrap_or(1) {
                 seed += 1;
@@ -928,8 +934,9 @@ pub fn build(spec: &ScenarioSpec) -> Result<Experiment, ScenarioError> {
     for (start, thread) in threads {
         exp.add_thread_at(start, thread);
     }
-    for (name, (vm, cg)) in &containers {
-        let (vm, cg, label) = (*vm, *cg, format!("{name} (MB)"));
+    for name in &container_order {
+        let (vm, cg) = containers[name];
+        let label = format!("{name} (MB)");
         exp.add_probe(label, move |h| {
             h.container_cache_stats(vm, cg).map_or(0.0, |s| {
                 s.mem_pages as f64 * ddc_storage::PAGE_SIZE as f64 / 1e6

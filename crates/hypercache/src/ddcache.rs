@@ -4,13 +4,14 @@
 //! into a [`SecondChanceCache`] backend, with dynamic reconfiguration of
 //! every knob and the Global/Strict comparator modes.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
 
 use ddc_cleancache::{
     CachePolicy, GetOutcome, PageVersion, PoolId, PoolStats, PutOutcome, SecondChanceCache,
     StoreKind, VmId,
 };
-use ddc_sim::{FaultSchedule, SimDuration, SimTime};
+use ddc_sim::{FaultSchedule, FxHashMap, SimDuration, SimTime};
 use ddc_storage::{BlockAddr, FileId};
 
 use crate::index::{Placement, Pool};
@@ -82,18 +83,51 @@ enum SsdHealth {
     },
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 struct VmEntry {
     mem_weight: u64,
     ssd_weight: u64,
+    /// Dense registry of the VM's pool ids, kept sorted. Replaces the
+    /// O(total pools) `pools.keys().filter(...)` scans on the eviction
+    /// and stats paths, and doubles as the pre-sorted view that
+    /// [`DoubleDeckerCache::pool_ids`] used to rebuild (and re-sort) per
+    /// call.
+    pool_ids: Vec<PoolId>,
 }
 
 impl VmEntry {
+    fn new(mem_weight: u64, ssd_weight: u64) -> VmEntry {
+        VmEntry {
+            mem_weight,
+            ssd_weight,
+            pool_ids: Vec::new(),
+        }
+    }
+
     fn weight_for(&self, placement: Placement) -> u64 {
         match placement {
             Placement::Mem => self.mem_weight,
             Placement::Ssd => self.ssd_weight,
         }
+    }
+}
+
+/// Cached two-level entitlement shares for one store: the pure
+/// weight-derived part of the policy snapshot (usage is always read
+/// fresh). Rebuilt lazily after any control-plane change or
+/// participation transition (a pool's usage in the store crossing zero).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct ShareTable {
+    /// `(vm, entitlement, weight)` per participating VM, in `VmId` order.
+    vm_rows: Vec<(VmId, u64, u64)>,
+    /// Parallel to `vm_rows`: `(pool, entitlement, weight)` per
+    /// participating pool of that VM, in `PoolId` order.
+    pool_rows: Vec<Vec<(PoolId, u64, u64)>>,
+}
+
+impl ShareTable {
+    fn vm_row(&self, vm: VmId) -> Option<usize> {
+        self.vm_rows.binary_search_by_key(&vm, |r| r.0).ok()
     }
 }
 
@@ -106,12 +140,23 @@ pub struct DoubleDeckerCache {
     mem: BackingStore,
     ssd: BackingStore,
     vms: BTreeMap<VmId, VmEntry>,
-    pools: HashMap<(VmId, PoolId), Pool>,
+    pools: FxHashMap<(VmId, PoolId), Pool>,
     next_pool: u32,
     next_seq: u64,
     // Global-mode FIFO queues with lazy deletion (seq-stamped).
     global_fifo_mem: VecDeque<(VmId, PoolId, BlockAddr, u64)>,
     global_fifo_ssd: VecDeque<(VmId, PoolId, BlockAddr, u64)>,
+    // Tombstone counters: how many entries of each global FIFO are known
+    // dead (their object was removed or re-stamped without the entry
+    // being popped). Compaction triggers when tombstones dominate, so
+    // the scrub is amortized O(1) per removal instead of rescanning on a
+    // size heuristic.
+    global_stale_mem: u64,
+    global_stale_ssd: u64,
+    // Lazily rebuilt entitlement shares per store ([mem, ssd]); see
+    // [`ShareTable`]. Interior mutability because readers
+    // (`pool_stats`) fill it behind `&self`.
+    share_tables: RefCell<[Option<ShareTable>; 2]>,
     evictions: u64,
     trickle_downs: u64,
     ssd_health: SsdHealth,
@@ -131,11 +176,14 @@ impl DoubleDeckerCache {
             mem: BackingStore::mem(config.mem_capacity_pages),
             ssd: BackingStore::ssd(config.ssd_capacity_pages),
             vms: BTreeMap::new(),
-            pools: HashMap::new(),
+            pools: FxHashMap::default(),
             next_pool: 1,
             next_seq: 1,
             global_fifo_mem: VecDeque::new(),
             global_fifo_ssd: VecDeque::new(),
+            global_stale_mem: 0,
+            global_stale_ssd: 0,
+            share_tables: RefCell::new([None, None]),
             evictions: 0,
             trickle_downs: 0,
             ssd_health: SsdHealth::Healthy,
@@ -167,26 +215,22 @@ impl DoubleDeckerCache {
     /// Registers a VM with a cache weight applied to both stores (the
     /// paper's base design). Re-registering updates the weights.
     pub fn add_vm(&mut self, vm: VmId, weight: u64) {
-        self.vms.insert(
-            vm,
-            VmEntry {
-                mem_weight: weight,
-                ssd_weight: weight,
-            },
-        );
+        self.add_vm_with_store_weights(vm, weight, weight);
     }
 
     /// Registers a VM with *different* weights for the memory and SSD
     /// stores — the generalized setup the paper's footnote 1 describes as
     /// "a straightforward extension".
     pub fn add_vm_with_store_weights(&mut self, vm: VmId, mem_weight: u64, ssd_weight: u64) {
-        self.vms.insert(
-            vm,
-            VmEntry {
-                mem_weight,
-                ssd_weight,
-            },
-        );
+        // Re-registration must keep the pool registry: only weights change.
+        self.vms
+            .entry(vm)
+            .and_modify(|e| {
+                e.mem_weight = mem_weight;
+                e.ssd_weight = ssd_weight;
+            })
+            .or_insert_with(|| VmEntry::new(mem_weight, ssd_weight));
+        self.invalidate_all_entitlements();
     }
 
     /// Updates a VM's weight in both stores (dynamic provisioning,
@@ -197,6 +241,7 @@ impl DoubleDeckerCache {
         if let Some(entry) = self.vms.get_mut(&vm) {
             entry.mem_weight = weight;
             entry.ssd_weight = weight;
+            self.invalidate_all_entitlements();
         }
     }
 
@@ -207,25 +252,27 @@ impl DoubleDeckerCache {
         if let Some(entry) = self.vms.get_mut(&vm) {
             entry.mem_weight = mem_weight;
             entry.ssd_weight = ssd_weight;
+            self.invalidate_all_entitlements();
         }
     }
 
     /// Removes a VM, dropping every object of all its pools.
     pub fn remove_vm(&mut self, vm: VmId) {
-        let pool_keys: Vec<(VmId, PoolId)> = self
-            .pools
-            .keys()
-            .filter(|(v, _)| *v == vm)
-            .copied()
-            .collect();
-        for key in pool_keys {
-            if let Some(mut pool) = self.pools.remove(&key) {
+        let Some(entry) = self.vms.remove(&vm) else {
+            return;
+        };
+        for pid in entry.pool_ids {
+            if let Some(mut pool) = self.pools.remove(&(vm, pid)) {
                 let (mem, ssd) = pool.drain();
                 self.mem.free(mem);
                 self.ssd.free(ssd);
+                // Any global-FIFO entries of the drained objects are now
+                // tombstones.
+                self.global_stale_mem += mem;
+                self.global_stale_ssd += ssd;
             }
         }
-        self.vms.remove(&vm);
+        self.invalidate_all_entitlements();
     }
 
     /// Registered VM ids.
@@ -237,12 +284,14 @@ impl DoubleDeckerCache {
     /// (capacity growth — paper Fig. 13 — takes effect immediately).
     pub fn set_mem_capacity(&mut self, now: SimTime, pages: u64) {
         self.mem.set_capacity_pages(pages);
+        self.invalidate_entitlements(Placement::Mem);
         self.shrink_to_capacity(now, Placement::Mem);
     }
 
     /// Resizes the SSD store, evicting the excess if shrinking.
     pub fn set_ssd_capacity(&mut self, now: SimTime, pages: u64) {
         self.ssd.set_capacity_pages(pages);
+        self.invalidate_entitlements(Placement::Ssd);
         self.shrink_to_capacity(now, Placement::Ssd);
     }
 
@@ -296,6 +345,8 @@ impl DoubleDeckerCache {
         }
         self.ssd.free(self.ssd.used_pages());
         self.global_fifo_ssd.clear();
+        self.global_stale_ssd = 0;
+        self.invalidate_entitlements(Placement::Ssd);
         self.quarantine_invalidated += invalidated;
         self.ssd_quarantines += 1;
         self.ssd_health = SsdHealth::Quarantined {
@@ -326,6 +377,8 @@ impl DoubleDeckerCache {
         codec_cost: ddc_sim::SimDuration,
     ) {
         self.mem.set_compression(object_millipages, codec_cost);
+        // Compression changes the memory store's capacity in objects.
+        self.invalidate_entitlements(Placement::Mem);
     }
 
     // ------------------------------------------------------------------
@@ -335,8 +388,9 @@ impl DoubleDeckerCache {
     /// Aggregate pages used by all pools of `vm`.
     pub fn vm_usage(&self, vm: VmId) -> VmUsage {
         let mut usage = VmUsage::default();
-        for ((v, _), pool) in &self.pools {
-            if *v == vm {
+        if let Some(entry) = self.vms.get(&vm) {
+            for &pid in &entry.pool_ids {
+                let pool = &self.pools[&(vm, pid)];
                 usage.mem_pages += pool.used(Placement::Mem);
                 usage.ssd_pages += pool.used(Placement::Ssd);
             }
@@ -361,16 +415,12 @@ impl DoubleDeckerCache {
         }
     }
 
-    /// The pool ids currently registered for `vm`.
+    /// The pool ids currently registered for `vm`, in `PoolId` order.
     pub fn pool_ids(&self, vm: VmId) -> Vec<PoolId> {
-        let mut ids: Vec<PoolId> = self
-            .pools
-            .keys()
-            .filter(|(v, _)| *v == vm)
-            .map(|(_, p)| *p)
-            .collect();
-        ids.sort();
-        ids
+        self.vms
+            .get(&vm)
+            .map(|e| e.pool_ids.clone())
+            .unwrap_or_default()
     }
 
     /// The entitlement of one pool in its primary store, in pages
@@ -411,106 +461,204 @@ impl DoubleDeckerCache {
     // change, the policy module recalculates cache store entitlements at
     // two levels — per-VM level and container (pool) level").
     //
-    // Entitlements are pure functions of the current weights, so rather
-    // than caching them we recompute on demand; semantics are identical
-    // and reconfiguration is trivially consistent.
+    // Entitlements are pure functions of weights, capacities and the
+    // participant sets, none of which change on the data path's steady
+    // state — so the share split is cached per store and dropped only on
+    // control-plane changes and participation transitions (a pool's usage
+    // in a store crossing zero). Usage itself is always read fresh.
     // ------------------------------------------------------------------
+
+    /// Whether the pool's policy assigns it to the store.
+    fn pool_by_policy(pool: &Pool, placement: Placement) -> bool {
+        match placement {
+            Placement::Mem => pool.policy().store.uses_mem(),
+            Placement::Ssd => pool.policy().store.uses_ssd(),
+        }
+    }
 
     /// Whether the pool participates in the store: it is assigned there by
     /// policy, or still holds legacy objects there.
     fn pool_participates(pool: &Pool, placement: Placement) -> bool {
-        let by_policy = match placement {
-            Placement::Mem => pool.policy().store.uses_mem(),
-            Placement::Ssd => pool.policy().store.uses_ssd(),
-        };
-        by_policy || pool.used(placement) > 0
+        Self::pool_by_policy(pool, placement) || pool.used(placement) > 0
     }
 
     /// The pool's weight within the store (zero if only legacy objects).
     fn pool_weight(pool: &Pool, placement: Placement) -> u64 {
-        let by_policy = match placement {
-            Placement::Mem => pool.policy().store.uses_mem(),
-            Placement::Ssd => pool.policy().store.uses_ssd(),
-        };
-        if by_policy {
+        if Self::pool_by_policy(pool, placement) {
             pool.policy().weight as u64
         } else {
             0
         }
     }
 
-    /// Per-VM usage snapshot for one store: `(vm ids, entities)`.
-    fn vm_entities(&self, placement: Placement) -> (Vec<VmId>, Vec<EntityUsage>) {
-        let mut ids = Vec::new();
-        let mut used = Vec::new();
-        let mut weights = Vec::new();
+    fn table_idx(placement: Placement) -> usize {
+        match placement {
+            Placement::Mem => 0,
+            Placement::Ssd => 1,
+        }
+    }
+
+    /// Drops the cached share table for one store.
+    fn invalidate_entitlements(&mut self, placement: Placement) {
+        self.share_tables.get_mut()[Self::table_idx(placement)] = None;
+    }
+
+    /// Drops both cached share tables (control-plane changes that touch
+    /// VM-level weights or registration affect both stores).
+    fn invalidate_all_entitlements(&mut self) {
+        *self.share_tables.get_mut() = [None, None];
+    }
+
+    /// Records an object removal from `pool` in `placement`: if the pool
+    /// just left the store (usage hit zero and policy does not keep it
+    /// there) the participant set changed, so the share table is stale.
+    /// A missing pool (destroyed mid-flight) invalidates conservatively.
+    fn note_removal(&mut self, vm: VmId, pool: PoolId, placement: Placement) {
+        let exits = match self.pools.get(&(vm, pool)) {
+            Some(p) => p.used(placement) == 0 && !Self::pool_by_policy(p, placement),
+            None => true,
+        };
+        if exits {
+            self.invalidate_entitlements(placement);
+        }
+    }
+
+    /// Records an object insertion into `pool` in `placement`: a pool not
+    /// assigned there by policy joins the participant set when its usage
+    /// rises from zero.
+    fn note_insertion(&mut self, vm: VmId, pool: PoolId, placement: Placement) {
+        let joined = self
+            .pools
+            .get(&(vm, pool))
+            .is_some_and(|p| p.used(placement) == 1 && !Self::pool_by_policy(p, placement));
+        if joined {
+            self.invalidate_entitlements(placement);
+        }
+    }
+
+    /// Counts `count` global-FIFO entries of `placement` as tombstones
+    /// (their objects were removed without consuming the entries).
+    fn note_stale(&mut self, placement: Placement, count: u64) {
+        match placement {
+            Placement::Mem => self.global_stale_mem += count,
+            Placement::Ssd => self.global_stale_ssd += count,
+        }
+    }
+
+    /// Builds the two-level share table for one store from scratch.
+    fn build_share_table(&self, placement: Placement) -> ShareTable {
+        let mut vm_ids = Vec::new();
+        let mut vm_weights = Vec::new();
+        let mut pool_meta: Vec<Vec<(PoolId, u64)>> = Vec::new();
         for (&vm, entry) in &self.vms {
-            let mut vm_used = 0;
-            let mut participates = false;
-            for ((v, _), pool) in &self.pools {
-                if *v == vm && Self::pool_participates(pool, placement) {
-                    participates = true;
-                    vm_used += pool.used(placement);
+            let mut pools_here = Vec::new();
+            for &pid in &entry.pool_ids {
+                let pool = &self.pools[&(vm, pid)];
+                if Self::pool_participates(pool, placement) {
+                    pools_here.push((pid, Self::pool_weight(pool, placement)));
                 }
             }
-            if participates {
-                ids.push(vm);
-                used.push(vm_used);
-                weights.push(entry.weight_for(placement));
+            if !pools_here.is_empty() {
+                vm_ids.push(vm);
+                vm_weights.push(entry.weight_for(placement));
+                pool_meta.push(pools_here);
             }
         }
         let capacity = self.store_ref(placement).capacity_objects();
-        let shares = entitlements(capacity, &weights);
-        let entities = ids
-            .iter()
-            .enumerate()
-            .map(|(i, _)| EntityUsage::new(shares[i], used[i], weights[i]))
-            .collect();
-        (ids, entities)
+        let vm_shares = entitlements(capacity, &vm_weights);
+        let mut vm_rows = Vec::with_capacity(vm_ids.len());
+        let mut pool_rows = Vec::with_capacity(vm_ids.len());
+        for (i, &vm) in vm_ids.iter().enumerate() {
+            vm_rows.push((vm, vm_shares[i], vm_weights[i]));
+            let weights: Vec<u64> = pool_meta[i].iter().map(|&(_, w)| w).collect();
+            let shares = entitlements(vm_shares[i], &weights);
+            pool_rows.push(
+                pool_meta[i]
+                    .iter()
+                    .zip(shares)
+                    .map(|(&(p, w), s)| (p, s, w))
+                    .collect(),
+            );
+        }
+        ShareTable { vm_rows, pool_rows }
+    }
+
+    /// Runs `f` against the (lazily rebuilt) share table for one store.
+    ///
+    /// Debug builds re-derive the table from scratch and assert it
+    /// matches the cache, so any missed invalidation site fails loudly in
+    /// `cargo test` instead of silently skewing entitlements.
+    fn with_share_table<R>(&self, placement: Placement, f: impl FnOnce(&ShareTable) -> R) -> R {
+        let idx = Self::table_idx(placement);
+        let mut tables = self.share_tables.borrow_mut();
+        if tables[idx].is_none() {
+            tables[idx] = Some(self.build_share_table(placement));
+        }
+        #[cfg(debug_assertions)]
+        {
+            let fresh = self.build_share_table(placement);
+            assert_eq!(
+                tables[idx].as_ref().unwrap(),
+                &fresh,
+                "stale cached share table for {placement:?}: an invalidation site was missed"
+            );
+        }
+        f(tables[idx].as_ref().expect("table filled above"))
+    }
+
+    /// Per-VM usage snapshot for one store: `(vm ids, entities)`.
+    /// Entitlements come from the cached share table; usage is fresh.
+    fn vm_entities(&self, placement: Placement) -> (Vec<VmId>, Vec<EntityUsage>) {
+        self.with_share_table(placement, |table| {
+            let mut ids = Vec::with_capacity(table.vm_rows.len());
+            let mut entities = Vec::with_capacity(table.vm_rows.len());
+            for &(vm, share, weight) in &table.vm_rows {
+                let entry = &self.vms[&vm];
+                let used: u64 = entry
+                    .pool_ids
+                    .iter()
+                    .map(|&p| self.pools[&(vm, p)].used(placement))
+                    .sum();
+                ids.push(vm);
+                entities.push(EntityUsage::new(share, used, weight));
+            }
+            (ids, entities)
+        })
     }
 
     /// Per-pool usage snapshot within one VM for one store.
-    fn pool_entities(
-        &self,
-        vm: VmId,
-        placement: Placement,
-        vm_entitlement: u64,
-    ) -> (Vec<PoolId>, Vec<EntityUsage>) {
-        let mut ids = Vec::new();
-        let mut used = Vec::new();
-        let mut weights = Vec::new();
-        let mut keys: Vec<&(VmId, PoolId)> = self.pools.keys().filter(|(v, _)| *v == vm).collect();
-        keys.sort();
-        for key in keys {
-            let pool = &self.pools[key];
-            if Self::pool_participates(pool, placement) {
-                ids.push(key.1);
-                used.push(pool.used(placement));
-                weights.push(Self::pool_weight(pool, placement));
+    fn pool_entities(&self, vm: VmId, placement: Placement) -> (Vec<PoolId>, Vec<EntityUsage>) {
+        self.with_share_table(placement, |table| {
+            let Some(vi) = table.vm_row(vm) else {
+                return (Vec::new(), Vec::new());
+            };
+            let rows = &table.pool_rows[vi];
+            let mut ids = Vec::with_capacity(rows.len());
+            let mut entities = Vec::with_capacity(rows.len());
+            for &(pid, share, weight) in rows {
+                ids.push(pid);
+                entities.push(EntityUsage::new(
+                    share,
+                    self.pools[&(vm, pid)].used(placement),
+                    weight,
+                ));
             }
-        }
-        let shares = entitlements(vm_entitlement, &weights);
-        let entities = ids
-            .iter()
-            .enumerate()
-            .map(|(i, _)| EntityUsage::new(shares[i], used[i], weights[i]))
-            .collect();
-        (ids, entities)
+            (ids, entities)
+        })
     }
 
-    /// The current entitlement of one pool in one store.
+    /// The current entitlement of one pool in one store (two binary
+    /// searches into the cached table).
     fn pool_entitlement_in(&self, vm: VmId, pool: PoolId, placement: Placement) -> u64 {
-        let (vm_ids, vm_entities) = self.vm_entities(placement);
-        let Some(vi) = vm_ids.iter().position(|&v| v == vm) else {
-            return 0;
-        };
-        let (pool_ids, pool_entities) =
-            self.pool_entities(vm, placement, vm_entities[vi].entitlement);
-        pool_ids
-            .iter()
-            .position(|&p| p == pool)
-            .map(|pi| pool_entities[pi].entitlement)
-            .unwrap_or(0)
+        self.with_share_table(placement, |table| {
+            let Some(vi) = table.vm_row(vm) else {
+                return 0;
+            };
+            let rows = &table.pool_rows[vi];
+            rows.binary_search_by_key(&pool, |r| r.0)
+                .map(|pi| rows[pi].1)
+                .unwrap_or(0)
+        })
     }
 
     // ------------------------------------------------------------------
@@ -540,19 +688,33 @@ impl DoubleDeckerCache {
             let Some((vm, pool_id, addr, seq)) = entry else {
                 break;
             };
-            let Some(pool) = self.pools.get_mut(&(vm, pool_id)) else {
-                continue; // pool destroyed; stale entry
-            };
-            let live = pool
-                .peek(addr)
+            let live = self
+                .pools
+                .get(&(vm, pool_id))
+                .and_then(|p| p.peek(addr))
                 .is_some_and(|s| s.seq == seq && s.placement == placement);
             if !live {
+                // A tombstone got consumed the cheap way (popped off the
+                // front): it no longer needs a compaction pass.
+                match placement {
+                    Placement::Mem => {
+                        self.global_stale_mem = self.global_stale_mem.saturating_sub(1)
+                    }
+                    Placement::Ssd => {
+                        self.global_stale_ssd = self.global_stale_ssd.saturating_sub(1)
+                    }
+                }
                 continue;
             }
+            let pool = self
+                .pools
+                .get_mut(&(vm, pool_id))
+                .expect("liveness checked above");
             pool.remove(addr);
             pool.counters.evictions += 1;
             self.store(placement).free(1);
             self.evictions += 1;
+            self.note_removal(vm, pool_id, placement);
             freed += 1;
         }
         freed
@@ -577,8 +739,7 @@ impl DoubleDeckerCache {
             return self.evict_from_largest(placement);
         };
         let victim_vm = vm_ids[vm_idx];
-        let (pool_ids, pool_entities) =
-            self.pool_entities(victim_vm, placement, vm_entities[vm_idx].entitlement);
+        let (pool_ids, pool_entities) = self.pool_entities(victim_vm, placement);
         let pool_idx = select(&pool_entities, EVICTION_BATCH_PAGES).or_else(|| {
             // Within the victim VM fall back to its largest pool.
             pool_entities
@@ -598,12 +759,20 @@ impl DoubleDeckerCache {
     /// Fallback when no entity is nominally over its entitlement (rounding
     /// slack): evict from the VM/pool with the largest usage.
     fn evict_from_largest(&mut self, placement: Placement) -> u64 {
-        let victim = self
-            .pools
-            .iter()
-            .filter(|(_, p)| p.used(placement) > 0)
-            .max_by_key(|(_, p)| p.used(placement))
-            .map(|(k, _)| *k);
+        // Walk the registry in (VmId, PoolId) order so ties break
+        // deterministically (the old HashMap scan picked an arbitrary
+        // co-largest pool, which varied between runs).
+        let mut victim: Option<(VmId, PoolId)> = None;
+        let mut best = 0;
+        for (&vm, entry) in &self.vms {
+            for &pid in &entry.pool_ids {
+                let used = self.pools[&(vm, pid)].used(placement);
+                if used > best {
+                    best = used;
+                    victim = Some((vm, pid));
+                }
+            }
+        }
         let Some((vm, pool)) = victim else {
             return 0;
         };
@@ -639,6 +808,9 @@ impl DoubleDeckerCache {
         }
         self.store(placement).free(freed);
         self.evictions += freed;
+        // The evicted objects' global-FIFO entries (if any) are stale now.
+        self.note_stale(placement, freed);
+        self.note_removal(vm, pool_id, placement);
 
         // Trickle-down: hybrid pools keep evicted memory objects alive in
         // their SSD share while room remains (paper §3.3's hybrid mode).
@@ -661,8 +833,10 @@ impl DoubleDeckerCache {
             if let Some(pool) = self.pools.get_mut(&(vm, pool_id)) {
                 if let Some(displaced) = pool.insert(addr, Placement::Ssd, version, seq) {
                     self.store(displaced).free(1);
+                    self.note_stale(displaced, 1);
                 }
                 self.trickle_downs += 1;
+                self.note_insertion(vm, pool_id, Placement::Ssd);
             }
         }
         freed
@@ -758,6 +932,7 @@ impl DoubleDeckerCache {
                 pool.remove(addr);
             }
             self.store(old_placement).free(1);
+            self.note_stale(old_placement, 1);
             let new_placement = match old_placement {
                 Placement::Mem => Placement::Ssd,
                 Placement::Ssd => Placement::Mem,
@@ -785,12 +960,9 @@ impl DoubleDeckerCache {
                 if let Some(pool) = self.pools.get_mut(&(vm, pool_id)) {
                     if let Some(d) = pool.insert(addr, new_placement, version, seq) {
                         self.store(d).free(1);
+                        self.note_stale(d, 1);
                     }
-                    if new_placement == Placement::Mem {
-                        self.push_global_fifo(vm, pool_id, addr, seq, Placement::Mem);
-                    } else {
-                        self.push_global_fifo(vm, pool_id, addr, seq, Placement::Ssd);
-                    }
+                    self.push_global_fifo(vm, pool_id, addr, seq, new_placement);
                 }
             }
         }
@@ -804,23 +976,37 @@ impl DoubleDeckerCache {
         seq: u64,
         placement: Placement,
     ) {
-        match placement {
-            Placement::Mem => self.global_fifo_mem.push_back((vm, pool, addr, seq)),
-            Placement::Ssd => self.global_fifo_ssd.push_back((vm, pool, addr, seq)),
-        }
-        // Bound lazy garbage: compact when stale entries dominate.
-        let (queue, store_used) = match placement {
-            Placement::Mem => (&mut self.global_fifo_mem, self.mem.used_pages()),
-            Placement::Ssd => (&mut self.global_fifo_ssd, self.ssd.used_pages()),
+        let (queue, stale, store_used) = match placement {
+            Placement::Mem => (
+                &mut self.global_fifo_mem,
+                &mut self.global_stale_mem,
+                self.mem.used_pages(),
+            ),
+            Placement::Ssd => (
+                &mut self.global_fifo_ssd,
+                &mut self.global_stale_ssd,
+                self.ssd.used_pages(),
+            ),
         };
-        if queue.len() as u64 > store_used.saturating_mul(4).max(1024) {
+        queue.push_back((vm, pool, addr, seq));
+        // Compact when tombstones dominate the queue: every removal funds
+        // at most ~two retained-entry visits here, so the scrub is
+        // amortized O(1) per removal (the old heuristic rescanned the
+        // whole queue whenever it outgrew a multiple of store usage,
+        // which is O(n) per put under churn). The size fallback bounds
+        // the queue even if a removal path ever fails to tombstone.
+        let len = queue.len() as u64;
+        let dominated = *stale * 2 > len && len >= 1024;
+        let oversized = len > store_used.saturating_mul(8).max(1024);
+        if dominated || oversized {
             let pools = &self.pools;
             queue.retain(|(v, p, a, s)| {
                 pools
                     .get(&(*v, *p))
                     .and_then(|pool| pool.peek(*a))
-                    .is_some_and(|slot| slot.seq == *s)
+                    .is_some_and(|slot| slot.seq == *s && slot.placement == placement)
             });
+            *stale = 0;
         }
     }
 }
@@ -829,13 +1015,13 @@ impl SecondChanceCache for DoubleDeckerCache {
     fn create_pool(&mut self, vm: VmId, policy: CachePolicy) -> PoolId {
         // Auto-register unknown VMs with a default weight so single-VM
         // setups need no explicit add_vm call.
-        self.vms.entry(vm).or_insert(VmEntry {
-            mem_weight: 100,
-            ssd_weight: 100,
-        });
+        let entry = self.vms.entry(vm).or_insert_with(|| VmEntry::new(100, 100));
         let id = PoolId(self.next_pool);
         self.next_pool += 1;
+        // `next_pool` is monotonic, so pushing keeps the registry sorted.
+        entry.pool_ids.push(id);
         self.pools.insert((vm, id), Pool::new(vm, policy));
+        self.invalidate_all_entitlements();
         id
     }
 
@@ -844,13 +1030,25 @@ impl SecondChanceCache for DoubleDeckerCache {
             let (mem, ssd) = p.drain();
             self.mem.free(mem);
             self.ssd.free(ssd);
+            self.global_stale_mem += mem;
+            self.global_stale_ssd += ssd;
+            if let Some(entry) = self.vms.get_mut(&vm) {
+                if let Ok(i) = entry.pool_ids.binary_search(&pool) {
+                    entry.pool_ids.remove(i);
+                }
+            }
+            self.invalidate_all_entitlements();
         }
     }
 
     fn set_policy(&mut self, vm: VmId, pool: PoolId, policy: CachePolicy) {
         if let Some(p) = self.pools.get_mut(&(vm, pool)) {
             p.set_policy(policy);
+            self.invalidate_all_entitlements();
             self.rehome_pool_objects(vm, pool);
+            // Re-homing moves usage between stores, which can change the
+            // participant sets again.
+            self.invalidate_all_entitlements();
         }
     }
 
@@ -858,14 +1056,19 @@ impl SecondChanceCache for DoubleDeckerCache {
         let Some(slot) = self.pools.get_mut(&(vm, from)).and_then(|p| p.remove(addr)) else {
             return;
         };
+        // The entry the source pool pushed for this object is stale now.
+        self.note_stale(slot.placement, 1);
+        self.note_removal(vm, from, slot.placement);
         match self.pools.get_mut(&(vm, to)) {
             Some(target) => {
                 let seq = self.next_seq;
                 self.next_seq += 1;
                 if let Some(displaced) = target.insert(addr, slot.placement, slot.version, seq) {
                     self.store(displaced).free(1);
+                    self.note_stale(displaced, 1);
                 }
                 self.push_global_fifo(vm, to, addr, seq, slot.placement);
+                self.note_insertion(vm, to, slot.placement);
             }
             None => {
                 // Unknown target: the object has no owner; drop it.
@@ -898,6 +1101,10 @@ impl SecondChanceCache for DoubleDeckerCache {
             return GetOutcome::Miss;
         };
         self.store(slot.placement).free(1);
+        // Exclusive semantics remove the object on a hit; its FIFO entry
+        // outlives it as a tombstone.
+        self.note_stale(slot.placement, 1);
+        self.note_removal(vm, pool, slot.placement);
         let finish = match slot.placement {
             Placement::Mem => self.mem.read(now, addr),
             Placement::Ssd => match self.ssd.try_read(now, addr) {
@@ -940,6 +1147,8 @@ impl SecondChanceCache for DoubleDeckerCache {
         // page is available to this put.
         if let Some(old) = self.pools.get_mut(&(vm, pool)).and_then(|p| p.remove(addr)) {
             self.store(old.placement).free(1);
+            self.note_stale(old.placement, 1);
+            self.note_removal(vm, pool, old.placement);
         }
 
         // Strict mode pre-check: a pool at its hard partition evicts from
@@ -1003,14 +1212,18 @@ impl SecondChanceCache for DoubleDeckerCache {
             // Unreachable in practice (old copy removed above), but keep
             // accounting exact if insert displaces.
             self.store(displaced).free(1);
+            self.note_stale(displaced, 1);
         }
         self.push_global_fifo(vm, pool, addr, seq, placement);
+        self.note_insertion(vm, pool, placement);
         PutOutcome::Stored { finish }
     }
 
     fn flush(&mut self, vm: VmId, pool: PoolId, addr: BlockAddr) {
         if let Some(slot) = self.pools.get_mut(&(vm, pool)).and_then(|p| p.remove(addr)) {
             self.store(slot.placement).free(1);
+            self.note_stale(slot.placement, 1);
+            self.note_removal(vm, pool, slot.placement);
         }
     }
 
@@ -1019,6 +1232,14 @@ impl SecondChanceCache for DoubleDeckerCache {
             let (mem, ssd) = p.remove_file(file);
             self.mem.free(mem);
             self.ssd.free(ssd);
+            self.global_stale_mem += mem;
+            self.global_stale_ssd += ssd;
+            if mem > 0 {
+                self.note_removal(vm, pool, Placement::Mem);
+            }
+            if ssd > 0 {
+                self.note_removal(vm, pool, Placement::Ssd);
+            }
         }
     }
 }

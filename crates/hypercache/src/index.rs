@@ -2,14 +2,17 @@
 //!
 //! The paper (§4.2) uses "a hierarchy of indexing data structures — a
 //! per-pool file object (inode-num) hash table, file block radix-tree
-//! etc.". [`Pool`] mirrors that hierarchy with a `HashMap<FileId, _>` of
-//! per-file `BTreeMap<block, Slot>` trees, plus per-placement FIFO queues
+//! etc.". [`Pool`] mirrors that hierarchy with a hash map of per-file
+//! `BTreeMap<block, Slot>` trees, plus per-placement FIFO queues
 //! (with lazy deletion) implementing the paper's FIFO eviction order —
-//! "LRU equivalent for exclusive caches" (§4.2).
+//! "LRU equivalent for exclusive caches" (§4.2). The file table uses
+//! [`FxHashMap`]: `FileId` keys are internal, so the cheaper seed-free
+//! hash wins on every get/put without any flooding exposure.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use ddc_cleancache::{CachePolicy, PageVersion, VmId};
+use ddc_sim::FxHashMap;
 use ddc_storage::{BlockAddr, FileId};
 
 /// Where an object physically resides. Unlike
@@ -57,7 +60,7 @@ pub struct PoolCounters {
 pub struct Pool {
     vm: VmId,
     policy: CachePolicy,
-    files: HashMap<FileId, BTreeMap<u64, Slot>>,
+    files: FxHashMap<FileId, BTreeMap<u64, Slot>>,
     fifo_mem: VecDeque<(BlockAddr, u64)>,
     fifo_ssd: VecDeque<(BlockAddr, u64)>,
     used_mem: u64,
@@ -72,7 +75,7 @@ impl Pool {
         Pool {
             vm,
             policy,
-            files: HashMap::new(),
+            files: FxHashMap::default(),
             fifo_mem: VecDeque::new(),
             fifo_ssd: VecDeque::new(),
             used_mem: 0,

@@ -14,7 +14,9 @@
 //!   regenerate the paper's figures,
 //! * [`FaultSchedule`] — seeded, schedulable fault windows (transient
 //!   errors, latency spikes, brownouts, permanent death) consulted by
-//!   fallible components for reproducible failure experiments.
+//!   fallible components for reproducible failure experiments,
+//! * [`FxHashMap`] / [`FxHasher`] — a fast, deterministic (seed-free)
+//!   hasher for hot-path maps keyed by internal ids.
 //!
 //! # Example
 //!
@@ -35,6 +37,7 @@
 
 mod event;
 mod faults;
+pub mod hash;
 mod resource;
 mod rng;
 mod series;
@@ -42,6 +45,7 @@ mod time;
 
 pub use event::EventQueue;
 pub use faults::{FaultDecision, FaultKind, FaultSchedule, FaultWindow};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use resource::{Grant, MultiQueuedResource, QueuedResource};
 pub use rng::SimRng;
 pub use series::{Sampler, SeriesPoint, TimeSeries};

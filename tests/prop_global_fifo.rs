@@ -1,0 +1,226 @@
+//! Model-based property test for the Global-mode FIFO with tombstone
+//! (lazy-deletion) compaction.
+//!
+//! The reference model keeps an **eagerly scrubbed** FIFO: every
+//! removal (get hit, overwrite, flush, pool destruction) deletes the
+//! queue entry immediately, so its front is always live and its
+//! eviction order is the ground truth. The real cache instead leaves
+//! tombstones behind and compacts lazily. The property: under random
+//! insert / get / flush / destroy / eviction-pressure sequences, the two
+//! are observably identical — same put/get outcomes, same occupancy
+//! after every operation, and the same survivor set at the end (which
+//! pins the eviction *order*, since which objects survive depends on
+//! exactly which were evicted first).
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use ddc_core::cleancache::SecondChanceCache;
+use ddc_core::prelude::*;
+
+type Key = (u32, u32, u64, u64); // (vm, pool, file, block)
+
+/// Eager-retain reference model of a Global-mode exclusive cache.
+struct EagerModel {
+    capacity: u64,
+    live: BTreeMap<Key, ()>,
+    fifo: VecDeque<Key>,
+    evictions: u64,
+}
+
+impl EagerModel {
+    fn new(capacity: u64) -> EagerModel {
+        EagerModel {
+            capacity,
+            live: BTreeMap::new(),
+            fifo: VecDeque::new(),
+            evictions: 0,
+        }
+    }
+
+    fn remove(&mut self, key: Key) -> bool {
+        if self.live.remove(&key).is_some() {
+            // Eager scrub: the queue never holds a dead entry.
+            self.fifo.retain(|k| *k != key);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn evict_batch(&mut self) -> u64 {
+        let mut freed = 0;
+        while freed < EVICTION_BATCH_PAGES {
+            let Some(key) = self.fifo.pop_front() else {
+                break;
+            };
+            self.live.remove(&key).expect("eager fifo is always live");
+            self.evictions += 1;
+            freed += 1;
+        }
+        freed
+    }
+
+    /// Mirrors the real put path: overwrite-remove, evict on full,
+    /// reject when nothing can be freed.
+    fn put(&mut self, key: Key) -> bool {
+        self.remove(key);
+        if self.live.len() as u64 >= self.capacity && self.evict_batch() == 0 {
+            return false;
+        }
+        self.live.insert(key, ());
+        self.fifo.push_back(key);
+        true
+    }
+
+    fn destroy_pool(&mut self, vm: u32, pool: u32) -> u64 {
+        let keys: Vec<Key> = self
+            .live
+            .keys()
+            .filter(|(v, p, _, _)| *v == vm && *p == pool)
+            .copied()
+            .collect();
+        let dropped = keys.len() as u64;
+        for k in keys {
+            self.remove(k);
+        }
+        dropped
+    }
+}
+
+struct Harness {
+    cache: DoubleDeckerCache,
+    model: EagerModel,
+    /// Current pool id per (vm slot, pool slot); destroyed pools are
+    /// re-created with fresh ids.
+    pools: Vec<Vec<PoolId>>,
+}
+
+const VMS: u32 = 2;
+const POOLS_PER_VM: u32 = 2;
+const CAPACITY: u64 = 2 * EVICTION_BATCH_PAGES;
+
+impl Harness {
+    fn new() -> Harness {
+        let mut cache = DoubleDeckerCache::new(CacheConfig {
+            mem_capacity_pages: CAPACITY,
+            ssd_capacity_pages: 0,
+            mode: PartitionMode::Global,
+        });
+        let pools = (0..VMS)
+            .map(|v| {
+                cache.add_vm(VmId(v), 100);
+                (0..POOLS_PER_VM)
+                    .map(|_| cache.create_pool(VmId(v), CachePolicy::mem(100)))
+                    .collect()
+            })
+            .collect();
+        Harness {
+            cache,
+            model: EagerModel::new(CAPACITY),
+            pools,
+        }
+    }
+
+    fn key(&self, v: u32, p: u32, file: u64, block: u64) -> (Key, VmId, PoolId, BlockAddr) {
+        let pool = self.pools[v as usize][p as usize];
+        (
+            (v, pool.0, file, block),
+            VmId(v),
+            pool,
+            BlockAddr::new(FileId(file), block),
+        )
+    }
+
+    fn step(&mut self, r: &mut SimRng) {
+        let v = r.range_u64(0, VMS as u64) as u32;
+        let p = r.range_u64(0, POOLS_PER_VM as u64) as u32;
+        let file = r.range_u64(0, 4);
+        let block = r.range_u64(0, 700);
+        let (key, vm, pool, addr) = self.key(v, p, file, block);
+        match r.range_u64(0, 10) {
+            // Put-heavy mix: the eviction path only fires under pressure.
+            0..=5 => {
+                let stored = self
+                    .cache
+                    .put(SimTime::from_secs(1), vm, pool, addr, PageVersion(1))
+                    .is_stored();
+                assert_eq!(stored, self.model.put(key), "put outcome diverged");
+            }
+            6..=7 => {
+                let hit = self
+                    .cache
+                    .get(SimTime::from_secs(1), vm, pool, addr)
+                    .is_hit();
+                assert_eq!(hit, self.model.remove(key), "get outcome diverged");
+            }
+            8 => {
+                self.cache.flush(vm, pool, addr);
+                self.model.remove(key);
+            }
+            _ => {
+                // Destroy one pool (its queue entries become tombstones
+                // in the real cache) and re-create it under a fresh id.
+                self.cache.destroy_pool(vm, pool);
+                self.model.destroy_pool(v, pool.0);
+                self.pools[v as usize][p as usize] =
+                    self.cache.create_pool(vm, CachePolicy::mem(100));
+            }
+        }
+        assert_eq!(
+            self.cache.totals().mem_used_pages,
+            self.model.live.len() as u64,
+            "occupancy diverged"
+        );
+    }
+
+    /// Drains both caches in a deterministic key order, comparing
+    /// hit/miss per key: any eviction-order difference shows up as a
+    /// survivor-set mismatch here.
+    fn check_survivors(mut self) {
+        assert_eq!(self.cache.totals().evictions, self.model.evictions);
+        for v in 0..VMS {
+            for p in 0..POOLS_PER_VM {
+                for file in 0..4 {
+                    for block in 0..700 {
+                        let (key, vm, pool, addr) = self.key(v, p, file, block);
+                        let hit = self
+                            .cache
+                            .get(SimTime::from_secs(1), vm, pool, addr)
+                            .is_hit();
+                        assert_eq!(
+                            hit,
+                            self.model.remove(key),
+                            "survivor set diverged at {key:?}"
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(self.cache.totals().mem_used_pages, 0);
+        assert!(self.model.live.is_empty());
+    }
+}
+
+fn run_sequence(seed: u64, steps: u64) {
+    let mut h = Harness::new();
+    let mut r = SimRng::new(seed);
+    for _ in 0..steps {
+        h.step(&mut r);
+    }
+    h.check_survivors();
+}
+
+#[test]
+fn tombstone_fifo_matches_eager_retain_model() {
+    for seed in [1, 7, 42, 1234, 0xDD01] {
+        run_sequence(seed, 6_000);
+    }
+}
+
+#[test]
+fn long_churn_survives_many_compactions() {
+    // One long run with a put-heavy prefix guarantees multiple
+    // tombstone-driven compaction passes over the global queue.
+    run_sequence(99, 25_000);
+}
