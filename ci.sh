@@ -15,12 +15,15 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
-echo "==> perf smoke (2x regression gate against BENCH_cache_ops.json)"
+echo "==> perf smoke (1.3x regression gate against BENCH_cache_ops.json)"
 if [ -f BENCH_cache_ops.json ]; then
     cargo run --release -q -p ddc-bench --bin repro -- perf --smoke --check BENCH_cache_ops.json
 else
     echo "no baseline found; recording one (commit BENCH_cache_ops.json)"
     cargo run --release -q -p ddc-bench --bin repro -- perf --smoke --out BENCH_cache_ops.json
 fi
+
+echo "==> chaos smoke (seeded crash/recovery sweep)"
+cargo run --release -q -p ddc-bench --bin repro -- chaos --smoke
 
 echo "CI green."

@@ -14,7 +14,7 @@ use std::path::PathBuf;
 
 use ddc_bench::scenarios::common::{print_series, to_mb, FourKind};
 use ddc_bench::scenarios::{
-    ablations, cooperative, dynamic, faults, modes, motivation, perf, policies, splits,
+    ablations, chaos, cooperative, dynamic, faults, modes, motivation, perf, policies, splits,
 };
 use ddc_core::prelude::*;
 
@@ -85,6 +85,9 @@ fn print_help() {
            fig13   dynamic VM provisioning\n\
            ext     extensions: compression ablation, hybrid store, adaptive weights\n\
            faults  SSD brownout: graceful degradation and recovery\n\
+           chaos   crash-and-recovery sweep over randomized journal prefixes\n\
+                   [--smoke] [--out FILE]; exits non-zero on any stale read\n\
+                   or invariant violation\n\
            perf    cache-ops perf matrix [--smoke] [--out FILE] [--check BASELINE]\n\
            all     everything above except perf (default)\n\n\
          parallelism: independent experiment cells fan out across cores\n\
@@ -383,9 +386,12 @@ fn table4(args: &Args) {
 }
 
 fn fig12(args: &Args) {
+    fig12_print(args, &dynamic::fig12());
+}
+
+fn fig12_print(args: &Args, report: &ddc_core::ExperimentReport) {
     banner("Fig 12: dynamic policy changes across containers");
-    let report = dynamic::fig12();
-    print_series(&report, &["web (MB)", "proxy (MB)", "video (MB)"]);
+    print_series(report, &["web (MB)", "proxy (MB)", "video (MB)"]);
     let p = dynamic::PHASE_SECS as f64;
     let mut table = TextTable::new(vec![
         "container",
@@ -403,7 +409,7 @@ fn fig12(args: &Args) {
         ]);
     }
     println!("{}", table.render());
-    maybe_dump(args, "fig12", &report);
+    maybe_dump(args, "fig12", report);
     println!(
         "shape check (paper Fig 12): 60/40 split; then 50/30/20 when the\n\
          videoserver boots; then back to 60/40 when it moves to the SSD."
@@ -411,9 +417,12 @@ fn fig12(args: &Args) {
 }
 
 fn fig13(args: &Args) {
+    fig13_print(args, &dynamic::fig13());
+}
+
+fn fig13_print(args: &Args, report: &ddc_core::ExperimentReport) {
     banner("Fig 13: dynamic VM provisioning");
-    let report = dynamic::fig13();
-    print_series(&report, &["vm1 (MB)", "vm2 (MB)", "vm3 (MB)", "vm4 (MB)"]);
+    print_series(report, &["vm1 (MB)", "vm2 (MB)", "vm3 (MB)", "vm4 (MB)"]);
     let mut table = TextTable::new(vec!["vm", "phase2 mean (MB)", "phase4 mean (MB)"]);
     for name in ["vm1 (MB)", "vm2 (MB)", "vm3 (MB)", "vm4 (MB)"] {
         let s = report.series(name).unwrap();
@@ -424,7 +433,7 @@ fn fig13(args: &Args) {
         ]);
     }
     println!("{}", table.render());
-    maybe_dump(args, "fig13", &report);
+    maybe_dump(args, "fig13", report);
     println!(
         "shape check (paper Fig 13): VM1 alone fills the cache; 60/40 after VM2;\n\
          VM3 (SSD-only) does not disturb the memory split; capacity doubling plus\n\
@@ -470,7 +479,13 @@ fn extensions(args: &Args) {
 fn fault_plane(args: &Args) {
     banner("Fault plane: SSD brownout, graceful degradation and recovery");
     let secs = args.secs.unwrap_or(faults::DURATION_SECS);
-    let run = faults::brownout(secs, 0xB120);
+    // The scored run and its same-seed determinism twin are independent
+    // cells: compute both in parallel, then print.
+    let mut runs = ddc_core::parallel::run_cells(vec![0xB120u64, 0xB120], move |seed| {
+        faults::brownout(secs, seed)
+    });
+    let again = runs.pop().expect("two cells");
+    let run = runs.pop().expect("two cells");
     print_series(&run.report, &["hit ratio", "ssd (MB)"]);
 
     let f = &run.report.faults;
@@ -497,7 +512,6 @@ fn fault_plane(args: &Args) {
     );
     maybe_dump(args, "faults_brownout", &run.report);
 
-    let again = faults::brownout(secs, 0xB120);
     println!(
         "determinism: same-seed rerun is {}",
         if again.report.to_json() == run.report.to_json() {
@@ -511,6 +525,76 @@ fn fault_plane(args: &Args) {
          back after recovery; the workload never stalls (fail-open to disk) and\n\
          no stale SSD data is ever served (quarantine invalidates the tier)."
     );
+}
+
+fn chaos_sweep(args: &Args) -> bool {
+    let cases = if args.smoke {
+        chaos::CASES_SMOKE
+    } else {
+        chaos::CASES_FULL
+    };
+    banner(&format!(
+        "Chaos: {cases} randomized hypervisor crashes (journal cuts, torn tails, bit flips)"
+    ));
+    let report = chaos::run(chaos::DEFAULT_SEED, cases);
+    let mut table = TextTable::new(vec![
+        "case",
+        "kind",
+        "cut/len (B)",
+        "replayed",
+        "recovered",
+        "discarded",
+        "poisoned",
+        "stale",
+        "audit",
+    ]);
+    for c in &report.cases {
+        table.row(vec![
+            c.id.to_string(),
+            c.kind.name().to_owned(),
+            format!("{}/{}", c.cut, c.image_len),
+            c.records_replayed.to_string(),
+            c.recovered_entries.to_string(),
+            c.discarded_stale.to_string(),
+            c.poisoned.to_string(),
+            (c.stale_entries + c.stale_reads).to_string(),
+            c.audit_findings.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "totals: {} stale reads, {} auditor findings across {} crash points",
+        report.total_stale(),
+        report.total_findings(),
+        report.cases.len()
+    );
+
+    if let Some(out) = &args.out {
+        fs::write(out, report.to_json()).expect("write chaos json");
+        println!("[chaos report written to {}]", out.display());
+    }
+    if let Some(dir) = &args.json_dir {
+        fs::create_dir_all(dir).expect("create json dir");
+        let path = dir.join("chaos.json");
+        fs::write(&path, report.to_json()).expect("write json");
+        println!("[json written to {}]", path.display());
+    }
+
+    let again = chaos::run(chaos::DEFAULT_SEED, cases);
+    println!(
+        "determinism: same-seed rerun is {}",
+        if again.to_json() == report.to_json() {
+            "byte-identical"
+        } else {
+            "DIFFERENT (bug!)"
+        }
+    );
+    println!(
+        "shape check: recovery may lose entries (discarded/dropped) but the\n\
+         stale and audit columns must be all zero — the cache can forget,\n\
+         it can never lie."
+    );
+    report.passed() && again.to_json() == report.to_json()
 }
 
 fn perf_matrix(args: &Args) {
@@ -579,6 +663,12 @@ fn main() {
         "fig13" => fig13(&args),
         "ext" => extensions(&args),
         "faults" => fault_plane(&args),
+        "chaos" => {
+            if !chaos_sweep(&args) {
+                eprintln!("chaos sweep FAILED (stale reads or invariant violations)");
+                std::process::exit(1);
+            }
+        }
         "perf" => perf_matrix(&args),
         "all" => {
             fig3(&args);
@@ -588,10 +678,22 @@ fn main() {
             fig8_fig9_table2(&args, "all");
             fig10_fig11(&args, "all");
             table4(&args);
-            fig12(&args);
-            fig13(&args);
+            // Figs 12 and 13 are independent single-report experiments:
+            // compute both in parallel, print in order.
+            let mut reports = ddc_core::parallel::run_cells(vec![12u8, 13], |n| match n {
+                12 => dynamic::fig12(),
+                _ => dynamic::fig13(),
+            });
+            let r13 = reports.pop().expect("two cells");
+            let r12 = reports.pop().expect("two cells");
+            fig12_print(&args, &r12);
+            fig13_print(&args, &r13);
             extensions(&args);
             fault_plane(&args);
+            if !chaos_sweep(&args) {
+                eprintln!("chaos sweep FAILED (stale reads or invariant violations)");
+                std::process::exit(1);
+            }
         }
         other => {
             eprintln!("unknown command {other}");

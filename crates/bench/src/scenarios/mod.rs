@@ -1,6 +1,7 @@
 //! Scenario builders, one module per paper artifact.
 
 pub mod ablations;
+pub mod chaos;
 pub mod common;
 pub mod cooperative;
 pub mod dynamic;

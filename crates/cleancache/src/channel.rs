@@ -107,6 +107,7 @@ pub struct HypercallChannel {
     enabled: bool,
     faults: Option<FaultSchedule>,
     breaker: Breaker,
+    flush_epoch: u64,
 }
 
 impl HypercallChannel {
@@ -139,6 +140,7 @@ impl HypercallChannel {
             enabled: true,
             faults: None,
             breaker: Breaker::Closed { failures: 0 },
+            flush_epoch: 0,
         }
     }
 
@@ -174,6 +176,23 @@ impl HypercallChannel {
     /// Whether the put circuit breaker is currently open.
     pub fn breaker_open(&self) -> bool {
         matches!(self.breaker, Breaker::Open { .. })
+    }
+
+    /// The guest's **flush epoch**: the largest journal generation any
+    /// acked flush hypercall returned. Because flushes are
+    /// synchronous-reliable and the backend journals them durably before
+    /// acking, every page version this VM has invalidated is covered by
+    /// a journal record at or below this generation — crash recovery
+    /// uses it to guarantee no invalidated version is resurrected.
+    pub fn flush_epoch(&self) -> u64 {
+        self.flush_epoch
+    }
+
+    /// Installs a recovery-issued flush epoch (after the hypervisor
+    /// cache warm-restarts with a fresh journal, the checkpoint assigns
+    /// each VM a new epoch in the new generation sequence).
+    pub fn set_flush_epoch(&mut self, epoch: u64) {
+        self.flush_epoch = epoch;
     }
 
     /// Consults the drop schedule for one data-path call at `now`.
@@ -386,21 +405,42 @@ impl HypercallChannel {
         }
     }
 
-    /// `flush` hypercall for one block.
-    pub fn flush(&mut self, backend: &mut dyn SecondChanceCache, pool: PoolId, addr: BlockAddr) {
+    /// `flush` hypercall for one block. Returns the backend's flush
+    /// epoch for this invalidation (0 if unjournaled or disabled) and
+    /// folds it into [`HypercallChannel::flush_epoch`].
+    pub fn flush(
+        &mut self,
+        backend: &mut dyn SecondChanceCache,
+        pool: PoolId,
+        addr: BlockAddr,
+    ) -> u64 {
         self.counters.calls += 1;
         self.counters.flushes += 1;
         if self.enabled {
-            backend.flush(self.vm, pool, addr);
+            let epoch = backend.flush(self.vm, pool, addr);
+            self.flush_epoch = self.flush_epoch.max(epoch);
+            epoch
+        } else {
+            0
         }
     }
 
-    /// `flush` hypercall for a whole file.
-    pub fn flush_file(&mut self, backend: &mut dyn SecondChanceCache, pool: PoolId, file: FileId) {
+    /// `flush` hypercall for a whole file. Epoch semantics as
+    /// [`HypercallChannel::flush`].
+    pub fn flush_file(
+        &mut self,
+        backend: &mut dyn SecondChanceCache,
+        pool: PoolId,
+        file: FileId,
+    ) -> u64 {
         self.counters.calls += 1;
         self.counters.flushes += 1;
         if self.enabled {
-            backend.flush_file(self.vm, pool, file);
+            let epoch = backend.flush_file(self.vm, pool, file);
+            self.flush_epoch = self.flush_epoch.max(epoch);
+            epoch
+        } else {
+            0
         }
     }
 }
@@ -490,8 +530,12 @@ mod tests {
             ) -> PutOutcome {
                 PutOutcome::Stored { finish: now }
             }
-            fn flush(&mut self, _: VmId, _: PoolId, _: BlockAddr) {}
-            fn flush_file(&mut self, _: VmId, _: PoolId, _: FileId) {}
+            fn flush(&mut self, _: VmId, _: PoolId, _: BlockAddr) -> u64 {
+                0
+            }
+            fn flush_file(&mut self, _: VmId, _: PoolId, _: FileId) -> u64 {
+                0
+            }
         }
 
         let mut probe = Probe { seen: None };
@@ -557,8 +601,12 @@ mod tests {
                 PutOutcome::Stored { finish: now }
             }
         }
-        fn flush(&mut self, _: VmId, _: PoolId, _: BlockAddr) {}
-        fn flush_file(&mut self, _: VmId, _: PoolId, _: FileId) {}
+        fn flush(&mut self, _: VmId, _: PoolId, _: BlockAddr) -> u64 {
+            0
+        }
+        fn flush_file(&mut self, _: VmId, _: PoolId, _: FileId) -> u64 {
+            0
+        }
     }
 
     #[test]
@@ -675,11 +723,13 @@ mod tests {
             ) -> PutOutcome {
                 PutOutcome::Stored { finish: now }
             }
-            fn flush(&mut self, _: VmId, _: PoolId, _: BlockAddr) {
+            fn flush(&mut self, _: VmId, _: PoolId, _: BlockAddr) -> u64 {
                 self.flushes += 1;
+                self.flushes
             }
-            fn flush_file(&mut self, _: VmId, _: PoolId, _: FileId) {
+            fn flush_file(&mut self, _: VmId, _: PoolId, _: FileId) -> u64 {
                 self.flushes += 1;
+                self.flushes
             }
         }
         let mut b = FlushCounter { flushes: 0 };
@@ -696,8 +746,15 @@ mod tests {
         );
         assert_eq!(ch.counters().dropped_calls, 1);
         // ...but flushes always reach the backend (coherence-critical).
-        ch.flush(&mut b, PoolId(0), addr());
-        ch.flush_file(&mut b, PoolId(0), FileId(1));
+        assert_eq!(ch.flush(&mut b, PoolId(0), addr()), 1);
+        assert_eq!(ch.flush_file(&mut b, PoolId(0), FileId(1)), 2);
         assert_eq!(b.flushes, 2);
+        assert_eq!(
+            ch.flush_epoch(),
+            2,
+            "the channel remembers the max acked flush generation"
+        );
+        ch.set_flush_epoch(10);
+        assert_eq!(ch.flush_epoch(), 10);
     }
 }

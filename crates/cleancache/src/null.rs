@@ -65,9 +65,13 @@ impl SecondChanceCache for NullCache {
         PutOutcome::Rejected
     }
 
-    fn flush(&mut self, _vm: VmId, _pool: PoolId, _addr: BlockAddr) {}
+    fn flush(&mut self, _vm: VmId, _pool: PoolId, _addr: BlockAddr) -> u64 {
+        0
+    }
 
-    fn flush_file(&mut self, _vm: VmId, _pool: PoolId, _file: FileId) {}
+    fn flush_file(&mut self, _vm: VmId, _pool: PoolId, _file: FileId) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

@@ -163,10 +163,19 @@ pub trait SecondChanceCache {
     ) -> PutOutcome;
 
     /// Invalidate one block (`flush`), if present.
-    fn flush(&mut self, vm: VmId, pool: PoolId, addr: BlockAddr);
+    ///
+    /// Returns the backend's durable journal generation for this flush
+    /// (its **flush epoch**), or 0 if the backend does not journal.
+    /// Flushes are synchronous-reliable: the backend makes the flush
+    /// durable before returning, so after a hypervisor crash a recovered
+    /// cache can never resurrect a page version this flush invalidated
+    /// (see `ddc-hypercache`'s recovery model).
+    fn flush(&mut self, vm: VmId, pool: PoolId, addr: BlockAddr) -> u64;
 
     /// Invalidate every cached block of a file (`flush` on truncate/delete).
-    fn flush_file(&mut self, vm: VmId, pool: PoolId, file: FileId);
+    ///
+    /// Returns the flush epoch like [`SecondChanceCache::flush`].
+    fn flush_file(&mut self, vm: VmId, pool: PoolId, file: FileId) -> u64;
 }
 
 #[cfg(test)]

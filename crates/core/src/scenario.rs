@@ -31,7 +31,7 @@ use ddc_workloads::{
     Proxycache, StoreModel, VideoConfig, VideoServer, WebConfig, Webserver, WorkloadThread,
     YcsbClient, YcsbConfig,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::{Experiment, ExperimentReport};
@@ -872,7 +872,7 @@ pub fn build(spec: &ScenarioSpec) -> Result<Experiment, ScenarioError> {
         host.set_mem_cache_compression(millipages, SimDuration::from_micros(codec_us));
     }
 
-    let mut containers: HashMap<String, (VmId, CgroupId)> = HashMap::new();
+    let mut containers: BTreeMap<String, (VmId, CgroupId)> = BTreeMap::new();
     // Spec-order view of the container names: probes must be registered
     // in a deterministic order (HashMap iteration order varies run to
     // run, which would reshuffle report series between otherwise

@@ -14,7 +14,7 @@
 //! marginal benefit.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use ddc_cleancache::{CachePolicy, StoreKind, VmId};
@@ -46,7 +46,7 @@ pub struct SlaManager {
     pub step: u32,
     /// Weight floor per container.
     pub min_weight: u32,
-    last_ops: HashMap<String, u64>,
+    last_ops: BTreeMap<String, u64>,
     last_at: SimTime,
     /// Rounds in which a weight transfer happened.
     pub adjustments: u32,
@@ -60,7 +60,7 @@ impl SlaManager {
             targets,
             step: 10,
             min_weight: 5,
-            last_ops: HashMap::new(),
+            last_ops: BTreeMap::new(),
             last_at: SimTime::ZERO,
             adjustments: 0,
         }

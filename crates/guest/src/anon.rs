@@ -5,7 +5,8 @@
 //! — the effect behind the Redis/MySQL rows of the paper's Table 1 and
 //! Table 4.
 
-use std::collections::{HashMap, VecDeque};
+use ddc_sim::FxHashMap;
+use std::collections::VecDeque;
 
 /// One cgroup's anonymous memory: `allocated` virtual pages of which some
 /// are resident and the rest are swapped out. Resident pages age in LRU
@@ -13,7 +14,7 @@ use std::collections::{HashMap, VecDeque};
 #[derive(Clone, Debug, Default)]
 pub struct AnonSpace {
     allocated: u64,
-    resident: HashMap<u64, u64>, // page index -> lru seq
+    resident: FxHashMap<u64, u64>, // page index -> lru seq
     lru: VecDeque<(u64, u64)>,
     next_seq: u64,
     swapped_out_total: u64,

@@ -14,7 +14,8 @@
 //! are negligible while the curve stays accurate to a few percent
 //! (Waldspurger et al., FAST '15 report ~1% error at rates far lower).
 
-use std::collections::{BTreeMap, HashMap};
+use ddc_sim::FxHashMap;
+use std::collections::BTreeMap;
 
 use ddc_storage::BlockAddr;
 
@@ -112,7 +113,7 @@ pub struct MrcEstimator {
     /// Stamp counter over *sampled* accesses.
     clock: u64,
     /// Last-access stamp per sampled address.
-    last_seen: HashMap<BlockAddr, u64>,
+    last_seen: FxHashMap<BlockAddr, u64>,
     /// Live stamps in order (stamp -> addr), for distance ranking.
     stamps: BTreeMap<u64, BlockAddr>,
     /// Histogram of scaled reuse distances.
@@ -149,7 +150,7 @@ impl MrcEstimator {
         MrcEstimator {
             rate,
             clock: 0,
-            last_seen: HashMap::new(),
+            last_seen: FxHashMap::default(),
             stamps: BTreeMap::new(),
             histogram: [0; BUCKETS],
             cold: 0,

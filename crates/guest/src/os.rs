@@ -4,10 +4,10 @@
 use ddc_cleancache::{
     CachePolicy, GetOutcome, HypercallChannel, PageVersion, PoolStats, SecondChanceCache, VmId,
 };
-use ddc_sim::{FaultSchedule, SimDuration, SimTime};
+use ddc_sim::{FaultSchedule, FxHashMap, SimDuration, SimTime};
 use ddc_storage::{BlockAddr, Device, FileId, PAGE_SIZE};
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use crate::{Cgroup, CgroupId, CgroupMemStats};
 
@@ -110,6 +110,10 @@ pub struct GuestCounters {
     pub swap_outs: u64,
     /// Anonymous pages swapped in.
     pub swap_ins: u64,
+    /// Second-chance hits whose version disagreed with the on-disk
+    /// version — the stale-read oracle. Must stay zero: the clean-cache
+    /// contract says losing entries is safe, serving stale ones never is.
+    pub stale_cleancache_hits: u64,
 }
 
 /// A guest operating system: cgroups, memory accounting, reclaim, and the
@@ -123,7 +127,7 @@ pub struct GuestOs {
     next_cg: u32,
     /// Content version currently on the virtual disk, per block. Blocks
     /// never written have `PageVersion::INITIAL`.
-    disk_versions: HashMap<BlockAddr, PageVersion>,
+    disk_versions: FxHashMap<BlockAddr, PageVersion>,
     counters: GuestCounters,
 }
 
@@ -136,7 +140,7 @@ impl GuestOs {
             channel: HypercallChannel::new(vm),
             cgroups: BTreeMap::new(),
             next_cg: 1,
-            disk_versions: HashMap::new(),
+            disk_versions: FxHashMap::default(),
             counters: GuestCounters::default(),
         }
     }
@@ -154,6 +158,21 @@ impl GuestOs {
     /// The hypercall channel (for counter inspection).
     pub fn channel(&self) -> &HypercallChannel {
         &self.channel
+    }
+
+    /// The guest's flush epoch: the highest journal generation the
+    /// hypervisor has acknowledged as durably covering our invalidations.
+    /// Snapshot this before a simulated crash and feed it to
+    /// warm-restart recovery so stale entries are provably discarded.
+    pub fn flush_epoch(&self) -> u64 {
+        self.channel.flush_epoch()
+    }
+
+    /// Installs a new flush epoch after warm-restart recovery. The
+    /// recovered cache re-issues epochs so the guest's view stays ahead
+    /// of every entry the rebuilt cache may hold.
+    pub fn note_recovery_epoch(&mut self, epoch: u64) {
+        self.channel.set_flush_epoch(epoch);
     }
 
     /// Cumulative reclaim/IO counters.
@@ -480,6 +499,11 @@ impl GuestOs {
                 outcome = self.channel.get(env.backend, t, pool, addr);
             }
             if let GetOutcome::Hit { finish, version } = outcome {
+                if version != self.disk_version(addr) {
+                    // Counted (not just asserted) so release-mode chaos
+                    // runs observe violations too.
+                    self.counters.stale_cleancache_hits += 1;
+                }
                 debug_assert_eq!(
                     version,
                     self.disk_version(addr),
@@ -734,8 +758,9 @@ impl GuestOs {
         self.cgroup(cg).mrc.as_ref().map(|m| m.curve())
     }
 
-    /// The authoritative on-disk version of a block.
-    fn disk_version(&self, addr: BlockAddr) -> PageVersion {
+    /// The authoritative on-disk version of a block. Public so crash
+    /// harnesses can sweep recovered cache entries against ground truth.
+    pub fn disk_version(&self, addr: BlockAddr) -> PageVersion {
         self.disk_versions
             .get(&addr)
             .copied()
@@ -824,12 +849,14 @@ mod tests {
                     finish: now + SimDuration::from_micros(8),
                 }
             }
-            fn flush(&mut self, vm: VmId, pool: ddc_cleancache::PoolId, addr: BlockAddr) {
+            fn flush(&mut self, vm: VmId, pool: ddc_cleancache::PoolId, addr: BlockAddr) -> u64 {
                 self.map.remove(&(vm, pool, addr));
+                0
             }
-            fn flush_file(&mut self, vm: VmId, pool: ddc_cleancache::PoolId, file: FileId) {
+            fn flush_file(&mut self, vm: VmId, pool: ddc_cleancache::PoolId, file: FileId) -> u64 {
                 self.map
                     .retain(|(v, p, a), _| !(*v == vm && *p == pool && a.file == file));
+                0
             }
         }
     }

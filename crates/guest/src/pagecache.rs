@@ -1,6 +1,7 @@
 //! Per-cgroup page cache with LRU ordering and dirty tracking.
 
-use std::collections::{HashMap, VecDeque};
+use ddc_sim::FxHashMap;
+use std::collections::VecDeque;
 
 use ddc_cleancache::PageVersion;
 use ddc_storage::{BlockAddr, FileId};
@@ -37,7 +38,7 @@ pub struct PageState {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct PageCache {
-    pages: HashMap<BlockAddr, PageState>,
+    pages: FxHashMap<BlockAddr, PageState>,
     lru: VecDeque<(BlockAddr, u64)>,
     next_seq: u64,
 }
@@ -399,7 +400,7 @@ mod tests {
             for case in 0..200 {
                 let mut r = rng.fork(case);
                 let mut pc = PageCache::new();
-                let mut last_touch: HashMap<BlockAddr, usize> = HashMap::new();
+                let mut last_touch: FxHashMap<BlockAddr, usize> = FxHashMap::default();
                 for i in 0..r.range_usize(1, 100) {
                     let a = addr(1, r.range_u64(0, 16));
                     if pc.contains(a) {

@@ -1,0 +1,391 @@
+//! Runtime invariant auditor for the hypervisor cache.
+//!
+//! Cross-checks the cache's layered state — store accounting, per-pool
+//! indexes, FIFO queues, entitlement shares — and returns structured
+//! findings instead of panicking, so harnesses can run it on demand and
+//! after crash recovery ([`crate::DoubleDeckerCache::recover`]) without
+//! bringing the host down. An empty result means every audited invariant
+//! holds.
+//!
+//! Audited invariants:
+//!
+//! 1. **Store accounting** — each backing store's used-page counter
+//!    equals the sum of its pools' per-placement usage and never exceeds
+//!    the store's effective capacity.
+//! 2. **Index coherence** — each pool's per-placement usage counters
+//!    equal the number of live slots with that placement.
+//! 3. **FIFO coverage** — every live slot appears in its pool's FIFO
+//!    queue for its placement with a matching sequence stamp (lazy
+//!    deletion leaves dead entries behind, never drops live ones), and
+//!    live queue sequences are strictly increasing.
+//! 4. **Global-FIFO tombstones** — each global queue's tombstone counter
+//!    equals the number of dead entries actually in the queue (the
+//!    compaction trigger depends on it).
+//! 5. **Entitlement consistency** — per store, VM entitlements sum to at
+//!    most the store capacity, and each VM's pool entitlements sum to at
+//!    most the VM's entitlement (weights are normalized shares, paper
+//!    §4.2, so the sums can never exceed the level above).
+//! 6. **Exclusive cache** — no block address is cached by two pools of
+//!    the same VM (each guest file belongs to one container; duplicates
+//!    would mean a migrate/put path leaked a copy).
+//! 7. **Quarantine emptiness** — a quarantined SSD tier holds no pages
+//!    anywhere (store counter, pools, global FIFO).
+//! 8. **Sequence monotonicity** — the next-sequence allocator is above
+//!    every live slot's stamp (a stale allocator would break FIFO order
+//!    and lazy-deletion liveness checks).
+
+use std::collections::BTreeMap;
+
+use ddc_cleancache::{PoolId, VmId};
+use ddc_storage::BlockAddr;
+
+use crate::index::Placement;
+use crate::DoubleDeckerCache;
+
+/// One violated invariant, as structured data (never a panic).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditFinding {
+    /// Short stable name of the violated invariant (e.g.
+    /// `"store-accounting"`); harnesses group findings by it.
+    pub invariant: &'static str,
+    /// Human-readable specifics: which entity, expected vs actual.
+    pub detail: String,
+}
+
+impl std::fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+fn placements() -> [Placement; 2] {
+    [Placement::Mem, Placement::Ssd]
+}
+
+/// Audits every cross-layer invariant of `cache`, returning one finding
+/// per violation (empty = healthy). Read-only and side-effect free, so
+/// it can run at any point of a simulation.
+pub fn audit(cache: &DoubleDeckerCache) -> Vec<AuditFinding> {
+    let mut findings = Vec::new();
+    store_accounting(cache, &mut findings);
+    pool_coherence(cache, &mut findings);
+    global_fifo_tombstones(cache, &mut findings);
+    entitlement_sums(cache, &mut findings);
+    exclusive_property(cache, &mut findings);
+    quarantine_emptiness(cache, &mut findings);
+    findings
+}
+
+/// Invariant 1: store used-page counters match the pool indexes and
+/// respect capacity.
+fn store_accounting(cache: &DoubleDeckerCache, findings: &mut Vec<AuditFinding>) {
+    for placement in placements() {
+        let (store, name) = match placement {
+            Placement::Mem => (&cache.mem, "mem"),
+            Placement::Ssd => (&cache.ssd, "ssd"),
+        };
+        let pooled: u64 = cache.pools.values().map(|p| p.used(placement)).sum();
+        if store.used_pages() != pooled {
+            findings.push(AuditFinding {
+                invariant: "store-accounting",
+                detail: format!(
+                    "{name} store counts {} used pages but pools hold {pooled}",
+                    store.used_pages()
+                ),
+            });
+        }
+        if store.used_pages() > store.capacity_objects() {
+            findings.push(AuditFinding {
+                invariant: "store-accounting",
+                detail: format!(
+                    "{name} store uses {} pages over its capacity of {} objects",
+                    store.used_pages(),
+                    store.capacity_objects()
+                ),
+            });
+        }
+    }
+}
+
+/// Invariants 2, 3 and 8: per-pool counters, FIFO coverage and the
+/// sequence allocator.
+fn pool_coherence(cache: &DoubleDeckerCache, findings: &mut Vec<AuditFinding>) {
+    for (&(vm, pid), pool) in &cache.pools {
+        for placement in placements() {
+            let live: Vec<(BlockAddr, u64)> = pool
+                .iter()
+                .filter(|(_, s)| s.placement == placement)
+                .map(|(a, s)| (a, s.seq))
+                .collect();
+            if pool.used(placement) != live.len() as u64 {
+                findings.push(AuditFinding {
+                    invariant: "index-coherence",
+                    detail: format!(
+                        "{vm} {pid} counts {} pages in {placement:?} but indexes {}",
+                        pool.used(placement),
+                        live.len()
+                    ),
+                });
+            }
+            // FIFO coverage: every live slot must have its (addr, seq)
+            // entry queued; dead entries are fine (lazy deletion).
+            let queued: std::collections::BTreeSet<(BlockAddr, u64)> =
+                pool.fifo_entries(placement).collect();
+            for &(addr, seq) in &live {
+                if !queued.contains(&(addr, seq)) {
+                    findings.push(AuditFinding {
+                        invariant: "fifo-coverage",
+                        detail: format!(
+                            "{vm} {pid}: live slot {addr:?} seq {seq} missing from \
+                             the {placement:?} FIFO (it could never be evicted)"
+                        ),
+                    });
+                }
+            }
+            // Live entries must appear in strictly increasing seq order.
+            let mut last_live: Option<u64> = None;
+            for (addr, seq) in pool.fifo_entries(placement) {
+                let is_live = pool
+                    .peek(addr)
+                    .is_some_and(|s| s.seq == seq && s.placement == placement);
+                if !is_live {
+                    continue;
+                }
+                if let Some(prev) = last_live {
+                    if seq <= prev {
+                        findings.push(AuditFinding {
+                            invariant: "fifo-order",
+                            detail: format!(
+                                "{vm} {pid}: {placement:?} FIFO seq {seq} follows {prev} \
+                                 (eviction order no longer FIFO)"
+                            ),
+                        });
+                    }
+                }
+                last_live = Some(seq);
+            }
+        }
+        for (addr, slot) in pool.iter() {
+            if slot.seq >= cache.next_seq {
+                findings.push(AuditFinding {
+                    invariant: "seq-monotone",
+                    detail: format!(
+                        "{vm} {pid}: slot {addr:?} carries seq {} at or above the \
+                         allocator's next_seq {}",
+                        slot.seq, cache.next_seq
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Invariant 4: the global queues' tombstone counters match the actual
+/// dead-entry counts.
+fn global_fifo_tombstones(cache: &DoubleDeckerCache, findings: &mut Vec<AuditFinding>) {
+    for placement in placements() {
+        let (queue, stale, name) = match placement {
+            Placement::Mem => (&cache.global_fifo_mem, cache.global_stale_mem, "mem"),
+            Placement::Ssd => (&cache.global_fifo_ssd, cache.global_stale_ssd, "ssd"),
+        };
+        let dead = queue
+            .iter()
+            .filter(|(vm, pool, addr, seq)| {
+                !cache
+                    .pools
+                    .get(&(*vm, *pool))
+                    .and_then(|p| p.peek(*addr))
+                    .is_some_and(|s| s.seq == *seq && s.placement == placement)
+            })
+            .count() as u64;
+        if dead != stale {
+            findings.push(AuditFinding {
+                invariant: "global-fifo-tombstones",
+                detail: format!(
+                    "{name} global FIFO has {dead} dead entries but the tombstone \
+                     counter says {stale} (compaction trigger is skewed)"
+                ),
+            });
+        }
+    }
+}
+
+/// Invariant 5: entitlements are normalized shares, so each level sums
+/// to at most the level above.
+fn entitlement_sums(cache: &DoubleDeckerCache, findings: &mut Vec<AuditFinding>) {
+    for placement in placements() {
+        let name = match placement {
+            Placement::Mem => "mem",
+            Placement::Ssd => "ssd",
+        };
+        let table = cache.build_share_table(placement);
+        let capacity = match placement {
+            Placement::Mem => cache.mem.capacity_objects(),
+            Placement::Ssd => cache.ssd.capacity_objects(),
+        };
+        let vm_sum: u64 = table.vm_rows.iter().map(|r| r.1).sum();
+        if vm_sum > capacity {
+            findings.push(AuditFinding {
+                invariant: "entitlement-sums",
+                detail: format!(
+                    "{name} store: VM entitlements sum to {vm_sum}, over the \
+                     capacity of {capacity} objects"
+                ),
+            });
+        }
+        for (i, &(vm, vm_share, _)) in table.vm_rows.iter().enumerate() {
+            let pool_sum: u64 = table.pool_rows[i].iter().map(|r| r.1).sum();
+            if pool_sum > vm_share {
+                findings.push(AuditFinding {
+                    invariant: "entitlement-sums",
+                    detail: format!(
+                        "{name} store: {vm} pool entitlements sum to {pool_sum}, \
+                         over the VM's entitlement of {vm_share}"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Invariant 6: no block is cached twice within one VM.
+fn exclusive_property(cache: &DoubleDeckerCache, findings: &mut Vec<AuditFinding>) {
+    let mut owners: BTreeMap<(VmId, BlockAddr), PoolId> = BTreeMap::new();
+    let mut entries: Vec<(VmId, PoolId, BlockAddr)> = Vec::new();
+    for (&(vm, pid), pool) in &cache.pools {
+        for (addr, _) in pool.iter() {
+            entries.push((vm, pid, addr));
+        }
+    }
+    entries.sort_unstable();
+    for (vm, pid, addr) in entries {
+        if let Some(&first) = owners.get(&(vm, addr)) {
+            findings.push(AuditFinding {
+                invariant: "exclusive-cache",
+                detail: format!(
+                    "{vm}: block {addr:?} cached by both {first} and {pid} \
+                     (second-chance copies must be exclusive)"
+                ),
+            });
+        } else {
+            owners.insert((vm, addr), pid);
+        }
+    }
+}
+
+/// Invariant 7: quarantine implies an empty SSD tier.
+fn quarantine_emptiness(cache: &DoubleDeckerCache, findings: &mut Vec<AuditFinding>) {
+    if !cache.ssd_quarantined() {
+        return;
+    }
+    if cache.ssd.used_pages() != 0 {
+        findings.push(AuditFinding {
+            invariant: "quarantine-empty",
+            detail: format!(
+                "SSD tier is quarantined yet its store counts {} used pages",
+                cache.ssd.used_pages()
+            ),
+        });
+    }
+    for (&(vm, pid), pool) in &cache.pools {
+        if pool.used(Placement::Ssd) != 0 {
+            findings.push(AuditFinding {
+                invariant: "quarantine-empty",
+                detail: format!(
+                    "SSD tier is quarantined yet {vm} {pid} still holds {} SSD pages",
+                    pool.used(Placement::Ssd)
+                ),
+            });
+        }
+    }
+    if !cache.global_fifo_ssd.is_empty() {
+        findings.push(AuditFinding {
+            invariant: "quarantine-empty",
+            detail: format!(
+                "SSD tier is quarantined yet its global FIFO retains {} entries",
+                cache.global_fifo_ssd.len()
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CacheConfig, CachePolicy, PageVersion, SecondChanceCache};
+    use ddc_sim::SimTime;
+    use ddc_storage::FileId;
+
+    fn addr(f: u64, b: u64) -> BlockAddr {
+        BlockAddr::new(FileId(f), b)
+    }
+
+    #[test]
+    fn healthy_cache_audits_clean() {
+        let mut cache = DoubleDeckerCache::new(CacheConfig::mem_and_ssd(64, 64));
+        cache.add_vm(VmId(0), 60);
+        cache.add_vm(VmId(1), 40);
+        let web = cache.create_pool(VmId(0), CachePolicy::mem(70));
+        let db = cache.create_pool(VmId(0), CachePolicy::ssd(100));
+        let other = cache.create_pool(VmId(1), CachePolicy::hybrid(50));
+        for b in 0..40 {
+            cache.put(SimTime::ZERO, VmId(0), web, addr(1, b), PageVersion(b));
+            cache.put(SimTime::ZERO, VmId(0), db, addr(2, b), PageVersion(b));
+            cache.put(SimTime::ZERO, VmId(1), other, addr(3, b), PageVersion(b));
+        }
+        for b in 0..10 {
+            cache.get(SimTime::ZERO, VmId(0), web, addr(1, b));
+            cache.flush(VmId(0), db, addr(2, b));
+        }
+        cache.flush_file(VmId(1), other, FileId(3));
+        let findings = audit(&cache);
+        assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+    }
+
+    #[test]
+    fn detects_exclusivity_violation_via_migrate_shadow() {
+        // Build a duplicate by hand: two pools of one VM holding the same
+        // block (migrate_object normally prevents this).
+        let mut cache = DoubleDeckerCache::new(CacheConfig::mem_only(64));
+        let a = cache.create_pool(VmId(0), CachePolicy::mem(50));
+        let b = cache.create_pool(VmId(0), CachePolicy::mem(50));
+        cache.put(SimTime::ZERO, VmId(0), a, addr(1, 0), PageVersion(1));
+        cache.put(SimTime::ZERO, VmId(0), b, addr(1, 0), PageVersion(1));
+        let findings = audit(&cache);
+        assert!(
+            findings.iter().any(|f| f.invariant == "exclusive-cache"),
+            "duplicate went undetected: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn audit_is_clean_across_modes_and_quarantine() {
+        use crate::PartitionMode;
+        for mode in [
+            PartitionMode::DoubleDecker,
+            PartitionMode::Global,
+            PartitionMode::Strict,
+        ] {
+            let mut cache =
+                DoubleDeckerCache::new(CacheConfig::mem_and_ssd(32, 32).with_mode(mode));
+            let pool = cache.create_pool(VmId(0), CachePolicy::ssd(100));
+            for b in 0..64 {
+                cache.put(SimTime::ZERO, VmId(0), pool, addr(1, b), PageVersion(b));
+            }
+            let findings = audit(&cache);
+            assert!(findings.is_empty(), "{mode:?}: {findings:?}");
+        }
+    }
+
+    #[test]
+    fn finding_display_is_readable() {
+        let f = AuditFinding {
+            invariant: "store-accounting",
+            detail: "mem store counts 3 used pages but pools hold 2".into(),
+        };
+        assert_eq!(
+            f.to_string(),
+            "[store-accounting] mem store counts 3 used pages but pools hold 2"
+        );
+    }
+}

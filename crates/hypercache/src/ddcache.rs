@@ -12,7 +12,7 @@ use ddc_cleancache::{
     StoreKind, VmId,
 };
 use ddc_sim::{FaultSchedule, FxHashMap, SimDuration, SimTime};
-use ddc_storage::{BlockAddr, FileId};
+use ddc_storage::{BlockAddr, FileId, Journal, JournalRecord};
 
 use crate::index::{Placement, Pool};
 use crate::policy::{entitlements, select_victim, select_victim_strict, EntityUsage};
@@ -69,6 +69,32 @@ pub enum FallbackMode {
     Reject,
 }
 
+/// Outcome of a warm restart ([`DoubleDeckerCache::recover`]): how much
+/// of the journal replayed, how it terminated, and what the recovered
+/// cache looks like. Clean-cache semantics make every loss here safe —
+/// the report exists so harnesses can assert recovery *only* loses.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Valid journal records consumed.
+    pub records_replayed: u64,
+    /// Replay stopped at a torn final record (crash mid-append).
+    pub torn_tail: bool,
+    /// Replay stopped at a corrupt record (checksum/framing failure).
+    pub corrupt: bool,
+    /// Entries resident after recovery (post epoch discard).
+    pub recovered_entries: u64,
+    /// Entries discarded because their generation predates the owning
+    /// guest's flush epoch while the replayed journal is missing acked
+    /// flushes (the lose-don't-resurrect rule).
+    pub discarded_stale: u64,
+    /// Replayed puts dropped for lack of store room (can only happen on
+    /// images corrupted into an impossible history; losing them is safe).
+    pub dropped_no_room: u64,
+    /// Fresh per-VM flush epochs minted by the post-recovery checkpoint;
+    /// the hypervisor distributes them to the guests' hypercall channels.
+    pub new_epochs: Vec<(VmId, u64)>,
+}
+
 /// Health of the SSD tier.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum SsdHealth {
@@ -84,15 +110,15 @@ enum SsdHealth {
 }
 
 #[derive(Clone, Debug)]
-struct VmEntry {
-    mem_weight: u64,
-    ssd_weight: u64,
+pub(crate) struct VmEntry {
+    pub(crate) mem_weight: u64,
+    pub(crate) ssd_weight: u64,
     /// Dense registry of the VM's pool ids, kept sorted. Replaces the
     /// O(total pools) `pools.keys().filter(...)` scans on the eviction
     /// and stats paths, and doubles as the pre-sorted view that
     /// [`DoubleDeckerCache::pool_ids`] used to rebuild (and re-sort) per
     /// call.
-    pool_ids: Vec<PoolId>,
+    pub(crate) pool_ids: Vec<PoolId>,
 }
 
 impl VmEntry {
@@ -117,12 +143,12 @@ impl VmEntry {
 /// fresh). Rebuilt lazily after any control-plane change or
 /// participation transition (a pool's usage in the store crossing zero).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-struct ShareTable {
+pub(crate) struct ShareTable {
     /// `(vm, entitlement, weight)` per participating VM, in `VmId` order.
-    vm_rows: Vec<(VmId, u64, u64)>,
+    pub(crate) vm_rows: Vec<(VmId, u64, u64)>,
     /// Parallel to `vm_rows`: `(pool, entitlement, weight)` per
     /// participating pool of that VM, in `PoolId` order.
-    pool_rows: Vec<Vec<(PoolId, u64, u64)>>,
+    pub(crate) pool_rows: Vec<Vec<(PoolId, u64, u64)>>,
 }
 
 impl ShareTable {
@@ -137,22 +163,22 @@ impl ShareTable {
 #[derive(Debug)]
 pub struct DoubleDeckerCache {
     mode: PartitionMode,
-    mem: BackingStore,
-    ssd: BackingStore,
-    vms: BTreeMap<VmId, VmEntry>,
-    pools: FxHashMap<(VmId, PoolId), Pool>,
+    pub(crate) mem: BackingStore,
+    pub(crate) ssd: BackingStore,
+    pub(crate) vms: BTreeMap<VmId, VmEntry>,
+    pub(crate) pools: FxHashMap<(VmId, PoolId), Pool>,
     next_pool: u32,
-    next_seq: u64,
+    pub(crate) next_seq: u64,
     // Global-mode FIFO queues with lazy deletion (seq-stamped).
-    global_fifo_mem: VecDeque<(VmId, PoolId, BlockAddr, u64)>,
-    global_fifo_ssd: VecDeque<(VmId, PoolId, BlockAddr, u64)>,
+    pub(crate) global_fifo_mem: VecDeque<(VmId, PoolId, BlockAddr, u64)>,
+    pub(crate) global_fifo_ssd: VecDeque<(VmId, PoolId, BlockAddr, u64)>,
     // Tombstone counters: how many entries of each global FIFO are known
     // dead (their object was removed or re-stamped without the entry
     // being popped). Compaction triggers when tombstones dominate, so
     // the scrub is amortized O(1) per removal instead of rescanning on a
     // size heuristic.
-    global_stale_mem: u64,
-    global_stale_ssd: u64,
+    pub(crate) global_stale_mem: u64,
+    pub(crate) global_stale_ssd: u64,
     // Lazily rebuilt entitlement shares per store ([mem, ssd]); see
     // [`ShareTable`]. Interior mutability because readers
     // (`pool_stats`) fill it behind `&self`.
@@ -166,6 +192,10 @@ pub struct DoubleDeckerCache {
     quarantine_invalidated: u64,
     failed_gets: u64,
     failed_puts: u64,
+    /// Write-ahead journal of every state transition; `None` until
+    /// [`DoubleDeckerCache::enable_journal`]. Flush records are synced
+    /// before the hypercall returns (see `ddc_storage::Journal`).
+    journal: Option<Journal>,
 }
 
 impl DoubleDeckerCache {
@@ -193,6 +223,7 @@ impl DoubleDeckerCache {
             quarantine_invalidated: 0,
             failed_gets: 0,
             failed_puts: 0,
+            journal: None,
         }
     }
 
@@ -205,6 +236,125 @@ impl DoubleDeckerCache {
     /// The partitioning mode.
     pub fn mode(&self) -> PartitionMode {
         self.mode
+    }
+
+    /// The construction-time configuration the cache currently reflects
+    /// (capacities follow runtime resizes).
+    pub fn current_config(&self) -> CacheConfig {
+        CacheConfig {
+            mem_capacity_pages: self.mem.capacity_pages(),
+            ssd_capacity_pages: self.ssd.capacity_pages(),
+            mode: self.mode,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Write-ahead journal (crash-and-recovery plane).
+    // ------------------------------------------------------------------
+
+    /// Turns on journaling: from here on every state transition appends a
+    /// [`JournalRecord`], and `flush`/`flush_file` return their synced
+    /// generation (the flush epoch). Enabling on a non-empty cache is
+    /// allowed but only transitions after this call are recorded, so
+    /// callers normally enable right after construction.
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Journal::new());
+        }
+    }
+
+    /// Whether journaling is on.
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// The raw journal image (including unsynced bytes), if journaling is
+    /// on. Crash harnesses snapshot this and hand a (possibly truncated
+    /// or corrupted) copy to [`DoubleDeckerCache::recover`].
+    pub fn journal_bytes(&self) -> Option<&[u8]> {
+        self.journal.as_ref().map(|j| j.bytes())
+    }
+
+    /// Bytes of the journal guaranteed durable (at or below the last
+    /// sync), if journaling is on. A clean or torn crash never loses
+    /// bytes below this watermark.
+    pub fn journal_durable_len(&self) -> Option<usize> {
+        self.journal.as_ref().map(|j| j.durable_len())
+    }
+
+    /// Appends a record lazily (not yet durable). Returns the record's
+    /// generation, or 0 when journaling is off.
+    fn log(&mut self, rec: JournalRecord) -> u64 {
+        match self.journal.as_mut() {
+            Some(j) => j.append(&rec),
+            None => 0,
+        }
+    }
+
+    /// Appends a record and syncs the journal (flush hypercalls are
+    /// acknowledged only once durable). Returns the generation, or 0
+    /// when journaling is off.
+    fn log_synced(&mut self, rec: JournalRecord) -> u64 {
+        match self.journal.as_mut() {
+            Some(j) => {
+                let gen = j.append(&rec);
+                j.sync();
+                gen
+            }
+            None => 0,
+        }
+    }
+
+    /// `StoreKind` wire discriminant for journal records.
+    fn store_kind_code(kind: StoreKind) -> u8 {
+        match kind {
+            StoreKind::Mem => 0,
+            StoreKind::Ssd => 1,
+            StoreKind::Hybrid => 2,
+        }
+    }
+
+    fn store_kind_from_code(code: u8) -> Option<StoreKind> {
+        match code {
+            0 => Some(StoreKind::Mem),
+            1 => Some(StoreKind::Ssd),
+            2 => Some(StoreKind::Hybrid),
+            _ => None,
+        }
+    }
+
+    /// `PartitionMode` wire discriminant for journal records.
+    fn mode_code(mode: PartitionMode) -> u8 {
+        match mode {
+            PartitionMode::DoubleDecker => 0,
+            PartitionMode::Global => 1,
+            PartitionMode::Strict => 2,
+        }
+    }
+
+    fn mode_from_code(code: u8) -> Option<PartitionMode> {
+        match code {
+            0 => Some(PartitionMode::DoubleDecker),
+            1 => Some(PartitionMode::Global),
+            2 => Some(PartitionMode::Strict),
+            _ => None,
+        }
+    }
+
+    /// `Placement` wire discriminant for journal records.
+    fn placement_code(placement: Placement) -> u8 {
+        match placement {
+            Placement::Mem => 0,
+            Placement::Ssd => 1,
+        }
+    }
+
+    fn placement_from_code(code: u8) -> Option<Placement> {
+        match code {
+            0 => Some(Placement::Mem),
+            1 => Some(Placement::Ssd),
+            _ => None,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -231,6 +381,11 @@ impl DoubleDeckerCache {
             })
             .or_insert_with(|| VmEntry::new(mem_weight, ssd_weight));
         self.invalidate_all_entitlements();
+        self.log(JournalRecord::AddVm {
+            vm: vm.0,
+            mem_weight,
+            ssd_weight,
+        });
     }
 
     /// Updates a VM's weight in both stores (dynamic provisioning,
@@ -238,11 +393,7 @@ impl DoubleDeckerCache {
     /// caller-supplied ids and must not bring the host down over a stale
     /// one (the VM may have been shut down concurrently).
     pub fn set_vm_weight(&mut self, vm: VmId, weight: u64) {
-        if let Some(entry) = self.vms.get_mut(&vm) {
-            entry.mem_weight = weight;
-            entry.ssd_weight = weight;
-            self.invalidate_all_entitlements();
-        }
+        self.set_vm_store_weights(vm, weight, weight);
     }
 
     /// Updates a VM's per-store weights independently (footnote 1
@@ -253,6 +404,11 @@ impl DoubleDeckerCache {
             entry.mem_weight = mem_weight;
             entry.ssd_weight = ssd_weight;
             self.invalidate_all_entitlements();
+            self.log(JournalRecord::SetVmWeights {
+                vm: vm.0,
+                mem_weight,
+                ssd_weight,
+            });
         }
     }
 
@@ -273,6 +429,7 @@ impl DoubleDeckerCache {
             }
         }
         self.invalidate_all_entitlements();
+        self.log(JournalRecord::RemoveVm { vm: vm.0 });
     }
 
     /// Registered VM ids.
@@ -285,6 +442,9 @@ impl DoubleDeckerCache {
     pub fn set_mem_capacity(&mut self, now: SimTime, pages: u64) {
         self.mem.set_capacity_pages(pages);
         self.invalidate_entitlements(Placement::Mem);
+        // Log the resize before the shrink so replay sees the evictions
+        // it caused in causal order.
+        self.log(JournalRecord::SetMemCapacity { pages });
         self.shrink_to_capacity(now, Placement::Mem);
     }
 
@@ -292,12 +452,16 @@ impl DoubleDeckerCache {
     pub fn set_ssd_capacity(&mut self, now: SimTime, pages: u64) {
         self.ssd.set_capacity_pages(pages);
         self.invalidate_entitlements(Placement::Ssd);
+        self.log(JournalRecord::SetSsdCapacity { pages });
         self.shrink_to_capacity(now, Placement::Ssd);
     }
 
     /// Switches partitioning mode at runtime (used by ablation benches).
     pub fn set_mode(&mut self, mode: PartitionMode) {
         self.mode = mode;
+        self.log(JournalRecord::SetMode {
+            mode: Self::mode_code(mode),
+        });
     }
 
     // ------------------------------------------------------------------
@@ -353,6 +517,7 @@ impl DoubleDeckerCache {
             probe_at: now + Self::SSD_PROBE_INITIAL_BACKOFF,
             backoff: Self::SSD_PROBE_INITIAL_BACKOFF,
         };
+        self.log(JournalRecord::SsdDrain);
     }
 
     /// Marks the SSD tier healthy again after a successful probe write.
@@ -546,7 +711,7 @@ impl DoubleDeckerCache {
     }
 
     /// Builds the two-level share table for one store from scratch.
-    fn build_share_table(&self, placement: Placement) -> ShareTable {
+    pub(crate) fn build_share_table(&self, placement: Placement) -> ShareTable {
         let mut vm_ids = Vec::new();
         let mut vm_weights = Vec::new();
         let mut pool_meta: Vec<Vec<(PoolId, u64)>> = Vec::new();
@@ -715,6 +880,11 @@ impl DoubleDeckerCache {
             self.store(placement).free(1);
             self.evictions += 1;
             self.note_removal(vm, pool_id, placement);
+            self.log(JournalRecord::Evict {
+                vm: vm.0,
+                pool: pool_id.0,
+                addr,
+            });
             freed += 1;
         }
         freed
@@ -790,6 +960,7 @@ impl DoubleDeckerCache {
     ) -> u64 {
         let mut freed = 0;
         let mut trickle: Vec<(BlockAddr, PageVersion)> = Vec::new();
+        let mut evicted: Vec<BlockAddr> = Vec::new();
         {
             let Some(pool) = self.pools.get_mut(&(vm, pool_id)) else {
                 return 0;
@@ -801,6 +972,7 @@ impl DoubleDeckerCache {
                 };
                 pool.counters.evictions += 1;
                 freed += 1;
+                evicted.push(addr);
                 if hybrid && placement == Placement::Mem {
                     trickle.push((addr, slot.version));
                 }
@@ -811,6 +983,13 @@ impl DoubleDeckerCache {
         // The evicted objects' global-FIFO entries (if any) are stale now.
         self.note_stale(placement, freed);
         self.note_removal(vm, pool_id, placement);
+        for addr in evicted {
+            self.log(JournalRecord::Evict {
+                vm: vm.0,
+                pool: pool_id.0,
+                addr,
+            });
+        }
 
         // Trickle-down: hybrid pools keep evicted memory objects alive in
         // their SSD share while room remains (paper §3.3's hybrid mode).
@@ -837,6 +1016,13 @@ impl DoubleDeckerCache {
                 }
                 self.trickle_downs += 1;
                 self.note_insertion(vm, pool_id, Placement::Ssd);
+                self.log(JournalRecord::Put {
+                    vm: vm.0,
+                    pool: pool_id.0,
+                    addr,
+                    version: version.0,
+                    placement: Self::placement_code(Placement::Ssd),
+                });
             }
         }
         freed
@@ -933,6 +1119,11 @@ impl DoubleDeckerCache {
             }
             self.store(old_placement).free(1);
             self.note_stale(old_placement, 1);
+            self.log(JournalRecord::Evict {
+                vm: vm.0,
+                pool: pool_id.0,
+                addr,
+            });
             let new_placement = match old_placement {
                 Placement::Mem => Placement::Ssd,
                 Placement::Ssd => Placement::Mem,
@@ -963,6 +1154,13 @@ impl DoubleDeckerCache {
                         self.note_stale(d, 1);
                     }
                     self.push_global_fifo(vm, pool_id, addr, seq, new_placement);
+                    self.log(JournalRecord::Put {
+                        vm: vm.0,
+                        pool: pool_id.0,
+                        addr,
+                        version: version.0,
+                        placement: Self::placement_code(new_placement),
+                    });
                 }
             }
         }
@@ -1009,6 +1207,346 @@ impl DoubleDeckerCache {
             *stale = 0;
         }
     }
+
+    // ------------------------------------------------------------------
+    // Crash recovery (warm restart from a journal image).
+    // ------------------------------------------------------------------
+
+    /// Every resident entry as `(vm, pool, addr, version)`, sorted.
+    /// Chaos harnesses sweep this against the guests' authoritative disk
+    /// versions as the stale-read oracle.
+    pub fn entries(&self) -> Vec<(VmId, PoolId, BlockAddr, PageVersion)> {
+        let mut out = Vec::new();
+        for (&vm, entry) in &self.vms {
+            for &pid in &entry.pool_ids {
+                for (addr, slot) in self.pools[&(vm, pid)].iter() {
+                    out.push((vm, pid, addr, slot.version));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Corrupts the stored checksum of one resident entry (chaos testing:
+    /// models bit rot in the backing store that verify-on-read must
+    /// catch). Returns `false` if the entry is not resident.
+    pub fn corrupt_entry(&mut self, vm: VmId, pool: PoolId, addr: BlockAddr) -> bool {
+        self.pools
+            .get_mut(&(vm, pool))
+            .is_some_and(|p| p.corrupt(addr))
+    }
+
+    /// Warm-restarts a cache from a (possibly truncated or corrupted)
+    /// journal image.
+    ///
+    /// Replays the longest valid prefix of `journal_image` on a fresh
+    /// cache built from `config`, then applies the **lose-don't-resurrect
+    /// rule**: `guest_epochs` carries each surviving guest's flush epoch
+    /// (the largest generation any acked flush hypercall returned). Flush
+    /// records are synced before their hypercall returns, so a replay
+    /// whose last flush generation for a VM is *below* that epoch proves
+    /// the image lost acked flushes (bit rot below the watermark); every
+    /// entry of that VM whose put generation predates the epoch is then
+    /// discarded as potentially stale. Entries with later generations are
+    /// provably clean: any write superseding them would have issued a
+    /// flush with a still-later generation, raising the epoch.
+    ///
+    /// The recovered cache starts a fresh journal seeded with a
+    /// checkpoint of the surviving state (control plane, then one `Put`
+    /// per entry in FIFO order), so a second crash recovers from a short
+    /// journal instead of the whole history. The checkpoint mints new
+    /// per-VM epochs (returned in the report) which the hypervisor
+    /// distributes to the guests' hypercall channels.
+    ///
+    /// In-band memory compression is *not* journaled: a recovered cache
+    /// starts uncompressed, which can only shrink effective capacity
+    /// (replayed puts that no longer fit are dropped — a safe loss).
+    pub fn recover(
+        config: CacheConfig,
+        journal_image: &[u8],
+        guest_epochs: &[(VmId, u64)],
+    ) -> (DoubleDeckerCache, RecoveryReport) {
+        let (records, stats) = Journal::replay(journal_image);
+        let mut report = RecoveryReport {
+            records_replayed: stats.records,
+            torn_tail: stats.torn_tail,
+            corrupt: stats.corrupt,
+            ..RecoveryReport::default()
+        };
+        let mut cache = DoubleDeckerCache::new(config);
+        // Last flush generation replayed per VM; compared against the
+        // guests' epochs to detect lost acked flushes.
+        let mut replayed_epochs: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut last_gen = 0;
+        for (gen, rec) in records {
+            last_gen = last_gen.max(gen);
+            match rec {
+                JournalRecord::Flush { vm, .. }
+                | JournalRecord::FlushFile { vm, .. }
+                | JournalRecord::Epoch { vm } => {
+                    let e = replayed_epochs.entry(vm).or_insert(0);
+                    *e = (*e).max(gen);
+                }
+                _ => {}
+            }
+            cache.apply_record(gen, rec, &mut report);
+        }
+
+        // Epoch discard: drop suspect entries of VMs whose acked flushes
+        // the image lost. Recovery may lose entries, never resurrect one.
+        for &(vm, guest_epoch) in guest_epochs {
+            let replayed = replayed_epochs.get(&vm.0).copied().unwrap_or(0);
+            if replayed >= guest_epoch {
+                continue;
+            }
+            for pid in cache.pool_ids(vm) {
+                let mut suspects: Vec<BlockAddr> = cache
+                    .pools
+                    .get(&(vm, pid))
+                    .map(|p| {
+                        p.iter()
+                            .filter(|(_, s)| s.seq < guest_epoch)
+                            .map(|(a, _)| a)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                suspects.sort_unstable();
+                for addr in suspects {
+                    if let Some(slot) = cache.pools.get_mut(&(vm, pid)).and_then(|p| p.remove(addr))
+                    {
+                        cache.store(slot.placement).free(1);
+                        cache.note_stale(slot.placement, 1);
+                        report.discarded_stale += 1;
+                    }
+                }
+            }
+        }
+
+        cache.next_seq = last_gen + 1;
+        cache.invalidate_all_entitlements();
+        cache.shrink_to_capacity(SimTime::ZERO, Placement::Mem);
+        cache.shrink_to_capacity(SimTime::ZERO, Placement::Ssd);
+        report.recovered_entries = cache.pools.values().map(|p| p.total_used()).sum();
+        report.new_epochs = cache.write_checkpoint(last_gen + 1);
+        (cache, report)
+    }
+
+    /// Applies one replayed record to raw state: no journaling, and no
+    /// side effects (re-homing, shrinking, trickle-down) — those were
+    /// themselves journaled by the live cache and replay in order.
+    fn apply_record(&mut self, gen: u64, rec: JournalRecord, report: &mut RecoveryReport) {
+        match rec {
+            JournalRecord::AddVm {
+                vm,
+                mem_weight,
+                ssd_weight,
+            }
+            | JournalRecord::SetVmWeights {
+                vm,
+                mem_weight,
+                ssd_weight,
+            } => {
+                self.vms
+                    .entry(VmId(vm))
+                    .and_modify(|e| {
+                        e.mem_weight = mem_weight;
+                        e.ssd_weight = ssd_weight;
+                    })
+                    .or_insert_with(|| VmEntry::new(mem_weight, ssd_weight));
+            }
+            JournalRecord::RemoveVm { vm } => {
+                let vm = VmId(vm);
+                if let Some(entry) = self.vms.remove(&vm) {
+                    for pid in entry.pool_ids {
+                        if let Some(mut pool) = self.pools.remove(&(vm, pid)) {
+                            let (mem, ssd) = pool.drain();
+                            self.mem.free(mem);
+                            self.ssd.free(ssd);
+                            self.global_stale_mem += mem;
+                            self.global_stale_ssd += ssd;
+                        }
+                    }
+                }
+            }
+            JournalRecord::CreatePool {
+                vm,
+                pool,
+                store,
+                weight,
+            } => {
+                let (vm, pool) = (VmId(vm), PoolId(pool));
+                let Some(store) = Self::store_kind_from_code(store) else {
+                    return;
+                };
+                let entry = self.vms.entry(vm).or_insert_with(|| VmEntry::new(100, 100));
+                if let Err(i) = entry.pool_ids.binary_search(&pool) {
+                    entry.pool_ids.insert(i, pool);
+                }
+                self.pools
+                    .insert((vm, pool), Pool::new(vm, CachePolicy { store, weight }));
+                self.next_pool = self.next_pool.max(pool.0 + 1);
+            }
+            JournalRecord::DestroyPool { vm, pool } => {
+                let (vm, pool) = (VmId(vm), PoolId(pool));
+                if let Some(mut p) = self.pools.remove(&(vm, pool)) {
+                    let (mem, ssd) = p.drain();
+                    self.mem.free(mem);
+                    self.ssd.free(ssd);
+                    self.global_stale_mem += mem;
+                    self.global_stale_ssd += ssd;
+                    if let Some(entry) = self.vms.get_mut(&vm) {
+                        if let Ok(i) = entry.pool_ids.binary_search(&pool) {
+                            entry.pool_ids.remove(i);
+                        }
+                    }
+                }
+            }
+            JournalRecord::SetPolicy {
+                vm,
+                pool,
+                store,
+                weight,
+            } => {
+                let Some(store) = Self::store_kind_from_code(store) else {
+                    return;
+                };
+                if let Some(p) = self.pools.get_mut(&(VmId(vm), PoolId(pool))) {
+                    p.set_policy(CachePolicy { store, weight });
+                }
+            }
+            JournalRecord::Put {
+                vm,
+                pool,
+                addr,
+                version,
+                placement,
+            } => {
+                let (vm, pool) = (VmId(vm), PoolId(pool));
+                let Some(placement) = Self::placement_from_code(placement) else {
+                    return;
+                };
+                if !self.pools.contains_key(&(vm, pool)) || !self.store(placement).try_alloc() {
+                    report.dropped_no_room += 1;
+                    return;
+                }
+                let p = self.pools.get_mut(&(vm, pool)).expect("checked above");
+                // The record's generation becomes the FIFO sequence:
+                // generations are monotone, so replay preserves order.
+                if let Some(displaced) = p.insert(addr, placement, PageVersion(version), gen) {
+                    self.store(displaced).free(1);
+                    self.note_stale(displaced, 1);
+                }
+                self.push_global_fifo(vm, pool, addr, gen, placement);
+            }
+            JournalRecord::Take { vm, pool, addr }
+            | JournalRecord::Evict { vm, pool, addr }
+            | JournalRecord::Flush { vm, pool, addr } => {
+                if let Some(slot) = self
+                    .pools
+                    .get_mut(&(VmId(vm), PoolId(pool)))
+                    .and_then(|p| p.remove(addr))
+                {
+                    self.store(slot.placement).free(1);
+                    self.note_stale(slot.placement, 1);
+                }
+            }
+            JournalRecord::FlushFile { vm, pool, file } => {
+                if let Some(p) = self.pools.get_mut(&(VmId(vm), PoolId(pool))) {
+                    let (mem, ssd) = p.remove_file(file);
+                    self.mem.free(mem);
+                    self.ssd.free(ssd);
+                    self.global_stale_mem += mem;
+                    self.global_stale_ssd += ssd;
+                }
+            }
+            JournalRecord::Epoch { .. } => {}
+            JournalRecord::SetMemCapacity { pages } => self.mem.set_capacity_pages(pages),
+            JournalRecord::SetSsdCapacity { pages } => self.ssd.set_capacity_pages(pages),
+            JournalRecord::SetMode { mode } => {
+                if let Some(mode) = Self::mode_from_code(mode) {
+                    self.mode = mode;
+                }
+            }
+            JournalRecord::SsdDrain => {
+                for pool in self.pools.values_mut() {
+                    pool.drain_placement(Placement::Ssd);
+                }
+                self.ssd.free(self.ssd.used_pages());
+                self.global_fifo_ssd.clear();
+                self.global_stale_ssd = 0;
+            }
+        }
+    }
+
+    /// Seeds a fresh journal with a checkpoint of the current state so a
+    /// later crash replays the checkpoint instead of the whole history.
+    /// Generations continue from `start_gen` to stay monotone across the
+    /// restart. Returns the freshly minted per-VM epochs.
+    ///
+    /// Record order matters: each VM's `Epoch` precedes every `Put`, so a
+    /// corrupted checkpoint prefix can never make the epoch-discard pass
+    /// drop into resurrecting state — puts carry generations above every
+    /// distributed epoch. Puts are written in FIFO (sequence) order so
+    /// replay reproduces eviction order.
+    fn write_checkpoint(&mut self, start_gen: u64) -> Vec<(VmId, u64)> {
+        let mut journal = Journal::with_start_gen(start_gen);
+        journal.append(&JournalRecord::SetMode {
+            mode: Self::mode_code(self.mode),
+        });
+        journal.append(&JournalRecord::SetMemCapacity {
+            pages: self.mem.capacity_pages(),
+        });
+        journal.append(&JournalRecord::SetSsdCapacity {
+            pages: self.ssd.capacity_pages(),
+        });
+        let mut new_epochs = Vec::with_capacity(self.vms.len());
+        for (&vm, entry) in &self.vms {
+            journal.append(&JournalRecord::AddVm {
+                vm: vm.0,
+                mem_weight: entry.mem_weight,
+                ssd_weight: entry.ssd_weight,
+            });
+            let epoch = journal.append(&JournalRecord::Epoch { vm: vm.0 });
+            new_epochs.push((vm, epoch));
+        }
+        let mut puts: Vec<(u64, VmId, PoolId, BlockAddr, u64, u8)> = Vec::new();
+        for (&vm, entry) in &self.vms {
+            for &pid in &entry.pool_ids {
+                let pool = &self.pools[&(vm, pid)];
+                let policy = pool.policy();
+                journal.append(&JournalRecord::CreatePool {
+                    vm: vm.0,
+                    pool: pid.0,
+                    store: Self::store_kind_code(policy.store),
+                    weight: policy.weight,
+                });
+                for (addr, slot) in pool.iter() {
+                    puts.push((
+                        slot.seq,
+                        vm,
+                        pid,
+                        addr,
+                        slot.version.0,
+                        Self::placement_code(slot.placement),
+                    ));
+                }
+            }
+        }
+        puts.sort_unstable();
+        for (_, vm, pid, addr, version, placement) in puts {
+            journal.append(&JournalRecord::Put {
+                vm: vm.0,
+                pool: pid.0,
+                addr,
+                version,
+                placement,
+            });
+        }
+        journal.sync();
+        self.journal = Some(journal);
+        new_epochs
+    }
 }
 
 impl SecondChanceCache for DoubleDeckerCache {
@@ -1022,6 +1560,12 @@ impl SecondChanceCache for DoubleDeckerCache {
         entry.pool_ids.push(id);
         self.pools.insert((vm, id), Pool::new(vm, policy));
         self.invalidate_all_entitlements();
+        self.log(JournalRecord::CreatePool {
+            vm: vm.0,
+            pool: id.0,
+            store: Self::store_kind_code(policy.store),
+            weight: policy.weight,
+        });
         id
     }
 
@@ -1038,6 +1582,10 @@ impl SecondChanceCache for DoubleDeckerCache {
                 }
             }
             self.invalidate_all_entitlements();
+            self.log(JournalRecord::DestroyPool {
+                vm: vm.0,
+                pool: pool.0,
+            });
         }
     }
 
@@ -1045,6 +1593,15 @@ impl SecondChanceCache for DoubleDeckerCache {
         if let Some(p) = self.pools.get_mut(&(vm, pool)) {
             p.set_policy(policy);
             self.invalidate_all_entitlements();
+            // Journal the policy change before re-homing: replay applies
+            // the policy raw and then re-applies the re-homing's logged
+            // evictions and puts in order.
+            self.log(JournalRecord::SetPolicy {
+                vm: vm.0,
+                pool: pool.0,
+                store: Self::store_kind_code(policy.store),
+                weight: policy.weight,
+            });
             self.rehome_pool_objects(vm, pool);
             // Re-homing moves usage between stores, which can change the
             // participant sets again.
@@ -1059,6 +1616,11 @@ impl SecondChanceCache for DoubleDeckerCache {
         // The entry the source pool pushed for this object is stale now.
         self.note_stale(slot.placement, 1);
         self.note_removal(vm, from, slot.placement);
+        self.log(JournalRecord::Take {
+            vm: vm.0,
+            pool: from.0,
+            addr,
+        });
         match self.pools.get_mut(&(vm, to)) {
             Some(target) => {
                 let seq = self.next_seq;
@@ -1069,6 +1631,13 @@ impl SecondChanceCache for DoubleDeckerCache {
                 }
                 self.push_global_fifo(vm, to, addr, seq, slot.placement);
                 self.note_insertion(vm, to, slot.placement);
+                self.log(JournalRecord::Put {
+                    vm: vm.0,
+                    pool: to.0,
+                    addr,
+                    version: slot.version.0,
+                    placement: Self::placement_code(slot.placement),
+                });
             }
             None => {
                 // Unknown target: the object has no owner; drop it.
@@ -1105,6 +1674,26 @@ impl SecondChanceCache for DoubleDeckerCache {
         // outlives it as a tombstone.
         self.note_stale(slot.placement, 1);
         self.note_removal(vm, pool, slot.placement);
+        self.log(JournalRecord::Take {
+            vm: vm.0,
+            pool: pool.0,
+            addr,
+        });
+        // Verify-on-read: a slot whose checksum no longer matches its key
+        // rotted in the backing store (e.g. SSD corruption surviving a
+        // crash). It was already removed above, so it can never be served
+        // later; fail the lookup and quarantine a rotten SSD tier so the
+        // existing ToMem/Reject fallback takes over.
+        if !slot.verifies(addr) {
+            self.failed_gets += 1;
+            if let Some(p) = self.pools.get_mut(&(vm, pool)) {
+                p.counters.failed_gets += 1;
+            }
+            if slot.placement == Placement::Ssd {
+                self.quarantine_ssd(now);
+            }
+            return GetOutcome::Failed { finish: now };
+        }
         let finish = match slot.placement {
             Placement::Mem => self.mem.read(now, addr),
             Placement::Ssd => match self.ssd.try_read(now, addr) {
@@ -1216,18 +1805,33 @@ impl SecondChanceCache for DoubleDeckerCache {
         }
         self.push_global_fifo(vm, pool, addr, seq, placement);
         self.note_insertion(vm, pool, placement);
+        self.log(JournalRecord::Put {
+            vm: vm.0,
+            pool: pool.0,
+            addr,
+            version: version.0,
+            placement: Self::placement_code(placement),
+        });
         PutOutcome::Stored { finish }
     }
 
-    fn flush(&mut self, vm: VmId, pool: PoolId, addr: BlockAddr) {
+    fn flush(&mut self, vm: VmId, pool: PoolId, addr: BlockAddr) -> u64 {
         if let Some(slot) = self.pools.get_mut(&(vm, pool)).and_then(|p| p.remove(addr)) {
             self.store(slot.placement).free(1);
             self.note_stale(slot.placement, 1);
             self.note_removal(vm, pool, slot.placement);
         }
+        // Logged (and synced) even when the block was absent: the returned
+        // epoch must cover this flush regardless, since a crash may lose
+        // the unsynced put that would have made the block present.
+        self.log_synced(JournalRecord::Flush {
+            vm: vm.0,
+            pool: pool.0,
+            addr,
+        })
     }
 
-    fn flush_file(&mut self, vm: VmId, pool: PoolId, file: FileId) {
+    fn flush_file(&mut self, vm: VmId, pool: PoolId, file: FileId) -> u64 {
         if let Some(p) = self.pools.get_mut(&(vm, pool)) {
             let (mem, ssd) = p.remove_file(file);
             self.mem.free(mem);
@@ -1241,6 +1845,11 @@ impl SecondChanceCache for DoubleDeckerCache {
                 self.note_removal(vm, pool, Placement::Ssd);
             }
         }
+        self.log_synced(JournalRecord::FlushFile {
+            vm: vm.0,
+            pool: pool.0,
+            file,
+        })
     }
 }
 
@@ -1714,7 +2323,9 @@ mod tests {
                 6..=8 => {
                     cache.get(SimTime::from_nanos(i), VM, pool, a);
                 }
-                _ => cache.flush(VM, pool, a),
+                _ => {
+                    cache.flush(VM, pool, a);
+                }
             }
             let t = cache.totals();
             let s1 = cache.pool_stats(VM, p1).unwrap();
@@ -2075,5 +2686,218 @@ mod tests {
                 }
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash-and-recovery plane.
+    // ------------------------------------------------------------------
+
+    /// A journaled cache with two VMs, mixed mem/SSD pools, and a spread
+    /// of churn (puts, exclusive gets, flushes, a capacity change), plus
+    /// the flush epochs a guest would have accumulated.
+    fn journaled_fixture() -> (DoubleDeckerCache, Vec<(VmId, u64)>) {
+        let config = CacheConfig {
+            mem_capacity_pages: 64,
+            ssd_capacity_pages: 64,
+            mode: PartitionMode::DoubleDecker,
+        };
+        let mut cache = DoubleDeckerCache::new(config);
+        cache.enable_journal();
+        cache.add_vm(VmId(1), 100);
+        cache.add_vm(VmId(2), 50);
+        let p1 = cache.create_pool(VmId(1), CachePolicy::mem(100));
+        let p2 = cache.create_pool(VmId(2), CachePolicy::ssd(100));
+        let mut epochs = vec![(VmId(1), 0u64), (VmId(2), 0u64)];
+        for b in 0..40 {
+            cache.put(SimTime::ZERO, VmId(1), p1, addr(1, b), PageVersion(1));
+            cache.put(SimTime::ZERO, VmId(2), p2, addr(2, b), PageVersion(1));
+        }
+        for b in 0..10 {
+            cache.get(SimTime::ZERO, VmId(1), p1, addr(1, b));
+            epochs[1].1 = epochs[1].1.max(cache.flush(VmId(2), p2, addr(2, b)));
+        }
+        cache.set_mem_capacity(SimTime::ZERO, 48);
+        epochs[0].1 = epochs[0].1.max(cache.flush(VmId(1), p1, addr(1, 39)));
+        (cache, epochs)
+    }
+
+    #[test]
+    fn recovery_from_full_image_is_exact() {
+        let (cache, epochs) = journaled_fixture();
+        let image = cache.journal_bytes().unwrap().to_vec();
+        let (recovered, report) =
+            DoubleDeckerCache::recover(cache.current_config(), &image, &epochs);
+        assert_eq!(recovered.entries(), cache.entries(), "lossless replay");
+        assert_eq!(report.discarded_stale, 0, "full image has no stale tail");
+        assert_eq!(report.dropped_no_room, 0);
+        assert!(!report.torn_tail && !report.corrupt);
+        assert_eq!(report.recovered_entries as usize, recovered.entries().len());
+        assert!(
+            crate::audit(&recovered).is_empty(),
+            "recovered cache audits clean"
+        );
+        // Recovered entries are usable through the normal data path.
+        let (vm, pool, a, v) = recovered.entries()[0];
+        let mut recovered = recovered;
+        match recovered.get(SimTime::ZERO, vm, pool, a) {
+            GetOutcome::Hit { version, .. } => assert_eq!(version, v),
+            other => panic!("expected hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_tolerates_torn_and_garbage_tails() {
+        let (cache, epochs) = journaled_fixture();
+        let image = cache.journal_bytes().unwrap().to_vec();
+        let baseline = cache.entries();
+        // Torn tail: chop the image mid-record.
+        let torn = &image[..image.len() - 3];
+        let (rec_torn, rep_torn) =
+            DoubleDeckerCache::recover(cache.current_config(), torn, &epochs);
+        assert!(rep_torn.torn_tail, "partial trailing record detected");
+        assert!(crate::audit(&rec_torn).is_empty());
+        // Garbage appended past the real records: replay stops there.
+        let mut noisy = image.clone();
+        noisy.extend_from_slice(&[0xAB; 40]);
+        let (rec_noisy, rep_noisy) =
+            DoubleDeckerCache::recover(cache.current_config(), &noisy, &epochs);
+        assert!(rep_noisy.corrupt || rep_noisy.torn_tail);
+        assert_eq!(
+            rec_noisy.entries(),
+            baseline,
+            "garbage tail loses nothing real"
+        );
+        assert!(crate::audit(&rec_noisy).is_empty());
+    }
+
+    #[test]
+    fn epoch_discard_drops_entry_covered_by_lost_flush() {
+        let config = CacheConfig {
+            mem_capacity_pages: 16,
+            ssd_capacity_pages: 0,
+            mode: PartitionMode::DoubleDecker,
+        };
+        let mut cache = DoubleDeckerCache::new(config);
+        cache.enable_journal();
+        cache.add_vm(VmId(1), 100);
+        let p = cache.create_pool(VmId(1), CachePolicy::mem(100));
+        let a = addr(7, 0);
+        cache.put(SimTime::ZERO, VmId(1), p, a, PageVersion(1));
+        // Sync the journal so the v1 put is durable (flush of an absent
+        // block still logs + syncs).
+        cache.flush(VmId(1), p, addr(9, 9));
+        let durable = cache.journal_durable_len().unwrap();
+        // The guest now overwrites the block: its invalidating flush is
+        // acknowledged (epoch advances), but the crash cuts the journal
+        // before that flush record — the classic lost-invalidation window.
+        let epoch = cache.flush(VmId(1), p, a);
+        assert!(epoch > 0);
+        let image = cache.journal_bytes().unwrap()[..durable].to_vec();
+        let (recovered, report) =
+            DoubleDeckerCache::recover(cache.current_config(), &image, &[(VmId(1), epoch)]);
+        assert_eq!(report.discarded_stale, 1, "stale v1 copy dropped by epoch");
+        assert!(recovered.entries().is_empty());
+        assert!(crate::audit(&recovered).is_empty());
+        // Without the guest epoch the stale copy WOULD be replayed — the
+        // discard is doing real work above.
+        let (naive, _) = DoubleDeckerCache::recover(cache.current_config(), &image, &[]);
+        assert_eq!(naive.entries().len(), 1);
+    }
+
+    #[test]
+    fn recovery_checkpoint_supports_second_recovery() {
+        let (cache, epochs) = journaled_fixture();
+        let image = cache.journal_bytes().unwrap().to_vec();
+        let (first, report) = DoubleDeckerCache::recover(cache.current_config(), &image, &epochs);
+        // The recovered cache re-journals its state as a checkpoint; a
+        // second crash straight after recovers the same contents.
+        let checkpoint = first.journal_bytes().unwrap().to_vec();
+        assert!(
+            checkpoint.len() < image.len(),
+            "checkpoint compacts history"
+        );
+        let (second, rep2) =
+            DoubleDeckerCache::recover(first.current_config(), &checkpoint, &report.new_epochs);
+        assert_eq!(second.entries(), first.entries());
+        assert_eq!(
+            rep2.discarded_stale, 0,
+            "checkpoint gens outrun every epoch"
+        );
+        assert!(crate::audit(&second).is_empty());
+        // New epochs cover every VM so guests can be re-armed.
+        let vms: Vec<VmId> = report.new_epochs.iter().map(|&(vm, _)| vm).collect();
+        assert!(vms.contains(&VmId(1)) && vms.contains(&VmId(2)));
+    }
+
+    #[test]
+    fn recovery_from_every_prefix_never_serves_stale() {
+        use ddc_sim::SimRng;
+        use std::collections::BTreeMap;
+        let config = CacheConfig {
+            mem_capacity_pages: 24,
+            ssd_capacity_pages: 24,
+            mode: PartitionMode::DoubleDecker,
+        };
+        let mut cache = DoubleDeckerCache::new(config);
+        cache.enable_journal();
+        cache.add_vm(VmId(1), 100);
+        let pm = cache.create_pool(VmId(1), CachePolicy::mem(100));
+        let ps = cache.create_pool(VmId(1), CachePolicy::ssd(100));
+        // Ground truth a guest would hold: the authoritative version of
+        // every block, and the highest acknowledged flush epoch.
+        let mut disk: BTreeMap<BlockAddr, u64> = BTreeMap::new();
+        let mut epoch = 0u64;
+        let mut rng = SimRng::new(0xC4A5);
+        for _ in 0..400 {
+            let a = addr(rng.range_u64(1, 4), rng.range_u64(0, 16));
+            // One owning pool per block — the guest keeps second-chance
+            // copies exclusive, so the op stream must too.
+            let p = if a.block.is_multiple_of(2) { pm } else { ps };
+            match rng.range_u64(0, 10) {
+                // Reclaim: put the current clean version.
+                0..=4 => {
+                    let v = disk.get(&a).copied().unwrap_or(0);
+                    cache.put(SimTime::ZERO, VmId(1), p, a, PageVersion(v));
+                }
+                5..=6 => {
+                    cache.get(SimTime::ZERO, VmId(1), p, a);
+                }
+                // Overwrite: bump the disk version, invalidate both pools
+                // (a guest flushes every pool of the VM on write).
+                _ => {
+                    *disk.entry(a).or_insert(0) += 1;
+                    epoch = epoch.max(cache.flush(VmId(1), pm, a));
+                    epoch = epoch.max(cache.flush(VmId(1), ps, a));
+                }
+            }
+        }
+        let image = cache.journal_bytes().unwrap().to_vec();
+        let cuts = ddc_storage::Journal::record_boundaries(&image);
+        assert!(cuts.len() > 400, "one boundary per record");
+        // Sample prefixes (every 13th boundary plus the extremes) and a
+        // torn variant of each; recovery must never resurrect a version
+        // older than the disk's.
+        let mut sampled = 0;
+        for (i, &cut) in cuts.iter().enumerate() {
+            if i % 13 != 0 && i + 1 != cuts.len() {
+                continue;
+            }
+            sampled += 1;
+            for torn in [false, true] {
+                let end = if torn { cut.saturating_sub(2) } else { cut };
+                let (recovered, _) = DoubleDeckerCache::recover(
+                    cache.current_config(),
+                    &image[..end],
+                    &[(VmId(1), epoch)],
+                );
+                for (_, _, a, v) in recovered.entries() {
+                    let truth = disk.get(&a).copied().unwrap_or(0);
+                    assert_eq!(v.0, truth, "stale {a} recovered at cut {cut} torn={torn}");
+                }
+                let findings = crate::audit(&recovered);
+                assert!(findings.is_empty(), "cut {cut} torn={torn}: {findings:?}");
+            }
+        }
+        assert!(sampled >= 30, "swept enough crash points ({sampled})");
     }
 }

@@ -36,6 +36,33 @@ pub struct Slot {
     pub version: PageVersion,
     /// FIFO sequence stamp.
     pub seq: u64,
+    /// Verify-on-read checksum, normally [`slot_checksum`] of the
+    /// object's address and version. A mismatch at `get` time means the
+    /// stored copy rotted (e.g. SSD corruption surviving a crash) and
+    /// the slot must be failed, never served.
+    pub checksum: u32,
+}
+
+impl Slot {
+    /// Whether the stored checksum matches the object's address and
+    /// version (the verify-on-read check).
+    pub fn verifies(&self, addr: BlockAddr) -> bool {
+        self.checksum == slot_checksum(addr, self.version)
+    }
+}
+
+/// The checksum a healthy slot for `(addr, version)` carries. Stands in
+/// for a content hash: the simulation has no page payloads, so the
+/// address/version pair identifies the bytes that would be hashed.
+pub fn slot_checksum(addr: BlockAddr, version: PageVersion) -> u32 {
+    // FNV-1a over the three words; cheap and deterministic.
+    let mut h = 0x811C_9DC5u32;
+    for word in [addr.file.0, addr.block, version.0] {
+        for b in word.to_le_bytes() {
+            h = (h ^ b as u32).wrapping_mul(0x0100_0193);
+        }
+    }
+    h
 }
 
 /// Per-pool operation counters (the source of GET_STATS).
@@ -136,6 +163,7 @@ impl Pool {
             placement,
             version,
             seq,
+            checksum: slot_checksum(addr, version),
         };
         let old = self
             .files
@@ -243,6 +271,34 @@ impl Pool {
         self.used_mem = 0;
         self.used_ssd = 0;
         freed
+    }
+
+    /// Corrupts the stored checksum of one resident object (chaos
+    /// testing: models bit rot in the backing store). Returns `false`
+    /// if the object is not resident.
+    pub fn corrupt(&mut self, addr: BlockAddr) -> bool {
+        let Some(slot) = self
+            .files
+            .get_mut(&addr.file)
+            .and_then(|blocks| blocks.get_mut(&addr.block))
+        else {
+            return false;
+        };
+        slot.checksum ^= 0xDEAD_BEEF;
+        true
+    }
+
+    /// Iterates one placement's FIFO queue entries `(addr, seq)`,
+    /// including dead (lazily deleted) entries — the invariant auditor
+    /// checks queue↔index coherence with this.
+    pub fn fifo_entries(
+        &self,
+        placement: Placement,
+    ) -> impl Iterator<Item = (BlockAddr, u64)> + '_ {
+        match placement {
+            Placement::Mem => self.fifo_mem.iter().copied(),
+            Placement::Ssd => self.fifo_ssd.iter().copied(),
+        }
     }
 
     /// Iterates over all resident objects (for migration and tests).

@@ -19,7 +19,12 @@
 //!   weights, container policies, store types),
 //! * the **Global** baseline mode (tmem-style container-agnostic FIFO) and
 //!   a **Strict** partition mode (Morai-style fixed partitions without
-//!   slack redistribution), used as comparators in the evaluation.
+//!   slack redistribution), used as comparators in the evaluation,
+//! * a **crash-and-recovery plane**: a write-ahead journal of every state
+//!   transition ([`DoubleDeckerCache::enable_journal`]), warm restart
+//!   from a truncated or corrupted journal image
+//!   ([`DoubleDeckerCache::recover`]) that can lose entries but never
+//!   resurrect stale ones, and a runtime invariant auditor ([`audit`]).
 //!
 //! # Quick start
 //!
@@ -45,14 +50,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 mod config;
 mod ddcache;
 pub mod index;
 pub mod policy;
 pub mod store;
 
+pub use audit::{audit, AuditFinding};
 pub use config::{CacheConfig, PartitionMode, EVICTION_BATCH_PAGES};
-pub use ddcache::{CacheTotals, DoubleDeckerCache, FallbackMode, VmUsage};
+pub use ddcache::{CacheTotals, DoubleDeckerCache, FallbackMode, RecoveryReport, VmUsage};
 pub use policy::{select_victim, select_victim_strict, EntityUsage};
 
 // Re-export the interface vocabulary so downstream crates only need this

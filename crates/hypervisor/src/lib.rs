@@ -45,7 +45,9 @@ use ddc_cleancache::{CachePolicy, PoolStats, SecondChanceCache, VmId};
 use ddc_guest::{
     CgroupId, CgroupMemStats, GuestConfig, GuestEnv, GuestOs, ReadResult, WriteResult,
 };
-use ddc_hypercache::{CacheConfig, CacheTotals, DoubleDeckerCache, FallbackMode, VmUsage};
+use ddc_hypercache::{
+    CacheConfig, CacheTotals, DoubleDeckerCache, FallbackMode, RecoveryReport, VmUsage,
+};
 use ddc_sim::{FaultSchedule, SimTime};
 use ddc_storage::{BlockAddr, Device, FileId};
 
@@ -223,6 +225,73 @@ impl Host {
             }
             None => false,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Crash-and-recovery plane.
+    // ------------------------------------------------------------------
+
+    /// Turns on write-ahead journaling of every hypervisor cache state
+    /// transition. Idempotent. Must be called before the operations that
+    /// a later [`Host::crash_and_recover`] should be able to replay.
+    pub fn enable_cache_journal(&mut self) {
+        self.cache.enable_journal();
+    }
+
+    /// The cache's full journal image so far (`None` if journaling is
+    /// off). A crash harness snapshots this, cuts or corrupts a suffix,
+    /// and feeds the damaged prefix to [`Host::crash_and_recover`].
+    pub fn cache_journal_image(&self) -> Option<Vec<u8>> {
+        self.cache.journal_bytes().map(<[u8]>::to_vec)
+    }
+
+    /// Bytes of the journal guaranteed durable (covered by the last
+    /// sync), if journaling is on. A crash never loses bytes below this
+    /// watermark, so every acknowledged flush survives.
+    pub fn cache_journal_durable_len(&self) -> Option<usize> {
+        self.cache.journal_durable_len()
+    }
+
+    /// Simulates a crash of the hypervisor caching layer followed by a
+    /// warm restart from `journal_image` — typically a truncated or
+    /// corrupted prefix of [`Host::cache_journal_image`]. The guests and
+    /// their virtual disks are untouched (in a derivative cloud the
+    /// caching daemon can die independently of the VMs it serves); only
+    /// the second-chance cache state is rebuilt.
+    ///
+    /// Each guest's flush epoch is snapshotted before the swap and fed to
+    /// [`DoubleDeckerCache::recover`], which discards any replayed entry
+    /// an acknowledged invalidation may have covered — recovery can lose
+    /// entries, never resurrect stale ones. The fresh epochs minted by
+    /// the recovery checkpoint are redistributed to the running guests.
+    pub fn crash_and_recover(&mut self, journal_image: &[u8]) -> RecoveryReport {
+        let epochs: Vec<(VmId, u64)> = self
+            .vms
+            .iter()
+            .map(|(&vm, guest)| (vm, guest.flush_epoch()))
+            .collect();
+        let (cache, report) =
+            DoubleDeckerCache::recover(self.cache.current_config(), journal_image, &epochs);
+        self.cache = cache;
+        for &(vm, epoch) in &report.new_epochs {
+            if let Some(guest) = self.vms.get_mut(&vm) {
+                guest.note_recovery_epoch(epoch);
+            }
+        }
+        report
+    }
+
+    /// Flips one recovered cache entry's stored bits (bit-rot injection
+    /// for the chaos harness). Returns `false` if the entry is absent.
+    /// The damage is detected lazily by verify-on-read, which fails the
+    /// get and (for SSD entries) quarantines the tier.
+    pub fn corrupt_cache_entry(
+        &mut self,
+        vm: VmId,
+        pool: ddc_cleancache::PoolId,
+        addr: BlockAddr,
+    ) -> bool {
+        self.cache.corrupt_entry(vm, pool, addr)
     }
 
     // ------------------------------------------------------------------
@@ -720,6 +789,78 @@ mod tests {
         // Cheap compile-surface check that hypercache types re-export
         // cleanly through this crate's public deps.
         assert_eq!(StoreKind::Mem.to_string(), "Mem");
+    }
+
+    #[test]
+    fn cache_crash_recover_continue() {
+        let mut host = Host::new(HostConfig::new(CacheConfig::mem_and_ssd(256, 256)));
+        host.enable_cache_journal();
+        let vm1 = host.boot_vm(1, 100);
+        let vm2 = host.boot_vm(1, 100);
+        let c1 = host.create_container(vm1, "a", 4, CachePolicy::mem(100));
+        let c2 = host.create_container(vm2, "b", 4, CachePolicy::ssd(100));
+        let mut now = SimTime::ZERO;
+        // Writes create versions; fsync + re-reads churn copies into the
+        // second-chance cache; more writes open invalidation windows.
+        for round in 0..3 {
+            for b in 0..12 {
+                now = host.write(now, vm1, c1, a(vm1, 1, b)).finish;
+                now = host.write(now, vm2, c2, a(vm2, 1, b)).finish;
+            }
+            now = host.fsync(now, vm1, c1, vm_file(vm1, 1));
+            now = host.fsync(now, vm2, c2, vm_file(vm2, 1));
+            for b in 0..12 {
+                now = host.read(now, vm1, c1, a(vm1, 1, b)).finish;
+                now = host.read(now, vm2, c2, a(vm2, 1, b)).finish;
+            }
+            let _ = round;
+        }
+        let image = host.cache_journal_image().expect("journaling on");
+        let durable = host.cache_journal_durable_len().unwrap();
+        assert!(durable <= image.len());
+        // Crash the caching layer, losing everything past the durable
+        // watermark plus a torn half-record.
+        let cut = durable.saturating_sub(5);
+        let report = host.crash_and_recover(&image[..cut]);
+        assert!(report.records_replayed > 0);
+        assert!(ddc_hypercache::audit(host.cache()).is_empty());
+        // The recovered cache journals a checkpoint of its own.
+        assert!(!host.cache_journal_image().unwrap().is_empty());
+        // Guests keep running against the recovered cache; GuestOs::read
+        // asserts version coherence, and the release-mode counter must
+        // stay zero — recovery may lose entries, never serve stale ones.
+        for b in 0..12 {
+            now = host.read(now, vm1, c1, a(vm1, 1, b)).finish;
+            now = host.read(now, vm2, c2, a(vm2, 1, b)).finish;
+        }
+        assert_eq!(host.guest(vm1).counters().stale_cleancache_hits, 0);
+        assert_eq!(host.guest(vm2).counters().stale_cleancache_hits, 0);
+        assert!(ddc_hypercache::audit(host.cache()).is_empty());
+    }
+
+    #[test]
+    fn corrupt_recovered_entry_is_quarantined_not_served() {
+        let mut host = Host::new(HostConfig::new(CacheConfig::mem_and_ssd(128, 128)));
+        host.enable_cache_journal();
+        host.set_ssd_fallback_mode(FallbackMode::Reject);
+        let vm = host.boot_vm(1, 100);
+        let cg = host.create_container(vm, "c", 4, CachePolicy::ssd(100));
+        let mut now = SimTime::ZERO;
+        for b in 0..12 {
+            now = host.read(now, vm, cg, a(vm, 1, b)).finish;
+        }
+        let image = host.cache_journal_image().unwrap();
+        host.crash_and_recover(&image);
+        // Bit-rot one recovered SSD entry; the damage must surface as a
+        // failed get + quarantine, never as served data.
+        let entries = host.cache().entries();
+        assert!(!entries.is_empty(), "recovery restored SSD entries");
+        let (evm, pool, addr, _) = entries[0];
+        assert!(host.corrupt_cache_entry(evm, pool, addr));
+        let r = host.read(now, evm, cg, addr);
+        assert_eq!(r.level, HitLevel::Disk, "corrupt slot falls through");
+        assert!(host.ssd_quarantined(), "verify-on-read quarantined SSD");
+        assert_eq!(host.guest(evm).counters().stale_cleancache_hits, 0);
     }
 
     #[test]

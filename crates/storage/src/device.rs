@@ -1,9 +1,7 @@
 //! A storage device: a latency model, an FCFS queue, and sequentiality
 //! tracking.
 
-use std::collections::HashMap;
-
-use ddc_sim::{FaultDecision, FaultSchedule, MultiQueuedResource, SimDuration, SimTime};
+use ddc_sim::{FaultDecision, FaultSchedule, FxHashMap, MultiQueuedResource, SimDuration, SimTime};
 
 use crate::{BlockAddr, FileId, LatencyModel};
 
@@ -79,7 +77,7 @@ pub struct Device {
     kind: DeviceKind,
     model: LatencyModel,
     queue: MultiQueuedResource,
-    last_block_by_file: HashMap<FileId, u64>,
+    last_block_by_file: FxHashMap<FileId, u64>,
     faults: Option<FaultSchedule>,
     reads: u64,
     writes: u64,
@@ -105,7 +103,7 @@ impl Device {
             kind,
             model,
             queue: MultiQueuedResource::new(channels),
-            last_block_by_file: HashMap::new(),
+            last_block_by_file: FxHashMap::default(),
             faults: None,
             reads: 0,
             writes: 0,

@@ -1,0 +1,775 @@
+//! Write-ahead journal for the SSD-backed hypervisor cache store.
+//!
+//! DoubleDecker's clean-cache semantics (paper §3–4) make recovery after
+//! a hypervisor crash unusually forgiving: every cached entry is a clean
+//! second-chance copy whose authoritative version lives on the virtual
+//! disk, so a recovered cache may *lose* entries freely — the only fatal
+//! outcome is serving an entry older than the guest's latest put/flush.
+//! The journal records enough to warm-restart the SSD store while making
+//! that outcome impossible:
+//!
+//! * **append-only records** for every state transition (puts, exclusive
+//!   gets, evictions, flushes, pool/VM control-plane changes), each
+//!   carrying a monotonically increasing **generation number** and a
+//!   CRC32 checksum;
+//! * a **durability watermark** ([`Journal::sync`]): flush records are
+//!   synced before the flush hypercall is acknowledged, so an acked
+//!   flush is always at or below the watermark;
+//! * **truncation-tolerant replay** ([`Journal::replay`]): replay
+//!   consumes the longest valid prefix and reports — without panicking —
+//!   whether it stopped at a torn final record (crash mid-append) or a
+//!   checksum mismatch (bit rot).
+//!
+//! Identifier types from higher layers (VM and pool ids, page versions)
+//! are stored as raw integers; this crate sits below `ddc-cleancache`
+//! and cannot name them.
+
+use std::fmt;
+
+/// Byte length of the fixed record header: `[len u16][kind u8][gen u64]`.
+const HEADER_LEN: usize = 2 + 1 + 8;
+
+/// Byte length of the trailing CRC32.
+const TRAILER_LEN: usize = 4;
+
+/// Smallest well-formed record (header + empty payload + crc).
+const MIN_RECORD_LEN: usize = HEADER_LEN + TRAILER_LEN;
+
+use crate::addr::{BlockAddr, FileId};
+
+/// One journal record — a state transition of the hypervisor cache.
+///
+/// `vm` and `pool` fields are the raw integer ids of the cleancache
+/// layer's `VmId`/`PoolId`; `version` is the raw guest page version;
+/// `store` and `mode` are the `StoreKind`/`PartitionMode` discriminants
+/// as encoded by the hypercache layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A VM joined the cache with per-store weights.
+    AddVm {
+        /// Raw VM id.
+        vm: u32,
+        /// Memory-store weight.
+        mem_weight: u64,
+        /// SSD-store weight.
+        ssd_weight: u64,
+    },
+    /// A VM left the cache (all its pools drained).
+    RemoveVm {
+        /// Raw VM id.
+        vm: u32,
+    },
+    /// A VM's per-store weights changed.
+    SetVmWeights {
+        /// Raw VM id.
+        vm: u32,
+        /// New memory-store weight.
+        mem_weight: u64,
+        /// New SSD-store weight.
+        ssd_weight: u64,
+    },
+    /// A pool was created with a `<store, weight>` policy.
+    CreatePool {
+        /// Raw VM id.
+        vm: u32,
+        /// Raw pool id.
+        pool: u32,
+        /// Store-kind discriminant of the pool policy.
+        store: u8,
+        /// Pool weight.
+        weight: u32,
+    },
+    /// A pool was destroyed (all entries dropped).
+    DestroyPool {
+        /// Raw VM id.
+        vm: u32,
+        /// Raw pool id.
+        pool: u32,
+    },
+    /// A pool's policy changed (rehoming side effects are journaled
+    /// separately as evictions and puts).
+    SetPolicy {
+        /// Raw VM id.
+        vm: u32,
+        /// Raw pool id.
+        pool: u32,
+        /// New store-kind discriminant.
+        store: u8,
+        /// New pool weight.
+        weight: u32,
+    },
+    /// A page version was stored (put, trickle-down, or rehome target).
+    Put {
+        /// Raw VM id.
+        vm: u32,
+        /// Raw pool id.
+        pool: u32,
+        /// Block address of the entry.
+        addr: BlockAddr,
+        /// Raw guest page version stored.
+        version: u64,
+        /// Placement discriminant (memory or SSD store).
+        placement: u8,
+    },
+    /// An entry left the cache through an exclusive get.
+    Take {
+        /// Raw VM id.
+        vm: u32,
+        /// Raw pool id.
+        pool: u32,
+        /// Block address removed.
+        addr: BlockAddr,
+    },
+    /// An entry was evicted (capacity pressure, rehome, or drain).
+    Evict {
+        /// Raw VM id.
+        vm: u32,
+        /// Raw pool id.
+        pool: u32,
+        /// Block address evicted.
+        addr: BlockAddr,
+    },
+    /// A single-page flush (guest overwrote or invalidated the page).
+    /// Synced before the hypercall is acknowledged.
+    Flush {
+        /// Raw VM id.
+        vm: u32,
+        /// Raw pool id.
+        pool: u32,
+        /// Block address flushed.
+        addr: BlockAddr,
+    },
+    /// A whole-file flush. Synced before the hypercall is acknowledged.
+    FlushFile {
+        /// Raw VM id.
+        vm: u32,
+        /// Raw pool id.
+        pool: u32,
+        /// File whose pages were flushed.
+        file: FileId,
+    },
+    /// An epoch marker: the generation of this record is a flush epoch
+    /// the named VM may have observed (written by checkpoints).
+    Epoch {
+        /// Raw VM id.
+        vm: u32,
+    },
+    /// The memory store was resized.
+    SetMemCapacity {
+        /// New capacity in pages.
+        pages: u64,
+    },
+    /// The SSD store was resized.
+    SetSsdCapacity {
+        /// New capacity in pages.
+        pages: u64,
+    },
+    /// The partition mode changed.
+    SetMode {
+        /// Partition-mode discriminant.
+        mode: u8,
+    },
+    /// The SSD tier was quarantined and fully drained.
+    SsdDrain,
+}
+
+impl JournalRecord {
+    /// The record-kind discriminant used on the wire.
+    fn kind(&self) -> u8 {
+        match self {
+            JournalRecord::AddVm { .. } => 1,
+            JournalRecord::RemoveVm { .. } => 2,
+            JournalRecord::SetVmWeights { .. } => 3,
+            JournalRecord::CreatePool { .. } => 4,
+            JournalRecord::DestroyPool { .. } => 5,
+            JournalRecord::SetPolicy { .. } => 6,
+            JournalRecord::Put { .. } => 7,
+            JournalRecord::Take { .. } => 8,
+            JournalRecord::Evict { .. } => 9,
+            JournalRecord::Flush { .. } => 10,
+            JournalRecord::FlushFile { .. } => 11,
+            JournalRecord::Epoch { .. } => 12,
+            JournalRecord::SetMemCapacity { .. } => 13,
+            JournalRecord::SetSsdCapacity { .. } => 14,
+            JournalRecord::SetMode { .. } => 15,
+            JournalRecord::SsdDrain => 16,
+        }
+    }
+
+    /// Appends the payload bytes (everything after the header).
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match *self {
+            JournalRecord::AddVm {
+                vm,
+                mem_weight,
+                ssd_weight,
+            }
+            | JournalRecord::SetVmWeights {
+                vm,
+                mem_weight,
+                ssd_weight,
+            } => {
+                put_u32(out, vm);
+                put_u64(out, mem_weight);
+                put_u64(out, ssd_weight);
+            }
+            JournalRecord::RemoveVm { vm } | JournalRecord::Epoch { vm } => put_u32(out, vm),
+            JournalRecord::CreatePool {
+                vm,
+                pool,
+                store,
+                weight,
+            }
+            | JournalRecord::SetPolicy {
+                vm,
+                pool,
+                store,
+                weight,
+            } => {
+                put_u32(out, vm);
+                put_u32(out, pool);
+                out.push(store);
+                put_u32(out, weight);
+            }
+            JournalRecord::DestroyPool { vm, pool } => {
+                put_u32(out, vm);
+                put_u32(out, pool);
+            }
+            JournalRecord::Put {
+                vm,
+                pool,
+                addr,
+                version,
+                placement,
+            } => {
+                put_u32(out, vm);
+                put_u32(out, pool);
+                put_u64(out, addr.file.0);
+                put_u64(out, addr.block);
+                put_u64(out, version);
+                out.push(placement);
+            }
+            JournalRecord::Take { vm, pool, addr }
+            | JournalRecord::Evict { vm, pool, addr }
+            | JournalRecord::Flush { vm, pool, addr } => {
+                put_u32(out, vm);
+                put_u32(out, pool);
+                put_u64(out, addr.file.0);
+                put_u64(out, addr.block);
+            }
+            JournalRecord::FlushFile { vm, pool, file } => {
+                put_u32(out, vm);
+                put_u32(out, pool);
+                put_u64(out, file.0);
+            }
+            JournalRecord::SetMemCapacity { pages } | JournalRecord::SetSsdCapacity { pages } => {
+                put_u64(out, pages)
+            }
+            JournalRecord::SetMode { mode } => out.push(mode),
+            JournalRecord::SsdDrain => {}
+        }
+    }
+
+    /// Decodes a payload for `kind`, or `None` if malformed.
+    fn decode_payload(kind: u8, payload: &[u8]) -> Option<JournalRecord> {
+        let mut c = Cursor::new(payload);
+        let rec = match kind {
+            1 => JournalRecord::AddVm {
+                vm: c.u32()?,
+                mem_weight: c.u64()?,
+                ssd_weight: c.u64()?,
+            },
+            2 => JournalRecord::RemoveVm { vm: c.u32()? },
+            3 => JournalRecord::SetVmWeights {
+                vm: c.u32()?,
+                mem_weight: c.u64()?,
+                ssd_weight: c.u64()?,
+            },
+            4 => JournalRecord::CreatePool {
+                vm: c.u32()?,
+                pool: c.u32()?,
+                store: c.u8()?,
+                weight: c.u32()?,
+            },
+            5 => JournalRecord::DestroyPool {
+                vm: c.u32()?,
+                pool: c.u32()?,
+            },
+            6 => JournalRecord::SetPolicy {
+                vm: c.u32()?,
+                pool: c.u32()?,
+                store: c.u8()?,
+                weight: c.u32()?,
+            },
+            7 => JournalRecord::Put {
+                vm: c.u32()?,
+                pool: c.u32()?,
+                addr: BlockAddr::new(FileId(c.u64()?), c.u64()?),
+                version: c.u64()?,
+                placement: c.u8()?,
+            },
+            8 => JournalRecord::Take {
+                vm: c.u32()?,
+                pool: c.u32()?,
+                addr: BlockAddr::new(FileId(c.u64()?), c.u64()?),
+            },
+            9 => JournalRecord::Evict {
+                vm: c.u32()?,
+                pool: c.u32()?,
+                addr: BlockAddr::new(FileId(c.u64()?), c.u64()?),
+            },
+            10 => JournalRecord::Flush {
+                vm: c.u32()?,
+                pool: c.u32()?,
+                addr: BlockAddr::new(FileId(c.u64()?), c.u64()?),
+            },
+            11 => JournalRecord::FlushFile {
+                vm: c.u32()?,
+                pool: c.u32()?,
+                file: FileId(c.u64()?),
+            },
+            12 => JournalRecord::Epoch { vm: c.u32()? },
+            13 => JournalRecord::SetMemCapacity { pages: c.u64()? },
+            14 => JournalRecord::SetSsdCapacity { pages: c.u64()? },
+            15 => JournalRecord::SetMode { mode: c.u8()? },
+            16 => JournalRecord::SsdDrain,
+            _ => return None,
+        };
+        if c.at_end() {
+            Some(rec)
+        } else {
+            None
+        }
+    }
+}
+
+/// How replay of a journal image terminated.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReplayStats {
+    /// Number of valid records consumed.
+    pub records: u64,
+    /// Bytes of the image consumed by valid records.
+    pub bytes_consumed: usize,
+    /// Replay stopped at a torn final record (length overruns the image).
+    pub torn_tail: bool,
+    /// Replay stopped at a corrupt record (checksum or framing failure).
+    pub corrupt: bool,
+}
+
+impl fmt::Display for ReplayStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} records / {} bytes{}{}",
+            self.records,
+            self.bytes_consumed,
+            if self.torn_tail { ", torn tail" } else { "" },
+            if self.corrupt { ", corrupt" } else { "" },
+        )
+    }
+}
+
+/// An in-memory append-only journal with an explicit durability
+/// watermark standing in for `fsync`.
+///
+/// # Example
+///
+/// ```
+/// use ddc_storage::{BlockAddr, FileId, Journal, JournalRecord};
+///
+/// let mut j = Journal::new();
+/// let gen = j.append(&JournalRecord::Flush {
+///     vm: 1,
+///     pool: 2,
+///     addr: BlockAddr::new(FileId(7), 3),
+/// });
+/// j.sync();
+/// assert_eq!(gen, 1);
+/// let (records, stats) = Journal::replay(j.bytes());
+/// assert_eq!(records.len(), 1);
+/// assert!(!stats.torn_tail && !stats.corrupt);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Journal {
+    buf: Vec<u8>,
+    durable: usize,
+    next_gen: u64,
+}
+
+impl Journal {
+    /// An empty journal whose first record gets generation 1.
+    pub fn new() -> Journal {
+        Journal::with_start_gen(1)
+    }
+
+    /// An empty journal whose first record gets generation `start_gen` —
+    /// used by recovery checkpoints so generations stay monotone across
+    /// restarts.
+    pub fn with_start_gen(start_gen: u64) -> Journal {
+        Journal {
+            buf: Vec::new(),
+            durable: 0,
+            next_gen: start_gen.max(1),
+        }
+    }
+
+    /// Appends a record and returns its generation number. The record is
+    /// *not* durable until the next [`Journal::sync`].
+    pub fn append(&mut self, rec: &JournalRecord) -> u64 {
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        let start = self.buf.len();
+        self.buf.extend_from_slice(&[0, 0]); // length backpatched below
+        self.buf.push(rec.kind());
+        put_u64(&mut self.buf, gen);
+        rec.encode_payload(&mut self.buf);
+        let len = (self.buf.len() - start + TRAILER_LEN) as u16;
+        self.buf[start..start + 2].copy_from_slice(&len.to_le_bytes());
+        let crc = crc32(&self.buf[start..]);
+        put_u32(&mut self.buf, crc);
+        gen
+    }
+
+    /// Makes everything appended so far durable (the `fsync` stand-in).
+    /// Flush records must be synced before the hypercall returns; puts
+    /// and evictions may remain above the watermark and be lost.
+    pub fn sync(&mut self) {
+        self.durable = self.buf.len();
+    }
+
+    /// The full journal image, including unsynced bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Bytes guaranteed durable (at or below the last [`Journal::sync`]).
+    pub fn durable_len(&self) -> usize {
+        self.durable
+    }
+
+    /// Total bytes appended.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The generation the next appended record will receive.
+    pub fn next_gen(&self) -> u64 {
+        self.next_gen
+    }
+
+    /// Byte offsets of record boundaries in `bytes` (the end offset of
+    /// each well-formed record, in order). Crash harnesses use this to
+    /// cut a journal image at clean record boundaries.
+    pub fn record_boundaries(bytes: &[u8]) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut off = 0;
+        while bytes.len() - off >= MIN_RECORD_LEN {
+            let len = u16::from_le_bytes([bytes[off], bytes[off + 1]]) as usize;
+            if len < MIN_RECORD_LEN || off + len > bytes.len() {
+                break;
+            }
+            off += len;
+            out.push(off);
+        }
+        out
+    }
+
+    /// Decodes the longest valid prefix of a journal image.
+    ///
+    /// Returns the `(generation, record)` pairs in append order plus
+    /// [`ReplayStats`] describing how decoding terminated. A short or
+    /// overrunning final record is reported as a torn tail; a checksum
+    /// or framing failure as corruption. Neither panics — crash recovery
+    /// must accept any byte image.
+    pub fn replay(bytes: &[u8]) -> (Vec<(u64, JournalRecord)>, ReplayStats) {
+        let mut records = Vec::new();
+        let mut stats = ReplayStats::default();
+        let mut off = 0;
+        loop {
+            let remaining = bytes.len() - off;
+            if remaining == 0 {
+                break;
+            }
+            if remaining < MIN_RECORD_LEN {
+                stats.torn_tail = true;
+                break;
+            }
+            let len = u16::from_le_bytes([bytes[off], bytes[off + 1]]) as usize;
+            if len < MIN_RECORD_LEN {
+                stats.corrupt = true;
+                break;
+            }
+            if off + len > bytes.len() {
+                stats.torn_tail = true;
+                break;
+            }
+            let rec_bytes = &bytes[off..off + len];
+            let body = &rec_bytes[..len - TRAILER_LEN];
+            let stored_crc = u32::from_le_bytes(
+                rec_bytes[len - TRAILER_LEN..]
+                    .try_into()
+                    .expect("trailer is 4 bytes"),
+            );
+            if crc32(body) != stored_crc {
+                stats.corrupt = true;
+                break;
+            }
+            let kind = rec_bytes[2];
+            let gen = u64::from_le_bytes(rec_bytes[3..11].try_into().expect("header gen"));
+            match JournalRecord::decode_payload(kind, &body[HEADER_LEN..]) {
+                Some(rec) => records.push((gen, rec)),
+                None => {
+                    stats.corrupt = true;
+                    break;
+                }
+            }
+            off += len;
+            stats.records += 1;
+        }
+        stats.bytes_consumed = off;
+        (records, stats)
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Bounds-checked little-endian payload reader.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Cursor<'a> {
+        Cursor { bytes, off: 0 }
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let v = *self.bytes.get(self.off)?;
+        self.off += 1;
+        Some(v)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        let s = self.bytes.get(self.off..self.off + 4)?;
+        self.off += 4;
+        Some(u32::from_le_bytes(s.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let s = self.bytes.get(self.off..self.off + 8)?;
+        self.off += 8;
+        Some(u64::from_le_bytes(s.try_into().ok()?))
+    }
+
+    fn at_end(&self) -> bool {
+        self.off == self.bytes.len()
+    }
+}
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320), bitwise.
+/// Journal records are tens of bytes; table-driven speed is not needed.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::AddVm {
+                vm: 1,
+                mem_weight: 60,
+                ssd_weight: 40,
+            },
+            JournalRecord::CreatePool {
+                vm: 1,
+                pool: 1,
+                store: 0,
+                weight: 100,
+            },
+            JournalRecord::Put {
+                vm: 1,
+                pool: 1,
+                addr: BlockAddr::new(FileId(7), 3),
+                version: 9,
+                placement: 1,
+            },
+            JournalRecord::Take {
+                vm: 1,
+                pool: 1,
+                addr: BlockAddr::new(FileId(7), 3),
+            },
+            JournalRecord::Evict {
+                vm: 1,
+                pool: 1,
+                addr: BlockAddr::new(FileId(7), 4),
+            },
+            JournalRecord::Flush {
+                vm: 1,
+                pool: 1,
+                addr: BlockAddr::new(FileId(7), 5),
+            },
+            JournalRecord::FlushFile {
+                vm: 1,
+                pool: 1,
+                file: FileId(7),
+            },
+            JournalRecord::Epoch { vm: 1 },
+            JournalRecord::SetVmWeights {
+                vm: 1,
+                mem_weight: 50,
+                ssd_weight: 50,
+            },
+            JournalRecord::SetPolicy {
+                vm: 1,
+                pool: 1,
+                store: 2,
+                weight: 30,
+            },
+            JournalRecord::SetMemCapacity { pages: 4096 },
+            JournalRecord::SetSsdCapacity { pages: 65536 },
+            JournalRecord::SetMode { mode: 1 },
+            JournalRecord::SsdDrain,
+            JournalRecord::DestroyPool { vm: 1, pool: 1 },
+            JournalRecord::RemoveVm { vm: 1 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_all_record_kinds() {
+        let mut j = Journal::new();
+        let recs = sample_records();
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(j.append(r), i as u64 + 1, "generations are sequential");
+        }
+        let (replayed, stats) = Journal::replay(j.bytes());
+        assert_eq!(stats.records, recs.len() as u64);
+        assert!(!stats.torn_tail && !stats.corrupt);
+        assert_eq!(stats.bytes_consumed, j.len());
+        for (i, (gen, rec)) in replayed.iter().enumerate() {
+            assert_eq!(*gen, i as u64 + 1);
+            assert_eq!(*rec, recs[i]);
+        }
+    }
+
+    #[test]
+    fn sync_advances_watermark() {
+        let mut j = Journal::new();
+        assert_eq!(j.durable_len(), 0);
+        j.append(&JournalRecord::SsdDrain);
+        assert_eq!(j.durable_len(), 0, "append alone is not durable");
+        j.sync();
+        assert_eq!(j.durable_len(), j.len());
+        j.append(&JournalRecord::SsdDrain);
+        assert!(j.durable_len() < j.len());
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated() {
+        let mut j = Journal::new();
+        for r in sample_records() {
+            j.append(&r);
+        }
+        let boundaries = Journal::record_boundaries(j.bytes());
+        assert_eq!(*boundaries.last().unwrap(), j.len());
+        // Cut mid-record: everything before the cut replays, the tail is
+        // reported torn.
+        let cut = boundaries[2] + 3;
+        let (replayed, stats) = Journal::replay(&j.bytes()[..cut]);
+        assert_eq!(replayed.len(), 3);
+        assert!(stats.torn_tail);
+        assert!(!stats.corrupt);
+        assert_eq!(stats.bytes_consumed, boundaries[2]);
+    }
+
+    #[test]
+    fn bit_flip_is_detected() {
+        let mut j = Journal::new();
+        for r in sample_records() {
+            j.append(&r);
+        }
+        let boundaries = Journal::record_boundaries(j.bytes());
+        // Flip one payload bit in the 4th record.
+        let mut img = j.bytes().to_vec();
+        img[boundaries[2] + HEADER_LEN] ^= 0x40;
+        let (replayed, stats) = Journal::replay(&img);
+        assert_eq!(replayed.len(), 3, "replay stops at the corrupt record");
+        assert!(stats.corrupt);
+        assert!(!stats.torn_tail);
+    }
+
+    #[test]
+    fn length_corruption_is_detected() {
+        let mut j = Journal::new();
+        j.append(&JournalRecord::SsdDrain);
+        j.append(&JournalRecord::SsdDrain);
+        let mut img = j.bytes().to_vec();
+        img[0] = 3; // shorter than any valid record
+        let (replayed, stats) = Journal::replay(&img);
+        assert!(replayed.is_empty());
+        assert!(stats.corrupt);
+        // Overrunning length: reported as a torn tail (indistinguishable
+        // from a crash mid-append).
+        let mut img = j.bytes().to_vec();
+        img[0] = 200;
+        let (replayed, stats) = Journal::replay(&img);
+        assert!(replayed.is_empty());
+        assert!(stats.torn_tail);
+    }
+
+    #[test]
+    fn unknown_kind_is_corrupt() {
+        let mut j = Journal::new();
+        j.append(&JournalRecord::SsdDrain);
+        let mut img = j.bytes().to_vec();
+        img[2] = 99;
+        // Fix the CRC so only the kind is bad.
+        let body_len = img.len() - TRAILER_LEN;
+        let crc = crc32(&img[..body_len]);
+        img.truncate(body_len);
+        put_u32(&mut img, crc);
+        let (replayed, stats) = Journal::replay(&img);
+        assert!(replayed.is_empty());
+        assert!(stats.corrupt);
+    }
+
+    #[test]
+    fn start_gen_is_honoured() {
+        let mut j = Journal::with_start_gen(100);
+        assert_eq!(j.append(&JournalRecord::SsdDrain), 100);
+        assert_eq!(j.next_gen(), 101);
+        // with_start_gen(0) still produces valid generations (>= 1).
+        let mut j0 = Journal::with_start_gen(0);
+        assert_eq!(j0.append(&JournalRecord::SsdDrain), 1);
+    }
+
+    #[test]
+    fn empty_image_replays_clean() {
+        let (replayed, stats) = Journal::replay(&[]);
+        assert!(replayed.is_empty());
+        assert_eq!(stats, ReplayStats::default());
+        assert!(Journal::new().is_empty());
+    }
+}

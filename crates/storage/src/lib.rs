@@ -14,15 +14,19 @@
 //!   reads and writes,
 //! * [`Device`] — a latency model combined with queueing and sequentiality
 //!   tracking,
-//! * presets: [`Device::hdd`], [`Device::ssd_sata`], [`Device::ram`].
+//! * presets: [`Device::hdd`], [`Device::ssd_sata`], [`Device::ram`],
+//! * [`Journal`] — a checksummed write-ahead journal for warm-restarting
+//!   the SSD-backed hypervisor cache after a crash.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod addr;
 mod device;
+mod journal;
 mod latency;
 
 pub use addr::{pages_for_bytes, BlockAddr, FileId, PAGE_SIZE};
 pub use device::{Device, DeviceKind, IoCompletion, IoError};
+pub use journal::{Journal, JournalRecord, ReplayStats};
 pub use latency::LatencyModel;
