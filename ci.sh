@@ -26,4 +26,8 @@ fi
 echo "==> chaos smoke (seeded crash/recovery sweep)"
 cargo run --release -q -p ddc-bench --bin repro -- chaos --smoke
 
+echo "==> stress smoke (serial-vs-sharded equivalence + threaded stress)"
+cargo run --release -q -p ddc-bench --bin repro -- stress --smoke
+cargo test -q -p ddc-core --test prop_concurrent_equivalence
+
 echo "CI green."

@@ -81,6 +81,9 @@ pub struct ChaosCase {
     pub discarded_stale: u64,
     /// Recovered slots bit-rotted after restart (bit-flip cases).
     pub poisoned: u32,
+    /// Control-plane operations (pool create/destroy, policy and weight
+    /// changes, VM reboots) issued before the cut.
+    pub control_ops: u32,
     /// Sweep-oracle violations: recovered entries whose version differs
     /// from the guest's on-disk version. Must be zero.
     pub stale_entries: u64,
@@ -157,6 +160,7 @@ impl ChaosReport {
                         o.set("recovered_entries", Json::Num(c.recovered_entries as f64));
                         o.set("discarded_stale", Json::Num(c.discarded_stale as f64));
                         o.set("poisoned", Json::Num(f64::from(c.poisoned)));
+                        o.set("control_ops", Json::Num(f64::from(c.control_ops)));
                         o.set("stale_entries", Json::Num(c.stale_entries as f64));
                         o.set("stale_reads", Json::Num(c.stale_reads as f64));
                         o.set("audit_findings", Json::Num(c.audit_findings as f64));
@@ -219,9 +223,23 @@ fn run_case(master_seed: u64, id: u32) -> ChaosCase {
     let vm2 = host.boot_vm(1, 60);
     let c1 = host.create_container(vm1, "a", 6, CachePolicy::mem(100));
     let c2 = host.create_container(vm2, "b", 6, CachePolicy::ssd(100));
-    let cells = [(vm1, c1), (vm2, c2)];
     let mut now = SimTime::ZERO;
-    drive(&mut host, &mut rng, &mut now, 1500, &cells);
+    drive(&mut host, &mut rng, &mut now, 1500, &[(vm1, c1), (vm2, c2)]);
+
+    // Control-plane churn before the cut: the journal has to absorb pool
+    // create/destroy, policy and weight changes and a full VM reboot —
+    // not just data ops — and recovery must replay all of it without
+    // resurrecting state that the churn already destroyed.
+    let scratch = host.create_container(vm1, "scratch", 4, CachePolicy::hybrid(50));
+    drive(&mut host, &mut rng, &mut now, 250, &[(vm1, scratch)]);
+    host.set_container_policy(vm1, scratch, CachePolicy::mem(30));
+    host.set_vm_cache_weight(vm1, 40 + rng.range_u64(0, 161));
+    host.destroy_container(vm1, scratch);
+    host.reboot_vm(vm2, 1, 60);
+    let c2 = host.create_container(vm2, "b", 6, CachePolicy::ssd(100));
+    let control_ops = 6u32;
+    let cells = [(vm1, c1), (vm2, c2)];
+    drive(&mut host, &mut rng, &mut now, 500, &cells);
 
     // Kill the caching layer at a randomized prefix of its journal.
     let image = host.cache_journal_image().expect("journaling on");
@@ -289,6 +307,7 @@ fn run_case(master_seed: u64, id: u32) -> ChaosCase {
         recovered_entries: report.recovered_entries,
         discarded_stale: report.discarded_stale,
         poisoned,
+        control_ops,
         stale_entries,
         stale_reads,
         audit_findings,

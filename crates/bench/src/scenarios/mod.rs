@@ -11,3 +11,4 @@ pub mod motivation;
 pub mod perf;
 pub mod policies;
 pub mod splits;
+pub mod stress;

@@ -1,0 +1,252 @@
+//! `repro stress` — the concurrent serving-plane stress harness.
+//!
+//! Two gated phases over the `ddc-concurrent` crate:
+//!
+//! 1. **Equivalence matrix** — for every partition mode × shard count,
+//!    the sharded engine driven single-threaded must produce a report
+//!    byte-identical to the serial reference engine (same counters,
+//!    same per-pool stats, same entries digest). This is the
+//!    determinism contract: sharding is a locking strategy, not a
+//!    semantic change.
+//! 2. **Thread scaling** — the threaded driver at 1/2/4/8 OS threads
+//!    against one shared sharded cache. Every run must finish with
+//!    zero invariant-auditor findings and zero stale-read-oracle
+//!    violations. The 8-vs-1 throughput factor is *reported*, not
+//!    gated: on a single-core runner it hovers around 1x and only
+//!    measures locking overhead.
+//!
+//! The equivalence phase is fully deterministic; the scaling phase
+//! carries wall-clock numbers, so the JSON report is not expected to
+//! be byte-stable across runs (the pass/fail verdict is).
+
+use ddc_core::concurrent::{run_equivalence, run_stress, EngineKind, StressConfig};
+use ddc_core::prelude::*;
+use ddc_json::Json;
+
+/// JSON schema tag of the stress report.
+pub const SCHEMA: &str = "ddc-stress-v1";
+
+/// Default master seed of the harness.
+pub const DEFAULT_SEED: u64 = 0x57E5;
+
+/// Shard counts exercised by the equivalence matrix.
+pub const SHARD_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// Thread counts exercised by the scaling phase.
+pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One cell of the equivalence matrix.
+#[derive(Clone, Debug)]
+pub struct EquivalenceCell {
+    /// Partition mode under test.
+    pub mode: PartitionMode,
+    /// Shard count of the concurrent engine.
+    pub shards: usize,
+    /// Serial and sharded reports were byte-identical.
+    pub identical: bool,
+    /// Stale reads across both engines. Must be zero.
+    pub stale_reads: u64,
+}
+
+/// One cell of the thread-scaling phase.
+#[derive(Clone, Debug)]
+pub struct ScalingCell {
+    /// OS threads driving the shared cache.
+    pub threads: usize,
+    /// Hypercall operations issued across all VMs.
+    pub total_ops: u64,
+    /// Wall-clock seconds of the drive phase.
+    pub wall_secs: f64,
+    /// Throughput in operations per second.
+    pub ops_per_sec: f64,
+    /// Stale-read-oracle violations. Must be zero.
+    pub stale_reads: u64,
+    /// Invariant-auditor findings after the join. Must be zero.
+    pub audit_findings: u64,
+}
+
+/// A full stress run: equivalence matrix plus scaling sweep.
+#[derive(Clone, Debug)]
+pub struct StressReport {
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Smoke (CI-sized) or full workload.
+    pub smoke: bool,
+    /// Equivalence matrix cells, mode-major.
+    pub equivalence: Vec<EquivalenceCell>,
+    /// Scaling cells, ascending thread count.
+    pub scaling: Vec<ScalingCell>,
+}
+
+impl StressReport {
+    /// 8-thread over 1-thread throughput factor (0 when either is
+    /// missing). Reported, never gated — see the module docs.
+    pub fn scaling_factor(&self) -> f64 {
+        let ops = |t: usize| {
+            self.scaling
+                .iter()
+                .find(|c| c.threads == t)
+                .map(|c| c.ops_per_sec)
+        };
+        match (ops(1), ops(8)) {
+            (Some(one), Some(eight)) if one > 0.0 => eight / one,
+            _ => 0.0,
+        }
+    }
+
+    /// `true` when every gate held: all equivalence cells byte-identical
+    /// with zero stale reads, all scaling cells clean.
+    pub fn passed(&self) -> bool {
+        self.equivalence
+            .iter()
+            .all(|c| c.identical && c.stale_reads == 0)
+            && self
+                .scaling
+                .iter()
+                .all(|c| c.stale_reads == 0 && c.audit_findings == 0)
+    }
+
+    /// Machine-readable report (schema [`SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        let mut root = Json::object();
+        root.set("schema", Json::Str(SCHEMA.to_owned()));
+        root.set("seed", Json::Num(self.seed as f64));
+        root.set("smoke", Json::Bool(self.smoke));
+        root.set("passed", Json::Bool(self.passed()));
+        root.set("scaling_factor_8_over_1", Json::Num(self.scaling_factor()));
+        root.set(
+            "equivalence",
+            Json::Arr(
+                self.equivalence
+                    .iter()
+                    .map(|c| {
+                        let mut o = Json::object();
+                        o.set("mode", Json::Str(mode_name(c.mode).to_owned()));
+                        o.set("shards", Json::Num(c.shards as f64));
+                        o.set("identical", Json::Bool(c.identical));
+                        o.set("stale_reads", Json::Num(c.stale_reads as f64));
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        root.set(
+            "scaling",
+            Json::Arr(
+                self.scaling
+                    .iter()
+                    .map(|c| {
+                        let mut o = Json::object();
+                        o.set("threads", Json::Num(c.threads as f64));
+                        o.set("total_ops", Json::Num(c.total_ops as f64));
+                        o.set("wall_secs", Json::Num(c.wall_secs));
+                        o.set("ops_per_sec", Json::Num(c.ops_per_sec));
+                        o.set("stale_reads", Json::Num(c.stale_reads as f64));
+                        o.set("audit_findings", Json::Num(c.audit_findings as f64));
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        let mut s = root.to_string_pretty();
+        s.push('\n');
+        s
+    }
+}
+
+/// Stable lowercase name of a partition mode for tables and JSON.
+pub fn mode_name(mode: PartitionMode) -> &'static str {
+    match mode {
+        PartitionMode::DoubleDecker => "doubledecker",
+        PartitionMode::Global => "global",
+        PartitionMode::Strict => "strict",
+    }
+}
+
+fn base_config(seed: u64, smoke: bool) -> StressConfig {
+    if smoke {
+        StressConfig::smoke(seed)
+    } else {
+        StressConfig::standard(seed)
+    }
+}
+
+/// Runs the equivalence matrix: every mode × shard count against the
+/// serial reference.
+pub fn run_equivalence_matrix(seed: u64, smoke: bool) -> Vec<EquivalenceCell> {
+    let modes = [
+        PartitionMode::DoubleDecker,
+        PartitionMode::Global,
+        PartitionMode::Strict,
+    ];
+    let mut cells = Vec::new();
+    for mode in modes {
+        let mut cfg = base_config(seed, smoke);
+        cfg.cache = cfg.cache.with_mode(mode);
+        let serial = run_equivalence(&cfg, EngineKind::Serial);
+        for shards in SHARD_COUNTS {
+            cfg.shards = shards;
+            let sharded = run_equivalence(&cfg, EngineKind::Sharded { shards });
+            cells.push(EquivalenceCell {
+                mode,
+                shards,
+                identical: serial.json == sharded.json,
+                stale_reads: serial.stale_reads + sharded.stale_reads,
+            });
+        }
+    }
+    cells
+}
+
+/// Runs the thread-scaling sweep at [`THREAD_COUNTS`].
+pub fn run_scaling(seed: u64, smoke: bool) -> Vec<ScalingCell> {
+    THREAD_COUNTS
+        .iter()
+        .map(|&threads| {
+            let cfg = base_config(seed, smoke);
+            let out = run_stress(&cfg, threads);
+            ScalingCell {
+                threads,
+                total_ops: out.total_ops,
+                wall_secs: out.elapsed.as_secs_f64(),
+                ops_per_sec: out.ops_per_sec(),
+                stale_reads: out.stale_reads,
+                audit_findings: out.findings.len() as u64,
+            }
+        })
+        .collect()
+}
+
+/// Runs the full harness: equivalence matrix, then scaling sweep.
+pub fn run(seed: u64, smoke: bool) -> StressReport {
+    StressReport {
+        seed,
+        smoke,
+        equivalence: run_equivalence_matrix(seed, smoke),
+        scaling: run_scaling(seed, smoke),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_harness_passes_all_gates() {
+        let r = run(DEFAULT_SEED, true);
+        assert_eq!(r.equivalence.len(), 3 * SHARD_COUNTS.len());
+        assert_eq!(r.scaling.len(), THREAD_COUNTS.len());
+        assert!(r.passed(), "report: {}", r.to_json());
+    }
+
+    #[test]
+    fn equivalence_matrix_is_deterministic() {
+        let a = run_equivalence_matrix(7, true);
+        let b = run_equivalence_matrix(7, true);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x.identical && y.identical);
+            assert_eq!(x.stale_reads, 0);
+        }
+    }
+}

@@ -443,6 +443,152 @@ impl HypercallChannel {
             0
         }
     }
+
+    // ------------------------------------------------------------------
+    // Batched hypercalls: one VMCALL carries a whole sampling tick's ops.
+    //
+    // Per-operation counters (`gets`, `puts`, `flushes`, hit/store/fail
+    // tallies) advance exactly as if each op were issued alone; only
+    // `calls` — and with it the fixed trap cost and the fault-schedule /
+    // breaker consultations — is charged once per batch. An empty batch
+    // charges nothing.
+    // ------------------------------------------------------------------
+
+    /// Batched `get` hypercall: one trap, one outcome per address with
+    /// [`HypercallChannel::get`] semantics. A dropped batch loses every
+    /// lookup in it (all misses, one `dropped_calls` tick).
+    pub fn get_many(
+        &mut self,
+        backend: &mut dyn SecondChanceCache,
+        now: SimTime,
+        pool: PoolId,
+        addrs: &[BlockAddr],
+    ) -> Vec<GetOutcome> {
+        if addrs.is_empty() {
+            return Vec::new();
+        }
+        self.counters.calls += 1;
+        self.counters.gets += addrs.len() as u64;
+        if !self.enabled {
+            return vec![GetOutcome::Miss; addrs.len()];
+        }
+        let mut call_cost = self.call_cost;
+        match self.channel_decision(now) {
+            FaultDecision::Error => {
+                self.counters.dropped_calls += 1;
+                return vec![GetOutcome::Miss; addrs.len()];
+            }
+            FaultDecision::Slow(extra) => call_cost += extra,
+            FaultDecision::Ok => {}
+        }
+        let entered = now + call_cost;
+        backend
+            .get_many(entered, self.vm, pool, addrs)
+            .into_iter()
+            .map(|out| match out {
+                GetOutcome::Hit { finish, version } => {
+                    self.counters.get_hits += 1;
+                    GetOutcome::Hit {
+                        finish: finish + call_cost,
+                        version,
+                    }
+                }
+                GetOutcome::Miss => GetOutcome::Miss,
+                GetOutcome::Failed { .. } => {
+                    self.counters.fail_opens += 1;
+                    GetOutcome::Miss
+                }
+            })
+            .collect()
+    }
+
+    /// Batched `put` hypercall: one trap, one outcome per page with
+    /// [`HypercallChannel::put`] semantics. An open breaker skips the
+    /// whole batch locally (no trap, no cost); per-page backend outcomes
+    /// feed the breaker exactly as individual puts would.
+    pub fn put_many(
+        &mut self,
+        backend: &mut dyn SecondChanceCache,
+        now: SimTime,
+        pool: PoolId,
+        pages: &[(BlockAddr, PageVersion)],
+    ) -> Vec<PutOutcome> {
+        if pages.is_empty() {
+            return Vec::new();
+        }
+        if !self.enabled {
+            self.counters.calls += 1;
+            self.counters.puts += pages.len() as u64;
+            return vec![PutOutcome::Rejected; pages.len()];
+        }
+        if let Breaker::Open { probe_at, .. } = self.breaker {
+            if now < probe_at {
+                self.counters.breaker_skipped_puts += pages.len() as u64;
+                return vec![PutOutcome::Rejected; pages.len()];
+            }
+        }
+        self.counters.calls += 1;
+        self.counters.puts += pages.len() as u64;
+        let mut call_cost = self.call_cost;
+        match self.channel_decision(now) {
+            FaultDecision::Error => {
+                self.counters.dropped_calls += 1;
+                self.breaker_note_failure(now);
+                return vec![PutOutcome::Rejected; pages.len()];
+            }
+            FaultDecision::Slow(extra) => call_cost += extra,
+            FaultDecision::Ok => {}
+        }
+        let entered = now + call_cost;
+        backend
+            .put_many(entered, self.vm, pool, pages)
+            .into_iter()
+            .map(|out| match out {
+                PutOutcome::Stored { finish } => {
+                    self.counters.put_stores += 1;
+                    self.breaker_note_success();
+                    PutOutcome::Stored {
+                        finish: finish + call_cost,
+                    }
+                }
+                PutOutcome::Rejected => {
+                    self.breaker_note_success();
+                    PutOutcome::Rejected
+                }
+                PutOutcome::Failed { finish } => {
+                    self.counters.fail_opens += 1;
+                    self.breaker_note_failure(now);
+                    PutOutcome::Failed {
+                        finish: finish + call_cost,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Batched `flush` hypercall: one trap invalidating every address,
+    /// returning the largest flush epoch produced (folded into
+    /// [`HypercallChannel::flush_epoch`]). Flushes stay reliable —
+    /// batching never consults the fault schedule.
+    pub fn flush_many(
+        &mut self,
+        backend: &mut dyn SecondChanceCache,
+        pool: PoolId,
+        addrs: &[BlockAddr],
+    ) -> u64 {
+        if addrs.is_empty() {
+            return 0;
+        }
+        self.counters.calls += 1;
+        self.counters.flushes += addrs.len() as u64;
+        if self.enabled {
+            let epoch = backend.flush_many(self.vm, pool, addrs);
+            self.flush_epoch = self.flush_epoch.max(epoch);
+            epoch
+        } else {
+            0
+        }
+    }
 }
 
 #[cfg(test)]
@@ -476,6 +622,73 @@ mod tests {
         assert_eq!(c.put_stores, 0);
         assert_eq!(c.flushes, 2);
         assert_eq!(c.control_ops, 5);
+    }
+
+    #[test]
+    fn batched_ops_charge_one_call_per_batch() {
+        let mut b = NullCache::new();
+        let mut ch = HypercallChannel::new(VmId(1));
+        let pool = ch.create_pool(&mut b, CachePolicy::default());
+        let addrs: Vec<BlockAddr> = (0..5).map(|i| BlockAddr::new(FileId(1), i)).collect();
+        let pages: Vec<(BlockAddr, PageVersion)> =
+            addrs.iter().map(|&a| (a, PageVersion(1))).collect();
+        let outs = ch.get_many(&mut b, SimTime::ZERO, pool, &addrs);
+        assert_eq!(outs.len(), 5);
+        let outs = ch.put_many(&mut b, SimTime::ZERO, pool, &pages);
+        assert_eq!(outs.len(), 5);
+        ch.flush_many(&mut b, pool, &addrs);
+        let c = ch.counters();
+        assert_eq!(c.calls, 4, "create_pool + three batched traps");
+        assert_eq!(c.gets, 5);
+        assert_eq!(c.puts, 5);
+        assert_eq!(c.flushes, 5);
+        // Empty batches are free: no trap, no per-op counters.
+        ch.get_many(&mut b, SimTime::ZERO, pool, &[]);
+        ch.put_many(&mut b, SimTime::ZERO, pool, &[]);
+        assert_eq!(ch.flush_many(&mut b, pool, &[]), 0);
+        assert_eq!(ch.counters().calls, 4);
+    }
+
+    #[test]
+    fn batched_puts_respect_open_breaker() {
+        let mut b = Flaky {
+            failing: true,
+            puts_seen: 0,
+        };
+        let mut ch = HypercallChannel::new(VmId(0));
+        let pages: Vec<(BlockAddr, PageVersion)> = (0..HypercallChannel::BREAKER_THRESHOLD as u64)
+            .map(|i| (BlockAddr::new(FileId(1), i), PageVersion(0)))
+            .collect();
+        // One failing batch trips the breaker: each per-page failure
+        // counts, exactly as individual puts would.
+        let outs = ch.put_many(&mut b, SimTime::ZERO, PoolId(0), &pages);
+        assert!(outs.iter().all(|o| o.is_failed()));
+        assert!(ch.breaker_open());
+        assert_eq!(ch.counters().breaker_trips, 1);
+        let seen = b.puts_seen;
+        // While open, the whole batch is skipped locally — no trap.
+        let outs = ch.put_many(&mut b, SimTime::ZERO, PoolId(0), &pages);
+        assert!(outs.iter().all(|o| *o == PutOutcome::Rejected));
+        assert_eq!(b.puts_seen, seen);
+        assert_eq!(
+            ch.counters().breaker_skipped_puts,
+            pages.len() as u64,
+            "every page of the skipped batch is counted"
+        );
+    }
+
+    #[test]
+    fn batched_gets_fail_open_per_page() {
+        let mut b = Flaky {
+            failing: true,
+            puts_seen: 0,
+        };
+        let mut ch = HypercallChannel::new(VmId(0));
+        let addrs = [addr(), BlockAddr::new(FileId(1), 1)];
+        let outs = ch.get_many(&mut b, SimTime::ZERO, PoolId(0), &addrs);
+        assert!(outs.iter().all(|o| *o == GetOutcome::Miss));
+        assert_eq!(ch.counters().fail_opens, 2);
+        assert_eq!(ch.counters().calls, 1);
     }
 
     #[test]

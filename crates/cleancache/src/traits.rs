@@ -176,6 +176,49 @@ pub trait SecondChanceCache {
     ///
     /// Returns the flush epoch like [`SecondChanceCache::flush`].
     fn flush_file(&mut self, vm: VmId, pool: PoolId, file: FileId) -> u64;
+
+    /// Vectorized lookup: one outcome per address, in order, each with
+    /// [`SecondChanceCache::get`] semantics (exclusive removal on hit).
+    ///
+    /// The default loops over `get`; backends that can amortize
+    /// per-operation overhead (the batched hypercall path) override it.
+    /// Slice parameters keep the trait object-safe.
+    fn get_many(
+        &mut self,
+        now: SimTime,
+        vm: VmId,
+        pool: PoolId,
+        addrs: &[BlockAddr],
+    ) -> Vec<GetOutcome> {
+        addrs.iter().map(|&a| self.get(now, vm, pool, a)).collect()
+    }
+
+    /// Vectorized store: one outcome per `(addr, version)` pair, in
+    /// order, each with [`SecondChanceCache::put`] semantics.
+    fn put_many(
+        &mut self,
+        now: SimTime,
+        vm: VmId,
+        pool: PoolId,
+        pages: &[(BlockAddr, PageVersion)],
+    ) -> Vec<PutOutcome> {
+        pages
+            .iter()
+            .map(|&(a, v)| self.put(now, vm, pool, a, v))
+            .collect()
+    }
+
+    /// Vectorized invalidation: flushes every address and returns the
+    /// largest flush epoch produced (0 for an empty batch or a
+    /// non-journaling backend). Each address carries
+    /// [`SecondChanceCache::flush`] semantics.
+    fn flush_many(&mut self, vm: VmId, pool: PoolId, addrs: &[BlockAddr]) -> u64 {
+        addrs
+            .iter()
+            .map(|&a| self.flush(vm, pool, a))
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 #[cfg(test)]

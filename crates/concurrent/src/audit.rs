@@ -1,0 +1,199 @@
+//! Cross-shard invariant auditor for [`ShardedCache`].
+//!
+//! Locks the registry and every shard (the crate's lock-all discipline),
+//! then cross-checks the sharded assembly the same way
+//! `ddc_hypercache::audit` checks the serial engine:
+//!
+//! 1. **Ledger accounting** — each store's atomic used-page ledger
+//!    equals the sum of per-pool usage across all shards and never
+//!    exceeds capacity. This is the invariant the CAS allocation loop
+//!    exists to protect; a mismatch means pages leaked or
+//!    double-freed across threads.
+//! 2. **Shard map** — every pool sits in the shard its key hashes to,
+//!    and the registry's pool set matches the union of the shards' pool
+//!    sets (a divergence would make hypercalls route to a shard that
+//!    doesn't hold the pool).
+//! 3. **Pool coherence** — index coherence, FIFO coverage and order,
+//!    the exclusive-cache property and sequence monotonicity, via
+//!    [`ddc_hypercache::audit_pool_slice`] over the flattened pools.
+//! 4. **Shard-FIFO tombstones** — per shard and store, the dead-entry
+//!    count in the eviction FIFO must not exceed the shard's tombstone
+//!    counter. (The counter may legitimately over-count: trickled-down
+//!    objects carry no FIFO entry, so their later removal bumps the
+//!    counter without creating a tombstone — same slack as the serial
+//!    engine. Over-counting only makes compaction more eager; an
+//!    *under*-count would starve it, so that direction is flagged.)
+//! 5. **Entitlement sums** — per store, VM entitlements sum to at most
+//!    capacity and pool entitlements to at most the VM share
+//!    (normalized shares, paper §4.2), computed from a fresh share
+//!    table over the locked usage.
+
+use ddc_cleancache::{PoolId, VmId};
+use ddc_hypercache::index::{Placement, Pool};
+use ddc_hypercache::{audit_pool_slice, AuditFinding};
+
+use crate::sharded::ShardedCache;
+
+fn placements() -> [Placement; 2] {
+    [Placement::Mem, Placement::Ssd]
+}
+
+fn store_name(placement: Placement) -> &'static str {
+    match placement {
+        Placement::Mem => "mem",
+        Placement::Ssd => "ssd",
+    }
+}
+
+/// Audits every cross-shard invariant of `cache`, returning one finding
+/// per violation (empty = healthy). Takes the lock-all path, so call it
+/// between phases, not on the hot path.
+pub fn audit(cache: &ShardedCache) -> Vec<AuditFinding> {
+    cache.with_all_locked(|reg, shards, mem, ssd, next_seq| {
+        let mut findings = Vec::new();
+
+        // 1. Ledger accounting.
+        for placement in placements() {
+            let ledger = match placement {
+                Placement::Mem => mem,
+                Placement::Ssd => ssd,
+            };
+            let pooled: u64 = shards
+                .iter()
+                .flat_map(|s| s.pools.values())
+                .map(|p| p.used(placement))
+                .sum();
+            if ledger.used_pages() != pooled {
+                findings.push(AuditFinding {
+                    invariant: "ledger-accounting",
+                    detail: format!(
+                        "{} ledger counts {} used pages but pools hold {pooled}",
+                        store_name(placement),
+                        ledger.used_pages()
+                    ),
+                });
+            }
+            if ledger.used_pages() > ledger.capacity_pages() {
+                findings.push(AuditFinding {
+                    invariant: "ledger-accounting",
+                    detail: format!(
+                        "{} ledger uses {} pages over its capacity of {}",
+                        store_name(placement),
+                        ledger.used_pages(),
+                        ledger.capacity_pages()
+                    ),
+                });
+            }
+        }
+
+        // 2. Shard map: placement by hash, and registry ↔ shard agreement.
+        let mut shard_keys: Vec<(VmId, PoolId)> = Vec::new();
+        for (si, shard) in shards.iter().enumerate() {
+            for &(vm, pid) in shard.pools.keys() {
+                shard_keys.push((vm, pid));
+                let home = cache.shard_of(vm, pid);
+                if home != si {
+                    findings.push(AuditFinding {
+                        invariant: "shard-map",
+                        detail: format!("{vm} {pid} sits in shard {si} but hashes to shard {home}"),
+                    });
+                }
+            }
+        }
+        shard_keys.sort_unstable();
+        let mut registry_keys: Vec<(VmId, PoolId)> = Vec::new();
+        for (&vm, meta) in &reg.vms {
+            for &(pid, _) in &meta.pools {
+                registry_keys.push((vm, pid));
+            }
+        }
+        registry_keys.sort_unstable();
+        if shard_keys != registry_keys {
+            findings.push(AuditFinding {
+                invariant: "shard-map",
+                detail: format!(
+                    "registry lists {} pools but the shards hold {} \
+                     (routing and storage disagree)",
+                    registry_keys.len(),
+                    shard_keys.len()
+                ),
+            });
+        }
+
+        // 3. Pool coherence, in registry order like the serial engine.
+        let mut flat: Vec<(VmId, PoolId, &Pool)> = Vec::new();
+        for (&vm, meta) in &reg.vms {
+            for &(pid, _) in &meta.pools {
+                if let Some(pool) = shards[cache.shard_of(vm, pid)].pools.get(&(vm, pid)) {
+                    flat.push((vm, pid, pool));
+                }
+            }
+        }
+        findings.extend(audit_pool_slice(&flat, next_seq));
+
+        // 4. Shard-FIFO tombstones: dead entries must not outnumber the
+        // counter (see the module docs for why over-counting is benign).
+        for (si, shard) in shards.iter().enumerate() {
+            for placement in placements() {
+                let dead = shard
+                    .fifo_ref(placement)
+                    .iter()
+                    .filter(|(vm, pool, addr, seq)| {
+                        !shard
+                            .pools
+                            .get(&(*vm, *pool))
+                            .and_then(|p| p.peek(*addr))
+                            .is_some_and(|s| s.seq == *seq && s.placement == placement)
+                    })
+                    .count() as u64;
+                let stale = shard.stale(placement);
+                if dead > stale {
+                    findings.push(AuditFinding {
+                        invariant: "shard-fifo-tombstones",
+                        detail: format!(
+                            "shard {si} {} FIFO has {dead} dead entries but the \
+                             tombstone counter says {stale} (compaction would starve)",
+                            store_name(placement)
+                        ),
+                    });
+                }
+            }
+        }
+
+        // 5. Entitlement sums from a fresh share table.
+        for placement in placements() {
+            let ledger = match placement {
+                Placement::Mem => mem,
+                Placement::Ssd => ssd,
+            };
+            let (vm_rows, pool_rows) = cache.build_share_table(reg, shards, placement);
+            let capacity = ledger.capacity_pages();
+            let vm_sum: u64 = vm_rows.iter().map(|r| r.1).sum();
+            if vm_sum > capacity {
+                findings.push(AuditFinding {
+                    invariant: "entitlement-sums",
+                    detail: format!(
+                        "{} store: VM entitlements sum to {vm_sum}, over the \
+                         capacity of {capacity} pages",
+                        store_name(placement)
+                    ),
+                });
+            }
+            for (i, &(vm, vm_share, _)) in vm_rows.iter().enumerate() {
+                let pool_sum: u64 = pool_rows[i].iter().map(|r| r.1).sum();
+                if pool_sum > vm_share {
+                    findings.push(AuditFinding {
+                        invariant: "entitlement-sums",
+                        detail: format!(
+                            "{} store: {vm} pool entitlements sum to {pool_sum}, \
+                             over the VM's entitlement of {vm_share}",
+                            store_name(placement)
+                        ),
+                    });
+                }
+            }
+        }
+
+        findings
+    })
+}

@@ -1,0 +1,559 @@
+//! Multi-threaded VM driver for the sharded serving plane.
+//!
+//! Each guest VM drives its hypercall stream — batched writes
+//! (`flush_many`), stores (`put_many`) and lookups (`get_many`) on a
+//! [`HypercallChannel`] — from its own deterministic seeded RNG. The
+//! driver runs in two modes:
+//!
+//! * **Equivalence mode** ([`run_equivalence`]) — single-threaded,
+//!   round-robin across VMs, against either the serial
+//!   [`DoubleDeckerCache`] or the sharded [`ShardedCache`]. Both runs
+//!   see the *identical* hypercall stream (each VM's RNG is a
+//!   deterministic fork of the config seed), so the resulting
+//!   [`EquivalenceReport`] JSON must be byte-identical — this is the
+//!   crate's determinism contract, enforced by the workspace property
+//!   tests and `repro stress`.
+//! * **Stress mode** ([`run_stress`]) — `threads` OS threads share one
+//!   [`ShardedCache`], each owning a disjoint subset of the VMs. After
+//!   the join the run is gated on the cross-shard auditor
+//!   ([`crate::audit`]) returning zero findings and on the stale-read
+//!   oracle counting zero violations.
+//!
+//! # Stale-read oracle
+//!
+//! Every VM keeps an authoritative model of its disk: a per-pool map
+//! `addr → version` bumped on each simulated write (which also flushes
+//! the cached copy, like a real guest invalidating a clean page). A
+//! cache hit must return exactly the modeled version. The oracle stays
+//! valid under concurrency because pools are VM-private: other threads
+//! only ever *remove* this VM's entries (cross-shard eviction) or
+//! re-insert them with the same version (hybrid trickle-down), so any
+//! hit still carries the last version this VM put — a mismatch is a
+//! genuine coherence bug, never a false positive.
+
+use std::time::Duration;
+
+use ddc_cleancache::{
+    CachePolicy, GetOutcome, HypercallChannel, PageVersion, PoolId, SecondChanceCache, VmId,
+};
+use ddc_hypercache::{AuditFinding, CacheConfig, DoubleDeckerCache, PartitionMode};
+use ddc_json::Json;
+use ddc_sim::{FxHashMap, SimRng, SimTime};
+use ddc_storage::{BlockAddr, FileId};
+
+use crate::audit;
+use crate::sharded::ShardedCache;
+
+/// Which cache engine an equivalence run drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The serial reference engine (`ddc-hypercache`, journal off).
+    Serial,
+    /// The sharded concurrent engine with the given shard count.
+    Sharded {
+        /// Number of index shards.
+        shards: usize,
+    },
+}
+
+/// Workload shape for the driver (both modes).
+#[derive(Clone, Debug)]
+pub struct StressConfig {
+    /// Guest VMs (one OS thread each in stress mode at `threads >=
+    /// vms`; otherwise VMs are distributed round-robin over threads).
+    pub vms: u32,
+    /// Cleancache pools per VM (policies cycle mem/ssd/hybrid).
+    pub pools_per_vm: u32,
+    /// Ticks per VM; each tick issues one write+put+get batch trio
+    /// against the pool `tick % pools_per_vm`.
+    pub ticks: u64,
+    /// Distinct block addresses per pool.
+    pub working_set: u64,
+    /// Simulated guest writes (version bump + `flush_many`) per tick.
+    pub writes_per_tick: u64,
+    /// Page stores (`put_many`) per tick.
+    pub puts_per_tick: u64,
+    /// Page lookups (`get_many`) per tick.
+    pub gets_per_tick: u64,
+    /// Capacity and partition mode of the cache under test.
+    pub cache: CacheConfig,
+    /// Shard count for the sharded engine.
+    pub shards: usize,
+    /// Root seed; every VM forks a private deterministic stream.
+    pub seed: u64,
+}
+
+impl StressConfig {
+    /// A small configuration for CI smoke runs (a few thousand ops).
+    pub fn smoke(seed: u64) -> StressConfig {
+        StressConfig {
+            vms: 4,
+            pools_per_vm: 2,
+            ticks: 200,
+            working_set: 128,
+            writes_per_tick: 2,
+            puts_per_tick: 6,
+            gets_per_tick: 6,
+            cache: CacheConfig::mem_and_ssd(512, 1024),
+            shards: 8,
+            seed,
+        }
+    }
+
+    /// The full stress configuration used by `repro stress`.
+    pub fn standard(seed: u64) -> StressConfig {
+        StressConfig {
+            vms: 8,
+            pools_per_vm: 3,
+            ticks: 2_000,
+            working_set: 512,
+            writes_per_tick: 4,
+            puts_per_tick: 12,
+            gets_per_tick: 12,
+            cache: CacheConfig::mem_and_ssd(4_096, 8_192),
+            shards: 16,
+            seed,
+        }
+    }
+
+    /// Hypercall operations one VM issues over the whole run.
+    pub fn ops_per_vm(&self) -> u64 {
+        self.ticks * (self.writes_per_tick + self.puts_per_tick + self.gets_per_tick)
+    }
+
+    fn vm_weight(i: u32) -> u64 {
+        100 + 50 * (i as u64 % 3)
+    }
+
+    fn pool_policy(vm_idx: u32, pool_idx: u32) -> CachePolicy {
+        match (vm_idx + pool_idx) % 3 {
+            0 => CachePolicy::mem(100),
+            1 => CachePolicy::ssd(80),
+            _ => CachePolicy::hybrid(60),
+        }
+    }
+
+    fn file_of(&self, vm_idx: u32, pool_idx: u32) -> FileId {
+        FileId(1 + vm_idx as u64 * self.pools_per_vm as u64 + pool_idx as u64)
+    }
+}
+
+/// One guest VM's driver state: its channel, its private RNG stream and
+/// the authoritative disk model backing the stale-read oracle.
+struct VmWorker {
+    vm: VmId,
+    channel: HypercallChannel,
+    rng: SimRng,
+    pools: Vec<PoolId>,
+    files: Vec<FileId>,
+    /// Per pool: the version each block last had written to disk.
+    models: Vec<FxHashMap<BlockAddr, PageVersion>>,
+    working_set: u64,
+    writes_per_tick: u64,
+    puts_per_tick: u64,
+    gets_per_tick: u64,
+    stale_reads: u64,
+    ops: u64,
+}
+
+impl VmWorker {
+    /// Runs one tick against `backend`: a write batch (version bumps +
+    /// `flush_many`), a put batch and a get batch checked against the
+    /// disk model.
+    fn tick(&mut self, backend: &mut dyn SecondChanceCache, tick: u64) {
+        let now = SimTime::from_nanos(tick.wrapping_mul(1_000));
+        let pi = (tick % self.pools.len() as u64) as usize;
+        let pool = self.pools[pi];
+        let file = self.files[pi];
+
+        // Guest writes: the disk version moves, so the cached clean copy
+        // (if any) must be invalidated — one batched flush hypercall.
+        let mut written = Vec::with_capacity(self.writes_per_tick as usize);
+        for _ in 0..self.writes_per_tick {
+            let addr = BlockAddr::new(file, self.rng.next_below(self.working_set));
+            let version = self.models[pi].entry(addr).or_insert(PageVersion::INITIAL);
+            *version = version.bump();
+            written.push(addr);
+        }
+        self.channel.flush_many(backend, pool, &written);
+
+        // Page-cache evictions: store the current disk version.
+        let mut puts = Vec::with_capacity(self.puts_per_tick as usize);
+        for _ in 0..self.puts_per_tick {
+            let addr = BlockAddr::new(file, self.rng.next_below(self.working_set));
+            let version = self.models[pi]
+                .get(&addr)
+                .copied()
+                .unwrap_or(PageVersion::INITIAL);
+            puts.push((addr, version));
+        }
+        self.channel.put_many(backend, now, pool, &puts);
+
+        // Lookups, each hit checked against the model (stale-read
+        // oracle): a hit must carry the exact modeled version.
+        let mut lookups = Vec::with_capacity(self.gets_per_tick as usize);
+        for _ in 0..self.gets_per_tick {
+            lookups.push(BlockAddr::new(file, self.rng.next_below(self.working_set)));
+        }
+        let outcomes = self.channel.get_many(backend, now, pool, &lookups);
+        for (addr, outcome) in lookups.iter().zip(&outcomes) {
+            if let GetOutcome::Hit { version, .. } = outcome {
+                let expected = self.models[pi]
+                    .get(addr)
+                    .copied()
+                    .unwrap_or(PageVersion::INITIAL);
+                if *version != expected {
+                    self.stale_reads += 1;
+                }
+            }
+        }
+
+        self.ops += self.writes_per_tick + self.puts_per_tick + self.gets_per_tick;
+    }
+}
+
+/// A cache engine under test, with the inherent (non-trait) surface the
+/// driver needs: weight registration and the resident-entry dump.
+enum Engine {
+    Serial(Box<DoubleDeckerCache>),
+    Sharded(ShardedCache),
+}
+
+impl Engine {
+    fn build(cache: CacheConfig, kind: EngineKind) -> Engine {
+        match kind {
+            EngineKind::Serial => Engine::Serial(Box::new(DoubleDeckerCache::new(cache))),
+            EngineKind::Sharded { shards } => Engine::Sharded(ShardedCache::new(cache, shards)),
+        }
+    }
+
+    fn add_vm(&mut self, vm: VmId, weight: u64) {
+        match self {
+            Engine::Serial(c) => c.add_vm(vm, weight),
+            Engine::Sharded(c) => c.add_vm(vm, weight),
+        }
+    }
+
+    fn backend(&mut self) -> &mut dyn SecondChanceCache {
+        match self {
+            Engine::Serial(c) => c.as_mut(),
+            Engine::Sharded(c) => c,
+        }
+    }
+
+    fn entries(&self) -> Vec<(VmId, PoolId, BlockAddr, PageVersion)> {
+        match self {
+            Engine::Serial(c) => c.entries(),
+            Engine::Sharded(c) => c.entries(),
+        }
+    }
+}
+
+/// Builds the VM workers and registers VMs + pools on `engine`. Pool
+/// creation order is VM-major, so pool ids line up across engines.
+fn build_workers(cfg: &StressConfig, engine: &mut Engine) -> Vec<VmWorker> {
+    let mut root = SimRng::new(cfg.seed);
+    let mut workers = Vec::with_capacity(cfg.vms as usize);
+    for i in 0..cfg.vms {
+        let vm = VmId(i);
+        engine.add_vm(vm, StressConfig::vm_weight(i));
+        let mut pools = Vec::with_capacity(cfg.pools_per_vm as usize);
+        let mut files = Vec::with_capacity(cfg.pools_per_vm as usize);
+        for p in 0..cfg.pools_per_vm {
+            pools.push(
+                engine
+                    .backend()
+                    .create_pool(vm, StressConfig::pool_policy(i, p)),
+            );
+            files.push(cfg.file_of(i, p));
+        }
+        workers.push(VmWorker {
+            vm,
+            channel: HypercallChannel::new(vm),
+            rng: root.fork(i as u64),
+            models: vec![FxHashMap::default(); cfg.pools_per_vm as usize],
+            pools,
+            files,
+            working_set: cfg.working_set,
+            writes_per_tick: cfg.writes_per_tick,
+            puts_per_tick: cfg.puts_per_tick,
+            gets_per_tick: cfg.gets_per_tick,
+            stale_reads: 0,
+            ops: 0,
+        });
+    }
+    workers
+}
+
+/// FNV-1a over the resident-entry dump — a compact fingerprint of the
+/// entire cache contents for the byte-identity check.
+fn entries_digest(entries: &[(VmId, PoolId, BlockAddr, PageVersion)]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    for &(vm, pool, addr, version) in entries {
+        eat(vm.0 as u64);
+        eat(pool.0 as u64);
+        eat(addr.file.0);
+        eat(addr.block);
+        eat(version.0);
+    }
+    hash
+}
+
+/// The canonical per-run report: every observable the determinism
+/// contract covers, rendered as stable JSON.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EquivalenceReport {
+    /// Pretty-printed JSON; byte-identical across engines for the same
+    /// [`StressConfig`].
+    pub json: String,
+    /// Stale reads the oracle observed (always 0 for a healthy engine).
+    pub stale_reads: u64,
+}
+
+fn mode_name(mode: PartitionMode) -> &'static str {
+    match mode {
+        PartitionMode::DoubleDecker => "doubledecker",
+        PartitionMode::Global => "global",
+        PartitionMode::Strict => "strict",
+    }
+}
+
+fn render_report(cfg: &StressConfig, engine: &Engine, workers: &[VmWorker]) -> EquivalenceReport {
+    let mut root = Json::object();
+    let mut config = Json::object();
+    config.set("vms", cfg.vms);
+    config.set("pools_per_vm", cfg.pools_per_vm);
+    config.set("ticks", cfg.ticks);
+    config.set("working_set", cfg.working_set);
+    config.set("mode", mode_name(cfg.cache.mode));
+    config.set("seed", cfg.seed);
+    root.set("config", config);
+
+    let mut stale_total = 0;
+    let mut vm_rows = Vec::with_capacity(workers.len());
+    for w in workers {
+        let mut row = Json::object();
+        row.set("vm", w.vm.0);
+        let c = w.channel.counters();
+        row.set("calls", c.calls);
+        row.set("gets", c.gets);
+        row.set("get_hits", c.get_hits);
+        row.set("puts", c.puts);
+        row.set("put_stores", c.put_stores);
+        row.set("flushes", c.flushes);
+        row.set("stale_reads", w.stale_reads);
+        row.set("ops", w.ops);
+        stale_total += w.stale_reads;
+        vm_rows.push(row);
+    }
+    root.set("vms_report", vm_rows);
+    root.set("entries_count", engine.entries().len());
+    root.set(
+        "entries_digest",
+        format!("{:016x}", entries_digest(&engine.entries())),
+    );
+    EquivalenceReport {
+        json: root.to_string_pretty(),
+        stale_reads: stale_total,
+    }
+}
+
+/// Appends the per-pool stats rows to a rendered report. Separate from
+/// [`render_report`] because `pool_stats` needs `&Engine` after the
+/// drive loop released the workers.
+fn pool_stats_json(engine: &mut Engine, workers: &[VmWorker]) -> Json {
+    let mut rows = Vec::new();
+    for w in workers {
+        for &pool in &w.pools {
+            if let Some(s) = engine.backend().pool_stats(w.vm, pool) {
+                let mut row = Json::object();
+                row.set("vm", w.vm.0);
+                row.set("pool", pool.0);
+                row.set("mem_pages", s.mem_pages);
+                row.set("ssd_pages", s.ssd_pages);
+                row.set("entitlement_pages", s.entitlement_pages);
+                row.set("gets", s.gets);
+                row.set("hits", s.hits);
+                row.set("puts", s.puts);
+                row.set("evictions", s.evictions);
+                rows.push(row);
+            }
+        }
+    }
+    rows.into()
+}
+
+/// Runs the seeded workload single-threaded (round-robin over VMs)
+/// against the chosen engine and returns the canonical report.
+///
+/// Running this once with [`EngineKind::Serial`] and once with
+/// [`EngineKind::Sharded`] must produce byte-identical `json` — the
+/// determinism contract of the sharded plane.
+pub fn run_equivalence(cfg: &StressConfig, kind: EngineKind) -> EquivalenceReport {
+    let mut engine = Engine::build(cfg.cache, kind);
+    let mut workers = build_workers(cfg, &mut engine);
+    for tick in 0..cfg.ticks {
+        for w in &mut workers {
+            w.tick(engine.backend(), tick);
+        }
+    }
+    let mut report = render_report(cfg, &engine, &workers);
+    // Splice the pool-stats rows into the JSON (stable order).
+    let mut root = Json::parse(&report.json).expect("own JSON parses");
+    root.set("pools_report", pool_stats_json(&mut engine, &workers));
+    report.json = root.to_string_pretty();
+    report
+}
+
+/// Result of a multi-threaded stress run.
+#[derive(Clone, Debug)]
+pub struct StressOutcome {
+    /// OS threads the run used.
+    pub threads: usize,
+    /// Total hypercall operations issued across all VMs.
+    pub total_ops: u64,
+    /// Wall-clock time of the drive phase (setup and audit excluded).
+    pub elapsed: Duration,
+    /// Stale reads the oracle observed across all VMs (gate: 0).
+    pub stale_reads: u64,
+    /// Findings from the cross-shard auditor after the join (gate:
+    /// empty).
+    pub findings: Vec<AuditFinding>,
+}
+
+impl StressOutcome {
+    /// Aggregate operation throughput of the drive phase.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.total_ops as f64 / secs
+        }
+    }
+
+    /// True when the run passed both gates: a clean audit and zero
+    /// stale reads.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty() && self.stale_reads == 0
+    }
+}
+
+/// Drives the workload with `threads` OS threads sharing one
+/// [`ShardedCache`] (VMs distributed round-robin), then audits.
+///
+/// The total work is independent of `threads`, so outcomes at
+/// different thread counts are comparable for scaling measurements.
+pub fn run_stress(cfg: &StressConfig, threads: usize) -> StressOutcome {
+    let threads = threads.max(1);
+    let cache = ShardedCache::new(cfg.cache, cfg.shards);
+    let mut engine = Engine::Sharded(cache.clone());
+    let workers = build_workers(cfg, &mut engine);
+
+    // Deal the workers round-robin into per-thread hands.
+    let mut hands: Vec<Vec<VmWorker>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, w) in workers.into_iter().enumerate() {
+        hands[i % threads].push(w);
+    }
+
+    let ticks = cfg.ticks;
+    let started = std::time::Instant::now();
+    let joined: Vec<Vec<VmWorker>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = hands
+            .into_iter()
+            .map(|mut hand| {
+                let mut backend = cache.clone();
+                scope.spawn(move || {
+                    for tick in 0..ticks {
+                        for w in &mut hand {
+                            w.tick(&mut backend, tick);
+                        }
+                    }
+                    hand
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stress thread panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut total_ops = 0;
+    let mut stale_reads = 0;
+    for w in joined.iter().flatten() {
+        total_ops += w.ops;
+        stale_reads += w.stale_reads;
+    }
+    StressOutcome {
+        threads,
+        total_ops,
+        elapsed,
+        stale_reads,
+        findings: audit::audit(&cache),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_single_thread_matches_serial_byte_for_byte() {
+        for mode in [
+            PartitionMode::DoubleDecker,
+            PartitionMode::Global,
+            PartitionMode::Strict,
+        ] {
+            let mut cfg = StressConfig::smoke(7);
+            cfg.cache = cfg.cache.with_mode(mode);
+            let serial = run_equivalence(&cfg, EngineKind::Serial);
+            let sharded = run_equivalence(&cfg, EngineKind::Sharded { shards: 8 });
+            assert_eq!(
+                serial.json, sharded.json,
+                "{mode:?}: sharded run diverged from the serial engine"
+            );
+            assert_eq!(serial.stale_reads, 0);
+            assert_eq!(sharded.stale_reads, 0);
+        }
+    }
+
+    #[test]
+    fn one_shard_also_matches() {
+        let cfg = StressConfig::smoke(21);
+        let serial = run_equivalence(&cfg, EngineKind::Serial);
+        let sharded = run_equivalence(&cfg, EngineKind::Sharded { shards: 1 });
+        assert_eq!(serial.json, sharded.json);
+    }
+
+    #[test]
+    fn stress_smoke_is_clean_across_thread_counts() {
+        for threads in [1, 2, 4] {
+            let out = run_stress(&StressConfig::smoke(13), threads);
+            assert!(
+                out.findings.is_empty(),
+                "{threads} threads: audit findings {:?}",
+                out.findings
+            );
+            assert_eq!(out.stale_reads, 0, "{threads} threads: stale reads");
+            assert_eq!(out.total_ops, StressConfig::smoke(13).ops_per_vm() * 4);
+        }
+    }
+
+    #[test]
+    fn equivalence_report_is_reproducible() {
+        let cfg = StressConfig::smoke(99);
+        let a = run_equivalence(&cfg, EngineKind::Sharded { shards: 4 });
+        let b = run_equivalence(&cfg, EngineKind::Sharded { shards: 4 });
+        assert_eq!(a.json, b.json);
+    }
+}

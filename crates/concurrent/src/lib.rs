@@ -1,0 +1,42 @@
+//! DoubleDecker reproduction: the concurrent serving plane.
+//!
+//! The serial engine in `ddc-hypercache` models the paper's policies
+//! behind one `&mut self`. This crate makes the serving path
+//! *concurrent* without changing those policies:
+//!
+//! * [`sharded`] — [`ShardedCache`], a [`SecondChanceCache`] whose pool
+//!   index is split into per-lock shards, with a global atomic pressure
+//!   ledger and cross-shard resource-conservative eviction (Algorithm 1
+//!   unchanged).
+//! * [`driver`] — a multi-threaded VM driver: each guest runs its
+//!   hypercall stream on its own OS thread against the shared cache,
+//!   with a seeded deterministic-equivalence mode (single-threaded
+//!   execution byte-identical to the serial engine) and a stress mode
+//!   gated by the invariant auditor and a stale-read oracle.
+//! * [`audit`] — the cross-shard invariant auditor (ledger accounting,
+//!   shard-map placement, per-pool coherence via
+//!   `ddc_hypercache::audit_pool_slice`, tombstone counts, entitlement
+//!   sums).
+//!
+//! [`SecondChanceCache`]: ddc_cleancache::SecondChanceCache
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod driver;
+pub mod sharded;
+
+pub use audit::audit;
+pub use driver::{
+    run_equivalence, run_stress, EngineKind, EquivalenceReport, StressConfig, StressOutcome,
+};
+pub use sharded::ShardedCache;
+
+// Vocabulary re-exports so downstream crates can name the shared types
+// without importing every layer.
+pub use ddc_cleancache::{
+    CachePolicy, GetOutcome, HypercallChannel, PageVersion, PoolId, PutOutcome, SecondChanceCache,
+    StoreKind, VmId,
+};
+pub use ddc_hypercache::{AuditFinding, CacheConfig, PartitionMode};

@@ -1,0 +1,1359 @@
+//! The sharded hypercache: a concurrent [`SecondChanceCache`] whose index
+//! is partitioned by hash of `(VmId, PoolId)` with one lock per shard.
+//!
+//! # Design
+//!
+//! The serial [`DoubleDeckerCache`](ddc_hypercache::DoubleDeckerCache)
+//! keeps all pools behind one `&mut self`. This crate splits the pool map
+//! into `n` shards so that hypercalls from different VMs proceed in
+//! parallel:
+//!
+//! * **Shard map** — a pool lives in shard
+//!   `mix(vm, pool) % n` ([`ShardedCache::shard_of`]); every object of the
+//!   pool (index slots, FIFO entries, tombstone counters) lives with it.
+//! * **Global-pressure ledger** — store occupancy is *global*, not
+//!   per-shard: a [`Ledger`] per store tracks `used`/`capacity` with
+//!   atomics so the resource-conservative rule ("evict only when the
+//!   store itself is full", paper §4.3) keeps working across shards.
+//!   Page allocation is a CAS (`used < capacity → used + 1`), so the
+//!   store can never oversubscribe no matter how threads interleave.
+//! * **Cross-shard eviction** — when the ledger is full, the evicting
+//!   thread locks *all* shards (ascending index, see lock order below),
+//!   rebuilds the two-level share table from the registry and the locked
+//!   usage, and runs the paper's Algorithm 1 unchanged
+//!   ([`ddc_hypercache::select_victim`]) — so the victim is still the
+//!   entity with the largest exceed value *globally*, not per shard.
+//! * **Lock order** — `registry` before any shard; shards in ascending
+//!   index; never acquire a lower-index (or the registry) lock while
+//!   holding a higher one. Single-shard fast paths (get, flush,
+//!   mem/SSD-policy puts) take only the home shard; the lock-all paths
+//!   (eviction, hybrid placement, strict mode, stats, audit) start from
+//!   no shard lock held.
+//!
+//! # Determinism contract
+//!
+//! Driven from one thread, a `ShardedCache` is *observationally
+//! identical* to the serial engine (journal disabled, no fault
+//! schedules): same outcomes, same per-pool counters, same eviction
+//! victims, same resident entries. The serial engine debug-asserts its
+//! cached share tables against a fresh rebuild, and this implementation
+//! always rebuilds fresh — so the entitlement inputs provably match. The
+//! equivalence is enforced end-to-end by the driver's byte-identical
+//! report check ([`crate::driver`]) and the workspace property tests.
+//! Under concurrency, outcomes depend on interleaving but every
+//! structural invariant still holds (see [`crate::audit`]).
+//!
+//! Out of scope for the sharded plane (serial-engine only): the journal /
+//! crash recovery, SSD fault injection + quarantine, and in-band memory
+//! compression. The sharded cache is a pure serving plane; flushes
+//! return epoch 0 like any non-journaling backend.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+use ddc_cleancache::{
+    CachePolicy, GetOutcome, PageVersion, PoolId, PoolStats, PutOutcome, SecondChanceCache,
+    StoreKind, VmId,
+};
+use ddc_hypercache::index::{Placement, Pool};
+use ddc_hypercache::policy::{entitlements, select_victim, select_victim_strict};
+use ddc_hypercache::{CacheConfig, EntityUsage, PartitionMode, EVICTION_BATCH_PAGES};
+use ddc_sim::{FxHashMap, SimTime};
+use ddc_storage::{BlockAddr, FileId};
+
+/// Global page accounting for one store: capacity and used pages shared
+/// by every shard. `try_alloc` is a CAS loop, so concurrent puts can
+/// never push `used` past `capacity`.
+#[derive(Debug)]
+pub(crate) struct Ledger {
+    capacity: AtomicU64,
+    used: AtomicU64,
+}
+
+impl Ledger {
+    fn new(capacity: u64) -> Ledger {
+        Ledger {
+            capacity: AtomicU64::new(capacity),
+            used: AtomicU64::new(0),
+        }
+    }
+
+    /// Reserves one page if the store has room. Lock-free.
+    fn try_alloc(&self) -> bool {
+        let cap = self.capacity.load(Ordering::Relaxed);
+        let mut used = self.used.load(Ordering::Relaxed);
+        loop {
+            if used >= cap {
+                return false;
+            }
+            match self.used.compare_exchange_weak(
+                used,
+                used + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(cur) => used = cur,
+            }
+        }
+    }
+
+    fn free(&self, pages: u64) {
+        if pages > 0 {
+            self.used.fetch_sub(pages, Ordering::Relaxed);
+        }
+    }
+
+    fn has_room(&self) -> bool {
+        self.used.load(Ordering::Relaxed) < self.capacity.load(Ordering::Relaxed)
+    }
+
+    fn is_disabled(&self) -> bool {
+        self.capacity.load(Ordering::Relaxed) == 0
+    }
+
+    pub(crate) fn used_pages(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn capacity_pages(&self) -> u64 {
+        self.capacity.load(Ordering::Relaxed)
+    }
+}
+
+/// One shard: the pools that hash here plus their share of the
+/// global-mode FIFO (entries are seq-stamped, so the cross-shard merge
+/// in [`ShardedCache`] recovers the exact store-wide FIFO order).
+#[derive(Debug, Default)]
+pub(crate) struct Shard {
+    pub(crate) pools: FxHashMap<(VmId, PoolId), Pool>,
+    fifo_mem: VecDeque<(VmId, PoolId, BlockAddr, u64)>,
+    fifo_ssd: VecDeque<(VmId, PoolId, BlockAddr, u64)>,
+    pub(crate) stale_mem: u64,
+    pub(crate) stale_ssd: u64,
+}
+
+impl Shard {
+    fn fifo(&mut self, placement: Placement) -> &mut VecDeque<(VmId, PoolId, BlockAddr, u64)> {
+        match placement {
+            Placement::Mem => &mut self.fifo_mem,
+            Placement::Ssd => &mut self.fifo_ssd,
+        }
+    }
+
+    pub(crate) fn fifo_ref(
+        &self,
+        placement: Placement,
+    ) -> &VecDeque<(VmId, PoolId, BlockAddr, u64)> {
+        match placement {
+            Placement::Mem => &self.fifo_mem,
+            Placement::Ssd => &self.fifo_ssd,
+        }
+    }
+
+    pub(crate) fn stale(&self, placement: Placement) -> u64 {
+        match placement {
+            Placement::Mem => self.stale_mem,
+            Placement::Ssd => self.stale_ssd,
+        }
+    }
+
+    fn note_stale(&mut self, placement: Placement, count: u64) {
+        match placement {
+            Placement::Mem => self.stale_mem += count,
+            Placement::Ssd => self.stale_ssd += count,
+        }
+    }
+
+    fn note_dead_popped(&mut self, placement: Placement) {
+        match placement {
+            Placement::Mem => self.stale_mem = self.stale_mem.saturating_sub(1),
+            Placement::Ssd => self.stale_ssd = self.stale_ssd.saturating_sub(1),
+        }
+    }
+}
+
+/// The control-plane registry: VM weights and each VM's pool list (with
+/// the current policy mirrored so single-shard fast paths can decide the
+/// placement without touching any shard).
+#[derive(Debug)]
+pub(crate) struct Registry {
+    pub(crate) vms: BTreeMap<VmId, VmMeta>,
+    next_pool: u32,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry {
+            vms: BTreeMap::new(),
+            // Pool ids start at 1 like the serial engine (0 is never
+            // minted), so ids line up across engines.
+            next_pool: 1,
+        }
+    }
+}
+
+/// Registry row for one VM.
+#[derive(Debug)]
+pub(crate) struct VmMeta {
+    pub(crate) mem_weight: u64,
+    pub(crate) ssd_weight: u64,
+    /// `(pool, policy)` sorted by pool id (ids are minted monotonically,
+    /// so pushes keep it sorted).
+    pub(crate) pools: Vec<(PoolId, CachePolicy)>,
+}
+
+impl VmMeta {
+    fn new(mem_weight: u64, ssd_weight: u64) -> VmMeta {
+        VmMeta {
+            mem_weight,
+            ssd_weight,
+            pools: Vec::new(),
+        }
+    }
+
+    fn weight_for(&self, placement: Placement) -> u64 {
+        match placement {
+            Placement::Mem => self.mem_weight,
+            Placement::Ssd => self.ssd_weight,
+        }
+    }
+
+    fn policy_of(&self, pool: PoolId) -> Option<CachePolicy> {
+        self.pools
+            .binary_search_by_key(&pool, |r| r.0)
+            .ok()
+            .map(|i| self.pools[i].1)
+    }
+}
+
+struct Inner {
+    mode: PartitionMode,
+    shards: Vec<Mutex<Shard>>,
+    registry: RwLock<Registry>,
+    mem: Ledger,
+    ssd: Ledger,
+    next_seq: AtomicU64,
+    evictions: AtomicU64,
+    trickle_downs: AtomicU64,
+}
+
+/// A concurrent sharded DoubleDecker cache (see the [module
+/// docs](self) for the design).
+///
+/// Cloning is cheap and shares the same cache: give each serving thread
+/// its own clone. The [`SecondChanceCache`] impl takes `&mut self` only
+/// to satisfy the (object-safe) trait; all synchronization is internal.
+#[derive(Clone)]
+pub struct ShardedCache {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for ShardedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.inner.shards.len())
+            .field("mode", &self.inner.mode)
+            .field("mem_used", &self.inner.mem.used_pages())
+            .field("ssd_used", &self.inner.ssd.used_pages())
+            .finish()
+    }
+}
+
+impl ShardedCache {
+    /// Creates a sharded cache with `shards` index shards (clamped to at
+    /// least 1).
+    pub fn new(config: CacheConfig, shards: usize) -> ShardedCache {
+        let n = shards.max(1);
+        ShardedCache {
+            inner: Arc::new(Inner {
+                mode: config.mode,
+                shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
+                registry: RwLock::new(Registry::default()),
+                mem: Ledger::new(config.mem_capacity_pages),
+                ssd: Ledger::new(config.ssd_capacity_pages),
+                next_seq: AtomicU64::new(1),
+                evictions: AtomicU64::new(0),
+                trickle_downs: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Number of index shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The partition mode the cache runs in.
+    pub fn mode(&self) -> PartitionMode {
+        self.inner.mode
+    }
+
+    /// The home shard of a pool: a dependency-free integer mix of the
+    /// `(vm, pool)` key, reduced modulo the shard count. Deterministic
+    /// across runs and processes.
+    pub fn shard_of(&self, vm: VmId, pool: PoolId) -> usize {
+        let mixed = (vm.0 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(31)
+            ^ (pool.0 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        (mixed.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) as usize % self.inner.shards.len()
+    }
+
+    /// Registers a VM with a cache weight applied to both stores.
+    /// Re-registering updates the weights (mirrors the serial engine).
+    pub fn add_vm(&self, vm: VmId, weight: u64) {
+        self.add_vm_with_store_weights(vm, weight, weight);
+    }
+
+    /// Registers a VM with independent per-store weights.
+    pub fn add_vm_with_store_weights(&self, vm: VmId, mem_weight: u64, ssd_weight: u64) {
+        let mut reg = self.inner.registry.write().expect("registry poisoned");
+        reg.vms
+            .entry(vm)
+            .and_modify(|e| {
+                e.mem_weight = mem_weight;
+                e.ssd_weight = ssd_weight;
+            })
+            .or_insert_with(|| VmMeta::new(mem_weight, ssd_weight));
+    }
+
+    /// Updates a VM's weight in both stores; unknown VMs are ignored.
+    pub fn set_vm_weight(&self, vm: VmId, weight: u64) {
+        let mut reg = self.inner.registry.write().expect("registry poisoned");
+        if let Some(e) = reg.vms.get_mut(&vm) {
+            e.mem_weight = weight;
+            e.ssd_weight = weight;
+        }
+    }
+
+    /// Pages resident in the memory store (global ledger).
+    pub fn mem_used_pages(&self) -> u64 {
+        self.inner.mem.used_pages()
+    }
+
+    /// Pages resident in the SSD store (global ledger).
+    pub fn ssd_used_pages(&self) -> u64 {
+        self.inner.ssd.used_pages()
+    }
+
+    /// Objects evicted by the policy module since creation.
+    pub fn evictions(&self) -> u64 {
+        self.inner.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Hybrid-pool objects trickled from memory down to the SSD store.
+    pub fn trickle_downs(&self) -> u64 {
+        self.inner.trickle_downs.load(Ordering::Relaxed)
+    }
+
+    /// Every resident entry as `(vm, pool, addr, version)`, sorted —
+    /// byte-compatible with the serial engine's
+    /// [`entries`](ddc_hypercache::DoubleDeckerCache::entries), used by
+    /// the stale-read oracle and the equivalence reports.
+    pub fn entries(&self) -> Vec<(VmId, PoolId, BlockAddr, PageVersion)> {
+        let reg = self.inner.registry.read().expect("registry poisoned");
+        let shards = self.lock_all_shards();
+        let mut out = Vec::new();
+        for (&vm, meta) in &reg.vms {
+            for &(pid, _) in &meta.pools {
+                let shard = &shards[self.shard_of(vm, pid)];
+                if let Some(pool) = shard.pools.get(&(vm, pid)) {
+                    for (addr, slot) in pool.iter() {
+                        out.push((vm, pid, addr, slot.version));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Runs `f` with the registry read-locked and every shard locked in
+    /// ascending order (the crate's lock-all discipline). Used by the
+    /// invariant auditor.
+    pub(crate) fn with_all_locked<R>(
+        &self,
+        f: impl FnOnce(&Registry, &[MutexGuard<'_, Shard>], &Ledger, &Ledger, u64) -> R,
+    ) -> R {
+        let reg = self.inner.registry.read().expect("registry poisoned");
+        let shards = self.lock_all_shards();
+        f(
+            &reg,
+            &shards,
+            &self.inner.mem,
+            &self.inner.ssd,
+            self.inner.next_seq.load(Ordering::Relaxed),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Internal helpers.
+    // ------------------------------------------------------------------
+
+    fn ledger(&self, placement: Placement) -> &Ledger {
+        match placement {
+            Placement::Mem => &self.inner.mem,
+            Placement::Ssd => &self.inner.ssd,
+        }
+    }
+
+    fn alloc_seq(&self) -> u64 {
+        self.inner.next_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Locks every shard in ascending index order.
+    fn lock_all_shards(&self) -> Vec<MutexGuard<'_, Shard>> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned"))
+            .collect()
+    }
+
+    fn lock_shard(&self, idx: usize) -> MutexGuard<'_, Shard> {
+        self.inner.shards[idx].lock().expect("shard poisoned")
+    }
+
+    /// Pushes a FIFO entry on the pool's home shard and compacts the
+    /// shard queue with the serial engine's amortized heuristic
+    /// (tombstone-dominated, or oversized relative to the global store
+    /// occupancy).
+    fn push_shard_fifo(
+        &self,
+        shard: &mut Shard,
+        vm: VmId,
+        pool: PoolId,
+        addr: BlockAddr,
+        seq: u64,
+        placement: Placement,
+    ) {
+        let store_used = self.ledger(placement).used_pages();
+        let stale = shard.stale(placement);
+        let queue = shard.fifo(placement);
+        queue.push_back((vm, pool, addr, seq));
+        let len = queue.len() as u64;
+        let dominated = stale * 2 > len && len >= 1024;
+        let oversized = len > store_used.saturating_mul(8).max(1024);
+        if dominated || oversized {
+            let Shard {
+                pools,
+                fifo_mem,
+                fifo_ssd,
+                stale_mem,
+                stale_ssd,
+            } = shard;
+            let (queue, stale) = match placement {
+                Placement::Mem => (fifo_mem, stale_mem),
+                Placement::Ssd => (fifo_ssd, stale_ssd),
+            };
+            queue.retain(|(v, p, a, s)| {
+                pools
+                    .get(&(*v, *p))
+                    .and_then(|pool| pool.peek(*a))
+                    .is_some_and(|slot| slot.seq == *s && slot.placement == placement)
+            });
+            *stale = 0;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Entitlements (fresh rebuild — provably equal to the serial engine's
+    // cached table, which debug-asserts against the same rebuild).
+    // ------------------------------------------------------------------
+
+    fn pool_by_policy(policy: CachePolicy, placement: Placement) -> bool {
+        match placement {
+            Placement::Mem => policy.store.uses_mem(),
+            Placement::Ssd => policy.store.uses_ssd(),
+        }
+    }
+
+    /// Share rows for one store: `(vm, vm_entitlement, vm_weight)` plus
+    /// per-VM `(pool, entitlement, weight)` rows, in `(VmId, PoolId)`
+    /// order — the serial `build_share_table` verbatim, reading usage
+    /// from the locked shards.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn build_share_table(
+        &self,
+        reg: &Registry,
+        shards: &[MutexGuard<'_, Shard>],
+        placement: Placement,
+    ) -> (Vec<(VmId, u64, u64)>, Vec<Vec<(PoolId, u64, u64)>>) {
+        let mut vm_ids = Vec::new();
+        let mut vm_weights = Vec::new();
+        let mut pool_meta: Vec<Vec<(PoolId, u64)>> = Vec::new();
+        for (&vm, meta) in &reg.vms {
+            let mut pools_here = Vec::new();
+            for &(pid, policy) in &meta.pools {
+                let used = shards[self.shard_of(vm, pid)]
+                    .pools
+                    .get(&(vm, pid))
+                    .map(|p| p.used(placement))
+                    .unwrap_or(0);
+                let by_policy = Self::pool_by_policy(policy, placement);
+                // Participates: assigned by policy, or legacy objects left.
+                if by_policy || used > 0 {
+                    let weight = if by_policy { policy.weight as u64 } else { 0 };
+                    pools_here.push((pid, weight));
+                }
+            }
+            if !pools_here.is_empty() {
+                vm_ids.push(vm);
+                vm_weights.push(meta.weight_for(placement));
+                pool_meta.push(pools_here);
+            }
+        }
+        let capacity = self.ledger(placement).capacity_pages();
+        let vm_shares = entitlements(capacity, &vm_weights);
+        let mut vm_rows = Vec::with_capacity(vm_ids.len());
+        let mut pool_rows = Vec::with_capacity(vm_ids.len());
+        for (i, &vm) in vm_ids.iter().enumerate() {
+            vm_rows.push((vm, vm_shares[i], vm_weights[i]));
+            let weights: Vec<u64> = pool_meta[i].iter().map(|&(_, w)| w).collect();
+            let shares = entitlements(vm_shares[i], &weights);
+            pool_rows.push(
+                pool_meta[i]
+                    .iter()
+                    .zip(shares)
+                    .map(|(&(p, w), s)| (p, s, w))
+                    .collect(),
+            );
+        }
+        (vm_rows, pool_rows)
+    }
+
+    fn pool_entitlement_in(
+        &self,
+        reg: &Registry,
+        shards: &[MutexGuard<'_, Shard>],
+        vm: VmId,
+        pool: PoolId,
+        placement: Placement,
+    ) -> u64 {
+        let (vm_rows, pool_rows) = self.build_share_table(reg, shards, placement);
+        let Ok(vi) = vm_rows.binary_search_by_key(&vm, |r| r.0) else {
+            return 0;
+        };
+        pool_rows[vi]
+            .binary_search_by_key(&pool, |r| r.0)
+            .map(|pi| pool_rows[vi][pi].1)
+            .unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Eviction (cross-shard; all shards locked by the caller).
+    // ------------------------------------------------------------------
+
+    /// Frees up to one eviction batch with every shard locked. Mirrors
+    /// the serial `evict_batch` dispatch.
+    fn evict_batch_locked(
+        &self,
+        reg: &Registry,
+        shards: &mut [MutexGuard<'_, Shard>],
+        now: SimTime,
+        placement: Placement,
+    ) -> u64 {
+        match self.inner.mode {
+            PartitionMode::Global => self.evict_batch_global_locked(shards, placement),
+            PartitionMode::DoubleDecker | PartitionMode::Strict => {
+                self.evict_batch_weighted_locked(reg, shards, now, placement)
+            }
+        }
+    }
+
+    /// Global-mode eviction: the per-shard FIFOs are merged by minimal
+    /// front sequence, which reconstructs the exact store-wide FIFO
+    /// order (pushes happen in strictly increasing seq order).
+    fn evict_batch_global_locked(
+        &self,
+        shards: &mut [MutexGuard<'_, Shard>],
+        placement: Placement,
+    ) -> u64 {
+        let mut freed = 0;
+        while freed < EVICTION_BATCH_PAGES {
+            // Drop dead fronts everywhere, then pick the oldest live one.
+            let mut best: Option<(usize, u64)> = None;
+            for (i, shard) in shards.iter_mut().enumerate() {
+                while let Some(&(vm, pool, addr, seq)) = shard.fifo_ref(placement).front() {
+                    let live = shard
+                        .pools
+                        .get(&(vm, pool))
+                        .and_then(|p| p.peek(addr))
+                        .is_some_and(|s| s.seq == seq && s.placement == placement);
+                    if live {
+                        if best.is_none_or(|(_, s)| seq < s) {
+                            best = Some((i, seq));
+                        }
+                        break;
+                    }
+                    shard.fifo(placement).pop_front();
+                    shard.note_dead_popped(placement);
+                }
+            }
+            let Some((si, _)) = best else {
+                break;
+            };
+            let shard = &mut shards[si];
+            let (vm, pool_id, addr, _) = shard
+                .fifo(placement)
+                .pop_front()
+                .expect("front verified live");
+            let pool = shard
+                .pools
+                .get_mut(&(vm, pool_id))
+                .expect("liveness checked above");
+            pool.remove(addr);
+            pool.counters.evictions += 1;
+            self.ledger(placement).free(1);
+            self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+            freed += 1;
+        }
+        freed
+    }
+
+    /// Two-level weighted eviction across shards: Algorithm 1 on the
+    /// fresh share table, then a FIFO batch out of the victim pool.
+    fn evict_batch_weighted_locked(
+        &self,
+        reg: &Registry,
+        shards: &mut [MutexGuard<'_, Shard>],
+        now: SimTime,
+        placement: Placement,
+    ) -> u64 {
+        let strict = self.inner.mode == PartitionMode::Strict;
+        let select = if strict {
+            select_victim_strict
+        } else {
+            select_victim
+        };
+
+        let (vm_rows, pool_rows) = self.build_share_table(reg, shards, placement);
+        let mut vm_entities = Vec::with_capacity(vm_rows.len());
+        for &(vm, share, weight) in &vm_rows {
+            let meta = &reg.vms[&vm];
+            let used: u64 = meta
+                .pools
+                .iter()
+                .map(|&(p, _)| {
+                    shards[self.shard_of(vm, p)]
+                        .pools
+                        .get(&(vm, p))
+                        .map(|pool| pool.used(placement))
+                        .unwrap_or(0)
+                })
+                .sum();
+            vm_entities.push(EntityUsage::new(share, used, weight));
+        }
+        let Some(vm_idx) = select(&vm_entities, EVICTION_BATCH_PAGES) else {
+            return self.evict_from_largest_locked(reg, shards, placement);
+        };
+        let victim_vm = vm_rows[vm_idx].0;
+        let rows = &pool_rows[vm_idx];
+        let mut pool_entities = Vec::with_capacity(rows.len());
+        for &(pid, share, weight) in rows {
+            let used = shards[self.shard_of(victim_vm, pid)]
+                .pools
+                .get(&(victim_vm, pid))
+                .map(|p| p.used(placement))
+                .unwrap_or(0);
+            pool_entities.push(EntityUsage::new(share, used, weight));
+        }
+        let pool_idx = select(&pool_entities, EVICTION_BATCH_PAGES).or_else(|| {
+            pool_entities
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.used > 0)
+                .max_by_key(|(_, e)| e.used)
+                .map(|(i, _)| i)
+        });
+        let Some(pool_idx) = pool_idx else {
+            return 0;
+        };
+        let victim_pool = rows[pool_idx].0;
+        self.evict_pages_from_pool_locked(
+            reg,
+            shards,
+            now,
+            victim_vm,
+            victim_pool,
+            placement,
+            EVICTION_BATCH_PAGES,
+        )
+    }
+
+    /// Fallback when no entity is nominally over its entitlement: evict
+    /// from the largest user, walking `(VmId, PoolId)` order with the
+    /// serial engine's strict-`>` first-max tie-break.
+    fn evict_from_largest_locked(
+        &self,
+        reg: &Registry,
+        shards: &mut [MutexGuard<'_, Shard>],
+        placement: Placement,
+    ) -> u64 {
+        let mut victim: Option<(VmId, PoolId)> = None;
+        let mut best = 0;
+        for (&vm, meta) in &reg.vms {
+            for &(pid, _) in &meta.pools {
+                let used = shards[self.shard_of(vm, pid)]
+                    .pools
+                    .get(&(vm, pid))
+                    .map(|p| p.used(placement))
+                    .unwrap_or(0);
+                if used > best {
+                    best = used;
+                    victim = Some((vm, pid));
+                }
+            }
+        }
+        let Some((vm, pool)) = victim else {
+            return 0;
+        };
+        self.evict_pages_from_pool_locked(
+            reg,
+            shards,
+            SimTime::ZERO,
+            vm,
+            pool,
+            placement,
+            EVICTION_BATCH_PAGES,
+        )
+    }
+
+    /// Evicts up to `max_pages` oldest objects of one pool from one
+    /// store, trickling hybrid memory evictions down to the SSD share.
+    #[allow(clippy::too_many_arguments)]
+    fn evict_pages_from_pool_locked(
+        &self,
+        reg: &Registry,
+        shards: &mut [MutexGuard<'_, Shard>],
+        _now: SimTime,
+        vm: VmId,
+        pool_id: PoolId,
+        placement: Placement,
+        max_pages: u64,
+    ) -> u64 {
+        let si = self.shard_of(vm, pool_id);
+        let mut freed = 0;
+        let mut trickle: Vec<(BlockAddr, PageVersion)> = Vec::new();
+        let hybrid = reg
+            .vms
+            .get(&vm)
+            .and_then(|m| m.policy_of(pool_id))
+            .is_some_and(|p| p.store == StoreKind::Hybrid);
+        {
+            let shard = &mut shards[si];
+            let Some(pool) = shard.pools.get_mut(&(vm, pool_id)) else {
+                return 0;
+            };
+            while freed < max_pages {
+                let Some((addr, slot)) = pool.pop_oldest(placement) else {
+                    break;
+                };
+                pool.counters.evictions += 1;
+                freed += 1;
+                if hybrid && placement == Placement::Mem {
+                    trickle.push((addr, slot.version));
+                }
+            }
+            shard.note_stale(placement, freed);
+        }
+        self.ledger(placement).free(freed);
+        self.inner.evictions.fetch_add(freed, Ordering::Relaxed);
+
+        // Trickle-down: keep evicted hybrid memory objects alive in the
+        // SSD share while room remains. Like the serial engine, trickled
+        // objects get no FIFO entry (they are policy-managed, not
+        // global-FIFO-managed).
+        for (addr, version) in trickle {
+            if !self.inner.ssd.has_room() || !self.inner.ssd.try_alloc() {
+                break;
+            }
+            let seq = self.alloc_seq();
+            let shard = &mut shards[si];
+            match shard.pools.get_mut(&(vm, pool_id)) {
+                Some(pool) => {
+                    if let Some(displaced) = pool.insert(addr, Placement::Ssd, version, seq) {
+                        self.ledger(displaced).free(1);
+                        shard.note_stale(displaced, 1);
+                    }
+                    self.inner.trickle_downs.fetch_add(1, Ordering::Relaxed);
+                }
+                None => self.inner.ssd.free(1),
+            }
+        }
+        freed
+    }
+
+    // ------------------------------------------------------------------
+    // Put paths.
+    // ------------------------------------------------------------------
+
+    /// The single-shard fast path: mem- or SSD-policy puts outside
+    /// strict mode. Placement is policy-determined (usage-independent),
+    /// so only the home shard and the ledgers are touched unless the
+    /// store is full — eviction then takes the lock-all path with no
+    /// shard lock held.
+    fn put_fast(
+        &self,
+        now: SimTime,
+        vm: VmId,
+        pool: PoolId,
+        addr: BlockAddr,
+        version: PageVersion,
+        placement: Placement,
+    ) -> PutOutcome {
+        let si = self.shard_of(vm, pool);
+        {
+            // Exclusive overwrite: displace any stale copy first so the
+            // freed page is available to this put.
+            let mut shard = self.lock_shard(si);
+            if let Some(old) = shard
+                .pools
+                .get_mut(&(vm, pool))
+                .and_then(|p| p.remove(addr))
+            {
+                self.ledger(old.placement).free(1);
+                shard.note_stale(old.placement, 1);
+            }
+        }
+
+        // Resource-conservative enforcement against the global ledger:
+        // evict (lock-all) only when the store itself is full.
+        loop {
+            if self.ledger(placement).try_alloc() {
+                break;
+            }
+            let reg = self.inner.registry.read().expect("registry poisoned");
+            let mut shards = self.lock_all_shards();
+            // Re-check under the locks: another thread may have freed
+            // room while we were blocking on them.
+            if self.ledger(placement).try_alloc() {
+                break;
+            }
+            let freed = self.evict_batch_locked(&reg, &mut shards, now, placement);
+            if freed == 0 {
+                return PutOutcome::Rejected;
+            }
+        }
+
+        let seq = self.alloc_seq();
+        let mut shard = self.lock_shard(si);
+        let Some(pool_entry) = shard.pools.get_mut(&(vm, pool)) else {
+            // The pool was destroyed while we were evicting; give the
+            // page back.
+            self.ledger(placement).free(1);
+            return PutOutcome::Rejected;
+        };
+        pool_entry.counters.puts += 1;
+        if let Some(displaced) = pool_entry.insert(addr, placement, version, seq) {
+            self.ledger(displaced).free(1);
+            shard.note_stale(displaced, 1);
+        }
+        self.push_shard_fifo(&mut shard, vm, pool, addr, seq, placement);
+        PutOutcome::Stored { finish: now }
+    }
+
+    /// The lock-all put path: hybrid placement (needs the share table)
+    /// and strict mode (needs the entitlement pre-check). Follows the
+    /// serial `put` statement order exactly.
+    fn put_locked(
+        &self,
+        now: SimTime,
+        vm: VmId,
+        pool: PoolId,
+        addr: BlockAddr,
+        version: PageVersion,
+        policy: CachePolicy,
+    ) -> PutOutcome {
+        let reg = self.inner.registry.read().expect("registry poisoned");
+        let mut shards = self.lock_all_shards();
+        let si = self.shard_of(vm, pool);
+
+        // Placement decision with the old copy still resident (matches
+        // the serial engine, which decides before the overwrite-remove).
+        let placement = match policy.store {
+            StoreKind::Mem => Placement::Mem,
+            StoreKind::Ssd => Placement::Ssd,
+            StoreKind::Hybrid => {
+                let mem_entitlement =
+                    self.pool_entitlement_in(&reg, &shards, vm, pool, Placement::Mem);
+                let used = shards[si]
+                    .pools
+                    .get(&(vm, pool))
+                    .map(|p| p.used(Placement::Mem))
+                    .unwrap_or(0);
+                if used < mem_entitlement {
+                    Placement::Mem
+                } else {
+                    Placement::Ssd
+                }
+            }
+        };
+        if self.ledger(placement).is_disabled() {
+            return PutOutcome::Rejected;
+        }
+
+        // Exclusive overwrite.
+        {
+            let shard = &mut shards[si];
+            if let Some(old) = shard
+                .pools
+                .get_mut(&(vm, pool))
+                .and_then(|p| p.remove(addr))
+            {
+                self.ledger(old.placement).free(1);
+                shard.note_stale(old.placement, 1);
+            }
+        }
+
+        // Strict-mode pre-check: a pool at its hard partition evicts
+        // from itself before the store-level check.
+        if self.inner.mode == PartitionMode::Strict {
+            let entitlement = self.pool_entitlement_in(&reg, &shards, vm, pool, placement);
+            let used = shards[si]
+                .pools
+                .get(&(vm, pool))
+                .map(|p| p.used(placement))
+                .unwrap_or(0);
+            if used + 1 > entitlement {
+                let freed = self.evict_pages_from_pool_locked(
+                    &reg,
+                    &mut shards,
+                    now,
+                    vm,
+                    pool,
+                    placement,
+                    EVICTION_BATCH_PAGES,
+                );
+                if freed == 0 {
+                    return PutOutcome::Rejected;
+                }
+            }
+        }
+
+        if !self.ledger(placement).has_room() {
+            let freed = self.evict_batch_locked(&reg, &mut shards, now, placement);
+            if freed == 0 {
+                return PutOutcome::Rejected;
+            }
+        }
+        if !self.ledger(placement).try_alloc() {
+            return PutOutcome::Rejected;
+        }
+
+        let seq = self.alloc_seq();
+        let shard = &mut shards[si];
+        let Some(pool_entry) = shard.pools.get_mut(&(vm, pool)) else {
+            self.ledger(placement).free(1);
+            return PutOutcome::Rejected;
+        };
+        pool_entry.counters.puts += 1;
+        if let Some(displaced) = pool_entry.insert(addr, placement, version, seq) {
+            self.ledger(displaced).free(1);
+            shard.note_stale(displaced, 1);
+        }
+        self.push_shard_fifo(shard, vm, pool, addr, seq, placement);
+        PutOutcome::Stored { finish: now }
+    }
+
+    /// Moves one object between two pools on the *same* shard.
+    fn migrate_same_shard(&self, si: usize, vm: VmId, from: PoolId, to: PoolId, addr: BlockAddr) {
+        let mut shard = self.lock_shard(si);
+        let Some(slot) = shard
+            .pools
+            .get_mut(&(vm, from))
+            .and_then(|p| p.remove(addr))
+        else {
+            return;
+        };
+        // The FIFO entry the source pool pushed is a tombstone now.
+        shard.note_stale(slot.placement, 1);
+        if shard.pools.contains_key(&(vm, to)) {
+            let seq = self.alloc_seq();
+            let target = shard.pools.get_mut(&(vm, to)).expect("checked above");
+            if let Some(displaced) = target.insert(addr, slot.placement, slot.version, seq) {
+                self.ledger(displaced).free(1);
+                shard.note_stale(displaced, 1);
+            }
+            self.push_shard_fifo(&mut shard, vm, to, addr, seq, slot.placement);
+        } else {
+            // Unknown target: the object has no owner; drop it.
+            self.ledger(slot.placement).free(1);
+        }
+    }
+}
+
+impl SecondChanceCache for ShardedCache {
+    fn create_pool(&mut self, vm: VmId, policy: CachePolicy) -> PoolId {
+        let mut reg = self.inner.registry.write().expect("registry poisoned");
+        reg.vms.entry(vm).or_insert_with(|| VmMeta::new(100, 100));
+        let id = PoolId(reg.next_pool);
+        reg.next_pool += 1;
+        reg.vms
+            .get_mut(&vm)
+            .expect("inserted above")
+            .pools
+            .push((id, policy));
+        // Registry before shard (lock-order rule); the pool becomes
+        // routable the moment the shard insert lands.
+        let si = self.shard_of(vm, id);
+        let mut shard = self.lock_shard(si);
+        shard.pools.insert((vm, id), Pool::new(vm, policy));
+        id
+    }
+
+    fn destroy_pool(&mut self, vm: VmId, pool: PoolId) {
+        let mut reg = self.inner.registry.write().expect("registry poisoned");
+        let si = self.shard_of(vm, pool);
+        let mut shard = self.lock_shard(si);
+        if let Some(mut p) = shard.pools.remove(&(vm, pool)) {
+            let (mem, ssd) = p.drain();
+            self.inner.mem.free(mem);
+            self.inner.ssd.free(ssd);
+            shard.stale_mem += mem;
+            shard.stale_ssd += ssd;
+        }
+        if let Some(meta) = reg.vms.get_mut(&vm) {
+            if let Ok(i) = meta.pools.binary_search_by_key(&pool, |r| r.0) {
+                meta.pools.remove(i);
+            }
+        }
+    }
+
+    fn set_policy(&mut self, vm: VmId, pool: PoolId, policy: CachePolicy) {
+        {
+            let mut reg = self.inner.registry.write().expect("registry poisoned");
+            let Some(meta) = reg.vms.get_mut(&vm) else {
+                return;
+            };
+            let Ok(i) = meta.pools.binary_search_by_key(&pool, |r| r.0) else {
+                return;
+            };
+            meta.pools[i].1 = policy;
+        }
+
+        let si = self.shard_of(vm, pool);
+        let mut shard = self.lock_shard(si);
+        let Some(p) = shard.pools.get_mut(&(vm, pool)) else {
+            return;
+        };
+        p.set_policy(policy);
+
+        // Re-home objects whose placement the new policy disallows
+        // (mirrors the serial engine's rehome, minus the fault plane).
+        let mut displaced: Vec<(BlockAddr, PageVersion, Placement)> = Vec::new();
+        for (addr, slot) in p.iter() {
+            let allowed = match slot.placement {
+                Placement::Mem => policy.store.uses_mem(),
+                Placement::Ssd => policy.store.uses_ssd(),
+            };
+            if !allowed && policy.is_enabled() {
+                displaced.push((addr, slot.version, slot.placement));
+            }
+        }
+        for (addr, version, old_placement) in displaced {
+            if let Some(p) = shard.pools.get_mut(&(vm, pool)) {
+                p.remove(addr);
+            }
+            self.ledger(old_placement).free(1);
+            shard.note_stale(old_placement, 1);
+            let new_placement = match old_placement {
+                Placement::Mem => Placement::Ssd,
+                Placement::Ssd => Placement::Mem,
+            };
+            // Move to the newly-allowed store if it has room; drop
+            // otherwise (the object is clean, dropping is always safe).
+            if self.ledger(new_placement).has_room() && self.ledger(new_placement).try_alloc() {
+                let seq = self.alloc_seq();
+                let inserted = shard
+                    .pools
+                    .get_mut(&(vm, pool))
+                    .map(|p| p.insert(addr, new_placement, version, seq));
+                match inserted {
+                    Some(displaced_old) => {
+                        if let Some(d) = displaced_old {
+                            self.ledger(d).free(1);
+                            shard.note_stale(d, 1);
+                        }
+                        self.push_shard_fifo(&mut shard, vm, pool, addr, seq, new_placement);
+                    }
+                    None => self.ledger(new_placement).free(1),
+                }
+            }
+        }
+    }
+
+    fn migrate_object(&mut self, vm: VmId, from: PoolId, to: PoolId, addr: BlockAddr) {
+        let (si_from, si_to) = (self.shard_of(vm, from), self.shard_of(vm, to));
+        if si_from == si_to {
+            return self.migrate_same_shard(si_from, vm, from, to, addr);
+        }
+        // Lock both home shards in ascending order (lock-order rule).
+        let lo = si_from.min(si_to);
+        let hi = si_from.max(si_to);
+        let mut guard_lo = self.lock_shard(lo);
+        let mut guard_hi = self.lock_shard(hi);
+        let (src, dst): (&mut Shard, &mut Shard) = if si_from == lo {
+            (&mut guard_lo, &mut guard_hi)
+        } else {
+            (&mut guard_hi, &mut guard_lo)
+        };
+        let Some(slot) = src.pools.get_mut(&(vm, from)).and_then(|p| p.remove(addr)) else {
+            return;
+        };
+        src.note_stale(slot.placement, 1);
+        if dst.pools.contains_key(&(vm, to)) {
+            let seq = self.alloc_seq();
+            let target = dst.pools.get_mut(&(vm, to)).expect("checked above");
+            if let Some(displaced) = target.insert(addr, slot.placement, slot.version, seq) {
+                self.ledger(displaced).free(1);
+                dst.note_stale(displaced, 1);
+            }
+            self.push_shard_fifo(dst, vm, to, addr, seq, slot.placement);
+        } else {
+            self.ledger(slot.placement).free(1);
+        }
+    }
+
+    fn pool_stats(&self, vm: VmId, pool: PoolId) -> Option<PoolStats> {
+        let reg = self.inner.registry.read().expect("registry poisoned");
+        let shards = self.lock_all_shards();
+        let si = self.shard_of(vm, pool);
+        let p = shards[si].pools.get(&(vm, pool))?;
+        let primary = match p.policy().store {
+            StoreKind::Mem | StoreKind::Hybrid => Placement::Mem,
+            StoreKind::Ssd => Placement::Ssd,
+        };
+        let entitlement = self.pool_entitlement_in(&reg, &shards, vm, pool, primary);
+        Some(PoolStats {
+            mem_pages: p.used(Placement::Mem),
+            ssd_pages: p.used(Placement::Ssd),
+            entitlement_pages: entitlement,
+            gets: p.counters.gets,
+            hits: p.counters.hits,
+            puts: p.counters.puts,
+            evictions: p.counters.evictions,
+            failed_gets: p.counters.failed_gets,
+            failed_puts: p.counters.failed_puts,
+        })
+    }
+
+    fn get(&mut self, now: SimTime, vm: VmId, pool: PoolId, addr: BlockAddr) -> GetOutcome {
+        let si = self.shard_of(vm, pool);
+        let mut shard = self.lock_shard(si);
+        let Some(p) = shard.pools.get_mut(&(vm, pool)) else {
+            return GetOutcome::Miss;
+        };
+        p.counters.gets += 1;
+        let Some(slot) = p.remove(addr) else {
+            return GetOutcome::Miss;
+        };
+        p.counters.hits += 1;
+        // Exclusive semantics removed the object; its FIFO entry
+        // outlives it as a tombstone.
+        self.ledger(slot.placement).free(1);
+        shard.note_stale(slot.placement, 1);
+        GetOutcome::Hit {
+            finish: now,
+            version: slot.version,
+        }
+    }
+
+    fn put(
+        &mut self,
+        now: SimTime,
+        vm: VmId,
+        pool: PoolId,
+        addr: BlockAddr,
+        version: PageVersion,
+    ) -> PutOutcome {
+        // Policy lookup from the registry only: the fast path must not
+        // take a shard lock to decide the route.
+        let policy = {
+            let reg = self.inner.registry.read().expect("registry poisoned");
+            let Some(policy) = reg.vms.get(&vm).and_then(|m| m.policy_of(pool)) else {
+                return PutOutcome::Rejected;
+            };
+            policy
+        };
+        if !policy.is_enabled() {
+            return PutOutcome::Rejected;
+        }
+        let needs_lock_all =
+            policy.store == StoreKind::Hybrid || self.inner.mode == PartitionMode::Strict;
+        if needs_lock_all {
+            return self.put_locked(now, vm, pool, addr, version, policy);
+        }
+        let placement = match policy.store {
+            StoreKind::Mem => Placement::Mem,
+            StoreKind::Ssd => Placement::Ssd,
+            StoreKind::Hybrid => unreachable!("routed to put_locked above"),
+        };
+        if self.ledger(placement).is_disabled() {
+            return PutOutcome::Rejected;
+        }
+        self.put_fast(now, vm, pool, addr, version, placement)
+    }
+
+    fn flush(&mut self, vm: VmId, pool: PoolId, addr: BlockAddr) -> u64 {
+        let si = self.shard_of(vm, pool);
+        let mut shard = self.lock_shard(si);
+        if let Some(slot) = shard
+            .pools
+            .get_mut(&(vm, pool))
+            .and_then(|p| p.remove(addr))
+        {
+            self.ledger(slot.placement).free(1);
+            shard.note_stale(slot.placement, 1);
+        }
+        // No journal in the sharded plane: epoch 0, like any
+        // non-journaling backend.
+        0
+    }
+
+    fn flush_file(&mut self, vm: VmId, pool: PoolId, file: FileId) -> u64 {
+        let si = self.shard_of(vm, pool);
+        let mut shard = self.lock_shard(si);
+        if let Some(p) = shard.pools.get_mut(&(vm, pool)) {
+            let (mem, ssd) = p.remove_file(file);
+            self.inner.mem.free(mem);
+            self.inner.ssd.free(ssd);
+            shard.stale_mem += mem;
+            shard.stale_ssd += ssd;
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::audit;
+
+    fn addr(f: u64, b: u64) -> BlockAddr {
+        BlockAddr::new(FileId(f), b)
+    }
+
+    #[test]
+    fn shard_map_is_deterministic_and_spreads() {
+        let cache = ShardedCache::new(CacheConfig::mem_only(64), 8);
+        let mut hit = vec![false; 8];
+        for v in 0..16 {
+            for p in 0..16 {
+                let si = cache.shard_of(VmId(v), PoolId(p));
+                assert!(si < 8);
+                assert_eq!(si, cache.shard_of(VmId(v), PoolId(p)));
+                hit[si] = true;
+            }
+        }
+        assert!(
+            hit.iter().all(|&h| h),
+            "256 keys left a shard empty: {hit:?}"
+        );
+    }
+
+    #[test]
+    fn pressure_ledger_never_oversubscribes_and_evicts_globally() {
+        let mut cache = ShardedCache::new(CacheConfig::mem_only(64), 4);
+        cache.add_vm(VmId(0), 100);
+        cache.add_vm(VmId(1), 300);
+        let a = cache.create_pool(VmId(0), CachePolicy::mem(100));
+        let b = cache.create_pool(VmId(1), CachePolicy::mem(100));
+        for i in 0..200 {
+            cache.put(SimTime::ZERO, VmId(0), a, addr(1, i), PageVersion(i));
+            cache.put(SimTime::ZERO, VmId(1), b, addr(2, i), PageVersion(i));
+        }
+        assert!(cache.mem_used_pages() <= 64);
+        assert!(cache.evictions() > 0, "a full store must have evicted");
+        let findings = audit(&cache);
+        assert!(findings.is_empty(), "{findings:?}");
+        // Weighted eviction kept the heavier VM ahead: with a 1:3 weight
+        // split the light VM must not out-occupy the heavy one.
+        let sa = cache.pool_stats(VmId(0), a).unwrap();
+        let sb = cache.pool_stats(VmId(1), b).unwrap();
+        assert!(
+            sb.mem_pages >= sa.mem_pages,
+            "weights ignored: light VM holds {} pages, heavy {}",
+            sa.mem_pages,
+            sb.mem_pages
+        );
+    }
+
+    #[test]
+    fn migrate_moves_objects_between_shards() {
+        let mut cache = ShardedCache::new(CacheConfig::mem_only(64), 8);
+        cache.add_vm(VmId(0), 100);
+        let from = cache.create_pool(VmId(0), CachePolicy::mem(50));
+        let to = cache.create_pool(VmId(0), CachePolicy::mem(50));
+        // With 8 shards and sequential pool ids the two pools usually
+        // land on different shards; the test is valid either way.
+        for i in 0..10 {
+            cache.put(SimTime::ZERO, VmId(0), from, addr(1, i), PageVersion(i));
+        }
+        for i in 0..10 {
+            cache.migrate_object(VmId(0), from, to, addr(1, i));
+        }
+        let sf = cache.pool_stats(VmId(0), from).unwrap();
+        let st = cache.pool_stats(VmId(0), to).unwrap();
+        assert_eq!(sf.mem_pages, 0);
+        assert_eq!(st.mem_pages, 10);
+        assert_eq!(cache.mem_used_pages(), 10);
+        let findings = audit(&cache);
+        assert!(findings.is_empty(), "{findings:?}");
+        // The moved objects are servable from the target pool.
+        for i in 0..10 {
+            assert!(matches!(
+                cache.get(SimTime::ZERO, VmId(0), to, addr(1, i)),
+                GetOutcome::Hit { version, .. } if version == PageVersion(i)
+            ));
+        }
+    }
+
+    #[test]
+    fn destroy_pool_returns_pages_to_the_ledger() {
+        let mut cache = ShardedCache::new(CacheConfig::mem_and_ssd(32, 32), 4);
+        cache.add_vm(VmId(0), 100);
+        let p = cache.create_pool(VmId(0), CachePolicy::hybrid(100));
+        for i in 0..40 {
+            cache.put(SimTime::ZERO, VmId(0), p, addr(1, i), PageVersion(i));
+        }
+        assert!(cache.mem_used_pages() + cache.ssd_used_pages() > 0);
+        cache.destroy_pool(VmId(0), p);
+        assert_eq!(cache.mem_used_pages(), 0);
+        assert_eq!(cache.ssd_used_pages(), 0);
+        let findings = audit(&cache);
+        assert!(findings.is_empty(), "{findings:?}");
+        // Later puts against the destroyed pool are rejected cleanly.
+        assert_eq!(
+            cache.put(SimTime::ZERO, VmId(0), p, addr(1, 0), PageVersion(0)),
+            PutOutcome::Rejected
+        );
+    }
+
+    #[test]
+    fn strict_mode_confines_a_pool_to_its_partition() {
+        let mut cache = ShardedCache::new(
+            CacheConfig::mem_only(64).with_mode(PartitionMode::Strict),
+            4,
+        );
+        cache.add_vm(VmId(0), 100);
+        cache.add_vm(VmId(1), 100);
+        let a = cache.create_pool(VmId(0), CachePolicy::mem(100));
+        let _b = cache.create_pool(VmId(1), CachePolicy::mem(100));
+        for i in 0..200 {
+            cache.put(SimTime::ZERO, VmId(0), a, addr(1, i), PageVersion(i));
+        }
+        let sa = cache.pool_stats(VmId(0), a).unwrap();
+        assert!(
+            sa.mem_pages <= sa.entitlement_pages,
+            "strict pool overflowed: {} used, {} entitled",
+            sa.mem_pages,
+            sa.entitlement_pages
+        );
+        let findings = audit(&cache);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

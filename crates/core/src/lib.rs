@@ -83,6 +83,7 @@ pub mod prelude {
 
 // Re-export the component crates for users who want the full paths.
 pub use ddc_cleancache as cleancache;
+pub use ddc_concurrent as concurrent;
 pub use ddc_guest as guest;
 pub use ddc_hypercache as hypercache;
 pub use ddc_hypervisor as hypervisor;

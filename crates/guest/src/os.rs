@@ -724,14 +724,18 @@ impl GuestOs {
     pub fn drop_caches(&mut self, env: &mut GuestEnv<'_>, now: SimTime, cg: CgroupId) {
         let pool = self.cgroup(cg).pool();
         let clean: Vec<BlockAddr> = self.cgroup(cg).page_cache.iter_addrs_clean().collect();
+        // The whole sweep is one batched put hypercall: `drop_caches`
+        // evicts an entire cgroup's clean set in one administrative
+        // action, the canonical case for coalescing the VMCALLs.
+        let mut pages = Vec::with_capacity(clean.len());
         for addr in clean {
             let Some(state) = self.cgroup_mut(cg).page_cache.remove(addr) else {
                 continue;
             };
-            if let Some(pool) = pool {
-                let out = self
-                    .channel
-                    .put(env.backend, now, pool, addr, state.version);
+            pages.push((addr, state.version));
+        }
+        if let Some(pool) = pool {
+            for out in self.channel.put_many(env.backend, now, pool, &pages) {
                 if out.is_stored() {
                     self.counters.cleancache_puts += 1;
                 }

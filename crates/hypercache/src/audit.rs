@@ -39,7 +39,7 @@ use std::collections::BTreeMap;
 use ddc_cleancache::{PoolId, VmId};
 use ddc_storage::BlockAddr;
 
-use crate::index::Placement;
+use crate::index::{Placement, Pool};
 use crate::DoubleDeckerCache;
 
 /// One violated invariant, as structured data (never a panic).
@@ -71,46 +71,22 @@ pub fn audit(cache: &DoubleDeckerCache) -> Vec<AuditFinding> {
     pool_coherence(cache, &mut findings);
     global_fifo_tombstones(cache, &mut findings);
     entitlement_sums(cache, &mut findings);
-    exclusive_property(cache, &mut findings);
     quarantine_emptiness(cache, &mut findings);
     findings
 }
 
-/// Invariant 1: store used-page counters match the pool indexes and
-/// respect capacity.
-fn store_accounting(cache: &DoubleDeckerCache, findings: &mut Vec<AuditFinding>) {
-    for placement in placements() {
-        let (store, name) = match placement {
-            Placement::Mem => (&cache.mem, "mem"),
-            Placement::Ssd => (&cache.ssd, "ssd"),
-        };
-        let pooled: u64 = cache.pools.values().map(|p| p.used(placement)).sum();
-        if store.used_pages() != pooled {
-            findings.push(AuditFinding {
-                invariant: "store-accounting",
-                detail: format!(
-                    "{name} store counts {} used pages but pools hold {pooled}",
-                    store.used_pages()
-                ),
-            });
-        }
-        if store.used_pages() > store.capacity_objects() {
-            findings.push(AuditFinding {
-                invariant: "store-accounting",
-                detail: format!(
-                    "{name} store uses {} pages over its capacity of {} objects",
-                    store.used_pages(),
-                    store.capacity_objects()
-                ),
-            });
-        }
-    }
-}
-
-/// Invariants 2, 3 and 8: per-pool counters, FIFO coverage and the
-/// sequence allocator.
-fn pool_coherence(cache: &DoubleDeckerCache, findings: &mut Vec<AuditFinding>) {
-    for (&(vm, pid), pool) in &cache.pools {
+/// Audits the pool-local invariant families — index coherence (2), FIFO
+/// coverage and order (3), the exclusive-cache property (6), and
+/// sequence monotonicity (8) — over an arbitrary collection of pools.
+///
+/// Factored out of [`audit`] so other cache assemblies built on
+/// [`crate::index::Pool`] (the sharded serving plane in
+/// `ddc-concurrent`) can enforce the same invariants: callers flatten
+/// whatever pool topology they hold into one slice and pass the global
+/// sequence-allocator watermark.
+pub fn audit_pool_slice(pools: &[(VmId, PoolId, &Pool)], next_seq: u64) -> Vec<AuditFinding> {
+    let mut findings = Vec::new();
+    for &(vm, pid, pool) in pools {
         for placement in placements() {
             let live: Vec<(BlockAddr, u64)> = pool
                 .iter()
@@ -166,18 +142,61 @@ fn pool_coherence(cache: &DoubleDeckerCache, findings: &mut Vec<AuditFinding>) {
             }
         }
         for (addr, slot) in pool.iter() {
-            if slot.seq >= cache.next_seq {
+            if slot.seq >= next_seq {
                 findings.push(AuditFinding {
                     invariant: "seq-monotone",
                     detail: format!(
                         "{vm} {pid}: slot {addr:?} carries seq {} at or above the \
-                         allocator's next_seq {}",
-                        slot.seq, cache.next_seq
+                         allocator's next_seq {next_seq}",
+                        slot.seq
                     ),
                 });
             }
         }
     }
+    exclusive_property(pools, &mut findings);
+    findings
+}
+
+/// Invariant 1: store used-page counters match the pool indexes and
+/// respect capacity.
+fn store_accounting(cache: &DoubleDeckerCache, findings: &mut Vec<AuditFinding>) {
+    for placement in placements() {
+        let (store, name) = match placement {
+            Placement::Mem => (&cache.mem, "mem"),
+            Placement::Ssd => (&cache.ssd, "ssd"),
+        };
+        let pooled: u64 = cache.pools.values().map(|p| p.used(placement)).sum();
+        if store.used_pages() != pooled {
+            findings.push(AuditFinding {
+                invariant: "store-accounting",
+                detail: format!(
+                    "{name} store counts {} used pages but pools hold {pooled}",
+                    store.used_pages()
+                ),
+            });
+        }
+        if store.used_pages() > store.capacity_objects() {
+            findings.push(AuditFinding {
+                invariant: "store-accounting",
+                detail: format!(
+                    "{name} store uses {} pages over its capacity of {} objects",
+                    store.used_pages(),
+                    store.capacity_objects()
+                ),
+            });
+        }
+    }
+}
+
+/// Invariants 2, 3, 6 and 8 via [`audit_pool_slice`] over every pool.
+fn pool_coherence(cache: &DoubleDeckerCache, findings: &mut Vec<AuditFinding>) {
+    let pools: Vec<(VmId, PoolId, &Pool)> = cache
+        .pools
+        .iter()
+        .map(|(&(vm, pid), pool)| (vm, pid, pool))
+        .collect();
+    findings.extend(audit_pool_slice(&pools, cache.next_seq));
 }
 
 /// Invariant 4: the global queues' tombstone counters match the actual
@@ -249,10 +268,10 @@ fn entitlement_sums(cache: &DoubleDeckerCache, findings: &mut Vec<AuditFinding>)
 }
 
 /// Invariant 6: no block is cached twice within one VM.
-fn exclusive_property(cache: &DoubleDeckerCache, findings: &mut Vec<AuditFinding>) {
+fn exclusive_property(pools: &[(VmId, PoolId, &Pool)], findings: &mut Vec<AuditFinding>) {
     let mut owners: BTreeMap<(VmId, BlockAddr), PoolId> = BTreeMap::new();
     let mut entries: Vec<(VmId, PoolId, BlockAddr)> = Vec::new();
-    for (&(vm, pid), pool) in &cache.pools {
+    for &(vm, pid, pool) in pools {
         for (addr, _) in pool.iter() {
             entries.push((vm, pid, addr));
         }

@@ -192,6 +192,9 @@ pub struct DoubleDeckerCache {
     quarantine_invalidated: u64,
     failed_gets: u64,
     failed_puts: u64,
+    /// How many times live compaction rewrote the journal as a
+    /// checkpoint (see [`DoubleDeckerCache::maybe_compact_journal`]).
+    journal_compactions: u64,
     /// Write-ahead journal of every state transition; `None` until
     /// [`DoubleDeckerCache::enable_journal`]. Flush records are synced
     /// before the hypercall returns (see `ddc_storage::Journal`).
@@ -223,6 +226,7 @@ impl DoubleDeckerCache {
             quarantine_invalidated: 0,
             failed_gets: 0,
             failed_puts: 0,
+            journal_compactions: 0,
             journal: None,
         }
     }
@@ -303,6 +307,52 @@ impl DoubleDeckerCache {
             }
             None => 0,
         }
+    }
+
+    /// Records appended to the journal since it was (re)started, if
+    /// journaling is on. Drops back after a live compaction.
+    pub fn journal_records(&self) -> Option<u64> {
+        self.journal.as_ref().map(|j| j.records())
+    }
+
+    /// How many times live compaction rewrote the journal.
+    pub fn journal_compactions(&self) -> u64 {
+        self.journal_compactions
+    }
+
+    /// Journal records per live entry before live compaction kicks in.
+    const JOURNAL_COMPACT_FACTOR: u64 = 8;
+
+    /// Journals shorter than this are never compacted — replaying them
+    /// is already cheap, and the floor keeps tiny caches from
+    /// re-checkpointing on every handful of ops.
+    const JOURNAL_COMPACT_MIN_RECORDS: u64 = 1024;
+
+    /// Live journal compaction: when the journal has accumulated far
+    /// more records than there are live entries (`records > max(1024,
+    /// 8 × live)`), rewrite it as a checkpoint of the current state so
+    /// replay time after a crash stays proportional to cache size, not
+    /// history length.
+    ///
+    /// Safety: the checkpoint continues generations from the old
+    /// journal's `next_gen`, so its `Epoch` records carry generations
+    /// strictly above every flush epoch acknowledged so far. Recovery's
+    /// `replayed >= guest_epoch` check therefore still holds for every
+    /// guest without redistributing epochs — distributing the fresh
+    /// epochs is an optimization, never a correctness requirement.
+    fn maybe_compact_journal(&mut self) {
+        let Some(j) = self.journal.as_ref() else {
+            return;
+        };
+        let live = self.mem.used_pages() + self.ssd.used_pages();
+        let threshold =
+            (live * Self::JOURNAL_COMPACT_FACTOR).max(Self::JOURNAL_COMPACT_MIN_RECORDS);
+        if j.records() <= threshold {
+            return;
+        }
+        let start_gen = j.next_gen();
+        self.write_checkpoint(start_gen);
+        self.journal_compactions += 1;
     }
 
     /// `StoreKind` wire discriminant for journal records.
@@ -1714,6 +1764,7 @@ impl SecondChanceCache for DoubleDeckerCache {
         if let Some(p) = self.pools.get_mut(&(vm, pool)) {
             p.counters.hits += 1;
         }
+        self.maybe_compact_journal();
         GetOutcome::Hit {
             finish,
             version: slot.version,
@@ -1812,6 +1863,7 @@ impl SecondChanceCache for DoubleDeckerCache {
             version: version.0,
             placement: Self::placement_code(placement),
         });
+        self.maybe_compact_journal();
         PutOutcome::Stored { finish }
     }
 
@@ -1824,11 +1876,13 @@ impl SecondChanceCache for DoubleDeckerCache {
         // Logged (and synced) even when the block was absent: the returned
         // epoch must cover this flush regardless, since a crash may lose
         // the unsynced put that would have made the block present.
-        self.log_synced(JournalRecord::Flush {
+        let epoch = self.log_synced(JournalRecord::Flush {
             vm: vm.0,
             pool: pool.0,
             addr,
-        })
+        });
+        self.maybe_compact_journal();
+        epoch
     }
 
     fn flush_file(&mut self, vm: VmId, pool: PoolId, file: FileId) -> u64 {
@@ -1845,11 +1899,13 @@ impl SecondChanceCache for DoubleDeckerCache {
                 self.note_removal(vm, pool, Placement::Ssd);
             }
         }
-        self.log_synced(JournalRecord::FlushFile {
+        let epoch = self.log_synced(JournalRecord::FlushFile {
             vm: vm.0,
             pool: pool.0,
             file,
-        })
+        });
+        self.maybe_compact_journal();
+        epoch
     }
 }
 
@@ -2768,6 +2824,59 @@ mod tests {
             "garbage tail loses nothing real"
         );
         assert!(crate::audit(&rec_noisy).is_empty());
+    }
+
+    #[test]
+    fn live_compaction_bounds_replay_after_long_runs() {
+        let config = CacheConfig {
+            mem_capacity_pages: 64,
+            ssd_capacity_pages: 0,
+            mode: PartitionMode::DoubleDecker,
+        };
+        let mut cache = DoubleDeckerCache::new(config);
+        cache.enable_journal();
+        let pool = cache.create_pool(VM, CachePolicy::mem(100));
+        // A long steady workload over a tiny working set: history grows
+        // without bound while live entries stay under the capacity, so
+        // an uncompacted journal would accumulate ~30k records.
+        let mut last_epoch = 0;
+        for i in 0..20_000u64 {
+            let a = addr(1, i % 32);
+            cache.put(SimTime::ZERO, VM, pool, a, PageVersion(i));
+            if i % 3 == 0 {
+                cache.get(SimTime::ZERO, VM, pool, a);
+            }
+            if i % 7 == 0 {
+                let e = cache.flush(VM, pool, a);
+                assert!(e >= last_epoch, "flush epochs stay monotone");
+                last_epoch = e;
+            }
+        }
+        assert!(
+            cache.journal_compactions() > 0,
+            "a long run must trigger live compaction"
+        );
+        // Replay cost is bounded by the compaction threshold (plus one
+        // op's worth of eviction records), not by history length.
+        let records = cache.journal_records().unwrap();
+        assert!(
+            records <= 1200,
+            "journal stays short after 30k+ appends, got {records}"
+        );
+        // A crash right now recovers from the short journal, loses
+        // nothing, and honours the guest's pre-compaction flush epoch.
+        let image = cache.journal_bytes().unwrap().to_vec();
+        let (recovered, report) =
+            DoubleDeckerCache::recover(cache.current_config(), &image, &[(VM, last_epoch)]);
+        assert!(!report.torn_tail && !report.corrupt);
+        assert!(report.records_replayed <= 1200);
+        assert_eq!(report.discarded_stale, 0, "compaction never loses flushes");
+        assert_eq!(
+            recovered.entries(),
+            cache.entries(),
+            "state survives intact"
+        );
+        assert!(crate::audit(&recovered).is_empty());
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod index;
 pub mod policy;
 pub mod store;
 
-pub use audit::{audit, AuditFinding};
+pub use audit::{audit, audit_pool_slice, AuditFinding};
 pub use config::{CacheConfig, PartitionMode, EVICTION_BATCH_PAGES};
 pub use ddcache::{CacheTotals, DoubleDeckerCache, FallbackMode, RecoveryReport, VmUsage};
 pub use policy::{select_victim, select_victim_strict, EntityUsage};

@@ -149,6 +149,20 @@ impl Host {
         true
     }
 
+    /// Reboots a VM in place: an abrupt crash followed by a boot under
+    /// the same domain id. All cache objects and guest state are
+    /// dropped, so the rebooted guest starts cold and can never observe
+    /// stale pre-reboot cache pages. Returns `false` (no side effects)
+    /// if the VM does not exist.
+    pub fn reboot_vm(&mut self, vm: VmId, mem_mb: u64, cache_weight: u64) -> bool {
+        if !self.crash_vm(vm) {
+            return false;
+        }
+        let booted = self.boot_vm_with_id(vm, mem_mb, cache_weight);
+        debug_assert!(booted, "id was just freed by crash_vm");
+        booted
+    }
+
     /// Updates a VM's hypervisor cache weight (dynamic provisioning).
     pub fn set_vm_cache_weight(&mut self, vm: VmId, weight: u64) {
         self.cache.set_vm_weight(vm, weight);

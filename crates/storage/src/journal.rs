@@ -394,6 +394,7 @@ pub struct Journal {
     buf: Vec<u8>,
     durable: usize,
     next_gen: u64,
+    records: u64,
 }
 
 impl Journal {
@@ -410,6 +411,7 @@ impl Journal {
             buf: Vec::new(),
             durable: 0,
             next_gen: start_gen.max(1),
+            records: 0,
         }
     }
 
@@ -427,6 +429,7 @@ impl Journal {
         self.buf[start..start + 2].copy_from_slice(&len.to_le_bytes());
         let crc = crc32(&self.buf[start..]);
         put_u32(&mut self.buf, crc);
+        self.records += 1;
         gen
     }
 
@@ -460,6 +463,13 @@ impl Journal {
     /// The generation the next appended record will receive.
     pub fn next_gen(&self) -> u64 {
         self.next_gen
+    }
+
+    /// Number of records appended to this journal. Live compaction in
+    /// the hypercache layer compares this against the live entry count
+    /// to decide when the journal is worth checkpointing.
+    pub fn records(&self) -> u64 {
+        self.records
     }
 
     /// Byte offsets of record boundaries in `bytes` (the end offset of

@@ -1,0 +1,79 @@
+//! Property tests for the concurrent serving plane's determinism
+//! contract (DESIGN.md §12).
+//!
+//! 1. **Serial equivalence** — the sharded engine driven on a single
+//!    thread must be observably *byte-identical* to the serial
+//!    reference engine: same per-VM channel counters, same per-pool
+//!    stats, same resident-entry digest, for every partition mode,
+//!    shard count and seed. Sharding is a locking strategy, not a
+//!    semantic change.
+//! 2. **Interleaving stability** — under real OS-thread interleavings
+//!    the cross-shard eviction path must keep the global-pressure
+//!    ledger and every per-pool invariant intact: repeated runs of the
+//!    same seed at several thread counts always finish with zero
+//!    auditor findings and zero stale-read-oracle violations, and
+//!    always issue the same total operation count.
+
+use ddc_core::concurrent::{run_equivalence, run_stress, EngineKind, StressConfig};
+use ddc_core::prelude::*;
+
+fn config(seed: u64, mode: PartitionMode) -> StressConfig {
+    let mut cfg = StressConfig::smoke(seed);
+    cfg.cache = cfg.cache.with_mode(mode);
+    cfg
+}
+
+#[test]
+fn sharded_engine_is_byte_identical_to_serial_across_modes_and_seeds() {
+    let modes = [
+        PartitionMode::DoubleDecker,
+        PartitionMode::Global,
+        PartitionMode::Strict,
+    ];
+    for seed in [1, 42, 0xDD04] {
+        for mode in modes {
+            let mut cfg = config(seed, mode);
+            let serial = run_equivalence(&cfg, EngineKind::Serial);
+            assert_eq!(serial.stale_reads, 0, "serial oracle: {mode:?} seed {seed}");
+            for shards in [1, 4, 16] {
+                cfg.shards = shards;
+                let sharded = run_equivalence(&cfg, EngineKind::Sharded { shards });
+                assert_eq!(sharded.stale_reads, 0, "{mode:?}/{shards} seed {seed}");
+                assert_eq!(
+                    serial.json, sharded.json,
+                    "report diverged: {mode:?}, {shards} shards, seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_shard_eviction_survives_repeated_interleavings() {
+    // Tight capacity relative to the working set keeps the eviction
+    // path hot, so every interleaving exercises lock-all cross-shard
+    // eviction while other threads race the fast path.
+    for seed in [3, 0xACE5] {
+        let mut expected_ops = None;
+        for threads in [2, 4, 8] {
+            for round in 0..3 {
+                let cfg = StressConfig::smoke(seed);
+                let out = run_stress(&cfg, threads);
+                assert_eq!(
+                    out.stale_reads, 0,
+                    "stale reads: seed {seed}, {threads} threads, round {round}"
+                );
+                assert!(
+                    out.findings.is_empty(),
+                    "auditor findings: seed {seed}, {threads} threads, round {round}: {:?}",
+                    out.findings
+                );
+                let ops = expected_ops.get_or_insert(out.total_ops);
+                assert_eq!(
+                    *ops, out.total_ops,
+                    "op count drifted across interleavings (seed {seed})"
+                );
+            }
+        }
+    }
+}
