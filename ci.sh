@@ -28,6 +28,8 @@ cargo run --release -q -p ddc-bench --bin repro -- chaos --smoke
 
 echo "==> stress smoke (serial-vs-sharded equivalence + threaded stress)"
 cargo run --release -q -p ddc-bench --bin repro -- stress --smoke
+echo "==> stress smoke again with 8 experiment workers (cross-cell contention)"
+DDC_THREADS=8 cargo run --release -q -p ddc-bench --bin repro -- stress --smoke
 cargo test -q -p ddc-core --test prop_concurrent_equivalence
 
 echo "CI green."

@@ -313,6 +313,54 @@ fn channel_mix(ops: u64, batched: bool) -> u64 {
     done
 }
 
+/// Slab alloc/free heavy mix: puts populate the arena, flushes return
+/// slots to the free-list, and the interleave keeps both the free-list
+/// pop (reuse) and push (grow) paths hot along with overwrite-in-place.
+/// This is the cell the arena refactor exists for — it never evicts, so
+/// the time is pure index work.
+fn arena_slot_churn(ops: u64) -> u64 {
+    let mut c = cache(PartitionMode::DoubleDecker, 8192, 0);
+    c.add_vm(VmId(1), 100);
+    let p1 = c.create_pool(VmId(1), CachePolicy::mem(100));
+    let p2 = c.create_pool(VmId(1), CachePolicy::mem(100));
+    let mut done = 0;
+    let mut i = 0u64;
+    while done < ops {
+        let pool = if i.is_multiple_of(2) { p1 } else { p2 };
+        let a = addr(i % 16, i % 2048);
+        c.put(SimTime::from_secs(1), VmId(1), pool, a, PageVersion(1));
+        done += 1;
+        // Flush a trailing window: slots free in a different order than
+        // they were allocated, so the free-list actually cycles instead
+        // of behaving like a bump allocator.
+        if i.is_multiple_of(2) && done < ops {
+            let back = i.saturating_sub(96);
+            let bpool = if back.is_multiple_of(2) { p1 } else { p2 };
+            c.flush(VmId(1), bpool, addr(back % 16, back % 2048));
+            done += 1;
+        }
+        i += 1;
+    }
+    done
+}
+
+/// Threaded put storm against an undersized store: nearly every put
+/// runs the two-phase eviction path, so the cell measures victim
+/// selection + single-shard locking under contention (the lock-all
+/// scheme this replaced serialized every thread here).
+fn evict_contention_threads(threads: usize, ticks: u64) -> u64 {
+    let mut cfg = StressConfig::eviction_storm(0xEC0);
+    cfg.ticks = ticks;
+    let out = run_stress(&cfg, threads);
+    assert!(
+        out.clean(),
+        "eviction-contention cell violated its gates: {} stale reads, findings {:?}",
+        out.stale_reads,
+        out.findings
+    );
+    out.total_ops
+}
+
 /// Multi-threaded stress cell: the `ddc-concurrent` driver against the
 /// sharded cache at a given thread count. Total work is independent of
 /// the thread count, so the 1/2/4/8 cells measure scaling directly
@@ -396,6 +444,18 @@ pub fn run_matrix(smoke: bool) -> Vec<PerfCell> {
         (
             "channel_unbatched_mix",
             Box::new(move || channel_mix(200_000 / scale, false)),
+        ),
+        (
+            "arena_slot_churn",
+            Box::new(move || arena_slot_churn(400_000 / scale)),
+        ),
+        (
+            "evict_contention_threads_2",
+            Box::new(move || evict_contention_threads(2, 500 / scale)),
+        ),
+        (
+            "evict_contention_threads_8",
+            Box::new(move || evict_contention_threads(8, 500 / scale)),
         ),
         (
             "stress_threads_1",
@@ -523,6 +583,7 @@ mod tests {
             hybrid_spill_trickle(2_000),
             stats_entitlement_scan(2_000),
             reconfig_invalidation(2_000),
+            arena_slot_churn(2_000),
         ] {
             assert!(cell >= 2_000);
         }
@@ -530,6 +591,7 @@ mod tests {
         assert!(channel_mix(2_000, true) >= 2_000);
         assert!(channel_mix(2_000, false) >= 2_000);
         assert!(stress_threads(2, 20) > 0);
+        assert!(evict_contention_threads(2, 20) > 0);
     }
 
     #[test]

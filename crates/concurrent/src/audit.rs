@@ -27,6 +27,14 @@
 //!    capacity and pool entitlements to at most the VM share
 //!    (normalized shares, paper §4.2), computed from a fresh share
 //!    table over the locked usage.
+//! 6. **Mirror accuracy** — each pool's atomic usage mirror (the
+//!    lock-free snapshot source for two-phase eviction) equals the
+//!    pool's exact usage under lock-all quiescence. A drift here means
+//!    phase-1 victim selection is working from corrupt data.
+//!
+//! Arena-shape invariants (free-list disjoint from the live set, every
+//! live slot covered by exactly one FIFO entry or tombstone) ride along
+//! via [`ddc_hypercache::audit_pool_slice`] in step 3.
 
 use ddc_cleancache::{PoolId, VmId};
 use ddc_hypercache::index::{Placement, Pool};
@@ -103,7 +111,7 @@ pub fn audit(cache: &ShardedCache) -> Vec<AuditFinding> {
         shard_keys.sort_unstable();
         let mut registry_keys: Vec<(VmId, PoolId)> = Vec::new();
         for (&vm, meta) in &reg.vms {
-            for &(pid, _) in &meta.pools {
+            for &(pid, _, _) in &meta.pools {
                 registry_keys.push((vm, pid));
             }
         }
@@ -123,7 +131,7 @@ pub fn audit(cache: &ShardedCache) -> Vec<AuditFinding> {
         // 3. Pool coherence, in registry order like the serial engine.
         let mut flat: Vec<(VmId, PoolId, &Pool)> = Vec::new();
         for (&vm, meta) in &reg.vms {
-            for &(pid, _) in &meta.pools {
+            for &(pid, _, _) in &meta.pools {
                 if let Some(pool) = shards[cache.shard_of(vm, pid)].pools.get(&(vm, pid)) {
                     flat.push((vm, pid, pool));
                 }
@@ -138,12 +146,12 @@ pub fn audit(cache: &ShardedCache) -> Vec<AuditFinding> {
                 let dead = shard
                     .fifo_ref(placement)
                     .iter()
-                    .filter(|(vm, pool, addr, seq)| {
-                        !shard
+                    .filter(|&&(vm, pool, sid, seq)| {
+                        shard
                             .pools
-                            .get(&(*vm, *pool))
-                            .and_then(|p| p.peek(*addr))
-                            .is_some_and(|s| s.seq == *seq && s.placement == placement)
+                            .get(&(vm, pool))
+                            .and_then(|p| p.fifo_probe(sid, seq, placement))
+                            .is_none()
                     })
                     .count() as u64;
                 let stale = shard.stale(placement);
@@ -190,6 +198,30 @@ pub fn audit(cache: &ShardedCache) -> Vec<AuditFinding> {
                             store_name(placement)
                         ),
                     });
+                }
+            }
+        }
+
+        // 6. Mirror accuracy: the two-phase snapshot source must match
+        // the exact usage while everything is locked.
+        for (&vm, meta) in &reg.vms {
+            for (pid, _, mirror) in &meta.pools {
+                let Some(pool) = shards[cache.shard_of(vm, *pid)].pools.get(&(vm, *pid)) else {
+                    continue;
+                };
+                for placement in placements() {
+                    let mirrored = mirror.pages(placement);
+                    let exact = pool.used(placement);
+                    if mirrored != exact {
+                        findings.push(AuditFinding {
+                            invariant: "mirror-accuracy",
+                            detail: format!(
+                                "{vm} {pid} {} mirror reads {mirrored} pages but the \
+                                 pool holds {exact}",
+                                store_name(placement)
+                            ),
+                        });
+                    }
                 }
             }
         }

@@ -100,6 +100,25 @@ impl StressConfig {
         }
     }
 
+    /// A put-heavy storm against a deliberately undersized store: most
+    /// puts force an eviction, so the run spends its time in the
+    /// two-phase eviction path under thread contention. Used by the
+    /// `evict_contention_threads_*` perf cells.
+    pub fn eviction_storm(seed: u64) -> StressConfig {
+        StressConfig {
+            vms: 8,
+            pools_per_vm: 2,
+            ticks: 500,
+            working_set: 512,
+            writes_per_tick: 2,
+            puts_per_tick: 16,
+            gets_per_tick: 4,
+            cache: CacheConfig::mem_and_ssd(256, 512),
+            shards: 16,
+            seed,
+        }
+    }
+
     /// The full stress configuration used by `repro stress`.
     pub fn standard(seed: u64) -> StressConfig {
         StressConfig {
@@ -427,6 +446,12 @@ pub struct StressOutcome {
     /// Findings from the cross-shard auditor after the join (gate:
     /// empty).
     pub findings: Vec<AuditFinding>,
+    /// Two-phase evictions whose phase-1 snapshot went stale and were
+    /// re-tried (diagnostic, not part of the determinism report).
+    pub two_phase_retries: u64,
+    /// Two-phase evictions that exhausted their retry budget and fell
+    /// back to the lock-all path (diagnostic).
+    pub two_phase_fallbacks: u64,
 }
 
 impl StressOutcome {
@@ -500,6 +525,8 @@ pub fn run_stress(cfg: &StressConfig, threads: usize) -> StressOutcome {
         elapsed,
         stale_reads,
         findings: audit::audit(&cache),
+        two_phase_retries: cache.two_phase_retries(),
+        two_phase_fallbacks: cache.two_phase_fallbacks(),
     }
 }
 

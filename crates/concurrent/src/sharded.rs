@@ -17,12 +17,17 @@
 //!   store itself is full", paper §4.3) keeps working across shards.
 //!   Page allocation is a CAS (`used < capacity → used + 1`), so the
 //!   store can never oversubscribe no matter how threads interleave.
-//! * **Cross-shard eviction** — when the ledger is full, the evicting
-//!   thread locks *all* shards (ascending index, see lock order below),
-//!   rebuilds the two-level share table from the registry and the locked
-//!   usage, and runs the paper's Algorithm 1 unchanged
-//!   ([`ddc_hypercache::select_victim`]) — so the victim is still the
-//!   entity with the largest exceed value *globally*, not per shard.
+//! * **Cross-shard eviction** — in DoubleDecker mode a full ledger
+//!   triggers *two-phase* eviction: phase 1 snapshots every entity's
+//!   usage from lock-free per-pool [`UsageMirror`]s (registry read lock
+//!   only, no shard lock) and picks the paper's Algorithm-1 victim
+//!   ([`ddc_hypercache::select_victim`]); phase 2 locks only the
+//!   victim's home shard, re-validates the pick against a fresh
+//!   snapshot, and retries (bounded) if the snapshot went stale —
+//!   shrinking the stop-the-world window from all shards to one. Global
+//!   mode still locks all shards (its FIFO merge is inherently
+//!   cross-shard), as does the bounded fallback when retries run out,
+//!   so progress is always guaranteed.
 //! * **Lock order** — `registry` before any shard; shards in ascending
 //!   index; never acquire a lower-index (or the registry) lock while
 //!   holding a higher one. Single-shard fast paths (get, flush,
@@ -57,7 +62,7 @@ use ddc_cleancache::{
     CachePolicy, GetOutcome, PageVersion, PoolId, PoolStats, PutOutcome, SecondChanceCache,
     StoreKind, VmId,
 };
-use ddc_hypercache::index::{Placement, Pool};
+use ddc_hypercache::index::{Placement, Pool, SlotId, UsageMirror};
 use ddc_hypercache::policy::{entitlements, select_victim, select_victim_strict};
 use ddc_hypercache::{CacheConfig, EntityUsage, PartitionMode, EVICTION_BATCH_PAGES};
 use ddc_sim::{FxHashMap, SimTime};
@@ -129,24 +134,21 @@ impl Ledger {
 #[derive(Debug, Default)]
 pub(crate) struct Shard {
     pub(crate) pools: FxHashMap<(VmId, PoolId), Pool>,
-    fifo_mem: VecDeque<(VmId, PoolId, BlockAddr, u64)>,
-    fifo_ssd: VecDeque<(VmId, PoolId, BlockAddr, u64)>,
+    fifo_mem: VecDeque<(VmId, PoolId, SlotId, u64)>,
+    fifo_ssd: VecDeque<(VmId, PoolId, SlotId, u64)>,
     pub(crate) stale_mem: u64,
     pub(crate) stale_ssd: u64,
 }
 
 impl Shard {
-    fn fifo(&mut self, placement: Placement) -> &mut VecDeque<(VmId, PoolId, BlockAddr, u64)> {
+    fn fifo(&mut self, placement: Placement) -> &mut VecDeque<(VmId, PoolId, SlotId, u64)> {
         match placement {
             Placement::Mem => &mut self.fifo_mem,
             Placement::Ssd => &mut self.fifo_ssd,
         }
     }
 
-    pub(crate) fn fifo_ref(
-        &self,
-        placement: Placement,
-    ) -> &VecDeque<(VmId, PoolId, BlockAddr, u64)> {
+    pub(crate) fn fifo_ref(&self, placement: Placement) -> &VecDeque<(VmId, PoolId, SlotId, u64)> {
         match placement {
             Placement::Mem => &self.fifo_mem,
             Placement::Ssd => &self.fifo_ssd,
@@ -200,9 +202,12 @@ impl Default for Registry {
 pub(crate) struct VmMeta {
     pub(crate) mem_weight: u64,
     pub(crate) ssd_weight: u64,
-    /// `(pool, policy)` sorted by pool id (ids are minted monotonically,
-    /// so pushes keep it sorted).
-    pub(crate) pools: Vec<(PoolId, CachePolicy)>,
+    /// `(pool, policy, usage mirror)` sorted by pool id (ids are minted
+    /// monotonically, so pushes keep it sorted). The mirror aliases the
+    /// pool's per-store usage counters through atomics, so phase 1 of
+    /// two-phase eviction snapshots every entity's usage from the
+    /// registry alone — no shard lock.
+    pub(crate) pools: Vec<(PoolId, CachePolicy, Arc<UsageMirror>)>,
 }
 
 impl VmMeta {
@@ -227,6 +232,13 @@ impl VmMeta {
             .ok()
             .map(|i| self.pools[i].1)
     }
+
+    fn mirror_of(&self, pool: PoolId) -> Option<&Arc<UsageMirror>> {
+        self.pools
+            .binary_search_by_key(&pool, |r| r.0)
+            .ok()
+            .map(|i| &self.pools[i].2)
+    }
 }
 
 struct Inner {
@@ -238,6 +250,16 @@ struct Inner {
     next_seq: AtomicU64,
     evictions: AtomicU64,
     trickle_downs: AtomicU64,
+    /// Two-phase eviction attempts that found their phase-1 snapshot
+    /// stale under the victim-shard lock and retried.
+    two_phase_retries: AtomicU64,
+    /// Two-phase evictions that fell back to the lock-all batch (retry
+    /// budget spent, or no entity nominally over its entitlement).
+    two_phase_fallbacks: AtomicU64,
+    /// Test hook run between phases 1 and 2 with **no** locks held;
+    /// property tests use it to force snapshot staleness at the worst
+    /// possible moment.
+    eviction_hook: RwLock<Option<Arc<dyn Fn() + Send + Sync>>>,
 }
 
 /// A concurrent sharded DoubleDecker cache (see the [module
@@ -277,6 +299,9 @@ impl ShardedCache {
                 next_seq: AtomicU64::new(1),
                 evictions: AtomicU64::new(0),
                 trickle_downs: AtomicU64::new(0),
+                two_phase_retries: AtomicU64::new(0),
+                two_phase_fallbacks: AtomicU64::new(0),
+                eviction_hook: RwLock::new(None),
             }),
         }
     }
@@ -349,6 +374,36 @@ impl ShardedCache {
         self.inner.trickle_downs.load(Ordering::Relaxed)
     }
 
+    /// Two-phase evictions that re-validated stale and retried.
+    pub fn two_phase_retries(&self) -> u64 {
+        self.inner.two_phase_retries.load(Ordering::Relaxed)
+    }
+
+    /// Two-phase evictions that took the lock-all fallback.
+    pub fn two_phase_fallbacks(&self) -> u64 {
+        self.inner.two_phase_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Installs (or clears) a hook run between eviction phases 1 and 2
+    /// with no locks held. Tests use it to mutate the cache from the
+    /// evicting thread's blind spot and force snapshot staleness;
+    /// production code leaves it unset.
+    pub fn set_eviction_hook(&self, hook: Option<Arc<dyn Fn() + Send + Sync>>) {
+        *self.inner.eviction_hook.write().expect("hook poisoned") = hook;
+    }
+
+    fn run_eviction_hook(&self) {
+        let hook = self
+            .inner
+            .eviction_hook
+            .read()
+            .expect("hook poisoned")
+            .clone();
+        if let Some(hook) = hook {
+            hook();
+        }
+    }
+
     /// Every resident entry as `(vm, pool, addr, version)`, sorted —
     /// byte-compatible with the serial engine's
     /// [`entries`](ddc_hypercache::DoubleDeckerCache::entries), used by
@@ -358,7 +413,7 @@ impl ShardedCache {
         let shards = self.lock_all_shards();
         let mut out = Vec::new();
         for (&vm, meta) in &reg.vms {
-            for &(pid, _) in &meta.pools {
+            for &(pid, _, _) in &meta.pools {
                 let shard = &shards[self.shard_of(vm, pid)];
                 if let Some(pool) = shard.pools.get(&(vm, pid)) {
                     for (addr, slot) in pool.iter() {
@@ -426,14 +481,14 @@ impl ShardedCache {
         shard: &mut Shard,
         vm: VmId,
         pool: PoolId,
-        addr: BlockAddr,
+        sid: SlotId,
         seq: u64,
         placement: Placement,
     ) {
         let store_used = self.ledger(placement).used_pages();
         let stale = shard.stale(placement);
         let queue = shard.fifo(placement);
-        queue.push_back((vm, pool, addr, seq));
+        queue.push_back((vm, pool, sid, seq));
         let len = queue.len() as u64;
         let dominated = stale * 2 > len && len >= 1024;
         let oversized = len > store_used.saturating_mul(8).max(1024);
@@ -449,11 +504,11 @@ impl ShardedCache {
                 Placement::Mem => (fifo_mem, stale_mem),
                 Placement::Ssd => (fifo_ssd, stale_ssd),
             };
-            queue.retain(|(v, p, a, s)| {
+            queue.retain(|&(v, p, id, s)| {
                 pools
-                    .get(&(*v, *p))
-                    .and_then(|pool| pool.peek(*a))
-                    .is_some_and(|slot| slot.seq == *s && slot.placement == placement)
+                    .get(&(v, p))
+                    .and_then(|pool| pool.fifo_probe(id, s, placement))
+                    .is_some()
             });
             *stale = 0;
         }
@@ -474,25 +529,23 @@ impl ShardedCache {
     /// Share rows for one store: `(vm, vm_entitlement, vm_weight)` plus
     /// per-VM `(pool, entitlement, weight)` rows, in `(VmId, PoolId)`
     /// order — the serial `build_share_table` verbatim, reading usage
-    /// from the locked shards.
+    /// through `used_of` (locked shards for the exact paths, the atomic
+    /// mirrors for phase 1 of two-phase eviction).
     #[allow(clippy::type_complexity)]
-    pub(crate) fn build_share_table(
+    fn build_share_table_with(
         &self,
         reg: &Registry,
-        shards: &[MutexGuard<'_, Shard>],
         placement: Placement,
+        used_of: impl Fn(VmId, PoolId, &Arc<UsageMirror>) -> u64,
     ) -> (Vec<(VmId, u64, u64)>, Vec<Vec<(PoolId, u64, u64)>>) {
         let mut vm_ids = Vec::new();
         let mut vm_weights = Vec::new();
         let mut pool_meta: Vec<Vec<(PoolId, u64)>> = Vec::new();
         for (&vm, meta) in &reg.vms {
             let mut pools_here = Vec::new();
-            for &(pid, policy) in &meta.pools {
-                let used = shards[self.shard_of(vm, pid)]
-                    .pools
-                    .get(&(vm, pid))
-                    .map(|p| p.used(placement))
-                    .unwrap_or(0);
+            for (pid, policy, mirror) in &meta.pools {
+                let (pid, policy) = (*pid, *policy);
+                let used = used_of(vm, pid, mirror);
                 let by_policy = Self::pool_by_policy(policy, placement);
                 // Participates: assigned by policy, or legacy objects left.
                 if by_policy || used > 0 {
@@ -525,6 +578,23 @@ impl ShardedCache {
         (vm_rows, pool_rows)
     }
 
+    /// The exact share table, reading usage from the locked shards.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn build_share_table(
+        &self,
+        reg: &Registry,
+        shards: &[MutexGuard<'_, Shard>],
+        placement: Placement,
+    ) -> (Vec<(VmId, u64, u64)>, Vec<Vec<(PoolId, u64, u64)>>) {
+        self.build_share_table_with(reg, placement, |vm, pid, _| {
+            shards[self.shard_of(vm, pid)]
+                .pools
+                .get(&(vm, pid))
+                .map(|p| p.used(placement))
+                .unwrap_or(0)
+        })
+    }
+
     fn pool_entitlement_in(
         &self,
         reg: &Registry,
@@ -541,6 +611,118 @@ impl ShardedCache {
             .binary_search_by_key(&pool, |r| r.0)
             .map(|pi| pool_rows[vi][pi].1)
             .unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Two-phase eviction (DoubleDecker mode; see the module docs).
+    // ------------------------------------------------------------------
+
+    /// Stale-snapshot retries before two-phase eviction gives up and
+    /// takes the lock-all fallback. Bounds the work an adversarial
+    /// interleaving can cause while keeping the common case one-shard.
+    const TWO_PHASE_MAX_RETRIES: u32 = 4;
+
+    /// Phase 1: picks the Algorithm-1 victim `(vm, pool)` from the
+    /// atomic usage mirrors alone — registry read lock, no shard lock.
+    /// Returns `None` when no entity is nominally over its entitlement
+    /// (the rounding-slack case the serial engine answers with
+    /// evict-from-largest, which needs exact usage).
+    fn select_victim_unlocked(
+        &self,
+        reg: &Registry,
+        placement: Placement,
+    ) -> Option<(VmId, PoolId)> {
+        let (vm_rows, pool_rows) =
+            self.build_share_table_with(reg, placement, |_, _, m| m.pages(placement));
+        let mut vm_entities = Vec::with_capacity(vm_rows.len());
+        for &(vm, share, weight) in &vm_rows {
+            let used: u64 = reg.vms[&vm]
+                .pools
+                .iter()
+                .map(|(_, _, m)| m.pages(placement))
+                .sum();
+            vm_entities.push(EntityUsage::new(share, used, weight));
+        }
+        let vm_idx = select_victim(&vm_entities, EVICTION_BATCH_PAGES)?;
+        let victim_vm = vm_rows[vm_idx].0;
+        let meta = &reg.vms[&victim_vm];
+        let rows = &pool_rows[vm_idx];
+        let mut pool_entities = Vec::with_capacity(rows.len());
+        for &(pid, share, weight) in rows {
+            let used = meta.mirror_of(pid).map(|m| m.pages(placement)).unwrap_or(0);
+            pool_entities.push(EntityUsage::new(share, used, weight));
+        }
+        let pool_idx = select_victim(&pool_entities, EVICTION_BATCH_PAGES).or_else(|| {
+            pool_entities
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.used > 0)
+                .max_by_key(|(_, e)| e.used)
+                .map(|(i, _)| i)
+        })?;
+        Some((victim_vm, rows[pool_idx].0))
+    }
+
+    /// Two-phase weighted eviction: snapshot-select without shard locks,
+    /// then lock only the victim's shard, re-validate, and evict. A
+    /// stale snapshot (Algorithm 1 would now pick someone else, or the
+    /// locked pool turned out empty) retries up to
+    /// [`Self::TWO_PHASE_MAX_RETRIES`] times; after that — or when no
+    /// entity is nominally over its entitlement — the lock-all batch
+    /// takes over, so the scheme can never loop without progress.
+    ///
+    /// Driven single-threaded the mirrors equal the locked usage, so the
+    /// first snapshot re-validates unchanged and the victim (and every
+    /// evicted object) matches the serial engine exactly — the
+    /// determinism contract survives the locking change.
+    fn evict_batch_two_phase(&self, now: SimTime, placement: Placement) -> u64 {
+        for _ in 0..Self::TWO_PHASE_MAX_RETRIES {
+            let victim = {
+                let reg = self.inner.registry.read().expect("registry poisoned");
+                self.select_victim_unlocked(&reg, placement)
+            };
+            let Some((vm, pool_id)) = victim else {
+                break;
+            };
+            // No locks held here: the hook (tests only) and any other
+            // thread are free to invalidate the snapshot before phase 2.
+            self.run_eviction_hook();
+
+            // Phase 2: registry read + the victim's home shard only.
+            let reg = self.inner.registry.read().expect("registry poisoned");
+            let si = self.shard_of(vm, pool_id);
+            let mut shard = self.lock_shard(si);
+            if self.select_victim_unlocked(&reg, placement) != Some((vm, pool_id)) {
+                self.inner.two_phase_retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let hybrid = reg
+                .vms
+                .get(&vm)
+                .and_then(|m| m.policy_of(pool_id))
+                .is_some_and(|p| p.store == StoreKind::Hybrid);
+            let freed = self.evict_pages_from_shard(
+                &mut shard,
+                vm,
+                pool_id,
+                placement,
+                EVICTION_BATCH_PAGES,
+                hybrid,
+            );
+            if freed > 0 {
+                return freed;
+            }
+            // The mirrors promised pages the locked shard no longer has
+            // (raced with a flush or destroy): count it as a stale
+            // snapshot and retry.
+            self.inner.two_phase_retries.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner
+            .two_phase_fallbacks
+            .fetch_add(1, Ordering::Relaxed);
+        let reg = self.inner.registry.read().expect("registry poisoned");
+        let mut shards = self.lock_all_shards();
+        self.evict_batch_locked(&reg, &mut shards, now, placement)
     }
 
     // ------------------------------------------------------------------
@@ -577,12 +759,12 @@ impl ShardedCache {
             // Drop dead fronts everywhere, then pick the oldest live one.
             let mut best: Option<(usize, u64)> = None;
             for (i, shard) in shards.iter_mut().enumerate() {
-                while let Some(&(vm, pool, addr, seq)) = shard.fifo_ref(placement).front() {
+                while let Some(&(vm, pool, sid, seq)) = shard.fifo_ref(placement).front() {
                     let live = shard
                         .pools
                         .get(&(vm, pool))
-                        .and_then(|p| p.peek(addr))
-                        .is_some_and(|s| s.seq == seq && s.placement == placement);
+                        .and_then(|p| p.fifo_probe(sid, seq, placement))
+                        .is_some();
                     if live {
                         if best.is_none_or(|(_, s)| seq < s) {
                             best = Some((i, seq));
@@ -597,7 +779,7 @@ impl ShardedCache {
                 break;
             };
             let shard = &mut shards[si];
-            let (vm, pool_id, addr, _) = shard
+            let (vm, pool_id, sid, _) = shard
                 .fifo(placement)
                 .pop_front()
                 .expect("front verified live");
@@ -605,7 +787,7 @@ impl ShardedCache {
                 .pools
                 .get_mut(&(vm, pool_id))
                 .expect("liveness checked above");
-            pool.remove(addr);
+            pool.remove_by_id(sid);
             pool.counters.evictions += 1;
             self.ledger(placement).free(1);
             self.inner.evictions.fetch_add(1, Ordering::Relaxed);
@@ -637,7 +819,7 @@ impl ShardedCache {
             let used: u64 = meta
                 .pools
                 .iter()
-                .map(|&(p, _)| {
+                .map(|&(p, _, _)| {
                     shards[self.shard_of(vm, p)]
                         .pools
                         .get(&(vm, p))
@@ -696,7 +878,7 @@ impl ShardedCache {
         let mut victim: Option<(VmId, PoolId)> = None;
         let mut best = 0;
         for (&vm, meta) in &reg.vms {
-            for &(pid, _) in &meta.pools {
+            for &(pid, _, _) in &meta.pools {
                 let used = shards[self.shard_of(vm, pid)]
                     .pools
                     .get(&(vm, pid))
@@ -723,7 +905,8 @@ impl ShardedCache {
     }
 
     /// Evicts up to `max_pages` oldest objects of one pool from one
-    /// store, trickling hybrid memory evictions down to the SSD share.
+    /// store. Lock-all wrapper around
+    /// [`evict_pages_from_shard`](Self::evict_pages_from_shard).
     #[allow(clippy::too_many_arguments)]
     fn evict_pages_from_pool_locked(
         &self,
@@ -736,15 +919,31 @@ impl ShardedCache {
         max_pages: u64,
     ) -> u64 {
         let si = self.shard_of(vm, pool_id);
-        let mut freed = 0;
-        let mut trickle: Vec<(BlockAddr, PageVersion)> = Vec::new();
         let hybrid = reg
             .vms
             .get(&vm)
             .and_then(|m| m.policy_of(pool_id))
             .is_some_and(|p| p.store == StoreKind::Hybrid);
+        self.evict_pages_from_shard(&mut shards[si], vm, pool_id, placement, max_pages, hybrid)
+    }
+
+    /// Evicts up to `max_pages` oldest objects of one pool out of its
+    /// (locked) home shard, trickling hybrid memory evictions down to
+    /// the SSD share. A pool only ever touches its home shard, so one
+    /// guard suffices — this is what lets phase 2 of two-phase eviction
+    /// run without stopping the world.
+    fn evict_pages_from_shard(
+        &self,
+        shard: &mut Shard,
+        vm: VmId,
+        pool_id: PoolId,
+        placement: Placement,
+        max_pages: u64,
+        hybrid: bool,
+    ) -> u64 {
+        let mut freed = 0;
+        let mut trickle: Vec<(BlockAddr, PageVersion)> = Vec::new();
         {
-            let shard = &mut shards[si];
             let Some(pool) = shard.pools.get_mut(&(vm, pool_id)) else {
                 return 0;
             };
@@ -772,10 +971,10 @@ impl ShardedCache {
                 break;
             }
             let seq = self.alloc_seq();
-            let shard = &mut shards[si];
             match shard.pools.get_mut(&(vm, pool_id)) {
                 Some(pool) => {
-                    if let Some(displaced) = pool.insert(addr, Placement::Ssd, version, seq) {
+                    let (_, displaced) = pool.insert(addr, Placement::Ssd, version, seq);
+                    if let Some(displaced) = displaced {
                         self.ledger(displaced).free(1);
                         shard.note_stale(displaced, 1);
                     }
@@ -821,19 +1020,27 @@ impl ShardedCache {
         }
 
         // Resource-conservative enforcement against the global ledger:
-        // evict (lock-all) only when the store itself is full.
+        // evict only when the store itself is full. DoubleDecker mode
+        // uses the two-phase scheme (one shard locked in the common
+        // case); global mode merges per-shard FIFOs, which is inherently
+        // cross-shard, so it stays lock-all.
         loop {
             if self.ledger(placement).try_alloc() {
                 break;
             }
-            let reg = self.inner.registry.read().expect("registry poisoned");
-            let mut shards = self.lock_all_shards();
-            // Re-check under the locks: another thread may have freed
-            // room while we were blocking on them.
-            if self.ledger(placement).try_alloc() {
-                break;
-            }
-            let freed = self.evict_batch_locked(&reg, &mut shards, now, placement);
+            let freed = match self.inner.mode {
+                PartitionMode::DoubleDecker => self.evict_batch_two_phase(now, placement),
+                PartitionMode::Global | PartitionMode::Strict => {
+                    let reg = self.inner.registry.read().expect("registry poisoned");
+                    let mut shards = self.lock_all_shards();
+                    // Re-check under the locks: another thread may have
+                    // freed room while we were blocking on them.
+                    if self.ledger(placement).try_alloc() {
+                        break;
+                    }
+                    self.evict_batch_locked(&reg, &mut shards, now, placement)
+                }
+            };
             if freed == 0 {
                 return PutOutcome::Rejected;
             }
@@ -848,11 +1055,12 @@ impl ShardedCache {
             return PutOutcome::Rejected;
         };
         pool_entry.counters.puts += 1;
-        if let Some(displaced) = pool_entry.insert(addr, placement, version, seq) {
+        let (sid, displaced) = pool_entry.insert(addr, placement, version, seq);
+        if let Some(displaced) = displaced {
             self.ledger(displaced).free(1);
             shard.note_stale(displaced, 1);
         }
-        self.push_shard_fifo(&mut shard, vm, pool, addr, seq, placement);
+        self.push_shard_fifo(&mut shard, vm, pool, sid, seq, placement);
         PutOutcome::Stored { finish: now }
     }
 
@@ -951,11 +1159,12 @@ impl ShardedCache {
             return PutOutcome::Rejected;
         };
         pool_entry.counters.puts += 1;
-        if let Some(displaced) = pool_entry.insert(addr, placement, version, seq) {
+        let (sid, displaced) = pool_entry.insert(addr, placement, version, seq);
+        if let Some(displaced) = displaced {
             self.ledger(displaced).free(1);
             shard.note_stale(displaced, 1);
         }
-        self.push_shard_fifo(shard, vm, pool, addr, seq, placement);
+        self.push_shard_fifo(shard, vm, pool, sid, seq, placement);
         PutOutcome::Stored { finish: now }
     }
 
@@ -974,11 +1183,12 @@ impl ShardedCache {
         if shard.pools.contains_key(&(vm, to)) {
             let seq = self.alloc_seq();
             let target = shard.pools.get_mut(&(vm, to)).expect("checked above");
-            if let Some(displaced) = target.insert(addr, slot.placement, slot.version, seq) {
+            let (sid, displaced) = target.insert(addr, slot.placement, slot.version, seq);
+            if let Some(displaced) = displaced {
                 self.ledger(displaced).free(1);
                 shard.note_stale(displaced, 1);
             }
-            self.push_shard_fifo(&mut shard, vm, to, addr, seq, slot.placement);
+            self.push_shard_fifo(&mut shard, vm, to, sid, seq, slot.placement);
         } else {
             // Unknown target: the object has no owner; drop it.
             self.ledger(slot.placement).free(1);
@@ -992,16 +1202,19 @@ impl SecondChanceCache for ShardedCache {
         reg.vms.entry(vm).or_insert_with(|| VmMeta::new(100, 100));
         let id = PoolId(reg.next_pool);
         reg.next_pool += 1;
+        let mirror = Arc::new(UsageMirror::default());
         reg.vms
             .get_mut(&vm)
             .expect("inserted above")
             .pools
-            .push((id, policy));
+            .push((id, policy, mirror.clone()));
         // Registry before shard (lock-order rule); the pool becomes
         // routable the moment the shard insert lands.
         let si = self.shard_of(vm, id);
         let mut shard = self.lock_shard(si);
-        shard.pools.insert((vm, id), Pool::new(vm, policy));
+        let mut pool = Pool::new(vm, policy);
+        pool.set_mirror(mirror);
+        shard.pools.insert((vm, id), pool);
         id
     }
 
@@ -1054,6 +1267,10 @@ impl SecondChanceCache for ShardedCache {
                 displaced.push((addr, slot.version, slot.placement));
             }
         }
+        // The slab iterates in arena order, which depends on free-list
+        // history; sort by address so the rehome sequence is a pure
+        // function of the visible cache state.
+        displaced.sort_unstable_by_key(|&(addr, _, _)| addr);
         for (addr, version, old_placement) in displaced {
             if let Some(p) = shard.pools.get_mut(&(vm, pool)) {
                 p.remove(addr);
@@ -1073,12 +1290,12 @@ impl SecondChanceCache for ShardedCache {
                     .get_mut(&(vm, pool))
                     .map(|p| p.insert(addr, new_placement, version, seq));
                 match inserted {
-                    Some(displaced_old) => {
+                    Some((sid, displaced_old)) => {
                         if let Some(d) = displaced_old {
                             self.ledger(d).free(1);
                             shard.note_stale(d, 1);
                         }
-                        self.push_shard_fifo(&mut shard, vm, pool, addr, seq, new_placement);
+                        self.push_shard_fifo(&mut shard, vm, pool, sid, seq, new_placement);
                     }
                     None => self.ledger(new_placement).free(1),
                 }
@@ -1108,11 +1325,12 @@ impl SecondChanceCache for ShardedCache {
         if dst.pools.contains_key(&(vm, to)) {
             let seq = self.alloc_seq();
             let target = dst.pools.get_mut(&(vm, to)).expect("checked above");
-            if let Some(displaced) = target.insert(addr, slot.placement, slot.version, seq) {
+            let (sid, displaced) = target.insert(addr, slot.placement, slot.version, seq);
+            if let Some(displaced) = displaced {
                 self.ledger(displaced).free(1);
                 dst.note_stale(displaced, 1);
             }
-            self.push_shard_fifo(dst, vm, to, addr, seq, slot.placement);
+            self.push_shard_fifo(dst, vm, to, sid, seq, slot.placement);
         } else {
             self.ledger(slot.placement).free(1);
         }

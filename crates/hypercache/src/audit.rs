@@ -33,13 +33,19 @@
 //! 8. **Sequence monotonicity** — the next-sequence allocator is above
 //!    every live slot's stamp (a stale allocator would break FIFO order
 //!    and lazy-deletion liveness checks).
+//! 9. **Arena shape** — each pool's slab arena partitions cleanly: the
+//!    free-list is duplicate-free and disjoint from the live set, every
+//!    arena index is either live or free, and the address map agrees
+//!    with the slab (each live slot's address looks up to its own
+//!    `SlotId`). A violation means the free-list could hand out a live
+//!    id — the slab equivalent of a use-after-free.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use ddc_cleancache::{PoolId, VmId};
 use ddc_storage::BlockAddr;
 
-use crate::index::{Placement, Pool};
+use crate::index::{Placement, Pool, SlotId};
 use crate::DoubleDeckerCache;
 
 /// One violated invariant, as structured data (never a panic).
@@ -88,10 +94,10 @@ pub fn audit_pool_slice(pools: &[(VmId, PoolId, &Pool)], next_seq: u64) -> Vec<A
     let mut findings = Vec::new();
     for &(vm, pid, pool) in pools {
         for placement in placements() {
-            let live: Vec<(BlockAddr, u64)> = pool
-                .iter()
-                .filter(|(_, s)| s.placement == placement)
-                .map(|(a, s)| (a, s.seq))
+            let live: Vec<(SlotId, BlockAddr, u64)> = pool
+                .iter_ids()
+                .filter(|(_, _, s)| s.placement == placement)
+                .map(|(id, a, s)| (id, a, s.seq))
                 .collect();
             if pool.used(placement) != live.len() as u64 {
                 findings.push(AuditFinding {
@@ -103,28 +109,30 @@ pub fn audit_pool_slice(pools: &[(VmId, PoolId, &Pool)], next_seq: u64) -> Vec<A
                     ),
                 });
             }
-            // FIFO coverage: every live slot must have its (addr, seq)
-            // entry queued; dead entries are fine (lazy deletion).
-            let queued: std::collections::BTreeSet<(BlockAddr, u64)> =
-                pool.fifo_entries(placement).collect();
-            for &(addr, seq) in &live {
-                if !queued.contains(&(addr, seq)) {
+            // FIFO coverage: every live slot must be reachable from
+            // exactly one (SlotId, seq) queue entry — zero means it could
+            // never be evicted, two would let eviction double-free it.
+            // Dead entries are fine (lazy deletion).
+            let mut queued: BTreeMap<(SlotId, u64), u32> = BTreeMap::new();
+            for entry in pool.fifo_entries(placement) {
+                *queued.entry(entry).or_insert(0) += 1;
+            }
+            for &(id, addr, seq) in &live {
+                let count = queued.get(&(id, seq)).copied().unwrap_or(0);
+                if count != 1 {
                     findings.push(AuditFinding {
                         invariant: "fifo-coverage",
                         detail: format!(
-                            "{vm} {pid}: live slot {addr:?} seq {seq} missing from \
-                             the {placement:?} FIFO (it could never be evicted)"
+                            "{vm} {pid}: live slot {addr:?} ({id:?} seq {seq}) has \
+                             {count} {placement:?} FIFO entries, expected exactly one"
                         ),
                     });
                 }
             }
             // Live entries must appear in strictly increasing seq order.
             let mut last_live: Option<u64> = None;
-            for (addr, seq) in pool.fifo_entries(placement) {
-                let is_live = pool
-                    .peek(addr)
-                    .is_some_and(|s| s.seq == seq && s.placement == placement);
-                if !is_live {
+            for (id, seq) in pool.fifo_entries(placement) {
+                if pool.fifo_probe(id, seq, placement).is_none() {
                     continue;
                 }
                 if let Some(prev) = last_live {
@@ -141,6 +149,7 @@ pub fn audit_pool_slice(pools: &[(VmId, PoolId, &Pool)], next_seq: u64) -> Vec<A
                 last_live = Some(seq);
             }
         }
+        arena_shape(vm, pid, pool, &mut findings);
         for (addr, slot) in pool.iter() {
             if slot.seq >= next_seq {
                 findings.push(AuditFinding {
@@ -156,6 +165,66 @@ pub fn audit_pool_slice(pools: &[(VmId, PoolId, &Pool)], next_seq: u64) -> Vec<A
     }
     exclusive_property(pools, &mut findings);
     findings
+}
+
+/// Invariant 9: the slab arena partitions cleanly into live and free
+/// slots, and the address map agrees with the slab.
+fn arena_shape(vm: VmId, pid: PoolId, pool: &Pool, findings: &mut Vec<AuditFinding>) {
+    let live: BTreeSet<SlotId> = pool.iter_ids().map(|(id, _, _)| id).collect();
+    let mut free: BTreeSet<SlotId> = BTreeSet::new();
+    for id in pool.free_ids() {
+        if !free.insert(id) {
+            findings.push(AuditFinding {
+                invariant: "arena-free-list",
+                detail: format!(
+                    "{vm} {pid}: free-list lists {id:?} twice (one id could be \
+                     assigned to two slots)"
+                ),
+            });
+        }
+        if live.contains(&id) {
+            findings.push(AuditFinding {
+                invariant: "arena-free-list",
+                detail: format!(
+                    "{vm} {pid}: free-list contains live {id:?} (the next insert \
+                     would overwrite a resident slot)"
+                ),
+            });
+        }
+        if id.0 >= pool.arena_len() {
+            findings.push(AuditFinding {
+                invariant: "arena-free-list",
+                detail: format!(
+                    "{vm} {pid}: free-list id {id:?} is outside the arena of {} slots",
+                    pool.arena_len()
+                ),
+            });
+        }
+    }
+    if (live.len() + free.len()) as u64 != u64::from(pool.arena_len()) {
+        findings.push(AuditFinding {
+            invariant: "arena-shape",
+            detail: format!(
+                "{vm} {pid}: {} live + {} free slots do not cover the arena of {} \
+                 (some index is neither live nor reusable)",
+                live.len(),
+                free.len(),
+                pool.arena_len()
+            ),
+        });
+    }
+    for (id, addr, _) in pool.iter_ids() {
+        if pool.lookup(addr) != Some(id) {
+            findings.push(AuditFinding {
+                invariant: "arena-map",
+                detail: format!(
+                    "{vm} {pid}: live slot {addr:?} at {id:?} looks up to {:?} \
+                     (map and slab disagree)",
+                    pool.lookup(addr)
+                ),
+            });
+        }
+    }
 }
 
 /// Invariant 1: store used-page counters match the pool indexes and
@@ -209,12 +278,12 @@ fn global_fifo_tombstones(cache: &DoubleDeckerCache, findings: &mut Vec<AuditFin
         };
         let dead = queue
             .iter()
-            .filter(|(vm, pool, addr, seq)| {
-                !cache
+            .filter(|&&(vm, pool, id, seq)| {
+                cache
                     .pools
-                    .get(&(*vm, *pool))
-                    .and_then(|p| p.peek(*addr))
-                    .is_some_and(|s| s.seq == *seq && s.placement == placement)
+                    .get(&(vm, pool))
+                    .and_then(|p| p.fifo_probe(id, seq, placement))
+                    .is_none()
             })
             .count() as u64;
         if dead != stale {

@@ -14,7 +14,7 @@ use ddc_cleancache::{
 use ddc_sim::{FaultSchedule, FxHashMap, SimDuration, SimTime};
 use ddc_storage::{BlockAddr, FileId, Journal, JournalRecord};
 
-use crate::index::{Placement, Pool};
+use crate::index::{Placement, Pool, SlotId};
 use crate::policy::{entitlements, select_victim, select_victim_strict, EntityUsage};
 use crate::store::BackingStore;
 use crate::{CacheConfig, PartitionMode, EVICTION_BATCH_PAGES};
@@ -169,9 +169,12 @@ pub struct DoubleDeckerCache {
     pub(crate) pools: FxHashMap<(VmId, PoolId), Pool>,
     next_pool: u32,
     pub(crate) next_seq: u64,
-    // Global-mode FIFO queues with lazy deletion (seq-stamped).
-    pub(crate) global_fifo_mem: VecDeque<(VmId, PoolId, BlockAddr, u64)>,
-    pub(crate) global_fifo_ssd: VecDeque<(VmId, PoolId, BlockAddr, u64)>,
+    // Global-mode FIFO queues with lazy deletion (seq-stamped). Entries
+    // carry arena `SlotId`s, so liveness probes and compaction index
+    // straight into the pools' contiguous slabs instead of re-walking
+    // per-file trees.
+    pub(crate) global_fifo_mem: VecDeque<(VmId, PoolId, SlotId, u64)>,
+    pub(crate) global_fifo_ssd: VecDeque<(VmId, PoolId, SlotId, u64)>,
     // Tombstone counters: how many entries of each global FIFO are known
     // dead (their object was removed or re-stamped without the entry
     // being popped). Compaction triggers when tombstones dominate, so
@@ -900,14 +903,14 @@ impl DoubleDeckerCache {
                 Placement::Mem => self.global_fifo_mem.pop_front(),
                 Placement::Ssd => self.global_fifo_ssd.pop_front(),
             };
-            let Some((vm, pool_id, addr, seq)) = entry else {
+            let Some((vm, pool_id, sid, seq)) = entry else {
                 break;
             };
             let live = self
                 .pools
                 .get(&(vm, pool_id))
-                .and_then(|p| p.peek(addr))
-                .is_some_and(|s| s.seq == seq && s.placement == placement);
+                .and_then(|p| p.fifo_probe(sid, seq, placement))
+                .is_some();
             if !live {
                 // A tombstone got consumed the cheap way (popped off the
                 // front): it no longer needs a compaction pass.
@@ -925,7 +928,7 @@ impl DoubleDeckerCache {
                 .pools
                 .get_mut(&(vm, pool_id))
                 .expect("liveness checked above");
-            pool.remove(addr);
+            let (addr, _) = pool.remove_by_id(sid).expect("probed live above");
             pool.counters.evictions += 1;
             self.store(placement).free(1);
             self.evictions += 1;
@@ -1060,7 +1063,10 @@ impl DoubleDeckerCache {
                 break;
             }
             if let Some(pool) = self.pools.get_mut(&(vm, pool_id)) {
-                if let Some(displaced) = pool.insert(addr, Placement::Ssd, version, seq) {
+                // Trickled objects get no global-FIFO entry (unchanged
+                // behavior): the per-pool SSD FIFO alone ages them out.
+                let (_, displaced) = pool.insert(addr, Placement::Ssd, version, seq);
+                if let Some(displaced) = displaced {
                     self.store(displaced).free(1);
                     self.note_stale(displaced, 1);
                 }
@@ -1163,6 +1169,11 @@ impl DoubleDeckerCache {
                 displaced.push((addr, slot.version, slot.placement));
             }
         }
+        // `Pool::iter` walks the slab in arena order, which depends on the
+        // allocation history; sort by address so the re-homing sequence
+        // (and the fresh seqs it mints) is a pure function of the visible
+        // cache state.
+        displaced.sort_unstable_by_key(|&(addr, _, _)| addr);
         for (addr, version, old_placement) in displaced {
             if let Some(pool) = self.pools.get_mut(&(vm, pool_id)) {
                 pool.remove(addr);
@@ -1199,11 +1210,12 @@ impl DoubleDeckerCache {
                     continue;
                 }
                 if let Some(pool) = self.pools.get_mut(&(vm, pool_id)) {
-                    if let Some(d) = pool.insert(addr, new_placement, version, seq) {
+                    let (sid, d) = pool.insert(addr, new_placement, version, seq);
+                    if let Some(d) = d {
                         self.store(d).free(1);
                         self.note_stale(d, 1);
                     }
-                    self.push_global_fifo(vm, pool_id, addr, seq, new_placement);
+                    self.push_global_fifo(vm, pool_id, sid, seq, new_placement);
                     self.log(JournalRecord::Put {
                         vm: vm.0,
                         pool: pool_id.0,
@@ -1220,7 +1232,7 @@ impl DoubleDeckerCache {
         &mut self,
         vm: VmId,
         pool: PoolId,
-        addr: BlockAddr,
+        sid: SlotId,
         seq: u64,
         placement: Placement,
     ) {
@@ -1236,7 +1248,7 @@ impl DoubleDeckerCache {
                 self.ssd.used_pages(),
             ),
         };
-        queue.push_back((vm, pool, addr, seq));
+        queue.push_back((vm, pool, sid, seq));
         // Compact when tombstones dominate the queue: every removal funds
         // at most ~two retained-entry visits here, so the scrub is
         // amortized O(1) per removal (the old heuristic rescanned the
@@ -1248,11 +1260,11 @@ impl DoubleDeckerCache {
         let oversized = len > store_used.saturating_mul(8).max(1024);
         if dominated || oversized {
             let pools = &self.pools;
-            queue.retain(|(v, p, a, s)| {
+            queue.retain(|&(v, p, id, s)| {
                 pools
-                    .get(&(*v, *p))
-                    .and_then(|pool| pool.peek(*a))
-                    .is_some_and(|slot| slot.seq == *s && slot.placement == placement)
+                    .get(&(v, p))
+                    .and_then(|pool| pool.fifo_probe(id, s, placement))
+                    .is_some()
             });
             *stale = 0;
         }
@@ -1483,11 +1495,12 @@ impl DoubleDeckerCache {
                 let p = self.pools.get_mut(&(vm, pool)).expect("checked above");
                 // The record's generation becomes the FIFO sequence:
                 // generations are monotone, so replay preserves order.
-                if let Some(displaced) = p.insert(addr, placement, PageVersion(version), gen) {
+                let (sid, displaced) = p.insert(addr, placement, PageVersion(version), gen);
+                if let Some(displaced) = displaced {
                     self.store(displaced).free(1);
                     self.note_stale(displaced, 1);
                 }
-                self.push_global_fifo(vm, pool, addr, gen, placement);
+                self.push_global_fifo(vm, pool, sid, gen, placement);
             }
             JournalRecord::Take { vm, pool, addr }
             | JournalRecord::Evict { vm, pool, addr }
@@ -1584,15 +1597,19 @@ impl DoubleDeckerCache {
             }
         }
         puts.sort_unstable();
-        for (_, vm, pid, addr, version, placement) in puts {
-            journal.append(&JournalRecord::Put {
-                vm: vm.0,
-                pool: pid.0,
-                addr,
-                version,
-                placement,
-            });
-        }
+        let put_records: Vec<JournalRecord> = puts
+            .into_iter()
+            .map(
+                |(_, vm, pid, addr, version, placement)| JournalRecord::Put {
+                    vm: vm.0,
+                    pool: pid.0,
+                    addr,
+                    version,
+                    placement,
+                },
+            )
+            .collect();
+        journal.append_all(&put_records);
         journal.sync();
         self.journal = Some(journal);
         new_epochs
@@ -1675,11 +1692,12 @@ impl SecondChanceCache for DoubleDeckerCache {
             Some(target) => {
                 let seq = self.next_seq;
                 self.next_seq += 1;
-                if let Some(displaced) = target.insert(addr, slot.placement, slot.version, seq) {
+                let (sid, displaced) = target.insert(addr, slot.placement, slot.version, seq);
+                if let Some(displaced) = displaced {
                     self.store(displaced).free(1);
                     self.note_stale(displaced, 1);
                 }
-                self.push_global_fifo(vm, to, addr, seq, slot.placement);
+                self.push_global_fifo(vm, to, sid, seq, slot.placement);
                 self.note_insertion(vm, to, slot.placement);
                 self.log(JournalRecord::Put {
                     vm: vm.0,
@@ -1848,13 +1866,14 @@ impl SecondChanceCache for DoubleDeckerCache {
             .get_mut(&(vm, pool))
             .expect("pool verified by effective_placement");
         pool_entry.counters.puts += 1;
-        if let Some(displaced) = pool_entry.insert(addr, placement, version, seq) {
+        let (sid, displaced) = pool_entry.insert(addr, placement, version, seq);
+        if let Some(displaced) = displaced {
             // Unreachable in practice (old copy removed above), but keep
             // accounting exact if insert displaces.
             self.store(displaced).free(1);
             self.note_stale(displaced, 1);
         }
-        self.push_global_fifo(vm, pool, addr, seq, placement);
+        self.push_global_fifo(vm, pool, sid, seq, placement);
         self.note_insertion(vm, pool, placement);
         self.log(JournalRecord::Put {
             vm: vm.0,

@@ -2,14 +2,30 @@
 //!
 //! The paper (§4.2) uses "a hierarchy of indexing data structures — a
 //! per-pool file object (inode-num) hash table, file block radix-tree
-//! etc.". [`Pool`] mirrors that hierarchy with a hash map of per-file
-//! `BTreeMap<block, Slot>` trees, plus per-placement FIFO queues
-//! (with lazy deletion) implementing the paper's FIFO eviction order —
-//! "LRU equivalent for exclusive caches" (§4.2). The file table uses
-//! [`FxHashMap`]: `FileId` keys are internal, so the cheaper seed-free
-//! hash wins on every get/put without any flooding exposure.
+//! etc.". [`Pool`] flattens that hierarchy into a slab arena: slots live
+//! in one dense `Vec` with a free-list, addressed by [`SlotId`], and the
+//! lookup path is a single [`FxHashMap`] probe from [`BlockAddr`] into
+//! contiguous memory — no per-file tree to re-walk on get/put/evict.
+//! Per-placement FIFO queues (with lazy deletion) implement the paper's
+//! FIFO eviction order — "LRU equivalent for exclusive caches" (§4.2) —
+//! and carry `SlotId`s, so popping the queue lands directly on the slab
+//! entry. The map uses [`FxHashMap`]: block addresses are internal, so
+//! the cheaper seed-free hash wins on every operation without any
+//! flooding exposure.
+//!
+//! # `SlotId` stability
+//!
+//! A `SlotId` is stable for the lifetime of the slot it names: FIFO
+//! compaction and queue churn never move slab entries. The id is
+//! recycled through the free-list only after the slot is removed, and a
+//! reused id always carries a fresh (strictly larger) sequence stamp —
+//! so a stale `(SlotId, seq)` pair held by any FIFO is detectably dead.
+//! Ids are *not* stable across crash recovery: the journal speaks
+//! `BlockAddr`, and replay reassigns ids in replay order.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use ddc_cleancache::{CachePolicy, PageVersion, VmId};
 use ddc_sim::FxHashMap;
@@ -25,6 +41,12 @@ pub enum Placement {
     /// Object lives in the SSD store.
     Ssd,
 }
+
+/// Handle to one slab arena entry of a [`Pool`]. See the module docs
+/// for the stability rules; pair it with the slot's sequence stamp when
+/// storing it in a FIFO so reuse is detectable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId(pub u32);
 
 /// One indexed object: its placement, the guest version stamp it carried,
 /// and its FIFO sequence number (used for lazy queue deletion).
@@ -82,16 +104,64 @@ pub struct PoolCounters {
     pub failed_puts: u64,
 }
 
-/// The index for one container's cache pool.
+/// Lock-free mirror of one pool's per-store usage, kept in sync by the
+/// pool's accounting funnels. A concurrent assembly can attach one per
+/// pool and snapshot every entity's usage *without* taking the locks
+/// that guard the pools themselves — phase 1 of the two-phase eviction
+/// in `ddc-concurrent` is built on exactly this.
+#[derive(Debug, Default)]
+pub struct UsageMirror {
+    mem: AtomicU64,
+    ssd: AtomicU64,
+}
+
+impl UsageMirror {
+    /// Pages the owning pool currently holds in the given store, as of
+    /// the last accounting update (exact under a quiescent pool; a
+    /// best-effort snapshot under concurrent mutation).
+    pub fn pages(&self, placement: Placement) -> u64 {
+        match placement {
+            Placement::Mem => self.mem.load(Ordering::Relaxed),
+            Placement::Ssd => self.ssd.load(Ordering::Relaxed),
+        }
+    }
+
+    fn cell(&self, placement: Placement) -> &AtomicU64 {
+        match placement {
+            Placement::Mem => &self.mem,
+            Placement::Ssd => &self.ssd,
+        }
+    }
+}
+
+/// One occupied slab entry: the key it indexes plus the slot itself.
+/// The address is stored inline so eviction (which arrives by `SlotId`
+/// off a FIFO) can resolve the key without a reverse map.
+#[derive(Clone, Copy, Debug)]
+struct ArenaEntry {
+    addr: BlockAddr,
+    slot: Slot,
+}
+
+/// The index for one container's cache pool: a slab arena of slots plus
+/// the lookup map and eviction queues (see the module docs).
 #[derive(Clone, Debug)]
 pub struct Pool {
     vm: VmId,
     policy: CachePolicy,
-    files: FxHashMap<FileId, BTreeMap<u64, Slot>>,
-    fifo_mem: VecDeque<(BlockAddr, u64)>,
-    fifo_ssd: VecDeque<(BlockAddr, u64)>,
+    /// The slab: `None` entries are free and their indexes sit on
+    /// `free`. Never shrinks except when the pool is drained.
+    slots: Vec<Option<ArenaEntry>>,
+    /// Free-list stack of slab indexes available for reuse.
+    free: Vec<u32>,
+    /// The single-probe lookup path: block address → slab index.
+    map: FxHashMap<BlockAddr, u32>,
+    fifo_mem: VecDeque<(SlotId, u64)>,
+    fifo_ssd: VecDeque<(SlotId, u64)>,
     used_mem: u64,
     used_ssd: u64,
+    /// Optional lock-free usage mirror (see [`UsageMirror`]).
+    mirror: Option<Arc<UsageMirror>>,
     /// Public counters, updated by the cache front-end.
     pub counters: PoolCounters,
 }
@@ -102,13 +172,28 @@ impl Pool {
         Pool {
             vm,
             policy,
-            files: FxHashMap::default(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            map: FxHashMap::default(),
             fifo_mem: VecDeque::new(),
             fifo_ssd: VecDeque::new(),
             used_mem: 0,
             used_ssd: 0,
+            mirror: None,
             counters: PoolCounters::default(),
         }
+    }
+
+    /// Attaches a usage mirror; every subsequent accounting change is
+    /// reflected into it. The serial engine runs without one.
+    pub fn set_mirror(&mut self, mirror: Arc<UsageMirror>) {
+        mirror
+            .cell(Placement::Mem)
+            .store(self.used_mem, Ordering::Relaxed);
+        mirror
+            .cell(Placement::Ssd)
+            .store(self.used_ssd, Ordering::Relaxed);
+        self.mirror = Some(mirror);
     }
 
     /// The owning VM.
@@ -146,52 +231,108 @@ impl Pool {
 
     /// Looks up a slot without removing it.
     pub fn peek(&self, addr: BlockAddr) -> Option<&Slot> {
-        self.files.get(&addr.file)?.get(&addr.block)
+        let idx = *self.map.get(&addr)?;
+        self.slots[idx as usize].as_ref().map(|e| &e.slot)
     }
 
-    /// Inserts an object, returning the placement of a displaced older
-    /// copy of the same block (`None` if the key was new). `seq` must be
-    /// strictly increasing across all inserts into this pool.
+    /// The slab handle currently indexing `addr`, if resident.
+    pub fn lookup(&self, addr: BlockAddr) -> Option<SlotId> {
+        self.map.get(&addr).map(|&i| SlotId(i))
+    }
+
+    /// Resolves a slab handle to its key and slot, if the entry is
+    /// occupied.
+    pub fn slot_by_id(&self, id: SlotId) -> Option<(BlockAddr, &Slot)> {
+        self.slots
+            .get(id.0 as usize)?
+            .as_ref()
+            .map(|e| (e.addr, &e.slot))
+    }
+
+    /// Lazy-deletion liveness probe for FIFO entries: resolves `id` and
+    /// returns the slot's address iff the entry is occupied and still
+    /// carries the queued sequence stamp and placement. A recycled or
+    /// removed slot fails the probe.
+    pub fn fifo_probe(&self, id: SlotId, seq: u64, placement: Placement) -> Option<BlockAddr> {
+        let entry = self.slots.get(id.0 as usize)?.as_ref()?;
+        (entry.slot.seq == seq && entry.slot.placement == placement).then_some(entry.addr)
+    }
+
+    /// Inserts an object, returning its slab handle and the placement of
+    /// a displaced older copy of the same block (`None` if the key was
+    /// new; a displaced copy keeps its `SlotId`). `seq` must be strictly
+    /// increasing across all inserts into this pool.
     pub fn insert(
         &mut self,
         addr: BlockAddr,
         placement: Placement,
         version: PageVersion,
         seq: u64,
-    ) -> Option<Placement> {
+    ) -> (SlotId, Option<Placement>) {
         let slot = Slot {
             placement,
             version,
             seq,
             checksum: slot_checksum(addr, version),
         };
-        let old = self
-            .files
-            .entry(addr.file)
-            .or_default()
-            .insert(addr.block, slot);
-        let displaced = old.map(|o| {
-            self.debit(o.placement);
-            o.placement
-        });
+        let (idx, displaced) = match self.map.get(&addr) {
+            // Overwrite in place: the old FIFO entries die by seq
+            // mismatch, the id stays with the key.
+            Some(&idx) => {
+                let entry = self.slots[idx as usize]
+                    .as_mut()
+                    .expect("mapped slot is occupied");
+                let old = entry.slot.placement;
+                entry.slot = slot;
+                self.debit(old);
+                (idx, Some(old))
+            }
+            None => {
+                let idx = match self.free.pop() {
+                    Some(idx) => {
+                        self.slots[idx as usize] = Some(ArenaEntry { addr, slot });
+                        idx
+                    }
+                    None => {
+                        let idx = self.slots.len() as u32;
+                        self.slots.push(Some(ArenaEntry { addr, slot }));
+                        idx
+                    }
+                };
+                self.map.insert(addr, idx);
+                (idx, None)
+            }
+        };
         self.credit(placement);
         match placement {
-            Placement::Mem => self.fifo_mem.push_back((addr, seq)),
-            Placement::Ssd => self.fifo_ssd.push_back((addr, seq)),
+            Placement::Mem => self.fifo_mem.push_back((SlotId(idx), seq)),
+            Placement::Ssd => self.fifo_ssd.push_back((SlotId(idx), seq)),
         }
-        displaced
+        (SlotId(idx), displaced)
     }
 
     /// Removes an object by key (exclusive `get`, or `flush`). The FIFO
     /// entry is left behind and skipped lazily.
     pub fn remove(&mut self, addr: BlockAddr) -> Option<Slot> {
-        let file = self.files.get_mut(&addr.file)?;
-        let slot = file.remove(&addr.block)?;
-        if file.is_empty() {
-            self.files.remove(&addr.file);
-        }
-        self.debit(slot.placement);
-        Some(slot)
+        let idx = self.map.remove(&addr)?;
+        self.release(idx).map(|e| e.slot)
+    }
+
+    /// Removes an object by slab handle, returning its key and slot.
+    /// The eviction path uses this: the FIFO hands back a live `SlotId`,
+    /// so no extra map probe is needed beyond the key erase.
+    pub fn remove_by_id(&mut self, id: SlotId) -> Option<(BlockAddr, Slot)> {
+        let addr = self.slots.get(id.0 as usize)?.as_ref()?.addr;
+        self.map.remove(&addr);
+        self.release(id.0).map(|e| (e.addr, e.slot))
+    }
+
+    /// Frees one slab entry and recycles its index.
+    fn release(&mut self, idx: u32) -> Option<ArenaEntry> {
+        let entry = self.slots[idx as usize].take()?;
+        self.free.push(idx);
+        self.debit(entry.slot.placement);
+        Some(entry)
     }
 
     /// Removes and returns the oldest live object in the given store
@@ -199,18 +340,14 @@ impl Pool {
     /// empty.
     pub fn pop_oldest(&mut self, placement: Placement) -> Option<(BlockAddr, Slot)> {
         loop {
-            let (addr, seq) = match placement {
+            let (id, seq) = match placement {
                 Placement::Mem => self.fifo_mem.pop_front()?,
                 Placement::Ssd => self.fifo_ssd.pop_front()?,
             };
-            // Lazy deletion: the queue entry is live only if the indexed
-            // slot still carries the same sequence stamp.
-            let live = self
-                .peek(addr)
-                .is_some_and(|s| s.seq == seq && s.placement == placement);
-            if live {
-                let slot = self.remove(addr).expect("slot verified live");
-                return Some((addr, slot));
+            // Lazy deletion: the queue entry is live only if the slab
+            // entry still carries the same sequence stamp.
+            if self.fifo_probe(id, seq, placement).is_some() {
+                return self.remove_by_id(id);
             }
         }
     }
@@ -218,16 +355,18 @@ impl Pool {
     /// Removes every object of `file`, returning how many pages were freed
     /// from each store as `(mem, ssd)`.
     pub fn remove_file(&mut self, file: FileId) -> (u64, u64) {
-        let Some(blocks) = self.files.remove(&file) else {
-            return (0, 0);
-        };
         let mut freed = (0, 0);
-        for slot in blocks.values() {
-            match slot.placement {
+        for idx in 0..self.slots.len() as u32 {
+            let (addr, placement) = match &self.slots[idx as usize] {
+                Some(e) if e.addr.file == file => (e.addr, e.slot.placement),
+                _ => continue,
+            };
+            match placement {
                 Placement::Mem => freed.0 += 1,
                 Placement::Ssd => freed.1 += 1,
             }
-            self.debit(slot.placement);
+            self.map.remove(&addr);
+            self.release(idx);
         }
         freed
     }
@@ -237,39 +376,34 @@ impl Pool {
     /// invalidated wholesale, never served again).
     pub fn drain_placement(&mut self, placement: Placement) -> u64 {
         let mut freed = 0;
-        self.files.retain(|_, blocks| {
-            blocks.retain(|_, slot| {
-                if slot.placement == placement {
-                    freed += 1;
-                    false
-                } else {
-                    true
-                }
-            });
-            !blocks.is_empty()
-        });
+        for idx in 0..self.slots.len() as u32 {
+            let addr = match &self.slots[idx as usize] {
+                Some(e) if e.slot.placement == placement => e.addr,
+                _ => continue,
+            };
+            freed += 1;
+            self.map.remove(&addr);
+            self.release(idx);
+        }
         match placement {
-            Placement::Mem => {
-                self.fifo_mem.clear();
-                self.used_mem = 0;
-            }
-            Placement::Ssd => {
-                self.fifo_ssd.clear();
-                self.used_ssd = 0;
-            }
+            Placement::Mem => self.fifo_mem.clear(),
+            Placement::Ssd => self.fifo_ssd.clear(),
         }
         freed
     }
 
     /// Drains every object in the pool, returning per-store freed counts
-    /// as `(mem, ssd)` (DESTROY_CGROUP).
+    /// as `(mem, ssd)` (DESTROY_CGROUP). Resets the slab, so previously
+    /// issued `SlotId`s are all dead afterwards.
     pub fn drain(&mut self) -> (u64, u64) {
         let freed = (self.used_mem, self.used_ssd);
-        self.files.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.map.clear();
         self.fifo_mem.clear();
         self.fifo_ssd.clear();
-        self.used_mem = 0;
-        self.used_ssd = 0;
+        self.set_used(Placement::Mem, 0);
+        self.set_used(Placement::Ssd, 0);
         freed
     }
 
@@ -277,37 +411,53 @@ impl Pool {
     /// testing: models bit rot in the backing store). Returns `false`
     /// if the object is not resident.
     pub fn corrupt(&mut self, addr: BlockAddr) -> bool {
-        let Some(slot) = self
-            .files
-            .get_mut(&addr.file)
-            .and_then(|blocks| blocks.get_mut(&addr.block))
-        else {
+        let Some(&idx) = self.map.get(&addr) else {
             return false;
         };
-        slot.checksum ^= 0xDEAD_BEEF;
+        let entry = self.slots[idx as usize]
+            .as_mut()
+            .expect("mapped slot is occupied");
+        entry.slot.checksum ^= 0xDEAD_BEEF;
         true
     }
 
-    /// Iterates one placement's FIFO queue entries `(addr, seq)`,
+    /// Iterates one placement's FIFO queue entries `(id, seq)`,
     /// including dead (lazily deleted) entries — the invariant auditor
-    /// checks queue↔index coherence with this.
-    pub fn fifo_entries(
-        &self,
-        placement: Placement,
-    ) -> impl Iterator<Item = (BlockAddr, u64)> + '_ {
+    /// checks queue↔slab coherence with this.
+    pub fn fifo_entries(&self, placement: Placement) -> impl Iterator<Item = (SlotId, u64)> + '_ {
         match placement {
             Placement::Mem => self.fifo_mem.iter().copied(),
             Placement::Ssd => self.fifo_ssd.iter().copied(),
         }
     }
 
-    /// Iterates over all resident objects (for migration and tests).
+    /// Iterates over all resident objects (for migration and tests), in
+    /// slab order.
     pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &Slot)> + '_ {
-        self.files.iter().flat_map(|(file, blocks)| {
-            blocks
-                .iter()
-                .map(move |(block, slot)| (BlockAddr::new(*file, *block), slot))
-        })
+        self.slots
+            .iter()
+            .filter_map(|e| e.as_ref().map(|e| (e.addr, &e.slot)))
+    }
+
+    /// Iterates all occupied slab entries with their handles (the
+    /// auditor's view of the live set).
+    pub fn iter_ids(&self) -> impl Iterator<Item = (SlotId, BlockAddr, &Slot)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.as_ref().map(|e| (SlotId(i as u32), e.addr, &e.slot)))
+    }
+
+    /// Number of slab entries (occupied + free) — the arena's dense
+    /// extent; every valid `SlotId` is below it.
+    pub fn arena_len(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// The current free-list, in stack order (top last). The auditor
+    /// checks it is duplicate-free and disjoint from the live set.
+    pub fn free_ids(&self) -> impl Iterator<Item = SlotId> + '_ {
+        self.free.iter().map(|&i| SlotId(i))
     }
 
     fn credit(&mut self, placement: Placement) {
@@ -315,12 +465,28 @@ impl Pool {
             Placement::Mem => self.used_mem += 1,
             Placement::Ssd => self.used_ssd += 1,
         }
+        if let Some(m) = &self.mirror {
+            m.cell(placement).fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn debit(&mut self, placement: Placement) {
         match placement {
             Placement::Mem => self.used_mem -= 1,
             Placement::Ssd => self.used_ssd -= 1,
+        }
+        if let Some(m) = &self.mirror {
+            m.cell(placement).fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn set_used(&mut self, placement: Placement, pages: u64) {
+        match placement {
+            Placement::Mem => self.used_mem = pages,
+            Placement::Ssd => self.used_ssd = pages,
+        }
+        if let Some(m) = &self.mirror {
+            m.cell(placement).store(pages, Ordering::Relaxed);
         }
     }
 }
@@ -354,13 +520,13 @@ mod tests {
     #[test]
     fn overwrite_displaces_old_copy() {
         let mut p = pool();
-        assert_eq!(
-            p.insert(addr(1, 0), Placement::Mem, PageVersion(1), 1),
-            None
-        );
-        // Re-put of the same key in a different store displaces the old copy.
-        let displaced = p.insert(addr(1, 0), Placement::Ssd, PageVersion(2), 2);
+        let (id1, displaced) = p.insert(addr(1, 0), Placement::Mem, PageVersion(1), 1);
+        assert_eq!(displaced, None);
+        // Re-put of the same key in a different store displaces the old
+        // copy and keeps the slab handle with the key.
+        let (id2, displaced) = p.insert(addr(1, 0), Placement::Ssd, PageVersion(2), 2);
         assert_eq!(displaced, Some(Placement::Mem));
+        assert_eq!(id1, id2, "overwrite reuses the key's slot");
         assert_eq!(p.used(Placement::Mem), 0);
         assert_eq!(p.used(Placement::Ssd), 1);
         assert_eq!(p.peek(addr(1, 0)).unwrap().version, PageVersion(2));
@@ -452,6 +618,58 @@ mod tests {
     }
 
     #[test]
+    fn free_list_recycles_slots_with_fresh_seqs() {
+        let mut p = pool();
+        let (id0, _) = p.insert(addr(1, 0), Placement::Mem, PageVersion(0), 1);
+        p.remove(addr(1, 0)).unwrap();
+        assert_eq!(p.free_ids().collect::<Vec<_>>(), vec![id0]);
+        // Reuse: the freed index comes back with a new seq, so the old
+        // (id, seq) pair held by the FIFO is detectably dead.
+        let (id1, _) = p.insert(addr(2, 0), Placement::Mem, PageVersion(0), 2);
+        assert_eq!(id0, id1);
+        assert_eq!(p.free_ids().count(), 0);
+        assert_eq!(p.fifo_probe(id0, 1, Placement::Mem), None, "stale pair");
+        assert_eq!(p.fifo_probe(id1, 2, Placement::Mem), Some(addr(2, 0)));
+        // The arena stayed dense: one slab entry total.
+        assert_eq!(p.arena_len(), 1);
+    }
+
+    #[test]
+    fn slot_by_id_and_lookup_agree() {
+        let mut p = pool();
+        let (id, _) = p.insert(addr(3, 9), Placement::Ssd, PageVersion(4), 7);
+        assert_eq!(p.lookup(addr(3, 9)), Some(id));
+        let (a, s) = p.slot_by_id(id).unwrap();
+        assert_eq!(a, addr(3, 9));
+        assert_eq!(s.version, PageVersion(4));
+        let (a2, s2) = p.remove_by_id(id).unwrap();
+        assert_eq!((a2, s2.version), (addr(3, 9), PageVersion(4)));
+        assert_eq!(p.slot_by_id(id), None);
+        assert_eq!(p.lookup(addr(3, 9)), None);
+    }
+
+    #[test]
+    fn usage_mirror_tracks_accounting() {
+        let mut p = pool();
+        let mirror = Arc::new(UsageMirror::default());
+        p.set_mirror(Arc::clone(&mirror));
+        p.insert(addr(1, 0), Placement::Mem, PageVersion(0), 1);
+        p.insert(addr(1, 1), Placement::Ssd, PageVersion(0), 2);
+        assert_eq!(mirror.pages(Placement::Mem), 1);
+        assert_eq!(mirror.pages(Placement::Ssd), 1);
+        p.remove(addr(1, 0));
+        assert_eq!(mirror.pages(Placement::Mem), 0);
+        p.drain();
+        assert_eq!(mirror.pages(Placement::Ssd), 0);
+        // Attaching to a non-empty pool seeds the mirror.
+        let mut q = pool();
+        q.insert(addr(2, 0), Placement::Mem, PageVersion(0), 1);
+        let m2 = Arc::new(UsageMirror::default());
+        q.set_mirror(Arc::clone(&m2));
+        assert_eq!(m2.pages(Placement::Mem), 1);
+    }
+
+    #[test]
     fn policy_update() {
         let mut p = pool();
         assert_eq!(p.policy(), CachePolicy::mem(100));
@@ -471,7 +689,8 @@ mod tests {
 
         /// Accounting invariant: `used(placement)` always equals the
         /// number of live objects with that placement, under any
-        /// operation sequence.
+        /// operation sequence — and the free-list stays disjoint from
+        /// the live set.
         #[test]
         fn usage_accounting_matches_index() {
             let mut rng = SimRng::new(0xA11C0);
@@ -513,6 +732,11 @@ mod tests {
                     assert_eq!(p.used(Placement::Mem), mem_live);
                     assert_eq!(p.used(Placement::Ssd), ssd_live);
                     assert_eq!(p.total_used(), mem_live + ssd_live);
+                    let live: std::collections::BTreeSet<SlotId> =
+                        p.iter_ids().map(|(id, _, _)| id).collect();
+                    let free: Vec<SlotId> = p.free_ids().collect();
+                    assert!(free.iter().all(|id| !live.contains(id)));
+                    assert_eq!(live.len() + free.len(), p.arena_len() as usize);
                 }
             }
         }

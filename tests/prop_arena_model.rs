@@ -1,0 +1,279 @@
+//! Property tests for the slab-arena pool index (DESIGN.md §13).
+//!
+//! The arena (`Vec<Option<...>>` + free-list + one hash probe) must be
+//! observably identical to the naive model it replaced — a
+//! `BTreeMap<BlockAddr, Slot>` — under arbitrary put/flush/evict/drain
+//! sequences, and its free-list must never hand a live `SlotId` to a
+//! second object. A third test churns a full `DoubleDeckerCache` in
+//! Global mode (overwrite + flush heavy, working set over capacity) so
+//! global-FIFO tombstone compaction runs repeatedly over recycled
+//! `SlotId`s, with the serial auditor as the oracle. (Seeded SimRng
+//! schedules — the in-tree replacement for proptest.)
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ddc_core::cleancache::SecondChanceCache;
+use ddc_core::hypercache::index::{Placement, Pool, SlotId};
+use ddc_core::hypercache::{audit, DoubleDeckerCache};
+use ddc_core::prelude::*;
+
+/// What the naive model remembers per resident block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct ModelSlot {
+    placement: Placement,
+    version: u64,
+    seq: u64,
+}
+
+type Model = BTreeMap<BlockAddr, ModelSlot>;
+
+fn model_used(model: &Model, placement: Placement) -> u64 {
+    model.values().filter(|s| s.placement == placement).count() as u64
+}
+
+/// The model's FIFO-eviction victim: the live block with the smallest
+/// sequence stamp in the given store (each live slot has exactly one
+/// live queue entry, stamped with its current seq).
+fn model_oldest(model: &Model, placement: Placement) -> Option<(BlockAddr, ModelSlot)> {
+    model
+        .iter()
+        .filter(|(_, s)| s.placement == placement)
+        .min_by_key(|(_, s)| s.seq)
+        .map(|(&a, &s)| (a, s))
+}
+
+fn placement_of(r: &mut SimRng) -> Placement {
+    if r.chance(0.5) {
+        Placement::Mem
+    } else {
+        Placement::Ssd
+    }
+}
+
+fn random_addr(r: &mut SimRng) -> BlockAddr {
+    BlockAddr::new(FileId(r.range_u64(1, 5)), r.range_u64(0, 48))
+}
+
+/// Arena/model agreement on everything a caller can observe, plus the
+/// arena-shape invariants (free-list disjoint from the live set, no
+/// duplicate free ids, live + free spans the slab).
+fn check_against_model(pool: &Pool, model: &Model) {
+    let visible: BTreeMap<BlockAddr, ModelSlot> = pool
+        .iter()
+        .map(|(addr, s)| {
+            (
+                addr,
+                ModelSlot {
+                    placement: s.placement,
+                    version: s.version.0,
+                    seq: s.seq,
+                },
+            )
+        })
+        .collect();
+    assert_eq!(&visible, model, "arena visible state diverged from model");
+    for placement in [Placement::Mem, Placement::Ssd] {
+        assert_eq!(pool.used(placement), model_used(model, placement));
+    }
+
+    let live: BTreeSet<SlotId> = pool.iter_ids().map(|(id, _, _)| id).collect();
+    let mut free: Vec<SlotId> = pool.free_ids().collect();
+    let free_set: BTreeSet<SlotId> = free.iter().copied().collect();
+    assert_eq!(free_set.len(), free.len(), "free-list holds a duplicate id");
+    free.clear();
+    assert!(
+        live.is_disjoint(&free_set),
+        "free-list intersects the live set"
+    );
+    assert_eq!(
+        live.len() + free_set.len(),
+        pool.arena_len() as usize,
+        "live + free must span the slab exactly"
+    );
+    for (id, addr, _) in pool.iter_ids() {
+        assert_eq!(pool.lookup(addr), Some(id), "map/slab disagreement");
+    }
+}
+
+#[test]
+fn arena_matches_naive_map_model_under_random_sequences() {
+    let mut rng = SimRng::new(0xA12E);
+    for case in 0..64 {
+        let mut r = rng.fork(case);
+        let mut pool = Pool::new(VmId(1), CachePolicy::hybrid(100));
+        let mut model: Model = BTreeMap::new();
+        let mut seq = 0u64;
+        for _ in 0..r.range_u64(1, 300) {
+            match r.range_u64(0, 10) {
+                // Put (new key or overwrite-in-place).
+                0..=4 => {
+                    let addr = random_addr(&mut r);
+                    let placement = placement_of(&mut r);
+                    let version = r.range_u64(1, 8);
+                    seq += 1;
+                    // The free-list must never hand out an id that is
+                    // currently live (double-assignment would alias two
+                    // blocks onto one slab cell).
+                    let live_before: BTreeSet<SlotId> =
+                        pool.iter_ids().map(|(id, _, _)| id).collect();
+                    let was_resident = model.contains_key(&addr);
+                    let (sid, displaced) = pool.insert(addr, placement, PageVersion(version), seq);
+                    if was_resident {
+                        assert_eq!(
+                            displaced.expect("overwrite displaces the old copy"),
+                            model[&addr].placement
+                        );
+                        assert!(live_before.contains(&sid), "overwrite must keep the id");
+                    } else {
+                        assert_eq!(displaced, None);
+                        assert!(
+                            !live_before.contains(&sid),
+                            "free-list double-assigned live {sid:?}"
+                        );
+                    }
+                    model.insert(
+                        addr,
+                        ModelSlot {
+                            placement,
+                            version,
+                            seq,
+                        },
+                    );
+                }
+                // Lookup (exclusive-get peek only; removal is the next arm).
+                5 => {
+                    let addr = random_addr(&mut r);
+                    let got = pool.peek(addr).map(|s| ModelSlot {
+                        placement: s.placement,
+                        version: s.version.0,
+                        seq: s.seq,
+                    });
+                    assert_eq!(got, model.get(&addr).copied());
+                }
+                // Flush: remove by key.
+                6..=7 => {
+                    let addr = random_addr(&mut r);
+                    let got = pool.remove(addr).map(|s| s.placement);
+                    assert_eq!(got, model.remove(&addr).map(|s| s.placement));
+                }
+                // Evict: FIFO pop of the oldest live entry.
+                8 => {
+                    let placement = placement_of(&mut r);
+                    let got = pool.pop_oldest(placement);
+                    let expected = model_oldest(&model, placement);
+                    match (got, expected) {
+                        (None, None) => {}
+                        (Some((addr, slot)), Some((maddr, mslot))) => {
+                            assert_eq!(addr, maddr, "eviction order diverged");
+                            assert_eq!(slot.seq, mslot.seq);
+                            model.remove(&maddr);
+                        }
+                        (got, expected) => {
+                            panic!("pop_oldest: arena {got:?} vs model {expected:?}")
+                        }
+                    }
+                }
+                // Invalidate a whole file.
+                9 => {
+                    let file = FileId(r.range_u64(1, 5));
+                    let (mem, ssd) = pool.remove_file(file);
+                    let before = (
+                        model_used(&model, Placement::Mem),
+                        model_used(&model, Placement::Ssd),
+                    );
+                    model.retain(|a, _| a.file != file);
+                    let after = (
+                        model_used(&model, Placement::Mem),
+                        model_used(&model, Placement::Ssd),
+                    );
+                    assert_eq!((mem, ssd), (before.0 - after.0, before.1 - after.1));
+                }
+                // Drain one store side.
+                _ => {
+                    let placement = placement_of(&mut r);
+                    let freed = pool.drain_placement(placement);
+                    assert_eq!(freed, model_used(&model, placement));
+                    model.retain(|_, s| s.placement != placement);
+                }
+            }
+            check_against_model(&pool, &model);
+        }
+    }
+}
+
+/// Heavy id recycling: fill, drain, refill many times over a small key
+/// range so every slab cell is reused repeatedly, then verify the slab
+/// never grew past the peak working set (the free-list actually
+/// recycles instead of leaking indices).
+#[test]
+fn free_list_recycles_instead_of_growing_the_slab() {
+    let mut pool = Pool::new(VmId(1), CachePolicy::mem(100));
+    let mut seq = 0u64;
+    for round in 0..32u64 {
+        for b in 0..64u64 {
+            seq += 1;
+            pool.insert(
+                BlockAddr::new(FileId(1), b),
+                Placement::Mem,
+                PageVersion(round + 1),
+                seq,
+            );
+        }
+        assert!(
+            pool.arena_len() <= 64,
+            "round {round}: slab grew to {} cells for a 64-block working set",
+            pool.arena_len()
+        );
+        if round % 2 == 0 {
+            assert_eq!(pool.drain_placement(Placement::Mem), 64);
+        } else {
+            for b in 0..64u64 {
+                pool.remove(BlockAddr::new(FileId(1), b));
+            }
+        }
+        assert!(pool.is_empty());
+    }
+}
+
+/// Global-mode churn with a working set ~3x capacity: every overwrite
+/// and flush strands a tombstone in the global FIFO, so the lazy
+/// compaction sweep repeatedly walks recycled `SlotId`s. The serial
+/// auditor (index coherence, FIFO coverage, arena shape, tombstone
+/// bound) is the oracle after every burst.
+#[test]
+fn global_fifo_compaction_over_recycled_ids_stays_audit_clean() {
+    let mut rng = SimRng::new(0xC03B);
+    for case in 0..16 {
+        let mut r = rng.fork(case);
+        let mut cache = DoubleDeckerCache::new(CacheConfig {
+            mem_capacity_pages: 128,
+            ssd_capacity_pages: 0,
+            mode: PartitionMode::Global,
+        });
+        let mut pools = Vec::new();
+        for v in 1..=3u32 {
+            cache.add_vm(VmId(v), 100);
+            pools.push((VmId(v), cache.create_pool(VmId(v), CachePolicy::mem(100))));
+        }
+        let now = SimTime::from_secs(1);
+        for _ in 0..r.range_u64(4, 12) {
+            for _ in 0..r.range_u64(50, 200) {
+                let (vm, pool) = pools[r.next_below(3) as usize];
+                let addr = BlockAddr::new(FileId(r.range_u64(1, 4)), r.next_below(384));
+                match r.range_u64(0, 5) {
+                    0..=2 => {
+                        cache.put(now, vm, pool, addr, PageVersion(1));
+                    }
+                    3 => {
+                        cache.get(now, vm, pool, addr);
+                    }
+                    _ => {
+                        cache.flush(vm, pool, addr);
+                    }
+                }
+            }
+            let findings = audit(&cache);
+            assert!(findings.is_empty(), "case {case}: {findings:?}");
+        }
+    }
+}

@@ -13,8 +13,19 @@
 //!    same seed at several thread counts always finish with zero
 //!    auditor findings and zero stale-read-oracle violations, and
 //!    always issue the same total operation count.
+//! 3. **Two-phase staleness** — the eviction hook (which fires between
+//!    the lock-free victim snapshot and the single-shard locked
+//!    re-validation) is used to force every snapshot stale; the path
+//!    must detect it, retry within its bound or fall back to lock-all,
+//!    and never oversubscribe the ledger or wedge a put.
 
-use ddc_core::concurrent::{run_equivalence, run_stress, EngineKind, StressConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ddc_core::cleancache::SecondChanceCache;
+use ddc_core::concurrent::{
+    audit, run_equivalence, run_stress, EngineKind, ShardedCache, StressConfig,
+};
 use ddc_core::prelude::*;
 
 fn config(seed: u64, mode: PartitionMode) -> StressConfig {
@@ -46,6 +57,96 @@ fn sharded_engine_is_byte_identical_to_serial_across_modes_and_seeds() {
             }
         }
     }
+}
+
+/// Forces every two-phase snapshot stale: the eviction hook flushes
+/// pages out of the phase-1 victim's pool between the phases, so the
+/// locked re-validation sees different usage than the snapshot did.
+/// The path must take the retry/fallback route (observable via the
+/// diagnostic counters), keep serving every put, and leave the ledger
+/// and mirrors exact (zero auditor findings after every burst).
+#[test]
+fn two_phase_eviction_converges_under_forced_snapshot_staleness() {
+    let cache = ShardedCache::new(
+        CacheConfig {
+            mem_capacity_pages: 64,
+            ssd_capacity_pages: 0,
+            mode: PartitionMode::DoubleDecker,
+        },
+        8,
+    );
+    cache.add_vm(VmId(0), 100);
+    cache.add_vm(VmId(1), 100);
+    let mut backend = cache.clone();
+    let heavy = backend.create_pool(VmId(0), CachePolicy::mem(100));
+    let light = backend.create_pool(VmId(1), CachePolicy::mem(100));
+    let now = SimTime::from_secs(1);
+
+    // Blocks known resident in the heavy pool, shared with the hook.
+    let resident: Arc<Mutex<Vec<BlockAddr>>> = Arc::new(Mutex::new(Vec::new()));
+    let hook_flushes = Arc::new(AtomicU64::new(0));
+    {
+        let hook_cache = cache.clone();
+        let resident = resident.clone();
+        let hook_flushes = hook_flushes.clone();
+        cache.set_eviction_hook(Some(Arc::new(move || {
+            // Yank a batch of the victim's pages between the phases.
+            // `flush` frees pages without allocating, so the hook can
+            // never recurse into eviction.
+            let batch: Vec<BlockAddr> = {
+                let mut r = resident.lock().expect("resident lock");
+                let at = r.len() - r.len().min(16);
+                r.split_off(at)
+            };
+            let mut backend = hook_cache.clone();
+            for addr in batch {
+                hook_flushes.fetch_add(1, Ordering::Relaxed);
+                backend.flush(VmId(0), heavy, addr);
+            }
+        })));
+    }
+
+    let mut r = SimRng::new(0x57A1E);
+    for burst in 0..24u64 {
+        // Refill the heavy pool past its entitlement so Algorithm 1
+        // would pick it as the victim...
+        for b in 0..40u64 {
+            let addr = BlockAddr::new(FileId(1), burst * 40 + b);
+            if matches!(
+                backend.put(now, VmId(0), heavy, addr, PageVersion(1)),
+                PutOutcome::Stored { .. }
+            ) {
+                resident.lock().expect("resident lock").push(addr);
+            }
+        }
+        // ...then drive puts into the light pool until eviction fires;
+        // each firing runs the hook, which invalidates the snapshot.
+        for b in 0..r.range_u64(24, 48) {
+            let addr = BlockAddr::new(FileId(2), burst * 64 + b);
+            assert!(
+                matches!(
+                    backend.put(now, VmId(1), light, addr, PageVersion(1)),
+                    PutOutcome::Stored { .. }
+                ),
+                "burst {burst}: put wedged under forced staleness"
+            );
+        }
+        let findings = audit(&cache);
+        assert!(
+            findings.is_empty(),
+            "burst {burst}: ledger/mirror invariants broke under staleness: {findings:?}"
+        );
+    }
+
+    assert!(
+        hook_flushes.load(Ordering::Relaxed) > 0,
+        "the staleness hook never fired — the two-phase path was not exercised"
+    );
+    let detected = cache.two_phase_retries() + cache.two_phase_fallbacks();
+    assert!(
+        detected > 0,
+        "every forced-stale snapshot re-validated clean (staleness detection is dead)"
+    );
 }
 
 #[test]
