@@ -25,6 +25,9 @@ fi
 
 echo "==> chaos smoke (seeded crash/recovery sweep)"
 cargo run --release -q -p ddc-bench --bin repro -- chaos --smoke
+echo "==> chaos smoke again with 8 experiment workers (threaded kill/recover sweep)"
+DDC_THREADS=8 cargo run --release -q -p ddc-bench --bin repro -- chaos --smoke
+cargo test -q -p ddc-core --test prop_sharded_recovery
 
 echo "==> stress smoke (serial-vs-sharded equivalence + threaded stress)"
 cargo run --release -q -p ddc-bench --bin repro -- stress --smoke

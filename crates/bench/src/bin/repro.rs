@@ -86,9 +86,10 @@ fn print_help() {
            fig13   dynamic VM provisioning\n\
            ext     extensions: compression ablation, hybrid store, adaptive weights\n\
            faults  SSD brownout: graceful degradation and recovery\n\
-           chaos   crash-and-recovery sweep over randomized journal prefixes\n\
-                   [--smoke] [--out FILE]; exits non-zero on any stale read\n\
-                   or invariant violation\n\
+           chaos   crash-and-recovery sweep over randomized journal prefixes,\n\
+                   plus threaded-plane kills (per-shard segment cuts, 8-thread\n\
+                   continuation) [--smoke] [--out FILE]; exits non-zero on any\n\
+                   stale read or invariant violation\n\
            stress  concurrent serving plane: serial-vs-sharded equivalence\n\
                    matrix + 1/2/4/8-thread stress [--smoke] [--out FILE];\n\
                    exits non-zero on any divergence, stale read or finding\n\
@@ -537,10 +538,17 @@ fn chaos_sweep(args: &Args) -> bool {
     } else {
         chaos::CASES_FULL
     };
+    let threaded_cases = if args.smoke {
+        chaos::THREADED_CASES_SMOKE
+    } else {
+        chaos::THREADED_CASES_FULL
+    };
     banner(&format!(
-        "Chaos: {cases} randomized hypervisor crashes (journal cuts, torn tails, bit flips)"
+        "Chaos: {cases} randomized hypervisor crashes (journal cuts, torn tails, bit flips)\n\
+         == + {threaded_cases} threaded-plane kills ({}-thread sharded engine, per-shard cuts)",
+        chaos::THREADED_PLANE_THREADS
     ));
-    let report = chaos::run(chaos::DEFAULT_SEED, cases);
+    let report = chaos::run(chaos::DEFAULT_SEED, cases, threaded_cases);
     let mut table = TextTable::new(vec![
         "case",
         "kind",
@@ -566,11 +574,44 @@ fn chaos_sweep(args: &Args) -> bool {
         ]);
     }
     println!("{}", table.render());
+
+    println!("threaded plane (kill mid-tick, per-shard cuts, recover, continue on 8 threads):");
+    let mut tt = TextTable::new(vec![
+        "case",
+        "kind",
+        "hook cut",
+        "kill@tick/vm/budget",
+        "replayed",
+        "gap",
+        "recovered",
+        "discarded",
+        "torn/corrupt segs",
+        "stale",
+        "audit",
+    ]);
+    for c in &report.threaded {
+        let torn = c.segments.iter().filter(|s| s.1).count();
+        let corrupt = c.segments.iter().filter(|s| s.2).count();
+        tt.row(vec![
+            c.id.to_string(),
+            c.kind.name().to_owned(),
+            if c.hook_cut { "yes" } else { "no" }.to_owned(),
+            format!("{}/{}/{}", c.kill_tick, c.kill_vm, c.budget),
+            c.records_replayed.to_string(),
+            c.gap_discarded.to_string(),
+            c.recovered_entries.to_string(),
+            (c.discarded_stale + c.dropped_no_room).to_string(),
+            format!("{torn}/{corrupt}"),
+            (c.stale_entries + c.stale_reads).to_string(),
+            c.audit_findings.to_string(),
+        ]);
+    }
+    println!("{}", tt.render());
     println!(
         "totals: {} stale reads, {} auditor findings across {} crash points",
         report.total_stale(),
         report.total_findings(),
-        report.cases.len()
+        report.cases.len() + report.threaded.len()
     );
 
     if let Some(out) = &args.out {
@@ -584,7 +625,7 @@ fn chaos_sweep(args: &Args) -> bool {
         println!("[json written to {}]", path.display());
     }
 
-    let again = chaos::run(chaos::DEFAULT_SEED, cases);
+    let again = chaos::run(chaos::DEFAULT_SEED, cases, threaded_cases);
     println!(
         "determinism: same-seed rerun is {}",
         if again.to_json() == report.to_json() {
@@ -596,7 +637,8 @@ fn chaos_sweep(args: &Args) -> bool {
     println!(
         "shape check: recovery may lose entries (discarded/dropped) but the\n\
          stale and audit columns must be all zero — the cache can forget,\n\
-         it can never lie."
+         it can never lie. The threaded rows additionally survive a second\n\
+         crash of the thread-interleaved journal (gates only; not tabled)."
     );
     report.passed() && again.to_json() == report.to_json()
 }
@@ -623,22 +665,35 @@ fn stress_plane(args: &Args) -> bool {
 
     println!("thread scaling (shared sharded cache, one VM set per run):");
     let mut sc = TextTable::new(vec![
-        "threads", "ops", "wall (s)", "ops/sec", "stale", "audit",
+        "threads",
+        "journal",
+        "ops",
+        "wall (s)",
+        "ops/sec",
+        "stale",
+        "audit",
+        "commit epoch",
+        "compactions",
     ]);
     for c in &report.scaling {
         sc.row(vec![
             c.threads.to_string(),
+            if c.journal { "yes" } else { "no" }.to_owned(),
             c.total_ops.to_string(),
             format!("{:.3}", c.wall_secs),
             format!("{:.0}", c.ops_per_sec),
             c.stale_reads.to_string(),
             c.audit_findings.to_string(),
+            c.commit_epoch.to_string(),
+            c.journal_compactions.to_string(),
         ]);
     }
     println!("{}", sc.render());
     println!(
-        "8-thread vs 1-thread throughput factor: {:.2}x (reported, not gated:\n\
-         on a single-core runner it measures locking overhead, not scaling)",
+        "8-thread vs 1-thread throughput factor: {:.2}x on the volatile rows\n\
+         (reported, not gated: on a single-core runner it measures locking\n\
+         overhead, not scaling); journaled rows group-commit per tick and\n\
+         must land a non-zero durability watermark",
         report.scaling_factor()
     );
 

@@ -18,20 +18,52 @@
 //! clean-cache contract, paper §3). The whole sweep is seeded and
 //! deterministic: identical seeds reproduce the report byte-for-byte,
 //! and independent cases fan out across cores.
+//!
+//! # Crash × concurrency (the threaded axis)
+//!
+//! A second sweep kills the journaled *sharded* plane
+//! (`ddc-concurrent`, DESIGN.md §14): the kill phase is driven
+//! round-robin so every diagnostic is seed-deterministic, the plane
+//! dies mid-tick — the victim VM's stream stops mid-`put_many`, the
+//! tick's group commit never happens — and on `hook_cut` cases the
+//! segment snapshot is the one the eviction hook took *between the two
+//! eviction phases*. Each shard's segment is then mutilated
+//! independently (intact / boundary cut / torn / bit-flipped),
+//! `ShardedCache::recover` warm-restarts, and the *same* guests
+//! continue on the 8-thread plane. Finally a second crash hits the
+//! genuinely thread-interleaved journal the continuation wrote; its
+//! replay counters are interleaving-dependent and stay out of the
+//! deterministic report, but its oracle/auditor gates fold into the
+//! case (they must be zero under any interleaving).
 
+use std::sync::{Arc, Mutex};
+
+use ddc_core::concurrent::{CrashHarness, StressConfig};
 use ddc_core::hypercache::audit;
 use ddc_core::prelude::*;
 use ddc_core::storage::Journal;
 use ddc_json::Json;
 
 /// JSON schema tag of the chaos report.
-pub const SCHEMA: &str = "ddc-chaos-v1";
+pub const SCHEMA: &str = "ddc-chaos-v2";
 
 /// Randomized crash points in a full run.
 pub const CASES_FULL: usize = 60;
 
 /// Crash points in a `--smoke` run (CI budget).
 pub const CASES_SMOKE: usize = 8;
+
+/// Threaded-plane crash points in a full run.
+pub const THREADED_CASES_FULL: usize = 24;
+
+/// Threaded-plane crash points in a `--smoke` run.
+pub const THREADED_CASES_SMOKE: usize = 6;
+
+/// OS threads the post-recovery continuation drives.
+pub const THREADED_PLANE_THREADS: usize = 8;
+
+/// Ticks the survivors are driven after each threaded-plane recovery.
+const THREADED_CONT_TICKS: u64 = 24;
 
 /// Default master seed of the sweep.
 pub const DEFAULT_SEED: u64 = 0xC805;
@@ -95,6 +127,46 @@ pub struct ChaosCase {
     pub audit_findings: u64,
 }
 
+/// Outcome of one threaded-plane crash/recover/continue case.
+#[derive(Clone, Debug)]
+pub struct ThreadedChaosCase {
+    /// Case index within the threaded sweep.
+    pub id: u32,
+    /// Crash flavor applied (independently) to the shard segments.
+    pub kind: CrashKind,
+    /// The recovered snapshot was taken by the eviction hook — i.e. the
+    /// crash landed between the two eviction phases.
+    pub hook_cut: bool,
+    /// Tick the plane was killed in (its group commit never ran).
+    pub kill_tick: u64,
+    /// VM whose hypercall stream the crash cut short.
+    pub kill_vm: u32,
+    /// Hypercall batches the killed VM got through before dying (the
+    /// cut can land mid-`put_many`).
+    pub budget: u64,
+    /// Journal records replayed across all shard segments.
+    pub records_replayed: u64,
+    /// Records discarded at the first global generation gap.
+    pub gap_discarded: u64,
+    /// Entries resident after recovery.
+    pub recovered_entries: u64,
+    /// Entries dropped by the per-VM flush-epoch discard.
+    pub discarded_stale: u64,
+    /// Replayed puts dropped because the ledger had no room.
+    pub dropped_no_room: u64,
+    /// Per-shard replay diagnostics: `(records, torn_tail, corrupt)`.
+    pub segments: Vec<(u64, bool, bool)>,
+    /// Stale-entry-oracle violations (after recovery, after the
+    /// continuation, and after the second interleaved crash). Must be 0.
+    pub stale_entries: u64,
+    /// Stale hits the guests observed while continuing. Must be zero.
+    pub stale_reads: u64,
+    /// Invariant-auditor findings across all checkpoints. Must be zero.
+    pub audit_findings: u64,
+    /// Hypercall operations the guests issued over the whole case.
+    pub total_ops: u64,
+}
+
 /// A full chaos sweep.
 #[derive(Clone, Debug)]
 pub struct ChaosReport {
@@ -102,6 +174,8 @@ pub struct ChaosReport {
     pub seed: u64,
     /// Per-case outcomes, in case order.
     pub cases: Vec<ChaosCase>,
+    /// Threaded-plane (crash × concurrency) outcomes, in case order.
+    pub threaded: Vec<ThreadedChaosCase>,
 }
 
 impl ChaosReport {
@@ -110,12 +184,18 @@ impl ChaosReport {
         self.cases
             .iter()
             .map(|c| c.stale_entries + c.stale_reads)
-            .sum()
+            .sum::<u64>()
+            + self
+                .threaded
+                .iter()
+                .map(|c| c.stale_entries + c.stale_reads)
+                .sum::<u64>()
     }
 
     /// Total invariant-auditor findings across the sweep.
     pub fn total_findings(&self) -> u64 {
-        self.cases.iter().map(|c| c.audit_findings).sum()
+        self.cases.iter().map(|c| c.audit_findings).sum::<u64>()
+            + self.threaded.iter().map(|c| c.audit_findings).sum::<u64>()
     }
 
     /// `true` when every case upheld the contract.
@@ -141,6 +221,31 @@ impl ChaosReport {
         summary.set(
             "discarded_stale",
             Json::Num(self.cases.iter().map(|c| c.discarded_stale).sum::<u64>() as f64),
+        );
+        summary.set("threaded_cases", Json::Num(self.threaded.len() as f64));
+        summary.set(
+            "threaded_plane_threads",
+            Json::Num(THREADED_PLANE_THREADS as f64),
+        );
+        summary.set(
+            "threaded_torn_segments",
+            Json::Num(
+                self.threaded
+                    .iter()
+                    .flat_map(|c| &c.segments)
+                    .filter(|s| s.1)
+                    .count() as f64,
+            ),
+        );
+        summary.set(
+            "threaded_corrupt_segments",
+            Json::Num(
+                self.threaded
+                    .iter()
+                    .flat_map(|c| &c.segments)
+                    .filter(|s| s.2)
+                    .count() as f64,
+            ),
         );
         root.set("summary", summary);
         root.set(
@@ -169,18 +274,69 @@ impl ChaosReport {
                     .collect(),
             ),
         );
+        root.set(
+            "threaded",
+            Json::Arr(
+                self.threaded
+                    .iter()
+                    .map(|c| {
+                        let mut o = Json::object();
+                        o.set("id", Json::Num(f64::from(c.id)));
+                        o.set("kind", Json::Str(c.kind.name().to_owned()));
+                        o.set("hook_cut", Json::Bool(c.hook_cut));
+                        o.set("kill_tick", Json::Num(c.kill_tick as f64));
+                        o.set("kill_vm", Json::Num(f64::from(c.kill_vm)));
+                        o.set("budget", Json::Num(c.budget as f64));
+                        o.set("records_replayed", Json::Num(c.records_replayed as f64));
+                        o.set("gap_discarded", Json::Num(c.gap_discarded as f64));
+                        o.set("recovered_entries", Json::Num(c.recovered_entries as f64));
+                        o.set("discarded_stale", Json::Num(c.discarded_stale as f64));
+                        o.set("dropped_no_room", Json::Num(c.dropped_no_room as f64));
+                        o.set(
+                            "segments",
+                            Json::Arr(
+                                c.segments
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(shard, &(records, torn, corrupt))| {
+                                        let mut s = Json::object();
+                                        s.set("shard", Json::Num(shard as f64));
+                                        s.set("records", Json::Num(records as f64));
+                                        s.set("torn_tail", Json::Bool(torn));
+                                        s.set("corrupt", Json::Bool(corrupt));
+                                        s
+                                    })
+                                    .collect(),
+                            ),
+                        );
+                        o.set("stale_entries", Json::Num(c.stale_entries as f64));
+                        o.set("stale_reads", Json::Num(c.stale_reads as f64));
+                        o.set("audit_findings", Json::Num(c.audit_findings as f64));
+                        o.set("total_ops", Json::Num(c.total_ops as f64));
+                        o
+                    })
+                    .collect(),
+            ),
+        );
         let mut s = root.to_string_pretty();
         s.push('\n');
         s
     }
 }
 
-/// Runs a chaos sweep of `cases` crash points under `seed`. Cases are
+/// Runs a chaos sweep of `cases` serial-plane crash points plus
+/// `threaded_cases` threaded-plane crash points under `seed`. Cases are
 /// independent and fan out across cores ([`ddc_core::parallel`]).
-pub fn run(seed: u64, cases: usize) -> ChaosReport {
+pub fn run(seed: u64, cases: usize, threaded_cases: usize) -> ChaosReport {
     let ids: Vec<u32> = (0..cases as u32).collect();
     let cases = ddc_core::parallel::run_cells(ids, move |id| run_case(seed, id));
-    ChaosReport { seed, cases }
+    let tids: Vec<u32> = (0..threaded_cases as u32).collect();
+    let threaded = ddc_core::parallel::run_cells(tids, move |id| run_threaded_case(seed, id));
+    ChaosReport {
+        seed,
+        cases,
+        threaded,
+    }
 }
 
 /// Drives `ops` operations of the seeded workload mix against the host.
@@ -314,14 +470,161 @@ fn run_case(master_seed: u64, id: u32) -> ChaosCase {
     }
 }
 
+/// Applies one seeded mutilation to a single shard's segment image.
+/// Roughly half the segments survive intact (a crash loses only what
+/// some cores hadn't synced); the rest are cut at a record boundary,
+/// cut mid-record (torn) or bit-flipped — independently per shard, so
+/// recovery must reconcile segments that died at *different* points.
+fn mutilate_segment(rng: &mut SimRng, kind: CrashKind, seg: &mut Vec<u8>) {
+    let bounds = Journal::record_boundaries(seg);
+    if bounds.is_empty() {
+        return;
+    }
+    let keep_intact = rng.range_u64(0, 2) == 0;
+    match kind {
+        CrashKind::Clean => {
+            if !keep_intact {
+                seg.truncate(bounds[rng.range_usize(0, bounds.len())]);
+            }
+        }
+        CrashKind::Torn => {
+            if !keep_intact {
+                let i = rng.range_usize(0, bounds.len());
+                let lo = if i == 0 { 0 } else { bounds[i - 1] };
+                seg.truncate(rng.range_usize(lo + 1, bounds[i]));
+            }
+        }
+        CrashKind::BitFlip => {
+            if !keep_intact {
+                seg.truncate(bounds[rng.range_usize(0, bounds.len())]);
+            }
+            if !seg.is_empty() {
+                let pos = rng.range_usize(0, seg.len());
+                seg[pos] ^= 1 << rng.range_u64(0, 8);
+            }
+        }
+    }
+}
+
+/// One threaded-plane crash/recover/continue case (see the module docs
+/// for the phase structure and why the kill phase is single-threaded).
+fn run_threaded_case(master_seed: u64, id: u32) -> ThreadedChaosCase {
+    let mut rng = SimRng::new(
+        master_seed ^ 0xDDC6_0000 ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(id) + 1),
+    );
+    let kind = match id % 3 {
+        0 => CrashKind::Clean,
+        1 => CrashKind::Torn,
+        _ => CrashKind::BitFlip,
+    };
+    let hook_case = id % 4 == 1;
+
+    // A deliberately tight store relative to the working set keeps the
+    // two-phase eviction path (and therefore the eviction hook) hot.
+    let mut cfg = StressConfig::smoke(master_seed ^ (0xDD06 + u64::from(id)));
+    cfg.cache = CacheConfig::mem_and_ssd(96, 128);
+    cfg.working_set = 64;
+    let mut h = CrashHarness::new(&cfg);
+
+    // Eviction-phase cut: the hook fires between the lock-free victim
+    // snapshot and the locked re-validation, with no locks held — its
+    // segment snapshot is what a crash at exactly that point would
+    // leave behind.
+    let hook_snap: Arc<Mutex<Option<Vec<Vec<u8>>>>> = Arc::new(Mutex::new(None));
+    if hook_case {
+        let hook_cache = h.cache().clone();
+        let snap = hook_snap.clone();
+        h.cache().set_eviction_hook(Some(Arc::new(move || {
+            *snap.lock().expect("hook snapshot lock") = hook_cache.journal_images();
+        })));
+    }
+
+    let kill_tick = rng.range_u64(8, 40);
+    h.drive(0, kill_tick);
+    let kill_vm = rng.range_usize(0, cfg.vms as usize);
+    let budget = rng.range_u64(0, 2 + cfg.puts_per_tick + cfg.gets_per_tick);
+    h.drive_killed_tick(kill_tick, kill_vm, budget);
+
+    let mut segments = h.segment_images();
+    let mut hook_cut = false;
+    if hook_case {
+        if let Some(snap) = hook_snap.lock().expect("hook snapshot lock").take() {
+            segments = snap;
+            hook_cut = true;
+        }
+    }
+    // Half the clean kills keep every segment whole — the common real
+    // crash, where everything appended survives and recovery must
+    // *retain* the cache (not merely discard it safely). The rest
+    // mutilate each shard independently.
+    if !(kind == CrashKind::Clean && id.is_multiple_of(6)) {
+        for seg in &mut segments {
+            mutilate_segment(&mut rng, kind, seg);
+        }
+    }
+
+    let report = h.recover(&segments);
+    let mut stale_entries = h.stale_entries();
+    let mut audit_findings = h.audit().len() as u64;
+
+    // The same guests keep running on the 8-thread plane.
+    h.drive_threaded(
+        kill_tick + 1,
+        kill_tick + 1 + THREADED_CONT_TICKS,
+        THREADED_PLANE_THREADS,
+    );
+    stale_entries += h.stale_entries();
+    audit_findings += h.audit().len() as u64;
+
+    // Second crash: the continuation's journal is genuinely
+    // thread-interleaved, so its cut points and replay counters are
+    // not seed-stable — only its gates are reported, and they must be
+    // zero under any interleaving. This is the last use of `rng`, so
+    // the interleaving-dependent bounds cannot skew an earlier draw.
+    let mut second = h.segment_images();
+    for seg in &mut second {
+        if !seg.is_empty() {
+            let cut = rng.range_usize(0, seg.len() + 1);
+            seg.truncate(cut);
+        }
+    }
+    h.recover(&second);
+    stale_entries += h.stale_entries();
+    audit_findings += h.audit().len() as u64;
+
+    ThreadedChaosCase {
+        id,
+        kind,
+        hook_cut,
+        kill_tick,
+        kill_vm: kill_vm as u32,
+        budget,
+        records_replayed: report.records_replayed,
+        gap_discarded: report.gap_discarded,
+        recovered_entries: report.recovered_entries,
+        discarded_stale: report.discarded_stale,
+        dropped_no_room: report.dropped_no_room,
+        segments: report
+            .segments
+            .iter()
+            .map(|s| (s.records, s.torn_tail, s.corrupt))
+            .collect(),
+        stale_entries,
+        stale_reads: h.stale_reads(),
+        audit_findings,
+        total_ops: h.total_ops(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn smoke_sweep_is_clean_and_deterministic() {
-        let a = run(DEFAULT_SEED, 6);
+        let a = run(DEFAULT_SEED, 6, 3);
         assert_eq!(a.cases.len(), 6);
+        assert_eq!(a.threaded.len(), 3);
         assert!(
             a.passed(),
             "stale {} findings {}",
@@ -334,17 +637,46 @@ mod tests {
             assert!(a.cases.iter().any(|c| c.kind == kind));
         }
         assert!(a.cases.iter().any(|c| c.records_replayed > 0));
-        let b = run(DEFAULT_SEED, 6);
+        let b = run(DEFAULT_SEED, 6, 3);
         assert_eq!(a.to_json(), b.to_json(), "same-seed sweeps are identical");
     }
 
     #[test]
     fn torn_cases_report_torn_tails() {
-        let r = run(7, 3);
+        let r = run(7, 3, 0);
         let torn = r.cases.iter().find(|c| c.kind == CrashKind::Torn).unwrap();
         // A mid-record cut must surface as a torn tail (unless the cut
         // landed at offset where nothing preceded it).
         assert!(torn.torn_tail || torn.cut == 0);
         assert!(r.passed());
+    }
+
+    #[test]
+    fn threaded_sweep_kills_recovers_and_stays_clean() {
+        let a = run(DEFAULT_SEED, 0, 8);
+        assert_eq!(a.threaded.len(), 8);
+        assert!(
+            a.passed(),
+            "stale {} findings {}",
+            a.total_stale(),
+            a.total_findings()
+        );
+        for kind in [CrashKind::Clean, CrashKind::Torn, CrashKind::BitFlip] {
+            assert!(a.threaded.iter().any(|c| c.kind == kind));
+        }
+        // The sweep must actually exercise the interesting machinery:
+        // replayed records, mutilated tails, and the eviction-hook cut.
+        assert!(a.threaded.iter().any(|c| c.records_replayed > 0));
+        assert!(a
+            .threaded
+            .iter()
+            .any(|c| c.segments.iter().any(|&(_, torn, corrupt)| torn || corrupt)));
+        assert!(
+            a.threaded.iter().any(|c| c.hook_cut),
+            "no case recovered from an eviction-phase snapshot"
+        );
+        assert!(a.threaded.iter().any(|c| c.recovered_entries > 0));
+        let b = run(DEFAULT_SEED, 0, 8);
+        assert_eq!(a.to_json(), b.to_json(), "same-seed sweeps are identical");
     }
 }

@@ -380,6 +380,26 @@ fn stress_threads(threads: usize, ticks: u64) -> u64 {
     out.total_ops
 }
 
+/// The same stress workload with per-shard journaling and a group
+/// commit per tick (DESIGN.md §14): the gap between this cell and its
+/// volatile `stress_threads_*` twin is the durability tax of the WAL
+/// append + segment sync on the serving path.
+fn journaled_stress_threads(threads: usize, ticks: u64) -> u64 {
+    let mut cfg = StressConfig::standard(0xD1CE);
+    cfg.ticks = ticks;
+    cfg.journal = true;
+    let out = run_stress(&cfg, threads);
+    assert!(
+        out.clean() && out.commit_epoch > 0,
+        "journaled stress perf cell violated its gates: {} stale reads, \
+         commit epoch {}, findings {:?}",
+        out.stale_reads,
+        out.commit_epoch,
+        out.findings
+    );
+    out.total_ops
+}
+
 /// One end-to-end cell: a webserver VM through guest page cache,
 /// cleancache channel and hypervisor cache, covering the full stack the
 /// `repro` figures exercise. `ops` here is virtual milliseconds.
@@ -472,6 +492,14 @@ pub fn run_matrix(smoke: bool) -> Vec<PerfCell> {
         (
             "stress_threads_8",
             Box::new(move || stress_threads(8, 500 / scale)),
+        ),
+        (
+            "journaled_stress_threads_1",
+            Box::new(move || journaled_stress_threads(1, 500 / scale)),
+        ),
+        (
+            "journaled_stress_threads_8",
+            Box::new(move || journaled_stress_threads(8, 500 / scale)),
         ),
     ];
     cells
@@ -592,6 +620,14 @@ mod tests {
         assert!(channel_mix(2_000, false) >= 2_000);
         assert!(stress_threads(2, 20) > 0);
         assert!(evict_contention_threads(2, 20) > 0);
+        assert!(journaled_stress_threads(2, 20) > 0);
+    }
+
+    #[test]
+    fn journaled_and_volatile_stress_cells_do_identical_work() {
+        // The durability-tax comparison is only honest if both cells
+        // issue the same op stream; the op counters prove they do.
+        assert_eq!(stress_threads(2, 20), journaled_stress_threads(2, 20));
     }
 
     #[test]

@@ -9,11 +9,14 @@
 //!    determinism contract: sharding is a locking strategy, not a
 //!    semantic change.
 //! 2. **Thread scaling** — the threaded driver at 1/2/4/8 OS threads
-//!    against one shared sharded cache. Every run must finish with
-//!    zero invariant-auditor findings and zero stale-read-oracle
-//!    violations. The 8-vs-1 throughput factor is *reported*, not
-//!    gated: on a single-core runner it hovers around 1x and only
-//!    measures locking overhead.
+//!    against one shared sharded cache, each count once volatile and
+//!    once journaled with per-tick group commits (DESIGN.md §14).
+//!    Every run must finish with zero invariant-auditor findings and
+//!    zero stale-read-oracle violations, and journaled rows must land
+//!    a non-zero commit epoch. The 8-vs-1 throughput factor is
+//!    *reported*, not gated: on a single-core runner it hovers around
+//!    1x and only measures locking overhead. Commit epochs and segment
+//!    compaction counts ride along as diagnostics.
 //!
 //! The equivalence phase is fully deterministic; the scaling phase
 //! carries wall-clock numbers, so the JSON report is not expected to
@@ -24,7 +27,7 @@ use ddc_core::prelude::*;
 use ddc_json::Json;
 
 /// JSON schema tag of the stress report.
-pub const SCHEMA: &str = "ddc-stress-v1";
+pub const SCHEMA: &str = "ddc-stress-v2";
 
 /// Default master seed of the harness.
 pub const DEFAULT_SEED: u64 = 0x57E5;
@@ -53,6 +56,9 @@ pub struct EquivalenceCell {
 pub struct ScalingCell {
     /// OS threads driving the shared cache.
     pub threads: usize,
+    /// Whether the plane journaled with per-tick group commits
+    /// (DESIGN.md §14) or ran volatile.
+    pub journal: bool,
     /// Hypercall operations issued across all VMs.
     pub total_ops: u64,
     /// Wall-clock seconds of the drive phase.
@@ -63,6 +69,11 @@ pub struct ScalingCell {
     pub stale_reads: u64,
     /// Invariant-auditor findings after the join. Must be zero.
     pub audit_findings: u64,
+    /// Durability watermark after the final group commit. Diagnostic;
+    /// must be non-zero on journaled cells, always zero on volatile.
+    pub commit_epoch: u64,
+    /// Segment compactions across the run. Diagnostic only.
+    pub journal_compactions: u64,
 }
 
 /// A full stress run: equivalence matrix plus scaling sweep.
@@ -79,13 +90,14 @@ pub struct StressReport {
 }
 
 impl StressReport {
-    /// 8-thread over 1-thread throughput factor (0 when either is
-    /// missing). Reported, never gated — see the module docs.
+    /// 8-thread over 1-thread throughput factor on the volatile rows
+    /// (0 when either is missing). Reported, never gated — see the
+    /// module docs.
     pub fn scaling_factor(&self) -> f64 {
         let ops = |t: usize| {
             self.scaling
                 .iter()
-                .find(|c| c.threads == t)
+                .find(|c| c.threads == t && !c.journal)
                 .map(|c| c.ops_per_sec)
         };
         match (ops(1), ops(8)) {
@@ -95,15 +107,15 @@ impl StressReport {
     }
 
     /// `true` when every gate held: all equivalence cells byte-identical
-    /// with zero stale reads, all scaling cells clean.
+    /// with zero stale reads, all scaling cells clean, and every
+    /// journaled scaling cell landed a real durability watermark.
     pub fn passed(&self) -> bool {
         self.equivalence
             .iter()
             .all(|c| c.identical && c.stale_reads == 0)
-            && self
-                .scaling
-                .iter()
-                .all(|c| c.stale_reads == 0 && c.audit_findings == 0)
+            && self.scaling.iter().all(|c| {
+                c.stale_reads == 0 && c.audit_findings == 0 && (c.commit_epoch > 0) == c.journal
+            })
     }
 
     /// Machine-readable report (schema [`SCHEMA`]).
@@ -138,11 +150,17 @@ impl StressReport {
                     .map(|c| {
                         let mut o = Json::object();
                         o.set("threads", Json::Num(c.threads as f64));
+                        o.set("journal", Json::Bool(c.journal));
                         o.set("total_ops", Json::Num(c.total_ops as f64));
                         o.set("wall_secs", Json::Num(c.wall_secs));
                         o.set("ops_per_sec", Json::Num(c.ops_per_sec));
                         o.set("stale_reads", Json::Num(c.stale_reads as f64));
                         o.set("audit_findings", Json::Num(c.audit_findings as f64));
+                        o.set("commit_epoch", Json::Num(c.commit_epoch as f64));
+                        o.set(
+                            "journal_compactions",
+                            Json::Num(c.journal_compactions as f64),
+                        );
                         o
                     })
                     .collect(),
@@ -198,23 +216,30 @@ pub fn run_equivalence_matrix(seed: u64, smoke: bool) -> Vec<EquivalenceCell> {
     cells
 }
 
-/// Runs the thread-scaling sweep at [`THREAD_COUNTS`].
+/// Runs the thread-scaling sweep at [`THREAD_COUNTS`], each thread
+/// count once volatile and once journaled with per-tick group commits
+/// (the durability tax is the gap between the paired rows).
 pub fn run_scaling(seed: u64, smoke: bool) -> Vec<ScalingCell> {
-    THREAD_COUNTS
-        .iter()
-        .map(|&threads| {
-            let cfg = base_config(seed, smoke);
+    let mut cells = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        for journal in [false, true] {
+            let mut cfg = base_config(seed, smoke);
+            cfg.journal = journal;
             let out = run_stress(&cfg, threads);
-            ScalingCell {
+            cells.push(ScalingCell {
                 threads,
+                journal,
                 total_ops: out.total_ops,
                 wall_secs: out.elapsed.as_secs_f64(),
                 ops_per_sec: out.ops_per_sec(),
                 stale_reads: out.stale_reads,
                 audit_findings: out.findings.len() as u64,
-            }
-        })
-        .collect()
+                commit_epoch: out.commit_epoch,
+                journal_compactions: out.journal_compactions,
+            });
+        }
+    }
+    cells
 }
 
 /// Runs the full harness: equivalence matrix, then scaling sweep.
@@ -235,8 +260,11 @@ mod tests {
     fn smoke_harness_passes_all_gates() {
         let r = run(DEFAULT_SEED, true);
         assert_eq!(r.equivalence.len(), 3 * SHARD_COUNTS.len());
-        assert_eq!(r.scaling.len(), THREAD_COUNTS.len());
+        assert_eq!(r.scaling.len(), 2 * THREAD_COUNTS.len());
         assert!(r.passed(), "report: {}", r.to_json());
+        for c in &r.scaling {
+            assert_eq!(c.journal, c.commit_epoch > 0, "cell: {c:?}");
+        }
     }
 
     #[test]

@@ -32,6 +32,14 @@
 //!    pool's exact usage under lock-all quiescence. A drift here means
 //!    phase-1 victim selection is working from corrupt data.
 //!
+//! 7. **Journal health** — when the plane journals (DESIGN.md §14),
+//!    every live shard segment must replay clean end-to-end under
+//!    quiescence (the auditor holds every lock, and we wrote every
+//!    byte ourselves — a torn or corrupt frame here means the
+//!    group-commit path emits records a crash would mangle), with
+//!    strictly increasing generations per segment, no generation
+//!    claimed twice across segments, and the record counter exact.
+//!
 //! Arena-shape invariants (free-list disjoint from the live set, every
 //! live slot covered by exactly one FIFO entry or tombstone) ride along
 //! via [`ddc_hypercache::audit_pool_slice`] in step 3.
@@ -39,6 +47,7 @@
 use ddc_cleancache::{PoolId, VmId};
 use ddc_hypercache::index::{Placement, Pool};
 use ddc_hypercache::{audit_pool_slice, AuditFinding};
+use ddc_storage::Journal;
 
 use crate::sharded::ShardedCache;
 
@@ -223,6 +232,63 @@ pub fn audit(cache: &ShardedCache) -> Vec<AuditFinding> {
                         });
                     }
                 }
+            }
+        }
+
+        // 7. Journal health (only when the plane journals).
+        if let Some(expected_records) = cache.journal_records() {
+            let mut all_gens: Vec<u64> = Vec::new();
+            for (si, shard) in shards.iter().enumerate() {
+                let Some(journal) = shard.journal.as_ref() else {
+                    findings.push(AuditFinding {
+                        invariant: "journal-health",
+                        detail: format!("journaling is on but shard {si} has no segment"),
+                    });
+                    continue;
+                };
+                let (records, stats) = Journal::replay(journal.bytes());
+                if stats.torn_tail || stats.corrupt {
+                    findings.push(AuditFinding {
+                        invariant: "journal-health",
+                        detail: format!(
+                            "shard {si} segment does not replay clean at rest \
+                             (torn_tail={} corrupt={} after {} records)",
+                            stats.torn_tail,
+                            stats.corrupt,
+                            records.len()
+                        ),
+                    });
+                }
+                let mut prev = 0u64;
+                for &(gen, _) in &records {
+                    if gen <= prev {
+                        findings.push(AuditFinding {
+                            invariant: "journal-health",
+                            detail: format!(
+                                "shard {si} segment generations are not strictly \
+                                 increasing ({gen} follows {prev})"
+                            ),
+                        });
+                    }
+                    prev = gen;
+                    all_gens.push(gen);
+                }
+            }
+            all_gens.sort_unstable();
+            if all_gens.windows(2).any(|w| w[0] == w[1]) {
+                findings.push(AuditFinding {
+                    invariant: "journal-health",
+                    detail: "a record generation was claimed by two segments".to_owned(),
+                });
+            }
+            if all_gens.len() as u64 != expected_records {
+                findings.push(AuditFinding {
+                    invariant: "journal-health",
+                    detail: format!(
+                        "segments hold {} records but the counter says {expected_records}",
+                        all_gens.len()
+                    ),
+                });
             }
         }
 

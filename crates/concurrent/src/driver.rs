@@ -42,12 +42,12 @@ use ddc_sim::{FxHashMap, SimRng, SimTime};
 use ddc_storage::{BlockAddr, FileId};
 
 use crate::audit;
-use crate::sharded::ShardedCache;
+use crate::sharded::{ShardedCache, ShardedRecoveryReport};
 
 /// Which cache engine an equivalence run drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EngineKind {
-    /// The serial reference engine (`ddc-hypercache`, journal off).
+    /// The serial reference engine (`ddc-hypercache`).
     Serial,
     /// The sharded concurrent engine with the given shard count.
     Sharded {
@@ -81,6 +81,12 @@ pub struct StressConfig {
     pub shards: usize,
     /// Root seed; every VM forks a private deterministic stream.
     pub seed: u64,
+    /// Journal both engines (per-shard segments + group commit on the
+    /// sharded plane, the WAL on the serial plane). With this on,
+    /// `flush`/`flush_many` return real durability epochs and the
+    /// equivalence contract extends to the per-VM flush-epoch
+    /// watermarks. Presets leave it off (the volatile plane).
+    pub journal: bool,
 }
 
 impl StressConfig {
@@ -97,6 +103,7 @@ impl StressConfig {
             cache: CacheConfig::mem_and_ssd(512, 1024),
             shards: 8,
             seed,
+            journal: false,
         }
     }
 
@@ -116,6 +123,7 @@ impl StressConfig {
             cache: CacheConfig::mem_and_ssd(256, 512),
             shards: 16,
             seed,
+            journal: false,
         }
     }
 
@@ -132,6 +140,7 @@ impl StressConfig {
             cache: CacheConfig::mem_and_ssd(4_096, 8_192),
             shards: 16,
             seed,
+            journal: false,
         }
     }
 
@@ -229,6 +238,67 @@ impl VmWorker {
 
         self.ops += self.writes_per_tick + self.puts_per_tick + self.gets_per_tick;
     }
+
+    /// Runs a *killed* tick: the crash cuts the hypercall stream after
+    /// `budget` batches-worth of progress. The write batch is
+    /// all-or-nothing (`budget == 0` skips it entirely) because a guest
+    /// write and its invalidating flush hypercall are one unit — a disk
+    /// model that moved without its flush having been issued would make
+    /// the oracle report false staleness. The put batch is then cut
+    /// mid-`put_many` (a prefix of the batch lands), then the get
+    /// batch; whatever the budget doesn't reach was never issued.
+    fn partial_tick(&mut self, backend: &mut dyn SecondChanceCache, tick: u64, budget: u64) {
+        if budget == 0 {
+            return;
+        }
+        let now = SimTime::from_nanos(tick.wrapping_mul(1_000));
+        let pi = (tick % self.pools.len() as u64) as usize;
+        let pool = self.pools[pi];
+        let file = self.files[pi];
+
+        let mut written = Vec::with_capacity(self.writes_per_tick as usize);
+        for _ in 0..self.writes_per_tick {
+            let addr = BlockAddr::new(file, self.rng.next_below(self.working_set));
+            let version = self.models[pi].entry(addr).or_insert(PageVersion::INITIAL);
+            *version = version.bump();
+            written.push(addr);
+        }
+        self.channel.flush_many(backend, pool, &written);
+        let mut budget = budget - 1;
+
+        let put_count = budget.min(self.puts_per_tick);
+        budget -= put_count;
+        let mut puts = Vec::with_capacity(put_count as usize);
+        for _ in 0..put_count {
+            let addr = BlockAddr::new(file, self.rng.next_below(self.working_set));
+            let version = self.models[pi]
+                .get(&addr)
+                .copied()
+                .unwrap_or(PageVersion::INITIAL);
+            puts.push((addr, version));
+        }
+        self.channel.put_many(backend, now, pool, &puts);
+
+        let get_count = budget.min(self.gets_per_tick);
+        let mut lookups = Vec::with_capacity(get_count as usize);
+        for _ in 0..get_count {
+            lookups.push(BlockAddr::new(file, self.rng.next_below(self.working_set)));
+        }
+        let outcomes = self.channel.get_many(backend, now, pool, &lookups);
+        for (addr, outcome) in lookups.iter().zip(&outcomes) {
+            if let GetOutcome::Hit { version, .. } = outcome {
+                let expected = self.models[pi]
+                    .get(addr)
+                    .copied()
+                    .unwrap_or(PageVersion::INITIAL);
+                if *version != expected {
+                    self.stale_reads += 1;
+                }
+            }
+        }
+
+        self.ops += self.writes_per_tick + put_count + get_count;
+    }
 }
 
 /// A cache engine under test, with the inherent (non-trait) surface the
@@ -239,10 +309,31 @@ enum Engine {
 }
 
 impl Engine {
-    fn build(cache: CacheConfig, kind: EngineKind) -> Engine {
-        match kind {
+    fn build(cache: CacheConfig, kind: EngineKind, journal: bool) -> Engine {
+        let mut engine = match kind {
             EngineKind::Serial => Engine::Serial(Box::new(DoubleDeckerCache::new(cache))),
             EngineKind::Sharded { shards } => Engine::Sharded(ShardedCache::new(cache, shards)),
+        };
+        if journal {
+            match &mut engine {
+                Engine::Serial(c) => c.enable_journal(),
+                Engine::Sharded(c) => c.enable_journal(),
+            }
+        }
+        engine
+    }
+
+    /// Closes one virtual-time tick: on the sharded plane this is the
+    /// group-commit point (sync every shard segment, publish the commit
+    /// epoch). The serial engine syncs per operation, so its tick is a
+    /// no-op — the returned watermarks differ, but the per-VM flush
+    /// epochs the contract compares do not.
+    fn commit_tick(&self) {
+        match self {
+            Engine::Serial(_) => {}
+            Engine::Sharded(c) => {
+                c.commit_tick();
+            }
         }
     }
 
@@ -368,6 +459,10 @@ fn render_report(cfg: &StressConfig, engine: &Engine, workers: &[VmWorker]) -> E
         row.set("puts", c.puts);
         row.set("put_stores", c.put_stores);
         row.set("flushes", c.flushes);
+        // Durability watermark the channel last observed. 0 on the
+        // volatile plane (both engines), a real epoch when journaling —
+        // either way part of the byte-identical contract.
+        row.set("flush_epoch", w.channel.flush_epoch());
         row.set("stale_reads", w.stale_reads);
         row.set("ops", w.ops);
         stale_total += w.stale_reads;
@@ -417,12 +512,13 @@ fn pool_stats_json(engine: &mut Engine, workers: &[VmWorker]) -> Json {
 /// [`EngineKind::Sharded`] must produce byte-identical `json` — the
 /// determinism contract of the sharded plane.
 pub fn run_equivalence(cfg: &StressConfig, kind: EngineKind) -> EquivalenceReport {
-    let mut engine = Engine::build(cfg.cache, kind);
+    let mut engine = Engine::build(cfg.cache, kind, cfg.journal);
     let mut workers = build_workers(cfg, &mut engine);
     for tick in 0..cfg.ticks {
         for w in &mut workers {
             w.tick(engine.backend(), tick);
         }
+        engine.commit_tick();
     }
     let mut report = render_report(cfg, &engine, &workers);
     // Splice the pool-stats rows into the JSON (stable order).
@@ -452,6 +548,12 @@ pub struct StressOutcome {
     /// Two-phase evictions that exhausted their retry budget and fell
     /// back to the lock-all path (diagnostic).
     pub two_phase_fallbacks: u64,
+    /// Group-commit epoch published by the last tick (diagnostic; 0 on
+    /// the volatile plane).
+    pub commit_epoch: u64,
+    /// Journal checkpoint rewrites triggered during the run
+    /// (diagnostic; 0 on the volatile plane).
+    pub journal_compactions: u64,
 }
 
 impl StressOutcome {
@@ -480,6 +582,9 @@ impl StressOutcome {
 pub fn run_stress(cfg: &StressConfig, threads: usize) -> StressOutcome {
     let threads = threads.max(1);
     let cache = ShardedCache::new(cfg.cache, cfg.shards);
+    if cfg.journal {
+        cache.enable_journal();
+    }
     let mut engine = Engine::Sharded(cache.clone());
     let workers = build_workers(cfg, &mut engine);
 
@@ -496,10 +601,17 @@ pub fn run_stress(cfg: &StressConfig, threads: usize) -> StressOutcome {
             .into_iter()
             .map(|mut hand| {
                 let mut backend = cache.clone();
+                let journal = cfg.journal;
                 scope.spawn(move || {
                     for tick in 0..ticks {
                         for w in &mut hand {
                             w.tick(&mut backend, tick);
+                        }
+                        if journal {
+                            // Group commit: every thread closes its own
+                            // tick; the epoch cell is monotone, so
+                            // concurrent ticks only ever advance it.
+                            backend.commit_tick();
                         }
                     }
                     hand
@@ -527,6 +639,206 @@ pub fn run_stress(cfg: &StressConfig, threads: usize) -> StressOutcome {
         findings: audit::audit(&cache),
         two_phase_retries: cache.two_phase_retries(),
         two_phase_fallbacks: cache.two_phase_fallbacks(),
+        commit_epoch: cache.commit_epoch(),
+        journal_compactions: cache.journal_compactions(),
+    }
+}
+
+/// Deterministic crash-and-recovery harness for the sharded plane: the
+/// seeded stress workload (journaling forced on), with the ability to
+/// kill the plane mid-tick at a chosen hypercall boundary, snapshot the
+/// per-shard segment images, recover a fresh [`ShardedCache`] from
+/// (possibly mutilated) copies of them, and keep driving the *same*
+/// guest workers — whose disk models then back the stale-entry oracle
+/// over the survivor.
+///
+/// The workers' models and flush epochs are read *after* the kill, which
+/// is sound even against a *mid-drive* segment snapshot: any model bump
+/// after the snapshot travelled with a flush hypercall that raised the
+/// guest's epoch past every record in the snapshot, so recovery's
+/// per-VM epoch discard covers it ("forget, never lie").
+pub struct CrashHarness {
+    cfg: StressConfig,
+    cache: ShardedCache,
+    workers: Vec<VmWorker>,
+}
+
+impl CrashHarness {
+    /// Builds the journaled sharded plane plus its guest workers.
+    pub fn new(cfg: &StressConfig) -> CrashHarness {
+        let mut cfg = cfg.clone();
+        cfg.journal = true;
+        let mut engine = Engine::build(cfg.cache, EngineKind::Sharded { shards: cfg.shards }, true);
+        let workers = build_workers(&cfg, &mut engine);
+        let Engine::Sharded(cache) = engine else {
+            unreachable!("harness builds the sharded engine")
+        };
+        CrashHarness {
+            cfg,
+            cache,
+            workers,
+        }
+    }
+
+    /// The live cache (e.g. to install an eviction hook that snapshots
+    /// the segments *between the two eviction phases*).
+    pub fn cache(&self) -> &ShardedCache {
+        &self.cache
+    }
+
+    /// Drives ticks `[from, to)` single-threaded, round-robin over VMs,
+    /// with a group commit closing each tick.
+    pub fn drive(&mut self, from: u64, to: u64) {
+        let mut backend = self.cache.clone();
+        for tick in from..to {
+            for w in &mut self.workers {
+                w.tick(&mut backend, tick);
+            }
+            self.cache.commit_tick();
+        }
+    }
+
+    /// Drives ticks `[from, to)` with `threads` OS threads sharing the
+    /// cache (VMs dealt round-robin), each thread group-committing its
+    /// own ticks. Worker order is restored after the join so subsequent
+    /// single-threaded driving stays deterministic.
+    pub fn drive_threaded(&mut self, from: u64, to: u64, threads: usize) {
+        let threads = threads.max(1);
+        let workers = std::mem::take(&mut self.workers);
+        let mut hands: Vec<Vec<VmWorker>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, w) in workers.into_iter().enumerate() {
+            hands[i % threads].push(w);
+        }
+        let cache = &self.cache;
+        let joined: Vec<Vec<VmWorker>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = hands
+                .into_iter()
+                .map(|mut hand| {
+                    let mut backend = cache.clone();
+                    scope.spawn(move || {
+                        for tick in from..to {
+                            for w in &mut hand {
+                                w.tick(&mut backend, tick);
+                            }
+                            backend.commit_tick();
+                        }
+                        hand
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("crash-harness thread panicked"))
+                .collect()
+        });
+        let mut workers: Vec<VmWorker> = joined.into_iter().flatten().collect();
+        workers.sort_by_key(|w| w.vm.0);
+        self.workers = workers;
+    }
+
+    /// Runs tick `tick` but crashes mid-flight: workers before
+    /// `kill_vm` complete the tick, the killed VM issues only a
+    /// `budget`-bounded prefix of its hypercalls (see
+    /// [`VmWorker::partial_tick`] — the cut can land mid-`put_many`),
+    /// and later workers plus the tick's group commit never happen, so
+    /// everything since the previous commit epoch is at the mercy of
+    /// the segment snapshot.
+    pub fn drive_killed_tick(&mut self, tick: u64, kill_vm: usize, budget: u64) {
+        let mut backend = self.cache.clone();
+        for (i, w) in self.workers.iter_mut().enumerate() {
+            if i < kill_vm {
+                w.tick(&mut backend, tick);
+            } else if i == kill_vm {
+                w.partial_tick(&mut backend, tick, budget);
+            }
+        }
+    }
+
+    /// Snapshot of the raw per-shard segment images (synced or not).
+    pub fn segment_images(&self) -> Vec<Vec<u8>> {
+        self.cache
+            .journal_images()
+            .expect("harness always journals")
+    }
+
+    /// Each guest's flush-epoch watermark — what a real guest would
+    /// present to the hypervisor after the restart.
+    pub fn guest_epochs(&self) -> Vec<(VmId, u64)> {
+        self.workers
+            .iter()
+            .map(|w| (w.vm, w.channel.flush_epoch()))
+            .collect()
+    }
+
+    /// Replaces the dead plane with one recovered from `segments`
+    /// (typically mutilated copies of [`CrashHarness::segment_images`])
+    /// and the guests' epoch watermarks, then re-seeds each guest
+    /// channel with its re-journaled checkpoint epoch (monotone, like
+    /// the hypervisor's `note_recovery_epoch`).
+    pub fn recover(&mut self, segments: &[Vec<u8>]) -> ShardedRecoveryReport {
+        let epochs = self.guest_epochs();
+        let (cache, report) = ShardedCache::recover(self.cfg.cache, segments, &epochs);
+        for w in &mut self.workers {
+            let renewed = report
+                .new_epochs
+                .iter()
+                .find(|(vm, _)| *vm == w.vm)
+                .map(|&(_, e)| e)
+                .unwrap_or(0);
+            w.channel
+                .set_flush_epoch(renewed.max(w.channel.flush_epoch()));
+        }
+        self.cache = cache;
+        report
+    }
+
+    /// Stale-entry oracle over the survivor: every resident entry must
+    /// carry exactly the version its owner's disk model holds. Losing
+    /// entries is always legal; a wrong version never is. Entries whose
+    /// VM or pool no guest recognises count as stale.
+    pub fn stale_entries(&self) -> u64 {
+        self.stale_entries_in(&self.cache)
+    }
+
+    /// The same oracle against an *external* recovered cache — lets a
+    /// prefix sweep recover many candidate caches from mutilated copies
+    /// of [`CrashHarness::segment_images`] and judge each against this
+    /// harness's disk models without consuming the harness.
+    pub fn stale_entries_in(&self, cache: &ShardedCache) -> u64 {
+        let mut stale = 0;
+        for (vm, pool, addr, version) in cache.entries() {
+            let Some(w) = self.workers.iter().find(|w| w.vm == vm) else {
+                stale += 1;
+                continue;
+            };
+            let Some(pi) = w.pools.iter().position(|&p| p == pool) else {
+                stale += 1;
+                continue;
+            };
+            let expected = w.models[pi]
+                .get(&addr)
+                .copied()
+                .unwrap_or(PageVersion::INITIAL);
+            if version != expected {
+                stale += 1;
+            }
+        }
+        stale
+    }
+
+    /// Stale reads the get-path oracle observed across all guests.
+    pub fn stale_reads(&self) -> u64 {
+        self.workers.iter().map(|w| w.stale_reads).sum()
+    }
+
+    /// Total hypercall operations issued across all guests.
+    pub fn total_ops(&self) -> u64 {
+        self.workers.iter().map(|w| w.ops).sum()
+    }
+
+    /// Runs the cross-shard auditor over the live plane.
+    pub fn audit(&self) -> Vec<AuditFinding> {
+        audit::audit(&self.cache)
     }
 }
 
@@ -582,5 +894,59 @@ mod tests {
         let a = run_equivalence(&cfg, EngineKind::Sharded { shards: 4 });
         let b = run_equivalence(&cfg, EngineKind::Sharded { shards: 4 });
         assert_eq!(a.json, b.json);
+    }
+
+    #[test]
+    fn journaled_equivalence_holds_and_reports_real_epochs() {
+        let mut cfg = StressConfig::smoke(7);
+        cfg.journal = true;
+        let serial = run_equivalence(&cfg, EngineKind::Serial);
+        let sharded = run_equivalence(&cfg, EngineKind::Sharded { shards: 8 });
+        assert_eq!(
+            serial.json, sharded.json,
+            "journaled planes diverged (flush epochs are part of the report)"
+        );
+        assert!(
+            serial.json.contains("\"flush_epoch\""),
+            "report must carry the per-VM flush-epoch watermark"
+        );
+        // The watermarks must be real (non-zero) epochs, not the
+        // volatile plane's 0 stub.
+        let root = Json::parse(&sharded.json).expect("own JSON parses");
+        let rows = root.get("vms_report").and_then(Json::as_array).unwrap();
+        for row in rows {
+            let epoch = row.get("flush_epoch").and_then(Json::as_u64).unwrap();
+            assert!(epoch > 0, "journaled flush acked with the epoch-0 stub");
+        }
+    }
+
+    #[test]
+    fn journaled_stress_group_commits_and_stays_clean() {
+        let mut cfg = StressConfig::smoke(31);
+        cfg.journal = true;
+        let out = run_stress(&cfg, 4);
+        assert!(out.clean(), "findings: {:?}", out.findings);
+        assert!(out.commit_epoch > 0, "no group commit ever published");
+    }
+
+    #[test]
+    fn crash_harness_kill_recover_continue_is_clean() {
+        let mut h = CrashHarness::new(&StressConfig::smoke(0xC4A5));
+        h.drive(0, 40);
+        // Kill mid-tick: VM 0/1 complete tick 40, VM 2 dies mid-put_many
+        // (write batch + 3 of its puts land), VM 3 never runs it.
+        h.drive_killed_tick(40, 2, 4);
+        let mut segments = h.segment_images();
+        // Torn tail on shard 1: drop half the unsynced bytes.
+        let keep = segments[1].len() - segments[1].len() / 8;
+        segments[1].truncate(keep);
+        let report = h.recover(&segments);
+        assert!(report.records_replayed > 0);
+        assert_eq!(h.stale_entries(), 0, "recovery served a stale version");
+        assert!(h.audit().is_empty(), "{:?}", h.audit());
+        // The survivor keeps serving: 8 threads over the same guests.
+        h.drive_threaded(41, 80, 8);
+        assert_eq!(h.stale_reads(), 0);
+        assert!(h.audit().is_empty(), "{:?}", h.audit());
     }
 }

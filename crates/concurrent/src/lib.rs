@@ -7,12 +7,15 @@
 //! * [`sharded`] — [`ShardedCache`], a [`SecondChanceCache`] whose pool
 //!   index is split into per-lock shards, with a global atomic pressure
 //!   ledger and cross-shard resource-conservative eviction (Algorithm 1
-//!   unchanged).
+//!   unchanged), plus per-shard journal segments with group commit and
+//!   [`ShardedCache::recover`] warm restart (DESIGN.md §14).
 //! * [`driver`] — a multi-threaded VM driver: each guest runs its
 //!   hypercall stream on its own OS thread against the shared cache,
 //!   with a seeded deterministic-equivalence mode (single-threaded
-//!   execution byte-identical to the serial engine) and a stress mode
-//!   gated by the invariant auditor and a stale-read oracle.
+//!   execution byte-identical to the serial engine), a stress mode
+//!   gated by the invariant auditor and a stale-read oracle, and
+//!   [`CrashHarness`] — kill the journaled plane mid-tick, recover
+//!   from mutilated segment snapshots, keep driving the same guests.
 //! * [`audit`] — the cross-shard invariant auditor (ledger accounting,
 //!   shard-map placement, per-pool coherence via
 //!   `ddc_hypercache::audit_pool_slice`, tombstone counts, entitlement
@@ -29,9 +32,10 @@ pub mod sharded;
 
 pub use audit::audit;
 pub use driver::{
-    run_equivalence, run_stress, EngineKind, EquivalenceReport, StressConfig, StressOutcome,
+    run_equivalence, run_stress, CrashHarness, EngineKind, EquivalenceReport, StressConfig,
+    StressOutcome,
 };
-pub use sharded::ShardedCache;
+pub use sharded::{SegmentReplay, ShardedCache, ShardedRecoveryReport};
 
 // Vocabulary re-exports so downstream crates can name the shared types
 // without importing every layer.

@@ -48,14 +48,41 @@
 //! Under concurrency, outcomes depend on interleaving but every
 //! structural invariant still holds (see [`crate::audit`]).
 //!
-//! Out of scope for the sharded plane (serial-engine only): the journal /
-//! crash recovery, SSD fault injection + quarantine, and in-band memory
-//! compression. The sharded cache is a pure serving plane; flushes
-//! return epoch 0 like any non-journaling backend.
+//! # Durability: per-shard segments, group commit (DESIGN.md §14)
+//!
+//! With [`ShardedCache::enable_journal`] every shard owns its own
+//! [`Journal`] segment, appended under that shard's lock. Record
+//! *generations* come from one cache-global cell, allocated while the
+//! target shard's lock is held — so each segment is generation-monotone
+//! and the union of all segments is one **dense** global sequence. Pool-
+//! scoped records (puts, takes, evictions, flushes, pool control) go to
+//! the pool's home segment, so an entry's whole causal history lives in
+//! one segment; VM/store control records go to segment 0. `flush` /
+//! `flush_file` return their record's generation as a real, non-zero
+//! flush epoch *without* syncing — group commit
+//! ([`ShardedCache::commit_tick`]) syncs all segments at virtual-time
+//! tick boundaries instead of once per operation. Losing an unsynced
+//! flush record is safe: the per-VM epoch discard at
+//! [`ShardedCache::recover`] covers everything below the guest's acked
+//! epoch, exactly like the serial plane — the cache can forget, never
+//! lie. Recovery replays each segment independently (tolerating a torn
+//! or corrupt tail per shard), merges by generation, truncates at the
+//! first generation gap (a gap proves a suffix of some segment was
+//! lost, so everything after it is a possibly-inconsistent future), and
+//! re-journals a checkpoint across fresh segments.
+//!
+//! Driven single-threaded with journaling on, the sharded plane emits
+//! the *same record sequence* as the journaled serial engine (same
+//! emission points, same live-compaction trigger and checkpoint record
+//! order), so flush epochs are value-identical across the two planes —
+//! the equivalence contract extends to durability watermarks.
+//!
+//! Still out of scope (serial-engine only): SSD fault injection +
+//! quarantine and in-band memory compression.
 
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use ddc_cleancache::{
@@ -66,7 +93,7 @@ use ddc_hypercache::index::{Placement, Pool, SlotId, UsageMirror};
 use ddc_hypercache::policy::{entitlements, select_victim, select_victim_strict};
 use ddc_hypercache::{CacheConfig, EntityUsage, PartitionMode, EVICTION_BATCH_PAGES};
 use ddc_sim::{FxHashMap, SimTime};
-use ddc_storage::{BlockAddr, FileId};
+use ddc_storage::{BlockAddr, FileId, Journal, JournalRecord};
 
 /// Global page accounting for one store: capacity and used pages shared
 /// by every shard. `try_alloc` is a CAS loop, so concurrent puts can
@@ -126,6 +153,13 @@ impl Ledger {
     pub(crate) fn capacity_pages(&self) -> u64 {
         self.capacity.load(Ordering::Relaxed)
     }
+
+    /// Replaces the capacity without touching `used`. Recovery applies
+    /// replayed `SetMemCapacity`/`SetSsdCapacity` records with this;
+    /// any resulting oversubscription is shrunk after replay.
+    fn set_capacity(&self, pages: u64) {
+        self.capacity.store(pages, Ordering::Relaxed);
+    }
 }
 
 /// One shard: the pools that hash here plus their share of the
@@ -138,6 +172,11 @@ pub(crate) struct Shard {
     fifo_ssd: VecDeque<(VmId, PoolId, SlotId, u64)>,
     pub(crate) stale_mem: u64,
     pub(crate) stale_ssd: u64,
+    /// This shard's journal segment (`None` until
+    /// [`ShardedCache::enable_journal`]). Appends happen under the
+    /// shard lock with generations from the cache-global cell, so the
+    /// segment is generation-monotone.
+    pub(crate) journal: Option<Journal>,
 }
 
 impl Shard {
@@ -260,6 +299,26 @@ struct Inner {
     /// property tests use it to force snapshot staleness at the worst
     /// possible moment.
     eviction_hook: RwLock<Option<Arc<dyn Fn() + Send + Sync>>>,
+    /// Whether journaling is on (segments installed in every shard).
+    /// Checked lock-free on the hot paths so the volatile plane pays
+    /// nothing for the durability machinery.
+    journal_on: AtomicBool,
+    /// The next record generation. One cell for all segments: a
+    /// generation is claimed (`fetch_add`) while the target shard's
+    /// lock is held and appended before that lock drops, so the global
+    /// sequence is dense and each segment is monotone — recovery can
+    /// merge segments by generation and detect lost suffixes as gaps.
+    /// Deliberately separate from `next_seq` (they drift apart live and
+    /// only unify at recovery, like the serial plane).
+    journal_gen: AtomicU64,
+    /// Records across all segments since the last checkpoint install
+    /// (checkpoint records included) — the live-compaction trigger.
+    journal_records: AtomicU64,
+    /// Checkpoint rewrites performed by live compaction.
+    journal_compactions: AtomicU64,
+    /// Group-commit watermark: every record generation at or below this
+    /// is durable (its segment has been synced past it).
+    commit_epoch: AtomicU64,
 }
 
 /// A concurrent sharded DoubleDecker cache (see the [module
@@ -284,6 +343,59 @@ impl std::fmt::Debug for ShardedCache {
     }
 }
 
+/// Replay outcome of one shard's segment during
+/// [`ShardedCache::recover`]. Diagnostics only — never part of the
+/// determinism-compared reports (PR 5 precedent).
+#[derive(Debug, Clone, Default)]
+pub struct SegmentReplay {
+    /// Index of the shard the segment belonged to.
+    pub shard: usize,
+    /// Records successfully decoded from this segment.
+    pub records: u64,
+    /// The segment ended in a torn (truncated) record.
+    pub torn_tail: bool,
+    /// Replay stopped at a corrupt (CRC-failing) record.
+    pub corrupt: bool,
+}
+
+/// What [`ShardedCache::recover`] rebuilt and what it had to drop.
+/// The asymmetry is the point: `recovered_entries` may be small and
+/// every `discarded_*` counter large — the cache can forget, never lie.
+#[derive(Debug, Clone, Default)]
+pub struct ShardedRecoveryReport {
+    /// Records applied after merging all segments and truncating at the
+    /// first generation gap.
+    pub records_replayed: u64,
+    /// Decoded records discarded by the gap barrier (they came after a
+    /// lost suffix of some other segment, so their causal prefix is
+    /// incomplete).
+    pub gap_discarded: u64,
+    /// Entries resident after replay, epoch discard and capacity shrink.
+    pub recovered_entries: u64,
+    /// Entries dropped by the per-VM flush-epoch discard.
+    pub discarded_stale: u64,
+    /// Replayed puts dropped because their pool was gone or the store
+    /// had no room.
+    pub dropped_no_room: u64,
+    /// Fresh per-VM flush epochs minted by the recovery checkpoint;
+    /// guests must adopt these before issuing new flushes.
+    pub new_epochs: Vec<(VmId, u64)>,
+    /// Per-segment replay stats, in shard order.
+    pub segments: Vec<SegmentReplay>,
+}
+
+impl ShardedRecoveryReport {
+    /// Segments whose tail was torn mid-record.
+    pub fn torn_segments(&self) -> u64 {
+        self.segments.iter().filter(|s| s.torn_tail).count() as u64
+    }
+
+    /// Segments whose replay stopped at a CRC failure.
+    pub fn corrupt_segments(&self) -> u64 {
+        self.segments.iter().filter(|s| s.corrupt).count() as u64
+    }
+}
+
 impl ShardedCache {
     /// Creates a sharded cache with `shards` index shards (clamped to at
     /// least 1).
@@ -302,6 +414,11 @@ impl ShardedCache {
                 two_phase_retries: AtomicU64::new(0),
                 two_phase_fallbacks: AtomicU64::new(0),
                 eviction_hook: RwLock::new(None),
+                journal_on: AtomicBool::new(false),
+                journal_gen: AtomicU64::new(1),
+                journal_records: AtomicU64::new(0),
+                journal_compactions: AtomicU64::new(0),
+                commit_epoch: AtomicU64::new(0),
             }),
         }
     }
@@ -343,6 +460,16 @@ impl ShardedCache {
                 e.ssd_weight = ssd_weight;
             })
             .or_insert_with(|| VmMeta::new(mem_weight, ssd_weight));
+        // Registry write held while logging to shard 0 is fine: the
+        // registry orders before every shard lock.
+        self.log_at(
+            0,
+            JournalRecord::AddVm {
+                vm: vm.0,
+                mem_weight,
+                ssd_weight,
+            },
+        );
     }
 
     /// Updates a VM's weight in both stores; unknown VMs are ignored.
@@ -351,6 +478,14 @@ impl ShardedCache {
         if let Some(e) = reg.vms.get_mut(&vm) {
             e.mem_weight = weight;
             e.ssd_weight = weight;
+            self.log_at(
+                0,
+                JournalRecord::SetVmWeights {
+                    vm: vm.0,
+                    mem_weight: weight,
+                    ssd_weight: weight,
+                },
+            );
         }
     }
 
@@ -401,6 +536,700 @@ impl ShardedCache {
             .clone();
         if let Some(hook) = hook {
             hook();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-shard journaling (group commit; see the module docs).
+    // ------------------------------------------------------------------
+
+    /// Turns on journaling: installs a fresh segment in every shard.
+    /// From here on every state transition appends a [`JournalRecord`]
+    /// to its routing shard's segment and `flush`/`flush_file` return
+    /// their record generation as a non-zero flush epoch. Idempotent;
+    /// callers normally enable right after construction.
+    pub fn enable_journal(&self) {
+        let mut shards = self.lock_all_shards();
+        if self.inner.journal_on.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        for shard in shards.iter_mut() {
+            shard.journal = Some(Journal::new());
+        }
+    }
+
+    /// Whether journaling is on.
+    pub fn journal_enabled(&self) -> bool {
+        self.inner.journal_on.load(Ordering::Relaxed)
+    }
+
+    /// The raw per-shard segment images (including unsynced bytes), in
+    /// shard order, if journaling is on. Crash harnesses snapshot these
+    /// and hand (possibly independently truncated or corrupted) copies
+    /// to [`ShardedCache::recover`].
+    pub fn journal_images(&self) -> Option<Vec<Vec<u8>>> {
+        if !self.journal_enabled() {
+            return None;
+        }
+        let shards = self.lock_all_shards();
+        Some(
+            shards
+                .iter()
+                .map(|s| s.journal.as_ref().expect("journaling on").bytes().to_vec())
+                .collect(),
+        )
+    }
+
+    /// Per-shard durable byte watermarks (at or below each segment's
+    /// last sync), in shard order, if journaling is on.
+    pub fn journal_durable_lens(&self) -> Option<Vec<usize>> {
+        if !self.journal_enabled() {
+            return None;
+        }
+        let shards = self.lock_all_shards();
+        Some(
+            shards
+                .iter()
+                .map(|s| s.journal.as_ref().expect("journaling on").durable_len())
+                .collect(),
+        )
+    }
+
+    /// Records across all segments since the last checkpoint install,
+    /// if journaling is on.
+    pub fn journal_records(&self) -> Option<u64> {
+        self.journal_enabled()
+            .then(|| self.inner.journal_records.load(Ordering::Relaxed))
+    }
+
+    /// How many times live compaction rewrote the segments.
+    pub fn journal_compactions(&self) -> u64 {
+        self.inner.journal_compactions.load(Ordering::Relaxed)
+    }
+
+    /// The group-commit watermark: the highest record generation known
+    /// durable across every segment (0 before the first commit tick).
+    pub fn commit_epoch(&self) -> u64 {
+        self.inner.commit_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Group commit: syncs every segment and advances the commit
+    /// epoch. Returns the new watermark (0 when journaling is off).
+    ///
+    /// The watermark is sampled *before* the sweep: a generation below
+    /// it was claimed-and-appended under some shard's lock before the
+    /// sample, and the sweep then acquires every shard's lock and syncs
+    /// — so every such record is durable when this returns. The driver
+    /// calls this once per virtual-time tick, which is what narrows the
+    /// crash-discard window without a sync per operation.
+    pub fn commit_tick(&self) -> u64 {
+        if !self.journal_enabled() {
+            return 0;
+        }
+        let watermark = self
+            .inner
+            .journal_gen
+            .load(Ordering::Relaxed)
+            .saturating_sub(1);
+        for s in &self.inner.shards {
+            let mut shard = s.lock().expect("shard poisoned");
+            if let Some(j) = shard.journal.as_mut() {
+                j.sync();
+            }
+        }
+        self.inner
+            .commit_epoch
+            .fetch_max(watermark, Ordering::Relaxed);
+        watermark
+    }
+
+    /// Appends `rec` to the (locked) shard's segment with a freshly
+    /// claimed global generation. Returns the generation, or 0 when
+    /// journaling is off. Must be called with the routing shard's lock
+    /// held (enforced by taking the guard's target).
+    fn log_in(&self, shard: &mut Shard, rec: JournalRecord) -> u64 {
+        let Some(j) = shard.journal.as_mut() else {
+            return 0;
+        };
+        let gen = self.inner.journal_gen.fetch_add(1, Ordering::Relaxed);
+        j.append_with_gen(&rec, gen);
+        self.inner.journal_records.fetch_add(1, Ordering::Relaxed);
+        gen
+    }
+
+    /// Appends a control-plane record to shard `si`'s segment, taking
+    /// that shard's lock. Caller must hold no shard lock (the registry
+    /// write lock is fine — registry orders before shards).
+    fn log_at(&self, si: usize, rec: JournalRecord) -> u64 {
+        if !self.journal_enabled() {
+            return 0;
+        }
+        let mut shard = self.lock_shard(si);
+        self.log_in(&mut shard, rec)
+    }
+
+    /// `StoreKind` wire discriminant (matches the serial engine).
+    fn store_kind_code(kind: StoreKind) -> u8 {
+        match kind {
+            StoreKind::Mem => 0,
+            StoreKind::Ssd => 1,
+            StoreKind::Hybrid => 2,
+        }
+    }
+
+    fn store_kind_from_code(code: u8) -> Option<StoreKind> {
+        match code {
+            0 => Some(StoreKind::Mem),
+            1 => Some(StoreKind::Ssd),
+            2 => Some(StoreKind::Hybrid),
+            _ => None,
+        }
+    }
+
+    /// `PartitionMode` wire discriminant (matches the serial engine).
+    fn mode_code(mode: PartitionMode) -> u8 {
+        match mode {
+            PartitionMode::DoubleDecker => 0,
+            PartitionMode::Global => 1,
+            PartitionMode::Strict => 2,
+        }
+    }
+
+    /// `Placement` wire discriminant (matches the serial engine).
+    fn placement_code(placement: Placement) -> u8 {
+        match placement {
+            Placement::Mem => 0,
+            Placement::Ssd => 1,
+        }
+    }
+
+    fn placement_from_code(code: u8) -> Option<Placement> {
+        match code {
+            0 => Some(Placement::Mem),
+            1 => Some(Placement::Ssd),
+            _ => None,
+        }
+    }
+
+    /// Journal records per live entry before live compaction kicks in
+    /// (the serial engine's constant — the compaction trigger must fire
+    /// at the same operation for generation parity).
+    const JOURNAL_COMPACT_FACTOR: u64 = 8;
+
+    /// Journals shorter than this are never compacted.
+    const JOURNAL_COMPACT_MIN_RECORDS: u64 = 1024;
+
+    /// Live compaction: when the segments have accumulated far more
+    /// records than there are live entries, rewrite them as one
+    /// checkpoint so replay time stays proportional to cache size.
+    /// Caller must hold no shard lock. Trigger, threshold and record
+    /// order mirror the serial `maybe_compact_journal` exactly, so a
+    /// single-threaded run consumes generations identically.
+    fn maybe_compact_journal(&self) {
+        if !self.journal_enabled() {
+            return;
+        }
+        let live = self.inner.mem.used_pages() + self.inner.ssd.used_pages();
+        let threshold =
+            (live * Self::JOURNAL_COMPACT_FACTOR).max(Self::JOURNAL_COMPACT_MIN_RECORDS);
+        if self.inner.journal_records.load(Ordering::Relaxed) <= threshold {
+            return;
+        }
+        let reg = self.inner.registry.read().expect("registry poisoned");
+        let mut shards = self.lock_all_shards();
+        // Re-check under the locks: another thread may have compacted
+        // (or freed enough) while we were acquiring them.
+        let live = self.inner.mem.used_pages() + self.inner.ssd.used_pages();
+        let threshold =
+            (live * Self::JOURNAL_COMPACT_FACTOR).max(Self::JOURNAL_COMPACT_MIN_RECORDS);
+        if self.inner.journal_records.load(Ordering::Relaxed) <= threshold {
+            return;
+        }
+        let start_gen = self.inner.journal_gen.load(Ordering::Relaxed);
+        self.write_checkpoint_locked(&reg, &mut shards, start_gen);
+        self.inner
+            .journal_compactions
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Replaces every segment with a checkpoint of the current state,
+    /// continuing generations from `start_gen`. Returns the freshly
+    /// minted per-VM epochs.
+    ///
+    /// Record order mirrors the serial `write_checkpoint` verbatim —
+    /// mode, capacities, per-VM `AddVm`+`Epoch`, per-pool `CreatePool`,
+    /// then every `Put` in FIFO (sequence) order — so both planes
+    /// consume the same number of generations per checkpoint. Routing:
+    /// control records to segment 0, pool-scoped records to the pool's
+    /// home segment. Each VM's `Epoch` precedes every `Put`, so a
+    /// corrupted checkpoint prefix can never resurrect state.
+    fn write_checkpoint_locked(
+        &self,
+        reg: &Registry,
+        shards: &mut [MutexGuard<'_, Shard>],
+        start_gen: u64,
+    ) -> Vec<(VmId, u64)> {
+        struct CkptWriter {
+            segs: Vec<Journal>,
+            gen: u64,
+            count: u64,
+        }
+        impl CkptWriter {
+            fn emit(&mut self, si: usize, rec: &JournalRecord) -> u64 {
+                let gen = self.gen;
+                self.segs[si].append_with_gen(rec, gen);
+                self.gen += 1;
+                self.count += 1;
+                gen
+            }
+        }
+        let mut w = CkptWriter {
+            segs: (0..shards.len())
+                .map(|_| Journal::with_start_gen(start_gen))
+                .collect(),
+            gen: start_gen,
+            count: 0,
+        };
+        w.emit(
+            0,
+            &JournalRecord::SetMode {
+                mode: Self::mode_code(self.inner.mode),
+            },
+        );
+        w.emit(
+            0,
+            &JournalRecord::SetMemCapacity {
+                pages: self.inner.mem.capacity_pages(),
+            },
+        );
+        w.emit(
+            0,
+            &JournalRecord::SetSsdCapacity {
+                pages: self.inner.ssd.capacity_pages(),
+            },
+        );
+        let mut new_epochs = Vec::with_capacity(reg.vms.len());
+        for (&vm, meta) in &reg.vms {
+            w.emit(
+                0,
+                &JournalRecord::AddVm {
+                    vm: vm.0,
+                    mem_weight: meta.mem_weight,
+                    ssd_weight: meta.ssd_weight,
+                },
+            );
+            let epoch = w.emit(0, &JournalRecord::Epoch { vm: vm.0 });
+            new_epochs.push((vm, epoch));
+        }
+        let mut puts: Vec<(u64, VmId, PoolId, BlockAddr, u64, u8)> = Vec::new();
+        for (&vm, meta) in &reg.vms {
+            for &(pid, _, _) in &meta.pools {
+                let si = self.shard_of(vm, pid);
+                let pool = &shards[si].pools[&(vm, pid)];
+                let policy = pool.policy();
+                w.emit(
+                    si,
+                    &JournalRecord::CreatePool {
+                        vm: vm.0,
+                        pool: pid.0,
+                        store: Self::store_kind_code(policy.store),
+                        weight: policy.weight,
+                    },
+                );
+                for (addr, slot) in pool.iter() {
+                    puts.push((
+                        slot.seq,
+                        vm,
+                        pid,
+                        addr,
+                        slot.version.0,
+                        Self::placement_code(slot.placement),
+                    ));
+                }
+            }
+        }
+        puts.sort_unstable();
+        for (_, vm, pid, addr, version, placement) in puts {
+            let si = self.shard_of(vm, pid);
+            w.emit(
+                si,
+                &JournalRecord::Put {
+                    vm: vm.0,
+                    pool: pid.0,
+                    addr,
+                    version,
+                    placement,
+                },
+            );
+        }
+        let CkptWriter {
+            mut segs,
+            gen,
+            count,
+        } = w;
+        for seg in &mut segs {
+            seg.sync();
+        }
+        for (shard, seg) in shards.iter_mut().zip(segs) {
+            shard.journal = Some(seg);
+        }
+        self.inner.journal_gen.store(gen, Ordering::Relaxed);
+        self.inner.journal_records.store(count, Ordering::Relaxed);
+        // The checkpoint is synced in full, so everything up to its last
+        // generation is durable.
+        self.inner
+            .commit_epoch
+            .fetch_max(gen.saturating_sub(1), Ordering::Relaxed);
+        new_epochs
+    }
+
+    /// Warm restart: rebuilds a sharded cache from the per-shard segment
+    /// images a crash left behind (`segments[i]` is shard `i`'s segment;
+    /// the new cache has `segments.len()` shards).
+    ///
+    /// Each segment replays independently and tolerates its own torn or
+    /// corrupt tail. The decoded records are merged by generation and
+    /// truncated at the first generation *gap*: generations are globally
+    /// dense, so a gap proves some segment lost a suffix, and everything
+    /// after the gap is a possibly-inconsistent future (a later flush
+    /// could otherwise survive while the earlier flush it depends on was
+    /// lost). What remains is an exact prefix of the global record
+    /// sequence — the serial single-journal situation — so the per-VM
+    /// epoch discard argument applies verbatim: for every guest whose
+    /// acked flush epoch exceeds what replay recovered, every entry
+    /// older than that epoch is dropped. The global-pressure ledgers and
+    /// usage mirrors are rebuilt by the replay itself (every applied put
+    /// allocates through the ledger and inserts through the mirror-
+    /// attached pool), oversubscription from replayed capacity records
+    /// is shrunk by real evictions, and a fresh checkpoint (with fresh
+    /// per-VM epochs) is journaled before the cache starts serving.
+    pub fn recover(
+        config: CacheConfig,
+        segments: &[Vec<u8>],
+        guest_epochs: &[(VmId, u64)],
+    ) -> (ShardedCache, ShardedRecoveryReport) {
+        let cache = ShardedCache::new(config, segments.len().max(1));
+        let mut report = ShardedRecoveryReport::default();
+
+        let mut merged: Vec<(u64, JournalRecord)> = Vec::new();
+        for (i, seg) in segments.iter().enumerate() {
+            let (records, stats) = Journal::replay(seg);
+            report.segments.push(SegmentReplay {
+                shard: i,
+                records: records.len() as u64,
+                torn_tail: stats.torn_tail,
+                corrupt: stats.corrupt,
+            });
+            merged.extend(records);
+        }
+        merged.sort_unstable_by_key(|&(gen, _)| gen);
+        let mut keep = merged.len();
+        for i in 1..merged.len() {
+            if merged[i].0 != merged[i - 1].0 + 1 {
+                keep = i;
+                break;
+            }
+        }
+        report.gap_discarded = (merged.len() - keep) as u64;
+        merged.truncate(keep);
+        report.records_replayed = merged.len() as u64;
+
+        // Replay, tracking the highest epoch-bearing generation each VM
+        // got back (flushes and epoch markers are what guests ack).
+        let mut replayed_epochs: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut last_gen = 0u64;
+        for (gen, rec) in &merged {
+            if let JournalRecord::Flush { vm, .. }
+            | JournalRecord::FlushFile { vm, .. }
+            | JournalRecord::Epoch { vm } = rec
+            {
+                let e = replayed_epochs.entry(*vm).or_insert(0);
+                *e = (*e).max(*gen);
+            }
+            cache.apply_record(*gen, rec, &mut report);
+            last_gen = *gen;
+        }
+
+        // Epoch discard: if replay recovered everything up to the
+        // guest's acked epoch, every invalidation the guest observed is
+        // already applied. Otherwise the tail was lost and any entry
+        // older than the acked epoch may have been invalidated by a lost
+        // flush — drop them all (forget, never lie).
+        for &(vm, guest_epoch) in guest_epochs {
+            if replayed_epochs.get(&vm.0).copied().unwrap_or(0) >= guest_epoch {
+                continue;
+            }
+            let pids: Vec<PoolId> = {
+                let reg = cache.inner.registry.read().expect("registry poisoned");
+                match reg.vms.get(&vm) {
+                    Some(meta) => meta.pools.iter().map(|r| r.0).collect(),
+                    None => continue,
+                }
+            };
+            for pid in pids {
+                let si = cache.shard_of(vm, pid);
+                let mut shard = cache.lock_shard(si);
+                let mut suspects: Vec<BlockAddr> = match shard.pools.get(&(vm, pid)) {
+                    Some(pool) => pool
+                        .iter()
+                        .filter(|&(_, slot)| slot.seq < guest_epoch)
+                        .map(|(addr, _)| addr)
+                        .collect(),
+                    None => continue,
+                };
+                suspects.sort_unstable();
+                for addr in suspects {
+                    if let Some(slot) = shard.pools.get_mut(&(vm, pid)).and_then(|p| p.remove(addr))
+                    {
+                        cache.ledger(slot.placement).free(1);
+                        shard.note_stale(slot.placement, 1);
+                        report.discarded_stale += 1;
+                    }
+                }
+            }
+        }
+
+        // Sequence counters resume past everything replayed (replayed
+        // entries carry their generation as seq, so live seqs must stay
+        // above them; the two counters unify only at this point).
+        cache.inner.next_seq.store(last_gen + 1, Ordering::Relaxed);
+        cache
+            .inner
+            .journal_gen
+            .store(last_gen + 1, Ordering::Relaxed);
+
+        // Replayed capacity records may leave a store oversubscribed
+        // (e.g. the journal recorded a shrink whose evictions were
+        // lost); shrink with real evictions now.
+        for placement in [Placement::Mem, Placement::Ssd] {
+            loop {
+                let ledger = cache.ledger(placement);
+                if ledger.used_pages() <= ledger.capacity_pages() {
+                    break;
+                }
+                let reg = cache.inner.registry.read().expect("registry poisoned");
+                let mut shards = cache.lock_all_shards();
+                if cache.evict_batch_locked(&reg, &mut shards, SimTime::ZERO, placement) == 0 {
+                    break;
+                }
+            }
+        }
+
+        {
+            let shards = cache.lock_all_shards();
+            report.recovered_entries = shards
+                .iter()
+                .flat_map(|s| s.pools.values())
+                .map(|p| p.total_used())
+                .sum();
+        }
+
+        // Re-journal a checkpoint across fresh segments and go live.
+        {
+            let reg = cache.inner.registry.read().expect("registry poisoned");
+            let mut shards = cache.lock_all_shards();
+            cache.inner.journal_on.store(true, Ordering::Relaxed);
+            report.new_epochs = cache.write_checkpoint_locked(&reg, &mut shards, last_gen + 1);
+        }
+        (cache, report)
+    }
+
+    /// Applies one replayed record. Mirrors the serial engine's
+    /// `apply_record` semantics on the sharded structures; the journals
+    /// are still `None` here, so nothing re-logs.
+    fn apply_record(&self, gen: u64, rec: &JournalRecord, report: &mut ShardedRecoveryReport) {
+        match *rec {
+            JournalRecord::AddVm {
+                vm,
+                mem_weight,
+                ssd_weight,
+            } => {
+                let mut reg = self.inner.registry.write().expect("registry poisoned");
+                reg.vms
+                    .entry(VmId(vm))
+                    .and_modify(|e| {
+                        e.mem_weight = mem_weight;
+                        e.ssd_weight = ssd_weight;
+                    })
+                    .or_insert_with(|| VmMeta::new(mem_weight, ssd_weight));
+            }
+            JournalRecord::SetVmWeights {
+                vm,
+                mem_weight,
+                ssd_weight,
+            } => {
+                let mut reg = self.inner.registry.write().expect("registry poisoned");
+                if let Some(e) = reg.vms.get_mut(&VmId(vm)) {
+                    e.mem_weight = mem_weight;
+                    e.ssd_weight = ssd_weight;
+                }
+            }
+            JournalRecord::RemoveVm { vm } => {
+                let vm = VmId(vm);
+                let mut reg = self.inner.registry.write().expect("registry poisoned");
+                let Some(meta) = reg.vms.remove(&vm) else {
+                    return;
+                };
+                for (pid, _, _) in meta.pools {
+                    let si = self.shard_of(vm, pid);
+                    let mut shard = self.lock_shard(si);
+                    if let Some(mut p) = shard.pools.remove(&(vm, pid)) {
+                        let (mem, ssd) = p.drain();
+                        self.inner.mem.free(mem);
+                        self.inner.ssd.free(ssd);
+                        shard.stale_mem += mem;
+                        shard.stale_ssd += ssd;
+                    }
+                }
+            }
+            JournalRecord::CreatePool {
+                vm,
+                pool,
+                store,
+                weight,
+            } => {
+                let Some(store) = Self::store_kind_from_code(store) else {
+                    return;
+                };
+                let policy = CachePolicy { store, weight };
+                let (vm, pid) = (VmId(vm), PoolId(pool));
+                let mut reg = self.inner.registry.write().expect("registry poisoned");
+                let meta = reg.vms.entry(vm).or_insert_with(|| VmMeta::new(100, 100));
+                let mirror = match meta.pools.binary_search_by_key(&pid, |r| r.0) {
+                    Ok(i) => {
+                        meta.pools[i].1 = policy;
+                        meta.pools[i].2.clone()
+                    }
+                    Err(i) => {
+                        let mirror = Arc::new(UsageMirror::default());
+                        meta.pools.insert(i, (pid, policy, mirror.clone()));
+                        mirror
+                    }
+                };
+                reg.next_pool = reg.next_pool.max(pool + 1);
+                let si = self.shard_of(vm, pid);
+                let mut shard = self.lock_shard(si);
+                let mut p = Pool::new(vm, policy);
+                p.set_mirror(mirror);
+                shard.pools.insert((vm, pid), p);
+            }
+            JournalRecord::DestroyPool { vm, pool } => {
+                let (vm, pid) = (VmId(vm), PoolId(pool));
+                let mut reg = self.inner.registry.write().expect("registry poisoned");
+                let si = self.shard_of(vm, pid);
+                let mut shard = self.lock_shard(si);
+                if let Some(mut p) = shard.pools.remove(&(vm, pid)) {
+                    let (mem, ssd) = p.drain();
+                    self.inner.mem.free(mem);
+                    self.inner.ssd.free(ssd);
+                    shard.stale_mem += mem;
+                    shard.stale_ssd += ssd;
+                }
+                if let Some(meta) = reg.vms.get_mut(&vm) {
+                    if let Ok(i) = meta.pools.binary_search_by_key(&pid, |r| r.0) {
+                        meta.pools.remove(i);
+                    }
+                }
+            }
+            JournalRecord::SetPolicy {
+                vm,
+                pool,
+                store,
+                weight,
+            } => {
+                // Raw policy swap: the rehoming side effects were
+                // journaled separately as evictions and puts.
+                let Some(store) = Self::store_kind_from_code(store) else {
+                    return;
+                };
+                let policy = CachePolicy { store, weight };
+                let (vm, pid) = (VmId(vm), PoolId(pool));
+                let mut reg = self.inner.registry.write().expect("registry poisoned");
+                if let Some(meta) = reg.vms.get_mut(&vm) {
+                    if let Ok(i) = meta.pools.binary_search_by_key(&pid, |r| r.0) {
+                        meta.pools[i].1 = policy;
+                    }
+                }
+                let si = self.shard_of(vm, pid);
+                let mut shard = self.lock_shard(si);
+                if let Some(p) = shard.pools.get_mut(&(vm, pid)) {
+                    p.set_policy(policy);
+                }
+            }
+            JournalRecord::Put {
+                vm,
+                pool,
+                addr,
+                version,
+                placement,
+            } => {
+                let Some(placement) = Self::placement_from_code(placement) else {
+                    return;
+                };
+                let (vm, pid) = (VmId(vm), PoolId(pool));
+                let si = self.shard_of(vm, pid);
+                let mut shard = self.lock_shard(si);
+                // Pool checked before the ledger so a put into a missing
+                // pool never leaks an allocation (serial order).
+                if !shard.pools.contains_key(&(vm, pid)) {
+                    report.dropped_no_room += 1;
+                    return;
+                }
+                if !self.ledger(placement).try_alloc() {
+                    report.dropped_no_room += 1;
+                    return;
+                }
+                let p = shard.pools.get_mut(&(vm, pid)).expect("checked above");
+                // The record's generation doubles as the entry's seq, so
+                // replayed FIFO order equals the original seq order.
+                let (sid, displaced) = p.insert(addr, placement, PageVersion(version), gen);
+                if let Some(d) = displaced {
+                    self.ledger(d).free(1);
+                    shard.note_stale(d, 1);
+                }
+                self.push_shard_fifo(&mut shard, vm, pid, sid, gen, placement);
+            }
+            JournalRecord::Take { vm, pool, addr }
+            | JournalRecord::Evict { vm, pool, addr }
+            | JournalRecord::Flush { vm, pool, addr } => {
+                let (vm, pid) = (VmId(vm), PoolId(pool));
+                let si = self.shard_of(vm, pid);
+                let mut shard = self.lock_shard(si);
+                if let Some(slot) = shard.pools.get_mut(&(vm, pid)).and_then(|p| p.remove(addr)) {
+                    self.ledger(slot.placement).free(1);
+                    shard.note_stale(slot.placement, 1);
+                }
+            }
+            JournalRecord::FlushFile { vm, pool, file } => {
+                let (vm, pid) = (VmId(vm), PoolId(pool));
+                let si = self.shard_of(vm, pid);
+                let mut shard = self.lock_shard(si);
+                if let Some(p) = shard.pools.get_mut(&(vm, pid)) {
+                    let (mem, ssd) = p.remove_file(file);
+                    self.inner.mem.free(mem);
+                    self.inner.ssd.free(ssd);
+                    shard.stale_mem += mem;
+                    shard.stale_ssd += ssd;
+                }
+            }
+            JournalRecord::Epoch { .. } => {}
+            JournalRecord::SetMemCapacity { pages } => self.inner.mem.set_capacity(pages),
+            JournalRecord::SetSsdCapacity { pages } => self.inner.ssd.set_capacity(pages),
+            // The mode is fixed at construction from the recovery
+            // config; the checkpoint's SetMode always matches it.
+            JournalRecord::SetMode { .. } => {}
+            JournalRecord::SsdDrain => {
+                for s in &self.inner.shards {
+                    let mut shard = s.lock().expect("shard poisoned");
+                    let mut freed = 0;
+                    for p in shard.pools.values_mut() {
+                        freed += p.drain_placement(Placement::Ssd);
+                    }
+                    self.inner.ssd.free(freed);
+                    shard.fifo_ssd.clear();
+                    shard.stale_ssd = 0;
+                }
+            }
         }
     }
 
@@ -499,6 +1328,7 @@ impl ShardedCache {
                 fifo_ssd,
                 stale_mem,
                 stale_ssd,
+                journal: _,
             } = shard;
             let (queue, stale) = match placement {
                 Placement::Mem => (fifo_mem, stale_mem),
@@ -787,10 +1617,18 @@ impl ShardedCache {
                 .pools
                 .get_mut(&(vm, pool_id))
                 .expect("liveness checked above");
-            pool.remove_by_id(sid);
+            let (addr, _) = pool.remove_by_id(sid).expect("front verified live");
             pool.counters.evictions += 1;
             self.ledger(placement).free(1);
             self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+            self.log_in(
+                shard,
+                JournalRecord::Evict {
+                    vm: vm.0,
+                    pool: pool_id.0,
+                    addr,
+                },
+            );
             freed += 1;
         }
         freed
@@ -942,6 +1780,7 @@ impl ShardedCache {
         hybrid: bool,
     ) -> u64 {
         let mut freed = 0;
+        let mut evicted: Vec<BlockAddr> = Vec::new();
         let mut trickle: Vec<(BlockAddr, PageVersion)> = Vec::new();
         {
             let Some(pool) = shard.pools.get_mut(&(vm, pool_id)) else {
@@ -953,6 +1792,7 @@ impl ShardedCache {
                 };
                 pool.counters.evictions += 1;
                 freed += 1;
+                evicted.push(addr);
                 if hybrid && placement == Placement::Mem {
                     trickle.push((addr, slot.version));
                 }
@@ -961,6 +1801,16 @@ impl ShardedCache {
         }
         self.ledger(placement).free(freed);
         self.inner.evictions.fetch_add(freed, Ordering::Relaxed);
+        for addr in evicted {
+            self.log_in(
+                shard,
+                JournalRecord::Evict {
+                    vm: vm.0,
+                    pool: pool_id.0,
+                    addr,
+                },
+            );
+        }
 
         // Trickle-down: keep evicted hybrid memory objects alive in the
         // SSD share while room remains. Like the serial engine, trickled
@@ -979,6 +1829,16 @@ impl ShardedCache {
                         shard.note_stale(displaced, 1);
                     }
                     self.inner.trickle_downs.fetch_add(1, Ordering::Relaxed);
+                    self.log_in(
+                        shard,
+                        JournalRecord::Put {
+                            vm: vm.0,
+                            pool: pool_id.0,
+                            addr,
+                            version: version.0,
+                            placement: Self::placement_code(Placement::Ssd),
+                        },
+                    );
                 }
                 None => self.inner.ssd.free(1),
             }
@@ -1061,6 +1921,18 @@ impl ShardedCache {
             shard.note_stale(displaced, 1);
         }
         self.push_shard_fifo(&mut shard, vm, pool, sid, seq, placement);
+        self.log_in(
+            &mut shard,
+            JournalRecord::Put {
+                vm: vm.0,
+                pool: pool.0,
+                addr,
+                version: version.0,
+                placement: Self::placement_code(placement),
+            },
+        );
+        drop(shard);
+        self.maybe_compact_journal();
         PutOutcome::Stored { finish: now }
     }
 
@@ -1165,6 +2037,19 @@ impl ShardedCache {
             shard.note_stale(displaced, 1);
         }
         self.push_shard_fifo(shard, vm, pool, sid, seq, placement);
+        self.log_in(
+            shard,
+            JournalRecord::Put {
+                vm: vm.0,
+                pool: pool.0,
+                addr,
+                version: version.0,
+                placement: Self::placement_code(placement),
+            },
+        );
+        drop(shards);
+        drop(reg);
+        self.maybe_compact_journal();
         PutOutcome::Stored { finish: now }
     }
 
@@ -1180,6 +2065,14 @@ impl ShardedCache {
         };
         // The FIFO entry the source pool pushed is a tombstone now.
         shard.note_stale(slot.placement, 1);
+        self.log_in(
+            &mut shard,
+            JournalRecord::Take {
+                vm: vm.0,
+                pool: from.0,
+                addr,
+            },
+        );
         if shard.pools.contains_key(&(vm, to)) {
             let seq = self.alloc_seq();
             let target = shard.pools.get_mut(&(vm, to)).expect("checked above");
@@ -1189,6 +2082,16 @@ impl ShardedCache {
                 shard.note_stale(displaced, 1);
             }
             self.push_shard_fifo(&mut shard, vm, to, sid, seq, slot.placement);
+            self.log_in(
+                &mut shard,
+                JournalRecord::Put {
+                    vm: vm.0,
+                    pool: to.0,
+                    addr,
+                    version: slot.version.0,
+                    placement: Self::placement_code(slot.placement),
+                },
+            );
         } else {
             // Unknown target: the object has no owner; drop it.
             self.ledger(slot.placement).free(1);
@@ -1215,6 +2118,15 @@ impl SecondChanceCache for ShardedCache {
         let mut pool = Pool::new(vm, policy);
         pool.set_mirror(mirror);
         shard.pools.insert((vm, id), pool);
+        self.log_in(
+            &mut shard,
+            JournalRecord::CreatePool {
+                vm: vm.0,
+                pool: id.0,
+                store: Self::store_kind_code(policy.store),
+                weight: policy.weight,
+            },
+        );
         id
     }
 
@@ -1228,6 +2140,13 @@ impl SecondChanceCache for ShardedCache {
             self.inner.ssd.free(ssd);
             shard.stale_mem += mem;
             shard.stale_ssd += ssd;
+            self.log_in(
+                &mut shard,
+                JournalRecord::DestroyPool {
+                    vm: vm.0,
+                    pool: pool.0,
+                },
+            );
         }
         if let Some(meta) = reg.vms.get_mut(&vm) {
             if let Ok(i) = meta.pools.binary_search_by_key(&pool, |r| r.0) {
@@ -1271,12 +2190,32 @@ impl SecondChanceCache for ShardedCache {
         // history; sort by address so the rehome sequence is a pure
         // function of the visible cache state.
         displaced.sort_unstable_by_key(|&(addr, _, _)| addr);
+        // Journal the policy change before the re-homing records, so
+        // replay applies the policy raw and then the logged evictions
+        // and puts in causal order (mirrors the serial engine).
+        self.log_in(
+            &mut shard,
+            JournalRecord::SetPolicy {
+                vm: vm.0,
+                pool: pool.0,
+                store: Self::store_kind_code(policy.store),
+                weight: policy.weight,
+            },
+        );
         for (addr, version, old_placement) in displaced {
             if let Some(p) = shard.pools.get_mut(&(vm, pool)) {
                 p.remove(addr);
             }
             self.ledger(old_placement).free(1);
             shard.note_stale(old_placement, 1);
+            self.log_in(
+                &mut shard,
+                JournalRecord::Evict {
+                    vm: vm.0,
+                    pool: pool.0,
+                    addr,
+                },
+            );
             let new_placement = match old_placement {
                 Placement::Mem => Placement::Ssd,
                 Placement::Ssd => Placement::Mem,
@@ -1296,6 +2235,16 @@ impl SecondChanceCache for ShardedCache {
                             shard.note_stale(d, 1);
                         }
                         self.push_shard_fifo(&mut shard, vm, pool, sid, seq, new_placement);
+                        self.log_in(
+                            &mut shard,
+                            JournalRecord::Put {
+                                vm: vm.0,
+                                pool: pool.0,
+                                addr,
+                                version: version.0,
+                                placement: Self::placement_code(new_placement),
+                            },
+                        );
                     }
                     None => self.ledger(new_placement).free(1),
                 }
@@ -1322,6 +2271,14 @@ impl SecondChanceCache for ShardedCache {
             return;
         };
         src.note_stale(slot.placement, 1);
+        self.log_in(
+            src,
+            JournalRecord::Take {
+                vm: vm.0,
+                pool: from.0,
+                addr,
+            },
+        );
         if dst.pools.contains_key(&(vm, to)) {
             let seq = self.alloc_seq();
             let target = dst.pools.get_mut(&(vm, to)).expect("checked above");
@@ -1331,6 +2288,16 @@ impl SecondChanceCache for ShardedCache {
                 dst.note_stale(displaced, 1);
             }
             self.push_shard_fifo(dst, vm, to, sid, seq, slot.placement);
+            self.log_in(
+                dst,
+                JournalRecord::Put {
+                    vm: vm.0,
+                    pool: to.0,
+                    addr,
+                    version: slot.version.0,
+                    placement: Self::placement_code(slot.placement),
+                },
+            );
         } else {
             self.ledger(slot.placement).free(1);
         }
@@ -1374,6 +2341,16 @@ impl SecondChanceCache for ShardedCache {
         // outlives it as a tombstone.
         self.ledger(slot.placement).free(1);
         shard.note_stale(slot.placement, 1);
+        self.log_in(
+            &mut shard,
+            JournalRecord::Take {
+                vm: vm.0,
+                pool: pool.0,
+                addr,
+            },
+        );
+        drop(shard);
+        self.maybe_compact_journal();
         GetOutcome::Hit {
             finish: now,
             version: slot.version,
@@ -1427,9 +2404,23 @@ impl SecondChanceCache for ShardedCache {
             self.ledger(slot.placement).free(1);
             shard.note_stale(slot.placement, 1);
         }
-        // No journal in the sharded plane: epoch 0, like any
-        // non-journaling backend.
-        0
+        // Logged even when the block was absent: the returned epoch must
+        // cover this flush regardless, since a crash may lose the
+        // unsynced put that would have made the block present. Unlike
+        // the serial plane this does NOT sync — durability arrives at
+        // the next group-commit tick; the epoch VALUE is the same either
+        // way, and recovery's per-VM discard covers the window.
+        let epoch = self.log_in(
+            &mut shard,
+            JournalRecord::Flush {
+                vm: vm.0,
+                pool: pool.0,
+                addr,
+            },
+        );
+        drop(shard);
+        self.maybe_compact_journal();
+        epoch
     }
 
     fn flush_file(&mut self, vm: VmId, pool: PoolId, file: FileId) -> u64 {
@@ -1442,7 +2433,17 @@ impl SecondChanceCache for ShardedCache {
             shard.stale_mem += mem;
             shard.stale_ssd += ssd;
         }
-        0
+        let epoch = self.log_in(
+            &mut shard,
+            JournalRecord::FlushFile {
+                vm: vm.0,
+                pool: pool.0,
+                file,
+            },
+        );
+        drop(shard);
+        self.maybe_compact_journal();
+        epoch
     }
 }
 
@@ -1549,6 +2550,127 @@ mod tests {
             cache.put(SimTime::ZERO, VmId(0), p, addr(1, 0), PageVersion(0)),
             PutOutcome::Rejected
         );
+    }
+
+    #[test]
+    fn journaled_flushes_return_real_epochs_and_survive_recovery() {
+        let config = CacheConfig::mem_and_ssd(64, 64);
+        let mut cache = ShardedCache::new(config, 4);
+        cache.enable_journal();
+        cache.add_vm(VmId(1), 100);
+        let p = cache.create_pool(VmId(1), CachePolicy::mem(100));
+        for i in 0..20 {
+            assert!(matches!(
+                cache.put(SimTime::ZERO, VmId(1), p, addr(1, i), PageVersion(i + 1)),
+                PutOutcome::Stored { .. }
+            ));
+        }
+        let e1 = cache.flush(VmId(1), p, addr(1, 0));
+        let e2 = cache.flush(VmId(1), p, addr(1, 1));
+        assert!(e1 > 0, "journaled flush must return a real epoch");
+        assert!(e2 > e1, "epochs are monotone");
+        // Group commit: nothing durable until the tick.
+        assert_eq!(cache.commit_epoch(), 0);
+        let tick = cache.commit_tick();
+        assert_eq!(tick, e2, "watermark covers the last flush");
+        assert_eq!(cache.commit_epoch(), e2);
+        assert!(cache
+            .journal_durable_lens()
+            .unwrap()
+            .iter()
+            .zip(cache.journal_images().unwrap())
+            .all(|(&d, img)| d == img.len()));
+
+        let images = cache.journal_images().unwrap();
+        let (rec, report) = ShardedCache::recover(config, &images, &[(VmId(1), e2)]);
+        // All flushes replayed, so nothing is epoch-suspect.
+        assert_eq!(report.discarded_stale, 0);
+        assert_eq!(report.recovered_entries, 18);
+        assert_eq!(report.gap_discarded, 0);
+        let entries = rec.entries();
+        assert_eq!(entries.len(), 18);
+        assert!(
+            !entries
+                .iter()
+                .any(|&(_, _, a, _)| a == addr(1, 0) || a == addr(1, 1)),
+            "flushed blocks must not come back"
+        );
+        let findings = audit(&rec);
+        assert!(findings.is_empty(), "{findings:?}");
+        // The survivor journals on: epochs keep advancing past the
+        // recovery checkpoint's.
+        assert!(rec.journal_enabled());
+        let ckpt_top = report.new_epochs.iter().map(|&(_, e)| e).max().unwrap();
+        let mut rec = rec;
+        let e3 = rec.flush(VmId(1), p, addr(1, 2));
+        assert!(e3 > ckpt_top, "post-recovery epochs continue the line");
+    }
+
+    #[test]
+    fn recovery_truncates_at_the_first_generation_gap() {
+        let config = CacheConfig::mem_and_ssd(128, 0);
+        let mut cache = ShardedCache::new(config, 8);
+        cache.enable_journal();
+        cache.add_vm(VmId(1), 100);
+        // Two pools on different home shards, so their records land in
+        // different segments and the generations interleave.
+        let pa = cache.create_pool(VmId(1), CachePolicy::mem(50));
+        let mut pb = cache.create_pool(VmId(1), CachePolicy::mem(50));
+        while cache.shard_of(VmId(1), pb) == cache.shard_of(VmId(1), pa) {
+            pb = cache.create_pool(VmId(1), CachePolicy::mem(50));
+        }
+        for i in 0..24 {
+            cache.put(SimTime::ZERO, VmId(1), pa, addr(1, i), PageVersion(i + 1));
+            cache.put(SimTime::ZERO, VmId(1), pb, addr(2, i), PageVersion(i + 1));
+        }
+        let mut images = cache.journal_images().unwrap();
+        // Lose a suffix of pool A's segment: every record of pool B
+        // interleaved after the cut rides above lost generations and
+        // must fall to the gap barrier.
+        let sa = cache.shard_of(VmId(1), pa);
+        let bounds = Journal::record_boundaries(&images[sa]);
+        assert!(bounds.len() >= 8);
+        images[sa].truncate(bounds[bounds.len() / 2]);
+        let (rec, report) = ShardedCache::recover(config, &images, &[(VmId(1), 0)]);
+        assert!(
+            report.gap_discarded > 0,
+            "interleaved records after the lost suffix must be dropped"
+        );
+        assert!(report.recovered_entries < 48);
+        let findings = audit(&rec);
+        assert!(findings.is_empty(), "{findings:?}");
+        // Survivors still serve.
+        let mut rec = rec;
+        let mut hits = 0;
+        for i in 0..24 {
+            if let GetOutcome::Hit { version, .. } = rec.get(SimTime::ZERO, VmId(1), pa, addr(1, i))
+            {
+                assert_eq!(version, PageVersion(i + 1));
+                hits += 1;
+            }
+        }
+        assert!(hits > 0, "the kept prefix preserves pool A's entries");
+    }
+
+    #[test]
+    fn recovery_with_future_epochs_discards_everything_suspect() {
+        let config = CacheConfig::mem_and_ssd(64, 64);
+        let mut cache = ShardedCache::new(config, 4);
+        cache.enable_journal();
+        cache.add_vm(VmId(1), 100);
+        let p = cache.create_pool(VmId(1), CachePolicy::mem(100));
+        for i in 0..16 {
+            cache.put(SimTime::ZERO, VmId(1), p, addr(1, i), PageVersion(1));
+        }
+        let images = cache.journal_images().unwrap();
+        let (rec, report) = ShardedCache::recover(config, &images, &[(VmId(1), u64::MAX)]);
+        assert_eq!(
+            rec.entries().len(),
+            0,
+            "an epoch above the journal makes every entry suspect"
+        );
+        assert!(report.discarded_stale > 0);
+        assert!(audit(&rec).is_empty());
     }
 
     #[test]

@@ -419,7 +419,19 @@ impl Journal {
     /// *not* durable until the next [`Journal::sync`].
     pub fn append(&mut self, rec: &JournalRecord) -> u64 {
         let gen = self.next_gen;
-        self.next_gen += 1;
+        self.append_with_gen(rec, gen);
+        gen
+    }
+
+    /// Appends a record carrying an explicitly assigned generation.
+    /// The sharded serving plane draws generations from one cache-global
+    /// cell and fans records out across per-shard segments; the segments
+    /// then interleave back into a single dense generation sequence at
+    /// recovery. The journal's own counter advances past `gen`, so mixed
+    /// use with [`Journal::append`] stays monotone. Wire-identical
+    /// framing to [`Journal::append`].
+    pub fn append_with_gen(&mut self, rec: &JournalRecord, gen: u64) {
+        self.next_gen = self.next_gen.max(gen + 1);
         let start = self.buf.len();
         self.buf.extend_from_slice(&[0, 0]); // length backpatched below
         self.buf.push(rec.kind());
@@ -430,7 +442,6 @@ impl Journal {
         let crc = crc32(&self.buf[start..]);
         put_u32(&mut self.buf, crc);
         self.records += 1;
-        gen
     }
 
     /// Appends a batch of records in order, returning the generation of
@@ -805,6 +816,35 @@ mod tests {
         // with_start_gen(0) still produces valid generations (>= 1).
         let mut j0 = Journal::with_start_gen(0);
         assert_eq!(j0.append(&JournalRecord::SsdDrain), 1);
+    }
+
+    #[test]
+    fn explicit_generations_are_wire_identical_and_replayable() {
+        // A segment receiving a sparse slice of the global generation
+        // sequence must frame records exactly like the serial path and
+        // replay them with the generations it was handed.
+        let recs = sample_records();
+        let gens = [
+            3u64, 4, 9, 10, 11, 20, 21, 22, 23, 30, 31, 40, 41, 50, 51, 52,
+        ];
+        let mut seg = Journal::new();
+        for (r, &g) in recs.iter().zip(&gens) {
+            seg.append_with_gen(r, g);
+        }
+        assert_eq!(seg.records(), recs.len() as u64);
+        assert_eq!(seg.next_gen(), 53, "counter advanced past the max gen");
+        let (replayed, stats) = Journal::replay(seg.bytes());
+        assert!(!stats.torn_tail && !stats.corrupt);
+        for (i, (gen, rec)) in replayed.iter().enumerate() {
+            assert_eq!(*gen, gens[i]);
+            assert_eq!(*rec, recs[i]);
+        }
+        // Same record, same gen => same bytes as the implicit path.
+        let mut a = Journal::with_start_gen(7);
+        a.append(&JournalRecord::SsdDrain);
+        let mut b = Journal::new();
+        b.append_with_gen(&JournalRecord::SsdDrain, 7);
+        assert_eq!(a.bytes(), b.bytes());
     }
 
     #[test]

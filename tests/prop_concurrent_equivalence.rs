@@ -59,6 +59,57 @@ fn sharded_engine_is_byte_identical_to_serial_across_modes_and_seeds() {
     }
 }
 
+/// With journaling on, the contract grows: `flush`/`flush_many` return
+/// real durability epochs, the per-VM `flush_epoch` watermark in the
+/// report must be non-zero, and it must still match the serial engine
+/// byte-for-byte — the sharded plane's per-shard segments with group
+/// commit allocate the *same* dense record generations the serial WAL
+/// does, so the epochs agree gen-for-gen, not just "both non-zero".
+#[test]
+fn journaled_planes_agree_on_flush_epoch_watermarks() {
+    let modes = [
+        PartitionMode::DoubleDecker,
+        PartitionMode::Global,
+        PartitionMode::Strict,
+    ];
+    for seed in [5, 0xDD06] {
+        for mode in modes {
+            let mut cfg = config(seed, mode);
+            cfg.journal = true;
+            let serial = run_equivalence(&cfg, EngineKind::Serial);
+            assert_eq!(serial.stale_reads, 0, "serial oracle: {mode:?} seed {seed}");
+            assert!(
+                serial.json.contains("\"flush_epoch\""),
+                "report must expose the per-VM flush-epoch watermark"
+            );
+            for shards in [1, 4, 16] {
+                cfg.shards = shards;
+                let sharded = run_equivalence(&cfg, EngineKind::Sharded { shards });
+                assert_eq!(sharded.stale_reads, 0, "{mode:?}/{shards} seed {seed}");
+                assert_eq!(
+                    serial.json, sharded.json,
+                    "journaled report diverged: {mode:?}, {shards} shards, seed {seed}"
+                );
+                let root = ddc_json::Json::parse(&sharded.json).expect("report parses");
+                for row in root
+                    .get("vms_report")
+                    .and_then(ddc_json::Json::as_array)
+                    .expect("vm rows")
+                {
+                    let epoch = row
+                        .get("flush_epoch")
+                        .and_then(ddc_json::Json::as_u64)
+                        .expect("epoch field");
+                    assert!(
+                        epoch > 0,
+                        "{mode:?}/{shards} seed {seed}: journaled flush acked epoch 0"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Forces every two-phase snapshot stale: the eviction hook flushes
 /// pages out of the phase-1 victim's pool between the phases, so the
 /// locked re-validation sees different usage than the snapshot did.
