@@ -33,6 +33,26 @@ echo "==> stress smoke (serial-vs-sharded equivalence + threaded stress)"
 cargo run --release -q -p ddc-bench --bin repro -- stress --smoke
 echo "==> stress smoke again with 8 experiment workers (cross-cell contention)"
 DDC_THREADS=8 cargo run --release -q -p ddc-bench --bin repro -- stress --smoke
+echo "==> stress smoke, 95/5 read-heavy mix through the lock-free read plane"
+DDC_THREADS=8 cargo run --release -q -p ddc-bench --bin repro -- stress --smoke --read-heavy
 cargo test -q -p ddc-core --test prop_concurrent_equivalence
+
+# Optional race-detector smoke: opt in with DDC_TSAN=1. Needs a nightly
+# toolchain (-Zsanitizer); tier-1 above never depends on it, so CI stays
+# green on stable-only machines. Runs the seqlock/replica/tournament race
+# tests of ddc-concurrent under ThreadSanitizer.
+if [ "${DDC_TSAN:-0}" = "1" ]; then
+    if rustup run nightly rustc --version >/dev/null 2>&1; then
+        echo "==> TSan smoke (nightly, ddc-concurrent race tests)"
+        RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+            rustup run nightly cargo test -q -p ddc-concurrent \
+            -Z build-std --target "$(rustc -vV | sed -n 's/^host: //p')" \
+            --target-dir target/tsan \
+            -- seqlock racing read_heavy 2>/dev/null \
+            || echo "TSan smoke unavailable (missing rust-src or build-std); skipping"
+    else
+        echo "DDC_TSAN=1 set but no nightly toolchain; skipping TSan smoke"
+    fi
+fi
 
 echo "CI green."

@@ -24,6 +24,7 @@ struct Args {
     secs: Option<u64>,
     json_dir: Option<PathBuf>,
     smoke: bool,
+    read_heavy: bool,
     check: Option<PathBuf>,
     out: Option<PathBuf>,
 }
@@ -34,6 +35,7 @@ fn parse_args() -> Args {
         secs: None,
         json_dir: None,
         smoke: false,
+        read_heavy: false,
         check: None,
         out: None,
     };
@@ -50,6 +52,7 @@ fn parse_args() -> Args {
                 args.json_dir = Some(PathBuf::from(it.next().expect("--json needs a directory")));
             }
             "--smoke" => args.smoke = true,
+            "--read-heavy" => args.read_heavy = true,
             "--check" => {
                 args.check = Some(PathBuf::from(it.next().expect("--check needs a file")));
             }
@@ -91,8 +94,10 @@ fn print_help() {
                    continuation) [--smoke] [--out FILE]; exits non-zero on any\n\
                    stale read or invariant violation\n\
            stress  concurrent serving plane: serial-vs-sharded equivalence\n\
-                   matrix + 1/2/4/8-thread stress [--smoke] [--out FILE];\n\
-                   exits non-zero on any divergence, stale read or finding\n\
+                   matrix + 1/2/4/8-thread stress [--smoke] [--out FILE]\n\
+                   [--read-heavy: 95/5 get/put mix through the lock-free\n\
+                   read plane]; exits non-zero on any divergence, stale\n\
+                   read or finding\n\
            perf    cache-ops perf matrix [--smoke] [--out FILE] [--check BASELINE]\n\
            all     everything above except perf (default)\n\n\
          parallelism: independent experiment cells fan out across cores\n\
@@ -644,12 +649,16 @@ fn chaos_sweep(args: &Args) -> bool {
 }
 
 fn stress_plane(args: &Args) -> bool {
-    banner(if args.smoke {
-        "Stress: concurrent serving plane (smoke budget)"
-    } else {
-        "Stress: concurrent serving plane"
-    });
-    let report = stress::run(stress::DEFAULT_SEED, args.smoke);
+    banner(&format!(
+        "Stress: concurrent serving plane{}{}",
+        if args.read_heavy {
+            ", 95/5 read-heavy mix"
+        } else {
+            ""
+        },
+        if args.smoke { " (smoke budget)" } else { "" }
+    ));
+    let report = stress::run(stress::DEFAULT_SEED, args.smoke, args.read_heavy);
 
     println!("\nequivalence matrix (sharded single-thread vs serial reference):");
     let mut eq = TextTable::new(vec!["mode", "shards", "byte-identical", "stale"]);
@@ -674,6 +683,8 @@ fn stress_plane(args: &Args) -> bool {
         "audit",
         "commit epoch",
         "compactions",
+        "lockfree",
+        "replica",
     ]);
     for c in &report.scaling {
         sc.row(vec![
@@ -686,6 +697,8 @@ fn stress_plane(args: &Args) -> bool {
             c.audit_findings.to_string(),
             c.commit_epoch.to_string(),
             c.journal_compactions.to_string(),
+            c.lockfree_misses.to_string(),
+            c.replica_hits.to_string(),
         ]);
     }
     println!("{}", sc.render());

@@ -21,6 +21,11 @@
 //! The equivalence phase is fully deterministic; the scaling phase
 //! carries wall-clock numbers, so the JSON report is not expected to
 //! be byte-stable across runs (the pass/fail verdict is).
+//!
+//! Both phases can run on the **standard** mix or (`--read-heavy`) on
+//! the 95/5 get-heavy mix that the lock-free read plane (DESIGN.md §15)
+//! targets; the read-heavy rows additionally report how many lookups
+//! were answered without any lock.
 
 use ddc_core::concurrent::{run_equivalence, run_stress, EngineKind, StressConfig};
 use ddc_core::prelude::*;
@@ -74,6 +79,12 @@ pub struct ScalingCell {
     pub commit_epoch: u64,
     /// Segment compactions across the run. Diagnostic only.
     pub journal_compactions: u64,
+    /// Lookups served without any lock (seqlock table + hot replicas,
+    /// DESIGN.md §15). Diagnostic only.
+    pub lockfree_misses: u64,
+    /// Of those, lookups served straight from a per-handle hot-miss
+    /// replica. Diagnostic only.
+    pub replica_hits: u64,
 }
 
 /// A full stress run: equivalence matrix plus scaling sweep.
@@ -83,6 +94,9 @@ pub struct StressReport {
     pub seed: u64,
     /// Smoke (CI-sized) or full workload.
     pub smoke: bool,
+    /// Whether the run used the 95/5 read-heavy mix (the lock-free read
+    /// plane's target workload) instead of the standard mix.
+    pub read_heavy: bool,
     /// Equivalence matrix cells, mode-major.
     pub equivalence: Vec<EquivalenceCell>,
     /// Scaling cells, ascending thread count.
@@ -124,6 +138,17 @@ impl StressReport {
         root.set("schema", Json::Str(SCHEMA.to_owned()));
         root.set("seed", Json::Num(self.seed as f64));
         root.set("smoke", Json::Bool(self.smoke));
+        root.set(
+            "mix",
+            Json::Str(
+                if self.read_heavy {
+                    "read_heavy"
+                } else {
+                    "standard"
+                }
+                .to_owned(),
+            ),
+        );
         root.set("passed", Json::Bool(self.passed()));
         root.set("scaling_factor_8_over_1", Json::Num(self.scaling_factor()));
         root.set(
@@ -161,6 +186,8 @@ impl StressReport {
                             "journal_compactions",
                             Json::Num(c.journal_compactions as f64),
                         );
+                        o.set("lockfree_misses", Json::Num(c.lockfree_misses as f64));
+                        o.set("replica_hits", Json::Num(c.replica_hits as f64));
                         o
                     })
                     .collect(),
@@ -181,8 +208,14 @@ pub fn mode_name(mode: PartitionMode) -> &'static str {
     }
 }
 
-fn base_config(seed: u64, smoke: bool) -> StressConfig {
-    if smoke {
+fn base_config(seed: u64, smoke: bool, read_heavy: bool) -> StressConfig {
+    if read_heavy {
+        let mut cfg = StressConfig::read_heavy(seed);
+        if smoke {
+            cfg.ticks = 200;
+        }
+        cfg
+    } else if smoke {
         StressConfig::smoke(seed)
     } else {
         StressConfig::standard(seed)
@@ -191,7 +224,7 @@ fn base_config(seed: u64, smoke: bool) -> StressConfig {
 
 /// Runs the equivalence matrix: every mode × shard count against the
 /// serial reference.
-pub fn run_equivalence_matrix(seed: u64, smoke: bool) -> Vec<EquivalenceCell> {
+pub fn run_equivalence_matrix(seed: u64, smoke: bool, read_heavy: bool) -> Vec<EquivalenceCell> {
     let modes = [
         PartitionMode::DoubleDecker,
         PartitionMode::Global,
@@ -199,7 +232,7 @@ pub fn run_equivalence_matrix(seed: u64, smoke: bool) -> Vec<EquivalenceCell> {
     ];
     let mut cells = Vec::new();
     for mode in modes {
-        let mut cfg = base_config(seed, smoke);
+        let mut cfg = base_config(seed, smoke, read_heavy);
         cfg.cache = cfg.cache.with_mode(mode);
         let serial = run_equivalence(&cfg, EngineKind::Serial);
         for shards in SHARD_COUNTS {
@@ -219,11 +252,11 @@ pub fn run_equivalence_matrix(seed: u64, smoke: bool) -> Vec<EquivalenceCell> {
 /// Runs the thread-scaling sweep at [`THREAD_COUNTS`], each thread
 /// count once volatile and once journaled with per-tick group commits
 /// (the durability tax is the gap between the paired rows).
-pub fn run_scaling(seed: u64, smoke: bool) -> Vec<ScalingCell> {
+pub fn run_scaling(seed: u64, smoke: bool, read_heavy: bool) -> Vec<ScalingCell> {
     let mut cells = Vec::new();
     for &threads in &THREAD_COUNTS {
         for journal in [false, true] {
-            let mut cfg = base_config(seed, smoke);
+            let mut cfg = base_config(seed, smoke, read_heavy);
             cfg.journal = journal;
             let out = run_stress(&cfg, threads);
             cells.push(ScalingCell {
@@ -236,19 +269,24 @@ pub fn run_scaling(seed: u64, smoke: bool) -> Vec<ScalingCell> {
                 audit_findings: out.findings.len() as u64,
                 commit_epoch: out.commit_epoch,
                 journal_compactions: out.journal_compactions,
+                lockfree_misses: out.lockfree_misses,
+                replica_hits: out.replica_hits,
             });
         }
     }
     cells
 }
 
-/// Runs the full harness: equivalence matrix, then scaling sweep.
-pub fn run(seed: u64, smoke: bool) -> StressReport {
+/// Runs the full harness: equivalence matrix, then scaling sweep,
+/// either on the standard mix or (`read_heavy`) on the 95/5 get-heavy
+/// mix the lock-free read plane targets.
+pub fn run(seed: u64, smoke: bool, read_heavy: bool) -> StressReport {
     StressReport {
         seed,
         smoke,
-        equivalence: run_equivalence_matrix(seed, smoke),
-        scaling: run_scaling(seed, smoke),
+        read_heavy,
+        equivalence: run_equivalence_matrix(seed, smoke, read_heavy),
+        scaling: run_scaling(seed, smoke, read_heavy),
     }
 }
 
@@ -258,7 +296,7 @@ mod tests {
 
     #[test]
     fn smoke_harness_passes_all_gates() {
-        let r = run(DEFAULT_SEED, true);
+        let r = run(DEFAULT_SEED, true, false);
         assert_eq!(r.equivalence.len(), 3 * SHARD_COUNTS.len());
         assert_eq!(r.scaling.len(), 2 * THREAD_COUNTS.len());
         assert!(r.passed(), "report: {}", r.to_json());
@@ -269,12 +307,27 @@ mod tests {
 
     #[test]
     fn equivalence_matrix_is_deterministic() {
-        let a = run_equivalence_matrix(7, true);
-        let b = run_equivalence_matrix(7, true);
+        let a = run_equivalence_matrix(7, true, false);
+        let b = run_equivalence_matrix(7, true, false);
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert!(x.identical && y.identical);
             assert_eq!(x.stale_reads, 0);
+        }
+    }
+
+    #[test]
+    fn read_heavy_smoke_passes_and_serves_lock_free() {
+        let r = run(DEFAULT_SEED, true, true);
+        assert!(r.passed(), "report: {}", r.to_json());
+        // On its target mix the read plane must actually carry load in
+        // every scaling cell.
+        for c in &r.scaling {
+            assert!(
+                c.lockfree_misses > 0,
+                "read plane idle at {} threads: {c:?}",
+                c.threads
+            );
         }
     }
 }

@@ -39,6 +39,17 @@
 //!    group-commit path emits records a crash would mangle), with
 //!    strictly increasing generations per segment, no generation
 //!    claimed twice across segments, and the record counter exact.
+//! 8. **Read-plane coherence** (DESIGN.md §15) — every shard's seqlock
+//!    sequence word is even at rest (an odd value means a writer died
+//!    mid-publish and readers would spin forever); unless the plane
+//!    latched its overflow flag, its membership equals the exact union
+//!    of live `(vm, pool, addr)` keys homed on the shard (a missing key
+//!    is a wrong lock-free miss — the one lie the design must never
+//!    tell); every still-valid hot-replica entry on the auditing handle
+//!    is genuinely absent from its home shard; and — in Global mode,
+//!    the only mode that maintains or consults them — each tournament
+//!    tree's leaves equal their shards' FIFO front sequences with the
+//!    stored root agreeing with a from-scratch recomputation.
 //!
 //! Arena-shape invariants (free-list disjoint from the live set, every
 //! live slot covered by exactly one FIFO entry or tombstone) ride along
@@ -47,8 +58,9 @@
 use ddc_cleancache::{PoolId, VmId};
 use ddc_hypercache::index::{Placement, Pool};
 use ddc_hypercache::{audit_pool_slice, AuditFinding};
-use ddc_storage::Journal;
+use ddc_storage::{BlockAddr, Journal};
 
+use crate::fronts::EMPTY_FRONT;
 use crate::sharded::ShardedCache;
 
 fn placements() -> [Placement; 2] {
@@ -287,6 +299,108 @@ pub fn audit(cache: &ShardedCache) -> Vec<AuditFinding> {
                     detail: format!(
                         "segments hold {} records but the counter says {expected_records}",
                         all_gens.len()
+                    ),
+                });
+            }
+        }
+
+        // 8a. Read planes: seq word even at rest; membership exactly the
+        // live key union of the shard (unless the plane overflowed and
+        // lock-free reads are already disabled there).
+        for (si, shard) in shards.iter().enumerate() {
+            let plane = cache.read_plane(si);
+            if !plane.seq().is_multiple_of(2) {
+                findings.push(AuditFinding {
+                    invariant: "read-plane",
+                    detail: format!(
+                        "shard {si} seqlock word is odd ({}) at rest — a write \
+                         never completed",
+                        plane.seq()
+                    ),
+                });
+            }
+            if plane.overflowed() {
+                continue;
+            }
+            let mut live: Vec<(VmId, PoolId, BlockAddr)> = shard
+                .pools
+                .iter()
+                .flat_map(|(&(vm, pid), pool)| pool.iter().map(move |(addr, _)| (vm, pid, addr)))
+                .collect();
+            live.sort_unstable();
+            let mut published = plane.entries();
+            published.sort_unstable();
+            if live != published {
+                findings.push(AuditFinding {
+                    invariant: "read-plane",
+                    detail: format!(
+                        "shard {si} read plane publishes {} keys but the shard \
+                         holds {} live keys (lock-free misses would lie)",
+                        published.len(),
+                        live.len()
+                    ),
+                });
+            }
+        }
+
+        // 8b. Hot replicas (this handle's): an entry whose stamp still
+        // matches the home plane must describe a genuinely absent key.
+        for h in cache.local_hot() {
+            let si = cache.shard_of(h.vm, h.pool);
+            if cache.read_plane(si).seq() != h.stamp {
+                continue; // stale entry, will be discarded on next probe
+            }
+            let present = shards[si]
+                .pools
+                .get(&(h.vm, h.pool))
+                .is_some_and(|p| p.peek(h.addr).is_some());
+            if present {
+                findings.push(AuditFinding {
+                    invariant: "hot-replica",
+                    detail: format!(
+                        "{} {} {:?} is cached as a valid miss but the home shard \
+                         holds it",
+                        h.vm, h.pool, h.addr
+                    ),
+                });
+            }
+        }
+
+        // 8c. Tournament trees: leaves mirror the raw FIFO fronts (dead
+        // or live), and the stored root is the recomputed minimum.
+        // Global mode only — the other modes never consult the tree and
+        // skip its maintenance, so their leaves are legitimately stale.
+        for placement in placements()
+            .into_iter()
+            .filter(|_| matches!(cache.mode(), ddc_hypercache::PartitionMode::Global))
+        {
+            let tree = cache.front_tree(placement);
+            for (si, shard) in shards.iter().enumerate() {
+                let want = shard
+                    .fifo_ref(placement)
+                    .front()
+                    .map(|&(_, _, _, seq)| seq)
+                    .unwrap_or(EMPTY_FRONT);
+                let got = tree.leaf(si);
+                if got != want {
+                    findings.push(AuditFinding {
+                        invariant: "front-tree",
+                        detail: format!(
+                            "shard {si} {} leaf holds seq {got} but the FIFO front \
+                             is {want}",
+                            store_name(placement)
+                        ),
+                    });
+                }
+            }
+            if tree.winner() != tree.recompute_winner() {
+                findings.push(AuditFinding {
+                    invariant: "front-tree",
+                    detail: format!(
+                        "{} tree root nominates {:?} but the leaves say {:?}",
+                        store_name(placement),
+                        tree.winner(),
+                        tree.recompute_winner()
                     ),
                 });
             }

@@ -127,6 +127,39 @@ impl StressConfig {
         }
     }
 
+    /// A 95/5 read-heavy mix (19 gets per put): the workload the
+    /// lock-free read plane exists for. Exclusive semantics keep the
+    /// steady-state hit rate low, so nearly every get is a definitive
+    /// miss the seqlock table answers without a lock. Used by the
+    /// `read_scaling_threads_*` perf cells.
+    pub fn read_heavy(seed: u64) -> StressConfig {
+        StressConfig {
+            vms: 8,
+            pools_per_vm: 2,
+            ticks: 1_000,
+            working_set: 256,
+            writes_per_tick: 1,
+            puts_per_tick: 1,
+            gets_per_tick: 19,
+            cache: CacheConfig::mem_and_ssd(4_096, 8_192),
+            shards: 16,
+            seed,
+            journal: false,
+        }
+    }
+
+    /// The read-heavy mix squeezed onto a tiny working set: every
+    /// thread hammers the same handful of blocks, so the same keys are
+    /// looked up over and over — the case the per-handle hot-miss
+    /// replicas short-circuit. Used by the
+    /// `hot_block_contention_threads_*` perf cells.
+    pub fn hot_blocks(seed: u64) -> StressConfig {
+        StressConfig {
+            working_set: 8,
+            ..StressConfig::read_heavy(seed)
+        }
+    }
+
     /// The full stress configuration used by `repro stress`.
     pub fn standard(seed: u64) -> StressConfig {
         StressConfig {
@@ -554,6 +587,21 @@ pub struct StressOutcome {
     /// Journal checkpoint rewrites triggered during the run
     /// (diagnostic; 0 on the volatile plane).
     pub journal_compactions: u64,
+    /// Lookups answered with no lock at all, summed over every thread's
+    /// handle (diagnostic, DESIGN.md §15).
+    pub lockfree_misses: u64,
+    /// Of those, lookups served straight from a per-handle hot-miss
+    /// replica without probing the seqlock table (diagnostic).
+    pub replica_hits: u64,
+    /// Torn-snapshot retries across every shard's read plane
+    /// (diagnostic).
+    pub seqlock_retries: u64,
+    /// Tree-guided Global evictions that re-ran the tournament after
+    /// locking a stale winner (diagnostic).
+    pub front_tree_retries: u64,
+    /// Tree-guided Global evictions that fell back to the lock-all scan
+    /// (diagnostic).
+    pub front_tree_fallbacks: u64,
 }
 
 impl StressOutcome {
@@ -596,7 +644,7 @@ pub fn run_stress(cfg: &StressConfig, threads: usize) -> StressOutcome {
 
     let ticks = cfg.ticks;
     let started = std::time::Instant::now();
-    let joined: Vec<Vec<VmWorker>> = std::thread::scope(|scope| {
+    let joined: Vec<(Vec<VmWorker>, (u64, u64))> = std::thread::scope(|scope| {
         let handles: Vec<_> = hands
             .into_iter()
             .map(|mut hand| {
@@ -614,7 +662,10 @@ pub fn run_stress(cfg: &StressConfig, threads: usize) -> StressOutcome {
                             backend.commit_tick();
                         }
                     }
-                    hand
+                    // The hot-miss replica dies with this thread's
+                    // handle; salvage its counters for the outcome.
+                    let local = backend.local_read_stats();
+                    (hand, local)
                 })
             })
             .collect();
@@ -627,9 +678,15 @@ pub fn run_stress(cfg: &StressConfig, threads: usize) -> StressOutcome {
 
     let mut total_ops = 0;
     let mut stale_reads = 0;
-    for w in joined.iter().flatten() {
-        total_ops += w.ops;
-        stale_reads += w.stale_reads;
+    let mut lockfree_misses = 0;
+    let mut replica_hits = 0;
+    for (hand, (lf, rh)) in &joined {
+        for w in hand {
+            total_ops += w.ops;
+            stale_reads += w.stale_reads;
+        }
+        lockfree_misses += lf;
+        replica_hits += rh;
     }
     StressOutcome {
         threads,
@@ -641,6 +698,11 @@ pub fn run_stress(cfg: &StressConfig, threads: usize) -> StressOutcome {
         two_phase_fallbacks: cache.two_phase_fallbacks(),
         commit_epoch: cache.commit_epoch(),
         journal_compactions: cache.journal_compactions(),
+        lockfree_misses,
+        replica_hits,
+        seqlock_retries: cache.seqlock_retries(),
+        front_tree_retries: cache.front_tree_retries(),
+        front_tree_fallbacks: cache.front_tree_fallbacks(),
     }
 }
 
@@ -886,6 +948,24 @@ mod tests {
             assert_eq!(out.stale_reads, 0, "{threads} threads: stale reads");
             assert_eq!(out.total_ops, StressConfig::smoke(13).ops_per_vm() * 4);
         }
+    }
+
+    #[test]
+    fn read_heavy_mix_matches_serial_and_serves_lock_free() {
+        // The lock-free read plane must not perturb the determinism
+        // contract on its own target workload...
+        let cfg = StressConfig::read_heavy(5);
+        let serial = run_equivalence(&cfg, EngineKind::Serial);
+        let sharded = run_equivalence(&cfg, EngineKind::Sharded { shards: 16 });
+        assert_eq!(serial.json, sharded.json);
+        // ...and under threads it must actually serve misses without a
+        // lock, including straight from the hot-miss replicas on the
+        // tiny-working-set variant.
+        let out = run_stress(&StressConfig::hot_blocks(5), 4);
+        assert!(out.clean(), "{:?}", out.findings);
+        assert!(out.lockfree_misses > 0, "read plane never served a miss");
+        assert!(out.replica_hits > 0, "hot replicas never hit");
+        assert!(out.replica_hits <= out.lockfree_misses);
     }
 
     #[test]

@@ -8,7 +8,12 @@
 //!   index is split into per-lock shards, with a global atomic pressure
 //!   ledger and cross-shard resource-conservative eviction (Algorithm 1
 //!   unchanged), plus per-shard journal segments with group commit and
-//!   [`ShardedCache::recover`] warm restart (DESIGN.md §14).
+//!   [`ShardedCache::recover`] warm restart (DESIGN.md §14). Reads are
+//!   lock-free: definitive misses are answered by a per-shard seqlock
+//!   membership table plus per-handle hot replicas (DESIGN.md §15).
+//! * [`fronts`] — the tournament tree over per-shard FIFO front
+//!   sequences that lets Global-mode eviction find its victim without
+//!   locking every shard.
 //! * [`driver`] — a multi-threaded VM driver: each guest runs its
 //!   hypercall stream on its own OS thread against the shared cache,
 //!   with a seeded deterministic-equivalence mode (single-threaded
@@ -28,6 +33,7 @@
 
 pub mod audit;
 pub mod driver;
+pub mod fronts;
 pub mod sharded;
 
 pub use audit::audit;

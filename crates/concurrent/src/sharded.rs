@@ -91,9 +91,12 @@ use ddc_cleancache::{
 };
 use ddc_hypercache::index::{Placement, Pool, SlotId, UsageMirror};
 use ddc_hypercache::policy::{entitlements, select_victim, select_victim_strict};
+use ddc_hypercache::readplane::{ReadPlane, ReadProbe};
 use ddc_hypercache::{CacheConfig, EntityUsage, PartitionMode, EVICTION_BATCH_PAGES};
 use ddc_sim::{FxHashMap, SimTime};
 use ddc_storage::{BlockAddr, FileId, Journal, JournalRecord};
+
+use crate::fronts::{FrontTree, EMPTY_FRONT};
 
 /// Global page accounting for one store: capacity and used pages shared
 /// by every shard. `try_alloc` is a CAS loop, so concurrent puts can
@@ -319,6 +322,40 @@ struct Inner {
     /// Group-commit watermark: every record generation at or below this
     /// is durable (its segment has been synced past it).
     commit_epoch: AtomicU64,
+    /// One lock-free membership table per shard (DESIGN.md §15): the
+    /// seqlock-guarded mirror of every live `(vm, pool, addr)` key homed
+    /// on that shard. `get` answers definitive misses from it without
+    /// the shard lock — the hot path of an exclusive cleancache, where
+    /// every hit consumes its entry and steady state is mostly misses.
+    read_planes: Vec<Arc<ReadPlane>>,
+    /// Bumped (under the registry write lock) by every registry
+    /// mutation; each handle's local route cache revalidates against it.
+    registry_version: AtomicU64,
+    /// Tournament trees over per-shard FIFO front sequences, one per
+    /// store — Global-mode eviction reads the root instead of locking
+    /// every shard (see [`crate::fronts`]).
+    fronts_mem: FrontTree,
+    fronts_ssd: FrontTree,
+    /// Tree-guided evictions that locked the nominated shard and found
+    /// the root stale (front changed or died) and re-ran the tournament.
+    front_tree_retries: AtomicU64,
+    /// Tree-guided evictions that spent their retry budget and fell
+    /// back to the lock-all global batch.
+    front_tree_fallbacks: AtomicU64,
+    /// Test hook run inside the lock-free read window (between the
+    /// seqlock's first load and the table walk); tests use it to mutate
+    /// membership mid-read and force torn-snapshot retries. Guarded by
+    /// the flag below so production reads pay one relaxed load.
+    read_hook: RwLock<Option<Arc<dyn Fn() + Send + Sync>>>,
+    read_hook_on: AtomicBool,
+    /// Single-evictor gate for the fast-path eviction loop. Without it,
+    /// every putter blocked on a full ledger ran its *own* full batch —
+    /// N threads × [`EVICTION_BATCH_PAGES`] of duplicated victim work
+    /// against the same full store, which made the 8-thread contention
+    /// cell slower than the 2-thread one. Losers block here and re-check
+    /// the ledger right after the winner frees room. Acquired with no
+    /// other lock held, so it sits above the whole lock order.
+    eviction_gate: Mutex<()>,
 }
 
 /// A concurrent sharded DoubleDecker cache (see the [module
@@ -327,9 +364,91 @@ struct Inner {
 /// Cloning is cheap and shares the same cache: give each serving thread
 /// its own clone. The [`SecondChanceCache`] impl takes `&mut self` only
 /// to satisfy the (object-safe) trait; all synchronization is internal.
-#[derive(Clone)]
+/// Each clone additionally carries a private [`LocalReplica`] — a route
+/// cache plus a small hot-miss cache — which is why `Clone` is manual:
+/// the shared `Arc` is cloned, the replica starts empty.
 pub struct ShardedCache {
     inner: Arc<Inner>,
+    local: LocalReplica,
+}
+
+impl Clone for ShardedCache {
+    fn clone(&self) -> ShardedCache {
+        ShardedCache {
+            inner: Arc::clone(&self.inner),
+            local: LocalReplica::new(),
+        }
+    }
+}
+
+/// Hot-miss cache slots per handle (direct-mapped). Small on purpose:
+/// the point is to keep the handful of ultra-hot blocks a guest polls
+/// from even touching the shard's seqlock table.
+const HOT_SLOTS: usize = 64;
+
+/// A route-cache entry: the pool's policy and usage mirror, or `None`
+/// caching "no such pool".
+type Route = Option<(CachePolicy, Arc<UsageMirror>)>;
+
+/// One cached *negative* lookup: `(vm, pool, addr)` was absent from its
+/// home shard when the shard's membership version was `stamp`. Exclusive
+/// caches can only replicate misses — a hit consumes its entry, so a
+/// positive replica would be stale the moment it was served. The entry
+/// is valid while the home shard's [`ReadPlane::seq`] still equals
+/// `stamp`; any membership change on the shard silently invalidates it.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct HotEntry {
+    pub(crate) vm: VmId,
+    pub(crate) pool: PoolId,
+    pub(crate) addr: BlockAddr,
+    pub(crate) stamp: u64,
+}
+
+/// The per-handle (per-core, when each serving thread owns one clone)
+/// read-side replica: a registry route cache and the hot-miss cache.
+/// Never shared — no locks, no atomics, invalidation is by version
+/// comparison against the shared counters.
+struct LocalReplica {
+    /// The [`Inner::registry_version`] the route cache was filled under.
+    registry_version: u64,
+    /// `(vm, pool)` → policy + usage mirror, `None` caching "no such
+    /// pool". Pool ids are never reused, so entries can't alias; any
+    /// registry mutation bumps the version and flushes the whole map.
+    routes: FxHashMap<(VmId, PoolId), Route>,
+    /// Direct-mapped negative cache, indexed by key hash.
+    hot: Vec<Option<HotEntry>>,
+    /// Lookups this handle answered without any lock (diagnostic).
+    lockfree_misses: u64,
+    /// Of those, lookups answered from `hot` without probing the plane.
+    replica_hits: u64,
+}
+
+impl LocalReplica {
+    fn new() -> LocalReplica {
+        LocalReplica {
+            registry_version: 0,
+            routes: FxHashMap::default(),
+            hot: vec![None; HOT_SLOTS],
+            lockfree_misses: 0,
+            replica_hits: 0,
+        }
+    }
+
+    /// Direct-mapped slot for a key (same mixing constants as
+    /// [`ShardedCache::shard_of`], different rotation).
+    fn hot_slot(vm: VmId, pool: PoolId, addr: BlockAddr) -> usize {
+        let mut h = (vm.0 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17)
+            ^ (pool.0 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        h ^= addr
+            .file
+            .0
+            .wrapping_mul(0x2545_F491_4F6C_DD1D)
+            .rotate_left(43);
+        h ^= addr.block.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize % HOT_SLOTS
+    }
 }
 
 impl std::fmt::Debug for ShardedCache {
@@ -401,7 +520,16 @@ impl ShardedCache {
     /// least 1).
     pub fn new(config: CacheConfig, shards: usize) -> ShardedCache {
         let n = shards.max(1);
+        // Size each shard's membership table for its share of the total
+        // resident set. Undersizing is safe (the plane latches overflow
+        // and the shard degrades to locked gets), it just loses the
+        // lock-free path.
+        let plane_hint = (config
+            .mem_capacity_pages
+            .saturating_add(config.ssd_capacity_pages))
+            / n as u64;
         ShardedCache {
+            local: LocalReplica::new(),
             inner: Arc::new(Inner {
                 mode: config.mode,
                 shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
@@ -419,6 +547,17 @@ impl ShardedCache {
                 journal_records: AtomicU64::new(0),
                 journal_compactions: AtomicU64::new(0),
                 commit_epoch: AtomicU64::new(0),
+                read_planes: (0..n)
+                    .map(|_| Arc::new(ReadPlane::with_capacity(plane_hint)))
+                    .collect(),
+                registry_version: AtomicU64::new(0),
+                fronts_mem: FrontTree::new(n),
+                fronts_ssd: FrontTree::new(n),
+                front_tree_retries: AtomicU64::new(0),
+                front_tree_fallbacks: AtomicU64::new(0),
+                read_hook: RwLock::new(None),
+                read_hook_on: AtomicBool::new(false),
+                eviction_gate: Mutex::new(()),
             }),
         }
     }
@@ -460,6 +599,7 @@ impl ShardedCache {
                 e.ssd_weight = ssd_weight;
             })
             .or_insert_with(|| VmMeta::new(mem_weight, ssd_weight));
+        self.bump_registry_version();
         // Registry write held while logging to shard 0 is fine: the
         // registry orders before every shard lock.
         self.log_at(
@@ -478,6 +618,7 @@ impl ShardedCache {
         if let Some(e) = reg.vms.get_mut(&vm) {
             e.mem_weight = weight;
             e.ssd_weight = weight;
+            self.bump_registry_version();
             self.log_at(
                 0,
                 JournalRecord::SetVmWeights {
@@ -537,6 +678,122 @@ impl ShardedCache {
         if let Some(hook) = hook {
             hook();
         }
+    }
+
+    /// Installs (or clears) a hook run inside every lock-free read
+    /// window — between the seqlock's first sequence load and the table
+    /// walk. Tests use it to mutate membership from the reader's blind
+    /// spot and prove torn snapshots are retried, never served;
+    /// production code leaves it unset (one relaxed load on the path).
+    pub fn set_read_hook(&self, hook: Option<Arc<dyn Fn() + Send + Sync>>) {
+        let on = hook.is_some();
+        *self.inner.read_hook.write().expect("hook poisoned") = hook;
+        self.inner.read_hook_on.store(on, Ordering::Release);
+    }
+
+    /// Torn-snapshot retries across every shard's read plane.
+    pub fn seqlock_retries(&self) -> u64 {
+        self.inner.read_planes.iter().map(|p| p.retries()).sum()
+    }
+
+    /// Shards whose read plane latched its overflow flag (degraded to
+    /// locked gets).
+    pub fn read_plane_overflows(&self) -> u64 {
+        self.inner
+            .read_planes
+            .iter()
+            .filter(|p| p.overflowed())
+            .count() as u64
+    }
+
+    /// This handle's read-side diagnostics:
+    /// `(lockfree_misses, replica_hits)` — lookups answered with no lock
+    /// at all, and the subset served straight from the hot-miss cache.
+    pub fn local_read_stats(&self) -> (u64, u64) {
+        (self.local.lockfree_misses, self.local.replica_hits)
+    }
+
+    /// Tree-guided Global evictions that re-ran the tournament after
+    /// locking a stale winner.
+    pub fn front_tree_retries(&self) -> u64 {
+        self.inner.front_tree_retries.load(Ordering::Relaxed)
+    }
+
+    /// Tree-guided Global evictions that fell back to the lock-all scan.
+    pub fn front_tree_fallbacks(&self) -> u64 {
+        self.inner.front_tree_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Shard `si`'s lock-free membership table (auditor use).
+    pub(crate) fn read_plane(&self, si: usize) -> &ReadPlane {
+        &self.inner.read_planes[si]
+    }
+
+    /// The tournament tree for one store (auditor use).
+    pub(crate) fn front_tree(&self, placement: Placement) -> &FrontTree {
+        match placement {
+            Placement::Mem => &self.inner.fronts_mem,
+            Placement::Ssd => &self.inner.fronts_ssd,
+        }
+    }
+
+    /// This handle's live hot-miss entries (auditor use).
+    pub(crate) fn local_hot(&self) -> impl Iterator<Item = &HotEntry> + '_ {
+        self.local.hot.iter().flatten()
+    }
+
+    /// Must be called by every registry mutation, while the registry
+    /// write lock is still held — readers that observe the new version
+    /// are then guaranteed to block on the read lock until the mutation
+    /// is complete, so a route can never be cached newer than its tag.
+    fn bump_registry_version(&self) {
+        self.inner.registry_version.fetch_add(1, Ordering::Release);
+    }
+
+    /// Republishes shard `si`'s FIFO front for one store into the
+    /// tournament tree. Call under the shard's lock after any operation
+    /// that changed the queue's *head tuple* (push into an empty queue,
+    /// front pop, compaction, wholesale clear) — operations that merely
+    /// kill an entry in place leave the head tuple intact and need no
+    /// sync (the evictor skips dead fronts under the winner's lock).
+    ///
+    /// Only Global mode ever *reads* the tree (its eviction runs the
+    /// tournament), so the other modes skip maintenance entirely —
+    /// each front pop would otherwise take the tree's propagate mutex,
+    /// a per-evicted-page tax on eviction paths that never consult it.
+    fn sync_front(&self, si: usize, shard: &Shard, placement: Placement) {
+        if self.inner.mode != PartitionMode::Global {
+            return;
+        }
+        let seq = shard
+            .fifo_ref(placement)
+            .front()
+            .map(|&(_, _, _, s)| s)
+            .unwrap_or(EMPTY_FRONT);
+        self.front_tree(placement).set_leaf(si, seq);
+    }
+
+    /// Resolves `(vm, pool)` to its policy and usage mirror through the
+    /// handle-local route cache, revalidated against the registry
+    /// version. `None` (also cached) means the pool does not exist.
+    fn route(&mut self, vm: VmId, pool: PoolId) -> Option<(CachePolicy, Arc<UsageMirror>)> {
+        let version = self.inner.registry_version.load(Ordering::Acquire);
+        if self.local.registry_version != version {
+            self.local.routes.clear();
+            self.local.registry_version = version;
+        }
+        if let Some(r) = self.local.routes.get(&(vm, pool)) {
+            return r.clone();
+        }
+        let r = {
+            let reg = self.inner.registry.read().expect("registry poisoned");
+            reg.vms.get(&vm).and_then(|m| {
+                let policy = m.policy_of(pool)?;
+                Some((policy, m.mirror_of(pool)?.clone()))
+            })
+        };
+        self.local.routes.insert((vm, pool), r.clone());
+        r
     }
 
     // ------------------------------------------------------------------
@@ -1022,6 +1279,13 @@ impl ShardedCache {
                 .flat_map(|s| s.pools.values())
                 .map(|p| p.total_used())
                 .sum();
+            // Wholesale tournament-tree re-sync: replay kept the leaves
+            // current incrementally, but make the invariant (leaf ==
+            // front entry seq) unconditional before serving resumes.
+            for (si, shard) in shards.iter().enumerate() {
+                cache.sync_front(si, shard, Placement::Mem);
+                cache.sync_front(si, shard, Placement::Ssd);
+            }
         }
 
         // Re-journal a checkpoint across fresh segments and go live.
@@ -1107,10 +1371,12 @@ impl ShardedCache {
                     }
                 };
                 reg.next_pool = reg.next_pool.max(pool + 1);
+                self.bump_registry_version();
                 let si = self.shard_of(vm, pid);
                 let mut shard = self.lock_shard(si);
                 let mut p = Pool::new(vm, policy);
                 p.set_mirror(mirror);
+                p.set_read_plane(pid, Arc::clone(&self.inner.read_planes[si]));
                 shard.pools.insert((vm, pid), p);
             }
             JournalRecord::DestroyPool { vm, pool } => {
@@ -1187,7 +1453,7 @@ impl ShardedCache {
                     self.ledger(d).free(1);
                     shard.note_stale(d, 1);
                 }
-                self.push_shard_fifo(&mut shard, vm, pid, sid, gen, placement);
+                self.push_shard_fifo(si, &mut shard, vm, pid, sid, gen, placement);
             }
             JournalRecord::Take { vm, pool, addr }
             | JournalRecord::Evict { vm, pool, addr }
@@ -1219,7 +1485,7 @@ impl ShardedCache {
             // config; the checkpoint's SetMode always matches it.
             JournalRecord::SetMode { .. } => {}
             JournalRecord::SsdDrain => {
-                for s in &self.inner.shards {
+                for (si, s) in self.inner.shards.iter().enumerate() {
                     let mut shard = s.lock().expect("shard poisoned");
                     let mut freed = 0;
                     for p in shard.pools.values_mut() {
@@ -1228,6 +1494,7 @@ impl ShardedCache {
                     self.inner.ssd.free(freed);
                     shard.fifo_ssd.clear();
                     shard.stale_ssd = 0;
+                    self.sync_front(si, &shard, Placement::Ssd);
                 }
             }
         }
@@ -1305,8 +1572,10 @@ impl ShardedCache {
     /// shard queue with the serial engine's amortized heuristic
     /// (tombstone-dominated, or oversized relative to the global store
     /// occupancy).
+    #[allow(clippy::too_many_arguments)]
     fn push_shard_fifo(
         &self,
+        si: usize,
         shard: &mut Shard,
         vm: VmId,
         pool: PoolId,
@@ -1342,6 +1611,9 @@ impl ShardedCache {
             });
             *stale = 0;
         }
+        // The push (into a possibly-empty queue) or the compaction may
+        // have changed the head tuple — republish it for the evictor.
+        self.sync_front(si, shard, placement);
     }
 
     // ------------------------------------------------------------------
@@ -1631,7 +1903,115 @@ impl ShardedCache {
             );
             freed += 1;
         }
+        // Fronts were popped all over; republish every leaf before the
+        // locks drop so the tournament tree is exact at rest.
+        for (si, shard) in shards.iter().enumerate() {
+            self.sync_front(si, shard, placement);
+        }
         freed
+    }
+
+    /// Winner re-validations before a tree-guided eviction gives up on
+    /// chasing a moving front and takes the lock-all scan. Generous: a
+    /// retry only happens when another thread changed a front between
+    /// the root read and the shard lock.
+    const FRONT_TREE_MAX_ATTEMPTS: u32 = 64;
+
+    /// Global-mode eviction guided by the tournament tree: read the
+    /// root, lock only the nominated shard, re-validate, evict while it
+    /// stays the global minimum. The tree may nominate a shard whose
+    /// front is lazily dead or already stale — popping dead fronts and
+    /// re-running the tournament under that one shard's lock repairs
+    /// it, so the victim *sequence* is identical to the lock-all scan
+    /// ([`Self::evict_batch_global_locked`]); only the locking narrows.
+    /// Driven single-threaded the first nomination re-validates exactly
+    /// (dead-front repair included), so Global-mode determinism against
+    /// the serial engine survives unchanged.
+    fn evict_batch_global_tree(&self, placement: Placement) -> u64 {
+        let tree = self.front_tree(placement);
+        let mut freed = 0;
+        let mut stale_nominations = 0u32;
+        'tournament: while freed < EVICTION_BATCH_PAGES {
+            let Some(leaf) = tree.winner() else {
+                break;
+            };
+            let mut shard = self.lock_shard(leaf);
+            // Repair a lazily-dead front under the lock, like the
+            // lock-all scan does, then re-run the tournament: the leaf
+            // may no longer be the global minimum.
+            self.pop_dead_fronts(leaf, &mut shard, placement);
+            if tree.winner() != Some(leaf) {
+                // Fruitless nomination (dead-front repair, or another
+                // thread moved the front). Each repair fixes its leaf
+                // for good, so single-threaded this is bounded by the
+                // shard count — the budget only trips under adversarial
+                // cross-thread churn, where the lock-all scan finishes
+                // the batch instead of chasing a moving front forever.
+                self.inner
+                    .front_tree_retries
+                    .fetch_add(1, Ordering::Relaxed);
+                stale_nominations += 1;
+                if stale_nominations > Self::FRONT_TREE_MAX_ATTEMPTS {
+                    drop(shard);
+                    self.inner
+                        .front_tree_fallbacks
+                        .fetch_add(1, Ordering::Relaxed);
+                    let mut shards = self.lock_all_shards();
+                    freed += self.evict_batch_global_locked(&mut shards, placement);
+                    break;
+                }
+                continue;
+            }
+            // The leaf is the (live) global minimum and we hold its
+            // shard: evict from it for as long as that stays true.
+            while freed < EVICTION_BATCH_PAGES {
+                let Some(&(vm, pool_id, sid, _)) = shard.fifo_ref(placement).front() else {
+                    continue 'tournament;
+                };
+                shard.fifo(placement).pop_front();
+                let pool = shard
+                    .pools
+                    .get_mut(&(vm, pool_id))
+                    .expect("front verified live");
+                let (addr, _) = pool.remove_by_id(sid).expect("front verified live");
+                pool.counters.evictions += 1;
+                self.ledger(placement).free(1);
+                self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+                self.log_in(
+                    &mut shard,
+                    JournalRecord::Evict {
+                        vm: vm.0,
+                        pool: pool_id.0,
+                        addr,
+                    },
+                );
+                freed += 1;
+                self.pop_dead_fronts(leaf, &mut shard, placement);
+                if tree.winner() != Some(leaf) {
+                    continue 'tournament;
+                }
+            }
+        }
+        freed
+    }
+
+    /// Pops lazily-dead entries off one (locked) shard's FIFO front and
+    /// republishes its leaf. On return the front is live or the queue is
+    /// empty, and the leaf is exact.
+    fn pop_dead_fronts(&self, si: usize, shard: &mut Shard, placement: Placement) {
+        while let Some(&(vm, pool, sid, seq)) = shard.fifo_ref(placement).front() {
+            let live = shard
+                .pools
+                .get(&(vm, pool))
+                .and_then(|p| p.fifo_probe(sid, seq, placement))
+                .is_some();
+            if live {
+                break;
+            }
+            shard.fifo(placement).pop_front();
+            shard.note_dead_popped(placement);
+        }
+        self.sync_front(si, shard, placement);
     }
 
     /// Two-level weighted eviction across shards: Algorithm 1 on the
@@ -1882,15 +2262,40 @@ impl ShardedCache {
         // Resource-conservative enforcement against the global ledger:
         // evict only when the store itself is full. DoubleDecker mode
         // uses the two-phase scheme (one shard locked in the common
-        // case); global mode merges per-shard FIFOs, which is inherently
-        // cross-shard, so it stays lock-all.
+        // case); Global mode runs the front-sequence tournament, locking
+        // only the nominated shard per victim; Strict stays lock-all
+        // (its victim choice needs the entitlement table).
         loop {
+            if self.ledger(placement).try_alloc() {
+                break;
+            }
+            // Single-evictor gate (see [`Inner::eviction_gate`]): blocked
+            // putters back off here instead of each running a duplicate
+            // batch; the re-check below usually succeeds off the winner's
+            // freed pages. `try_lock` + yield rather than `lock`: parking
+            // losers on the mutex would wake them one by one in a futex
+            // handoff chain after every batch, and on few cores that
+            // chain of context switches is what the gate exists to avoid.
+            // The winner always makes progress (evicts or rejects), so
+            // the spin is bounded by one batch. Single-threaded the
+            // try_lock always succeeds and the re-check always fails
+            // (nothing freed since the check above), so the serial victim
+            // sequence — and byte-identity — is untouched.
+            let _evictor = match self.inner.eviction_gate.try_lock() {
+                Ok(guard) => guard,
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    std::thread::yield_now();
+                    continue;
+                }
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("eviction gate poisoned"),
+            };
             if self.ledger(placement).try_alloc() {
                 break;
             }
             let freed = match self.inner.mode {
                 PartitionMode::DoubleDecker => self.evict_batch_two_phase(now, placement),
-                PartitionMode::Global | PartitionMode::Strict => {
+                PartitionMode::Global => self.evict_batch_global_tree(placement),
+                PartitionMode::Strict => {
                     let reg = self.inner.registry.read().expect("registry poisoned");
                     let mut shards = self.lock_all_shards();
                     // Re-check under the locks: another thread may have
@@ -1920,7 +2325,7 @@ impl ShardedCache {
             self.ledger(displaced).free(1);
             shard.note_stale(displaced, 1);
         }
-        self.push_shard_fifo(&mut shard, vm, pool, sid, seq, placement);
+        self.push_shard_fifo(si, &mut shard, vm, pool, sid, seq, placement);
         self.log_in(
             &mut shard,
             JournalRecord::Put {
@@ -2036,7 +2441,7 @@ impl ShardedCache {
             self.ledger(displaced).free(1);
             shard.note_stale(displaced, 1);
         }
-        self.push_shard_fifo(shard, vm, pool, sid, seq, placement);
+        self.push_shard_fifo(si, shard, vm, pool, sid, seq, placement);
         self.log_in(
             shard,
             JournalRecord::Put {
@@ -2081,7 +2486,7 @@ impl ShardedCache {
                 self.ledger(displaced).free(1);
                 shard.note_stale(displaced, 1);
             }
-            self.push_shard_fifo(&mut shard, vm, to, sid, seq, slot.placement);
+            self.push_shard_fifo(si, &mut shard, vm, to, sid, seq, slot.placement);
             self.log_in(
                 &mut shard,
                 JournalRecord::Put {
@@ -2111,12 +2516,14 @@ impl SecondChanceCache for ShardedCache {
             .expect("inserted above")
             .pools
             .push((id, policy, mirror.clone()));
+        self.bump_registry_version();
         // Registry before shard (lock-order rule); the pool becomes
         // routable the moment the shard insert lands.
         let si = self.shard_of(vm, id);
         let mut shard = self.lock_shard(si);
         let mut pool = Pool::new(vm, policy);
         pool.set_mirror(mirror);
+        pool.set_read_plane(id, Arc::clone(&self.inner.read_planes[si]));
         shard.pools.insert((vm, id), pool);
         self.log_in(
             &mut shard,
@@ -2151,6 +2558,7 @@ impl SecondChanceCache for ShardedCache {
         if let Some(meta) = reg.vms.get_mut(&vm) {
             if let Ok(i) = meta.pools.binary_search_by_key(&pool, |r| r.0) {
                 meta.pools.remove(i);
+                self.bump_registry_version();
             }
         }
     }
@@ -2165,6 +2573,7 @@ impl SecondChanceCache for ShardedCache {
                 return;
             };
             meta.pools[i].1 = policy;
+            self.bump_registry_version();
         }
 
         let si = self.shard_of(vm, pool);
@@ -2234,7 +2643,7 @@ impl SecondChanceCache for ShardedCache {
                             self.ledger(d).free(1);
                             shard.note_stale(d, 1);
                         }
-                        self.push_shard_fifo(&mut shard, vm, pool, sid, seq, new_placement);
+                        self.push_shard_fifo(si, &mut shard, vm, pool, sid, seq, new_placement);
                         self.log_in(
                             &mut shard,
                             JournalRecord::Put {
@@ -2287,7 +2696,7 @@ impl SecondChanceCache for ShardedCache {
                 self.ledger(displaced).free(1);
                 dst.note_stale(displaced, 1);
             }
-            self.push_shard_fifo(dst, vm, to, sid, seq, slot.placement);
+            self.push_shard_fifo(si_to, dst, vm, to, sid, seq, slot.placement);
             self.log_in(
                 dst,
                 JournalRecord::Put {
@@ -2313,11 +2722,20 @@ impl SecondChanceCache for ShardedCache {
             StoreKind::Ssd => Placement::Ssd,
         };
         let entitlement = self.pool_entitlement_in(&reg, &shards, vm, pool, primary);
+        // Lock-free misses bump the pool's usage mirror instead of the
+        // shard-locked counters; fold them back in so totals match the
+        // serial engine exactly.
+        let lockfree_gets = reg
+            .vms
+            .get(&vm)
+            .and_then(|m| m.mirror_of(pool))
+            .map(|m| m.lockfree_gets())
+            .unwrap_or(0);
         Some(PoolStats {
             mem_pages: p.used(Placement::Mem),
             ssd_pages: p.used(Placement::Ssd),
             entitlement_pages: entitlement,
-            gets: p.counters.gets,
+            gets: p.counters.gets + lockfree_gets,
             hits: p.counters.hits,
             puts: p.counters.puts,
             evictions: p.counters.evictions,
@@ -2327,7 +2745,59 @@ impl SecondChanceCache for ShardedCache {
     }
 
     fn get(&mut self, now: SimTime, vm: VmId, pool: PoolId, addr: BlockAddr) -> GetOutcome {
+        // Lock-free fast path (DESIGN.md §15). Exclusive semantics mean
+        // a hit must mutate, so only the *miss* answer can be served
+        // without the shard lock — which is exactly the steady-state
+        // common case of a read-heavy exclusive cache. Route first
+        // through the handle-local cache (unknown pool is a silent miss,
+        // matching the serial engine), then the hot-miss replica, then
+        // the shard's seqlock membership table.
+        let Some((_, mirror)) = self.route(vm, pool) else {
+            return GetOutcome::Miss;
+        };
         let si = self.shard_of(vm, pool);
+        let slot = LocalReplica::hot_slot(vm, pool, addr);
+        if let Some(h) = self.local.hot[slot] {
+            if h.vm == vm
+                && h.pool == pool
+                && h.addr == addr
+                && self.inner.read_planes[si].seq() == h.stamp
+            {
+                // The home shard's membership has not changed since this
+                // negative was cached: still definitively absent.
+                mirror.note_get();
+                self.local.lockfree_misses += 1;
+                self.local.replica_hits += 1;
+                return GetOutcome::Miss;
+            }
+        }
+        let inner = &self.inner;
+        let probe = inner.read_planes[si].lookup(vm, pool, addr, || {
+            if inner.read_hook_on.load(Ordering::Relaxed) {
+                let hook = inner.read_hook.read().expect("hook poisoned").clone();
+                if let Some(hook) = hook {
+                    hook();
+                }
+            }
+        });
+        match probe {
+            ReadProbe::Absent { stamp } => {
+                mirror.note_get();
+                self.local.lockfree_misses += 1;
+                self.local.hot[slot] = Some(HotEntry {
+                    vm,
+                    pool,
+                    addr,
+                    stamp,
+                });
+                return GetOutcome::Miss;
+            }
+            // Probable hit or degraded plane: take the lock and answer
+            // authoritatively (the plane may have gone stale between the
+            // probe and here; the locked path re-decides from scratch).
+            ReadProbe::Present | ReadProbe::Unavailable => {}
+        }
+
         let mut shard = self.lock_shard(si);
         let Some(p) = shard.pools.get_mut(&(vm, pool)) else {
             return GetOutcome::Miss;
@@ -2365,14 +2835,11 @@ impl SecondChanceCache for ShardedCache {
         addr: BlockAddr,
         version: PageVersion,
     ) -> PutOutcome {
-        // Policy lookup from the registry only: the fast path must not
-        // take a shard lock to decide the route.
-        let policy = {
-            let reg = self.inner.registry.read().expect("registry poisoned");
-            let Some(policy) = reg.vms.get(&vm).and_then(|m| m.policy_of(pool)) else {
-                return PutOutcome::Rejected;
-            };
-            policy
+        // Policy lookup through the handle-local route cache: the fast
+        // path must not take a shard lock (and, in the common case, not
+        // even the registry lock) to decide the route.
+        let Some((policy, _)) = self.route(vm, pool) else {
+            return PutOutcome::Rejected;
         };
         if !policy.is_enabled() {
             return PutOutcome::Rejected;
@@ -2671,6 +3138,125 @@ mod tests {
         );
         assert!(report.discarded_stale > 0);
         assert!(audit(&rec).is_empty());
+    }
+
+    #[test]
+    fn seqlock_forced_interleaving_retries_and_never_tears() {
+        use std::sync::atomic::AtomicU32;
+        let mut cache = ShardedCache::new(CacheConfig::mem_only(64), 1);
+        cache.add_vm(VmId(0), 100);
+        let p = cache.create_pool(VmId(0), CachePolicy::mem(100));
+        cache.put(SimTime::ZERO, VmId(0), p, addr(1, 0), PageVersion(7));
+
+        // Fire exactly once, from inside the reader's seqlock window
+        // (no locks held there): publish a new block, changing the
+        // plane's membership out from under the in-flight snapshot.
+        let fires = Arc::new(AtomicU32::new(0));
+        let mutator = Mutex::new(cache.clone());
+        let hook_fires = Arc::clone(&fires);
+        cache.set_read_hook(Some(Arc::new(move || {
+            if hook_fires.fetch_add(1, Ordering::Relaxed) == 0 {
+                let mut h = mutator.lock().expect("mutator handle");
+                h.put(SimTime::ZERO, VmId(0), p, addr(1, 1), PageVersion(9));
+            }
+        })));
+
+        let before = cache.seqlock_retries();
+        let out = cache.get(SimTime::ZERO, VmId(0), p, addr(1, 2));
+        assert!(matches!(out, GetOutcome::Miss), "absent block must miss");
+        assert!(
+            cache.seqlock_retries() > before,
+            "the mid-read mutation must have forced a snapshot retry"
+        );
+        assert!(
+            fires.load(Ordering::Relaxed) >= 2,
+            "retry re-ran the window"
+        );
+        cache.set_read_hook(None);
+
+        // Nothing tore: both the pre-existing block and the one
+        // published mid-read are served intact.
+        assert!(matches!(
+            cache.get(SimTime::ZERO, VmId(0), p, addr(1, 1)),
+            GetOutcome::Hit { version, .. } if version == PageVersion(9)
+        ));
+        assert!(matches!(
+            cache.get(SimTime::ZERO, VmId(0), p, addr(1, 0)),
+            GetOutcome::Hit { version, .. } if version == PageVersion(7)
+        ));
+        let findings = audit(&cache);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn racing_gets_linearize_against_the_put_history() {
+        use ddc_sim::SimRng;
+        let mut cache = ShardedCache::new(CacheConfig::mem_only(256), 4);
+        cache.add_vm(VmId(0), 100);
+        let pool = cache.create_pool(VmId(0), CachePolicy::mem(100));
+        const KEYS: u64 = 16;
+        const ROUNDS: u64 = 400;
+
+        // One writer puts every block with a strictly increasing
+        // version per round while readers race gets against it. In any
+        // linearization of an exclusive cache, a hit (a) returns a
+        // version some put actually stored for that block and (b)
+        // consumes it — so no (block, version) pair is ever served
+        // twice.
+        let done = AtomicBool::new(false);
+        let hits: Vec<(u64, u64)> = std::thread::scope(|scope| {
+            let readers: Vec<_> = (0..3)
+                .map(|r| {
+                    let mut h = cache.clone();
+                    let done = &done;
+                    scope.spawn(move || {
+                        let mut rng = SimRng::new(0xA11 + r);
+                        let mut got = Vec::new();
+                        while !done.load(Ordering::Acquire) {
+                            let b = rng.range_u64(0, KEYS);
+                            if let GetOutcome::Hit { version, .. } =
+                                h.get(SimTime::ZERO, VmId(0), pool, addr(1, b))
+                            {
+                                got.push((b, version.0));
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let mut writer = cache.clone();
+            for round in 0..ROUNDS {
+                for b in 0..KEYS {
+                    writer.put(
+                        SimTime::ZERO,
+                        VmId(0),
+                        pool,
+                        addr(1, b),
+                        PageVersion(round + 1),
+                    );
+                }
+            }
+            done.store(true, Ordering::Release);
+            readers
+                .into_iter()
+                .flat_map(|h| h.join().expect("reader panicked"))
+                .collect()
+        });
+
+        for &(b, v) in &hits {
+            assert!(
+                (1..=ROUNDS).contains(&v),
+                "block {b} returned version {v}, which no put ever stored"
+            );
+        }
+        let mut seen = hits.clone();
+        seen.sort_unstable();
+        assert!(
+            seen.windows(2).all(|w| w[0] != w[1]),
+            "exclusivity violated: a (block, version) pair was served twice"
+        );
+        let findings = audit(&cache);
+        assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]

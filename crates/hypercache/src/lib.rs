@@ -55,12 +55,14 @@ mod config;
 mod ddcache;
 pub mod index;
 pub mod policy;
+pub mod readplane;
 pub mod store;
 
 pub use audit::{audit, audit_pool_slice, AuditFinding};
 pub use config::{CacheConfig, PartitionMode, EVICTION_BATCH_PAGES};
 pub use ddcache::{CacheTotals, DoubleDeckerCache, FallbackMode, RecoveryReport, VmUsage};
 pub use policy::{select_victim, select_victim_strict, EntityUsage};
+pub use readplane::{ReadPlane, ReadProbe};
 
 // Re-export the interface vocabulary so downstream crates only need this
 // crate for the common case.

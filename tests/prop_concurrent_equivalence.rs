@@ -18,6 +18,11 @@
 //!    re-validation) is used to force every snapshot stale; the path
 //!    must detect it, retry within its bound or fall back to lock-all,
 //!    and never oversubscribe the ledger or wedge a put.
+//! 4. **Lock-free read plane** (DESIGN.md §15) — the 95/5 read-heavy
+//!    mix routes misses through the seqlock membership tables and hot
+//!    replicas instead of the shard locks; that path must preserve the
+//!    same byte-identity and interleaving-stability contracts, while
+//!    demonstrably carrying load (the lock-free counters are non-zero).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -198,6 +203,73 @@ fn two_phase_eviction_converges_under_forced_snapshot_staleness() {
         detected > 0,
         "every forced-stale snapshot re-validated clean (staleness detection is dead)"
     );
+}
+
+/// The read-heavy mix (the lock-free read plane's target workload) must
+/// uphold the same byte-identity contract as the standard mix: routing
+/// misses through the seqlock tables and hot replicas instead of the
+/// shard locks is a locking strategy, not a semantic change. Checked
+/// across every partition mode and shard count, journaled and not.
+#[test]
+fn read_heavy_mix_is_byte_identical_to_serial_across_modes() {
+    let modes = [
+        PartitionMode::DoubleDecker,
+        PartitionMode::Global,
+        PartitionMode::Strict,
+    ];
+    for journal in [false, true] {
+        for mode in modes {
+            let mut cfg = StressConfig::read_heavy(0x9EAD);
+            cfg.ticks = 300;
+            cfg.journal = journal;
+            cfg.cache = cfg.cache.with_mode(mode);
+            let serial = run_equivalence(&cfg, EngineKind::Serial);
+            assert_eq!(serial.stale_reads, 0, "serial oracle: {mode:?}");
+            for shards in [1, 4, 16] {
+                cfg.shards = shards;
+                let sharded = run_equivalence(&cfg, EngineKind::Sharded { shards });
+                assert_eq!(sharded.stale_reads, 0, "{mode:?}/{shards}");
+                assert_eq!(
+                    serial.json, sharded.json,
+                    "read-heavy report diverged: {mode:?}, {shards} shards, journal {journal}"
+                );
+            }
+        }
+    }
+}
+
+/// Interleaving stability on the read plane's target mix: repeated
+/// multi-threaded runs stay clean (no stale reads, no auditor findings,
+/// stable op counts) while the lock-free path demonstrably carries load
+/// and the hot replicas demonstrably short-circuit repeat misses.
+#[test]
+fn read_heavy_interleavings_stay_clean_and_serve_lock_free() {
+    for seed in [9, 0x9EAD] {
+        let mut expected_ops = None;
+        for threads in [2, 4, 8] {
+            let cfg = StressConfig::hot_blocks(seed);
+            let out = run_stress(&cfg, threads);
+            assert_eq!(out.stale_reads, 0, "stale reads: seed {seed}, {threads}t");
+            assert!(
+                out.findings.is_empty(),
+                "auditor findings: seed {seed}, {threads} threads: {:?}",
+                out.findings
+            );
+            let ops = expected_ops.get_or_insert(out.total_ops);
+            assert_eq!(
+                *ops, out.total_ops,
+                "op count drifted across interleavings (seed {seed})"
+            );
+            assert!(
+                out.lockfree_misses > 0,
+                "read plane idle on its target mix (seed {seed}, {threads} threads)"
+            );
+            assert!(
+                out.replica_hits <= out.lockfree_misses,
+                "replica hits are a subset of lock-free lookups"
+            );
+        }
+    }
 }
 
 #[test]
