@@ -25,9 +25,13 @@ fi
 
 echo "==> chaos smoke (seeded crash/recovery sweep)"
 cargo run --release -q -p ddc-bench --bin repro -- chaos --smoke
-echo "==> chaos smoke again with 8 experiment workers (threaded kill/recover sweep)"
+echo "==> chaos smoke again with 8 experiment workers (kill/recover sweep incl. remote partition/hedge/breaker axes)"
 DDC_THREADS=8 cargo run --release -q -p ddc-bench --bin repro -- chaos --smoke
 cargo test -q -p ddc-core --test prop_sharded_recovery
+
+echo "==> remote-tier smoke (fault-axis matrix, degradation ladder, cold-boot storm)"
+DDC_THREADS=8 cargo run --release -q -p ddc-bench --bin repro -- remote --smoke
+cargo test -q -p ddc-core --test prop_remote_determinism
 
 echo "==> stress smoke (serial-vs-sharded equivalence + threaded stress)"
 cargo run --release -q -p ddc-bench --bin repro -- stress --smoke

@@ -14,8 +14,8 @@ use std::path::PathBuf;
 
 use ddc_bench::scenarios::common::{print_series, to_mb, FourKind};
 use ddc_bench::scenarios::{
-    ablations, chaos, cooperative, dynamic, faults, modes, motivation, perf, policies, splits,
-    stress,
+    ablations, chaos, cooperative, dynamic, faults, modes, motivation, perf, policies, remote,
+    splits, stress,
 };
 use ddc_core::prelude::*;
 
@@ -98,6 +98,10 @@ fn print_help() {
                    [--read-heavy: 95/5 get/put mix through the lock-free\n\
                    read plane]; exits non-zero on any divergence, stale\n\
                    read or finding\n\
+           remote  remote chunk-store tier: fault-axis determinism matrix,\n\
+                   8-thread degradation ladder (baseline/brownout/healed) and\n\
+                   the cold-boot storm [--smoke] [--out FILE]; exits non-zero\n\
+                   on any divergence, stale read or missed robustness gate\n\
            perf    cache-ops perf matrix [--smoke] [--out FILE] [--check BASELINE]\n\
            all     everything above except perf (default)\n\n\
          parallelism: independent experiment cells fan out across cores\n\
@@ -548,12 +552,18 @@ fn chaos_sweep(args: &Args) -> bool {
     } else {
         chaos::THREADED_CASES_FULL
     };
+    let remote_cases = if args.smoke {
+        chaos::REMOTE_CASES_SMOKE
+    } else {
+        chaos::REMOTE_CASES_FULL
+    };
     banner(&format!(
         "Chaos: {cases} randomized hypervisor crashes (journal cuts, torn tails, bit flips)\n\
-         == + {threaded_cases} threaded-plane kills ({}-thread sharded engine, per-shard cuts)",
+         == + {threaded_cases} threaded-plane kills ({}-thread sharded engine, per-shard cuts)\n\
+         == + {remote_cases} remote-tier crashes (partition/hedge/breaker-open axes)",
         chaos::THREADED_PLANE_THREADS
     ));
-    let report = chaos::run(chaos::DEFAULT_SEED, cases, threaded_cases);
+    let report = chaos::run(chaos::DEFAULT_SEED, cases, threaded_cases, remote_cases);
     let mut table = TextTable::new(vec![
         "case",
         "kind",
@@ -612,11 +622,46 @@ fn chaos_sweep(args: &Args) -> bool {
         ]);
     }
     println!("{}", tt.render());
+
+    println!("remote tier (crash with a chunk-store bound, recover, continue threaded):");
+    let mut rt = TextTable::new(vec![
+        "case",
+        "axis",
+        "kind",
+        "kill@tick/vm",
+        "replayed",
+        "recovered",
+        "pre served",
+        "pre hedges",
+        "pre trips",
+        "remote ok",
+        "stale",
+        "audit",
+    ]);
+    for c in &report.remote {
+        rt.row(vec![
+            c.id.to_string(),
+            c.axis.to_owned(),
+            c.kind.name().to_owned(),
+            format!("{}/{}", c.kill_tick, c.kill_vm),
+            c.records_replayed.to_string(),
+            c.recovered_entries.to_string(),
+            c.pre_served.to_string(),
+            c.pre_hedges.to_string(),
+            c.pre_breaker_trips.to_string(),
+            if c.remote_recovered { "yes" } else { "NO" }.to_owned(),
+            (c.stale_entries + c.stale_reads).to_string(),
+            c.audit_findings.to_string(),
+        ]);
+    }
+    println!("{}", rt.render());
     println!(
-        "totals: {} stale reads, {} auditor findings across {} crash points",
+        "totals: {} stale reads, {} auditor findings, {} unrecovered remotes \
+         across {} crash points",
         report.total_stale(),
         report.total_findings(),
-        report.cases.len() + report.threaded.len()
+        report.remote_unrecovered(),
+        report.cases.len() + report.threaded.len() + report.remote.len()
     );
 
     if let Some(out) = &args.out {
@@ -630,7 +675,7 @@ fn chaos_sweep(args: &Args) -> bool {
         println!("[json written to {}]", path.display());
     }
 
-    let again = chaos::run(chaos::DEFAULT_SEED, cases, threaded_cases);
+    let again = chaos::run(chaos::DEFAULT_SEED, cases, threaded_cases, remote_cases);
     println!(
         "determinism: same-seed rerun is {}",
         if again.to_json() == report.to_json() {
@@ -728,12 +773,160 @@ fn stress_plane(args: &Args) -> bool {
     report.passed()
 }
 
+fn remote_tier(args: &Args) -> bool {
+    banner(&format!(
+        "Remote tier: fault-axis determinism + degradation ladder + cold-boot storm{}",
+        if args.smoke { " (smoke budget)" } else { "" }
+    ));
+    let report = remote::run(remote::DEFAULT_SEED, args.smoke);
+
+    println!("\nfault-axis matrix (serial vs sharded, same-seed rerun, 1-thread counters):");
+    let mut ax = TextTable::new(vec![
+        "axis",
+        "identical",
+        "rerun",
+        "stale",
+        "served",
+        "failed",
+        "timeouts",
+        "retries",
+        "hedges",
+        "trips",
+        "recoveries",
+        "gates",
+    ]);
+    for c in &report.axes {
+        ax.row(vec![
+            c.axis.to_owned(),
+            if c.identical { "yes" } else { "NO" }.to_owned(),
+            if c.rerun_identical { "yes" } else { "NO" }.to_owned(),
+            c.stale_reads.to_string(),
+            c.remote.served.to_string(),
+            c.remote.failed.to_string(),
+            c.remote.timeouts.to_string(),
+            c.remote.retries.to_string(),
+            c.remote.hedges.to_string(),
+            c.remote.breaker_trips.to_string(),
+            c.remote.breaker_recoveries.to_string(),
+            if c.gates_ok { "ok" } else { "FAIL" }.to_owned(),
+        ]);
+    }
+    println!("{}", ax.render());
+
+    println!(
+        "degradation ladder ({} threads, {} interleaved repeats, best-of):",
+        remote::LADDER_THREADS,
+        report.ladder.first().map_or(0, |c| c.runs)
+    );
+    let mut ld = TextTable::new(vec![
+        "phase",
+        "ops/run",
+        "best ops/sec",
+        "stale",
+        "audit",
+        "served",
+        "timeouts",
+        "breaker trips",
+        "breaker skipped",
+    ]);
+    for c in &report.ladder {
+        ld.row(vec![
+            c.phase.to_owned(),
+            c.total_ops.to_string(),
+            format!("{:.0}", c.ops_per_sec_best),
+            c.stale_reads.to_string(),
+            c.audit_findings.to_string(),
+            c.remote.served.to_string(),
+            c.remote.timeouts.to_string(),
+            c.remote.breaker_trips.to_string(),
+            c.remote.breaker_skipped.to_string(),
+        ]);
+    }
+    println!("{}", ld.render());
+    println!(
+        "brownout sustains {:.0}% of baseline (gate: >= {:.0}%); healed recovers to \
+         {:.0}% (gate: >= {:.0}%)",
+        report.brownout_fraction() * 100.0,
+        remote::MIN_BROWNOUT_FRACTION * 100.0,
+        report.healed_fraction() * 100.0,
+        remote::MAX_HEALED_REGRESSION * 100.0
+    );
+
+    let cb = &report.cold_boot;
+    println!(
+        "\ncold-boot storm: {} tenants x {} pages of one image over a CDN store",
+        cb.tenants, cb.image_pages
+    );
+    let mut cbt = TextTable::new(vec!["metric", "value"]);
+    cbt.row(vec![
+        "boot time (sim ms)".into(),
+        format!("{:.1}", cb.boot_millis),
+    ]);
+    cbt.row(vec!["chunk fetches".into(), cb.remote.fetches.to_string()]);
+    cbt.row(vec![
+        "readahead hits".into(),
+        cb.remote.readahead_hits.to_string(),
+    ]);
+    cbt.row(vec!["edge hits".into(), cb.remote.edge_hits.to_string()]);
+    cbt.row(vec![
+        "origin fetches".into(),
+        cb.remote.origin_fetches.to_string(),
+    ]);
+    cbt.row(vec!["hedged fetches".into(), cb.remote.hedges.to_string()]);
+    cbt.row(vec![
+        "localized (flushed) blocks".into(),
+        cb.localized_blocks.to_string(),
+    ]);
+    cbt.row(vec!["wrong reads".into(), cb.wrong_reads.to_string()]);
+    cbt.row(vec![
+        "buffered/localized overlap".into(),
+        cb.buffered_localized_overlap.to_string(),
+    ]);
+    cbt.row(vec![
+        "per-tenant counters uniform".into(),
+        if cb.per_tenant_uniform { "yes" } else { "NO" }.into(),
+    ]);
+    cbt.row(vec![
+        "same-seed rerun".into(),
+        if cb.identical {
+            "byte-identical"
+        } else {
+            "DIFFERENT (bug!)"
+        }
+        .into(),
+    ]);
+    println!("{}", cbt.render());
+
+    if let Some(out) = &args.out {
+        fs::write(out, report.to_json()).expect("write remote json");
+        println!("[remote report written to {}]", out.display());
+    }
+    if let Some(dir) = &args.json_dir {
+        fs::create_dir_all(dir).expect("create json dir");
+        let path = dir.join("remote.json");
+        fs::write(&path, report.to_json()).expect("write json");
+        println!("[json written to {}]", path.display());
+    }
+    println!(
+        "shape check: network faults only ever surface as misses (zero stale\n\
+         reads on every axis), the breaker keeps a browning-out remote from\n\
+         stalling the serving plane, and the boot storm is readahead-dominated\n\
+         with identical per-tenant edge placement (CDN dedup)."
+    );
+    report.passed()
+}
+
 fn perf_matrix(args: &Args) {
     banner(if args.smoke {
         "Perf matrix: cache-ops throughput (smoke budget)"
     } else {
         "Perf matrix: cache-ops throughput"
     });
+    let runner = perf::RunnerProfile::current();
+    println!(
+        "runner: DDC_THREADS resolves to {}, available parallelism {}",
+        runner.ddc_threads, runner.available_parallelism
+    );
     let cells = perf::run_matrix(args.smoke);
     let mut table = TextTable::new(vec!["cell", "sim ops", "wall (s)", "ops/sec"]);
     for c in &cells {
@@ -759,15 +952,19 @@ fn perf_matrix(args: &Args) {
             eprintln!("bad baseline {}: {e}", baseline_path.display());
             std::process::exit(1);
         });
-        let violations = perf::check_against(&cells, &baseline, perf::REGRESSION_FACTOR);
-        if violations.is_empty() {
+        let report = perf::check_against(&cells, &baseline, perf::REGRESSION_FACTOR);
+        for s in &report.skipped {
+            println!("perf check SKIPPED {s}");
+        }
+        if report.violations.is_empty() {
             println!(
-                "perf check PASSED against {} ({}x regression threshold)",
+                "perf check PASSED against {} ({}x regression threshold, {} cells skipped)",
                 baseline_path.display(),
-                perf::REGRESSION_FACTOR
+                perf::REGRESSION_FACTOR,
+                report.skipped.len()
             );
         } else {
-            for v in &violations {
+            for v in &report.violations {
                 eprintln!("perf regression: {v}");
             }
             std::process::exit(1);
@@ -806,6 +1003,12 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "remote" => {
+            if !remote_tier(&args) {
+                eprintln!("remote tier FAILED (divergence, stale reads or a missed gate)");
+                std::process::exit(1);
+            }
+        }
         "perf" => perf_matrix(&args),
         "all" => {
             fig3(&args);
@@ -833,6 +1036,10 @@ fn main() {
             }
             if !stress_plane(&args) {
                 eprintln!("stress run FAILED (divergence, stale reads or invariant violations)");
+                std::process::exit(1);
+            }
+            if !remote_tier(&args) {
+                eprintln!("remote tier FAILED (divergence, stale reads or a missed gate)");
                 std::process::exit(1);
             }
         }

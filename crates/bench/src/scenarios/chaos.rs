@@ -35,17 +35,40 @@
 //! replay counters are interleaving-dependent and stay out of the
 //! deterministic report, but its oracle/auditor gates fold into the
 //! case (they must be zero under any interleaving).
+//!
+//! # Crash × remote tier (the remote axis, v3)
+//!
+//! A third sweep binds every pool to the simulated remote chunk store
+//! (DESIGN.md §16) and crashes the plane while the fault-tolerance
+//! stack is under duress, cycling three axes:
+//!
+//! * **partition-stress** — the link is severed for the first third of
+//!   the 8-thread continuation: breakers must trip *under the stress
+//!   threads*, the partition must be fail-open (zero stale bytes), and
+//!   service must resume once the window closes,
+//! * **hedge-crash** — the edge cache never hits, so every fetch
+//!   crosses the hedge threshold; the crash lands while the bindings
+//!   are hedging on every cold miss,
+//! * **breaker-open** — the link is down from boot to the crash, so
+//!   every breaker is open at the kill; recovery rebuilds fresh
+//!   (closed) breakers against a healed link and must serve again.
+//!
+//! Pre-crash remote counters come from the single-threaded kill phase
+//! and are seed-stable; the post-recovery continuation is threaded, so
+//! only its *gates* enter the report (recovered-service and
+//! breaker-tripped booleans plus the usual zero-stale/zero-finding
+//! totals, which must hold under any interleaving).
 
 use std::sync::{Arc, Mutex};
 
-use ddc_core::concurrent::{CrashHarness, StressConfig};
+use ddc_core::concurrent::{CrashHarness, RemoteSetup, StressConfig};
 use ddc_core::hypercache::audit;
 use ddc_core::prelude::*;
 use ddc_core::storage::Journal;
 use ddc_json::Json;
 
 /// JSON schema tag of the chaos report.
-pub const SCHEMA: &str = "ddc-chaos-v2";
+pub const SCHEMA: &str = "ddc-chaos-v3";
 
 /// Randomized crash points in a full run.
 pub const CASES_FULL: usize = 60;
@@ -64,6 +87,18 @@ pub const THREADED_PLANE_THREADS: usize = 8;
 
 /// Ticks the survivors are driven after each threaded-plane recovery.
 const THREADED_CONT_TICKS: u64 = 24;
+
+/// Remote-tier crash points in a full run.
+pub const REMOTE_CASES_FULL: usize = 12;
+
+/// Remote-tier crash points in a `--smoke` run.
+pub const REMOTE_CASES_SMOKE: usize = 3;
+
+/// Ticks the survivors are driven after each remote-tier recovery.
+/// Long enough that a breaker tripped at the very end of the
+/// partition-stress window (first third of the continuation) still
+/// half-opens, probes the healed link and serves well before the end.
+const REMOTE_CONT_TICKS: u64 = 48;
 
 /// Default master seed of the sweep.
 pub const DEFAULT_SEED: u64 = 0xC805;
@@ -167,6 +202,52 @@ pub struct ThreadedChaosCase {
     pub total_ops: u64,
 }
 
+/// Outcome of one remote-tier crash/recover/continue case.
+#[derive(Clone, Debug)]
+pub struct RemoteChaosCase {
+    /// Case index within the remote sweep.
+    pub id: u32,
+    /// Fault axis: `partition-stress`, `hedge-crash` or `breaker-open`.
+    pub axis: &'static str,
+    /// Crash flavor applied (independently) to the shard segments.
+    pub kind: CrashKind,
+    /// Tick the plane was killed in (its group commit never ran).
+    pub kill_tick: u64,
+    /// VM whose hypercall stream the crash cut short.
+    pub kill_vm: u32,
+    /// Hypercall batches the killed VM got through before dying.
+    pub budget: u64,
+    /// Journal records replayed across all shard segments.
+    pub records_replayed: u64,
+    /// Entries resident after recovery.
+    pub recovered_entries: u64,
+    /// Remote fetches attempted before the crash (single-threaded kill
+    /// phase, so seed-stable — as are the four counters below).
+    pub pre_fetches: u64,
+    /// Fetches the remote served before the crash.
+    pub pre_served: u64,
+    /// Hedged second requests launched before the crash.
+    pub pre_hedges: u64,
+    /// Breaker trip edges before the crash.
+    pub pre_breaker_trips: u64,
+    /// Fetches skipped by an open breaker before the crash.
+    pub pre_breaker_skipped: u64,
+    /// The rebuilt remote tier served at least one fetch during the
+    /// threaded continuation (the degradation ladder climbed back up).
+    pub remote_recovered: bool,
+    /// A breaker tripped *during* the threaded continuation (the
+    /// partition-stress axis demands it; the healthy axes forbid it).
+    pub post_breaker_tripped: bool,
+    /// Stale-entry-oracle violations across all checkpoints. Must be 0.
+    pub stale_entries: u64,
+    /// Stale hits the guests observed while continuing. Must be zero.
+    pub stale_reads: u64,
+    /// Invariant-auditor findings across all checkpoints. Must be zero.
+    pub audit_findings: u64,
+    /// Hypercall operations the guests issued over the whole case.
+    pub total_ops: u64,
+}
+
 /// A full chaos sweep.
 #[derive(Clone, Debug)]
 pub struct ChaosReport {
@@ -176,6 +257,8 @@ pub struct ChaosReport {
     pub cases: Vec<ChaosCase>,
     /// Threaded-plane (crash × concurrency) outcomes, in case order.
     pub threaded: Vec<ThreadedChaosCase>,
+    /// Remote-tier (crash × fault-tolerance stack) outcomes, in order.
+    pub remote: Vec<RemoteChaosCase>,
 }
 
 impl ChaosReport {
@@ -190,17 +273,30 @@ impl ChaosReport {
                 .iter()
                 .map(|c| c.stale_entries + c.stale_reads)
                 .sum::<u64>()
+            + self
+                .remote
+                .iter()
+                .map(|c| c.stale_entries + c.stale_reads)
+                .sum::<u64>()
     }
 
     /// Total invariant-auditor findings across the sweep.
     pub fn total_findings(&self) -> u64 {
         self.cases.iter().map(|c| c.audit_findings).sum::<u64>()
             + self.threaded.iter().map(|c| c.audit_findings).sum::<u64>()
+            + self.remote.iter().map(|c| c.audit_findings).sum::<u64>()
     }
 
-    /// `true` when every case upheld the contract.
+    /// Remote cases whose rebuilt tier failed to serve after recovery.
+    pub fn remote_unrecovered(&self) -> usize {
+        self.remote.iter().filter(|c| !c.remote_recovered).count()
+    }
+
+    /// `true` when every case upheld the contract — zero stale bytes,
+    /// zero auditor findings, and every rebuilt remote tier back in
+    /// service after its recovery.
     pub fn passed(&self) -> bool {
-        self.total_stale() == 0 && self.total_findings() == 0
+        self.total_stale() == 0 && self.total_findings() == 0 && self.remote_unrecovered() == 0
     }
 
     /// Machine-readable report (schema [`SCHEMA`]). Contains no
@@ -246,6 +342,23 @@ impl ChaosReport {
                     .filter(|s| s.2)
                     .count() as f64,
             ),
+        );
+        summary.set("remote_cases", Json::Num(self.remote.len() as f64));
+        summary.set(
+            "remote_unrecovered",
+            Json::Num(self.remote_unrecovered() as f64),
+        );
+        summary.set(
+            "remote_pre_served",
+            Json::Num(self.remote.iter().map(|c| c.pre_served).sum::<u64>() as f64),
+        );
+        summary.set(
+            "remote_pre_hedges",
+            Json::Num(self.remote.iter().map(|c| c.pre_hedges).sum::<u64>() as f64),
+        );
+        summary.set(
+            "remote_pre_breaker_trips",
+            Json::Num(self.remote.iter().map(|c| c.pre_breaker_trips).sum::<u64>() as f64),
         );
         root.set("summary", summary);
         root.set(
@@ -318,6 +431,40 @@ impl ChaosReport {
                     .collect(),
             ),
         );
+        root.set(
+            "remote",
+            Json::Arr(
+                self.remote
+                    .iter()
+                    .map(|c| {
+                        let mut o = Json::object();
+                        o.set("id", Json::Num(f64::from(c.id)));
+                        o.set("axis", Json::Str(c.axis.to_owned()));
+                        o.set("kind", Json::Str(c.kind.name().to_owned()));
+                        o.set("kill_tick", Json::Num(c.kill_tick as f64));
+                        o.set("kill_vm", Json::Num(f64::from(c.kill_vm)));
+                        o.set("budget", Json::Num(c.budget as f64));
+                        o.set("records_replayed", Json::Num(c.records_replayed as f64));
+                        o.set("recovered_entries", Json::Num(c.recovered_entries as f64));
+                        o.set("pre_fetches", Json::Num(c.pre_fetches as f64));
+                        o.set("pre_served", Json::Num(c.pre_served as f64));
+                        o.set("pre_hedges", Json::Num(c.pre_hedges as f64));
+                        o.set("pre_breaker_trips", Json::Num(c.pre_breaker_trips as f64));
+                        o.set(
+                            "pre_breaker_skipped",
+                            Json::Num(c.pre_breaker_skipped as f64),
+                        );
+                        o.set("remote_recovered", Json::Bool(c.remote_recovered));
+                        o.set("post_breaker_tripped", Json::Bool(c.post_breaker_tripped));
+                        o.set("stale_entries", Json::Num(c.stale_entries as f64));
+                        o.set("stale_reads", Json::Num(c.stale_reads as f64));
+                        o.set("audit_findings", Json::Num(c.audit_findings as f64));
+                        o.set("total_ops", Json::Num(c.total_ops as f64));
+                        o
+                    })
+                    .collect(),
+            ),
+        );
         let mut s = root.to_string_pretty();
         s.push('\n');
         s
@@ -325,17 +472,21 @@ impl ChaosReport {
 }
 
 /// Runs a chaos sweep of `cases` serial-plane crash points plus
-/// `threaded_cases` threaded-plane crash points under `seed`. Cases are
-/// independent and fan out across cores ([`ddc_core::parallel`]).
-pub fn run(seed: u64, cases: usize, threaded_cases: usize) -> ChaosReport {
+/// `threaded_cases` threaded-plane and `remote_cases` remote-tier crash
+/// points under `seed`. Cases are independent and fan out across cores
+/// ([`ddc_core::parallel`]).
+pub fn run(seed: u64, cases: usize, threaded_cases: usize, remote_cases: usize) -> ChaosReport {
     let ids: Vec<u32> = (0..cases as u32).collect();
     let cases = ddc_core::parallel::run_cells(ids, move |id| run_case(seed, id));
     let tids: Vec<u32> = (0..threaded_cases as u32).collect();
     let threaded = ddc_core::parallel::run_cells(tids, move |id| run_threaded_case(seed, id));
+    let rids: Vec<u32> = (0..remote_cases as u32).collect();
+    let remote = ddc_core::parallel::run_cells(rids, move |id| run_remote_case(seed, id));
     ChaosReport {
         seed,
         cases,
         threaded,
+        remote,
     }
 }
 
@@ -616,20 +767,133 @@ fn run_threaded_case(master_seed: u64, id: u32) -> ThreadedChaosCase {
     }
 }
 
+/// One remote-tier crash/recover/continue case (see the module docs for
+/// the three fault axes). The kill phase is single-threaded, so the
+/// pre-crash remote counters are seed-stable; the continuation runs on
+/// the 8-thread plane, so only gates and booleans from it enter the
+/// report.
+fn run_remote_case(master_seed: u64, id: u32) -> RemoteChaosCase {
+    let mut rng = SimRng::new(
+        master_seed ^ 0xDDC7_0000 ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(id) + 1),
+    );
+    let axis = match id % 3 {
+        0 => "partition-stress",
+        1 => "hedge-crash",
+        _ => "breaker-open",
+    };
+    let kind = match (id / 3) % 3 {
+        0 => CrashKind::Clean,
+        1 => CrashKind::Torn,
+        _ => CrashKind::BitFlip,
+    };
+
+    // Fault windows are phrased in driver tick time (ticks are 1µs
+    // apart), so the kill point is drawn before the config is built.
+    let kill_tick = rng.range_u64(8, 40);
+    let tick_time = |tick: u64| SimTime::from_nanos(tick * 1_000);
+
+    // The same deliberately tight store the threaded sweep uses, plus a
+    // remote binding on every pool.
+    let mut cfg = StressConfig::smoke(master_seed ^ (0xDDC7 + u64::from(id)));
+    cfg.cache = CacheConfig::mem_and_ssd(96, 128);
+    cfg.working_set = 64;
+    let remote_seed = master_seed ^ 0xCD40 ^ u64::from(id);
+    let mut setup = RemoteSetup::for_driver(remote_seed);
+    match axis {
+        // Severed link for the first third of the threaded
+        // continuation: breakers trip under the stress threads and the
+        // tier must climb back up the degradation ladder after the
+        // window closes (half-open probe ≤ 10µs after the last trip).
+        "partition-stress" => {
+            setup = setup.with_faults(FaultSchedule::new(remote_seed).with_window(
+                tick_time(kill_tick + 1),
+                Some(tick_time(kill_tick + 1 + REMOTE_CONT_TICKS / 3)),
+                FaultKind::Partition,
+            ));
+        }
+        // Every edge lookup misses, so every fetch rides past the hedge
+        // threshold (origin RTT 4µs > hedge_after 2µs): the crash lands
+        // while the bindings are hedging on every cold miss.
+        "hedge-crash" => setup.config.edge_hit_rate = 0.0,
+        // Link down from boot to the crash: every breaker is open at
+        // the kill. Recovery rebuilds fresh (closed) breakers against a
+        // healed link and must serve again.
+        _ => {
+            setup = setup.with_faults(FaultSchedule::new(remote_seed).with_window(
+                SimTime::ZERO,
+                Some(tick_time(kill_tick)),
+                FaultKind::Partition,
+            ));
+        }
+    }
+    cfg = cfg.with_remote(setup);
+
+    let mut h = CrashHarness::new(&cfg);
+    h.drive(0, kill_tick);
+    let kill_vm = rng.range_usize(0, cfg.vms as usize);
+    let budget = rng.range_u64(0, 2 + cfg.puts_per_tick + cfg.gets_per_tick);
+    h.drive_killed_tick(kill_tick, kill_vm, budget);
+    let pre = h.remote_totals();
+
+    let mut segments = h.segment_images();
+    for seg in &mut segments {
+        mutilate_segment(&mut rng, kind, seg);
+    }
+    let report = h.recover(&segments);
+    let mut stale_entries = h.stale_entries();
+    let mut audit_findings = h.audit().len() as u64;
+
+    // The same guests continue on the 8-thread plane; `recover` rebuilt
+    // the remote tier from scratch (fresh store, fresh bindings, fresh
+    // breakers), so the post counters restart from zero.
+    h.drive_threaded(
+        kill_tick + 1,
+        kill_tick + 1 + REMOTE_CONT_TICKS,
+        THREADED_PLANE_THREADS,
+    );
+    stale_entries += h.stale_entries();
+    audit_findings += h.audit().len() as u64;
+    let post = h.remote_totals();
+
+    RemoteChaosCase {
+        id,
+        axis,
+        kind,
+        kill_tick,
+        kill_vm: kill_vm as u32,
+        budget,
+        records_replayed: report.records_replayed,
+        recovered_entries: report.recovered_entries,
+        pre_fetches: pre.fetches,
+        pre_served: pre.served,
+        pre_hedges: pre.hedges,
+        pre_breaker_trips: pre.breaker_trips,
+        pre_breaker_skipped: pre.breaker_skipped,
+        remote_recovered: post.served > 0,
+        post_breaker_tripped: post.breaker_trips > 0,
+        stale_entries,
+        stale_reads: h.stale_reads(),
+        audit_findings,
+        total_ops: h.total_ops(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn smoke_sweep_is_clean_and_deterministic() {
-        let a = run(DEFAULT_SEED, 6, 3);
+        let a = run(DEFAULT_SEED, 6, 3, 3);
         assert_eq!(a.cases.len(), 6);
         assert_eq!(a.threaded.len(), 3);
+        assert_eq!(a.remote.len(), 3);
         assert!(
             a.passed(),
-            "stale {} findings {}",
+            "stale {} findings {} unrecovered {}",
             a.total_stale(),
-            a.total_findings()
+            a.total_findings(),
+            a.remote_unrecovered()
         );
         // Every crash flavor appears and at least one case actually
         // lost/kept something interesting.
@@ -637,13 +901,13 @@ mod tests {
             assert!(a.cases.iter().any(|c| c.kind == kind));
         }
         assert!(a.cases.iter().any(|c| c.records_replayed > 0));
-        let b = run(DEFAULT_SEED, 6, 3);
+        let b = run(DEFAULT_SEED, 6, 3, 3);
         assert_eq!(a.to_json(), b.to_json(), "same-seed sweeps are identical");
     }
 
     #[test]
     fn torn_cases_report_torn_tails() {
-        let r = run(7, 3, 0);
+        let r = run(7, 3, 0, 0);
         let torn = r.cases.iter().find(|c| c.kind == CrashKind::Torn).unwrap();
         // A mid-record cut must surface as a torn tail (unless the cut
         // landed at offset where nothing preceded it).
@@ -653,7 +917,7 @@ mod tests {
 
     #[test]
     fn threaded_sweep_kills_recovers_and_stays_clean() {
-        let a = run(DEFAULT_SEED, 0, 8);
+        let a = run(DEFAULT_SEED, 0, 8, 0);
         assert_eq!(a.threaded.len(), 8);
         assert!(
             a.passed(),
@@ -676,7 +940,86 @@ mod tests {
             "no case recovered from an eviction-phase snapshot"
         );
         assert!(a.threaded.iter().any(|c| c.recovered_entries > 0));
-        let b = run(DEFAULT_SEED, 0, 8);
+        let b = run(DEFAULT_SEED, 0, 8, 0);
+        assert_eq!(a.to_json(), b.to_json(), "same-seed sweeps are identical");
+    }
+
+    #[test]
+    fn remote_sweep_exercises_every_axis_and_recovers() {
+        let a = run(DEFAULT_SEED, 0, 0, 6);
+        assert_eq!(a.remote.len(), 6);
+        assert!(
+            a.passed(),
+            "stale {} findings {} unrecovered {}",
+            a.total_stale(),
+            a.total_findings(),
+            a.remote_unrecovered()
+        );
+        for c in &a.remote {
+            // Every axis must climb back up the degradation ladder.
+            assert!(
+                c.remote_recovered,
+                "case {} ({}) never served",
+                c.id, c.axis
+            );
+            match c.axis {
+                "partition-stress" => {
+                    // Healthy before the crash, severed during the first
+                    // third of the 8-thread continuation.
+                    assert!(
+                        c.pre_served > 0,
+                        "case {}: healthy phase never served",
+                        c.id
+                    );
+                    assert!(
+                        c.post_breaker_tripped,
+                        "case {}: partition under threads never tripped a breaker",
+                        c.id
+                    );
+                }
+                "hedge-crash" => {
+                    // Edge never hits, so the kill phase hedged heavily
+                    // and still served within the deadline.
+                    assert!(c.pre_hedges > 0, "case {}: no fetch ever hedged", c.id);
+                    assert!(
+                        c.pre_served > 0,
+                        "case {}: hedged fetches never served",
+                        c.id
+                    );
+                }
+                "breaker-open" => {
+                    // Link down from boot: the breaker was open at the
+                    // kill and fetches were being short-circuited.
+                    assert!(
+                        c.pre_breaker_trips > 0,
+                        "case {}: breaker never tripped",
+                        c.id
+                    );
+                    assert!(
+                        c.pre_breaker_skipped > 0,
+                        "case {}: open breaker never short-circuited",
+                        c.id
+                    );
+                    // The window ends exactly at the kill tick, so a
+                    // fetch issued just before it may retry past the
+                    // heal and serve — failures must still dominate.
+                    assert!(
+                        c.pre_served < c.pre_fetches / 2,
+                        "case {}: partitioned link mostly served ({}/{})",
+                        c.id,
+                        c.pre_served,
+                        c.pre_fetches
+                    );
+                    assert!(
+                        !c.post_breaker_tripped,
+                        "case {}: healed link tripped",
+                        c.id
+                    );
+                }
+                other => panic!("unknown axis {other}"),
+            }
+        }
+        let b = run(DEFAULT_SEED, 0, 0, 6);
         assert_eq!(a.to_json(), b.to_json(), "same-seed sweeps are identical");
     }
 }

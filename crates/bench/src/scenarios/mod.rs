@@ -10,5 +10,6 @@ pub mod modes;
 pub mod motivation;
 pub mod perf;
 pub mod policies;
+pub mod remote;
 pub mod splits;
 pub mod stress;

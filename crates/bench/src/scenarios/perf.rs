@@ -19,6 +19,7 @@ use std::time::Instant;
 
 use ddc_core::cleancache::{HypercallChannel, SecondChanceCache};
 use ddc_core::concurrent::{run_stress, StressConfig};
+use ddc_core::parallel;
 use ddc_core::prelude::*;
 use ddc_json::Json;
 
@@ -42,6 +43,59 @@ pub const REPEATS: usize = 5;
 /// overhead a single-core runner charges every threaded cell, which no
 /// gating scheme can remove.
 pub const EVICT_INVERSION_TOLERANCE: f64 = 1.10;
+
+/// The machine shape a perf run was measured on. Recorded into the
+/// baseline so [`check_against`] can tell whether thread-scaling cells
+/// are comparable at all: an 8-thread cell recorded on a 16-core box
+/// and replayed on a 1-core CI runner measures a different thing
+/// (contention and scheduling, not the code), so those cells are
+/// skipped — loudly — instead of silently compared.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunnerProfile {
+    /// What `DDC_THREADS` resolves to on this runner (the experiment
+    /// fan-out width; recorded for provenance — perf cells pin their
+    /// own thread counts, so this does not gate comparability).
+    pub ddc_threads: u64,
+    /// `std::thread::available_parallelism()` — the physical core
+    /// budget threaded cells actually scale against. Thread-scaling
+    /// cells are only compared when this matches the baseline's.
+    pub available_parallelism: u64,
+}
+
+impl RunnerProfile {
+    /// Profiles the current runner.
+    pub fn current() -> RunnerProfile {
+        RunnerProfile {
+            ddc_threads: parallel::num_threads() as u64,
+            available_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// A parsed baseline: per-cell throughput rows plus the profile of the
+/// runner that recorded them (`None` for baselines predating the
+/// `runner` field — their thread-scaling cells are uncheckable and get
+/// skipped until the baseline is re-recorded).
+#[derive(Clone, Debug)]
+pub struct Baseline {
+    /// `(cell name, ops_per_sec)` rows in file order.
+    pub rows: Vec<(String, f64)>,
+    /// The recording machine's shape, when the baseline carries one.
+    pub runner: Option<RunnerProfile>,
+}
+
+/// Outcome of a baseline comparison: hard failures plus the cells that
+/// were deliberately not judged (with the reason inline, for the log).
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// Regression-gate failures; non-empty fails CI.
+    pub violations: Vec<String>,
+    /// Thread-scaling cells excluded because the runner shapes differ
+    /// (or the baseline predates runner recording). Informational.
+    pub skipped: Vec<String>,
+}
 
 /// One measured cell of the matrix.
 #[derive(Clone, Debug)]
@@ -455,6 +509,29 @@ fn journaled_stress_threads(threads: usize, ticks: u64) -> u64 {
     out.total_ops
 }
 
+/// Single-threaded stress mix with every pool bound to a simulated
+/// chunk-store remote: misses walk the full fetch path (buffer probe,
+/// breaker check, hedge/retry bookkeeping, chunk staging), so the cell
+/// gates the overhead the remote tier adds to the miss path. One
+/// thread keeps the counters deterministic; the throughput is the
+/// point, not the interleaving.
+fn remote_miss_fetch(ticks: u64) -> u64 {
+    let mut cfg = StressConfig::remote_smoke(0x6E07);
+    cfg.ticks = ticks;
+    let out = run_stress(&cfg, 1);
+    assert!(
+        out.clean(),
+        "remote-fetch perf cell violated its gates: {} stale reads, findings {:?}",
+        out.stale_reads,
+        out.findings
+    );
+    assert!(
+        out.remote.served > 0,
+        "the remote tier served nothing in its own cell"
+    );
+    out.total_ops
+}
+
 /// One end-to-end cell: a webserver VM through guest page cache,
 /// cleancache channel and hypervisor cache, covering the full stack the
 /// `repro` figures exercise. `ops` here is virtual milliseconds.
@@ -576,6 +653,10 @@ pub fn run_matrix(smoke: bool) -> Vec<PerfCell> {
             "journaled_stress_threads_8",
             Box::new(move || journaled_stress_threads(8, 500 / scale)),
         ),
+        (
+            "remote_miss_fetch",
+            Box::new(move || remote_miss_fetch(500 / scale)),
+        ),
     ];
     cells
         .into_iter()
@@ -601,11 +682,25 @@ pub fn run_matrix(smoke: bool) -> Vec<PerfCell> {
         .collect()
 }
 
-/// Serializes results into the committed baseline format.
+/// Serializes results into the committed baseline format, stamping the
+/// current runner's profile. [`to_json_with`] takes an explicit profile
+/// (tests use it to fabricate foreign-machine baselines).
 pub fn to_json(cells: &[PerfCell], smoke: bool) -> String {
+    to_json_with(cells, smoke, &RunnerProfile::current())
+}
+
+/// [`to_json`] with an explicit [`RunnerProfile`].
+pub fn to_json_with(cells: &[PerfCell], smoke: bool, runner: &RunnerProfile) -> String {
     let mut root = Json::object();
     root.set("schema", Json::Str(SCHEMA.to_owned()));
     root.set("smoke", Json::Bool(smoke));
+    let mut machine = Json::object();
+    machine.set("ddc_threads", Json::Num(runner.ddc_threads as f64));
+    machine.set(
+        "available_parallelism",
+        Json::Num(runner.available_parallelism as f64),
+    );
+    root.set("runner", machine);
     root.set(
         "results",
         Json::Arr(
@@ -627,17 +722,26 @@ pub fn to_json(cells: &[PerfCell], smoke: bool) -> String {
     s
 }
 
-/// Parses a baseline file into `(name, ops_per_sec)` rows.
-pub fn parse_baseline(json: &str) -> Result<Vec<(String, f64)>, String> {
+/// Parses a baseline file into its rows and (if present) the recording
+/// runner's profile. Baselines written before the `runner` field are
+/// still accepted — their profile comes back `None` and the checker
+/// refuses to judge their thread-scaling cells.
+pub fn parse_baseline(json: &str) -> Result<Baseline, String> {
     let doc = Json::parse(json).map_err(|e| e.to_string())?;
     if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
         return Err(format!("baseline schema is not {SCHEMA}"));
     }
+    let runner = doc.get("runner").and_then(|m| {
+        Some(RunnerProfile {
+            ddc_threads: m.get("ddc_threads").and_then(Json::as_f64)? as u64,
+            available_parallelism: m.get("available_parallelism").and_then(Json::as_f64)? as u64,
+        })
+    });
     let results = doc
         .get("results")
         .and_then(Json::as_array)
         .ok_or("baseline has no results array")?;
-    results
+    let rows = results
         .iter()
         .map(|r| {
             let name = r
@@ -650,12 +754,27 @@ pub fn parse_baseline(json: &str) -> Result<Vec<(String, f64)>, String> {
                 .ok_or("result without ops_per_sec")?;
             Ok((name.to_owned(), ops))
         })
-        .collect()
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(Baseline { rows, runner })
+}
+
+/// Whether a cell's throughput depends on the machine's core count
+/// (its workload pins an explicit thread count, by naming convention
+/// `*_threads_N`).
+fn is_thread_scaling(name: &str) -> bool {
+    name.contains("_threads_")
 }
 
 /// Compares a run against a baseline: every baseline cell must still
-/// exist and reach at least `baseline / factor` ops/sec. Returns the
-/// list of violations (empty = pass).
+/// exist and reach at least `baseline / factor` ops/sec.
+///
+/// Thread-scaling cells (`*_threads_N`) are only judged when the
+/// baseline was recorded on a machine with the same available
+/// parallelism as this one — an 8-thread cell recorded on 16 cores and
+/// replayed on 1 core compares scheduler thrash against real scaling,
+/// which gates nothing. Mismatched (or unrecorded) profiles move those
+/// cells into [`CheckReport::skipped`] with the reason; the cells must
+/// still *run* (a missing cell is a violation regardless).
 ///
 /// The *baseline itself* is also asserted: its 8-thread eviction-
 /// contention cell must not sit more than
@@ -664,31 +783,71 @@ pub fn parse_baseline(json: &str) -> Result<Vec<(String, f64)>, String> {
 /// them, and this check keeps anyone from re-committing a baseline that
 /// encodes the inversion (it judges committed data, not this run's
 /// timings, so it cannot flake on a noisy machine).
-pub fn check_against(cells: &[PerfCell], baseline: &[(String, f64)], factor: f64) -> Vec<String> {
-    let mut violations = Vec::new();
-    let base = |n: &str| baseline.iter().find(|(name, _)| name == n).map(|&(_, o)| o);
+pub fn check_against(cells: &[PerfCell], baseline: &Baseline, factor: f64) -> CheckReport {
+    check_against_with(cells, baseline, factor, &RunnerProfile::current())
+}
+
+/// [`check_against`] with an explicit current-runner profile (tests use
+/// it to simulate checking on a machine shape other than this one).
+pub fn check_against_with(
+    cells: &[PerfCell],
+    baseline: &Baseline,
+    factor: f64,
+    current: &RunnerProfile,
+) -> CheckReport {
+    let mut report = CheckReport::default();
+    let rows = &baseline.rows;
+    let base = |n: &str| rows.iter().find(|(name, _)| name == n).map(|&(_, o)| o);
+    // The inversion check judges the baseline against itself — both
+    // cells were recorded on the same machine, so it holds regardless
+    // of where the check runs.
     if let (Some(two), Some(eight)) = (
         base("evict_contention_threads_2"),
         base("evict_contention_threads_8"),
     ) {
         if eight * EVICT_INVERSION_TOLERANCE < two {
-            violations.push(format!(
+            report.violations.push(format!(
                 "baseline encodes the eviction-contention inversion: \
                  8 threads {eight:.0} ops/s < 2 threads {two:.0} ops/s — re-record it"
             ));
         }
     }
-    for (name, base_ops) in baseline {
-        match cells.iter().find(|c| c.name == name.as_str()) {
-            None => violations.push(format!("cell {name} missing from this run")),
-            Some(c) if c.ops_per_sec * factor < *base_ops => violations.push(format!(
-                "{name}: {:.0} ops/s is a >{factor}x regression from baseline {:.0} ops/s",
-                c.ops_per_sec, base_ops
-            )),
-            Some(_) => {}
+    let threaded_comparable = match baseline.runner {
+        Some(b) => b.available_parallelism == current.available_parallelism,
+        None => false,
+    };
+    for (name, base_ops) in rows {
+        let cell = cells.iter().find(|c| c.name == name.as_str());
+        if cell.is_none() {
+            report
+                .violations
+                .push(format!("cell {name} missing from this run"));
+            continue;
+        }
+        if is_thread_scaling(name) && !threaded_comparable {
+            report.skipped.push(match baseline.runner {
+                Some(b) => format!(
+                    "{name}: baseline recorded on {} cores, this runner has {} — \
+                     thread-scaling cell not comparable",
+                    b.available_parallelism, current.available_parallelism
+                ),
+                None => format!(
+                    "{name}: baseline predates runner recording — re-record it to \
+                     gate thread-scaling cells"
+                ),
+            });
+            continue;
+        }
+        if let Some(c) = cell {
+            if c.ops_per_sec * factor < *base_ops {
+                report.violations.push(format!(
+                    "{name}: {:.0} ops/s is a >{factor}x regression from baseline {:.0} ops/s",
+                    c.ops_per_sec, base_ops
+                ));
+            }
         }
     }
-    violations
+    report
 }
 
 #[cfg(test)]
@@ -718,6 +877,7 @@ mod tests {
         assert!(journaled_stress_threads(2, 20) > 0);
         assert!(read_scaling_threads(2, 20) > 0);
         assert!(hot_block_contention_threads(2, 20) > 0);
+        assert!(remote_miss_fetch(40) > 0);
     }
 
     #[test]
@@ -752,9 +912,12 @@ mod tests {
         ];
         let json = to_json(&cells, true);
         let baseline = parse_baseline(&json).expect("roundtrip");
-        assert_eq!(baseline.len(), 2);
-        assert_eq!(baseline[0], ("dd_put_get_mix".to_owned(), 2000.0));
-        assert!(check_against(&cells, &baseline, REGRESSION_FACTOR).is_empty());
+        assert_eq!(baseline.rows.len(), 2);
+        assert_eq!(baseline.rows[0], ("dd_put_get_mix".to_owned(), 2000.0));
+        assert_eq!(baseline.runner, Some(RunnerProfile::current()));
+        let report = check_against(&cells, &baseline, REGRESSION_FACTOR);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.skipped.is_empty(), "{:?}", report.skipped);
 
         // A 2x+ drop (or a vanished cell) must be flagged.
         let slow = vec![PerfCell {
@@ -763,8 +926,73 @@ mod tests {
             wall_secs: 2.0,
             ops_per_sec: 500.0,
         }];
-        let violations = check_against(&slow, &baseline, REGRESSION_FACTOR);
-        assert_eq!(violations.len(), 2);
+        let report = check_against(&slow, &baseline, REGRESSION_FACTOR);
+        assert_eq!(report.violations.len(), 2);
+    }
+
+    #[test]
+    fn skips_thread_scaling_cells_on_core_count_mismatch() {
+        let cell = |name, ops_per_sec| PerfCell {
+            name,
+            sim_ops: 1000,
+            wall_secs: 1.0,
+            ops_per_sec,
+        };
+        let recorded = RunnerProfile {
+            ddc_threads: 8,
+            available_parallelism: 16,
+        };
+        let cells = vec![
+            cell("dd_put_get_mix", 1000.0),
+            cell("stress_threads_8", 1000.0),
+        ];
+        let baseline = parse_baseline(&to_json_with(&cells, true, &recorded)).expect("roundtrip");
+
+        // Same shape: the threaded cell is judged (and a 10x drop on it
+        // is a violation).
+        let slow = vec![
+            cell("dd_put_get_mix", 1000.0),
+            cell("stress_threads_8", 100.0),
+        ];
+        let same = check_against_with(&slow, &baseline, REGRESSION_FACTOR, &recorded);
+        assert_eq!(same.violations.len(), 1, "{:?}", same.violations);
+        assert!(same.skipped.is_empty(), "{:?}", same.skipped);
+
+        // Different core count: the same 10x drop is skipped, not
+        // flagged — but the scalar cells are still gated.
+        let one_core = RunnerProfile {
+            ddc_threads: 1,
+            available_parallelism: 1,
+        };
+        let diff = check_against_with(&slow, &baseline, REGRESSION_FACTOR, &one_core);
+        assert!(diff.violations.is_empty(), "{:?}", diff.violations);
+        assert_eq!(diff.skipped.len(), 1, "{:?}", diff.skipped);
+        assert!(diff.skipped[0].contains("stress_threads_8"));
+        let scalar_slow = vec![
+            cell("dd_put_get_mix", 100.0),
+            cell("stress_threads_8", 100.0),
+        ];
+        let diff = check_against_with(&scalar_slow, &baseline, REGRESSION_FACTOR, &one_core);
+        assert_eq!(diff.violations.len(), 1, "{:?}", diff.violations);
+        assert!(diff.violations[0].contains("dd_put_get_mix"));
+
+        // A vanished threaded cell is a violation even when its timing
+        // would have been skipped: the cell must still run.
+        let gone = vec![cell("dd_put_get_mix", 1000.0)];
+        let missing = check_against_with(&gone, &baseline, REGRESSION_FACTOR, &one_core);
+        assert_eq!(missing.violations.len(), 1, "{:?}", missing.violations);
+        assert!(missing.violations[0].contains("missing"));
+
+        // A legacy baseline with no runner profile cannot vouch for its
+        // threaded cells either way: skip with a re-record hint.
+        let legacy = Baseline {
+            rows: baseline.rows.clone(),
+            runner: None,
+        };
+        let report = check_against_with(&slow, &legacy, REGRESSION_FACTOR, &recorded);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.skipped.len(), 1, "{:?}", report.skipped);
+        assert!(report.skipped[0].contains("re-record"));
     }
 
     #[test]
@@ -782,7 +1010,7 @@ mod tests {
             cell("evict_contention_threads_8", 850.0),
         ];
         let baseline = parse_baseline(&to_json(&bad, true)).expect("roundtrip");
-        let violations = check_against(&bad, &baseline, REGRESSION_FACTOR);
+        let violations = check_against(&bad, &baseline, REGRESSION_FACTOR).violations;
         assert_eq!(violations.len(), 1, "{violations:?}");
         assert!(violations[0].contains("inversion"), "{violations:?}");
 
@@ -792,7 +1020,8 @@ mod tests {
             cell("evict_contention_threads_8", 950.0),
         ];
         let baseline = parse_baseline(&to_json(&good, true)).expect("roundtrip");
-        assert!(check_against(&good, &baseline, REGRESSION_FACTOR).is_empty());
+        let report = check_against(&good, &baseline, REGRESSION_FACTOR);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
     }
 
     #[test]

@@ -1,0 +1,632 @@
+//! `repro remote` — the remote chunk-store tier under its full
+//! fault-tolerance stack (DESIGN.md §16).
+//!
+//! Three gated phases over the third tier:
+//!
+//! 1. **Fault-axis determinism matrix** — for every network fault axis
+//!    (healthy, partition, remote brownout, edge-cache flap) the sharded
+//!    engine driven single-threaded must stay byte-identical to the
+//!    serial reference, a same-seed rerun must reproduce the exact same
+//!    report, and the stale-read oracle must stay at zero: remote faults
+//!    only ever manifest as misses (fail-open — the cache can forget,
+//!    never lie). Per-axis counter gates pin the interesting behaviour
+//!    (partitions trip and then recover the breaker, brownouts eat
+//!    deadlines, flaps force origin fetches and hedges).
+//! 2. **Degradation ladder** — the 8-thread stress harness runs
+//!    baseline / 30%-brownout / healed phases. The brownout phase must
+//!    stay clean with the breaker visibly cycling, sustain at least
+//!    [`MIN_BROWNOUT_FRACTION`] of fault-free throughput (no thread
+//!    ever stalls on a dead remote — deadlines bound every fetch), and
+//!    the healed phase must recover to within
+//!    [`MAX_HEALED_REGRESSION`] of baseline. Wall-clock numbers keep
+//!    the fastest of the interleaved repeats: every run performs the
+//!    same fixed amount of simulated work, so the fastest repeat is
+//!    the one least disturbed by unrelated machine load, and a burst
+//!    would have to flatten *every* repeat of one phase while sparing
+//!    another's to skew the cross-phase fractions.
+//! 3. **Cold-boot storm** — the flagship: many tenants boot the same
+//!    image from one CDN-backed [`ChunkStore`]. Edge placement is a
+//!    pure function of `(store seed, chunk)`, so every tenant sees the
+//!    same edge hit/miss split (CDN dedup across tenants), and
+//!    chunk-granular transfers turn the shared sequential prefix into
+//!    readahead-buffer hits. Guests then write (flush) part of the
+//!    image; the remote must never serve a flushed block again.
+//!
+//! Phases 1 and 3 are fully deterministic; phase 2 carries wall-clock
+//! numbers, so the combined JSON is not byte-stable across runs (the
+//! pass/fail verdict is).
+
+use ddc_core::cleancache::SecondChanceCache;
+use ddc_core::concurrent::{run_equivalence, run_stress, EngineKind, RemoteSetup, StressConfig};
+use ddc_core::prelude::*;
+use ddc_core::storage::{ChunkStore, RemoteConfig, RemoteCounters, RemoteFetchConfig, RemoteId};
+use ddc_json::Json;
+
+/// JSON schema tag of the remote-tier report.
+pub const SCHEMA: &str = "ddc-remote-v1";
+
+/// Default master seed of the harness.
+pub const DEFAULT_SEED: u64 = 0xCD47;
+
+/// OS threads of the degradation-ladder stress runs.
+pub const LADDER_THREADS: usize = 8;
+
+/// Per-attempt failure probability of the ladder's brownout window
+/// (the ISSUE's "30% remote-brownout schedule").
+pub const BROWNOUT_RATE: f64 = 0.3;
+
+/// Minimum brownout-over-baseline throughput fraction the ladder gates
+/// on: a browning-out remote may slow the cache, never stall it.
+pub const MIN_BROWNOUT_FRACTION: f64 = 0.5;
+
+/// The healed phase must recover to at least this fraction of the
+/// fault-free baseline ("within 10% after the window closes").
+pub const MAX_HEALED_REGRESSION: f64 = 0.9;
+
+/// The fault axes of the determinism matrix, in report order.
+pub const AXES: [&str; 4] = ["healthy", "partition", "brownout", "edge-flap"];
+
+/// One cell of the fault-axis determinism matrix.
+#[derive(Clone, Debug)]
+pub struct AxisCell {
+    /// Fault axis installed on the remote store.
+    pub axis: &'static str,
+    /// Serial and sharded single-thread reports were byte-identical
+    /// (the determinism contract extended to network faults).
+    pub identical: bool,
+    /// A same-seed rerun reproduced the serial report byte-for-byte.
+    pub rerun_identical: bool,
+    /// Stale reads across engines. Must be zero under any schedule.
+    pub stale_reads: u64,
+    /// Remote fetch counters of the single-threaded stress run.
+    pub remote: RemoteCounters,
+    /// Axis-specific counter gates held (see [`axis_gates`]).
+    pub gates_ok: bool,
+}
+
+/// One phase of the degradation ladder.
+#[derive(Clone, Debug)]
+pub struct LadderCell {
+    /// `"baseline"`, `"brownout"` or `"healed"`.
+    pub phase: &'static str,
+    /// Interleaved repeats the best-of sample is taken over.
+    pub runs: usize,
+    /// Hypercall operations per run (fixed by the config, so the
+    /// throughput comparison is apples to apples).
+    pub total_ops: u64,
+    /// Fastest wall-clock throughput across the repeats (the repeat
+    /// least disturbed by unrelated machine load).
+    pub ops_per_sec_best: f64,
+    /// Stale-read-oracle violations summed over every repeat. Gate: 0.
+    pub stale_reads: u64,
+    /// Invariant-auditor findings summed over every repeat. Gate: 0.
+    pub audit_findings: u64,
+    /// Remote fetch counters summed over every repeat.
+    pub remote: RemoteCounters,
+}
+
+/// The cold-boot-storm flagship cell.
+#[derive(Clone, Debug)]
+pub struct ColdBootCell {
+    /// Tenants booting concurrently from the shared image.
+    pub tenants: u32,
+    /// Pages of the shared image each tenant reads.
+    pub image_pages: u64,
+    /// Simulated wall time of the boot storm (milliseconds).
+    pub boot_millis: f64,
+    /// Remote fetch counters summed over every tenant binding.
+    pub remote: RemoteCounters,
+    /// Reads that violated the contract: a miss/failure on a healthy
+    /// CDN, a served version other than INITIAL, or a remote serve of a
+    /// flushed (localized) block. Gate: 0.
+    pub wrong_reads: u64,
+    /// Blocks localized by guest flushes across all tenants.
+    pub localized_blocks: u64,
+    /// Readahead-buffered pages that are also localized, summed over
+    /// bindings — the audited no-stale-data invariant. Gate: 0.
+    pub buffered_localized_overlap: u64,
+    /// Every tenant's binding ended with identical counters (the edge
+    /// placement is shared, so the storm is symmetric). Gate: true.
+    pub per_tenant_uniform: bool,
+    /// Same-seed rerun reproduced the cell byte-for-byte. Gate: true.
+    pub identical: bool,
+}
+
+/// A full remote-tier run: all three phases.
+#[derive(Clone, Debug)]
+pub struct RemoteReport {
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Smoke (CI-sized) or full workload.
+    pub smoke: bool,
+    /// Fault-axis determinism matrix, in [`AXES`] order.
+    pub axes: Vec<AxisCell>,
+    /// Degradation ladder, baseline / brownout / healed.
+    pub ladder: Vec<LadderCell>,
+    /// The cold-boot-storm flagship.
+    pub cold_boot: ColdBootCell,
+}
+
+impl RemoteReport {
+    /// Best-of brownout-over-baseline throughput fraction (0 when a
+    /// phase is missing).
+    pub fn brownout_fraction(&self) -> f64 {
+        self.phase_fraction("brownout")
+    }
+
+    /// Best-of healed-over-baseline throughput fraction.
+    pub fn healed_fraction(&self) -> f64 {
+        self.phase_fraction("healed")
+    }
+
+    fn phase_fraction(&self, phase: &str) -> f64 {
+        let ops = |p: &str| {
+            self.ladder
+                .iter()
+                .find(|c| c.phase == p)
+                .map(|c| c.ops_per_sec_best)
+        };
+        match (ops("baseline"), ops(phase)) {
+            (Some(base), Some(x)) if base > 0.0 => x / base,
+            _ => 0.0,
+        }
+    }
+
+    /// `true` when every gate of all three phases held.
+    pub fn passed(&self) -> bool {
+        let axes_ok = self.axes.len() == AXES.len()
+            && self
+                .axes
+                .iter()
+                .all(|c| c.identical && c.rerun_identical && c.stale_reads == 0 && c.gates_ok);
+        let ladder_clean = self
+            .ladder
+            .iter()
+            .all(|c| c.stale_reads == 0 && c.audit_findings == 0 && c.remote.served > 0);
+        let brown = self.ladder.iter().find(|c| c.phase == "brownout");
+        let breaker_cycled =
+            brown.is_some_and(|c| c.remote.breaker_trips > 0 && c.remote.timeouts > 0);
+        let throughput_ok = self.brownout_fraction() >= MIN_BROWNOUT_FRACTION
+            && self.healed_fraction() >= MAX_HEALED_REGRESSION;
+        axes_ok
+            && self.ladder.len() == 3
+            && ladder_clean
+            && breaker_cycled
+            && throughput_ok
+            && cold_boot_gates(&self.cold_boot)
+    }
+
+    /// Machine-readable report (schema [`SCHEMA`]).
+    pub fn to_json(&self) -> String {
+        let mut root = Json::object();
+        root.set("schema", SCHEMA);
+        root.set("seed", self.seed);
+        root.set("smoke", self.smoke);
+        root.set("passed", self.passed());
+        root.set("brownout_fraction", self.brownout_fraction());
+        root.set("healed_fraction", self.healed_fraction());
+        root.set(
+            "axes",
+            Json::Arr(
+                self.axes
+                    .iter()
+                    .map(|c| {
+                        let mut o = Json::object();
+                        o.set("axis", c.axis);
+                        o.set("identical", c.identical);
+                        o.set("rerun_identical", c.rerun_identical);
+                        o.set("stale_reads", c.stale_reads);
+                        o.set("gates_ok", c.gates_ok);
+                        o.set("remote", counters_json(&c.remote));
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        root.set(
+            "ladder",
+            Json::Arr(
+                self.ladder
+                    .iter()
+                    .map(|c| {
+                        let mut o = Json::object();
+                        o.set("phase", c.phase);
+                        o.set("runs", c.runs);
+                        o.set("total_ops", c.total_ops);
+                        o.set("ops_per_sec_best", c.ops_per_sec_best);
+                        o.set("stale_reads", c.stale_reads);
+                        o.set("audit_findings", c.audit_findings);
+                        o.set("remote", counters_json(&c.remote));
+                        o
+                    })
+                    .collect(),
+            ),
+        );
+        root.set("cold_boot", cold_boot_json(&self.cold_boot));
+        let mut s = root.to_string_pretty();
+        s.push('\n');
+        s
+    }
+}
+
+/// Renders remote counters as a JSON object (field order matches
+/// [`RemoteCounters`]).
+fn counters_json(t: &RemoteCounters) -> Json {
+    let mut o = Json::object();
+    o.set("fetches", t.fetches);
+    o.set("served", t.served);
+    o.set("failed", t.failed);
+    o.set("shed", t.shed);
+    o.set("breaker_skipped", t.breaker_skipped);
+    o.set("breaker_trips", t.breaker_trips);
+    o.set("breaker_recoveries", t.breaker_recoveries);
+    o.set("retries", t.retries);
+    o.set("timeouts", t.timeouts);
+    o.set("hedges", t.hedges);
+    o.set("hedge_wins", t.hedge_wins);
+    o.set("edge_hits", t.edge_hits);
+    o.set("origin_fetches", t.origin_fetches);
+    o.set("readahead_hits", t.readahead_hits);
+    o
+}
+
+fn cold_boot_json(c: &ColdBootCell) -> Json {
+    let mut o = Json::object();
+    o.set("tenants", c.tenants);
+    o.set("image_pages", c.image_pages);
+    o.set("boot_millis", c.boot_millis);
+    o.set("wrong_reads", c.wrong_reads);
+    o.set("localized_blocks", c.localized_blocks);
+    o.set("buffered_localized_overlap", c.buffered_localized_overlap);
+    o.set("per_tenant_uniform", c.per_tenant_uniform);
+    o.set("identical", c.identical);
+    o.set("remote", counters_json(&c.remote));
+    o
+}
+
+/// The gates of the cold-boot-storm cell.
+pub fn cold_boot_gates(c: &ColdBootCell) -> bool {
+    c.wrong_reads == 0
+        && c.buffered_localized_overlap == 0
+        && c.per_tenant_uniform
+        && c.identical
+        && c.remote.failed == 0
+        && c.remote.shed == 0
+        && c.remote.edge_hits > 0
+        && c.remote.origin_fetches > 0
+        // Chunked transfer + the shared sequential prefix must make the
+        // readahead buffer carry most of the boot.
+        && c.remote.readahead_hits > c.remote.fetches
+}
+
+// ---------------------------------------------------------------------
+// Phase 1: fault-axis determinism matrix.
+// ---------------------------------------------------------------------
+
+/// Builds the stress config of one axis cell. Ticks are 1µs apart in
+/// the driver, so fault windows are placed in tick-scaled nanoseconds.
+fn axis_config(seed: u64, smoke: bool, axis: &str) -> StressConfig {
+    let mut cfg = StressConfig::smoke(seed);
+    if !smoke {
+        cfg.ticks = 600;
+    }
+    let remote_seed = seed ^ 0xCD40;
+    let end = SimTime::from_nanos(cfg.ticks * 1_000);
+    let quarter = SimTime::from_nanos(end.as_nanos() / 4);
+    let setup = RemoteSetup::for_driver(remote_seed);
+    let setup = match axis {
+        "healthy" => setup,
+        "partition" => setup.with_faults(FaultSchedule::new(remote_seed).with_window(
+            quarter,
+            Some(SimTime::from_nanos(end.as_nanos() / 2)),
+            FaultKind::Partition,
+        )),
+        "brownout" => setup.with_faults(FaultSchedule::new(remote_seed).with_window(
+            quarter,
+            Some(SimTime::from_nanos(end.as_nanos() * 3 / 4)),
+            FaultKind::RemoteBrownout {
+                rate: BROWNOUT_RATE,
+                // Just under the 12µs fetch deadline and far over the
+                // 2µs hedge threshold: a stall eats the whole budget.
+                stall: SimDuration::from_nanos(11_000),
+            },
+        )),
+        "edge-flap" => setup.with_faults(FaultSchedule::new(remote_seed).with_window(
+            SimTime::ZERO,
+            None,
+            FaultKind::EdgeCacheFlap { rate: 0.5 },
+        )),
+        other => panic!("unknown axis {other}"),
+    };
+    cfg.with_remote(setup)
+}
+
+/// Axis-specific counter gates: each fault shape must actually exercise
+/// the part of the stack it targets.
+pub fn axis_gates(axis: &str, c: &RemoteCounters) -> bool {
+    match axis {
+        // A healthy nanosecond-scale store never misses a deadline.
+        "healthy" => c.served > 0 && c.failed == 0 && c.breaker_trips == 0,
+        // A partition trips the breaker; the half-open probe must then
+        // recover it once the window heals, and fetches serve again.
+        "partition" => {
+            c.served > 0
+                && c.failed > 0
+                && c.breaker_trips > 0
+                && c.breaker_recoveries > 0
+                && c.breaker_skipped > 0
+        }
+        // Brownout stalls eat deadlines (timeouts, not fast errors) and
+        // still let the surviving fraction through.
+        "brownout" => c.served > 0 && c.timeouts > 0 && c.breaker_trips > 0,
+        // A flapping edge forces origin fetches, whose higher RTT
+        // crosses the hedge threshold — without ever failing a fetch.
+        "edge-flap" => c.served > 0 && c.failed == 0 && c.origin_fetches > 0 && c.hedges > 0,
+        _ => false,
+    }
+}
+
+/// Runs the fault-axis matrix: serial vs sharded equivalence plus a
+/// same-seed serial rerun per axis, with single-threaded counters.
+pub fn run_axes(seed: u64, smoke: bool) -> Vec<AxisCell> {
+    ddc_core::parallel::run_cells(AXES.to_vec(), move |axis| {
+        let cfg = axis_config(seed, smoke, axis);
+        let serial = run_equivalence(&cfg, EngineKind::Serial);
+        let sharded = run_equivalence(&cfg, EngineKind::Sharded { shards: cfg.shards });
+        let rerun = run_equivalence(&cfg, EngineKind::Serial);
+        // Single-threaded stress is deterministic too; it carries the
+        // counters the gates inspect.
+        let out = run_stress(&cfg, 1);
+        AxisCell {
+            axis,
+            identical: serial.json == sharded.json,
+            rerun_identical: serial.json == rerun.json,
+            stale_reads: serial.stale_reads + sharded.stale_reads + out.stale_reads,
+            gates_ok: axis_gates(axis, &out.remote),
+            remote: out.remote,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Phase 2: degradation ladder.
+// ---------------------------------------------------------------------
+
+/// The ladder phases, in report order.
+pub const LADDER_PHASES: [&str; 3] = ["baseline", "brownout", "healed"];
+
+fn ladder_config(seed: u64, smoke: bool, phase: &str) -> StressConfig {
+    let mut cfg = if smoke {
+        let mut c = StressConfig::smoke(seed);
+        // Long enough that a run takes tens of milliseconds —
+        // sub-millisecond runs would gate on scheduler noise.
+        c.ticks = 1_000;
+        c
+    } else {
+        StressConfig::standard(seed)
+    };
+    let setup = RemoteSetup::for_driver(seed ^ 0xB007);
+    let setup = if phase == "brownout" {
+        setup.with_faults(FaultSchedule::new(seed ^ 0xFA17).with_window(
+            SimTime::ZERO,
+            None,
+            FaultKind::RemoteBrownout {
+                rate: BROWNOUT_RATE,
+                stall: SimDuration::from_nanos(11_000),
+            },
+        ))
+    } else {
+        setup
+    };
+    cfg = cfg.with_remote(setup);
+    cfg
+}
+
+fn best(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(0.0, f64::max)
+}
+
+/// Runs the ladder: `repeats` interleaved rounds of baseline /
+/// brownout / healed at [`LADDER_THREADS`] threads, reporting the
+/// fastest throughput per phase. The work per run is fixed, so the
+/// fastest repeat is the least-noise-disturbed sample; interleaving
+/// decorrelates machine-load bursts across phases.
+pub fn run_ladder(seed: u64, smoke: bool, repeats: usize) -> Vec<LadderCell> {
+    let mut samples: Vec<Vec<f64>> = vec![Vec::new(); LADDER_PHASES.len()];
+    let mut stale = [0u64; 3];
+    let mut findings = [0u64; 3];
+    let mut remote = [RemoteCounters::default(); 3];
+    let mut total_ops = 0;
+    for _ in 0..repeats.max(1) {
+        for (i, phase) in LADDER_PHASES.iter().enumerate() {
+            let cfg = ladder_config(seed, smoke, phase);
+            let out = run_stress(&cfg, LADDER_THREADS);
+            total_ops = out.total_ops;
+            samples[i].push(out.ops_per_sec());
+            stale[i] += out.stale_reads;
+            findings[i] += out.findings.len() as u64;
+            remote[i].absorb(&out.remote);
+        }
+    }
+    LADDER_PHASES
+        .iter()
+        .enumerate()
+        .map(|(i, phase)| LadderCell {
+            phase,
+            runs: samples[i].len(),
+            total_ops,
+            ops_per_sec_best: best(&samples[i]),
+            stale_reads: stale[i],
+            audit_findings: findings[i],
+            remote: remote[i],
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Phase 3: cold-boot storm.
+// ---------------------------------------------------------------------
+
+fn cold_boot_once(seed: u64, smoke: bool) -> ColdBootCell {
+    let tenants: u32 = if smoke { 8 } else { 24 };
+    let image_pages: u64 = if smoke { 512 } else { 1_024 };
+    let image = FileId(7);
+    let mut cache = DoubleDeckerCache::new(CacheConfig::mem_and_ssd(4_096, 8_192));
+    cache
+        .register_remote(ChunkStore::new(RemoteId(1), RemoteConfig::cdn(seed)))
+        .expect("fresh registry accepts the store");
+    let mut pools = Vec::new();
+    for t in 0..tenants {
+        let vm = VmId(t + 1);
+        cache.add_vm(vm, 100);
+        let pool = cache.create_pool(vm, CachePolicy::mem(100));
+        cache
+            .bind_remote(vm, pool, RemoteId(1), RemoteFetchConfig::default())
+            .expect("fresh pool binds");
+        pools.push((vm, pool));
+    }
+
+    // The storm: every tenant pages the shared image in sequentially,
+    // interleaved block by block. The clock rides each fetch's finish
+    // time so in-flight slots drain at CDN-scale latencies.
+    let mut now = SimTime::ZERO;
+    let mut wrong = 0u64;
+    for block in 0..image_pages {
+        for &(vm, pool) in &pools {
+            let addr = BlockAddr::new(image, block);
+            match cache.get(now, vm, pool, addr) {
+                GetOutcome::Hit { finish, version } => {
+                    // The remote serves only the image's initial
+                    // contents; anything else is a lie.
+                    if version != PageVersion::INITIAL {
+                        wrong += 1;
+                    }
+                    if finish > now {
+                        now = finish;
+                    }
+                }
+                // A healthy CDN must serve every cold page of the boot.
+                _ => wrong += 1,
+            }
+            now += SimDuration::from_micros(2);
+        }
+    }
+    let boot_done = now;
+
+    // Each tenant now writes (flushes) a stride of the image: those
+    // blocks are guest-owned and the remote must never serve them again.
+    let mut localized = 0u64;
+    for (i, &(vm, pool)) in pools.iter().enumerate() {
+        let mut block = (i as u64) % 16;
+        while block < image_pages {
+            let addr = BlockAddr::new(image, block);
+            cache.flush(vm, pool, addr);
+            localized += 1;
+            if !matches!(cache.get(now, vm, pool, addr), GetOutcome::Miss) {
+                wrong += 1;
+            }
+            now += SimDuration::from_micros(1);
+            block += 16;
+        }
+    }
+
+    let mut totals = RemoteCounters::default();
+    let mut overlap = 0u64;
+    let mut uniform = true;
+    let mut first: Option<RemoteCounters> = None;
+    for &(vm, pool) in &pools {
+        let b = cache.remote_binding(vm, pool).expect("binding survives");
+        let c = b.counters();
+        totals.absorb(&c);
+        overlap += b.buffered_localized_overlap() as u64;
+        match &first {
+            None => first = Some(c),
+            // The image, the store seed and the access pattern are
+            // shared, so the storm is symmetric across tenants.
+            Some(f) => uniform &= *f == c,
+        }
+    }
+
+    ColdBootCell {
+        tenants,
+        image_pages,
+        boot_millis: boot_done.as_nanos() as f64 / 1e6,
+        remote: totals,
+        wrong_reads: wrong,
+        localized_blocks: localized,
+        buffered_localized_overlap: overlap,
+        per_tenant_uniform: uniform,
+        identical: false, // filled by run_cold_boot
+    }
+}
+
+/// Runs the cold-boot storm twice with the same seed and stamps the
+/// byte-identical verdict into the cell.
+pub fn run_cold_boot(seed: u64, smoke: bool) -> ColdBootCell {
+    let mut cell = cold_boot_once(seed, smoke);
+    let again = cold_boot_once(seed, smoke);
+    cell.identical =
+        cold_boot_json(&cell).to_string_pretty() == cold_boot_json(&again).to_string_pretty();
+    cell
+}
+
+/// Runs the full harness: axis matrix, degradation ladder (5 repeats
+/// smoke, 7 full), cold-boot storm.
+pub fn run(seed: u64, smoke: bool) -> RemoteReport {
+    let repeats = if smoke { 5 } else { 7 };
+    RemoteReport {
+        seed,
+        smoke,
+        axes: run_axes(seed, smoke),
+        ladder: run_ladder(seed, smoke, repeats),
+        cold_boot: run_cold_boot(seed, smoke),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_matrix_passes_and_is_deterministic() {
+        let cells = run_axes(DEFAULT_SEED, true);
+        assert_eq!(cells.len(), AXES.len());
+        for c in &cells {
+            assert!(c.identical, "{}: serial vs sharded diverged", c.axis);
+            assert!(c.rerun_identical, "{}: rerun diverged", c.axis);
+            assert_eq!(c.stale_reads, 0, "{}: stale reads", c.axis);
+            assert!(
+                c.gates_ok,
+                "{}: counter gates failed: {:?}",
+                c.axis, c.remote
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_stays_clean_with_breaker_cycling_under_brownout() {
+        // One repeat: the throughput gates need a quiet machine and are
+        // exercised by `repro remote`; here we gate on correctness and
+        // the breaker actually cycling.
+        let cells = run_ladder(DEFAULT_SEED, true, 1);
+        assert_eq!(cells.len(), 3);
+        for c in &cells {
+            assert_eq!(c.stale_reads, 0, "{}: stale reads", c.phase);
+            assert_eq!(c.audit_findings, 0, "{}: findings", c.phase);
+            assert!(c.remote.served > 0, "{}: remote idle", c.phase);
+        }
+        let brown = &cells[1];
+        assert!(brown.remote.timeouts > 0, "brownout never ate a deadline");
+        assert!(brown.remote.breaker_trips > 0, "breaker never tripped");
+        assert_eq!(cells[0].remote.failed, 0, "baseline remote failed");
+    }
+
+    #[test]
+    fn cold_boot_storm_dedups_and_never_lies() {
+        let c = run_cold_boot(DEFAULT_SEED, true);
+        assert!(cold_boot_gates(&c), "cold boot gates failed: {c:?}");
+        assert!(c.localized_blocks > 0);
+        // 64-page chunks: the boot must be readahead-dominated.
+        assert!(c.remote.readahead_hits > 10 * c.remote.fetches, "{c:?}");
+    }
+}

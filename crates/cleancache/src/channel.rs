@@ -28,7 +28,7 @@
 //! synchronous-reliable (the real implementation spins until the
 //! hypercall is acknowledged).
 
-use ddc_sim::{FaultDecision, FaultSchedule, SimDuration, SimTime};
+use ddc_sim::{BreakerConfig, CircuitBreaker, FaultDecision, FaultSchedule, SimDuration, SimTime};
 use ddc_storage::{BlockAddr, FileId};
 
 use crate::{
@@ -65,18 +65,8 @@ pub struct ChannelCounters {
     pub breaker_recoveries: u64,
 }
 
-/// State of the put circuit breaker.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Breaker {
-    /// Puts flow to the backend; `failures` consecutive puts have failed.
-    Closed { failures: u32 },
-    /// Puts are skipped locally until `probe_at`, when one put is let
-    /// through as a recovery probe. Another failure doubles `backoff`.
-    Open {
-        probe_at: SimTime,
-        backoff: SimDuration,
-    },
-}
+// The put circuit breaker is the shared `ddc_sim::CircuitBreaker` state
+// machine, configured with this channel's thresholds below.
 
 /// The per-VM hypercall path to a second-chance cache backend.
 ///
@@ -106,7 +96,7 @@ pub struct HypercallChannel {
     counters: ChannelCounters,
     enabled: bool,
     faults: Option<FaultSchedule>,
-    breaker: Breaker,
+    breaker: CircuitBreaker,
     flush_epoch: u64,
 }
 
@@ -139,7 +129,11 @@ impl HypercallChannel {
             counters: ChannelCounters::default(),
             enabled: true,
             faults: None,
-            breaker: Breaker::Closed { failures: 0 },
+            breaker: CircuitBreaker::new(BreakerConfig {
+                threshold: Self::BREAKER_THRESHOLD,
+                initial_backoff: Self::BREAKER_INITIAL_BACKOFF,
+                max_backoff: Self::BREAKER_MAX_BACKOFF,
+            }),
             flush_epoch: 0,
         }
     }
@@ -175,7 +169,7 @@ impl HypercallChannel {
 
     /// Whether the put circuit breaker is currently open.
     pub fn breaker_open(&self) -> bool {
-        matches!(self.breaker, Breaker::Open { .. })
+        self.breaker.is_open()
     }
 
     /// The guest's **flush epoch**: the largest journal generation any
@@ -208,36 +202,17 @@ impl HypercallChannel {
     /// [`BREAKER_THRESHOLD`](Self::BREAKER_THRESHOLD) consecutive
     /// failures, doubles the backoff on a failed probe.
     fn breaker_note_failure(&mut self, now: SimTime) {
-        match self.breaker {
-            Breaker::Closed { failures } => {
-                let failures = failures + 1;
-                if failures >= Self::BREAKER_THRESHOLD {
-                    self.counters.breaker_trips += 1;
-                    self.breaker = Breaker::Open {
-                        probe_at: now + Self::BREAKER_INITIAL_BACKOFF,
-                        backoff: Self::BREAKER_INITIAL_BACKOFF,
-                    };
-                } else {
-                    self.breaker = Breaker::Closed { failures };
-                }
-            }
-            Breaker::Open { backoff, .. } => {
-                let backoff = (backoff + backoff).min(Self::BREAKER_MAX_BACKOFF);
-                self.breaker = Breaker::Open {
-                    probe_at: now + backoff,
-                    backoff,
-                };
-            }
+        if self.breaker.note_failure(now) {
+            self.counters.breaker_trips += 1;
         }
     }
 
     /// Records a successful (or policy-rejected) put: the backend is
     /// reachable, so the breaker closes / the failure streak resets.
     fn breaker_note_success(&mut self) {
-        if matches!(self.breaker, Breaker::Open { .. }) {
+        if self.breaker.note_success() {
             self.counters.breaker_recoveries += 1;
         }
-        self.breaker = Breaker::Closed { failures: 0 };
     }
 
     /// CREATE_CGROUP hypercall.
@@ -314,14 +289,15 @@ impl HypercallChannel {
         }
         let mut call_cost = self.call_cost;
         match self.channel_decision(now) {
-            FaultDecision::Error => {
+            FaultDecision::Error | FaultDecision::Stall(_) => {
                 // The call (or its reply) was lost: the cost is paid but
                 // the guest learns nothing and treats it as a miss.
                 self.counters.dropped_calls += 1;
                 return GetOutcome::Miss;
             }
             FaultDecision::Slow(extra) => call_cost += extra,
-            FaultDecision::Ok => {}
+            // The channel has no edge cache; a flap decision is a no-op.
+            FaultDecision::Ok | FaultDecision::EdgeMiss => {}
         }
         let entered = now + call_cost;
         match backend.get(entered, self.vm, pool, addr) {
@@ -358,25 +334,24 @@ impl HypercallChannel {
             self.counters.puts += 1;
             return PutOutcome::Rejected;
         }
-        if let Breaker::Open { probe_at, .. } = self.breaker {
-            if now < probe_at {
-                // Skipped locally: the guest never traps, so this is the
-                // one outcome that charges no hypercall.
-                self.counters.breaker_skipped_puts += 1;
-                return PutOutcome::Rejected;
-            }
+        if !self.breaker.allows(now) {
+            // Skipped locally: the guest never traps, so this is the
+            // one outcome that charges no hypercall.
+            self.counters.breaker_skipped_puts += 1;
+            return PutOutcome::Rejected;
         }
         self.counters.calls += 1;
         self.counters.puts += 1;
         let mut call_cost = self.call_cost;
         match self.channel_decision(now) {
-            FaultDecision::Error => {
+            FaultDecision::Error | FaultDecision::Stall(_) => {
                 self.counters.dropped_calls += 1;
                 self.breaker_note_failure(now);
                 return PutOutcome::Rejected;
             }
             FaultDecision::Slow(extra) => call_cost += extra,
-            FaultDecision::Ok => {}
+            // The channel has no edge cache; a flap decision is a no-op.
+            FaultDecision::Ok | FaultDecision::EdgeMiss => {}
         }
         let entered = now + call_cost;
         match backend.put(entered, self.vm, pool, addr, version) {
@@ -474,12 +449,13 @@ impl HypercallChannel {
         }
         let mut call_cost = self.call_cost;
         match self.channel_decision(now) {
-            FaultDecision::Error => {
+            FaultDecision::Error | FaultDecision::Stall(_) => {
                 self.counters.dropped_calls += 1;
                 return vec![GetOutcome::Miss; addrs.len()];
             }
             FaultDecision::Slow(extra) => call_cost += extra,
-            FaultDecision::Ok => {}
+            // The channel has no edge cache; a flap decision is a no-op.
+            FaultDecision::Ok | FaultDecision::EdgeMiss => {}
         }
         let entered = now + call_cost;
         backend
@@ -521,23 +497,22 @@ impl HypercallChannel {
             self.counters.puts += pages.len() as u64;
             return vec![PutOutcome::Rejected; pages.len()];
         }
-        if let Breaker::Open { probe_at, .. } = self.breaker {
-            if now < probe_at {
-                self.counters.breaker_skipped_puts += pages.len() as u64;
-                return vec![PutOutcome::Rejected; pages.len()];
-            }
+        if !self.breaker.allows(now) {
+            self.counters.breaker_skipped_puts += pages.len() as u64;
+            return vec![PutOutcome::Rejected; pages.len()];
         }
         self.counters.calls += 1;
         self.counters.puts += pages.len() as u64;
         let mut call_cost = self.call_cost;
         match self.channel_decision(now) {
-            FaultDecision::Error => {
+            FaultDecision::Error | FaultDecision::Stall(_) => {
                 self.counters.dropped_calls += 1;
                 self.breaker_note_failure(now);
                 return vec![PutOutcome::Rejected; pages.len()];
             }
             FaultDecision::Slow(extra) => call_cost += extra,
-            FaultDecision::Ok => {}
+            // The channel has no edge cache; a flap decision is a no-op.
+            FaultDecision::Ok | FaultDecision::EdgeMiss => {}
         }
         let entered = now + call_cost;
         backend

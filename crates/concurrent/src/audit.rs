@@ -57,8 +57,8 @@
 
 use ddc_cleancache::{PoolId, VmId};
 use ddc_hypercache::index::{Placement, Pool};
-use ddc_hypercache::{audit_pool_slice, AuditFinding};
-use ddc_storage::{BlockAddr, Journal};
+use ddc_hypercache::{audit_pool_slice, audit_remote_bindings, AuditFinding};
+use ddc_storage::{BlockAddr, Journal, RemoteBinding};
 
 use crate::fronts::EMPTY_FRONT;
 use crate::sharded::ShardedCache;
@@ -244,6 +244,38 @@ pub fn audit(cache: &ShardedCache) -> Vec<AuditFinding> {
                         });
                     }
                 }
+            }
+        }
+
+        // 6b. Remote bindings: the shared invariant-10 checks (outcome
+        // accounting, breaker agreement, in-flight cap, no stale staged
+        // pages), plus the routing flag — a pool is marked remote-bound
+        // on its mirror iff its home shard holds a binding; a flag
+        // without a binding would still be safe (locked path, plain
+        // miss) but a binding without the flag lets the lock-free plane
+        // answer misses the remote should have served.
+        let mut bindings: Vec<(VmId, PoolId, &RemoteBinding)> = Vec::new();
+        for shard in shards.iter() {
+            for (&(vm, pid), b) in &shard.remote_bindings {
+                bindings.push((vm, pid, b));
+            }
+        }
+        bindings.sort_unstable_by_key(|&(vm, pid, _)| (vm, pid));
+        findings.extend(audit_remote_bindings(&bindings));
+        for &(vm, pid, _) in &bindings {
+            let flagged = reg
+                .vms
+                .get(&vm)
+                .and_then(|meta| meta.mirror_of(pid))
+                .is_some_and(|m| m.remote_bound());
+            if !flagged {
+                findings.push(AuditFinding {
+                    invariant: "remote-consistency",
+                    detail: format!(
+                        "{vm} {pid} has a remote binding but its mirror is not \
+                         marked remote-bound (lock-free misses bypass the remote)"
+                    ),
+                });
             }
         }
 

@@ -38,8 +38,10 @@ use ddc_cleancache::{
 };
 use ddc_hypercache::{AuditFinding, CacheConfig, DoubleDeckerCache, PartitionMode};
 use ddc_json::Json;
-use ddc_sim::{FxHashMap, SimRng, SimTime};
-use ddc_storage::{BlockAddr, FileId};
+use ddc_sim::{BreakerConfig, FaultSchedule, FxHashMap, SimDuration, SimRng, SimTime};
+use ddc_storage::{
+    BlockAddr, ChunkStore, FileId, RemoteConfig, RemoteCounters, RemoteFetchConfig, RemoteId,
+};
 
 use crate::audit;
 use crate::sharded::{ShardedCache, ShardedRecoveryReport};
@@ -54,6 +56,63 @@ pub enum EngineKind {
         /// Number of index shards.
         shards: usize,
     },
+}
+
+/// Remote chunk-store attachment for a driver run: one simulated store
+/// shared by every pool, bound under the full fault-tolerance stack.
+/// Cold misses (blocks the guests never wrote) are then served by the
+/// remote instead of falling through.
+#[derive(Clone, Debug)]
+pub struct RemoteSetup {
+    /// Latency and edge-placement model of the store.
+    pub config: RemoteConfig,
+    /// Fault schedule installed on the store (partitions, brownouts,
+    /// edge-cache flaps). `None` = healthy network.
+    pub faults: Option<FaultSchedule>,
+    /// Fault-tolerance parameters every binding runs under.
+    pub fetch: RemoteFetchConfig,
+}
+
+impl RemoteSetup {
+    /// A store tuned to the driver's microsecond tick scale (ticks are
+    /// 1µs apart, so CDN-scale millisecond RTTs would pin every fetch
+    /// in flight forever and shed the whole run). Latencies are
+    /// nanosecond-scale; the fault-tolerance stack keeps the same
+    /// shape as the CDN defaults (3 attempts, hedging, breaker).
+    pub fn for_driver(seed: u64) -> RemoteSetup {
+        RemoteSetup {
+            config: RemoteConfig {
+                chunk_pages: 16,
+                edge_rtt: SimDuration::from_nanos(300),
+                origin_rtt: SimDuration::from_nanos(4_000),
+                page_transfer: SimDuration::from_nanos(20),
+                edge_hit_rate: 0.8,
+                buffer_read: SimDuration::from_nanos(50),
+                buffer_chunks: 8,
+                seed,
+            },
+            faults: None,
+            fetch: RemoteFetchConfig {
+                deadline: SimDuration::from_nanos(12_000),
+                max_attempts: 3,
+                backoff_base: SimDuration::from_nanos(500),
+                backoff_max: SimDuration::from_nanos(4_000),
+                hedge_after: SimDuration::from_nanos(2_000),
+                inflight_cap: 64,
+                breaker: BreakerConfig {
+                    threshold: 3,
+                    initial_backoff: SimDuration::from_nanos(10_000),
+                    max_backoff: SimDuration::from_nanos(1_000_000),
+                },
+            },
+        }
+    }
+
+    /// Installs a fault schedule on the store.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> RemoteSetup {
+        self.faults = Some(faults);
+        self
+    }
 }
 
 /// Workload shape for the driver (both modes).
@@ -87,6 +146,9 @@ pub struct StressConfig {
     /// equivalence contract extends to the per-VM flush-epoch
     /// watermarks. Presets leave it off (the volatile plane).
     pub journal: bool,
+    /// Remote chunk store every pool is bound to (`None` = no remote
+    /// tier; cold misses stay misses).
+    pub remote: Option<RemoteSetup>,
 }
 
 impl StressConfig {
@@ -104,6 +166,7 @@ impl StressConfig {
             shards: 8,
             seed,
             journal: false,
+            remote: None,
         }
     }
 
@@ -124,6 +187,7 @@ impl StressConfig {
             shards: 16,
             seed,
             journal: false,
+            remote: None,
         }
     }
 
@@ -145,6 +209,7 @@ impl StressConfig {
             shards: 16,
             seed,
             journal: false,
+            remote: None,
         }
     }
 
@@ -174,7 +239,22 @@ impl StressConfig {
             shards: 16,
             seed,
             journal: false,
+            remote: None,
         }
+    }
+
+    /// The smoke mix with every pool bound to a healthy remote chunk
+    /// store: cold misses now hit the simulated CDN under the full
+    /// fault-tolerance stack. Used by `repro remote` and the remote
+    /// determinism property tests.
+    pub fn remote_smoke(seed: u64) -> StressConfig {
+        StressConfig::smoke(seed).with_remote(RemoteSetup::for_driver(seed ^ 0xCD4))
+    }
+
+    /// Attaches a remote chunk store to the run.
+    pub fn with_remote(mut self, remote: RemoteSetup) -> StressConfig {
+        self.remote = Some(remote);
+        self
     }
 
     /// Hypercall operations one VM issues over the whole run.
@@ -390,12 +470,42 @@ impl Engine {
             Engine::Sharded(c) => c.entries(),
         }
     }
+
+    /// Registers `setup`'s chunk store (with its fault schedule) and
+    /// returns the id to bind pools against.
+    fn attach_remote(&mut self, setup: &RemoteSetup) -> RemoteId {
+        let mut store = ChunkStore::new(RemoteId(1), setup.config);
+        if let Some(faults) = &setup.faults {
+            store = store.with_faults(faults.clone());
+        }
+        match self {
+            Engine::Serial(c) => c.register_remote(store),
+            Engine::Sharded(c) => c.register_remote(store),
+        }
+        .expect("fresh registry accepts the store")
+    }
+
+    fn bind_remote(&mut self, vm: VmId, pool: PoolId, remote: RemoteId, fetch: RemoteFetchConfig) {
+        match self {
+            Engine::Serial(c) => c.bind_remote(vm, pool, remote, fetch),
+            Engine::Sharded(c) => c.bind_remote(vm, pool, remote, fetch),
+        }
+        .expect("freshly created pool binds cleanly")
+    }
+
+    fn remote_totals(&self) -> RemoteCounters {
+        match self {
+            Engine::Serial(c) => c.remote_totals(),
+            Engine::Sharded(c) => c.remote_totals(),
+        }
+    }
 }
 
 /// Builds the VM workers and registers VMs + pools on `engine`. Pool
 /// creation order is VM-major, so pool ids line up across engines.
 fn build_workers(cfg: &StressConfig, engine: &mut Engine) -> Vec<VmWorker> {
     let mut root = SimRng::new(cfg.seed);
+    let remote_id = cfg.remote.as_ref().map(|setup| engine.attach_remote(setup));
     let mut workers = Vec::with_capacity(cfg.vms as usize);
     for i in 0..cfg.vms {
         let vm = VmId(i);
@@ -403,11 +513,13 @@ fn build_workers(cfg: &StressConfig, engine: &mut Engine) -> Vec<VmWorker> {
         let mut pools = Vec::with_capacity(cfg.pools_per_vm as usize);
         let mut files = Vec::with_capacity(cfg.pools_per_vm as usize);
         for p in 0..cfg.pools_per_vm {
-            pools.push(
-                engine
-                    .backend()
-                    .create_pool(vm, StressConfig::pool_policy(i, p)),
-            );
+            let pool = engine
+                .backend()
+                .create_pool(vm, StressConfig::pool_policy(i, p));
+            if let (Some(id), Some(setup)) = (remote_id, &cfg.remote) {
+                engine.bind_remote(vm, pool, id, setup.fetch);
+            }
+            pools.push(pool);
             files.push(cfg.file_of(i, p));
         }
         workers.push(VmWorker {
@@ -507,10 +619,35 @@ fn render_report(cfg: &StressConfig, engine: &Engine, workers: &[VmWorker]) -> E
         "entries_digest",
         format!("{:016x}", entries_digest(&engine.entries())),
     );
+    root.set("remote_report", remote_totals_json(&engine.remote_totals()));
     EquivalenceReport {
         json: root.to_string_pretty(),
         stale_reads: stale_total,
     }
+}
+
+/// Renders the aggregate remote fetch counters — all zero when no
+/// remote is attached, and part of the byte-identical equivalence
+/// contract when one is: the entire fault-tolerance stack (retry
+/// counts, hedge decisions, breaker transitions, shed fetches) must
+/// agree between the serial and sharded engines.
+fn remote_totals_json(t: &RemoteCounters) -> Json {
+    let mut row = Json::object();
+    row.set("fetches", t.fetches);
+    row.set("served", t.served);
+    row.set("failed", t.failed);
+    row.set("shed", t.shed);
+    row.set("breaker_skipped", t.breaker_skipped);
+    row.set("breaker_trips", t.breaker_trips);
+    row.set("breaker_recoveries", t.breaker_recoveries);
+    row.set("retries", t.retries);
+    row.set("timeouts", t.timeouts);
+    row.set("hedges", t.hedges);
+    row.set("hedge_wins", t.hedge_wins);
+    row.set("edge_hits", t.edge_hits);
+    row.set("origin_fetches", t.origin_fetches);
+    row.set("readahead_hits", t.readahead_hits);
+    row
 }
 
 /// Appends the per-pool stats rows to a rendered report. Separate from
@@ -602,6 +739,9 @@ pub struct StressOutcome {
     /// Tree-guided Global evictions that fell back to the lock-all scan
     /// (diagnostic).
     pub front_tree_fallbacks: u64,
+    /// Aggregate remote fetch counters across every binding (all zero
+    /// when the run had no remote attached).
+    pub remote: RemoteCounters,
 }
 
 impl StressOutcome {
@@ -703,6 +843,7 @@ pub fn run_stress(cfg: &StressConfig, threads: usize) -> StressOutcome {
         seqlock_retries: cache.seqlock_retries(),
         front_tree_retries: cache.front_tree_retries(),
         front_tree_fallbacks: cache.front_tree_fallbacks(),
+        remote: cache.remote_totals(),
     }
 }
 
@@ -851,7 +992,42 @@ impl CrashHarness {
                 .set_flush_epoch(renewed.max(w.channel.flush_epoch()));
         }
         self.cache = cache;
+        if let Some(setup) = self.cfg.remote.clone() {
+            self.reattach_remote(&setup);
+        }
         report
+    }
+
+    /// Re-establishes the remote tier on a freshly recovered plane.
+    /// Bindings are not journaled, so recovery drops them; re-binding
+    /// consumes the localization stash that replaying the surviving
+    /// flush records accumulated. That stash can be *short* — flush
+    /// records past the torn tail are gone while the guests' disks
+    /// moved — so each guest then re-flushes every block it knows it
+    /// wrote (its authoritative write set), exactly what a reconnecting
+    /// guest does to re-establish the invalidation horizon. Only after
+    /// that may the remote serve again ("forget, never lie").
+    fn reattach_remote(&mut self, setup: &RemoteSetup) {
+        let mut engine = Engine::Sharded(self.cache.clone());
+        let id = engine.attach_remote(setup);
+        for w in &self.workers {
+            for &pool in &w.pools {
+                engine.bind_remote(w.vm, pool, id, setup.fetch);
+            }
+        }
+        let mut backend = self.cache.clone();
+        for w in &mut self.workers {
+            for (pi, &pool) in w.pools.iter().enumerate() {
+                let mut written: Vec<BlockAddr> = w.models[pi]
+                    .iter()
+                    .filter(|&(_, &v)| v != PageVersion::INITIAL)
+                    .map(|(&addr, _)| addr)
+                    .collect();
+                written.sort_unstable_by_key(|a| (a.file, a.block));
+                w.channel.flush_many(&mut backend, pool, &written);
+            }
+        }
+        self.cache.commit_tick();
     }
 
     /// Stale-entry oracle over the survivor: every resident entry must
@@ -901,6 +1077,14 @@ impl CrashHarness {
     /// Runs the cross-shard auditor over the live plane.
     pub fn audit(&self) -> Vec<AuditFinding> {
         audit::audit(&self.cache)
+    }
+
+    /// Aggregate remote fetch counters across every binding (all zero
+    /// when the config had no remote attached). Note that
+    /// [`CrashHarness::recover`] re-registers a *fresh* store and fresh
+    /// bindings, so the totals restart from zero at each recovery.
+    pub fn remote_totals(&self) -> RemoteCounters {
+        self.cache.remote_totals()
     }
 }
 
@@ -1007,6 +1191,67 @@ mod tests {
         let out = run_stress(&cfg, 4);
         assert!(out.clean(), "findings: {:?}", out.findings);
         assert!(out.commit_epoch > 0, "no group commit ever published");
+    }
+
+    #[test]
+    fn remote_equivalence_serial_vs_sharded() {
+        let cfg = StressConfig::remote_smoke(11);
+        let serial = run_equivalence(&cfg, EngineKind::Serial);
+        let sharded = run_equivalence(&cfg, EngineKind::Sharded { shards: 8 });
+        assert_eq!(
+            serial.json, sharded.json,
+            "remote fetch stack diverged between engines"
+        );
+        assert_eq!(serial.stale_reads, 0);
+        let root = Json::parse(&serial.json).expect("own JSON parses");
+        let served = root
+            .get("remote_report")
+            .and_then(|r| r.get("served"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(served > 0, "remote never served a cold miss");
+    }
+
+    #[test]
+    fn remote_stress_is_clean_across_thread_counts() {
+        for threads in [1, 4] {
+            let out = run_stress(&StressConfig::remote_smoke(23), threads);
+            assert!(out.clean(), "{threads} threads: {:?}", out.findings);
+            assert!(out.remote.served > 0, "{threads} threads: nothing served");
+        }
+    }
+
+    #[test]
+    fn remote_partition_is_fail_open_and_deterministic() {
+        use ddc_sim::FaultKind;
+        let faults = FaultSchedule::new(99).with_window(SimTime::ZERO, None, FaultKind::Partition);
+        let cfg =
+            StressConfig::smoke(17).with_remote(RemoteSetup::for_driver(3).with_faults(faults));
+        let serial = run_equivalence(&cfg, EngineKind::Serial);
+        let sharded = run_equivalence(&cfg, EngineKind::Sharded { shards: 8 });
+        assert_eq!(serial.json, sharded.json);
+        assert_eq!(serial.stale_reads, 0, "partition must never serve stale");
+        let out = run_stress(&cfg, 4);
+        assert!(out.clean(), "{:?}", out.findings);
+        assert!(out.remote.breaker_trips > 0, "partition never tripped");
+        assert_eq!(out.remote.served, 0, "partitioned remote served data");
+    }
+
+    #[test]
+    fn crash_recover_with_remote_rebinds_without_staleness() {
+        let mut h = CrashHarness::new(&StressConfig::remote_smoke(0xBEEF));
+        h.drive(0, 40);
+        h.drive_killed_tick(40, 2, 4);
+        let mut segments = h.segment_images();
+        let keep = segments[1].len() - segments[1].len() / 8;
+        segments[1].truncate(keep);
+        let report = h.recover(&segments);
+        assert!(report.records_replayed > 0);
+        assert_eq!(h.stale_entries(), 0);
+        assert!(h.audit().is_empty(), "{:?}", h.audit());
+        h.drive_threaded(41, 80, 8);
+        assert_eq!(h.stale_reads(), 0, "remote served stale after recovery");
+        assert!(h.audit().is_empty(), "{:?}", h.audit());
     }
 
     #[test]

@@ -94,7 +94,10 @@ use ddc_hypercache::policy::{entitlements, select_victim, select_victim_strict};
 use ddc_hypercache::readplane::{ReadPlane, ReadProbe};
 use ddc_hypercache::{CacheConfig, EntityUsage, PartitionMode, EVICTION_BATCH_PAGES};
 use ddc_sim::{FxHashMap, SimTime};
-use ddc_storage::{BlockAddr, FileId, Journal, JournalRecord};
+use ddc_storage::{
+    BlockAddr, ChunkStore, FileId, Journal, JournalRecord, RemoteBinding, RemoteCounters,
+    RemoteError, RemoteFetchConfig, RemoteId, RemoteLookup, RemoteRegistry,
+};
 
 use crate::fronts::{FrontTree, EMPTY_FRONT};
 
@@ -180,6 +183,16 @@ pub(crate) struct Shard {
     /// shard lock with generations from the cache-global cell, so the
     /// segment is generation-monotone.
     pub(crate) journal: Option<Journal>,
+    /// Remote bindings of the pools homed here, mutated only under this
+    /// shard's lock. With each VM driven by one thread, a binding's
+    /// fault-tolerance state evolves in program order regardless of the
+    /// thread count — the determinism contract extends to the remote
+    /// tier.
+    pub(crate) remote_bindings: FxHashMap<(VmId, PoolId), RemoteBinding>,
+    /// Flush localization for pools that are not (yet) remote-bound;
+    /// consumed by [`ShardedCache::bind_remote`] (recovery replay and
+    /// pre-binding runtime flushes land here).
+    remote_stash: FxHashMap<(VmId, PoolId), (Vec<BlockAddr>, Vec<FileId>)>,
 }
 
 impl Shard {
@@ -275,7 +288,7 @@ impl VmMeta {
             .map(|i| self.pools[i].1)
     }
 
-    fn mirror_of(&self, pool: PoolId) -> Option<&Arc<UsageMirror>> {
+    pub(crate) fn mirror_of(&self, pool: PoolId) -> Option<&Arc<UsageMirror>> {
         self.pools
             .binary_search_by_key(&pool, |r| r.0)
             .ok()
@@ -348,6 +361,11 @@ struct Inner {
     /// the flag below so production reads pay one relaxed load.
     read_hook: RwLock<Option<Arc<dyn Fn() + Send + Sync>>>,
     read_hook_on: AtomicBool,
+    /// Registered remote chunk stores (bindings live per shard).
+    remote_registry: Mutex<RemoteRegistry>,
+    /// Whether any remote store is registered; checked lock-free on the
+    /// flush path to decide if unbound flushes must be stashed.
+    remote_on: AtomicBool,
     /// Single-evictor gate for the fast-path eviction loop. Without it,
     /// every putter blocked on a full ledger ran its *own* full batch —
     /// N threads × [`EVICTION_BATCH_PAGES`] of duplicated victim work
@@ -557,6 +575,8 @@ impl ShardedCache {
                 front_tree_fallbacks: AtomicU64::new(0),
                 read_hook: RwLock::new(None),
                 read_hook_on: AtomicBool::new(false),
+                remote_registry: Mutex::new(RemoteRegistry::new()),
+                remote_on: AtomicBool::new(false),
                 eviction_gate: Mutex::new(()),
             }),
         }
@@ -570,6 +590,119 @@ impl ShardedCache {
     /// The partition mode the cache runs in.
     pub fn mode(&self) -> PartitionMode {
         self.inner.mode
+    }
+
+    // ------------------------------------------------------------------
+    // Remote chunk-store tier.
+    // ------------------------------------------------------------------
+
+    /// Registers a remote chunk store with this host; duplicate ids are
+    /// rejected with a typed error (mirrors the serial engine).
+    pub fn register_remote(&self, store: ChunkStore) -> Result<RemoteId, RemoteError> {
+        let id = store.id();
+        self.inner
+            .remote_registry
+            .lock()
+            .expect("remote registry poisoned")
+            .register(store)?;
+        self.inner.remote_on.store(true, Ordering::Release);
+        Ok(id)
+    }
+
+    /// Binds `pool` of `vm` to a registered remote: misses in the pool
+    /// fall through to the remote's fault-tolerance stack under the home
+    /// shard's lock. Unknown ids and double bindings return typed
+    /// errors. Registrations and bindings are not journaled — rebind
+    /// after [`ShardedCache::recover`] (replayed flush localization is
+    /// preserved and handed to the new binding).
+    pub fn bind_remote(
+        &self,
+        vm: VmId,
+        pool: PoolId,
+        remote: RemoteId,
+        fetch: RemoteFetchConfig,
+    ) -> Result<(), RemoteError> {
+        let store = self
+            .inner
+            .remote_registry
+            .lock()
+            .expect("remote registry poisoned")
+            .get(remote)?;
+        let mirror = {
+            let reg = self.inner.registry.read().expect("registry poisoned");
+            let Some(meta) = reg.vms.get(&vm) else {
+                return Err(RemoteError::UnknownVm(vm.0));
+            };
+            match meta.mirror_of(pool) {
+                Some(m) => Arc::clone(m),
+                None => {
+                    return Err(RemoteError::UnknownPool {
+                        vm: vm.0,
+                        pool: pool.0,
+                    })
+                }
+            }
+        };
+        let si = self.shard_of(vm, pool);
+        let mut shard = self.lock_shard(si);
+        if shard.remote_bindings.contains_key(&(vm, pool)) {
+            return Err(RemoteError::AlreadyBound {
+                vm: vm.0,
+                pool: pool.0,
+            });
+        }
+        let mut binding = RemoteBinding::new(store, fetch);
+        if let Some((addrs, files)) = shard.remote_stash.remove(&(vm, pool)) {
+            // Flushes that predate the binding (runtime or recovery
+            // replay): the remote must never serve those blocks.
+            binding.preload_localized(addrs, files);
+        }
+        shard.remote_bindings.insert((vm, pool), binding);
+        // Published while the binding is already in place: any get that
+        // sees the flag takes the locked path and finds the binding.
+        mirror.set_remote_bound();
+        Ok(())
+    }
+
+    /// The remote counters of one binding, if the pool is bound.
+    pub fn remote_counters_of(&self, vm: VmId, pool: PoolId) -> Option<RemoteCounters> {
+        let si = self.shard_of(vm, pool);
+        let shard = self.lock_shard(si);
+        shard.remote_bindings.get(&(vm, pool)).map(|b| b.counters())
+    }
+
+    /// Aggregate remote-tier counters across all bindings.
+    pub fn remote_totals(&self) -> RemoteCounters {
+        let shards = self.lock_all_shards();
+        let mut totals = RemoteCounters::default();
+        for shard in shards.iter() {
+            for binding in shard.remote_bindings.values() {
+                totals.absorb(&binding.counters());
+            }
+        }
+        totals
+    }
+
+    /// The remote consultation shared by the locked miss branches:
+    /// serves the image's initial contents through the binding, failing
+    /// open to a plain miss.
+    fn remote_get_in(
+        shard: &mut Shard,
+        now: SimTime,
+        vm: VmId,
+        pool: PoolId,
+        addr: BlockAddr,
+    ) -> GetOutcome {
+        let Some(binding) = shard.remote_bindings.get_mut(&(vm, pool)) else {
+            return GetOutcome::Miss;
+        };
+        match binding.lookup(now, addr) {
+            RemoteLookup::Served { finish } => GetOutcome::Hit {
+                finish,
+                version: PageVersion::INITIAL,
+            },
+            RemoteLookup::Miss => GetOutcome::Miss,
+        }
     }
 
     /// The home shard of a pool: a dependency-free integer mix of the
@@ -1455,9 +1588,7 @@ impl ShardedCache {
                 }
                 self.push_shard_fifo(si, &mut shard, vm, pid, sid, gen, placement);
             }
-            JournalRecord::Take { vm, pool, addr }
-            | JournalRecord::Evict { vm, pool, addr }
-            | JournalRecord::Flush { vm, pool, addr } => {
+            JournalRecord::Take { vm, pool, addr } | JournalRecord::Evict { vm, pool, addr } => {
                 let (vm, pid) = (VmId(vm), PoolId(pool));
                 let si = self.shard_of(vm, pid);
                 let mut shard = self.lock_shard(si);
@@ -1465,6 +1596,24 @@ impl ShardedCache {
                     self.ledger(slot.placement).free(1);
                     shard.note_stale(slot.placement, 1);
                 }
+            }
+            JournalRecord::Flush { vm, pool, addr } => {
+                let (vm, pid) = (VmId(vm), PoolId(pool));
+                let si = self.shard_of(vm, pid);
+                let mut shard = self.lock_shard(si);
+                if let Some(slot) = shard.pools.get_mut(&(vm, pid)).and_then(|p| p.remove(addr)) {
+                    self.ledger(slot.placement).free(1);
+                    shard.note_stale(slot.placement, 1);
+                }
+                // Bindings are not journaled, but flush localization must
+                // survive the crash: stash it for the post-recovery
+                // re-bind (mirrors the serial engine).
+                shard
+                    .remote_stash
+                    .entry((vm, pid))
+                    .or_default()
+                    .0
+                    .push(addr);
             }
             JournalRecord::FlushFile { vm, pool, file } => {
                 let (vm, pid) = (VmId(vm), PoolId(pool));
@@ -1477,6 +1626,12 @@ impl ShardedCache {
                     shard.stale_mem += mem;
                     shard.stale_ssd += ssd;
                 }
+                shard
+                    .remote_stash
+                    .entry((vm, pid))
+                    .or_default()
+                    .1
+                    .push(file);
             }
             JournalRecord::Epoch { .. } => {}
             JournalRecord::SetMemCapacity { pages } => self.inner.mem.set_capacity(pages),
@@ -1598,6 +1753,8 @@ impl ShardedCache {
                 stale_mem,
                 stale_ssd,
                 journal: _,
+                remote_bindings: _,
+                remote_stash: _,
             } = shard;
             let (queue, stale) = match placement {
                 Placement::Mem => (fifo_mem, stale_mem),
@@ -2541,6 +2698,12 @@ impl SecondChanceCache for ShardedCache {
         let mut reg = self.inner.registry.write().expect("registry poisoned");
         let si = self.shard_of(vm, pool);
         let mut shard = self.lock_shard(si);
+        if shard.remote_bindings.remove(&(vm, pool)).is_some() {
+            if let Some(m) = reg.vms.get(&vm).and_then(|meta| meta.mirror_of(pool)) {
+                m.clear_remote_bound();
+            }
+        }
+        shard.remote_stash.remove(&(vm, pool));
         if let Some(mut p) = shard.pools.remove(&(vm, pool)) {
             let (mem, ssd) = p.drain();
             self.inner.mem.free(mem);
@@ -2756,55 +2919,65 @@ impl SecondChanceCache for ShardedCache {
             return GetOutcome::Miss;
         };
         let si = self.shard_of(vm, pool);
-        let slot = LocalReplica::hot_slot(vm, pool, addr);
-        if let Some(h) = self.local.hot[slot] {
-            if h.vm == vm
-                && h.pool == pool
-                && h.addr == addr
-                && self.inner.read_planes[si].seq() == h.stamp
-            {
-                // The home shard's membership has not changed since this
-                // negative was cached: still definitively absent.
-                mirror.note_get();
-                self.local.lockfree_misses += 1;
-                self.local.replica_hits += 1;
-                return GetOutcome::Miss;
-            }
-        }
-        let inner = &self.inner;
-        let probe = inner.read_planes[si].lookup(vm, pool, addr, || {
-            if inner.read_hook_on.load(Ordering::Relaxed) {
-                let hook = inner.read_hook.read().expect("hook poisoned").clone();
-                if let Some(hook) = hook {
-                    hook();
+        // Remote-bound pools skip the whole lock-free plane: "absent
+        // from the shard" stops being a definitive miss once the remote
+        // tier can still serve the block, and the binding (whose
+        // fault-tolerance state the lookup mutates) lives under the
+        // shard lock anyway.
+        if !mirror.remote_bound() {
+            let slot = LocalReplica::hot_slot(vm, pool, addr);
+            if let Some(h) = self.local.hot[slot] {
+                if h.vm == vm
+                    && h.pool == pool
+                    && h.addr == addr
+                    && self.inner.read_planes[si].seq() == h.stamp
+                {
+                    // The home shard's membership has not changed since
+                    // this negative was cached: still definitively absent.
+                    mirror.note_get();
+                    self.local.lockfree_misses += 1;
+                    self.local.replica_hits += 1;
+                    return GetOutcome::Miss;
                 }
             }
-        });
-        match probe {
-            ReadProbe::Absent { stamp } => {
-                mirror.note_get();
-                self.local.lockfree_misses += 1;
-                self.local.hot[slot] = Some(HotEntry {
-                    vm,
-                    pool,
-                    addr,
-                    stamp,
-                });
-                return GetOutcome::Miss;
+            let inner = &self.inner;
+            let probe = inner.read_planes[si].lookup(vm, pool, addr, || {
+                if inner.read_hook_on.load(Ordering::Relaxed) {
+                    let hook = inner.read_hook.read().expect("hook poisoned").clone();
+                    if let Some(hook) = hook {
+                        hook();
+                    }
+                }
+            });
+            match probe {
+                ReadProbe::Absent { stamp } => {
+                    mirror.note_get();
+                    self.local.lockfree_misses += 1;
+                    self.local.hot[slot] = Some(HotEntry {
+                        vm,
+                        pool,
+                        addr,
+                        stamp,
+                    });
+                    return GetOutcome::Miss;
+                }
+                // Probable hit or degraded plane: take the lock and
+                // answer authoritatively (the plane may have gone stale
+                // between the probe and here; the locked path re-decides
+                // from scratch).
+                ReadProbe::Present | ReadProbe::Unavailable => {}
             }
-            // Probable hit or degraded plane: take the lock and answer
-            // authoritatively (the plane may have gone stale between the
-            // probe and here; the locked path re-decides from scratch).
-            ReadProbe::Present | ReadProbe::Unavailable => {}
         }
 
         let mut shard = self.lock_shard(si);
         let Some(p) = shard.pools.get_mut(&(vm, pool)) else {
-            return GetOutcome::Miss;
+            return Self::remote_get_in(&mut shard, now, vm, pool, addr);
         };
         p.counters.gets += 1;
         let Some(slot) = p.remove(addr) else {
-            return GetOutcome::Miss;
+            // Miss in the local tiers: fall through to the pool's remote
+            // binding (if any), which fails open back to a miss.
+            return Self::remote_get_in(&mut shard, now, vm, pool, addr);
         };
         p.counters.hits += 1;
         // Exclusive semantics removed the object; its FIFO entry
@@ -2871,6 +3044,18 @@ impl SecondChanceCache for ShardedCache {
             self.ledger(slot.placement).free(1);
             shard.note_stale(slot.placement, 1);
         }
+        // The guest is writing the backing block: the remote's copy is
+        // stale forever after (stash it if the pool is not bound yet).
+        if let Some(b) = shard.remote_bindings.get_mut(&(vm, pool)) {
+            b.localize(addr);
+        } else if self.inner.remote_on.load(Ordering::Acquire) {
+            shard
+                .remote_stash
+                .entry((vm, pool))
+                .or_default()
+                .0
+                .push(addr);
+        }
         // Logged even when the block was absent: the returned epoch must
         // cover this flush regardless, since a crash may lose the
         // unsynced put that would have made the block present. Unlike
@@ -2899,6 +3084,16 @@ impl SecondChanceCache for ShardedCache {
             self.inner.ssd.free(ssd);
             shard.stale_mem += mem;
             shard.stale_ssd += ssd;
+        }
+        if let Some(b) = shard.remote_bindings.get_mut(&(vm, pool)) {
+            b.localize_file(file);
+        } else if self.inner.remote_on.load(Ordering::Acquire) {
+            shard
+                .remote_stash
+                .entry((vm, pool))
+                .or_default()
+                .1
+                .push(file);
         }
         let epoch = self.log_in(
             &mut shard,

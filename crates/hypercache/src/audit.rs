@@ -39,11 +39,18 @@
 //!    with the slab (each live slot's address looks up to its own
 //!    `SlotId`). A violation means the free-list could hand out a live
 //!    id — the slab equivalent of a use-after-free.
+//! 10. **Remote consistency** — each remote binding's fault-tolerance
+//!     stack is internally coherent: every fetch is accounted for by
+//!     exactly one outcome (served, failed, shed or breaker-skipped),
+//!     the breaker's own trip/recovery history matches the binding's
+//!     counters, in-flight slots never exceed the configured cap, and no
+//!     page the guest invalidated survives in the readahead buffer (the
+//!     no-stale-data-during-partition guarantee).
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use ddc_cleancache::{PoolId, VmId};
-use ddc_storage::BlockAddr;
+use ddc_storage::{BlockAddr, RemoteBinding};
 
 use crate::index::{Placement, Pool, SlotId};
 use crate::DoubleDeckerCache;
@@ -78,6 +85,112 @@ pub fn audit(cache: &DoubleDeckerCache) -> Vec<AuditFinding> {
     global_fifo_tombstones(cache, &mut findings);
     entitlement_sums(cache, &mut findings);
     quarantine_emptiness(cache, &mut findings);
+    let mut bindings: Vec<(VmId, PoolId, &RemoteBinding)> = cache
+        .remote_bindings
+        .iter()
+        .map(|(&(vm, pid), b)| (vm, pid, b))
+        .collect();
+    bindings.sort_unstable_by_key(|&(vm, pid, _)| (vm, pid));
+    findings.extend(audit_remote_bindings(&bindings));
+    findings
+}
+
+/// Invariant 10 over an arbitrary set of remote bindings. Factored out
+/// like [`audit_pool_slice`] so the sharded engine can audit the
+/// bindings it holds per shard with the same checks.
+pub fn audit_remote_bindings(bindings: &[(VmId, PoolId, &RemoteBinding)]) -> Vec<AuditFinding> {
+    let mut findings = Vec::new();
+    for &(vm, pid, b) in bindings {
+        let c = b.counters();
+        let accounted = c.served + c.failed + c.shed + c.breaker_skipped;
+        if accounted != c.fetches {
+            findings.push(AuditFinding {
+                invariant: "remote-consistency",
+                detail: format!(
+                    "{vm} {pid}: {} fetches but {accounted} outcomes \
+                     ({} served + {} failed + {} shed + {} breaker-skipped)",
+                    c.fetches, c.served, c.failed, c.shed, c.breaker_skipped
+                ),
+            });
+        }
+        if c.edge_hits + c.origin_fetches != c.served {
+            findings.push(AuditFinding {
+                invariant: "remote-consistency",
+                detail: format!(
+                    "{vm} {pid}: {} served splits into {} edge + {} origin",
+                    c.served, c.edge_hits, c.origin_fetches
+                ),
+            });
+        }
+        if c.hedge_wins > c.hedges {
+            findings.push(AuditFinding {
+                invariant: "remote-consistency",
+                detail: format!(
+                    "{vm} {pid}: {} hedge wins out of {} hedges launched",
+                    c.hedge_wins, c.hedges
+                ),
+            });
+        }
+        if c.timeouts > c.failed {
+            findings.push(AuditFinding {
+                invariant: "remote-consistency",
+                detail: format!(
+                    "{vm} {pid}: {} timeouts exceed {} failed fetches",
+                    c.timeouts, c.failed
+                ),
+            });
+        }
+        if c.breaker_trips != b.breaker().trips()
+            || c.breaker_recoveries != b.breaker().recoveries()
+        {
+            findings.push(AuditFinding {
+                invariant: "remote-consistency",
+                detail: format!(
+                    "{vm} {pid}: binding counted {}/{} breaker trips/recoveries but \
+                     the breaker itself counted {}/{}",
+                    c.breaker_trips,
+                    c.breaker_recoveries,
+                    b.breaker().trips(),
+                    b.breaker().recoveries()
+                ),
+            });
+        }
+        if c.breaker_recoveries > c.breaker_trips {
+            findings.push(AuditFinding {
+                invariant: "remote-consistency",
+                detail: format!(
+                    "{vm} {pid}: {} breaker recoveries exceed {} trips",
+                    c.breaker_recoveries, c.breaker_trips
+                ),
+            });
+        }
+        if b.breaker().is_open() && c.breaker_trips == 0 {
+            findings.push(AuditFinding {
+                invariant: "remote-consistency",
+                detail: format!("{vm} {pid}: breaker is open but no trip was counted"),
+            });
+        }
+        if b.inflight_len() > b.fetch_config().inflight_cap {
+            findings.push(AuditFinding {
+                invariant: "remote-consistency",
+                detail: format!(
+                    "{vm} {pid}: {} in-flight slots exceed the cap of {}",
+                    b.inflight_len(),
+                    b.fetch_config().inflight_cap
+                ),
+            });
+        }
+        let overlap = b.buffered_localized_overlap();
+        if overlap > 0 {
+            findings.push(AuditFinding {
+                invariant: "remote-consistency",
+                detail: format!(
+                    "{vm} {pid}: {overlap} guest-invalidated pages remain staged in \
+                     the readahead buffer (stale data could be served)"
+                ),
+            });
+        }
+    }
     findings
 }
 

@@ -11,8 +11,11 @@ use ddc_cleancache::{
     CachePolicy, GetOutcome, PageVersion, PoolId, PoolStats, PutOutcome, SecondChanceCache,
     StoreKind, VmId,
 };
-use ddc_sim::{FaultSchedule, FxHashMap, SimDuration, SimTime};
-use ddc_storage::{BlockAddr, FileId, Journal, JournalRecord};
+use ddc_sim::{BreakerConfig, CircuitBreaker, FaultSchedule, FxHashMap, SimDuration, SimTime};
+use ddc_storage::{
+    BlockAddr, ChunkStore, FileId, Journal, JournalRecord, RemoteBinding, RemoteCounters,
+    RemoteError, RemoteFetchConfig, RemoteId, RemoteLookup, RemoteRegistry,
+};
 
 use crate::index::{Placement, Pool, SlotId};
 use crate::policy::{entitlements, select_victim, select_victim_strict, EntityUsage};
@@ -95,20 +98,6 @@ pub struct RecoveryReport {
     pub new_epochs: Vec<(VmId, u64)>,
 }
 
-/// Health of the SSD tier.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum SsdHealth {
-    /// The tier serves reads and writes normally.
-    Healthy,
-    /// The tier is quarantined after a store fault: its contents were
-    /// invalidated, placements are redirected per [`FallbackMode`], and
-    /// one put is let through as a recovery probe at `probe_at`.
-    Quarantined {
-        probe_at: SimTime,
-        backoff: SimDuration,
-    },
-}
-
 #[derive(Clone, Debug)]
 pub(crate) struct VmEntry {
     pub(crate) mem_weight: u64,
@@ -188,7 +177,12 @@ pub struct DoubleDeckerCache {
     share_tables: RefCell<[Option<ShareTable>; 2]>,
     evictions: u64,
     trickle_downs: u64,
-    ssd_health: SsdHealth,
+    /// SSD-tier health as a threshold-1 [`CircuitBreaker`]: a single
+    /// store fault quarantines (opens) the tier, `allows` gates the
+    /// recovery-probe put, and failed probes double the backoff. Shares
+    /// the state machine with the hypercall put breaker and the remote
+    /// client.
+    ssd_breaker: CircuitBreaker,
     fallback: FallbackMode,
     ssd_quarantines: u64,
     ssd_recoveries: u64,
@@ -202,6 +196,18 @@ pub struct DoubleDeckerCache {
     /// [`DoubleDeckerCache::enable_journal`]. Flush records are synced
     /// before the hypercall returns (see `ddc_storage::Journal`).
     journal: Option<Journal>,
+    /// Remote chunk stores registered with this host.
+    remote_registry: RemoteRegistry,
+    /// Per-pool remote bindings: the third tier consulted on the miss
+    /// path, each carrying its own fault-tolerance stack.
+    pub(crate) remote_bindings: FxHashMap<(VmId, PoolId), RemoteBinding>,
+    /// Flush localization waiting for a binding: populated by recovery
+    /// replay (bindings are not journaled) and by runtime flushes that
+    /// arrive while remotes are registered but the pool is unbound;
+    /// consumed by [`DoubleDeckerCache::bind_remote`]. Guarantees a
+    /// rebound pool never serves a block the guest invalidated before
+    /// the crash.
+    remote_stash: FxHashMap<(VmId, PoolId), (Vec<BlockAddr>, Vec<FileId>)>,
 }
 
 impl DoubleDeckerCache {
@@ -222,7 +228,11 @@ impl DoubleDeckerCache {
             share_tables: RefCell::new([None, None]),
             evictions: 0,
             trickle_downs: 0,
-            ssd_health: SsdHealth::Healthy,
+            ssd_breaker: CircuitBreaker::new(BreakerConfig {
+                threshold: 1,
+                initial_backoff: Self::SSD_PROBE_INITIAL_BACKOFF,
+                max_backoff: Self::SSD_PROBE_MAX_BACKOFF,
+            }),
             fallback: FallbackMode::default(),
             ssd_quarantines: 0,
             ssd_recoveries: 0,
@@ -231,6 +241,9 @@ impl DoubleDeckerCache {
             failed_puts: 0,
             journal_compactions: 0,
             journal: None,
+            remote_registry: RemoteRegistry::new(),
+            remote_bindings: FxHashMap::default(),
+            remote_stash: FxHashMap::default(),
         }
     }
 
@@ -470,6 +483,8 @@ impl DoubleDeckerCache {
         let Some(entry) = self.vms.remove(&vm) else {
             return;
         };
+        self.remote_bindings.retain(|&(v, _), _| v != vm);
+        self.remote_stash.retain(|&(v, _), _| v != vm);
         for pid in entry.pool_ids {
             if let Some(mut pool) = self.pools.remove(&(vm, pid)) {
                 let (mem, ssd) = pool.drain();
@@ -536,24 +551,132 @@ impl DoubleDeckerCache {
         self.fallback
     }
 
+    // ------------------------------------------------------------------
+    // Remote chunk-store tier.
+    // ------------------------------------------------------------------
+
+    /// Registers a remote chunk store with this host. Duplicate ids are
+    /// rejected with a typed error rather than a panic.
+    ///
+    /// Registrations and bindings are *not* journaled — a recovered host
+    /// must re-register and re-bind its remotes before serving traffic
+    /// (flush localization replayed from the journal is preserved and
+    /// handed to the new bindings).
+    pub fn register_remote(&mut self, store: ChunkStore) -> Result<RemoteId, RemoteError> {
+        let id = store.id();
+        self.remote_registry.register(store)?;
+        Ok(id)
+    }
+
+    /// Binds `pool` of `vm` to a registered remote: misses in the pool
+    /// fall through to the remote's fault-tolerance stack. Unknown ids
+    /// and double bindings return typed errors.
+    pub fn bind_remote(
+        &mut self,
+        vm: VmId,
+        pool: PoolId,
+        remote: RemoteId,
+        fetch: RemoteFetchConfig,
+    ) -> Result<(), RemoteError> {
+        let store = self.remote_registry.get(remote)?;
+        if !self.vms.contains_key(&vm) {
+            return Err(RemoteError::UnknownVm(vm.0));
+        }
+        if !self.pools.contains_key(&(vm, pool)) {
+            return Err(RemoteError::UnknownPool {
+                vm: vm.0,
+                pool: pool.0,
+            });
+        }
+        if self.remote_bindings.contains_key(&(vm, pool)) {
+            return Err(RemoteError::AlreadyBound {
+                vm: vm.0,
+                pool: pool.0,
+            });
+        }
+        let mut binding = RemoteBinding::new(store, fetch);
+        if let Some((addrs, files)) = self.remote_stash.remove(&(vm, pool)) {
+            // Flushes the guest issued before the binding existed (or
+            // before a crash): the remote must never serve those blocks.
+            binding.preload_localized(addrs, files);
+        }
+        self.remote_bindings.insert((vm, pool), binding);
+        Ok(())
+    }
+
+    /// The remote binding of `pool`, if any (for audits and reports).
+    pub fn remote_binding(&self, vm: VmId, pool: PoolId) -> Option<&RemoteBinding> {
+        self.remote_bindings.get(&(vm, pool))
+    }
+
+    /// Aggregate remote-tier counters across all bindings.
+    pub fn remote_totals(&self) -> RemoteCounters {
+        let mut totals = RemoteCounters::default();
+        for binding in self.remote_bindings.values() {
+            totals.absorb(&binding.counters());
+        }
+        totals
+    }
+
+    /// The miss path's remote consultation: serves the image's initial
+    /// contents through the binding's fault-tolerance stack, failing
+    /// open to a plain miss. Remote serves do not touch the pool's
+    /// hit/miss counters — tier stats stay pure; the remote's own
+    /// counters carry the tier's story.
+    fn remote_get(&mut self, now: SimTime, vm: VmId, pool: PoolId, addr: BlockAddr) -> GetOutcome {
+        let Some(binding) = self.remote_bindings.get_mut(&(vm, pool)) else {
+            return GetOutcome::Miss;
+        };
+        match binding.lookup(now, addr) {
+            RemoteLookup::Served { finish } => GetOutcome::Hit {
+                finish,
+                version: PageVersion::INITIAL,
+            },
+            RemoteLookup::Miss => GetOutcome::Miss,
+        }
+    }
+
+    /// Records a flush against the remote tier: the block is guest-owned
+    /// from now on. Bound pools localize directly; unbound pools stash
+    /// the flush for a future binding while remotes are registered.
+    fn remote_note_flush(&mut self, vm: VmId, pool: PoolId, addr: BlockAddr) {
+        if let Some(binding) = self.remote_bindings.get_mut(&(vm, pool)) {
+            binding.localize(addr);
+        } else if !self.remote_registry.is_empty() {
+            self.remote_stash
+                .entry((vm, pool))
+                .or_default()
+                .0
+                .push(addr);
+        }
+    }
+
+    /// File-granularity variant of [`Self::remote_note_flush`].
+    fn remote_note_flush_file(&mut self, vm: VmId, pool: PoolId, file: FileId) {
+        if let Some(binding) = self.remote_bindings.get_mut(&(vm, pool)) {
+            binding.localize_file(file);
+        } else if !self.remote_registry.is_empty() {
+            self.remote_stash
+                .entry((vm, pool))
+                .or_default()
+                .1
+                .push(file);
+        }
+    }
+
     /// Whether the SSD tier is currently quarantined.
     pub fn ssd_quarantined(&self) -> bool {
-        matches!(self.ssd_health, SsdHealth::Quarantined { .. })
+        self.ssd_breaker.is_open()
     }
 
     /// Quarantines the SSD tier after a store fault at `now`: every
     /// SSD-resident page of every pool is invalidated (a failed store
     /// must never serve a potentially-corrupt hit), and placements are
-    /// redirected until a recovery probe succeeds.
+    /// redirected until a recovery probe succeeds. A fault while already
+    /// quarantined (a failed recovery probe) only doubles the breaker's
+    /// backoff — the tier is already empty.
     fn quarantine_ssd(&mut self, now: SimTime) {
-        if let SsdHealth::Quarantined { backoff, .. } = self.ssd_health {
-            // Already quarantined (a failed recovery probe): double the
-            // backoff and try again later.
-            let backoff = (backoff + backoff).min(Self::SSD_PROBE_MAX_BACKOFF);
-            self.ssd_health = SsdHealth::Quarantined {
-                probe_at: now + backoff,
-                backoff,
-            };
+        if !self.ssd_breaker.note_failure(now) {
             return;
         }
         let mut invalidated = 0;
@@ -566,17 +689,12 @@ impl DoubleDeckerCache {
         self.invalidate_entitlements(Placement::Ssd);
         self.quarantine_invalidated += invalidated;
         self.ssd_quarantines += 1;
-        self.ssd_health = SsdHealth::Quarantined {
-            probe_at: now + Self::SSD_PROBE_INITIAL_BACKOFF,
-            backoff: Self::SSD_PROBE_INITIAL_BACKOFF,
-        };
         self.log(JournalRecord::SsdDrain);
     }
 
     /// Marks the SSD tier healthy again after a successful probe write.
     fn recover_ssd(&mut self) {
-        if self.ssd_quarantined() {
-            self.ssd_health = SsdHealth::Healthy;
+        if self.ssd_breaker.note_success() {
             self.ssd_recoveries += 1;
         }
     }
@@ -1141,13 +1259,15 @@ impl DoubleDeckerCache {
         if placement != Placement::Ssd {
             return Some(placement);
         }
-        match self.ssd_health {
-            SsdHealth::Healthy => Some(Placement::Ssd),
-            SsdHealth::Quarantined { probe_at, .. } if now >= probe_at => Some(Placement::Ssd),
-            SsdHealth::Quarantined { .. } => match self.fallback {
-                FallbackMode::ToMem if !self.mem.is_disabled() => Some(Placement::Mem),
-                _ => None,
-            },
+        if self.ssd_breaker.allows(now) {
+            // Healthy, or quarantined with the probe due: this put goes
+            // through to the SSD (as the recovery probe in the latter
+            // case).
+            return Some(Placement::Ssd);
+        }
+        match self.fallback {
+            FallbackMode::ToMem if !self.mem.is_disabled() => Some(Placement::Mem),
+            _ => None,
         }
     }
 
@@ -1502,9 +1622,7 @@ impl DoubleDeckerCache {
                 }
                 self.push_global_fifo(vm, pool, sid, gen, placement);
             }
-            JournalRecord::Take { vm, pool, addr }
-            | JournalRecord::Evict { vm, pool, addr }
-            | JournalRecord::Flush { vm, pool, addr } => {
+            JournalRecord::Take { vm, pool, addr } | JournalRecord::Evict { vm, pool, addr } => {
                 if let Some(slot) = self
                     .pools
                     .get_mut(&(VmId(vm), PoolId(pool)))
@@ -1514,6 +1632,25 @@ impl DoubleDeckerCache {
                     self.note_stale(slot.placement, 1);
                 }
             }
+            JournalRecord::Flush { vm, pool, addr } => {
+                if let Some(slot) = self
+                    .pools
+                    .get_mut(&(VmId(vm), PoolId(pool)))
+                    .and_then(|p| p.remove(addr))
+                {
+                    self.store(slot.placement).free(1);
+                    self.note_stale(slot.placement, 1);
+                }
+                // Remote bindings are not journaled, but flush
+                // localization must survive the crash: stash it for the
+                // post-recovery re-bind so the remote never serves a
+                // block the lost instance acked a flush for.
+                self.remote_stash
+                    .entry((VmId(vm), PoolId(pool)))
+                    .or_default()
+                    .0
+                    .push(addr);
+            }
             JournalRecord::FlushFile { vm, pool, file } => {
                 if let Some(p) = self.pools.get_mut(&(VmId(vm), PoolId(pool))) {
                     let (mem, ssd) = p.remove_file(file);
@@ -1522,6 +1659,11 @@ impl DoubleDeckerCache {
                     self.global_stale_mem += mem;
                     self.global_stale_ssd += ssd;
                 }
+                self.remote_stash
+                    .entry((VmId(vm), PoolId(pool)))
+                    .or_default()
+                    .1
+                    .push(file);
             }
             JournalRecord::Epoch { .. } => {}
             JournalRecord::SetMemCapacity { pages } => self.mem.set_capacity_pages(pages),
@@ -1637,6 +1779,8 @@ impl SecondChanceCache for DoubleDeckerCache {
     }
 
     fn destroy_pool(&mut self, vm: VmId, pool: PoolId) {
+        self.remote_bindings.remove(&(vm, pool));
+        self.remote_stash.remove(&(vm, pool));
         if let Some(mut p) = self.pools.remove(&(vm, pool)) {
             let (mem, ssd) = p.drain();
             self.mem.free(mem);
@@ -1735,7 +1879,9 @@ impl SecondChanceCache for DoubleDeckerCache {
         };
         p.counters.gets += 1;
         let Some(slot) = p.remove(addr) else {
-            return GetOutcome::Miss;
+            // Miss in both local tiers: fall through to the pool's remote
+            // binding (if any), which fails open back to a miss.
+            return self.remote_get(now, vm, pool, addr);
         };
         self.store(slot.placement).free(1);
         // Exclusive semantics remove the object on a hit; its FIFO entry
@@ -1892,6 +2038,9 @@ impl SecondChanceCache for DoubleDeckerCache {
             self.note_stale(slot.placement, 1);
             self.note_removal(vm, pool, slot.placement);
         }
+        // A flush means the guest is writing the backing block: the
+        // remote's copy of it is stale forever after.
+        self.remote_note_flush(vm, pool, addr);
         // Logged (and synced) even when the block was absent: the returned
         // epoch must cover this flush regardless, since a crash may lose
         // the unsynced put that would have made the block present.
@@ -1918,6 +2067,7 @@ impl SecondChanceCache for DoubleDeckerCache {
                 self.note_removal(vm, pool, Placement::Ssd);
             }
         }
+        self.remote_note_flush_file(vm, pool, file);
         let epoch = self.log_synced(JournalRecord::FlushFile {
             vm: vm.0,
             pool: pool.0,

@@ -120,6 +120,12 @@ pub struct UsageMirror {
     /// Stats reporting adds this to the locked-path counter so the
     /// total is identical to what a serial engine would have counted.
     lockfree_gets: AtomicU64,
+    /// Whether the owning pool has a remote chunk-store binding. A
+    /// remote-bound pool must not answer misses lock-free: "absent from
+    /// the shard" is no longer definitive when the remote tier can still
+    /// serve the block, so its gets always take the locked path (where
+    /// the binding lives).
+    remote_bound: std::sync::atomic::AtomicBool,
 }
 
 impl UsageMirror {
@@ -131,6 +137,21 @@ impl UsageMirror {
     /// Lookups served lock-free so far.
     pub fn lockfree_gets(&self) -> u64 {
         self.lockfree_gets.load(Ordering::Relaxed)
+    }
+
+    /// Marks the owning pool remote-bound (see the field docs).
+    pub fn set_remote_bound(&self) {
+        self.remote_bound.store(true, Ordering::Release);
+    }
+
+    /// Clears the remote-bound mark (pool unbound or destroyed).
+    pub fn clear_remote_bound(&self) {
+        self.remote_bound.store(false, Ordering::Release);
+    }
+
+    /// Whether the owning pool is remote-bound.
+    pub fn remote_bound(&self) -> bool {
+        self.remote_bound.load(Ordering::Acquire)
     }
     /// Pages the owning pool currently holds in the given store, as of
     /// the last accounting update (exact under a quiescent pool; a

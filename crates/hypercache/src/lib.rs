@@ -58,7 +58,7 @@ pub mod policy;
 pub mod readplane;
 pub mod store;
 
-pub use audit::{audit, audit_pool_slice, AuditFinding};
+pub use audit::{audit, audit_pool_slice, audit_remote_bindings, AuditFinding};
 pub use config::{CacheConfig, PartitionMode, EVICTION_BATCH_PAGES};
 pub use ddcache::{CacheTotals, DoubleDeckerCache, FallbackMode, RecoveryReport, VmUsage};
 pub use policy::{select_victim, select_victim_strict, EntityUsage};

@@ -49,7 +49,9 @@ use ddc_hypercache::{
     CacheConfig, CacheTotals, DoubleDeckerCache, FallbackMode, RecoveryReport, VmUsage,
 };
 use ddc_sim::{FaultSchedule, SimTime};
-use ddc_storage::{BlockAddr, Device, FileId};
+use ddc_storage::{
+    BlockAddr, ChunkStore, Device, FileId, RemoteCounters, RemoteError, RemoteFetchConfig, RemoteId,
+};
 
 /// Builds a [`FileId`] namespaced to one VM, so that two VMs' virtual
 /// disks never alias blocks on the shared physical device.
@@ -239,6 +241,58 @@ impl Host {
             }
             None => false,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Remote chunk-store tier.
+    // ------------------------------------------------------------------
+
+    /// Registers a remote chunk store (simulated CDN / object tier)
+    /// with the hypervisor cache. Returns its id, or a typed error if
+    /// that id is already registered.
+    pub fn register_remote_store(&mut self, store: ChunkStore) -> Result<RemoteId, RemoteError> {
+        self.cache.register_remote(store)
+    }
+
+    /// Binds one container's cache pool to a registered remote store:
+    /// misses on never-written blocks may then be served from the
+    /// remote instead of falling through to the shared disk, under the
+    /// full fault-tolerance stack (deadline, retries, hedging, circuit
+    /// breaker, in-flight cap) described by `fetch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM or container does not exist, or if the
+    /// container has cleancache disabled (no pool to bind).
+    pub fn bind_container_remote(
+        &mut self,
+        vm: VmId,
+        cg: CgroupId,
+        remote: RemoteId,
+        fetch: RemoteFetchConfig,
+    ) -> Result<(), RemoteError> {
+        let pool = self
+            .guest(vm)
+            .cgroup(cg)
+            .pool()
+            .unwrap_or_else(|| panic!("container {cg:?} in {vm} has no cleancache pool"));
+        self.cache.bind_remote(vm, pool, remote, fetch)
+    }
+
+    /// Per-container remote fetch counters, or `None` if the container
+    /// has no remote binding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VM or container does not exist.
+    pub fn container_remote_counters(&self, vm: VmId, cg: CgroupId) -> Option<RemoteCounters> {
+        let pool = self.guest(vm).cgroup(cg).pool()?;
+        self.cache.remote_binding(vm, pool).map(|b| b.counters())
+    }
+
+    /// Aggregate remote fetch counters across every binding.
+    pub fn remote_totals(&self) -> RemoteCounters {
+        self.cache.remote_totals()
     }
 
     // ------------------------------------------------------------------
@@ -882,5 +936,42 @@ mod tests {
     fn unknown_vm_panics() {
         let host = host_with_cache(16);
         host.guest(VmId(9));
+    }
+
+    #[test]
+    fn remote_tier_serves_cold_reads_and_writes_localize() {
+        use ddc_storage::RemoteConfig;
+        let mut host = host_with_cache(1024);
+        let vm = host.boot_vm(1, 100);
+        let cg = host.create_container(vm, "c", 8, CachePolicy::mem(100));
+        let id = host
+            .register_remote_store(ChunkStore::new(RemoteId(1), RemoteConfig::cdn(42)))
+            .unwrap();
+        assert!(host.container_remote_counters(vm, cg).is_none());
+        host.bind_container_remote(vm, cg, id, RemoteFetchConfig::default())
+            .unwrap();
+        // Binding twice is a typed error, not a panic.
+        assert!(matches!(
+            host.bind_container_remote(vm, cg, id, RemoteFetchConfig::default()),
+            Err(RemoteError::AlreadyBound { .. })
+        ));
+        // A cold read of a never-written block is served by the remote
+        // (as a cleancache hit at the initial version), not the disk.
+        let r = host.read(SimTime::ZERO, vm, cg, a(vm, 1, 0));
+        assert_eq!(r.level, HitLevel::Cleancache, "remote served the miss");
+        let c = host.container_remote_counters(vm, cg).unwrap();
+        assert!(c.served >= 1);
+        assert_eq!(host.remote_totals().served, c.served);
+        assert_eq!(host.guest(vm).counters().stale_cleancache_hits, 0);
+        // Writing a block invalidates its cleancache copy, which
+        // localizes it: the remote may never serve it again.
+        let mut now = r.finish;
+        now = host.write(now, vm, cg, a(vm, 1, 1)).finish;
+        now = host.fsync(now, vm, cg, vm_file(vm, 1));
+        let pool = host.guest(vm).cgroup(cg).pool().unwrap();
+        let binding = host.cache().remote_binding(vm, pool).unwrap();
+        assert!(binding.is_localized(a(vm, 1, 1)), "write localized block");
+        assert!(ddc_hypercache::audit(host.cache()).is_empty());
+        let _ = now;
     }
 }

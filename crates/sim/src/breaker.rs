@@ -1,0 +1,263 @@
+//! A reusable circuit-breaker state machine.
+//!
+//! Three fallible backends in the stack protect themselves with the same
+//! pattern — the hypercall channel's put breaker, the hypervisor cache's
+//! SSD quarantine, and the remote chunk-store client — so the state
+//! machine lives here once, parameterized by thresholds.
+//!
+//! The machine has two states:
+//!
+//! * **Closed** — operations flow to the backend. `threshold` consecutive
+//!   failures trip the breaker open; any success resets the streak.
+//! * **Open** — operations are skipped locally until `probe_at`, when one
+//!   operation is let through as a recovery probe. A failed probe doubles
+//!   the backoff (capped at `max_backoff`) and reschedules the probe; a
+//!   success closes the breaker.
+//!
+//! The machine is purely deterministic: transitions are a function of the
+//! sequence of `note_failure`/`note_success` calls and their timestamps,
+//! so same-seed simulations reproduce breaker behaviour byte-for-byte.
+//!
+//! ```
+//! use ddc_sim::{BreakerConfig, CircuitBreaker, SimDuration, SimTime};
+//!
+//! let cfg = BreakerConfig {
+//!     threshold: 2,
+//!     initial_backoff: SimDuration::from_millis(10),
+//!     max_backoff: SimDuration::from_secs(1),
+//! };
+//! let mut b = CircuitBreaker::new(cfg);
+//! let t0 = SimTime::ZERO;
+//! assert!(!b.note_failure(t0)); // one failure: still closed
+//! assert!(b.note_failure(t0)); // second failure trips it
+//! assert!(!b.allows(t0)); // skipped locally...
+//! assert!(b.allows(t0 + SimDuration::from_millis(10))); // ...until the probe
+//! assert!(b.note_success()); // probe succeeded: recovered
+//! ```
+
+use crate::time::{SimDuration, SimTime};
+
+/// Thresholds parameterizing a [`CircuitBreaker`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open. A threshold of 1
+    /// trips on the first failure (the SSD quarantine's policy).
+    pub threshold: u32,
+    /// Delay before the first recovery probe after tripping.
+    pub initial_backoff: SimDuration,
+    /// Ceiling for the exponentially-doubled probe backoff.
+    pub max_backoff: SimDuration,
+}
+
+/// Observable breaker state, exposed for audits and reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Operations flow; `failures` consecutive operations have failed.
+    Closed {
+        /// Current consecutive-failure streak (below the threshold).
+        failures: u32,
+    },
+    /// Operations are skipped until `probe_at`.
+    Open {
+        /// Earliest instant at which a recovery probe is let through.
+        probe_at: SimTime,
+        /// Current probe backoff (doubles per failed probe, capped).
+        backoff: SimDuration,
+    },
+}
+
+/// A deterministic circuit breaker (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    trips: u64,
+    recoveries: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.threshold` is zero (a breaker that trips without
+    /// any failure would never let an operation through).
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        assert!(config.threshold > 0, "breaker threshold must be positive");
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed { failures: 0 },
+            trips: 0,
+            recoveries: 0,
+        }
+    }
+
+    /// The thresholds this breaker was built with.
+    pub fn config(&self) -> BreakerConfig {
+        self.config
+    }
+
+    /// The current state (for audits and reports).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether the breaker is open (operations skipped outside probes).
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, BreakerState::Open { .. })
+    }
+
+    /// Whether an operation issued at `now` should be attempted: true
+    /// when closed, or when open and the probe window has arrived.
+    pub fn allows(&self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Closed { .. } => true,
+            BreakerState::Open { probe_at, .. } => now >= probe_at,
+        }
+    }
+
+    /// The pending probe instant, if the breaker is open.
+    pub fn probe_at(&self) -> Option<SimTime> {
+        match self.state {
+            BreakerState::Closed { .. } => None,
+            BreakerState::Open { probe_at, .. } => Some(probe_at),
+        }
+    }
+
+    /// Records one failed operation at `now`. Returns `true` exactly when
+    /// this failure transitions the breaker from closed to open (callers
+    /// run their trip-time side effects — invalidation, counters — on
+    /// that edge). A failure while already open is a failed probe: the
+    /// backoff doubles (capped) and the next probe is rescheduled.
+    pub fn note_failure(&mut self, now: SimTime) -> bool {
+        match self.state {
+            BreakerState::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.config.threshold {
+                    self.trips += 1;
+                    self.state = BreakerState::Open {
+                        probe_at: now + self.config.initial_backoff,
+                        backoff: self.config.initial_backoff,
+                    };
+                    true
+                } else {
+                    self.state = BreakerState::Closed { failures };
+                    false
+                }
+            }
+            BreakerState::Open { backoff, .. } => {
+                let backoff = (backoff + backoff).min(self.config.max_backoff);
+                self.state = BreakerState::Open {
+                    probe_at: now + backoff,
+                    backoff,
+                };
+                false
+            }
+        }
+    }
+
+    /// Records one successful operation: the backend is reachable, so the
+    /// breaker closes and the failure streak resets. Returns `true`
+    /// exactly when this success recovered an open breaker.
+    pub fn note_success(&mut self) -> bool {
+        let recovered = self.is_open();
+        if recovered {
+            self.recoveries += 1;
+        }
+        self.state = BreakerState::Closed { failures: 0 };
+        recovered
+    }
+
+    /// Times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Times an open breaker's probe succeeded and closed it.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(threshold: u32) -> BreakerConfig {
+        BreakerConfig {
+            threshold,
+            initial_backoff: SimDuration::from_millis(10),
+            max_backoff: SimDuration::from_millis(80),
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(cfg(3));
+        let t = SimTime::ZERO;
+        assert!(!b.note_failure(t));
+        assert!(!b.note_failure(t));
+        assert!(!b.is_open());
+        assert!(b.note_failure(t));
+        assert!(b.is_open());
+        assert_eq!(b.trips(), 1);
+        assert_eq!(b.probe_at(), Some(t + SimDuration::from_millis(10)));
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut b = CircuitBreaker::new(cfg(2));
+        let t = SimTime::ZERO;
+        assert!(!b.note_failure(t));
+        assert!(!b.note_success()); // closed success: no recovery counted
+        assert!(!b.note_failure(t)); // streak restarted
+        assert!(b.note_failure(t));
+        assert_eq!(b.recoveries(), 0);
+    }
+
+    #[test]
+    fn threshold_one_trips_immediately() {
+        let mut b = CircuitBreaker::new(cfg(1));
+        assert!(b.note_failure(SimTime::ZERO));
+        assert!(b.is_open());
+    }
+
+    #[test]
+    fn failed_probes_double_backoff_to_the_cap() {
+        let mut b = CircuitBreaker::new(cfg(1));
+        let t = SimTime::ZERO;
+        b.note_failure(t);
+        let mut expected = SimDuration::from_millis(10);
+        for _ in 0..5 {
+            let probe = b.probe_at().unwrap();
+            assert!(!b.allows(probe - SimDuration::from_nanos(1)));
+            assert!(b.allows(probe));
+            assert!(!b.note_failure(probe)); // failed probe: no new trip
+            expected = (expected + expected).min(SimDuration::from_millis(80));
+            assert_eq!(
+                b.state(),
+                BreakerState::Open {
+                    probe_at: probe + expected,
+                    backoff: expected,
+                }
+            );
+        }
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn successful_probe_recovers() {
+        let mut b = CircuitBreaker::new(cfg(1));
+        b.note_failure(SimTime::ZERO);
+        assert!(b.note_success());
+        assert!(!b.is_open());
+        assert_eq!(b.recoveries(), 1);
+        assert_eq!(b.state(), BreakerState::Closed { failures: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        CircuitBreaker::new(cfg(0));
+    }
+}

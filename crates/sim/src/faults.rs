@@ -7,7 +7,7 @@
 //! the same scenario with the same seed produce byte-identical fault
 //! behaviour, which is what makes fault experiments reproducible.
 //!
-//! Four fault shapes cover the failure modes the DoubleDecker stack has
+//! Seven fault shapes cover the failure modes the DoubleDecker stack has
 //! to degrade gracefully through:
 //!
 //! * [`FaultKind::TransientErrors`] — each operation inside the window
@@ -19,7 +19,25 @@
 //!   the survivors are slow (a device struggling before recovery),
 //! * [`FaultKind::Death`] — permanent failure from the window start on;
 //!   once a schedule has decided `Death` it never recovers, even if the
-//!   window nominally closes.
+//!   window nominally closes,
+//! * [`FaultKind::Partition`] — total outage for the duration of the
+//!   window; unlike `Death` the component recovers the instant the
+//!   window closes (a severed network link healing),
+//! * [`FaultKind::RemoteBrownout`] — each operation hangs for `stall`
+//!   and then fails with probability `rate` (a congested or browning-out
+//!   remote that eats the request's deadline before erroring),
+//! * [`FaultKind::EdgeCacheFlap`] — operations succeed but are forced
+//!   past the edge cache to the origin with probability `rate` (an edge
+//!   node flapping in and out of the CDN pool).
+//!
+//! Probabilistic windows draw from the schedule's own RNG through
+//! [`decide`](FaultSchedule::decide), which makes decisions a function of
+//! consultation *order*. Components consulted concurrently from several
+//! threads (the remote chunk store) instead use
+//! [`decide_keyed`](FaultSchedule::decide_keyed), which derives each
+//! decision statelessly from `(seed, key)` — the same operation key gets
+//! the same fate regardless of which thread asks first or how many
+//! workers the run uses.
 //!
 //! ```
 //! use ddc_sim::{FaultDecision, FaultKind, FaultSchedule, SimDuration, SimTime};
@@ -61,6 +79,26 @@ pub enum FaultKind {
     /// Permanent device death: every operation at or after the window
     /// start fails, forever (the window end, if any, is ignored).
     Death,
+    /// Total outage for exactly the window: every operation inside it
+    /// fails, and the component is healthy again the instant the window
+    /// closes (a network partition healing).
+    Partition,
+    /// Each operation stalls for `stall` and then fails with probability
+    /// `rate`; survivors still pay the stall (a remote hanging until the
+    /// caller's deadline instead of failing fast).
+    RemoteBrownout {
+        /// Per-operation failure probability in `[0, 1]`.
+        rate: f64,
+        /// Hang charged to every operation in the window, failed or not.
+        stall: SimDuration,
+    },
+    /// Operations succeed, but with probability `rate` they are forced
+    /// past the edge cache to the origin (an edge node flapping out of
+    /// the CDN pool). Non-remote components treat this as `Ok`.
+    EdgeCacheFlap {
+        /// Per-operation probability of a forced origin fetch.
+        rate: f64,
+    },
 }
 
 /// One fault window on a schedule's timeline.
@@ -90,6 +128,13 @@ pub enum FaultDecision {
     Error,
     /// The operation succeeds but takes the given additional time.
     Slow(SimDuration),
+    /// The operation hangs for the given time and then fails (a stalled
+    /// remote eating the caller's deadline). Components without a
+    /// deadline concept treat this as a slow `Error`.
+    Stall(SimDuration),
+    /// The operation succeeds but bypasses the edge cache (origin-path
+    /// latency). Non-remote components treat this as `Ok`.
+    EdgeMiss,
 }
 
 /// A deterministic, seeded schedule of fault windows for one component.
@@ -103,7 +148,25 @@ pub enum FaultDecision {
 pub struct FaultSchedule {
     windows: Vec<FaultWindow>,
     rng: SimRng,
+    seed: u64,
     dead: bool,
+}
+
+/// SplitMix64 finalizer: a stateless, well-mixed hash of one word, used
+/// to derive keyed fault decisions and retry jitter without consuming
+/// RNG state (so consultation order cannot perturb outcomes).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform float in `[0, 1)` derived statelessly from `(seed, key)`.
+/// Public so fault-tolerant clients (retry jitter, hedge decisions) can
+/// share the schedule's keyed randomness basis.
+pub fn keyed_unit(seed: u64, key: u64) -> f64 {
+    (mix64(mix64(seed) ^ key) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 impl FaultSchedule {
@@ -112,6 +175,7 @@ impl FaultSchedule {
         FaultSchedule {
             windows: Vec::new(),
             rng: SimRng::new(seed),
+            seed,
             dead: false,
         }
     }
@@ -171,6 +235,87 @@ impl FaultSchedule {
                     FaultDecision::Error
                 } else {
                     FaultDecision::Slow(extra)
+                }
+            }
+            FaultKind::Partition => FaultDecision::Error,
+            FaultKind::RemoteBrownout { rate, stall } => {
+                if self.rng.chance(rate) {
+                    FaultDecision::Stall(stall)
+                } else {
+                    FaultDecision::Slow(stall)
+                }
+            }
+            FaultKind::EdgeCacheFlap { rate } => {
+                if self.rng.chance(rate) {
+                    FaultDecision::EdgeMiss
+                } else {
+                    FaultDecision::Ok
+                }
+            }
+            FaultKind::Death => unreachable!("death windows handled above"),
+        }
+    }
+
+    /// Decides the fate of one operation issued at `now`, identified by a
+    /// caller-chosen `key`, without consuming any RNG state.
+    ///
+    /// Probabilistic windows hash `(seed, key)` through [`keyed_unit`]
+    /// instead of drawing from the sequential RNG, so the decision is a
+    /// pure function of the schedule and the operation — components
+    /// consulted from many threads (the remote chunk store) get
+    /// identical fault behaviour regardless of consultation order or
+    /// worker count. Callers must derive `key` from stable operation
+    /// identity (chunk address, attempt number), never from wall-clock
+    /// or thread ids.
+    ///
+    /// `Death` windows are honoured from their start onward (the end is
+    /// ignored, matching [`decide`](FaultSchedule::decide)) but do not
+    /// latch [`is_dead`](FaultSchedule::is_dead): keyed consultation is
+    /// read-only.
+    pub fn decide_keyed(&self, now: SimTime, key: u64) -> FaultDecision {
+        if self.dead {
+            return FaultDecision::Error;
+        }
+        if self
+            .windows
+            .iter()
+            .any(|w| matches!(w.kind, FaultKind::Death) && now >= w.from)
+        {
+            return FaultDecision::Error;
+        }
+        let Some(window) = self.windows.iter().find(|w| w.contains(now)) else {
+            return FaultDecision::Ok;
+        };
+        let chance = |rate: f64| keyed_unit(self.seed, key) < rate;
+        match window.kind {
+            FaultKind::TransientErrors { rate } => {
+                if chance(rate) {
+                    FaultDecision::Error
+                } else {
+                    FaultDecision::Ok
+                }
+            }
+            FaultKind::LatencySpike { extra } => FaultDecision::Slow(extra),
+            FaultKind::Brownout { rate, extra } => {
+                if chance(rate) {
+                    FaultDecision::Error
+                } else {
+                    FaultDecision::Slow(extra)
+                }
+            }
+            FaultKind::Partition => FaultDecision::Error,
+            FaultKind::RemoteBrownout { rate, stall } => {
+                if chance(rate) {
+                    FaultDecision::Stall(stall)
+                } else {
+                    FaultDecision::Slow(stall)
+                }
+            }
+            FaultKind::EdgeCacheFlap { rate } => {
+                if chance(rate) {
+                    FaultDecision::EdgeMiss
+                } else {
+                    FaultDecision::Ok
                 }
             }
             FaultKind::Death => unreachable!("death windows handled above"),
@@ -277,6 +422,87 @@ mod tests {
         assert!(decisions
             .iter()
             .any(|d| matches!(d, FaultDecision::Slow(_))));
+    }
+
+    #[test]
+    fn partition_recovers_at_window_end() {
+        let mut f =
+            FaultSchedule::new(5).with_window(secs(10), Some(secs(20)), FaultKind::Partition);
+        assert_eq!(f.decide(secs(9)), FaultDecision::Ok);
+        assert_eq!(f.decide(secs(10)), FaultDecision::Error);
+        assert_eq!(f.decide(secs(19)), FaultDecision::Error);
+        // Unlike Death, the component heals the instant the window closes.
+        assert_eq!(f.decide(secs(20)), FaultDecision::Ok);
+        assert!(!f.is_dead());
+    }
+
+    #[test]
+    fn remote_brownout_always_charges_the_stall() {
+        let stall = SimDuration::from_millis(50);
+        let mut f = FaultSchedule::new(6).with_window(
+            secs(0),
+            None,
+            FaultKind::RemoteBrownout { rate: 0.5, stall },
+        );
+        let decisions: Vec<FaultDecision> = (0..100).map(|s| f.decide(secs(s))).collect();
+        assert!(decisions
+            .iter()
+            .all(|d| *d == FaultDecision::Stall(stall) || *d == FaultDecision::Slow(stall)));
+        assert!(decisions.contains(&FaultDecision::Stall(stall)));
+        assert!(decisions.contains(&FaultDecision::Slow(stall)));
+    }
+
+    #[test]
+    fn edge_cache_flap_mixes_ok_and_edge_miss() {
+        let mut f = FaultSchedule::new(8).with_window(
+            secs(0),
+            None,
+            FaultKind::EdgeCacheFlap { rate: 0.5 },
+        );
+        let decisions: Vec<FaultDecision> = (0..100).map(|s| f.decide(secs(s))).collect();
+        assert!(decisions.contains(&FaultDecision::Ok));
+        assert!(decisions.contains(&FaultDecision::EdgeMiss));
+    }
+
+    #[test]
+    fn keyed_decisions_are_order_independent() {
+        let make = || {
+            FaultSchedule::new(0xBEEF).with_window(
+                secs(0),
+                None,
+                FaultKind::TransientErrors { rate: 0.5 },
+            )
+        };
+        let a = make();
+        let b = make();
+        // Consulting the same keys in opposite orders yields the same
+        // per-key fates (a sequential `decide` stream would not).
+        let forward: Vec<FaultDecision> = (0..64).map(|k| a.decide_keyed(secs(1), k)).collect();
+        let backward: Vec<FaultDecision> =
+            (0..64).rev().map(|k| b.decide_keyed(secs(1), k)).collect();
+        let mut backward = backward;
+        backward.reverse();
+        assert_eq!(forward, backward);
+        assert!(forward.contains(&FaultDecision::Ok));
+        assert!(forward.contains(&FaultDecision::Error));
+    }
+
+    #[test]
+    fn keyed_death_is_error_but_does_not_latch() {
+        let f = FaultSchedule::new(1).with_window(secs(10), Some(secs(20)), FaultKind::Death);
+        assert_eq!(f.decide_keyed(secs(15), 7), FaultDecision::Error);
+        assert_eq!(f.decide_keyed(secs(30), 7), FaultDecision::Error);
+        assert!(!f.is_dead());
+        assert_eq!(f.decide_keyed(secs(5), 7), FaultDecision::Ok);
+    }
+
+    #[test]
+    fn keyed_unit_is_stable_and_uniform_ish() {
+        let a = keyed_unit(1, 42);
+        assert_eq!(a, keyed_unit(1, 42));
+        assert_ne!(a, keyed_unit(2, 42));
+        let mean: f64 = (0..10_000).map(|k| keyed_unit(9, k)).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
     }
 
     #[test]

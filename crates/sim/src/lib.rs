@@ -13,8 +13,11 @@
 //! * [`TimeSeries`] / [`Sampler`] — occupancy-over-time probes used to
 //!   regenerate the paper's figures,
 //! * [`FaultSchedule`] — seeded, schedulable fault windows (transient
-//!   errors, latency spikes, brownouts, permanent death) consulted by
-//!   fallible components for reproducible failure experiments,
+//!   errors, latency spikes, brownouts, partitions, permanent death)
+//!   consulted by fallible components for reproducible failure
+//!   experiments,
+//! * [`CircuitBreaker`] — the shared trip/probe/backoff state machine
+//!   behind the put breaker, the SSD quarantine and the remote client,
 //! * [`FxHashMap`] / [`FxHasher`] — a fast, deterministic (seed-free)
 //!   hasher for hot-path maps keyed by internal ids.
 //!
@@ -35,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod breaker;
 mod event;
 mod faults;
 pub mod hash;
@@ -43,8 +47,9 @@ mod rng;
 mod series;
 mod time;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use event::EventQueue;
-pub use faults::{FaultDecision, FaultKind, FaultSchedule, FaultWindow};
+pub use faults::{keyed_unit, FaultDecision, FaultKind, FaultSchedule, FaultWindow};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use resource::{Grant, MultiQueuedResource, QueuedResource};
 pub use rng::SimRng;

@@ -194,12 +194,16 @@ impl Device {
         let decision = self.fault_decision(now);
         let sequential = self.note_access(addr);
         let cost = match decision {
-            FaultDecision::Slow(extra) => self.model.read(sequential) + extra,
+            // A stalled device hangs for the stall and then errors; with
+            // no deadline concept here the caller just eats the hang.
+            FaultDecision::Slow(extra) | FaultDecision::Stall(extra) => {
+                self.model.read(sequential) + extra
+            }
             _ => self.model.read(sequential),
         };
         let grant = self.queue.access(now, cost);
         self.reads += 1;
-        if decision == FaultDecision::Error {
+        if matches!(decision, FaultDecision::Error | FaultDecision::Stall(_)) {
             self.io_errors += 1;
             return Err(IoError {
                 finish: grant.finish,
@@ -218,12 +222,14 @@ impl Device {
         let decision = self.fault_decision(now);
         let sequential = self.note_access(addr);
         let cost = match decision {
-            FaultDecision::Slow(extra) => self.model.write(sequential) + extra,
+            FaultDecision::Slow(extra) | FaultDecision::Stall(extra) => {
+                self.model.write(sequential) + extra
+            }
             _ => self.model.write(sequential),
         };
         let grant = self.queue.access(now, cost);
         self.writes += 1;
-        if decision == FaultDecision::Error {
+        if matches!(decision, FaultDecision::Error | FaultDecision::Stall(_)) {
             self.io_errors += 1;
             return Err(IoError {
                 finish: grant.finish,

@@ -16,7 +16,12 @@
 //!   tracking,
 //! * presets: [`Device::hdd`], [`Device::ssd_sata`], [`Device::ram`],
 //! * [`Journal`] — a checksummed write-ahead journal for warm-restarting
-//!   the SSD-backed hypervisor cache after a crash.
+//!   the SSD-backed hypervisor cache after a crash,
+//! * [`ChunkStore`] / [`RemoteBinding`] — a simulated remote chunk store
+//!   (object store behind a CDN edge) plus the fault-tolerance stack
+//!   (deadlines, seeded retries, hedged reads, circuit breaking, bounded
+//!   in-flight with shed-to-miss) the cache engines mount on their miss
+//!   path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,8 +30,13 @@ mod addr;
 mod device;
 mod journal;
 mod latency;
+mod remote;
 
 pub use addr::{pages_for_bytes, BlockAddr, FileId, PAGE_SIZE};
 pub use device::{Device, DeviceKind, IoCompletion, IoError};
 pub use journal::{Journal, JournalRecord, ReplayStats};
 pub use latency::LatencyModel;
+pub use remote::{
+    AttemptOutcome, ChunkKey, ChunkStore, RemoteBinding, RemoteConfig, RemoteCounters, RemoteError,
+    RemoteFetchConfig, RemoteId, RemoteLookup, RemoteRegistry, RemoteTraceEvent,
+};
