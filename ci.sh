@@ -41,6 +41,17 @@ echo "==> stress smoke, 95/5 read-heavy mix through the lock-free read plane"
 DDC_THREADS=8 cargo run --release -q -p ddc-bench --bin repro -- stress --smoke --read-heavy
 cargo test -q -p ddc-core --test prop_concurrent_equivalence
 
+echo "==> wear smoke (ghost admission + TTL demotion; write-amp gate against BENCH_wear.json)"
+if [ -f BENCH_wear.json ]; then
+    cargo run --release -q -p ddc-bench --bin repro -- wear --smoke --check BENCH_wear.json
+else
+    echo "no wear baseline found; recording one (commit BENCH_wear.json)"
+    cargo run --release -q -p ddc-bench --bin repro -- wear --smoke --out BENCH_wear.json
+fi
+echo "==> wear smoke again with 8 experiment workers"
+DDC_THREADS=8 cargo run --release -q -p ddc-bench --bin repro -- wear --smoke --check BENCH_wear.json
+cargo test -q -p ddc-core --test prop_wear_admission
+
 # Optional race-detector smoke: opt in with DDC_TSAN=1. Needs a nightly
 # toolchain (-Zsanitizer); tier-1 above never depends on it, so CI stays
 # green on stable-only machines. Runs the seqlock/replica/tournament race

@@ -15,7 +15,7 @@ use std::path::PathBuf;
 use ddc_bench::scenarios::common::{print_series, to_mb, FourKind};
 use ddc_bench::scenarios::{
     ablations, chaos, cooperative, dynamic, faults, modes, motivation, perf, policies, remote,
-    splits, stress,
+    splits, stress, wear,
 };
 use ddc_core::prelude::*;
 
@@ -102,6 +102,11 @@ fn print_help() {
                    8-thread degradation ladder (baseline/brownout/healed) and\n\
                    the cold-boot storm [--smoke] [--out FILE]; exits non-zero\n\
                    on any divergence, stale read or missed robustness gate\n\
+           wear    SSD endurance plane: ghost admission + TTL demotion over\n\
+                   write-heavy / scan-polluted / phase-change tenant mixes\n\
+                   [--smoke] [--out FILE] [--check BASELINE]; exits non-zero\n\
+                   on a divergence, a missed reduction/hit gate or a wear\n\
+                   regression against the committed BENCH_wear.json\n\
            perf    cache-ops perf matrix [--smoke] [--out FILE] [--check BASELINE]\n\
            all     everything above except perf (default)\n\n\
          parallelism: independent experiment cells fan out across cores\n\
@@ -916,6 +921,97 @@ fn remote_tier(args: &Args) -> bool {
     report.passed()
 }
 
+fn wear_plane(args: &Args) -> bool {
+    banner(&format!(
+        "Wear plane: SSD endurance under selective admission{}",
+        if args.smoke { " (smoke budget)" } else { "" }
+    ));
+    let results = wear::run_matrix(args.smoke, wear::DEFAULT_SEED);
+
+    let mut table = TextTable::new(vec![
+        "mix",
+        "ssd writes (admit-all)",
+        "ssd writes (filtered)",
+        "reduction",
+        "hits admit-all",
+        "hits filtered",
+        "write amp",
+        "ttl demotions",
+        "identical",
+        "ok",
+    ]);
+    for r in &results {
+        table.row(vec![
+            r.spec.name.to_owned(),
+            r.admit_all.wear.ssd_pages_written.to_string(),
+            r.filtered.wear.ssd_pages_written.to_string(),
+            format!("{:.1}%", r.reduction_pct),
+            r.admit_all.hits.to_string(),
+            r.filtered.hits.to_string(),
+            format!("{:.3}", r.filtered.wear.write_amplification()),
+            r.filtered.wear.ttl_demotions.to_string(),
+            if r.admit_all.identical && r.filtered.identical {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_owned(),
+            if r.ok() { "yes" } else { "NO" }.to_owned(),
+        ]);
+    }
+    println!("{}", table.render());
+    for r in &results {
+        for f in &r.failures {
+            eprintln!("wear gate [{}]: {f}", r.spec.name);
+        }
+    }
+
+    if let Some(out) = &args.out {
+        fs::write(out, wear::baseline_json(&results, args.smoke)).expect("write wear baseline");
+        println!("[wear baseline written to {}]", out.display());
+    }
+    if let Some(dir) = &args.json_dir {
+        fs::create_dir_all(dir).expect("create json dir");
+        let path = dir.join("wear.json");
+        fs::write(&path, wear::to_json(&results, args.smoke)).expect("write json");
+        println!("[json written to {}]", path.display());
+    }
+    let mut passed = results.iter().all(wear::MixResult::ok);
+    if let Some(baseline_path) = &args.check {
+        let text = fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+            std::process::exit(1);
+        });
+        match wear::check_against(&results, args.smoke, &text) {
+            Err(e) => {
+                eprintln!("bad wear baseline {}: {e}", baseline_path.display());
+                passed = false;
+            }
+            Ok(violations) if violations.is_empty() => {
+                println!(
+                    "wear check PASSED against {} ({}x write-amplification tolerance)",
+                    baseline_path.display(),
+                    wear::WEAR_TOLERANCE
+                );
+            }
+            Ok(violations) => {
+                for v in &violations {
+                    eprintln!("wear regression: {v}");
+                }
+                passed = false;
+            }
+        }
+    }
+    println!(
+        "shape check: the ghost filter cuts SSD writes >= {:.0}% on the\n\
+         write-heavy and scan-polluted mixes at an equal-or-better hit count,\n\
+         the TTL sweep demotes the abandoned phase, and every variant stays\n\
+         byte-identical serial vs sharded and across same-seed reruns.",
+        wear::MIN_REDUCTION_PCT
+    );
+    passed
+}
+
 fn perf_matrix(args: &Args) {
     banner(if args.smoke {
         "Perf matrix: cache-ops throughput (smoke budget)"
@@ -1009,6 +1105,12 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        "wear" => {
+            if !wear_plane(&args) {
+                eprintln!("wear plane FAILED (divergence, missed gate or wear regression)");
+                std::process::exit(1);
+            }
+        }
         "perf" => perf_matrix(&args),
         "all" => {
             fig3(&args);
@@ -1040,6 +1142,10 @@ fn main() {
             }
             if !remote_tier(&args) {
                 eprintln!("remote tier FAILED (divergence, stale reads or a missed gate)");
+                std::process::exit(1);
+            }
+            if !wear_plane(&args) {
+                eprintln!("wear plane FAILED (divergence, missed gate or wear regression)");
                 std::process::exit(1);
             }
         }

@@ -13,3 +13,4 @@ pub mod policies;
 pub mod remote;
 pub mod splits;
 pub mod stress;
+pub mod wear;

@@ -77,6 +77,7 @@ pub fn run_mode(mode: CachingMode, duration: SimTime) -> ModeRun {
             mem_capacity_pages: 0,
             ssd_capacity_pages: mb(SSD_CACHE_MB),
             mode: PartitionMode::DoubleDecker,
+            admission: AdmissionConfig::off(),
         },
     };
     let mut host = Host::new(HostConfig::new(cache_config));

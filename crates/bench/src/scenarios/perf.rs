@@ -12,8 +12,8 @@
 //! Cell workloads target the paths the hypercache overhaul touched:
 //! weighted eviction + entitlement lookups, Global-FIFO tombstone
 //! compaction, Strict-mode per-put entitlement prechecks, hybrid
-//! spill/trickle, the GET_STATS scan, and control-plane invalidation
-//! churn.
+//! spill/trickle (with and without the ghost admission filter), the
+//! GET_STATS scan, and control-plane invalidation churn.
 
 use std::time::Instant;
 
@@ -119,6 +119,7 @@ fn cache(mode: PartitionMode, mem: u64, ssd: u64) -> DoubleDeckerCache {
         mem_capacity_pages: mem,
         ssd_capacity_pages: ssd,
         mode,
+        admission: AdmissionConfig::off(),
     })
 }
 
@@ -221,6 +222,46 @@ fn strict_partition_churn(ops: u64) -> u64 {
 /// trickle-down on memory eviction.
 fn hybrid_spill_trickle(ops: u64) -> u64 {
     let mut c = cache(PartitionMode::DoubleDecker, 1024, 4096);
+    c.add_vm(VmId(1), 100);
+    let p1 = c.create_pool(VmId(1), CachePolicy::hybrid(100));
+    let p2 = c.create_pool(VmId(1), CachePolicy::hybrid(100));
+    let mut done = 0;
+    let mut i = 0u64;
+    while done < ops {
+        let pool = if i.is_multiple_of(2) { p1 } else { p2 };
+        c.put(
+            SimTime::from_secs(1),
+            VmId(1),
+            pool,
+            addr(i % 8, i % 4000),
+            PageVersion(1),
+        );
+        done += 1;
+        if i.is_multiple_of(5) && done < ops {
+            let back = i.saturating_sub(700);
+            let gpool = if back.is_multiple_of(2) { p1 } else { p2 };
+            c.get(
+                SimTime::from_secs(1),
+                VmId(1),
+                gpool,
+                addr(back % 8, back % 4000),
+            );
+            done += 1;
+        }
+        i += 1;
+    }
+    done
+}
+
+/// The hybrid spill path with the ghost admission filter engaged: every
+/// mem→SSD spill pays the filter's table probe plus sliding-window
+/// prune, and get hits on SSD-resident blocks pay the re-arm note.
+/// Compare against `hybrid_spill_trickle` (same traffic, filter off)
+/// to price the endurance plane.
+fn ssd_admission_filter(ops: u64) -> u64 {
+    let mut c = DoubleDeckerCache::new(
+        CacheConfig::mem_and_ssd(1024, 4096).with_admission(AdmissionConfig::ghost(2048)),
+    );
     c.add_vm(VmId(1), 100);
     let p1 = c.create_pool(VmId(1), CachePolicy::hybrid(100));
     let p2 = c.create_pool(VmId(1), CachePolicy::hybrid(100));
@@ -578,6 +619,10 @@ pub fn run_matrix(smoke: bool) -> Vec<PerfCell> {
             Box::new(move || hybrid_spill_trickle(200_000 / scale)),
         ),
         (
+            "ssd_admission_filter",
+            Box::new(move || ssd_admission_filter(200_000 / scale)),
+        ),
+        (
             "stats_entitlement_scan",
             Box::new(move || stats_entitlement_scan(400_000 / scale)),
         ),
@@ -863,6 +908,7 @@ mod tests {
             global_fifo_churn(2_000),
             strict_partition_churn(2_000),
             hybrid_spill_trickle(2_000),
+            ssd_admission_filter(2_000),
             stats_entitlement_scan(2_000),
             reconfig_invalidation(2_000),
             arena_slot_churn(2_000),

@@ -103,6 +103,7 @@ pub fn run_policy(setting: PolicySetting, duration: SimTime) -> PolicyRun {
         mem_capacity_pages: mb(MEM_CACHE_MB),
         ssd_capacity_pages: mb(SSD_CACHE_MB),
         mode,
+        admission: AdmissionConfig::off(),
     };
     let mut host = Host::new(HostConfig::new(cache));
     let vm = host.boot_vm(VM_MB, 100);

@@ -38,6 +38,7 @@
 
 use ddc_core::cleancache::SecondChanceCache;
 use ddc_core::concurrent::{run_equivalence, run_stress, EngineKind, RemoteSetup, StressConfig};
+use ddc_core::metrics::CounterSnapshot;
 use ddc_core::prelude::*;
 use ddc_core::storage::{ChunkStore, RemoteConfig, RemoteCounters, RemoteFetchConfig, RemoteId};
 use ddc_json::Json;

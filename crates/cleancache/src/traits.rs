@@ -98,6 +98,9 @@ pub struct PoolStats {
     pub failed_gets: u64,
     /// Stores into this pool that failed on a store fault.
     pub failed_puts: u64,
+    /// Cumulative physical SSD-tier writes charged to this pool (wear
+    /// accounting; never decreases while the pool lives).
+    pub ssd_writes: u64,
 }
 
 impl PoolStats {
@@ -261,6 +264,7 @@ mod tests {
             evictions: 3,
             failed_gets: 0,
             failed_puts: 0,
+            ssd_writes: 7,
         };
         assert_eq!(s.total_pages(), 15);
         assert!((s.lookup_to_store_ratio() - 50.0).abs() < 1e-9);

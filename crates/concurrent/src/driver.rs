@@ -41,6 +41,7 @@ use ddc_json::Json;
 use ddc_sim::{BreakerConfig, FaultSchedule, FxHashMap, SimDuration, SimRng, SimTime};
 use ddc_storage::{
     BlockAddr, ChunkStore, FileId, RemoteConfig, RemoteCounters, RemoteFetchConfig, RemoteId,
+    WearCounters,
 };
 
 use crate::audit;
@@ -499,6 +500,23 @@ impl Engine {
             Engine::Sharded(c) => c.remote_totals(),
         }
     }
+
+    fn wear_totals(&self) -> WearCounters {
+        match self {
+            Engine::Serial(c) => c.wear_totals(),
+            Engine::Sharded(c) => c.wear_totals(),
+        }
+    }
+
+    /// Demotes TTL-stale SSD entries on both engines at the same
+    /// deterministic point (tick boundaries). A no-op unless the config
+    /// set an `ssd_ttl`.
+    fn ttl_sweep(&mut self) -> u64 {
+        match self {
+            Engine::Serial(c) => c.ttl_sweep(),
+            Engine::Sharded(c) => c.ttl_sweep(),
+        }
+    }
 }
 
 /// Builds the VM workers and registers VMs + pools on `engine`. Pool
@@ -620,6 +638,13 @@ fn render_report(cfg: &StressConfig, engine: &Engine, workers: &[VmWorker]) -> E
         format!("{:016x}", entries_digest(&engine.entries())),
     );
     root.set("remote_report", remote_totals_json(&engine.remote_totals()));
+    // Endurance plane: device-level wear and admission decisions are
+    // part of the byte-identical contract — the engines must charge the
+    // same writes and reject the same spills.
+    root.set(
+        "wear_report",
+        ddc_metrics::snapshot_json(&engine.wear_totals()),
+    );
     EquivalenceReport {
         json: root.to_string_pretty(),
         stale_reads: stale_total,
@@ -632,22 +657,7 @@ fn render_report(cfg: &StressConfig, engine: &Engine, workers: &[VmWorker]) -> E
 /// counts, hedge decisions, breaker transitions, shed fetches) must
 /// agree between the serial and sharded engines.
 fn remote_totals_json(t: &RemoteCounters) -> Json {
-    let mut row = Json::object();
-    row.set("fetches", t.fetches);
-    row.set("served", t.served);
-    row.set("failed", t.failed);
-    row.set("shed", t.shed);
-    row.set("breaker_skipped", t.breaker_skipped);
-    row.set("breaker_trips", t.breaker_trips);
-    row.set("breaker_recoveries", t.breaker_recoveries);
-    row.set("retries", t.retries);
-    row.set("timeouts", t.timeouts);
-    row.set("hedges", t.hedges);
-    row.set("hedge_wins", t.hedge_wins);
-    row.set("edge_hits", t.edge_hits);
-    row.set("origin_fetches", t.origin_fetches);
-    row.set("readahead_hits", t.readahead_hits);
-    row
+    ddc_metrics::snapshot_json(t)
 }
 
 /// Appends the per-pool stats rows to a rendered report. Separate from
@@ -668,6 +678,7 @@ fn pool_stats_json(engine: &mut Engine, workers: &[VmWorker]) -> Json {
                 row.set("hits", s.hits);
                 row.set("puts", s.puts);
                 row.set("evictions", s.evictions);
+                row.set("ssd_writes", s.ssd_writes);
                 rows.push(row);
             }
         }
@@ -687,6 +698,11 @@ pub fn run_equivalence(cfg: &StressConfig, kind: EngineKind) -> EquivalenceRepor
     for tick in 0..cfg.ticks {
         for w in &mut workers {
             w.tick(engine.backend(), tick);
+        }
+        // TTL demotion runs at the tick boundary on both engines — a
+        // deterministic point outside any threaded fast path.
+        if cfg.cache.admission.ssd_ttl > 0 {
+            engine.ttl_sweep();
         }
         engine.commit_tick();
     }

@@ -92,11 +92,14 @@ use ddc_cleancache::{
 use ddc_hypercache::index::{Placement, Pool, SlotId, UsageMirror};
 use ddc_hypercache::policy::{entitlements, select_victim, select_victim_strict};
 use ddc_hypercache::readplane::{ReadPlane, ReadProbe};
-use ddc_hypercache::{CacheConfig, EntityUsage, PartitionMode, EVICTION_BATCH_PAGES};
+use ddc_hypercache::{
+    AdmissionConfig, CacheConfig, EntityUsage, PartitionMode, EVICTION_BATCH_PAGES,
+};
+use ddc_metrics::CounterSnapshot;
 use ddc_sim::{FxHashMap, SimTime};
 use ddc_storage::{
     BlockAddr, ChunkStore, FileId, Journal, JournalRecord, RemoteBinding, RemoteCounters,
-    RemoteError, RemoteFetchConfig, RemoteId, RemoteLookup, RemoteRegistry,
+    RemoteError, RemoteFetchConfig, RemoteId, RemoteLookup, RemoteRegistry, WearCounters,
 };
 
 use crate::fronts::{FrontTree, EMPTY_FRONT};
@@ -193,6 +196,11 @@ pub(crate) struct Shard {
     /// consumed by [`ShardedCache::bind_remote`] (recovery replay and
     /// pre-binding runtime flushes land here).
     remote_stash: FxHashMap<(VmId, PoolId), (Vec<BlockAddr>, Vec<FileId>)>,
+    /// Wear carried by pools that were destroyed on this shard (plus
+    /// checkpoint carry-over corrections). Mutated only under this
+    /// shard's lock; device totals sum it across shards, so no
+    /// cross-shard lock is ever taken for wear accounting.
+    pub(crate) retired_wear: BTreeMap<VmId, WearCounters>,
 }
 
 impl Shard {
@@ -298,6 +306,10 @@ impl VmMeta {
 
 struct Inner {
     mode: PartitionMode,
+    /// SSD admission plane (ghost filter window + TTL), from the
+    /// config. Immutable after construction, so hot paths read it
+    /// without synchronization.
+    admission: AdmissionConfig,
     shards: Vec<Mutex<Shard>>,
     registry: RwLock<Registry>,
     mem: Ledger,
@@ -550,6 +562,7 @@ impl ShardedCache {
             local: LocalReplica::new(),
             inner: Arc::new(Inner {
                 mode: config.mode,
+                admission: config.admission,
                 shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
                 registry: RwLock::new(Registry::default()),
                 mem: Ledger::new(config.mem_capacity_pages),
@@ -1252,6 +1265,21 @@ impl ShardedCache {
                 },
             );
         }
+        // Wear carry-over, AFTER the puts (serial checkpoint order):
+        // replay re-accrues the live entries' wear through the puts,
+        // then each VM's record tops the totals up to the cumulative
+        // value (see the `WearTotals` arm of `apply_record`).
+        for vm in Self::wear_vm_ids_in(reg, shards) {
+            let wear = self.vm_wear_in(reg, shards, vm);
+            w.emit(
+                0,
+                &JournalRecord::WearTotals {
+                    vm: vm.0,
+                    ssd_pages_written: wear.ssd_pages_written,
+                    pages_admitted: wear.pages_admitted,
+                },
+            );
+        }
         let CkptWriter {
             mut segs,
             gen,
@@ -1472,6 +1500,8 @@ impl ShardedCache {
                     let mut shard = self.lock_shard(si);
                     if let Some(mut p) = shard.pools.remove(&(vm, pid)) {
                         let (mem, ssd) = p.drain();
+                        let worn = p.wear.retire();
+                        shard.retired_wear.entry(vm).or_default().absorb(&worn);
                         self.inner.mem.free(mem);
                         self.inner.ssd.free(ssd);
                         shard.stale_mem += mem;
@@ -1519,6 +1549,8 @@ impl ShardedCache {
                 let mut shard = self.lock_shard(si);
                 if let Some(mut p) = shard.pools.remove(&(vm, pid)) {
                     let (mem, ssd) = p.drain();
+                    let worn = p.wear.retire();
+                    shard.retired_wear.entry(vm).or_default().absorb(&worn);
                     self.inner.mem.free(mem);
                     self.inner.ssd.free(ssd);
                     shard.stale_mem += mem;
@@ -1569,13 +1601,27 @@ impl ShardedCache {
                 let si = self.shard_of(vm, pid);
                 let mut shard = self.lock_shard(si);
                 // Pool checked before the ledger so a put into a missing
-                // pool never leaks an allocation (serial order).
+                // pool never leaks an allocation (serial order). A dropped
+                // replay Put still accrues its wear into the retired
+                // ledger: the flash write physically happened before the
+                // crash, so losing the *entry* must not lose the *wear* —
+                // replayed totals stay exact even when recovery forgets.
                 if !shard.pools.contains_key(&(vm, pid)) {
                     report.dropped_no_room += 1;
+                    let worn = shard.retired_wear.entry(vm).or_default();
+                    worn.pages_admitted += 1;
+                    if placement == Placement::Ssd {
+                        worn.ssd_pages_written += 1;
+                    }
                     return;
                 }
                 if !self.ledger(placement).try_alloc() {
                     report.dropped_no_room += 1;
+                    let worn = shard.retired_wear.entry(vm).or_default();
+                    worn.pages_admitted += 1;
+                    if placement == Placement::Ssd {
+                        worn.ssd_pages_written += 1;
+                    }
                     return;
                 }
                 let p = shard.pools.get_mut(&(vm, pid)).expect("checked above");
@@ -1652,6 +1698,30 @@ impl ShardedCache {
                     self.sync_front(si, &shard, Placement::Ssd);
                 }
             }
+            JournalRecord::WearTotals {
+                vm,
+                ssd_pages_written,
+                pages_admitted,
+            } => {
+                // Checkpoint wear carry-over (serial semantics): the
+                // checkpoint's Put records re-accrue only the *live*
+                // entries' wear; this record holds the VM's true
+                // cumulative totals at checkpoint time. Apply as a
+                // max-correction — monotone and idempotent — into shard
+                // 0's retired accumulator (the record lives on segment 0
+                // with the other control records; device totals sum
+                // retirements across shards, so the home is arbitrary).
+                let vm = VmId(vm);
+                let current = self.vm_wear(vm);
+                let mut shard = self.lock_shard(0);
+                let r = shard.retired_wear.entry(vm).or_default();
+                if ssd_pages_written > current.ssd_pages_written {
+                    r.ssd_pages_written += ssd_pages_written - current.ssd_pages_written;
+                }
+                if pages_admitted > current.pages_admitted {
+                    r.pages_admitted += pages_admitted - current.pages_admitted;
+                }
+            }
         }
     }
 
@@ -1693,6 +1763,139 @@ impl ShardedCache {
             &self.inner.ssd,
             self.inner.next_seq.load(Ordering::Relaxed),
         )
+    }
+
+    // ------------------------------------------------------------------
+    // Endurance plane: wear accounting and TTL demotion.
+    // ------------------------------------------------------------------
+
+    /// Every VM with wear on the books (live VMs plus retired wear),
+    /// sorted — computed from already-held locks.
+    fn wear_vm_ids_in(reg: &Registry, shards: &[MutexGuard<'_, Shard>]) -> Vec<VmId> {
+        let mut ids: Vec<VmId> = reg.vms.keys().copied().collect();
+        for shard in shards.iter() {
+            for &vm in shard.retired_wear.keys() {
+                if let Err(i) = ids.binary_search(&vm) {
+                    ids.insert(i, vm);
+                }
+            }
+        }
+        ids
+    }
+
+    /// One VM's cumulative wear from already-held locks: retirements
+    /// across every shard plus its live pools.
+    fn vm_wear_in(
+        &self,
+        reg: &Registry,
+        shards: &[MutexGuard<'_, Shard>],
+        vm: VmId,
+    ) -> WearCounters {
+        let mut t = WearCounters::default();
+        for shard in shards.iter() {
+            if let Some(w) = shard.retired_wear.get(&vm) {
+                t.absorb(w);
+            }
+        }
+        if let Some(meta) = reg.vms.get(&vm) {
+            for &(pid, _, _) in &meta.pools {
+                if let Some(p) = shards[self.shard_of(vm, pid)].pools.get(&(vm, pid)) {
+                    t.absorb(&p.wear.totals());
+                }
+            }
+        }
+        t
+    }
+
+    /// Every VM with wear on the books: live VMs plus VMs whose pools
+    /// were all destroyed but whose retired wear persists. Sorted.
+    pub fn wear_vm_ids(&self) -> Vec<VmId> {
+        let reg = self.inner.registry.read().expect("registry poisoned");
+        let shards = self.lock_all_shards();
+        Self::wear_vm_ids_in(&reg, &shards)
+    }
+
+    /// Cumulative wear charged to one VM: its live pools plus everything
+    /// retired when pools were destroyed. Never decreases.
+    pub fn vm_wear(&self, vm: VmId) -> WearCounters {
+        let reg = self.inner.registry.read().expect("registry poisoned");
+        let shards = self.lock_all_shards();
+        self.vm_wear_in(&reg, &shards, vm)
+    }
+
+    /// Device-level wear totals across every VM ever seen.
+    pub fn wear_totals(&self) -> WearCounters {
+        let reg = self.inner.registry.read().expect("registry poisoned");
+        let shards = self.lock_all_shards();
+        let mut t = WearCounters::default();
+        for vm in Self::wear_vm_ids_in(&reg, &shards) {
+            t.absorb(&self.vm_wear_in(&reg, &shards, vm));
+        }
+        t
+    }
+
+    /// The admission plane this cache runs under.
+    pub fn admission_config(&self) -> AdmissionConfig {
+        self.inner.admission
+    }
+
+    /// TTL staleness sweep: demotes (drops) SSD-resident entries older
+    /// than the configured `ssd_ttl`, measured in per-pool insert
+    /// distance — the same engine-independent clock the serial sweep
+    /// uses, so the engines demote the same entries in the same order.
+    /// Demotions are journaled as evictions. Returns pages demoted; a
+    /// no-op when `ssd_ttl` is 0.
+    ///
+    /// Driver-invoked at deterministic points (tick boundaries) only —
+    /// never from the threaded fast path.
+    pub fn ttl_sweep(&mut self) -> u64 {
+        let ttl = self.inner.admission.ssd_ttl;
+        if ttl == 0 {
+            return 0;
+        }
+        let mut demoted = 0;
+        let targets: Vec<(VmId, Vec<PoolId>)> = {
+            let reg = self.inner.registry.read().expect("registry poisoned");
+            reg.vms
+                .iter()
+                .map(|(&vm, m)| (vm, m.pools.iter().map(|r| r.0).collect()))
+                .collect()
+        };
+        for (vm, pids) in targets {
+            for pid in pids {
+                let si = self.shard_of(vm, pid);
+                let mut shard = self.lock_shard(si);
+                let stale = shard
+                    .pools
+                    .get(&(vm, pid))
+                    .map(|p| p.stale_ssd_entries(ttl))
+                    .unwrap_or_default();
+                for addr in stale {
+                    let Some(p) = shard.pools.get_mut(&(vm, pid)) else {
+                        break;
+                    };
+                    if p.remove(addr).is_none() {
+                        continue;
+                    }
+                    p.counters.evictions += 1;
+                    p.wear.ttl_demotions += 1;
+                    self.inner.ssd.free(1);
+                    self.inner.evictions.fetch_add(1, Ordering::Relaxed);
+                    demoted += 1;
+                    shard.note_stale(Placement::Ssd, 1);
+                    self.log_in(
+                        &mut shard,
+                        JournalRecord::Evict {
+                            vm: vm.0,
+                            pool: pid.0,
+                            addr,
+                        },
+                    );
+                }
+                self.sync_front(si, &shard, Placement::Ssd);
+            }
+        }
+        demoted
     }
 
     // ------------------------------------------------------------------
@@ -1755,6 +1958,7 @@ impl ShardedCache {
                 journal: _,
                 remote_bindings: _,
                 remote_stash: _,
+                retired_wear: _,
             } = shard;
             let (queue, stale) = match placement {
                 Placement::Mem => (fifo_mem, stale_mem),
@@ -2354,6 +2558,21 @@ impl ShardedCache {
         // objects get no FIFO entry (they are policy-managed, not
         // global-FIFO-managed).
         for (addr, version) in trickle {
+            // Ghost admission on the trickle path, mirroring the serial
+            // engine: a rejected object is simply dropped (its Evict is
+            // already journaled).
+            if self.inner.admission.filters_spills() {
+                let window = self.inner.admission.ghost_window;
+                if let Some(pool) = shard.pools.get_mut(&(vm, pool_id)) {
+                    pool.wear.spill_attempts += 1;
+                    if pool.ghost.admit(addr, window) {
+                        pool.wear.spill_admits += 1;
+                    } else {
+                        pool.wear.spill_rejects += 1;
+                        continue;
+                    }
+                }
+            }
             if !self.inner.ssd.has_room() || !self.inner.ssd.try_alloc() {
                 break;
             }
@@ -2538,6 +2757,25 @@ impl ShardedCache {
             return PutOutcome::Rejected;
         }
 
+        // Ghost admission: a hybrid pool spilling into its SSD share
+        // must earn the flash write (serial `put` order: checked before
+        // any mutation, so the engines decide identically).
+        if self.inner.admission.filters_spills()
+            && placement == Placement::Ssd
+            && policy.store == StoreKind::Hybrid
+        {
+            let window = self.inner.admission.ghost_window;
+            if let Some(p) = shards[si].pools.get_mut(&(vm, pool)) {
+                p.wear.spill_attempts += 1;
+                if p.ghost.admit(addr, window) {
+                    p.wear.spill_admits += 1;
+                } else {
+                    p.wear.spill_rejects += 1;
+                    return PutOutcome::Rejected;
+                }
+            }
+        }
+
         // Exclusive overwrite.
         {
             let shard = &mut shards[si];
@@ -2706,6 +2944,8 @@ impl SecondChanceCache for ShardedCache {
         shard.remote_stash.remove(&(vm, pool));
         if let Some(mut p) = shard.pools.remove(&(vm, pool)) {
             let (mem, ssd) = p.drain();
+            let worn = p.wear.retire();
+            shard.retired_wear.entry(vm).or_default().absorb(&worn);
             self.inner.mem.free(mem);
             self.inner.ssd.free(ssd);
             shard.stale_mem += mem;
@@ -2904,6 +3144,7 @@ impl SecondChanceCache for ShardedCache {
             evictions: p.counters.evictions,
             failed_gets: p.counters.failed_gets,
             failed_puts: p.counters.failed_puts,
+            ssd_writes: p.wear.pages_written,
         })
     }
 
@@ -2980,6 +3221,15 @@ impl SecondChanceCache for ShardedCache {
             return Self::remote_get_in(&mut shard, now, vm, pool, addr);
         };
         p.counters.hits += 1;
+        // A hit on an SSD-resident block is proven reuse: re-arm its
+        // ghost entry so the block's next spill readmits without a
+        // second probation pass (mirrors the serial engine exactly).
+        if self.inner.admission.filters_spills()
+            && slot.placement == Placement::Ssd
+            && p.policy().store == StoreKind::Hybrid
+        {
+            p.ghost.note(addr);
+        }
         // Exclusive semantics removed the object; its FIFO entry
         // outlives it as a tombstone.
         self.ledger(slot.placement).free(1);

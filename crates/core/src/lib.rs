@@ -65,11 +65,13 @@ pub mod prelude {
         CgroupId, CgroupMemStats, GuestConfig, HitLevel, MissRatioCurve, MrcEstimator,
     };
     pub use ddc_hypercache::{
-        CacheConfig, CacheTotals, DoubleDeckerCache, FallbackMode, PartitionMode,
-        EVICTION_BATCH_PAGES,
+        AdmissionConfig, CacheConfig, CacheTotals, DoubleDeckerCache, FallbackMode, GhostFilter,
+        PartitionMode, EVICTION_BATCH_PAGES,
     };
     pub use ddc_hypervisor::{vm_file, Host, HostConfig};
-    pub use ddc_metrics::{LatencyHistogram, OpsRecorder, TextTable, ThroughputReport};
+    pub use ddc_metrics::{
+        CounterSnapshot, LatencyHistogram, OpsRecorder, TextTable, ThroughputReport,
+    };
     pub use ddc_sim::{
         FaultKind, FaultSchedule, FaultWindow, SimDuration, SimRng, SimTime, TimeSeries,
     };

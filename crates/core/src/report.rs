@@ -8,7 +8,7 @@
 //! determinism tests assert.
 
 use ddc_json::{Json, JsonError};
-use ddc_metrics::OpsRecorder;
+use ddc_metrics::{counter_snapshot, snapshot_from_json, snapshot_json, OpsRecorder};
 use ddc_sim::{SimTime, TimeSeries};
 
 /// Per-thread throughput/latency summary.
@@ -104,6 +104,19 @@ pub struct FaultTotals {
     /// Probes that closed a breaker again.
     pub breaker_recoveries: u64,
 }
+
+counter_snapshot!(FaultTotals, "faults", {
+    ssd_quarantines,
+    ssd_recoveries,
+    quarantine_invalidated_pages,
+    failed_gets,
+    failed_puts,
+    channel_fail_opens,
+    channel_dropped_calls,
+    breaker_trips,
+    breaker_skipped_puts,
+    breaker_recoveries,
+});
 
 /// The full result of one experiment run.
 #[derive(Clone, Debug, PartialEq)]
@@ -205,22 +218,7 @@ impl ExperimentReport {
         v.set("mem_cache_used_pages", self.mem_cache_used_pages);
         v.set("ssd_cache_used_pages", self.ssd_cache_used_pages);
         v.set("evictions", self.evictions);
-        let f = &self.faults;
-        let mut fv = Json::object();
-        fv.set("ssd_quarantines", f.ssd_quarantines);
-        fv.set("ssd_recoveries", f.ssd_recoveries);
-        fv.set(
-            "quarantine_invalidated_pages",
-            f.quarantine_invalidated_pages,
-        );
-        fv.set("failed_gets", f.failed_gets);
-        fv.set("failed_puts", f.failed_puts);
-        fv.set("channel_fail_opens", f.channel_fail_opens);
-        fv.set("channel_dropped_calls", f.channel_dropped_calls);
-        fv.set("breaker_trips", f.breaker_trips);
-        fv.set("breaker_skipped_puts", f.breaker_skipped_puts);
-        fv.set("breaker_recoveries", f.breaker_recoveries);
-        v.set("faults", fv);
+        v.set("faults", snapshot_json(&self.faults));
         v.to_string_pretty()
     }
 
@@ -286,18 +284,9 @@ impl ExperimentReport {
         // treat them as fault-free.
         let faults = match v.get("faults") {
             None | Some(Json::Null) => FaultTotals::default(),
-            Some(f) => FaultTotals {
-                ssd_quarantines: int(f, "ssd_quarantines")?,
-                ssd_recoveries: int(f, "ssd_recoveries")?,
-                quarantine_invalidated_pages: int(f, "quarantine_invalidated_pages")?,
-                failed_gets: int(f, "failed_gets")?,
-                failed_puts: int(f, "failed_puts")?,
-                channel_fail_opens: int(f, "channel_fail_opens")?,
-                channel_dropped_calls: int(f, "channel_dropped_calls")?,
-                breaker_trips: int(f, "breaker_trips")?,
-                breaker_skipped_puts: int(f, "breaker_skipped_puts")?,
-                breaker_recoveries: int(f, "breaker_recoveries")?,
-            },
+            Some(f) => {
+                snapshot_from_json(f).ok_or_else(|| bad("faults block missing a counter"))?
+            }
         };
         Ok(ExperimentReport {
             end: num(&v, "end")?,

@@ -22,7 +22,7 @@
 
 use ddc_cleancache::{CachePolicy, VmId};
 use ddc_guest::CgroupId;
-use ddc_hypercache::{CacheConfig, FallbackMode, PartitionMode};
+use ddc_hypercache::{AdmissionConfig, CacheConfig, FallbackMode, PartitionMode};
 use ddc_hypervisor::{Host, HostConfig};
 use ddc_json::Json;
 use ddc_sim::{FaultKind, FaultSchedule, SimDuration, SimTime};
@@ -866,6 +866,7 @@ pub fn build(spec: &ScenarioSpec) -> Result<Experiment, ScenarioError> {
         mem_capacity_pages: mb(spec.cache.mem_mb),
         ssd_capacity_pages: mb(spec.cache.ssd_mb),
         mode,
+        admission: AdmissionConfig::off(),
     };
     let mut host = Host::new(HostConfig::new(cache));
     if let Some((millipages, codec_us)) = spec.cache.compression {

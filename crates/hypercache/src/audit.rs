@@ -263,6 +263,7 @@ pub fn audit_pool_slice(pools: &[(VmId, PoolId, &Pool)], next_seq: u64) -> Vec<A
             }
         }
         arena_shape(vm, pid, pool, &mut findings);
+        wear_ledger(vm, pid, pool, &mut findings);
         for (addr, slot) in pool.iter() {
             if slot.seq >= next_seq {
                 findings.push(AuditFinding {
@@ -278,6 +279,47 @@ pub fn audit_pool_slice(pools: &[(VmId, PoolId, &Pool)], next_seq: u64) -> Vec<A
     }
     exclusive_property(pools, &mut findings);
     findings
+}
+
+/// Invariant 10 (endurance plane): the pool's scalar wear total equals
+/// the sum of its per-slot write counters, SSD writes never exceed
+/// admissions, and the ghost filter's verdict counts partition its
+/// attempts. Monotonicity (wear never decreases, survives recovery) is
+/// enforced by the wear property tests, which can observe two points in
+/// time; the auditor checks the instantaneous ledger shape.
+fn wear_ledger(vm: VmId, pid: PoolId, pool: &Pool, findings: &mut Vec<AuditFinding>) {
+    let w = &pool.wear;
+    let slot_sum: u64 = w.slot_writes.iter().map(|&c| u64::from(c)).sum();
+    if w.pages_written != slot_sum {
+        findings.push(AuditFinding {
+            invariant: "wear-ledger",
+            detail: format!(
+                "{vm} {pid}: pool wear total {} != sum of per-slot counters {slot_sum} \
+                 (some SSD write was charged to the pool but not a slot, or vice versa)",
+                w.pages_written
+            ),
+        });
+    }
+    if w.pages_written > w.pages_admitted {
+        findings.push(AuditFinding {
+            invariant: "wear-ledger",
+            detail: format!(
+                "{vm} {pid}: {} SSD writes exceed {} admitted pages (every physical \
+                 write must trace to an admission)",
+                w.pages_written, w.pages_admitted
+            ),
+        });
+    }
+    if w.spill_admits + w.spill_rejects != w.spill_attempts {
+        findings.push(AuditFinding {
+            invariant: "wear-admission",
+            detail: format!(
+                "{vm} {pid}: ghost filter verdicts {} + {} do not partition the {} \
+                 attempts",
+                w.spill_admits, w.spill_rejects, w.spill_attempts
+            ),
+        });
+    }
 }
 
 /// Invariant 9: the slab arena partitions cleanly into live and free

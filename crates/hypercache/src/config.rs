@@ -2,6 +2,8 @@
 
 use ddc_storage::PAGE_SIZE;
 
+use crate::admission::AdmissionConfig;
+
 /// Eviction batch size: the paper evicts "a small batch (2 MB)" when a
 /// store request cannot be serviced because of limit violations (§4.3).
 pub const EVICTION_BATCH_PAGES: u64 = 2 * 1024 * 1024 / PAGE_SIZE;
@@ -46,6 +48,10 @@ pub struct CacheConfig {
     pub ssd_capacity_pages: u64,
     /// Partitioning/eviction mode.
     pub mode: PartitionMode,
+    /// SSD admission plane (ghost filter + TTL demotion). Defaults to
+    /// [`AdmissionConfig::off`], which admits every spill — the
+    /// behaviour every pre-existing baseline was recorded under.
+    pub admission: AdmissionConfig,
 }
 
 impl CacheConfig {
@@ -55,6 +61,7 @@ impl CacheConfig {
             mem_capacity_pages,
             ssd_capacity_pages: 0,
             mode: PartitionMode::DoubleDecker,
+            admission: AdmissionConfig::off(),
         }
     }
 
@@ -64,6 +71,7 @@ impl CacheConfig {
             mem_capacity_pages,
             ssd_capacity_pages,
             mode: PartitionMode::DoubleDecker,
+            admission: AdmissionConfig::off(),
         }
     }
 
@@ -80,6 +88,12 @@ impl CacheConfig {
     /// Returns the same configuration with a different mode.
     pub fn with_mode(mut self, mode: PartitionMode) -> CacheConfig {
         self.mode = mode;
+        self
+    }
+
+    /// Returns the same configuration with the given admission plane.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> CacheConfig {
+        self.admission = admission;
         self
     }
 }
@@ -120,6 +134,9 @@ mod tests {
         assert_eq!(c2.mode, PartitionMode::Global);
         let d = CacheConfig::default();
         assert_eq!(d.mem_capacity_pages, CacheConfig::pages_from_gb(1));
+        assert_eq!(d.admission, AdmissionConfig::off());
+        let a = CacheConfig::mem_and_ssd(10, 20).with_admission(AdmissionConfig::ghost(8));
+        assert_eq!(a.admission.ghost_window, 8);
     }
 
     #[test]

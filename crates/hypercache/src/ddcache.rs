@@ -11,12 +11,14 @@ use ddc_cleancache::{
     CachePolicy, GetOutcome, PageVersion, PoolId, PoolStats, PutOutcome, SecondChanceCache,
     StoreKind, VmId,
 };
+use ddc_metrics::CounterSnapshot;
 use ddc_sim::{BreakerConfig, CircuitBreaker, FaultSchedule, FxHashMap, SimDuration, SimTime};
 use ddc_storage::{
     BlockAddr, ChunkStore, FileId, Journal, JournalRecord, RemoteBinding, RemoteCounters,
-    RemoteError, RemoteFetchConfig, RemoteId, RemoteLookup, RemoteRegistry,
+    RemoteError, RemoteFetchConfig, RemoteId, RemoteLookup, RemoteRegistry, WearCounters,
 };
 
+use crate::admission::AdmissionConfig;
 use crate::index::{Placement, Pool, SlotId};
 use crate::policy::{entitlements, select_victim, select_victim_strict, EntityUsage};
 use crate::store::BackingStore;
@@ -208,6 +210,12 @@ pub struct DoubleDeckerCache {
     /// rebound pool never serves a block the guest invalidated before
     /// the crash.
     remote_stash: FxHashMap<(VmId, PoolId), (Vec<BlockAddr>, Vec<FileId>)>,
+    /// SSD admission plane (ghost filter window + TTL), from the config.
+    admission: AdmissionConfig,
+    /// Wear of pools that no longer exist, folded in when a pool is
+    /// destroyed (or its VM removed) so device totals never decrease.
+    /// Keyed independently of `vms`: a removed VM's wear persists.
+    retired_wear: BTreeMap<VmId, WearCounters>,
 }
 
 impl DoubleDeckerCache {
@@ -244,6 +252,8 @@ impl DoubleDeckerCache {
             remote_registry: RemoteRegistry::new(),
             remote_bindings: FxHashMap::default(),
             remote_stash: FxHashMap::default(),
+            admission: config.admission,
+            retired_wear: BTreeMap::new(),
         }
     }
 
@@ -265,6 +275,7 @@ impl DoubleDeckerCache {
             mem_capacity_pages: self.mem.capacity_pages(),
             ssd_capacity_pages: self.ssd.capacity_pages(),
             mode: self.mode,
+            admission: self.admission,
         }
     }
 
@@ -488,6 +499,8 @@ impl DoubleDeckerCache {
         for pid in entry.pool_ids {
             if let Some(mut pool) = self.pools.remove(&(vm, pid)) {
                 let (mem, ssd) = pool.drain();
+                let worn = pool.wear.retire();
+                self.retired_wear.entry(vm).or_default().absorb(&worn);
                 self.mem.free(mem);
                 self.ssd.free(ssd);
                 // Any global-FIFO entries of the drained objects are now
@@ -1170,6 +1183,22 @@ impl DoubleDeckerCache {
             if self.ssd_quarantined() {
                 break;
             }
+            // Ghost admission on the trickle path: an evicted memory
+            // object must earn its SSD write like any other spill. A
+            // rejected object is simply dropped — its Evict is already
+            // journaled, so replay needs nothing extra.
+            if self.admission.filters_spills() {
+                let window = self.admission.ghost_window;
+                if let Some(pool) = self.pools.get_mut(&(vm, pool_id)) {
+                    pool.wear.spill_attempts += 1;
+                    if pool.ghost.admit(addr, window) {
+                        pool.wear.spill_admits += 1;
+                    } else {
+                        pool.wear.spill_rejects += 1;
+                        continue;
+                    }
+                }
+            }
             if !self.ssd.has_room() || !self.ssd.try_alloc() {
                 break;
             }
@@ -1543,6 +1572,8 @@ impl DoubleDeckerCache {
                     for pid in entry.pool_ids {
                         if let Some(mut pool) = self.pools.remove(&(vm, pid)) {
                             let (mem, ssd) = pool.drain();
+                            let worn = pool.wear.retire();
+                            self.retired_wear.entry(vm).or_default().absorb(&worn);
                             self.mem.free(mem);
                             self.ssd.free(ssd);
                             self.global_stale_mem += mem;
@@ -1573,6 +1604,8 @@ impl DoubleDeckerCache {
                 let (vm, pool) = (VmId(vm), PoolId(pool));
                 if let Some(mut p) = self.pools.remove(&(vm, pool)) {
                     let (mem, ssd) = p.drain();
+                    let worn = p.wear.retire();
+                    self.retired_wear.entry(vm).or_default().absorb(&worn);
                     self.mem.free(mem);
                     self.ssd.free(ssd);
                     self.global_stale_mem += mem;
@@ -1610,6 +1643,15 @@ impl DoubleDeckerCache {
                 };
                 if !self.pools.contains_key(&(vm, pool)) || !self.store(placement).try_alloc() {
                     report.dropped_no_room += 1;
+                    // A dropped replay Put still accrues its wear into the
+                    // retired ledger: the flash write physically happened
+                    // before the crash, so losing the *entry* must not
+                    // lose the *wear*.
+                    let worn = self.retired_wear.entry(vm).or_default();
+                    worn.pages_admitted += 1;
+                    if placement == Placement::Ssd {
+                        worn.ssd_pages_written += 1;
+                    }
                     return;
                 }
                 let p = self.pools.get_mut(&(vm, pool)).expect("checked above");
@@ -1680,6 +1722,27 @@ impl DoubleDeckerCache {
                 self.ssd.free(self.ssd.used_pages());
                 self.global_fifo_ssd.clear();
                 self.global_stale_ssd = 0;
+            }
+            JournalRecord::WearTotals {
+                vm,
+                ssd_pages_written,
+                pages_admitted,
+            } => {
+                // Checkpoint wear carry-over: the checkpoint's Put records
+                // re-accrue only the *live* entries' wear; this record
+                // holds the VM's true cumulative totals at checkpoint
+                // time. Apply as a max-correction into the retired
+                // accumulator — monotone and idempotent, so a replayed
+                // prefix never exceeds and never loses wear.
+                let vm = VmId(vm);
+                let current = self.vm_wear(vm);
+                let r = self.retired_wear.entry(vm).or_default();
+                if ssd_pages_written > current.ssd_pages_written {
+                    r.ssd_pages_written += ssd_pages_written - current.ssd_pages_written;
+                }
+                if pages_admitted > current.pages_admitted {
+                    r.pages_admitted += pages_admitted - current.pages_admitted;
+                }
             }
         }
     }
@@ -1752,9 +1815,115 @@ impl DoubleDeckerCache {
             )
             .collect();
         journal.append_all(&put_records);
+        // Wear carry-over, AFTER the puts: replaying the checkpoint
+        // re-accrues the live entries' wear through the puts, then each
+        // VM's record tops the totals up to the true cumulative value
+        // (see the `WearTotals` arm of `apply_record`).
+        for vm in self.wear_vm_ids() {
+            let w = self.vm_wear(vm);
+            journal.append(&JournalRecord::WearTotals {
+                vm: vm.0,
+                ssd_pages_written: w.ssd_pages_written,
+                pages_admitted: w.pages_admitted,
+            });
+        }
         journal.sync();
         self.journal = Some(journal);
         new_epochs
+    }
+
+    // ------------------------------------------------------------------
+    // Endurance plane: wear accounting and TTL demotion.
+    // ------------------------------------------------------------------
+
+    /// Every VM with wear on the books: live VMs plus VMs that were
+    /// removed but whose retired wear persists. Sorted.
+    pub fn wear_vm_ids(&self) -> Vec<VmId> {
+        let mut ids: Vec<VmId> = self.vms.keys().copied().collect();
+        for &vm in self.retired_wear.keys() {
+            if let Err(i) = ids.binary_search(&vm) {
+                ids.insert(i, vm);
+            }
+        }
+        ids
+    }
+
+    /// Cumulative wear charged to one VM: its live pools plus everything
+    /// retired when pools were destroyed. Never decreases.
+    pub fn vm_wear(&self, vm: VmId) -> WearCounters {
+        let mut t = self.retired_wear.get(&vm).copied().unwrap_or_default();
+        if let Some(entry) = self.vms.get(&vm) {
+            for &pid in &entry.pool_ids {
+                t.absorb(&self.pools[&(vm, pid)].wear.totals());
+            }
+        }
+        t
+    }
+
+    /// Device-level wear totals across every VM ever seen.
+    pub fn wear_totals(&self) -> WearCounters {
+        let mut t = WearCounters::default();
+        for vm in self.wear_vm_ids() {
+            t.absorb(&self.vm_wear(vm));
+        }
+        t
+    }
+
+    /// The admission plane this cache runs under.
+    pub fn admission_config(&self) -> AdmissionConfig {
+        self.admission
+    }
+
+    /// TTL staleness sweep: demotes (drops) SSD-resident entries older
+    /// than the configured `ssd_ttl`, measured in per-pool insert
+    /// distance. Demotions are journaled as evictions, so replay and the
+    /// sharded engine agree byte for byte. Returns pages demoted. A
+    /// no-op when `ssd_ttl` is 0.
+    ///
+    /// Deliberately *not* called from any internal path: the driver
+    /// invokes it at deterministic points (tick boundaries), which keeps
+    /// the sweep out of the threaded fast path.
+    pub fn ttl_sweep(&mut self) -> u64 {
+        let ttl = self.admission.ssd_ttl;
+        if ttl == 0 {
+            return 0;
+        }
+        let mut demoted = 0;
+        let targets: Vec<(VmId, Vec<PoolId>)> = self
+            .vms
+            .iter()
+            .map(|(&vm, e)| (vm, e.pool_ids.clone()))
+            .collect();
+        for (vm, pids) in targets {
+            for pid in pids {
+                let stale = self
+                    .pools
+                    .get(&(vm, pid))
+                    .map(|p| p.stale_ssd_entries(ttl))
+                    .unwrap_or_default();
+                for addr in stale {
+                    let Some(p) = self.pools.get_mut(&(vm, pid)) else {
+                        break;
+                    };
+                    if p.remove(addr).is_none() {
+                        continue;
+                    }
+                    p.counters.evictions += 1;
+                    p.wear.ttl_demotions += 1;
+                    self.ssd.free(1);
+                    self.evictions += 1;
+                    demoted += 1;
+                    self.note_stale(Placement::Ssd, 1);
+                    self.note_removal(vm, pid, Placement::Ssd);
+                    self.log(JournalRecord::Evict {
+                        vm: vm.0,
+                        pool: pid.0,
+                        addr,
+                    });
+                }
+            }
+        }
+        demoted
     }
 }
 
@@ -1783,6 +1952,8 @@ impl SecondChanceCache for DoubleDeckerCache {
         self.remote_stash.remove(&(vm, pool));
         if let Some(mut p) = self.pools.remove(&(vm, pool)) {
             let (mem, ssd) = p.drain();
+            let worn = p.wear.retire();
+            self.retired_wear.entry(vm).or_default().absorb(&worn);
             self.mem.free(mem);
             self.ssd.free(ssd);
             self.global_stale_mem += mem;
@@ -1870,6 +2041,7 @@ impl SecondChanceCache for DoubleDeckerCache {
             evictions: p.counters.evictions,
             failed_gets: p.counters.failed_gets,
             failed_puts: p.counters.failed_puts,
+            ssd_writes: p.wear.pages_written,
         })
     }
 
@@ -1927,6 +2099,15 @@ impl SecondChanceCache for DoubleDeckerCache {
         };
         if let Some(p) = self.pools.get_mut(&(vm, pool)) {
             p.counters.hits += 1;
+            // A hit on an SSD-resident block is proven reuse: re-arm its
+            // ghost entry so the block's next spill readmits without a
+            // second probation pass.
+            if self.admission.filters_spills()
+                && slot.placement == Placement::Ssd
+                && p.policy().store == StoreKind::Hybrid
+            {
+                p.ghost.note(addr);
+            }
         }
         self.maybe_compact_journal();
         GetOutcome::Hit {
@@ -1946,6 +2127,32 @@ impl SecondChanceCache for DoubleDeckerCache {
         let Some(placement) = self.effective_placement(now, vm, pool) else {
             return PutOutcome::Rejected;
         };
+
+        // Ghost admission: a hybrid pool spilling into its SSD share must
+        // earn the flash write — first sighting is remembered and dropped
+        // (fail-open, same as a full tier), the second within the window
+        // admits. Checked before any mutation so serial and sharded
+        // engines decide identically, and rejecting is oracle-safe: a
+        // version change always travels through a flush first, so the
+        // overwrite-displacement below never had to happen for a
+        // rejected put.
+        if self.admission.filters_spills()
+            && placement == Placement::Ssd
+            && self
+                .pools
+                .get(&(vm, pool))
+                .is_some_and(|p| p.policy().store == StoreKind::Hybrid)
+        {
+            let window = self.admission.ghost_window;
+            let p = self.pools.get_mut(&(vm, pool)).expect("checked above");
+            p.wear.spill_attempts += 1;
+            if p.ghost.admit(addr, window) {
+                p.wear.spill_admits += 1;
+            } else {
+                p.wear.spill_rejects += 1;
+                return PutOutcome::Rejected;
+            }
+        }
 
         // Exclusive overwrite: displace any stale copy first so the freed
         // page is available to this put.
@@ -2094,6 +2301,7 @@ mod tests {
             mem_capacity_pages: 2 * EVICTION_BATCH_PAGES,
             ssd_capacity_pages: 0,
             mode,
+            admission: AdmissionConfig::off(),
         };
         DoubleDeckerCache::new(config)
     }
@@ -2269,6 +2477,7 @@ mod tests {
             mem_capacity_pages: 2 * EVICTION_BATCH_PAGES,
             ssd_capacity_pages: 0,
             mode: PartitionMode::DoubleDecker,
+            admission: AdmissionConfig::off(),
         };
         let mut cache = DoubleDeckerCache::new(config);
         let vm1 = VmId(1);
@@ -2460,6 +2669,7 @@ mod tests {
             mem_capacity_pages: 3000,
             ssd_capacity_pages: 0,
             mode: PartitionMode::DoubleDecker,
+            admission: AdmissionConfig::off(),
         };
         let mut cache = DoubleDeckerCache::new(config);
         cache.add_vm(VmId(1), 33);
@@ -2479,6 +2689,7 @@ mod tests {
             mem_capacity_pages: 4000,
             ssd_capacity_pages: 4000,
             mode: PartitionMode::DoubleDecker,
+            admission: AdmissionConfig::off(),
         };
         let mut cache = DoubleDeckerCache::new(config);
         cache.add_vm(VmId(1), 100);
@@ -2500,6 +2711,7 @@ mod tests {
             mem_capacity_pages: 1000,
             ssd_capacity_pages: 1000,
             mode: PartitionMode::DoubleDecker,
+            admission: AdmissionConfig::off(),
         };
         let mut cache = DoubleDeckerCache::new(config);
         cache.add_vm(VmId(1), 60);
@@ -2603,6 +2815,7 @@ mod tests {
             mem_capacity_pages: 1000,
             ssd_capacity_pages: 1000,
             mode: PartitionMode::DoubleDecker,
+            admission: AdmissionConfig::off(),
         };
         let mut cache = DoubleDeckerCache::new(config);
         // VM1 favours memory (75/25); VM2 the reverse.
@@ -2791,6 +3004,7 @@ mod tests {
                     mem_capacity_pages: 64,
                     ssd_capacity_pages: 64,
                     mode: PartitionMode::DoubleDecker,
+                    admission: AdmissionConfig::off(),
                 };
                 let mut cache = DoubleDeckerCache::new(config);
                 // pools[vm] = live pool ids of that VM
@@ -2925,6 +3139,7 @@ mod tests {
             mem_capacity_pages: 64,
             ssd_capacity_pages: 64,
             mode: PartitionMode::DoubleDecker,
+            admission: AdmissionConfig::off(),
         };
         let mut cache = DoubleDeckerCache::new(config);
         cache.enable_journal();
@@ -3001,6 +3216,7 @@ mod tests {
             mem_capacity_pages: 64,
             ssd_capacity_pages: 0,
             mode: PartitionMode::DoubleDecker,
+            admission: AdmissionConfig::off(),
         };
         let mut cache = DoubleDeckerCache::new(config);
         cache.enable_journal();
@@ -3054,6 +3270,7 @@ mod tests {
             mem_capacity_pages: 16,
             ssd_capacity_pages: 0,
             mode: PartitionMode::DoubleDecker,
+            admission: AdmissionConfig::off(),
         };
         let mut cache = DoubleDeckerCache::new(config);
         cache.enable_journal();
@@ -3115,6 +3332,7 @@ mod tests {
             mem_capacity_pages: 24,
             ssd_capacity_pages: 24,
             mode: PartitionMode::DoubleDecker,
+            admission: AdmissionConfig::off(),
         };
         let mut cache = DoubleDeckerCache::new(config);
         cache.enable_journal();

@@ -29,8 +29,9 @@ use std::sync::Arc;
 
 use ddc_cleancache::{CachePolicy, PageVersion, PoolId, VmId};
 use ddc_sim::FxHashMap;
-use ddc_storage::{BlockAddr, FileId};
+use ddc_storage::{BlockAddr, FileId, PoolWear};
 
+use crate::admission::GhostFilter;
 use crate::readplane::ReadPlane;
 
 /// Where an object physically resides. Unlike
@@ -207,6 +208,21 @@ pub struct Pool {
     read_plane: Option<(PoolId, Arc<ReadPlane>)>,
     /// Public counters, updated by the cache front-end.
     pub counters: PoolCounters,
+    /// SSD endurance ledger: every insert is charged here (slot-level
+    /// resolution for SSD placements), so wear is a pure function of
+    /// the pool's insert history — identical across engines and exactly
+    /// re-accrued by journal replay.
+    pub wear: PoolWear,
+    /// Ghost admission filter guarding this pool's mem→SSD spill path
+    /// (advisory state: cleared on drain and recovery).
+    pub ghost: GhostFilter,
+    /// Monotone count of inserts into this pool — the clock the TTL
+    /// sweep measures SSD-residency age against. Engine-independent,
+    /// unlike the caller-supplied `seq`.
+    insert_count: u64,
+    /// Per-slab-slot birth stamp: `insert_count` as of the slot's last
+    /// write (parallel to the slab, like `PoolWear::slot_writes`).
+    slot_birth: Vec<u64>,
 }
 
 impl Pool {
@@ -225,6 +241,10 @@ impl Pool {
             mirror: None,
             read_plane: None,
             counters: PoolCounters::default(),
+            wear: PoolWear::default(),
+            ghost: GhostFilter::default(),
+            insert_count: 0,
+            slot_birth: Vec::new(),
         }
     }
 
@@ -377,6 +397,13 @@ impl Pool {
                 (idx, None)
             }
         };
+        self.insert_count += 1;
+        self.wear
+            .record_write(idx as usize, placement == Placement::Ssd);
+        if self.slot_birth.len() <= idx as usize {
+            self.slot_birth.resize(idx as usize + 1, 0);
+        }
+        self.slot_birth[idx as usize] = self.insert_count;
         self.credit(placement);
         match placement {
             Placement::Mem => self.fifo_mem.push_back((SlotId(idx), seq)),
@@ -480,7 +507,39 @@ impl Pool {
         self.fifo_ssd.clear();
         self.set_used(Placement::Mem, 0);
         self.set_used(Placement::Ssd, 0);
+        // Advisory admission state dies with the contents; the wear
+        // ledger does NOT — wear is cumulative history, and the engine
+        // retires it explicitly when the pool itself is destroyed.
+        self.ghost.clear();
+        self.insert_count = 0;
+        self.slot_birth.clear();
         freed
+    }
+
+    /// Inserts into this pool since creation (or since the last drain) —
+    /// the TTL sweep's clock.
+    pub fn insert_count(&self) -> u64 {
+        self.insert_count
+    }
+
+    /// SSD-resident objects whose last write is more than `ttl` inserts
+    /// in this pool's past, in slab order (deterministic across engines
+    /// because the slab layout is a pure function of the pool's op
+    /// history). `ttl == 0` matches nothing.
+    pub fn stale_ssd_entries(&self, ttl: u64) -> Vec<BlockAddr> {
+        if ttl == 0 {
+            return Vec::new();
+        }
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| {
+                let e = e.as_ref()?;
+                (e.slot.placement == Placement::Ssd
+                    && self.insert_count.saturating_sub(self.slot_birth[i]) > ttl)
+                    .then_some(e.addr)
+            })
+            .collect()
     }
 
     /// Corrupts the stored checksum of one resident object (chaos
@@ -743,6 +802,45 @@ mod tests {
         let m2 = Arc::new(UsageMirror::default());
         q.set_mirror(Arc::clone(&m2));
         assert_eq!(m2.pages(Placement::Mem), 1);
+    }
+
+    #[test]
+    fn insert_charges_the_wear_ledger() {
+        let mut p = pool();
+        p.insert(addr(1, 0), Placement::Mem, PageVersion(0), 1);
+        p.insert(addr(1, 1), Placement::Ssd, PageVersion(0), 2);
+        p.insert(addr(1, 1), Placement::Ssd, PageVersion(1), 3); // overwrite rewrites the cell
+        assert_eq!(p.wear.pages_admitted, 3);
+        assert_eq!(p.wear.pages_written, 2);
+        assert_eq!(
+            p.wear.pages_written,
+            p.wear
+                .slot_writes
+                .iter()
+                .map(|&c| u64::from(c))
+                .sum::<u64>()
+        );
+        // Drain keeps the cumulative ledger but resets the TTL clock.
+        p.drain();
+        assert_eq!(p.wear.pages_written, 2);
+        assert_eq!(p.insert_count(), 0);
+    }
+
+    #[test]
+    fn stale_ssd_entries_age_by_insert_distance() {
+        let mut p = pool();
+        p.insert(addr(1, 0), Placement::Ssd, PageVersion(0), 1);
+        p.insert(addr(1, 1), Placement::Mem, PageVersion(0), 2);
+        assert_eq!(p.stale_ssd_entries(0), vec![], "ttl 0 is off");
+        assert_eq!(p.stale_ssd_entries(5), vec![], "not old enough yet");
+        for b in 2..8 {
+            p.insert(addr(1, b), Placement::Mem, PageVersion(0), b);
+        }
+        // addr(1,0) was insert #1; with 8 inserts total its age is 7.
+        assert_eq!(p.stale_ssd_entries(5), vec![addr(1, 0)]);
+        assert_eq!(p.stale_ssd_entries(7), vec![], "age must exceed ttl");
+        // Mem entries never match, however old.
+        assert!(!p.stale_ssd_entries(1).contains(&addr(1, 1)));
     }
 
     #[test]

@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod audit;
 mod config;
 mod ddcache;
@@ -58,6 +59,7 @@ pub mod policy;
 pub mod readplane;
 pub mod store;
 
+pub use admission::{AdmissionConfig, GhostFilter};
 pub use audit::{audit, audit_pool_slice, audit_remote_bindings, AuditFinding};
 pub use config::{CacheConfig, PartitionMode, EVICTION_BATCH_PAGES};
 pub use ddcache::{CacheTotals, DoubleDeckerCache, FallbackMode, RecoveryReport, VmUsage};

@@ -12,8 +12,10 @@
 
 mod histogram;
 mod recorder;
+mod snapshot;
 mod table;
 
 pub use histogram::LatencyHistogram;
 pub use recorder::{Counter, OpsRecorder, ThroughputReport};
+pub use snapshot::{snapshot_from_json, snapshot_json, CounterSnapshot};
 pub use table::{render_ascii_chart, TextTable};

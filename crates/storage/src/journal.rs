@@ -171,6 +171,18 @@ pub enum JournalRecord {
     },
     /// The SSD tier was quarantined and fully drained.
     SsdDrain,
+    /// Per-VM SSD wear totals at a checkpoint. Compaction drops the
+    /// historical `Put` records wear was accrued from; this record
+    /// carries the totals forward so replay restores them exactly
+    /// (wear never decreases across a recovery).
+    WearTotals {
+        /// Raw VM id the totals belong to.
+        vm: u32,
+        /// Lifetime SSD-tier page writes charged to the VM.
+        ssd_pages_written: u64,
+        /// Lifetime pages the VM admitted into either tier.
+        pages_admitted: u64,
+    },
 }
 
 impl JournalRecord {
@@ -193,6 +205,7 @@ impl JournalRecord {
             JournalRecord::SetSsdCapacity { .. } => 14,
             JournalRecord::SetMode { .. } => 15,
             JournalRecord::SsdDrain => 16,
+            JournalRecord::WearTotals { .. } => 17,
         }
     }
 
@@ -267,6 +280,15 @@ impl JournalRecord {
             }
             JournalRecord::SetMode { mode } => out.push(mode),
             JournalRecord::SsdDrain => {}
+            JournalRecord::WearTotals {
+                vm,
+                ssd_pages_written,
+                pages_admitted,
+            } => {
+                put_u32(out, vm);
+                put_u64(out, ssd_pages_written);
+                put_u64(out, pages_admitted);
+            }
         }
     }
 
@@ -333,6 +355,11 @@ impl JournalRecord {
             14 => JournalRecord::SetSsdCapacity { pages: c.u64()? },
             15 => JournalRecord::SetMode { mode: c.u8()? },
             16 => JournalRecord::SsdDrain,
+            17 => JournalRecord::WearTotals {
+                vm: c.u32()?,
+                ssd_pages_written: c.u64()?,
+                pages_admitted: c.u64()?,
+            },
             _ => return None,
         };
         if c.at_end() {
@@ -689,6 +716,11 @@ mod tests {
             JournalRecord::SetSsdCapacity { pages: 65536 },
             JournalRecord::SetMode { mode: 1 },
             JournalRecord::SsdDrain,
+            JournalRecord::WearTotals {
+                vm: 1,
+                ssd_pages_written: 12345,
+                pages_admitted: 67890,
+            },
             JournalRecord::DestroyPool { vm: 1, pool: 1 },
             JournalRecord::RemoveVm { vm: 1 },
         ]
@@ -825,14 +857,14 @@ mod tests {
         // replay them with the generations it was handed.
         let recs = sample_records();
         let gens = [
-            3u64, 4, 9, 10, 11, 20, 21, 22, 23, 30, 31, 40, 41, 50, 51, 52,
+            3u64, 4, 9, 10, 11, 20, 21, 22, 23, 30, 31, 40, 41, 50, 51, 52, 53,
         ];
         let mut seg = Journal::new();
         for (r, &g) in recs.iter().zip(&gens) {
             seg.append_with_gen(r, g);
         }
         assert_eq!(seg.records(), recs.len() as u64);
-        assert_eq!(seg.next_gen(), 53, "counter advanced past the max gen");
+        assert_eq!(seg.next_gen(), 54, "counter advanced past the max gen");
         let (replayed, stats) = Journal::replay(seg.bytes());
         assert!(!stats.torn_tail && !stats.corrupt);
         for (i, (gen, rec)) in replayed.iter().enumerate() {

@@ -31,6 +31,7 @@ mod device;
 mod journal;
 mod latency;
 mod remote;
+pub mod wear;
 
 pub use addr::{pages_for_bytes, BlockAddr, FileId, PAGE_SIZE};
 pub use device::{Device, DeviceKind, IoCompletion, IoError};
@@ -40,3 +41,4 @@ pub use remote::{
     AttemptOutcome, ChunkKey, ChunkStore, RemoteBinding, RemoteConfig, RemoteCounters, RemoteError,
     RemoteFetchConfig, RemoteId, RemoteLookup, RemoteRegistry, RemoteTraceEvent,
 };
+pub use wear::{PoolWear, WearCounters};

@@ -411,25 +411,22 @@ pub struct RemoteCounters {
     pub readahead_hits: u64,
 }
 
-impl RemoteCounters {
-    /// Accumulates another binding's counters (for engine totals).
-    pub fn absorb(&mut self, other: &RemoteCounters) {
-        self.fetches += other.fetches;
-        self.served += other.served;
-        self.failed += other.failed;
-        self.shed += other.shed;
-        self.breaker_skipped += other.breaker_skipped;
-        self.breaker_trips += other.breaker_trips;
-        self.breaker_recoveries += other.breaker_recoveries;
-        self.retries += other.retries;
-        self.timeouts += other.timeouts;
-        self.hedges += other.hedges;
-        self.hedge_wins += other.hedge_wins;
-        self.edge_hits += other.edge_hits;
-        self.origin_fetches += other.origin_fetches;
-        self.readahead_hits += other.readahead_hits;
-    }
-}
+ddc_metrics::counter_snapshot!(RemoteCounters, "remote", {
+    fetches,
+    served,
+    failed,
+    shed,
+    breaker_skipped,
+    breaker_trips,
+    breaker_recoveries,
+    retries,
+    timeouts,
+    hedges,
+    hedge_wins,
+    edge_hits,
+    origin_fetches,
+    readahead_hits,
+});
 
 /// One event on a fetch's timeline, for determinism property tests.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -1,0 +1,188 @@
+//! SSD endurance accounting for the hypervisor cache tiers.
+//!
+//! Real flash has a finite write budget; an exclusive second-chance
+//! cache that admits every spilled page burns it on data that is often
+//! touched once (ECI-Cache, ETICA — see PAPERS.md). This module holds
+//! the *bookkeeping* half of the endurance plane: deterministic wear
+//! counters the cache engines accrue on every SSD-tier slot write, a
+//! per-pool ledger with per-slot resolution (slot wear survives
+//! free-list reuse, exactly like physical cell wear survives logical
+//! overwrite), and the aggregate [`WearCounters`] snapshot the report
+//! JSON and the runtime auditor consume. The *policy* half (the ghost
+//! admission filter and TTL demotion) lives in `ddc-hypercache` where
+//! the pool index is defined.
+//!
+//! # Determinism and replay
+//!
+//! `ssd_pages_written` and `pages_admitted` are accrued exclusively at
+//! points that also emit a journal `Put` record, so replaying a journal
+//! prefix re-accrues exactly the wear the original run had accrued by
+//! that record. Checkpoint compaction drops historical `Put` records;
+//! the `WearTotals` journal record (kind 17) written at each checkpoint
+//! carries the per-VM totals forward so wear never resets. Advisory
+//! counters (ghost-filter decisions, TTL demotions) are not journaled
+//! and restart at zero after recovery — they are diagnostics, not part
+//! of the replay-exactness guarantee.
+
+use crate::addr::PAGE_SIZE;
+
+/// Aggregate wear totals for a VM or for the whole device, rendered
+/// into `pool_stats`, the equivalence report and the wear baseline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WearCounters {
+    /// Physical SSD-tier slot writes (puts landing on the SSD store,
+    /// trickle-downs, rehomes). The quantity a finite write budget is
+    /// spent in.
+    pub ssd_pages_written: u64,
+    /// Pages accepted into the cache (either tier) — the denominator of
+    /// the write-amplification ratio.
+    pub pages_admitted: u64,
+    /// Mem→SSD spill attempts evaluated by the ghost admission filter.
+    pub spill_attempts: u64,
+    /// Spills the filter admitted (second access inside the window).
+    pub spill_admits: u64,
+    /// Spills the filter rejected (first access; fell through fail-open
+    /// as a drop/miss).
+    pub spill_rejects: u64,
+    /// SSD-resident entries demoted by the per-VM TTL staleness sweep.
+    pub ttl_demotions: u64,
+}
+
+impl WearCounters {
+    /// Bytes physically written to the SSD tier.
+    pub fn bytes_written(&self) -> u64 {
+        self.ssd_pages_written * PAGE_SIZE
+    }
+
+    /// SSD writes per admitted page: how much of the flash budget each
+    /// cached page costs. Below 1.0 means most admissions stayed in
+    /// memory; rising above it means re-writes (trickle, rehome) are
+    /// amplifying the device wear.
+    pub fn write_amplification(&self) -> f64 {
+        if self.pages_admitted == 0 {
+            0.0
+        } else {
+            self.ssd_pages_written as f64 / self.pages_admitted as f64
+        }
+    }
+}
+
+ddc_metrics::counter_snapshot!(WearCounters, "wear", {
+    ssd_pages_written,
+    pages_admitted,
+    spill_attempts,
+    spill_admits,
+    spill_rejects,
+    ttl_demotions,
+});
+
+/// Per-pool wear ledger with per-slot resolution, owned by the pool's
+/// slab arena. `slot_writes[i]` counts SSD writes into arena slot `i`
+/// across every entry that ever occupied it (freeing a slot does not
+/// clear its wear — the flash cell remembers); the scalar totals are
+/// the running sums, so `pages_written == Σ slot_writes` at all times —
+/// the auditor's per-pool wear invariant.
+#[derive(Clone, Debug, Default)]
+pub struct PoolWear {
+    /// SSD-tier writes charged to this pool since creation/recovery.
+    pub pages_written: u64,
+    /// Pages this pool admitted into either tier since creation.
+    pub pages_admitted: u64,
+    /// Per-arena-slot SSD write counts (indexed by `SlotId`).
+    pub slot_writes: Vec<u32>,
+    /// Spill attempts the admission filter evaluated for this pool.
+    pub spill_attempts: u64,
+    /// Spills admitted.
+    pub spill_admits: u64,
+    /// Spills rejected.
+    pub spill_rejects: u64,
+    /// TTL demotions charged to this pool.
+    pub ttl_demotions: u64,
+}
+
+impl PoolWear {
+    /// Charges one admitted page, written to the SSD tier iff `ssd`.
+    /// `slot` is the arena slot the page landed in.
+    pub fn record_write(&mut self, slot: usize, ssd: bool) {
+        self.pages_admitted += 1;
+        if ssd {
+            if self.slot_writes.len() <= slot {
+                self.slot_writes.resize(slot + 1, 0);
+            }
+            self.slot_writes[slot] += 1;
+            self.pages_written += 1;
+        }
+    }
+
+    /// Aggregate snapshot of this pool's ledger.
+    pub fn totals(&self) -> WearCounters {
+        WearCounters {
+            ssd_pages_written: self.pages_written,
+            pages_admitted: self.pages_admitted,
+            spill_attempts: self.spill_attempts,
+            spill_admits: self.spill_admits,
+            spill_rejects: self.spill_rejects,
+            ttl_demotions: self.ttl_demotions,
+        }
+    }
+
+    /// Retires the ledger (pool drain/destroy): returns the totals to
+    /// fold into the owning VM's retired accumulator and resets the
+    /// live counters so they are not counted twice.
+    pub fn retire(&mut self) -> WearCounters {
+        let totals = self.totals();
+        *self = PoolWear::default();
+        totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddc_metrics::CounterSnapshot;
+
+    #[test]
+    fn slot_wear_survives_reuse_and_sums_match() {
+        let mut w = PoolWear::default();
+        w.record_write(0, true);
+        w.record_write(1, false);
+        w.record_write(0, true); // reused slot keeps accumulating
+        assert_eq!(w.slot_writes[0], 2);
+        assert_eq!(w.pages_written, 2);
+        assert_eq!(w.pages_admitted, 3);
+        assert_eq!(
+            w.pages_written,
+            w.slot_writes.iter().map(|&c| u64::from(c)).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn retire_moves_totals_and_resets() {
+        let mut w = PoolWear::default();
+        w.record_write(3, true);
+        w.spill_attempts = 5;
+        w.spill_admits = 2;
+        w.spill_rejects = 3;
+        let t = w.retire();
+        assert_eq!(t.ssd_pages_written, 1);
+        assert_eq!(t.spill_rejects, 3);
+        assert_eq!(w.pages_written, 0);
+        assert!(w.slot_writes.is_empty());
+    }
+
+    #[test]
+    fn amplification_and_bytes() {
+        let c = WearCounters {
+            ssd_pages_written: 6,
+            pages_admitted: 4,
+            ..WearCounters::default()
+        };
+        assert_eq!(c.bytes_written(), 6 * PAGE_SIZE);
+        assert!((c.write_amplification() - 1.5).abs() < 1e-12);
+        assert_eq!(WearCounters::default().write_amplification(), 0.0);
+        let mut a = c;
+        a.absorb(&c);
+        assert_eq!(a.ssd_pages_written, 12);
+        assert_eq!(a.pages_admitted, 8);
+    }
+}

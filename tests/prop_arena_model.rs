@@ -249,6 +249,7 @@ fn global_fifo_compaction_over_recycled_ids_stays_audit_clean() {
             mem_capacity_pages: 128,
             ssd_capacity_pages: 0,
             mode: PartitionMode::Global,
+            admission: AdmissionConfig::off(),
         });
         let mut pools = Vec::new();
         for v in 1..=3u32 {

@@ -128,6 +128,7 @@ fn two_phase_eviction_converges_under_forced_snapshot_staleness() {
             mem_capacity_pages: 64,
             ssd_capacity_pages: 0,
             mode: PartitionMode::DoubleDecker,
+            admission: AdmissionConfig::off(),
         },
         8,
     );

@@ -106,6 +106,7 @@ impl Harness {
             mem_capacity_pages: CAPACITY,
             ssd_capacity_pages: 0,
             mode: PartitionMode::Global,
+            admission: AdmissionConfig::off(),
         });
         let pools = (0..VMS)
             .map(|v| {
