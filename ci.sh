@@ -39,7 +39,10 @@ echo "==> stress smoke again with 8 experiment workers (cross-cell contention)"
 DDC_THREADS=8 cargo run --release -q -p ddc-bench --bin repro -- stress --smoke
 echo "==> stress smoke, 95/5 read-heavy mix through the lock-free read plane"
 DDC_THREADS=8 cargo run --release -q -p ddc-bench --bin repro -- stress --smoke --read-heavy
+echo "==> stress smoke, put-dominant write-heavy mix through the batched write plane"
+DDC_THREADS=8 cargo run --release -q -p ddc-bench --bin repro -- stress --smoke --write-heavy
 cargo test -q -p ddc-core --test prop_concurrent_equivalence
+cargo test -q -p ddc-core --test prop_batched_writes
 
 echo "==> wear smoke (ghost admission + TTL demotion; write-amp gate against BENCH_wear.json)"
 if [ -f BENCH_wear.json ]; then

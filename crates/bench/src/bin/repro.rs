@@ -25,6 +25,7 @@ struct Args {
     json_dir: Option<PathBuf>,
     smoke: bool,
     read_heavy: bool,
+    write_heavy: bool,
     check: Option<PathBuf>,
     out: Option<PathBuf>,
 }
@@ -36,6 +37,7 @@ fn parse_args() -> Args {
         json_dir: None,
         smoke: false,
         read_heavy: false,
+        write_heavy: false,
         check: None,
         out: None,
     };
@@ -53,6 +55,7 @@ fn parse_args() -> Args {
             }
             "--smoke" => args.smoke = true,
             "--read-heavy" => args.read_heavy = true,
+            "--write-heavy" => args.write_heavy = true,
             "--check" => {
                 args.check = Some(PathBuf::from(it.next().expect("--check needs a file")));
             }
@@ -96,8 +99,9 @@ fn print_help() {
            stress  concurrent serving plane: serial-vs-sharded equivalence\n\
                    matrix + 1/2/4/8-thread stress [--smoke] [--out FILE]\n\
                    [--read-heavy: 95/5 get/put mix through the lock-free\n\
-                   read plane]; exits non-zero on any divergence, stale\n\
-                   read or finding\n\
+                   read plane] [--write-heavy: put-dominant large-batch mix\n\
+                   through the batched write plane]; exits non-zero on any\n\
+                   divergence, stale read or finding\n\
            remote  remote chunk-store tier: fault-axis determinism matrix,\n\
                    8-thread degradation ladder (baseline/brownout/healed) and\n\
                    the cold-boot storm [--smoke] [--out FILE]; exits non-zero\n\
@@ -699,16 +703,27 @@ fn chaos_sweep(args: &Args) -> bool {
 }
 
 fn stress_plane(args: &Args) -> bool {
+    assert!(
+        !(args.read_heavy && args.write_heavy),
+        "pick at most one of --read-heavy / --write-heavy"
+    );
+    let mix = if args.read_heavy {
+        stress::StressMix::ReadHeavy
+    } else if args.write_heavy {
+        stress::StressMix::WriteHeavy
+    } else {
+        stress::StressMix::Standard
+    };
     banner(&format!(
         "Stress: concurrent serving plane{}{}",
-        if args.read_heavy {
-            ", 95/5 read-heavy mix"
-        } else {
-            ""
+        match mix {
+            stress::StressMix::ReadHeavy => ", 95/5 read-heavy mix",
+            stress::StressMix::WriteHeavy => ", put-dominant write-heavy mix",
+            stress::StressMix::Standard => "",
         },
         if args.smoke { " (smoke budget)" } else { "" }
     ));
-    let report = stress::run(stress::DEFAULT_SEED, args.smoke, args.read_heavy);
+    let report = stress::run(stress::DEFAULT_SEED, args.smoke, mix);
 
     println!("\nequivalence matrix (sharded single-thread vs serial reference):");
     let mut eq = TextTable::new(vec!["mode", "shards", "byte-identical", "stale"]);
@@ -735,6 +750,8 @@ fn stress_plane(args: &Args) -> bool {
         "compactions",
         "lockfree",
         "replica",
+        "batched",
+        "resv r/f",
     ]);
     for c in &report.scaling {
         sc.row(vec![
@@ -749,6 +766,8 @@ fn stress_plane(args: &Args) -> bool {
             c.journal_compactions.to_string(),
             c.lockfree_misses.to_string(),
             c.replica_hits.to_string(),
+            c.batched_ops.to_string(),
+            format!("{}/{}", c.reservation_retries, c.reservation_fallbacks),
         ]);
     }
     println!("{}", sc.render());

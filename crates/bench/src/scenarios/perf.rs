@@ -18,7 +18,8 @@
 use std::time::Instant;
 
 use ddc_core::cleancache::{HypercallChannel, SecondChanceCache};
-use ddc_core::concurrent::{run_stress, StressConfig};
+use ddc_core::concurrent::{run_stress, StressConfig, StressOutcome};
+use ddc_core::metrics::{snapshot_json, BatchCounters};
 use ddc_core::parallel;
 use ddc_core::prelude::*;
 use ddc_json::Json;
@@ -43,6 +44,16 @@ pub const REPEATS: usize = 5;
 /// overhead a single-core runner charges every threaded cell, which no
 /// gating scheme can remove.
 pub const EVICT_INVERSION_TOLERANCE: f64 = 1.10;
+
+/// Tolerated drift between the batched and unbatched channel cells in a
+/// *committed baseline* (the batched cell may sit at most 5% below the
+/// unbatched one). Batched hypercalls exist to amortize per-call
+/// overhead, so a baseline where they run *slower* than the per-page
+/// loop encodes a dispatch pathology (the outcome-vector copy pass the
+/// in-place channel fix removed inverted the pair by ~35%); the small
+/// tolerance only absorbs run-to-run noise between two single-threaded
+/// cells measured back-to-back on the same machine.
+pub const CHANNEL_INVERSION_TOLERANCE: f64 = 1.05;
 
 /// The machine shape a perf run was measured on. Recorded into the
 /// baseline so [`check_against`] can tell whether thread-scaling cells
@@ -511,6 +522,85 @@ fn evict_contention_threads(threads: usize, ticks: u64) -> u64 {
     out.total_ops
 }
 
+/// When `DDC_PERF_TRACE=1`, dumps a stress-backed cell's batch-plane
+/// counters to stderr after the run: lock acquisitions and journal
+/// appends made on behalf of whole groups, reservation retries and
+/// fallbacks, and journal compactions. Opt-in because the dump is per
+/// repeat (5 lines per cell) and the counters are diagnostics, not
+/// gated quantities — the dump is how a regression found by the gate
+/// gets *attributed* (did lock acquisitions per op go up? did the
+/// reservation path start falling back?).
+fn trace_cell(name: &str, out: &StressOutcome) {
+    if std::env::var("DDC_PERF_TRACE").as_deref() != Ok("1") {
+        return;
+    }
+    let counters = BatchCounters {
+        batched_ops: out.batched_ops,
+        lock_acquisitions: out.batch_lock_acquisitions,
+        journal_appends: out.batch_journal_appends,
+        reservation_retries: out.reservation_retries,
+        reservation_fallbacks: out.reservation_fallbacks,
+    };
+    eprintln!(
+        "perf-trace {name}: {} journal_compactions={} total_ops={}",
+        snapshot_json(&counters),
+        out.journal_compactions,
+        out.total_ops,
+    );
+}
+
+/// Put-dominant batched cell: the write-heavy mix issues most of each
+/// tick as one 64-page `put_many` group, so throughput tracks the
+/// batch plane's ops-per-lock-acquisition rather than per-op dispatch.
+/// The 1-thread cell is the tentpole's headline number (batching alone,
+/// no parallelism); the 8-thread cell gates the reservation path under
+/// contention. Pools alternate mem/ssd/hybrid policies, so hybrid puts
+/// exercise the reserved path instead of lock-all.
+fn batched_put_threads(threads: usize, ticks: u64) -> u64 {
+    let mut cfg = StressConfig::write_heavy(0xBA7C);
+    cfg.ticks = ticks;
+    let out = run_stress(&cfg, threads);
+    assert!(
+        out.clean(),
+        "batched-put cell violated its gates: {} stale reads, findings {:?}",
+        out.stale_reads,
+        out.findings
+    );
+    assert!(
+        out.batched_ops > 0 && out.batch_lock_acquisitions > 0,
+        "the batch plane served nothing in its own cell"
+    );
+    trace_cell(&format!("batched_put_threads_{threads}"), &out);
+    out.total_ops
+}
+
+/// Balanced write-heavy scaling cell: equal thirds of flush, put and
+/// get batches per tick, so every `*_many` entry point (and the
+/// amortized journal drain behind flush groups) is on the measured
+/// path. The 1/2/4/8 ladder measures how the batched write plane
+/// scales across threads the same way `stress_threads_*` does for the
+/// general mix.
+fn mixed_write_scaling_threads(threads: usize, ticks: u64) -> u64 {
+    let mut cfg = StressConfig::write_heavy(0x3117);
+    cfg.writes_per_tick = 16;
+    cfg.puts_per_tick = 24;
+    cfg.gets_per_tick = 24;
+    cfg.ticks = ticks;
+    let out = run_stress(&cfg, threads);
+    assert!(
+        out.clean(),
+        "mixed-write cell violated its gates: {} stale reads, findings {:?}",
+        out.stale_reads,
+        out.findings
+    );
+    assert!(
+        out.batched_ops > 0,
+        "the batch plane served nothing in its own cell"
+    );
+    trace_cell(&format!("mixed_write_scaling_threads_{threads}"), &out);
+    out.total_ops
+}
+
 /// Multi-threaded stress cell: the `ddc-concurrent` driver against the
 /// sharded cache at a given thread count. Total work is independent of
 /// the thread count, so the 1/2/4/8 cells measure scaling directly
@@ -527,6 +617,7 @@ fn stress_threads(threads: usize, ticks: u64) -> u64 {
         out.stale_reads,
         out.findings
     );
+    trace_cell(&format!("stress_threads_{threads}"), &out);
     out.total_ops
 }
 
@@ -547,6 +638,7 @@ fn journaled_stress_threads(threads: usize, ticks: u64) -> u64 {
         out.commit_epoch,
         out.findings
     );
+    trace_cell(&format!("journaled_stress_threads_{threads}"), &out);
     out.total_ops
 }
 
@@ -634,13 +726,18 @@ pub fn run_matrix(smoke: bool) -> Vec<PerfCell> {
             "webserver_e2e",
             Box::new(move || webserver_e2e(20_000 / scale)),
         ),
+        // The channel pair carries an ordering assertion (batched must
+        // not sit below unbatched in a committed baseline), so it gets
+        // a 10x op budget: at the ~15M ops/s these cells run, the
+        // default budget finishes in ~1ms and scheduler noise swamps
+        // the few-percent per-call overhead the batching amortizes.
         (
             "channel_batched_mix",
-            Box::new(move || channel_mix(200_000 / scale, true)),
+            Box::new(move || channel_mix(2_000_000 / scale, true)),
         ),
         (
             "channel_unbatched_mix",
-            Box::new(move || channel_mix(200_000 / scale, false)),
+            Box::new(move || channel_mix(2_000_000 / scale, false)),
         ),
         (
             "arena_slot_churn",
@@ -689,6 +786,30 @@ pub fn run_matrix(smoke: bool) -> Vec<PerfCell> {
         (
             "stress_threads_8",
             Box::new(move || stress_threads(8, 500 / scale)),
+        ),
+        (
+            "batched_put_threads_1",
+            Box::new(move || batched_put_threads(1, 500 / scale)),
+        ),
+        (
+            "batched_put_threads_8",
+            Box::new(move || batched_put_threads(8, 500 / scale)),
+        ),
+        (
+            "mixed_write_scaling_threads_1",
+            Box::new(move || mixed_write_scaling_threads(1, 500 / scale)),
+        ),
+        (
+            "mixed_write_scaling_threads_2",
+            Box::new(move || mixed_write_scaling_threads(2, 500 / scale)),
+        ),
+        (
+            "mixed_write_scaling_threads_4",
+            Box::new(move || mixed_write_scaling_threads(4, 500 / scale)),
+        ),
+        (
+            "mixed_write_scaling_threads_8",
+            Box::new(move || mixed_write_scaling_threads(8, 500 / scale)),
         ),
         (
             "journaled_stress_threads_1",
@@ -857,6 +978,21 @@ pub fn check_against_with(
             ));
         }
     }
+    // Same self-judgment for the channel pair: a committed baseline in
+    // which the batched hypercall cell runs slower than the per-page
+    // loop encodes the vectorized-dispatch pathology (the copy pass the
+    // in-place channel fix removed), and must be re-recorded rather
+    // than quietly gated against.
+    if let (Some(batched), Some(unbatched)) =
+        (base("channel_batched_mix"), base("channel_unbatched_mix"))
+    {
+        if batched * CHANNEL_INVERSION_TOLERANCE < unbatched {
+            report.violations.push(format!(
+                "baseline encodes the channel-batching inversion: \
+                 batched {batched:.0} ops/s < unbatched {unbatched:.0} ops/s — re-record it"
+            ));
+        }
+    }
     let threaded_comparable = match baseline.runner {
         Some(b) => b.available_parallelism == current.available_parallelism,
         None => false,
@@ -919,6 +1055,8 @@ mod tests {
         assert!(channel_mix(2_000, true) >= 2_000);
         assert!(channel_mix(2_000, false) >= 2_000);
         assert!(stress_threads(2, 20) > 0);
+        assert!(batched_put_threads(2, 20) > 0);
+        assert!(mixed_write_scaling_threads(2, 20) > 0);
         assert!(evict_contention_threads(2, 20) > 0);
         assert!(journaled_stress_threads(2, 20) > 0);
         assert!(read_scaling_threads(2, 20) > 0);
@@ -1064,6 +1202,39 @@ mod tests {
         let good = vec![
             cell("evict_contention_threads_2", 1000.0),
             cell("evict_contention_threads_8", 950.0),
+        ];
+        let baseline = parse_baseline(&to_json(&good, true)).expect("roundtrip");
+        let report = check_against(&good, &baseline, REGRESSION_FACTOR);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn check_rejects_baseline_encoding_the_channel_inversion() {
+        let cell = |name, ops_per_sec| PerfCell {
+            name,
+            sim_ops: 1000,
+            wall_secs: 1.0,
+            ops_per_sec,
+        };
+        // Inverted committed baseline (batched more than the tolerance
+        // below unbatched): flagged even though this run's own timings
+        // are fine.
+        let bad = vec![
+            cell("channel_batched_mix", 900.0),
+            cell("channel_unbatched_mix", 1000.0),
+        ];
+        let baseline = parse_baseline(&to_json(&bad, true)).expect("roundtrip");
+        let violations = check_against(&bad, &baseline, REGRESSION_FACTOR).violations;
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(
+            violations[0].contains("channel-batching inversion"),
+            "{violations:?}"
+        );
+
+        // Healthy baseline (batched ahead of unbatched): clean.
+        let good = vec![
+            cell("channel_batched_mix", 1200.0),
+            cell("channel_unbatched_mix", 1000.0),
         ];
         let baseline = parse_baseline(&to_json(&good, true)).expect("roundtrip");
         let report = check_against(&good, &baseline, REGRESSION_FACTOR);

@@ -22,10 +22,13 @@
 //! carries wall-clock numbers, so the JSON report is not expected to
 //! be byte-stable across runs (the pass/fail verdict is).
 //!
-//! Both phases can run on the **standard** mix or (`--read-heavy`) on
+//! Both phases can run on the **standard** mix, (`--read-heavy`) on
 //! the 95/5 get-heavy mix that the lock-free read plane (DESIGN.md §15)
-//! targets; the read-heavy rows additionally report how many lookups
-//! were answered without any lock.
+//! targets, or (`--write-heavy`) on the put-dominant large-batch mix
+//! the batched write plane (DESIGN.md §18) targets. The read-heavy
+//! rows additionally report how many lookups were answered without any
+//! lock; every row reports the batch plane's lock-acquisition and
+//! journal-append counters.
 
 use ddc_core::concurrent::{run_equivalence, run_stress, EngineKind, StressConfig};
 use ddc_core::prelude::*;
@@ -42,6 +45,31 @@ pub const SHARD_COUNTS: [usize; 3] = [1, 4, 8];
 
 /// Thread counts exercised by the scaling phase.
 pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Which workload mix the harness drives (both phases use the same
+/// one, so the equivalence matrix vouches for exactly the mix the
+/// scaling sweep then measures).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StressMix {
+    /// The general put/get/flush mix.
+    Standard,
+    /// 95/5 get-heavy: the lock-free read plane's target (DESIGN.md §15).
+    ReadHeavy,
+    /// Put-dominant with large per-tick batches: the batched write
+    /// plane's target (DESIGN.md §18).
+    WriteHeavy,
+}
+
+impl StressMix {
+    /// Stable lowercase name for tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            StressMix::Standard => "standard",
+            StressMix::ReadHeavy => "read_heavy",
+            StressMix::WriteHeavy => "write_heavy",
+        }
+    }
+}
 
 /// One cell of the equivalence matrix.
 #[derive(Clone, Debug)]
@@ -85,6 +113,21 @@ pub struct ScalingCell {
     /// Of those, lookups served straight from a per-handle hot-miss
     /// replica. Diagnostic only.
     pub replica_hits: u64,
+    /// Operations that entered through a `*_many` batch entry point
+    /// (DESIGN.md §18). Diagnostic only.
+    pub batched_ops: u64,
+    /// Shard-lock acquisitions made on behalf of whole batch groups.
+    /// Diagnostic only.
+    pub batch_lock_acquisitions: u64,
+    /// Journal appends that flushed a whole scratch run in one call.
+    /// Diagnostic only.
+    pub batch_journal_appends: u64,
+    /// Reserved puts re-tried after a stale placement hint, plus those
+    /// that fell back to the lock-all path. Diagnostic only.
+    pub reservation_retries: u64,
+    /// Reserved puts that exhausted their retries and fell back to the
+    /// lock-all path. Diagnostic only.
+    pub reservation_fallbacks: u64,
 }
 
 /// A full stress run: equivalence matrix plus scaling sweep.
@@ -94,9 +137,8 @@ pub struct StressReport {
     pub seed: u64,
     /// Smoke (CI-sized) or full workload.
     pub smoke: bool,
-    /// Whether the run used the 95/5 read-heavy mix (the lock-free read
-    /// plane's target workload) instead of the standard mix.
-    pub read_heavy: bool,
+    /// Which workload mix the run drove.
+    pub mix: StressMix,
     /// Equivalence matrix cells, mode-major.
     pub equivalence: Vec<EquivalenceCell>,
     /// Scaling cells, ascending thread count.
@@ -138,17 +180,7 @@ impl StressReport {
         root.set("schema", Json::Str(SCHEMA.to_owned()));
         root.set("seed", Json::Num(self.seed as f64));
         root.set("smoke", Json::Bool(self.smoke));
-        root.set(
-            "mix",
-            Json::Str(
-                if self.read_heavy {
-                    "read_heavy"
-                } else {
-                    "standard"
-                }
-                .to_owned(),
-            ),
-        );
+        root.set("mix", Json::Str(self.mix.name().to_owned()));
         root.set("passed", Json::Bool(self.passed()));
         root.set("scaling_factor_8_over_1", Json::Num(self.scaling_factor()));
         root.set(
@@ -188,6 +220,23 @@ impl StressReport {
                         );
                         o.set("lockfree_misses", Json::Num(c.lockfree_misses as f64));
                         o.set("replica_hits", Json::Num(c.replica_hits as f64));
+                        o.set("batched_ops", Json::Num(c.batched_ops as f64));
+                        o.set(
+                            "batch_lock_acquisitions",
+                            Json::Num(c.batch_lock_acquisitions as f64),
+                        );
+                        o.set(
+                            "batch_journal_appends",
+                            Json::Num(c.batch_journal_appends as f64),
+                        );
+                        o.set(
+                            "reservation_retries",
+                            Json::Num(c.reservation_retries as f64),
+                        );
+                        o.set(
+                            "reservation_fallbacks",
+                            Json::Num(c.reservation_fallbacks as f64),
+                        );
                         o
                     })
                     .collect(),
@@ -208,23 +257,35 @@ pub fn mode_name(mode: PartitionMode) -> &'static str {
     }
 }
 
-fn base_config(seed: u64, smoke: bool, read_heavy: bool) -> StressConfig {
-    if read_heavy {
-        let mut cfg = StressConfig::read_heavy(seed);
-        if smoke {
-            cfg.ticks = 200;
+fn base_config(seed: u64, smoke: bool, mix: StressMix) -> StressConfig {
+    match mix {
+        StressMix::ReadHeavy => {
+            let mut cfg = StressConfig::read_heavy(seed);
+            if smoke {
+                cfg.ticks = 200;
+            }
+            cfg
         }
-        cfg
-    } else if smoke {
-        StressConfig::smoke(seed)
-    } else {
-        StressConfig::standard(seed)
+        StressMix::WriteHeavy => {
+            let mut cfg = StressConfig::write_heavy(seed);
+            if smoke {
+                cfg.ticks = 100;
+            }
+            cfg
+        }
+        StressMix::Standard => {
+            if smoke {
+                StressConfig::smoke(seed)
+            } else {
+                StressConfig::standard(seed)
+            }
+        }
     }
 }
 
 /// Runs the equivalence matrix: every mode × shard count against the
 /// serial reference.
-pub fn run_equivalence_matrix(seed: u64, smoke: bool, read_heavy: bool) -> Vec<EquivalenceCell> {
+pub fn run_equivalence_matrix(seed: u64, smoke: bool, mix: StressMix) -> Vec<EquivalenceCell> {
     let modes = [
         PartitionMode::DoubleDecker,
         PartitionMode::Global,
@@ -232,7 +293,7 @@ pub fn run_equivalence_matrix(seed: u64, smoke: bool, read_heavy: bool) -> Vec<E
     ];
     let mut cells = Vec::new();
     for mode in modes {
-        let mut cfg = base_config(seed, smoke, read_heavy);
+        let mut cfg = base_config(seed, smoke, mix);
         cfg.cache = cfg.cache.with_mode(mode);
         let serial = run_equivalence(&cfg, EngineKind::Serial);
         for shards in SHARD_COUNTS {
@@ -252,11 +313,11 @@ pub fn run_equivalence_matrix(seed: u64, smoke: bool, read_heavy: bool) -> Vec<E
 /// Runs the thread-scaling sweep at [`THREAD_COUNTS`], each thread
 /// count once volatile and once journaled with per-tick group commits
 /// (the durability tax is the gap between the paired rows).
-pub fn run_scaling(seed: u64, smoke: bool, read_heavy: bool) -> Vec<ScalingCell> {
+pub fn run_scaling(seed: u64, smoke: bool, mix: StressMix) -> Vec<ScalingCell> {
     let mut cells = Vec::new();
     for &threads in &THREAD_COUNTS {
         for journal in [false, true] {
-            let mut cfg = base_config(seed, smoke, read_heavy);
+            let mut cfg = base_config(seed, smoke, mix);
             cfg.journal = journal;
             let out = run_stress(&cfg, threads);
             cells.push(ScalingCell {
@@ -271,22 +332,26 @@ pub fn run_scaling(seed: u64, smoke: bool, read_heavy: bool) -> Vec<ScalingCell>
                 journal_compactions: out.journal_compactions,
                 lockfree_misses: out.lockfree_misses,
                 replica_hits: out.replica_hits,
+                batched_ops: out.batched_ops,
+                batch_lock_acquisitions: out.batch_lock_acquisitions,
+                batch_journal_appends: out.batch_journal_appends,
+                reservation_retries: out.reservation_retries,
+                reservation_fallbacks: out.reservation_fallbacks,
             });
         }
     }
     cells
 }
 
-/// Runs the full harness: equivalence matrix, then scaling sweep,
-/// either on the standard mix or (`read_heavy`) on the 95/5 get-heavy
-/// mix the lock-free read plane targets.
-pub fn run(seed: u64, smoke: bool, read_heavy: bool) -> StressReport {
+/// Runs the full harness — equivalence matrix, then scaling sweep — on
+/// the chosen [`StressMix`].
+pub fn run(seed: u64, smoke: bool, mix: StressMix) -> StressReport {
     StressReport {
         seed,
         smoke,
-        read_heavy,
-        equivalence: run_equivalence_matrix(seed, smoke, read_heavy),
-        scaling: run_scaling(seed, smoke, read_heavy),
+        mix,
+        equivalence: run_equivalence_matrix(seed, smoke, mix),
+        scaling: run_scaling(seed, smoke, mix),
     }
 }
 
@@ -296,7 +361,7 @@ mod tests {
 
     #[test]
     fn smoke_harness_passes_all_gates() {
-        let r = run(DEFAULT_SEED, true, false);
+        let r = run(DEFAULT_SEED, true, StressMix::Standard);
         assert_eq!(r.equivalence.len(), 3 * SHARD_COUNTS.len());
         assert_eq!(r.scaling.len(), 2 * THREAD_COUNTS.len());
         assert!(r.passed(), "report: {}", r.to_json());
@@ -307,8 +372,8 @@ mod tests {
 
     #[test]
     fn equivalence_matrix_is_deterministic() {
-        let a = run_equivalence_matrix(7, true, false);
-        let b = run_equivalence_matrix(7, true, false);
+        let a = run_equivalence_matrix(7, true, StressMix::Standard);
+        let b = run_equivalence_matrix(7, true, StressMix::Standard);
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert!(x.identical && y.identical);
@@ -318,7 +383,7 @@ mod tests {
 
     #[test]
     fn read_heavy_smoke_passes_and_serves_lock_free() {
-        let r = run(DEFAULT_SEED, true, true);
+        let r = run(DEFAULT_SEED, true, StressMix::ReadHeavy);
         assert!(r.passed(), "report: {}", r.to_json());
         // On its target mix the read plane must actually carry load in
         // every scaling cell.
@@ -328,6 +393,28 @@ mod tests {
                 "read plane idle at {} threads: {c:?}",
                 c.threads
             );
+        }
+    }
+
+    #[test]
+    fn write_heavy_smoke_passes_and_batches() {
+        let r = run(DEFAULT_SEED, true, StressMix::WriteHeavy);
+        assert!(r.passed(), "report: {}", r.to_json());
+        // On its target mix the batch plane must actually carry load in
+        // every scaling cell, and journaled cells must land their
+        // records through the amortized run-append path.
+        for c in &r.scaling {
+            assert!(
+                c.batched_ops > 0 && c.batch_lock_acquisitions > 0,
+                "batch plane idle at {} threads: {c:?}",
+                c.threads
+            );
+            if c.journal {
+                assert!(
+                    c.batch_journal_appends > 0,
+                    "journaled cell never batch-appended: {c:?}"
+                );
+            }
         }
     }
 }

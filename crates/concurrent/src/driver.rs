@@ -244,6 +244,32 @@ impl StressConfig {
         }
     }
 
+    /// A put-dominant mix with large per-tick batches: the workload the
+    /// batched write plane exists for. Most of each tick is one big
+    /// `put_many` group, so throughput tracks ops-per-lock-acquisition
+    /// rather than per-op dispatch. Capacity comfortably covers the
+    /// aggregate working set: the cell prices batching itself
+    /// (grouping, amortized journaling, the reservation path), not the
+    /// eviction storm `eviction_storm` already measures. Used by the
+    /// `batched_put_threads_*` and `mixed_write_scaling_threads_*`
+    /// perf cells and the ci.sh write-heavy stress smoke.
+    pub fn write_heavy(seed: u64) -> StressConfig {
+        StressConfig {
+            vms: 8,
+            pools_per_vm: 2,
+            ticks: 500,
+            working_set: 512,
+            writes_per_tick: 2,
+            puts_per_tick: 64,
+            gets_per_tick: 2,
+            cache: CacheConfig::mem_and_ssd(16_384, 32_768),
+            shards: 16,
+            seed,
+            journal: false,
+            remote: None,
+        }
+    }
+
     /// The smoke mix with every pool bound to a healthy remote chunk
     /// store: cold misses now hit the simulated CDN under the full
     /// fault-tolerance stack. Used by `repro remote` and the remote
@@ -419,14 +445,16 @@ impl VmWorker {
 /// driver needs: weight registration and the resident-entry dump.
 enum Engine {
     Serial(Box<DoubleDeckerCache>),
-    Sharded(ShardedCache),
+    Sharded(Box<ShardedCache>),
 }
 
 impl Engine {
     fn build(cache: CacheConfig, kind: EngineKind, journal: bool) -> Engine {
         let mut engine = match kind {
             EngineKind::Serial => Engine::Serial(Box::new(DoubleDeckerCache::new(cache))),
-            EngineKind::Sharded { shards } => Engine::Sharded(ShardedCache::new(cache, shards)),
+            EngineKind::Sharded { shards } => {
+                Engine::Sharded(Box::new(ShardedCache::new(cache, shards)))
+            }
         };
         if journal {
             match &mut engine {
@@ -461,7 +489,7 @@ impl Engine {
     fn backend(&mut self) -> &mut dyn SecondChanceCache {
         match self {
             Engine::Serial(c) => c.as_mut(),
-            Engine::Sharded(c) => c,
+            Engine::Sharded(c) => c.as_mut(),
         }
     }
 
@@ -758,6 +786,21 @@ pub struct StressOutcome {
     /// Aggregate remote fetch counters across every binding (all zero
     /// when the run had no remote attached).
     pub remote: RemoteCounters,
+    /// Operations that entered through a `*_many` batch entry point
+    /// (diagnostic, DESIGN.md §18).
+    pub batched_ops: u64,
+    /// Shard-lock acquisitions made on behalf of whole batch groups
+    /// (diagnostic).
+    pub batch_lock_acquisitions: u64,
+    /// Journal appends that flushed a whole scratch run in one call
+    /// (diagnostic).
+    pub batch_journal_appends: u64,
+    /// Reserved puts whose placement hint went stale and were re-tried
+    /// (diagnostic).
+    pub reservation_retries: u64,
+    /// Reserved puts that exhausted their retry budget and fell back to
+    /// the lock-all path (diagnostic).
+    pub reservation_fallbacks: u64,
 }
 
 impl StressOutcome {
@@ -789,7 +832,7 @@ pub fn run_stress(cfg: &StressConfig, threads: usize) -> StressOutcome {
     if cfg.journal {
         cache.enable_journal();
     }
-    let mut engine = Engine::Sharded(cache.clone());
+    let mut engine = Engine::Sharded(Box::new(cache.clone()));
     let workers = build_workers(cfg, &mut engine);
 
     // Deal the workers round-robin into per-thread hands.
@@ -860,6 +903,11 @@ pub fn run_stress(cfg: &StressConfig, threads: usize) -> StressOutcome {
         front_tree_retries: cache.front_tree_retries(),
         front_tree_fallbacks: cache.front_tree_fallbacks(),
         remote: cache.remote_totals(),
+        batched_ops: cache.batched_ops(),
+        batch_lock_acquisitions: cache.batch_lock_acquisitions(),
+        batch_journal_appends: cache.batch_journal_appends(),
+        reservation_retries: cache.reservation_retries(),
+        reservation_fallbacks: cache.reservation_fallbacks(),
     }
 }
 
@@ -894,7 +942,7 @@ impl CrashHarness {
         };
         CrashHarness {
             cfg,
-            cache,
+            cache: *cache,
             workers,
         }
     }
@@ -1024,7 +1072,7 @@ impl CrashHarness {
     /// guest does to re-establish the invalidation horizon. Only after
     /// that may the remote serve again ("forget, never lie").
     fn reattach_remote(&mut self, setup: &RemoteSetup) {
-        let mut engine = Engine::Sharded(self.cache.clone());
+        let mut engine = Engine::Sharded(Box::new(self.cache.clone()));
         let id = engine.attach_remote(setup);
         for w in &self.workers {
             for &pool in &w.pools {

@@ -83,7 +83,7 @@
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard};
 
 use ddc_cleancache::{
     CachePolicy, GetOutcome, PageVersion, PoolId, PoolStats, PutOutcome, SecondChanceCache,
@@ -95,7 +95,7 @@ use ddc_hypercache::readplane::{ReadPlane, ReadProbe};
 use ddc_hypercache::{
     AdmissionConfig, CacheConfig, EntityUsage, PartitionMode, EVICTION_BATCH_PAGES,
 };
-use ddc_metrics::CounterSnapshot;
+use ddc_metrics::{BatchCounters, CounterSnapshot};
 use ddc_sim::{FxHashMap, SimTime};
 use ddc_storage::{
     BlockAddr, ChunkStore, FileId, Journal, JournalRecord, RemoteBinding, RemoteCounters,
@@ -386,6 +386,23 @@ struct Inner {
     /// the ledger right after the winner frees room. Acquired with no
     /// other lock held, so it sits above the whole lock order.
     eviction_gate: Mutex<()>,
+    /// Reservation-path puts whose unlocked placement hint went stale
+    /// before the home shard's lock was taken and retried (DESIGN.md
+    /// §18).
+    reservation_retries: AtomicU64,
+    /// Reservation-path puts that spent their retry budget and fell
+    /// back to the lock-all `put_locked`.
+    reservation_fallbacks: AtomicU64,
+    /// Operations applied through the batched (`*_many`) entry points.
+    batched_ops: AtomicU64,
+    /// Shard-lock acquisitions charged to the batched entry points
+    /// (group entries plus mid-group re-locks around eviction and
+    /// compaction) — `batched_ops / batch_lock_acquisitions` is the
+    /// amortization the batch plane buys.
+    batch_lock_acquisitions: AtomicU64,
+    /// Scratch-buffer drains: journal batch appends, each covering one
+    /// contiguous generation run claimed with a single `fetch_add`.
+    batch_journal_appends: AtomicU64,
 }
 
 /// A concurrent sharded DoubleDecker cache (see the [module
@@ -420,6 +437,10 @@ const HOT_SLOTS: usize = 64;
 /// caching "no such pool".
 type Route = Option<(CachePolicy, Arc<UsageMirror>)>;
 
+/// The guard pair a home-shard (reservation-path) put holds: the
+/// registry read lock and the home shard's lock, in lock order.
+type HomeGuards<'a> = (RwLockReadGuard<'a, Registry>, MutexGuard<'a, Shard>);
+
 /// One cached *negative* lookup: `(vm, pool, addr)` was absent from its
 /// home shard when the shard's membership version was `stamp`. Exclusive
 /// caches can only replicate misses — a hit consumes its entry, so a
@@ -451,6 +472,46 @@ struct LocalReplica {
     lockfree_misses: u64,
     /// Of those, lookups answered from `hot` without probing the plane.
     replica_hits: u64,
+    /// Reusable encode buffer for the batched entry points: journal
+    /// records pending for the shard visit in progress, drained as one
+    /// contiguous generation run before the shard lock drops. Kept on
+    /// the handle so a steady batch workload allocates it once.
+    scratch: Vec<JournalRecord>,
+    /// Memoized two-level share tables — the concurrent analogue of the
+    /// serial engine's cached `share_tables` (§4.2 recomputes on
+    /// configuration change, not per operation). The mutex is handle-
+    /// local and therefore uncontended; it exists only to keep the
+    /// handle `Sync` while the hot put paths (which run on `&self`)
+    /// mutate the memo. See [`ShardedCache::with_share_memo`] for the
+    /// exactness argument.
+    entitlements: Mutex<EntitlementMemo>,
+}
+
+/// See [`LocalReplica::entitlements`].
+#[derive(Default)]
+struct EntitlementMemo {
+    /// The [`Inner::registry_version`] the tables were built under.
+    registry_version: u64,
+    /// Per store (`[mem, ssd]`), lazily built.
+    tables: [Option<MemoTable>; 2],
+}
+
+/// One store's memoized share table plus everything its validity
+/// depends on beyond the registry version.
+struct MemoTable {
+    /// Store capacity the shares were split over.
+    capacity: u64,
+    /// `(vm, entitlement, weight)` per participating VM, `VmId` order.
+    vm_rows: Vec<(VmId, u64, u64)>,
+    /// Parallel to `vm_rows`: `(pool, entitlement, weight)` rows.
+    pool_rows: Vec<Vec<(PoolId, u64, u64)>>,
+    /// Every pool the registry holds that is *not* assigned to this
+    /// store by policy: its usage mirror and whether it participated
+    /// (legacy pages > 0) when the table was built. A flip in any of
+    /// these is the only way usage can change the table, so checking
+    /// them is a complete invalidation test — the concurrent analogue
+    /// of the serial engine's `note_insertion`/`note_removal`.
+    legacy: Vec<(Arc<UsageMirror>, bool)>,
 }
 
 impl LocalReplica {
@@ -461,6 +522,8 @@ impl LocalReplica {
             hot: vec![None; HOT_SLOTS],
             lockfree_misses: 0,
             replica_hits: 0,
+            scratch: Vec::new(),
+            entitlements: Mutex::new(EntitlementMemo::default()),
         }
     }
 
@@ -591,6 +654,11 @@ impl ShardedCache {
                 remote_registry: Mutex::new(RemoteRegistry::new()),
                 remote_on: AtomicBool::new(false),
                 eviction_gate: Mutex::new(()),
+                reservation_retries: AtomicU64::new(0),
+                reservation_fallbacks: AtomicU64::new(0),
+                batched_ops: AtomicU64::new(0),
+                batch_lock_acquisitions: AtomicU64::new(0),
+                batch_journal_appends: AtomicU64::new(0),
             }),
         }
     }
@@ -870,6 +938,42 @@ impl ShardedCache {
         self.inner.front_tree_fallbacks.load(Ordering::Relaxed)
     }
 
+    /// Reservation-path puts that re-validated stale and retried.
+    pub fn reservation_retries(&self) -> u64 {
+        self.inner.reservation_retries.load(Ordering::Relaxed)
+    }
+
+    /// Reservation-path puts that took the lock-all fallback.
+    pub fn reservation_fallbacks(&self) -> u64 {
+        self.inner.reservation_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Operations applied through the batched (`*_many`) entry points.
+    pub fn batched_ops(&self) -> u64 {
+        self.inner.batched_ops.load(Ordering::Relaxed)
+    }
+
+    /// Shard-lock acquisitions charged to the batched entry points.
+    pub fn batch_lock_acquisitions(&self) -> u64 {
+        self.inner.batch_lock_acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Journal batch appends issued by scratch drains.
+    pub fn batch_journal_appends(&self) -> u64 {
+        self.inner.batch_journal_appends.load(Ordering::Relaxed)
+    }
+
+    /// The batch plane's counters as one snapshot block.
+    pub fn batch_counters(&self) -> BatchCounters {
+        BatchCounters {
+            batched_ops: self.batched_ops(),
+            lock_acquisitions: self.batch_lock_acquisitions(),
+            journal_appends: self.batch_journal_appends(),
+            reservation_retries: self.reservation_retries(),
+            reservation_fallbacks: self.reservation_fallbacks(),
+        }
+    }
+
     /// Shard `si`'s lock-free membership table (auditor use).
     pub(crate) fn read_plane(&self, si: usize) -> &ReadPlane {
         &self.inner.read_planes[si]
@@ -1069,6 +1173,48 @@ impl ShardedCache {
         }
         let mut shard = self.lock_shard(si);
         self.log_in(&mut shard, rec)
+    }
+
+    /// Drains the batch scratch buffer into the (locked) shard's
+    /// segment as one contiguous generation run: one `fetch_add(n)` on
+    /// the global generation counter, one buffered batch append
+    /// (wire-identical to per-record appends). Returns the last
+    /// generation claimed, or 0 when nothing was pending or the shard
+    /// has no segment. Must run before the shard lock drops and before
+    /// any direct [`Self::log_in`] on the same shard, so the global
+    /// generation order equals operation order.
+    fn drain_scratch(&self, shard: &mut Shard, scratch: &mut Vec<JournalRecord>) -> u64 {
+        if scratch.is_empty() {
+            return 0;
+        }
+        let Some(j) = shard.journal.as_mut() else {
+            scratch.clear();
+            return 0;
+        };
+        let n = scratch.len() as u64;
+        let start = self.inner.journal_gen.fetch_add(n, Ordering::Relaxed);
+        let last = j.append_run(scratch, start);
+        self.inner.journal_records.fetch_add(n, Ordering::Relaxed);
+        self.inner
+            .batch_journal_appends
+            .fetch_add(1, Ordering::Relaxed);
+        scratch.clear();
+        last
+    }
+
+    /// The live-compaction trigger with `pending` records still in a
+    /// batch's scratch buffer — the batched paths must observe the
+    /// threshold at the same operation the per-op paths would, or the
+    /// checkpoint rewrite consumes generations at a different point and
+    /// journal byte-identity with the serial engine breaks.
+    fn compaction_due(&self, pending: usize) -> bool {
+        if !self.journal_enabled() {
+            return false;
+        }
+        let live = self.inner.mem.used_pages() + self.inner.ssd.used_pages();
+        let threshold =
+            (live * Self::JOURNAL_COMPACT_FACTOR).max(Self::JOURNAL_COMPACT_MIN_RECORDS);
+        self.inner.journal_records.load(Ordering::Relaxed) + pending as u64 > threshold
     }
 
     /// `StoreKind` wire discriminant (matches the serial engine).
@@ -2076,6 +2222,130 @@ impl ShardedCache {
             .unwrap_or(0)
     }
 
+    /// Runs `f` against the handle-local memoized share table for one
+    /// store, rebuilding it first if it is stale.
+    ///
+    /// The memo is *exact*, not approximate: the table is a pure
+    /// function of the registry contents (weights, policies), the
+    /// store capacity, and the participant set — and usage enters only
+    /// through the participation test of pools the policy does not
+    /// assign to the store (`by_policy || used > 0`). All three inputs
+    /// are revalidated here on every call (version, a capacity load,
+    /// and a participation probe of the usually-empty legacy list), so
+    /// the answer is identical to a from-scratch
+    /// [`Self::build_share_table_with`] over the current mirrors —
+    /// just without the per-call allocations and fair-share division
+    /// that made per-op entitlement queries the dominant cost of
+    /// hybrid-pool put batches.
+    fn with_share_memo<R>(
+        &self,
+        reg: &Registry,
+        placement: Placement,
+        f: impl FnOnce(&MemoTable) -> R,
+    ) -> R {
+        let mut memo = self.local.entitlements.lock().expect("memo poisoned");
+        // The caller holds the registry read lock, so the version
+        // cannot move under us (mutations bump it under the write
+        // lock).
+        let version = self.inner.registry_version.load(Ordering::Acquire);
+        if memo.registry_version != version {
+            memo.tables = [None, None];
+            memo.registry_version = version;
+        }
+        let idx = match placement {
+            Placement::Mem => 0,
+            Placement::Ssd => 1,
+        };
+        let capacity = self.ledger(placement).capacity_pages();
+        let valid = memo.tables[idx].as_ref().is_some_and(|t| {
+            t.capacity == capacity
+                && t.legacy
+                    .iter()
+                    .all(|(m, joined)| (m.pages(placement) > 0) == *joined)
+        });
+        if !valid {
+            memo.tables[idx] = Some(self.build_memo_table(reg, placement, capacity));
+        }
+        f(memo.tables[idx].as_ref().expect("filled above"))
+    }
+
+    /// Builds one store's [`MemoTable`] — [`Self::build_share_table_with`]
+    /// over the usage mirrors, additionally recording every
+    /// not-by-policy pool for the memo's participation revalidation.
+    fn build_memo_table(&self, reg: &Registry, placement: Placement, capacity: u64) -> MemoTable {
+        let mut legacy = Vec::new();
+        let mut vm_ids = Vec::new();
+        let mut vm_weights = Vec::new();
+        let mut pool_meta: Vec<Vec<(PoolId, u64)>> = Vec::new();
+        for (&vm, meta) in &reg.vms {
+            let mut pools_here = Vec::new();
+            for (pid, policy, mirror) in &meta.pools {
+                if Self::pool_by_policy(*policy, placement) {
+                    pools_here.push((*pid, policy.weight as u64));
+                } else {
+                    let joined = mirror.pages(placement) > 0;
+                    legacy.push((mirror.clone(), joined));
+                    if joined {
+                        pools_here.push((*pid, 0));
+                    }
+                }
+            }
+            if !pools_here.is_empty() {
+                vm_ids.push(vm);
+                vm_weights.push(meta.weight_for(placement));
+                pool_meta.push(pools_here);
+            }
+        }
+        let vm_shares = entitlements(capacity, &vm_weights);
+        let mut vm_rows = Vec::with_capacity(vm_ids.len());
+        let mut pool_rows = Vec::with_capacity(vm_ids.len());
+        for (i, &vm) in vm_ids.iter().enumerate() {
+            vm_rows.push((vm, vm_shares[i], vm_weights[i]));
+            let weights: Vec<u64> = pool_meta[i].iter().map(|&(_, w)| w).collect();
+            let shares = entitlements(vm_shares[i], &weights);
+            pool_rows.push(
+                pool_meta[i]
+                    .iter()
+                    .zip(shares)
+                    .map(|(&(p, w), s)| (p, s, w))
+                    .collect(),
+            );
+        }
+        MemoTable {
+            capacity,
+            vm_rows,
+            pool_rows,
+            legacy,
+        }
+    }
+
+    /// A pool's entitlement through the handle-local memo — no shard
+    /// locks, usage entering only via the memo's participation checks.
+    /// The per-op entitlement query of the reservation and batched-put
+    /// paths. Driven single-threaded the mirrors equal the locked
+    /// usage, so this answers exactly what [`Self::pool_entitlement_in`]
+    /// would; under contention it may be momentarily stale, which the
+    /// reservation path tolerates by re-validating (and the batched
+    /// path by deciding under the home shard's lock, where its own
+    /// pool's usage is exact).
+    fn pool_entitlement_memo(
+        &self,
+        reg: &Registry,
+        vm: VmId,
+        pool: PoolId,
+        placement: Placement,
+    ) -> u64 {
+        self.with_share_memo(reg, placement, |t| {
+            let Ok(vi) = t.vm_rows.binary_search_by_key(&vm, |r| r.0) else {
+                return 0;
+            };
+            t.pool_rows[vi]
+                .binary_search_by_key(&pool, |r| r.0)
+                .map(|pi| t.pool_rows[vi][pi].1)
+                .unwrap_or(0)
+        })
+    }
+
     // ------------------------------------------------------------------
     // Two-phase eviction (DoubleDecker mode; see the module docs).
     // ------------------------------------------------------------------
@@ -2095,35 +2365,36 @@ impl ShardedCache {
         reg: &Registry,
         placement: Placement,
     ) -> Option<(VmId, PoolId)> {
-        let (vm_rows, pool_rows) =
-            self.build_share_table_with(reg, placement, |_, _, m| m.pages(placement));
-        let mut vm_entities = Vec::with_capacity(vm_rows.len());
-        for &(vm, share, weight) in &vm_rows {
-            let used: u64 = reg.vms[&vm]
-                .pools
-                .iter()
-                .map(|(_, _, m)| m.pages(placement))
-                .sum();
-            vm_entities.push(EntityUsage::new(share, used, weight));
-        }
-        let vm_idx = select_victim(&vm_entities, EVICTION_BATCH_PAGES)?;
-        let victim_vm = vm_rows[vm_idx].0;
-        let meta = &reg.vms[&victim_vm];
-        let rows = &pool_rows[vm_idx];
-        let mut pool_entities = Vec::with_capacity(rows.len());
-        for &(pid, share, weight) in rows {
-            let used = meta.mirror_of(pid).map(|m| m.pages(placement)).unwrap_or(0);
-            pool_entities.push(EntityUsage::new(share, used, weight));
-        }
-        let pool_idx = select_victim(&pool_entities, EVICTION_BATCH_PAGES).or_else(|| {
-            pool_entities
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| e.used > 0)
-                .max_by_key(|(_, e)| e.used)
-                .map(|(i, _)| i)
-        })?;
-        Some((victim_vm, rows[pool_idx].0))
+        self.with_share_memo(reg, placement, |t| {
+            let (vm_rows, pool_rows) = (&t.vm_rows, &t.pool_rows);
+            let mut vm_entities = Vec::with_capacity(vm_rows.len());
+            for &(vm, share, weight) in vm_rows {
+                let used: u64 = reg.vms[&vm]
+                    .pools
+                    .iter()
+                    .map(|(_, _, m)| m.pages(placement))
+                    .sum();
+                vm_entities.push(EntityUsage::new(share, used, weight));
+            }
+            let vm_idx = select_victim(&vm_entities, EVICTION_BATCH_PAGES)?;
+            let victim_vm = vm_rows[vm_idx].0;
+            let meta = &reg.vms[&victim_vm];
+            let rows = &pool_rows[vm_idx];
+            let mut pool_entities = Vec::with_capacity(rows.len());
+            for &(pid, share, weight) in rows {
+                let used = meta.mirror_of(pid).map(|m| m.pages(placement)).unwrap_or(0);
+                pool_entities.push(EntityUsage::new(share, used, weight));
+            }
+            let pool_idx = select_victim(&pool_entities, EVICTION_BATCH_PAGES).or_else(|| {
+                pool_entities
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.used > 0)
+                    .max_by_key(|(_, e)| e.used)
+                    .map(|(i, _)| i)
+            })?;
+            Some((victim_vm, rows[pool_idx].0))
+        })
     }
 
     /// Two-phase weighted eviction: snapshot-select without shard locks,
@@ -2606,6 +2877,64 @@ impl ShardedCache {
     // Put paths.
     // ------------------------------------------------------------------
 
+    /// Allocates one page from `placement`'s ledger, evicting until the
+    /// allocation lands or eviction stops freeing (`false`: the put
+    /// must reject). Caller must hold no locks.
+    ///
+    /// Resource-conservative enforcement against the global ledger:
+    /// evict only when the store itself is full. DoubleDecker mode uses
+    /// the two-phase scheme (one shard locked in the common case);
+    /// Global mode runs the front-sequence tournament, locking only the
+    /// nominated shard per victim; Strict stays lock-all (its victim
+    /// choice needs the entitlement table).
+    fn alloc_or_evict(&self, now: SimTime, placement: Placement) -> bool {
+        loop {
+            if self.ledger(placement).try_alloc() {
+                return true;
+            }
+            // Single-evictor gate (see [`Inner::eviction_gate`]): blocked
+            // putters back off here instead of each running a duplicate
+            // batch; the re-check below usually succeeds off the winner's
+            // freed pages. `try_lock` + yield rather than `lock`: parking
+            // losers on the mutex would wake them one by one in a futex
+            // handoff chain after every batch, and on few cores that
+            // chain of context switches is what the gate exists to avoid.
+            // The winner always makes progress (evicts or rejects), so
+            // the spin is bounded by one batch. Single-threaded the
+            // try_lock always succeeds and the re-check always fails
+            // (nothing freed since the check above), so the serial victim
+            // sequence — and byte-identity — is untouched.
+            let _evictor = match self.inner.eviction_gate.try_lock() {
+                Ok(guard) => guard,
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    std::thread::yield_now();
+                    continue;
+                }
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("eviction gate poisoned"),
+            };
+            if self.ledger(placement).try_alloc() {
+                return true;
+            }
+            let freed = match self.inner.mode {
+                PartitionMode::DoubleDecker => self.evict_batch_two_phase(now, placement),
+                PartitionMode::Global => self.evict_batch_global_tree(placement),
+                PartitionMode::Strict => {
+                    let reg = self.inner.registry.read().expect("registry poisoned");
+                    let mut shards = self.lock_all_shards();
+                    // Re-check under the locks: another thread may have
+                    // freed room while we were blocking on them.
+                    if self.ledger(placement).try_alloc() {
+                        return true;
+                    }
+                    self.evict_batch_locked(&reg, &mut shards, now, placement)
+                }
+            };
+            if freed == 0 {
+                return false;
+            }
+        }
+    }
+
     /// The single-shard fast path: mem- or SSD-policy puts outside
     /// strict mode. Placement is policy-determined (usage-independent),
     /// so only the home shard and the ledgers are touched unless the
@@ -2635,56 +2964,8 @@ impl ShardedCache {
             }
         }
 
-        // Resource-conservative enforcement against the global ledger:
-        // evict only when the store itself is full. DoubleDecker mode
-        // uses the two-phase scheme (one shard locked in the common
-        // case); Global mode runs the front-sequence tournament, locking
-        // only the nominated shard per victim; Strict stays lock-all
-        // (its victim choice needs the entitlement table).
-        loop {
-            if self.ledger(placement).try_alloc() {
-                break;
-            }
-            // Single-evictor gate (see [`Inner::eviction_gate`]): blocked
-            // putters back off here instead of each running a duplicate
-            // batch; the re-check below usually succeeds off the winner's
-            // freed pages. `try_lock` + yield rather than `lock`: parking
-            // losers on the mutex would wake them one by one in a futex
-            // handoff chain after every batch, and on few cores that
-            // chain of context switches is what the gate exists to avoid.
-            // The winner always makes progress (evicts or rejects), so
-            // the spin is bounded by one batch. Single-threaded the
-            // try_lock always succeeds and the re-check always fails
-            // (nothing freed since the check above), so the serial victim
-            // sequence — and byte-identity — is untouched.
-            let _evictor = match self.inner.eviction_gate.try_lock() {
-                Ok(guard) => guard,
-                Err(std::sync::TryLockError::WouldBlock) => {
-                    std::thread::yield_now();
-                    continue;
-                }
-                Err(std::sync::TryLockError::Poisoned(_)) => panic!("eviction gate poisoned"),
-            };
-            if self.ledger(placement).try_alloc() {
-                break;
-            }
-            let freed = match self.inner.mode {
-                PartitionMode::DoubleDecker => self.evict_batch_two_phase(now, placement),
-                PartitionMode::Global => self.evict_batch_global_tree(placement),
-                PartitionMode::Strict => {
-                    let reg = self.inner.registry.read().expect("registry poisoned");
-                    let mut shards = self.lock_all_shards();
-                    // Re-check under the locks: another thread may have
-                    // freed room while we were blocking on them.
-                    if self.ledger(placement).try_alloc() {
-                        break;
-                    }
-                    self.evict_batch_locked(&reg, &mut shards, now, placement)
-                }
-            };
-            if freed == 0 {
-                return PutOutcome::Rejected;
-            }
+        if !self.alloc_or_evict(now, placement) {
+            return PutOutcome::Rejected;
         }
 
         let seq = self.alloc_seq();
@@ -2851,6 +3132,591 @@ impl ShardedCache {
         drop(reg);
         self.maybe_compact_journal();
         PutOutcome::Stored { finish: now }
+    }
+
+    /// Stale placement hints tolerated before a reservation-path put
+    /// gives up and takes the lock-all [`Self::put_locked`] fallback —
+    /// the same bounded-optimism shape as two-phase eviction.
+    const RESERVATION_MAX_RETRIES: u32 = 4;
+
+    /// Applies one Hybrid/Strict put under the home shard's lock with
+    /// the placement already decided — the serial statement order of
+    /// [`Self::put_locked`], minus the lock-all. `reserved` says a page
+    /// was already claimed from `placement`'s ledger (the reservation);
+    /// every rejecting exit gives it back. The store-full path drains
+    /// `scratch`, drops both guards and runs the fast-path eviction
+    /// loop, then re-acquires in lock order — so the caller gets its
+    /// guards back through the return value (`None` only when the put
+    /// rejected with no locks held).
+    ///
+    /// The Put record goes to `scratch`, not straight to the segment:
+    /// batch callers drain once per shard visit, the per-op caller
+    /// drains immediately after this returns.
+    #[allow(clippy::too_many_arguments)]
+    fn put_in_home_shard<'a>(
+        &'a self,
+        now: SimTime,
+        guards: HomeGuards<'a>,
+        si: usize,
+        vm: VmId,
+        pool: PoolId,
+        addr: BlockAddr,
+        version: PageVersion,
+        policy: CachePolicy,
+        placement: Placement,
+        reserved: bool,
+        scratch: &mut Vec<JournalRecord>,
+    ) -> (PutOutcome, Option<HomeGuards<'a>>) {
+        let (mut reg, mut shard) = guards;
+
+        // Ghost admission: a hybrid pool spilling into its SSD share
+        // must earn the flash write (serial `put` order: checked before
+        // any mutation, so the engines decide identically).
+        if self.inner.admission.filters_spills()
+            && placement == Placement::Ssd
+            && policy.store == StoreKind::Hybrid
+        {
+            let window = self.inner.admission.ghost_window;
+            if let Some(p) = shard.pools.get_mut(&(vm, pool)) {
+                p.wear.spill_attempts += 1;
+                if p.ghost.admit(addr, window) {
+                    p.wear.spill_admits += 1;
+                } else {
+                    p.wear.spill_rejects += 1;
+                    if reserved {
+                        self.ledger(placement).free(1);
+                    }
+                    return (PutOutcome::Rejected, Some((reg, shard)));
+                }
+            }
+        }
+
+        // Exclusive overwrite.
+        if let Some(old) = shard
+            .pools
+            .get_mut(&(vm, pool))
+            .and_then(|p| p.remove(addr))
+        {
+            self.ledger(old.placement).free(1);
+            shard.note_stale(old.placement, 1);
+        }
+
+        // Strict-mode pre-check: a pool at its hard partition evicts
+        // from itself before the store-level check. Entitlement comes
+        // from the mirrors (exact when single-threaded); the eviction
+        // itself only needs the home shard, which we hold.
+        if self.inner.mode == PartitionMode::Strict {
+            let entitlement = self.pool_entitlement_memo(&reg, vm, pool, placement);
+            let used = shard
+                .pools
+                .get(&(vm, pool))
+                .map(|p| p.used(placement))
+                .unwrap_or(0);
+            if used + 1 > entitlement {
+                let hybrid = policy.store == StoreKind::Hybrid;
+                // The evictor journals straight into the segment —
+                // pending batch records must land first so generation
+                // order stays equal to operation order.
+                self.drain_scratch(&mut shard, scratch);
+                let freed = self.evict_pages_from_shard(
+                    &mut shard,
+                    vm,
+                    pool,
+                    placement,
+                    EVICTION_BATCH_PAGES,
+                    hybrid,
+                );
+                if freed == 0 {
+                    if reserved {
+                        self.ledger(placement).free(1);
+                    }
+                    return (PutOutcome::Rejected, Some((reg, shard)));
+                }
+            }
+        }
+
+        if !reserved {
+            // Serial order: the overwrite above may have freed the very
+            // page this put needs, so the ledger is retried before any
+            // eviction — this is why a failed phase-A reservation must
+            // not reject eagerly.
+            if !self.ledger(placement).try_alloc() {
+                self.drain_scratch(&mut shard, scratch);
+                drop(shard);
+                drop(reg);
+                if !self.alloc_or_evict(now, placement) {
+                    return (PutOutcome::Rejected, None);
+                }
+                reg = self.inner.registry.read().expect("registry poisoned");
+                shard = self.lock_shard(si);
+            }
+        }
+
+        let seq = self.alloc_seq();
+        let Some(pool_entry) = shard.pools.get_mut(&(vm, pool)) else {
+            // The pool was destroyed while we were evicting; give the
+            // page back.
+            self.ledger(placement).free(1);
+            return (PutOutcome::Rejected, Some((reg, shard)));
+        };
+        pool_entry.counters.puts += 1;
+        let (sid, displaced) = pool_entry.insert(addr, placement, version, seq);
+        if let Some(displaced) = displaced {
+            self.ledger(displaced).free(1);
+            shard.note_stale(displaced, 1);
+        }
+        self.push_shard_fifo(si, &mut shard, vm, pool, sid, seq, placement);
+        if shard.journal.is_some() {
+            scratch.push(JournalRecord::Put {
+                vm: vm.0,
+                pool: pool.0,
+                addr,
+                version: version.0,
+                placement: Self::placement_code(placement),
+            });
+        }
+        (PutOutcome::Stored { finish: now }, Some((reg, shard)))
+    }
+
+    /// The reservation-path put that replaces lock-all dispatch for
+    /// Hybrid-store and Strict-mode puts (DESIGN.md §18). Phase A takes
+    /// a placement hint from the usage mirrors and reserves the page
+    /// against that ledger with no locks held; phase B locks only the
+    /// home shard, re-derives the placement authoritatively, and either
+    /// applies (hint held) or releases the reservation and retries
+    /// (hint stale). A spent retry budget falls back to
+    /// [`Self::put_locked`] — the same bounded-optimism shape as
+    /// two-phase eviction, so the path can never loop without progress.
+    ///
+    /// Driven single-threaded the mirrors equal the locked usage: the
+    /// first hint always validates and the statement order below
+    /// matches the serial engine exactly.
+    #[allow(clippy::too_many_arguments)]
+    fn put_reserved(
+        &self,
+        now: SimTime,
+        vm: VmId,
+        pool: PoolId,
+        addr: BlockAddr,
+        version: PageVersion,
+        policy: CachePolicy,
+        mirror: &UsageMirror,
+        scratch: &mut Vec<JournalRecord>,
+    ) -> PutOutcome {
+        for _ in 0..Self::RESERVATION_MAX_RETRIES {
+            // Phase A: hint + reservation, no locks. The hybrid
+            // placement decision is taken with the old copy still
+            // resident, matching the serial engine.
+            let hint = match policy.store {
+                StoreKind::Mem => Placement::Mem,
+                StoreKind::Ssd => Placement::Ssd,
+                StoreKind::Hybrid => {
+                    let reg = self.inner.registry.read().expect("registry poisoned");
+                    let entitlement = self.pool_entitlement_memo(&reg, vm, pool, Placement::Mem);
+                    if mirror.pages(Placement::Mem) < entitlement {
+                        Placement::Mem
+                    } else {
+                        Placement::Ssd
+                    }
+                }
+            };
+            if self.ledger(hint).is_disabled() {
+                return PutOutcome::Rejected;
+            }
+            // A full ledger is not a rejection: the overwrite inside
+            // phase B may free the page, and the store-full eviction
+            // loop runs there in serial order.
+            let reserved = self.ledger(hint).try_alloc();
+            // No locks held: the hook (tests only) and any other thread
+            // are free to invalidate the hint before phase B.
+            self.run_eviction_hook();
+
+            // Phase B: registry read + the home shard only.
+            let reg = self.inner.registry.read().expect("registry poisoned");
+            let si = self.shard_of(vm, pool);
+            let shard = self.lock_shard(si);
+            let placement = match policy.store {
+                StoreKind::Mem => Placement::Mem,
+                StoreKind::Ssd => Placement::Ssd,
+                StoreKind::Hybrid => {
+                    let entitlement = self.pool_entitlement_memo(&reg, vm, pool, Placement::Mem);
+                    let used = shard
+                        .pools
+                        .get(&(vm, pool))
+                        .map(|p| p.used(Placement::Mem))
+                        .unwrap_or(0);
+                    if used < entitlement {
+                        Placement::Mem
+                    } else {
+                        Placement::Ssd
+                    }
+                }
+            };
+            if placement != hint {
+                drop(shard);
+                drop(reg);
+                if reserved {
+                    self.ledger(hint).free(1);
+                }
+                self.inner
+                    .reservation_retries
+                    .fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+
+            let (outcome, guards) = self.put_in_home_shard(
+                now,
+                (reg, shard),
+                si,
+                vm,
+                pool,
+                addr,
+                version,
+                policy,
+                placement,
+                reserved,
+                scratch,
+            );
+            if let Some((reg, mut shard)) = guards {
+                self.drain_scratch(&mut shard, scratch);
+                drop(shard);
+                drop(reg);
+            }
+            debug_assert!(scratch.is_empty());
+            if matches!(outcome, PutOutcome::Stored { .. }) {
+                self.maybe_compact_journal();
+            }
+            return outcome;
+        }
+        self.inner
+            .reservation_fallbacks
+            .fetch_add(1, Ordering::Relaxed);
+        self.put_locked(now, vm, pool, addr, version, policy)
+    }
+
+    // ------------------------------------------------------------------
+    // Batched application (DESIGN.md §18). Every `*_many` call names one
+    // `(vm, pool)`, so the whole group homes on one shard: the group
+    // helpers take the shard lock once, apply the ops in call order, and
+    // drain pending journal records as one contiguous generation run
+    // before the lock drops. Per-op-point compaction checks keep the
+    // checkpoint rewrite firing at the same operation the per-op paths
+    // would, which is what preserves journal byte-identity.
+    // ------------------------------------------------------------------
+
+    /// One locked get against the (locked) home shard — the per-op
+    /// `get`'s locked tail, with the Take record going to `scratch`
+    /// instead of straight to the segment.
+    fn get_in_shard(
+        &self,
+        shard: &mut Shard,
+        now: SimTime,
+        vm: VmId,
+        pool: PoolId,
+        addr: BlockAddr,
+        scratch: &mut Vec<JournalRecord>,
+    ) -> GetOutcome {
+        let Some(p) = shard.pools.get_mut(&(vm, pool)) else {
+            return Self::remote_get_in(shard, now, vm, pool, addr);
+        };
+        p.counters.gets += 1;
+        let Some(slot) = p.remove(addr) else {
+            return Self::remote_get_in(shard, now, vm, pool, addr);
+        };
+        p.counters.hits += 1;
+        // A hit on an SSD-resident block is proven reuse: re-arm its
+        // ghost entry (mirrors the per-op path exactly).
+        if self.inner.admission.filters_spills()
+            && slot.placement == Placement::Ssd
+            && p.policy().store == StoreKind::Hybrid
+        {
+            p.ghost.note(addr);
+        }
+        self.ledger(slot.placement).free(1);
+        shard.note_stale(slot.placement, 1);
+        if shard.journal.is_some() {
+            scratch.push(JournalRecord::Take {
+                vm: vm.0,
+                pool: pool.0,
+                addr,
+            });
+        }
+        GetOutcome::Hit {
+            finish: now,
+            version: slot.version,
+        }
+    }
+
+    /// Applies the ops of a get batch that need the shard lock.
+    /// `locked` holds `(index, addr)` pairs in call order; outcomes land
+    /// in `out[index]`.
+    #[allow(clippy::too_many_arguments)]
+    fn get_group_locked(
+        &self,
+        now: SimTime,
+        si: usize,
+        vm: VmId,
+        pool: PoolId,
+        locked: &[(usize, BlockAddr)],
+        out: &mut [GetOutcome],
+        scratch: &mut Vec<JournalRecord>,
+    ) {
+        let mut shard = self.lock_shard(si);
+        self.inner
+            .batch_lock_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        for &(i, addr) in locked {
+            let pending = scratch.len();
+            out[i] = self.get_in_shard(&mut shard, now, vm, pool, addr, scratch);
+            // The per-op path compacts only after a local hit (the one
+            // case that journals); check at the same points.
+            if scratch.len() > pending && self.compaction_due(scratch.len()) {
+                self.drain_scratch(&mut shard, scratch);
+                drop(shard);
+                self.maybe_compact_journal();
+                shard = self.lock_shard(si);
+                self.inner
+                    .batch_lock_acquisitions
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.drain_scratch(&mut shard, scratch);
+    }
+
+    /// The batched fast-path put group: policy-fixed placements outside
+    /// strict mode, one lock acquisition in the common case.
+    #[allow(clippy::too_many_arguments)]
+    fn put_group_fast(
+        &self,
+        now: SimTime,
+        si: usize,
+        vm: VmId,
+        pool: PoolId,
+        pages: &[(BlockAddr, PageVersion)],
+        placement: Placement,
+        scratch: &mut Vec<JournalRecord>,
+    ) -> Vec<PutOutcome> {
+        let mut out = Vec::with_capacity(pages.len());
+        if self.ledger(placement).is_disabled() {
+            out.resize(pages.len(), PutOutcome::Rejected);
+            return out;
+        }
+        let mut shard = self.lock_shard(si);
+        self.inner
+            .batch_lock_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        for &(addr, version) in pages {
+            // Exclusive overwrite: displace any stale copy first so the
+            // freed page is available to this put.
+            if let Some(old) = shard
+                .pools
+                .get_mut(&(vm, pool))
+                .and_then(|p| p.remove(addr))
+            {
+                self.ledger(old.placement).free(1);
+                shard.note_stale(old.placement, 1);
+            }
+            if !self.ledger(placement).try_alloc() {
+                // Store full: land pending records, drop the lock and
+                // run the fast-path eviction loop, then rejoin the
+                // group (the per-op path holds no shard lock there
+                // either, so victim order matches serially).
+                self.drain_scratch(&mut shard, scratch);
+                drop(shard);
+                let allocated = self.alloc_or_evict(now, placement);
+                shard = self.lock_shard(si);
+                self.inner
+                    .batch_lock_acquisitions
+                    .fetch_add(1, Ordering::Relaxed);
+                if !allocated {
+                    out.push(PutOutcome::Rejected);
+                    continue;
+                }
+            }
+            let seq = self.alloc_seq();
+            let Some(pool_entry) = shard.pools.get_mut(&(vm, pool)) else {
+                self.ledger(placement).free(1);
+                out.push(PutOutcome::Rejected);
+                continue;
+            };
+            pool_entry.counters.puts += 1;
+            let (sid, displaced) = pool_entry.insert(addr, placement, version, seq);
+            if let Some(displaced) = displaced {
+                self.ledger(displaced).free(1);
+                shard.note_stale(displaced, 1);
+            }
+            self.push_shard_fifo(si, &mut shard, vm, pool, sid, seq, placement);
+            if shard.journal.is_some() {
+                scratch.push(JournalRecord::Put {
+                    vm: vm.0,
+                    pool: pool.0,
+                    addr,
+                    version: version.0,
+                    placement: Self::placement_code(placement),
+                });
+            }
+            out.push(PutOutcome::Stored { finish: now });
+            // The per-op path compacts after every stored put.
+            if self.compaction_due(scratch.len()) {
+                self.drain_scratch(&mut shard, scratch);
+                drop(shard);
+                self.maybe_compact_journal();
+                shard = self.lock_shard(si);
+                self.inner
+                    .batch_lock_acquisitions
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.drain_scratch(&mut shard, scratch);
+        out
+    }
+
+    /// The batched reservation-path put group (Hybrid store or Strict
+    /// mode): one registry read + one home-shard acquisition for the
+    /// whole group in the common case. Unlike the per-op
+    /// [`Self::put_reserved`] there is no hint/validate dance — the
+    /// placement is derived directly under the locks, where it is
+    /// authoritative, so the group path never retries.
+    #[allow(clippy::too_many_arguments)]
+    fn put_group_reserved(
+        &self,
+        now: SimTime,
+        si: usize,
+        vm: VmId,
+        pool: PoolId,
+        pages: &[(BlockAddr, PageVersion)],
+        policy: CachePolicy,
+        scratch: &mut Vec<JournalRecord>,
+    ) -> Vec<PutOutcome> {
+        let mut out = Vec::with_capacity(pages.len());
+        self.inner
+            .batch_lock_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        let mut guards = Some((
+            self.inner.registry.read().expect("registry poisoned"),
+            self.lock_shard(si),
+        ));
+        for &(addr, version) in pages {
+            let (reg, shard) = match guards.take() {
+                Some(g) => g,
+                None => {
+                    self.inner
+                        .batch_lock_acquisitions
+                        .fetch_add(1, Ordering::Relaxed);
+                    let reg = self.inner.registry.read().expect("registry poisoned");
+                    let shard = self.lock_shard(si);
+                    (reg, shard)
+                }
+            };
+            // Placement decided with the old copy still resident, like
+            // the serial engine. The own pool's usage is exact under
+            // its lock; the entitlement table reads the mirrors.
+            let placement = match policy.store {
+                StoreKind::Mem => Placement::Mem,
+                StoreKind::Ssd => Placement::Ssd,
+                StoreKind::Hybrid => {
+                    let entitlement = self.pool_entitlement_memo(&reg, vm, pool, Placement::Mem);
+                    let used = shard
+                        .pools
+                        .get(&(vm, pool))
+                        .map(|p| p.used(Placement::Mem))
+                        .unwrap_or(0);
+                    if used < entitlement {
+                        Placement::Mem
+                    } else {
+                        Placement::Ssd
+                    }
+                }
+            };
+            if self.ledger(placement).is_disabled() {
+                out.push(PutOutcome::Rejected);
+                guards = Some((reg, shard));
+                continue;
+            }
+            let (outcome, rest) = self.put_in_home_shard(
+                now,
+                (reg, shard),
+                si,
+                vm,
+                pool,
+                addr,
+                version,
+                policy,
+                placement,
+                false,
+                scratch,
+            );
+            out.push(outcome);
+            guards = rest;
+            // The per-op path compacts after every stored put; a put
+            // that stored always handed the guards back.
+            if matches!(outcome, PutOutcome::Stored { .. }) && self.compaction_due(scratch.len()) {
+                if let Some((reg, mut shard)) = guards.take() {
+                    self.drain_scratch(&mut shard, scratch);
+                    drop(shard);
+                    drop(reg);
+                }
+                self.maybe_compact_journal();
+            }
+        }
+        if let Some((reg, mut shard)) = guards.take() {
+            self.drain_scratch(&mut shard, scratch);
+            drop(shard);
+            drop(reg);
+        }
+        debug_assert!(scratch.is_empty());
+        out
+    }
+
+    /// The batched flush group: one lock acquisition, every Flush
+    /// record drained as one generation run. Returns the flush epoch —
+    /// the last generation claimed (0 with journaling off), exactly the
+    /// maximum the per-op loop would fold.
+    fn flush_group(
+        &self,
+        si: usize,
+        vm: VmId,
+        pool: PoolId,
+        addrs: &[BlockAddr],
+        scratch: &mut Vec<JournalRecord>,
+    ) -> u64 {
+        let mut shard = self.lock_shard(si);
+        self.inner
+            .batch_lock_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        for &addr in addrs {
+            if let Some(slot) = shard
+                .pools
+                .get_mut(&(vm, pool))
+                .and_then(|p| p.remove(addr))
+            {
+                self.ledger(slot.placement).free(1);
+                shard.note_stale(slot.placement, 1);
+            }
+            // The guest is writing the backing block: the remote's copy
+            // is stale forever after (stash it if the pool is not bound
+            // yet).
+            if let Some(b) = shard.remote_bindings.get_mut(&(vm, pool)) {
+                b.localize(addr);
+            } else if self.inner.remote_on.load(Ordering::Acquire) {
+                shard
+                    .remote_stash
+                    .entry((vm, pool))
+                    .or_default()
+                    .0
+                    .push(addr);
+            }
+            // Logged even when the block was absent — the epoch must
+            // cover the flush regardless (see the per-op path).
+            if shard.journal.is_some() {
+                scratch.push(JournalRecord::Flush {
+                    vm: vm.0,
+                    pool: pool.0,
+                    addr,
+                });
+            }
+        }
+        self.drain_scratch(&mut shard, scratch)
     }
 
     /// Moves one object between two pools on the *same* shard.
@@ -3261,21 +4127,29 @@ impl SecondChanceCache for ShardedCache {
         // Policy lookup through the handle-local route cache: the fast
         // path must not take a shard lock (and, in the common case, not
         // even the registry lock) to decide the route.
-        let Some((policy, _)) = self.route(vm, pool) else {
+        let Some((policy, mirror)) = self.route(vm, pool) else {
             return PutOutcome::Rejected;
         };
         if !policy.is_enabled() {
             return PutOutcome::Rejected;
         }
-        let needs_lock_all =
+        // Hybrid placement needs the share table and strict mode needs
+        // the entitlement pre-check — since PR 10 both go through the
+        // reservation path (home shard only, bounded retries) instead
+        // of lock-all.
+        let needs_reservation =
             policy.store == StoreKind::Hybrid || self.inner.mode == PartitionMode::Strict;
-        if needs_lock_all {
-            return self.put_locked(now, vm, pool, addr, version, policy);
+        if needs_reservation {
+            let mut scratch = std::mem::take(&mut self.local.scratch);
+            let out =
+                self.put_reserved(now, vm, pool, addr, version, policy, &mirror, &mut scratch);
+            self.local.scratch = scratch;
+            return out;
         }
         let placement = match policy.store {
             StoreKind::Mem => Placement::Mem,
             StoreKind::Ssd => Placement::Ssd,
-            StoreKind::Hybrid => unreachable!("routed to put_locked above"),
+            StoreKind::Hybrid => unreachable!("routed to put_reserved above"),
         };
         if self.ledger(placement).is_disabled() {
             return PutOutcome::Rejected;
@@ -3311,18 +4185,17 @@ impl SecondChanceCache for ShardedCache {
         // unsynced put that would have made the block present. Unlike
         // the serial plane this does NOT sync — durability arrives at
         // the next group-commit tick; the epoch VALUE is the same either
-        // way, and recovery's per-VM discard covers the window.
-        let epoch = self.log_in(
+        // way, and recovery's per-VM discard covers the window. Live
+        // compaction is NOT checked here: flushes compact at batch
+        // boundaries (`flush_many`), not per op, like the serial engine.
+        self.log_in(
             &mut shard,
             JournalRecord::Flush {
                 vm: vm.0,
                 pool: pool.0,
                 addr,
             },
-        );
-        drop(shard);
-        self.maybe_compact_journal();
-        epoch
+        )
     }
 
     fn flush_file(&mut self, vm: VmId, pool: PoolId, file: FileId) -> u64 {
@@ -3345,15 +4218,145 @@ impl SecondChanceCache for ShardedCache {
                 .1
                 .push(file);
         }
-        let epoch = self.log_in(
+        // Compaction hoisted to batch boundaries, like `flush`.
+        self.log_in(
             &mut shard,
             JournalRecord::FlushFile {
                 vm: vm.0,
                 pool: pool.0,
                 file,
             },
-        );
-        drop(shard);
+        )
+    }
+
+    fn get_many(
+        &mut self,
+        now: SimTime,
+        vm: VmId,
+        pool: PoolId,
+        addrs: &[BlockAddr],
+    ) -> Vec<GetOutcome> {
+        if addrs.is_empty() {
+            return Vec::new();
+        }
+        let Some((_, mirror)) = self.route(vm, pool) else {
+            // Unknown pool: a silent miss for the whole group, matching
+            // the per-op path (and the serial engine).
+            return vec![GetOutcome::Miss; addrs.len()];
+        };
+        self.inner
+            .batched_ops
+            .fetch_add(addrs.len() as u64, Ordering::Relaxed);
+        let si = self.shard_of(vm, pool);
+        let mut out = vec![GetOutcome::Miss; addrs.len()];
+        // First pass: answer definitive misses from the lock-free read
+        // plane (hot-miss replica first), exactly like the per-op path;
+        // everything else queues for one locked shard visit. Gets never
+        // add membership, so an earlier op in the batch cannot
+        // invalidate a later op's lock-free miss. Remote-bound pools
+        // skip the plane wholesale (see `get`).
+        let mut locked: Vec<(usize, BlockAddr)> = Vec::new();
+        if mirror.remote_bound() {
+            locked.extend(addrs.iter().copied().enumerate());
+        } else {
+            for (i, &addr) in addrs.iter().enumerate() {
+                let slot = LocalReplica::hot_slot(vm, pool, addr);
+                if let Some(h) = self.local.hot[slot] {
+                    if h.vm == vm
+                        && h.pool == pool
+                        && h.addr == addr
+                        && self.inner.read_planes[si].seq() == h.stamp
+                    {
+                        mirror.note_get();
+                        self.local.lockfree_misses += 1;
+                        self.local.replica_hits += 1;
+                        continue;
+                    }
+                }
+                let inner = &self.inner;
+                let probe = inner.read_planes[si].lookup(vm, pool, addr, || {
+                    if inner.read_hook_on.load(Ordering::Relaxed) {
+                        let hook = inner.read_hook.read().expect("hook poisoned").clone();
+                        if let Some(hook) = hook {
+                            hook();
+                        }
+                    }
+                });
+                match probe {
+                    ReadProbe::Absent { stamp } => {
+                        mirror.note_get();
+                        self.local.lockfree_misses += 1;
+                        self.local.hot[slot] = Some(HotEntry {
+                            vm,
+                            pool,
+                            addr,
+                            stamp,
+                        });
+                    }
+                    ReadProbe::Present | ReadProbe::Unavailable => locked.push((i, addr)),
+                }
+            }
+        }
+        if !locked.is_empty() {
+            let mut scratch = std::mem::take(&mut self.local.scratch);
+            self.get_group_locked(now, si, vm, pool, &locked, &mut out, &mut scratch);
+            debug_assert!(scratch.is_empty());
+            self.local.scratch = scratch;
+        }
+        out
+    }
+
+    fn put_many(
+        &mut self,
+        now: SimTime,
+        vm: VmId,
+        pool: PoolId,
+        pages: &[(BlockAddr, PageVersion)],
+    ) -> Vec<PutOutcome> {
+        if pages.is_empty() {
+            return Vec::new();
+        }
+        let Some((policy, _)) = self.route(vm, pool) else {
+            return vec![PutOutcome::Rejected; pages.len()];
+        };
+        if !policy.is_enabled() {
+            return vec![PutOutcome::Rejected; pages.len()];
+        }
+        self.inner
+            .batched_ops
+            .fetch_add(pages.len() as u64, Ordering::Relaxed);
+        let si = self.shard_of(vm, pool);
+        let mut scratch = std::mem::take(&mut self.local.scratch);
+        let out = if policy.store == StoreKind::Hybrid || self.inner.mode == PartitionMode::Strict {
+            self.put_group_reserved(now, si, vm, pool, pages, policy, &mut scratch)
+        } else {
+            let placement = match policy.store {
+                StoreKind::Mem => Placement::Mem,
+                StoreKind::Ssd => Placement::Ssd,
+                StoreKind::Hybrid => unreachable!("dispatched to the reserved group above"),
+            };
+            self.put_group_fast(now, si, vm, pool, pages, placement, &mut scratch)
+        };
+        debug_assert!(scratch.is_empty());
+        self.local.scratch = scratch;
+        out
+    }
+
+    fn flush_many(&mut self, vm: VmId, pool: PoolId, addrs: &[BlockAddr]) -> u64 {
+        if addrs.is_empty() {
+            return 0;
+        }
+        self.inner
+            .batched_ops
+            .fetch_add(addrs.len() as u64, Ordering::Relaxed);
+        let si = self.shard_of(vm, pool);
+        let mut scratch = std::mem::take(&mut self.local.scratch);
+        let epoch = self.flush_group(si, vm, pool, addrs, &mut scratch);
+        debug_assert!(scratch.is_empty());
+        self.local.scratch = scratch;
+        // Live compaction once per batch, not once per flush — the
+        // serial engine hoists identically, so the checkpoint rewrite
+        // still fires at the same operation on both planes.
         self.maybe_compact_journal();
         epoch
     }

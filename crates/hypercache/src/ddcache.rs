@@ -2250,14 +2250,16 @@ impl SecondChanceCache for DoubleDeckerCache {
         self.remote_note_flush(vm, pool, addr);
         // Logged (and synced) even when the block was absent: the returned
         // epoch must cover this flush regardless, since a crash may lose
-        // the unsynced put that would have made the block present.
-        let epoch = self.log_synced(JournalRecord::Flush {
+        // the unsynced put that would have made the block present. Live
+        // compaction is NOT checked here: flushes compact at batch
+        // boundaries (`flush_many`), not per op — the sharded engine
+        // hoists identically, which keeps the checkpoint rewrite firing
+        // at the same operation on both planes.
+        self.log_synced(JournalRecord::Flush {
             vm: vm.0,
             pool: pool.0,
             addr,
-        });
-        self.maybe_compact_journal();
-        epoch
+        })
     }
 
     fn flush_file(&mut self, vm: VmId, pool: PoolId, file: FileId) -> u64 {
@@ -2275,11 +2277,58 @@ impl SecondChanceCache for DoubleDeckerCache {
             }
         }
         self.remote_note_flush_file(vm, pool, file);
-        let epoch = self.log_synced(JournalRecord::FlushFile {
+        // Compaction hoisted to batch boundaries, like `flush`.
+        self.log_synced(JournalRecord::FlushFile {
             vm: vm.0,
             pool: pool.0,
             file,
-        });
+        })
+    }
+
+    // The batched entry points: the serial engine has no locks to
+    // amortize, so each override is the exact per-op loop with one
+    // up-front allocation (the trait defaults collect through iterator
+    // adapters). `flush_many` additionally owns the batch-boundary
+    // compaction check that the per-op `flush` no longer runs — the
+    // sharded engine's batch plane does the same, which is what keeps
+    // journal generations byte-identical across engines.
+
+    fn get_many(
+        &mut self,
+        now: SimTime,
+        vm: VmId,
+        pool: PoolId,
+        addrs: &[BlockAddr],
+    ) -> Vec<GetOutcome> {
+        let mut out = Vec::with_capacity(addrs.len());
+        for &addr in addrs {
+            out.push(self.get(now, vm, pool, addr));
+        }
+        out
+    }
+
+    fn put_many(
+        &mut self,
+        now: SimTime,
+        vm: VmId,
+        pool: PoolId,
+        pages: &[(BlockAddr, PageVersion)],
+    ) -> Vec<PutOutcome> {
+        let mut out = Vec::with_capacity(pages.len());
+        for &(addr, version) in pages {
+            out.push(self.put(now, vm, pool, addr, version));
+        }
+        out
+    }
+
+    fn flush_many(&mut self, vm: VmId, pool: PoolId, addrs: &[BlockAddr]) -> u64 {
+        if addrs.is_empty() {
+            return 0;
+        }
+        let mut epoch = 0;
+        for &addr in addrs {
+            epoch = epoch.max(self.flush(vm, pool, addr));
+        }
         self.maybe_compact_journal();
         epoch
     }

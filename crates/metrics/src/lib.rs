@@ -10,11 +10,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod histogram;
 mod recorder;
 mod snapshot;
 mod table;
 
+pub use batch::BatchCounters;
 pub use histogram::LatencyHistogram;
 pub use recorder::{Counter, OpsRecorder, ThroughputReport};
 pub use snapshot::{snapshot_from_json, snapshot_json, CounterSnapshot};

@@ -1,0 +1,295 @@
+//! Property tests for the batched write plane (DESIGN.md §18).
+//!
+//! 1. **Batch-split identity** — a `*_many` group applied through the
+//!    batched entry points must leave the cache in a state
+//!    byte-identical to applying the same operations one at a time, no
+//!    matter where the group is split into sub-batches: same outcome
+//!    vectors, same resident entries (in internal order, not just as a
+//!    set), same per-pool stats, and — with journaling on — the same
+//!    journal record count and byte-identical per-shard segment
+//!    images. Batching is a locking/amortization strategy, not a
+//!    semantic change; this is checked at *every* split boundary of
+//!    the batch, across 1/2/4/8 shards.
+//! 2. **Reservation convergence** — the eviction hook (which fires in
+//!    the reservation path's unlocked phase, between the placement
+//!    hint and its locked re-validation) is used to flip a hybrid
+//!    pool's entitlement on every firing, so every hint the path
+//!    computes is stale by the time it validates. The path must
+//!    detect the mismatch, retry within its bound or fall back to the
+//!    lock-all put, keep storing every page, and reconcile every
+//!    speculative capacity reservation back into the ledger (zero
+//!    auditor findings after every burst).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ddc_core::cleancache::SecondChanceCache;
+use ddc_core::concurrent::{audit, ShardedCache};
+use ddc_core::prelude::*;
+
+/// Operations per `*_many` group in the split test. Every split index
+/// `0..=GROUP` is exercised, so every boundary inside a group is hit.
+const GROUP: u64 = 8;
+
+/// Rounds of the split-test op stream. Small enough that the journal
+/// never crosses its compaction threshold (compaction fires at batch
+/// boundaries on the batched path but has no per-op twin to mirror, so
+/// the byte-identity claim is over the uncompacted log).
+const ROUNDS: u64 = 6;
+
+fn build(shards: usize) -> (ShardedCache, Vec<(VmId, PoolId)>) {
+    let cache = ShardedCache::new(
+        CacheConfig {
+            mem_capacity_pages: 96,
+            ssd_capacity_pages: 192,
+            mode: PartitionMode::DoubleDecker,
+            admission: AdmissionConfig::off(),
+        },
+        shards,
+    );
+    cache.enable_journal();
+    cache.add_vm(VmId(1), 100);
+    cache.add_vm(VmId(2), 150);
+    let mut h = cache.clone();
+    let pools = vec![
+        (VmId(1), h.create_pool(VmId(1), CachePolicy::mem(100))),
+        (VmId(1), h.create_pool(VmId(1), CachePolicy::hybrid(80))),
+        (VmId(2), h.create_pool(VmId(2), CachePolicy::ssd(60))),
+        (VmId(2), h.create_pool(VmId(2), CachePolicy::hybrid(120))),
+    ];
+    (cache, pools)
+}
+
+/// One round of the deterministic op stream for one pool: a put group,
+/// a trailing-window get group, and (every other round) a flush group.
+/// Working sets are sized well past the mem shares, so put groups
+/// routinely evict — the drain-before-evict journal ordering is on the
+/// tested path, not just the happy path.
+fn round_ops(
+    round: u64,
+    pi: u64,
+) -> (
+    Vec<(BlockAddr, PageVersion)>,
+    Vec<BlockAddr>,
+    Vec<BlockAddr>,
+) {
+    let file = FileId(pi + 1);
+    let puts: Vec<(BlockAddr, PageVersion)> = (0..GROUP)
+        .map(|k| {
+            (
+                BlockAddr::new(file, (round * GROUP + k * 3 + pi) % 40),
+                PageVersion(1 + (round + k) % 3),
+            )
+        })
+        .collect();
+    let back = round.saturating_sub(2);
+    let gets: Vec<BlockAddr> = (0..GROUP)
+        .map(|k| BlockAddr::new(file, (back * GROUP + k * 5 + pi) % 40))
+        .collect();
+    let flushes: Vec<BlockAddr> = if round.is_multiple_of(2) {
+        (0..GROUP / 2)
+            .map(|k| BlockAddr::new(file, (round * 4 + k * 7 + pi) % 40))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    (puts, gets, flushes)
+}
+
+/// Drives the full stream. `split: None` applies every operation
+/// through the scalar entry points in exact order (the serial
+/// reference); `split: Some(k)` applies each group as two `*_many`
+/// calls cut at index `k`. Returns a transcript of every outcome, so
+/// the comparison covers what callers *observed*, not just where the
+/// cache ended up.
+fn drive(h: &mut ShardedCache, pools: &[(VmId, PoolId)], split: Option<usize>) -> String {
+    let now = SimTime::from_secs(1);
+    let mut transcript = String::new();
+    for round in 0..ROUNDS {
+        for (pi, &(vm, pool)) in pools.iter().enumerate() {
+            let (puts, gets, flushes) = round_ops(round, pi as u64);
+            match split {
+                None => {
+                    let outs: Vec<PutOutcome> = puts
+                        .iter()
+                        .map(|&(a, v)| h.put(now, vm, pool, a, v))
+                        .collect();
+                    transcript.push_str(&format!("{outs:?}\n"));
+                    let outs: Vec<GetOutcome> =
+                        gets.iter().map(|&a| h.get(now, vm, pool, a)).collect();
+                    transcript.push_str(&format!("{outs:?}\n"));
+                    // Per-op flushes return individual epochs; the
+                    // group-level observable is their max, which is
+                    // what flush_many reports.
+                    let epoch = flushes
+                        .iter()
+                        .map(|&a| h.flush(vm, pool, a))
+                        .max()
+                        .unwrap_or(0);
+                    transcript.push_str(&format!("epoch={epoch}\n"));
+                }
+                Some(k) => {
+                    let cut = k.min(puts.len());
+                    let mut outs = h.put_many(now, vm, pool, &puts[..cut]);
+                    outs.extend(h.put_many(now, vm, pool, &puts[cut..]));
+                    transcript.push_str(&format!("{outs:?}\n"));
+                    let cut = k.min(gets.len());
+                    let mut outs = h.get_many(now, vm, pool, &gets[..cut]);
+                    outs.extend(h.get_many(now, vm, pool, &gets[cut..]));
+                    transcript.push_str(&format!("{outs:?}\n"));
+                    let cut = k.min(flushes.len());
+                    let epoch = h.flush_many(vm, pool, &flushes[..cut]).max(h.flush_many(
+                        vm,
+                        pool,
+                        &flushes[cut..],
+                    ));
+                    transcript.push_str(&format!("epoch={epoch}\n"));
+                }
+            }
+        }
+    }
+    transcript
+}
+
+/// Everything observable about where the cache ended up: resident
+/// entries in internal order, per-pool stats, journal record count and
+/// raw per-shard segment bytes.
+fn observe(cache: &ShardedCache, pools: &[(VmId, PoolId)]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!("entries={:?}\n", cache.entries()));
+    for &(vm, pool) in pools {
+        s.push_str(&format!(
+            "{vm:?}/{pool:?}={:?}\n",
+            cache.pool_stats(vm, pool)
+        ));
+    }
+    s.push_str(&format!("records={:?}\n", cache.journal_records()));
+    s.push_str(&format!("images={:?}\n", cache.journal_images()));
+    s
+}
+
+#[test]
+fn batched_application_is_byte_identical_at_every_split_boundary() {
+    for shards in [1usize, 2, 4, 8] {
+        let (ref_cache, ref_pools) = build(shards);
+        let mut h = ref_cache.clone();
+        let ref_transcript = drive(&mut h, &ref_pools, None);
+        let ref_state = observe(&ref_cache, &ref_pools);
+        assert!(
+            audit(&ref_cache).is_empty(),
+            "reference run broke invariants at {shards} shards"
+        );
+
+        for k in 0..=GROUP as usize {
+            let (cache, pools) = build(shards);
+            let mut h = cache.clone();
+            let transcript = drive(&mut h, &pools, Some(k));
+            assert_eq!(
+                ref_transcript, transcript,
+                "outcomes diverged from per-op order: {shards} shards, split {k}"
+            );
+            assert_eq!(
+                ref_state,
+                observe(&cache, &pools),
+                "state diverged from per-op order: {shards} shards, split {k}"
+            );
+            assert!(
+                audit(&cache).is_empty(),
+                "batched run broke invariants: {shards} shards, split {k}"
+            );
+            assert!(
+                cache.batched_ops() > 0 && cache.batch_lock_acquisitions() > 0,
+                "split run never exercised the batch plane: {shards} shards, split {k}"
+            );
+        }
+    }
+}
+
+/// Forces every reservation hint stale: the hook (which the reserved
+/// put runs in its unlocked phase, after computing the placement hint
+/// and before re-validating it under the home shard lock) swings the
+/// ballast VM's weight between extremes, so the hybrid pool's memory
+/// entitlement — and with it the mem-vs-SSD placement decision —
+/// flips on every firing. Each retry recomputes the hint and gets
+/// invalidated again, so the path must exhaust its retry budget and
+/// take the lock-all fallback, all while keeping the capacity ledger
+/// exact (every speculative reservation freed or consumed — the
+/// auditor checks the ledger against actual residency after every
+/// burst).
+#[test]
+fn reservation_path_converges_under_forced_entitlement_flips() {
+    let cache = ShardedCache::new(
+        CacheConfig {
+            mem_capacity_pages: 64,
+            ssd_capacity_pages: 128,
+            mode: PartitionMode::DoubleDecker,
+            admission: AdmissionConfig::off(),
+        },
+        8,
+    );
+    cache.add_vm(VmId(1), 100);
+    cache.add_vm(VmId(2), 100);
+    let mut backend = cache.clone();
+    let hybrid = backend.create_pool(VmId(1), CachePolicy::hybrid(100));
+    let ballast = backend.create_pool(VmId(2), CachePolicy::mem(100));
+    let now = SimTime::from_secs(1);
+
+    // Ballast residency keeps VM 2's weight relevant to the share
+    // table, so swinging it really moves VM 1's entitlement.
+    for b in 0..24u64 {
+        backend.put(
+            now,
+            VmId(2),
+            ballast,
+            BlockAddr::new(FileId(9), b),
+            PageVersion(1),
+        );
+    }
+
+    let hook_fires = Arc::new(AtomicU64::new(0));
+    {
+        let hook_cache = cache.clone();
+        let hook_fires = hook_fires.clone();
+        cache.set_eviction_hook(Some(Arc::new(move || {
+            // Alternate the ballast VM between a trivial and a dominant
+            // weight: VM 1's memory entitlement jumps between ~60 and
+            // ~3 pages, crossing the hybrid pool's resident count, so
+            // the placement computed before this ran no longer matches
+            // the one the locked validation recomputes.
+            let n = hook_fires.fetch_add(1, Ordering::Relaxed);
+            hook_cache.set_vm_weight(VmId(2), if n.is_multiple_of(2) { 2_000 } else { 5 });
+        })));
+    }
+
+    let mut stored = 0u64;
+    for burst in 0..12u64 {
+        for b in 0..16u64 {
+            let a = BlockAddr::new(FileId(1), (burst * 16 + b) % 48);
+            if matches!(
+                backend.put(now, VmId(1), hybrid, a, PageVersion(1)),
+                PutOutcome::Stored { .. }
+            ) {
+                stored += 1;
+            }
+        }
+        let findings = audit(&cache);
+        assert!(
+            findings.is_empty(),
+            "burst {burst}: reservation left the ledger unreconciled: {findings:?}"
+        );
+    }
+
+    assert!(
+        hook_fires.load(Ordering::Relaxed) > 0,
+        "the entitlement-flip hook never fired — the reservation path was not exercised"
+    );
+    assert!(stored > 0, "every hybrid put wedged under forced staleness");
+    assert!(
+        cache.reservation_retries() > 0,
+        "no hint was ever re-tried (staleness detection is dead)"
+    );
+    assert!(
+        cache.reservation_fallbacks() > 0,
+        "no put exhausted its retries — the flip hook should defeat every re-validation"
+    );
+}
